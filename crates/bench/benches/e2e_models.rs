@@ -1,0 +1,58 @@
+//! Criterion benches: real end-to-end interpreter execution of the tiny
+//! model presets (one per task domain) plus the analytic profiling path at
+//! full scale — the two backends of the end-to-end flow.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nongemm::graph::Interpreter;
+use nongemm::{Flow, ModelId, Platform, Scale};
+
+fn bench_tiny_execution(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2e_tiny_execute");
+    g.sample_size(10);
+    for model in [
+        ModelId::ResNet50,
+        ModelId::VitBase16,
+        ModelId::FasterRcnn,
+        ModelId::Segformer,
+        ModelId::Gpt2,
+        ModelId::Llama2_7b,
+    ] {
+        let graph = model.build(1, Scale::Tiny).expect("suite models build");
+        let interp = Interpreter::default();
+        g.bench_function(model.spec().alias, |b| {
+            b.iter(|| interp.run(&graph).expect("tiny models execute"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_analytic_profiling(c: &mut Criterion) {
+    // how fast the harness itself is: trace -> plan -> cost -> breakdown
+    let mut g = c.benchmark_group("analytic_profile_full_scale");
+    g.sample_size(10);
+    for model in [ModelId::Gpt2Xl, ModelId::MaskRcnn] {
+        let graph = model.build(1, Scale::Full).expect("suite models build");
+        let platform = Platform::data_center();
+        g.bench_function(model.spec().alias, |b| {
+            b.iter(|| {
+                let p = nongemm::profiler::profile_analytic(&graph, &platform, Flow::Eager, true, 1);
+                p.breakdown()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_graph_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("graph_build_full_scale");
+    g.sample_size(10);
+    for model in [ModelId::Gpt2Xl, ModelId::SwinBase, ModelId::FasterRcnn] {
+        g.bench_function(model.spec().alias, |b| {
+            b.iter(|| model.build(1, Scale::Full).expect("suite models build"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tiny_execution, bench_analytic_profiling, bench_graph_construction);
+criterion_main!(benches);

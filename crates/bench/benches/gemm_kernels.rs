@@ -1,0 +1,63 @@
+//! Criterion benches for the GEMM-operator kernels: matmul scaling,
+//! convolution lowering, batched matmul, and linear layers at
+//! transformer-realistic shapes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nongemm::ops::gemm;
+use nongemm::tensor::random::TensorRng;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for n in [32usize, 64, 128] {
+        let mut rng = TensorRng::seed(1);
+        let a = rng.normal(&[n, n]);
+        let b = rng.normal(&[n, n]);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| gemm::matmul(&a, &b).expect("valid shapes"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_conv2d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv2d");
+    let mut rng = TensorRng::seed(2);
+    // (label, x, w, stride, padding, groups)
+    let x1 = rng.normal(&[1, 8, 32, 32]);
+    let w1 = rng.normal(&[16, 8, 3, 3]);
+    group.bench_function("3x3_s1", |b| {
+        b.iter(|| gemm::conv2d(&x1, &w1, None, 1, 1, 1).expect("valid shapes"))
+    });
+    let w2 = rng.normal(&[8, 1, 3, 3]);
+    group.bench_function("depthwise", |b| {
+        b.iter(|| gemm::conv2d(&x1, &w2, None, 1, 1, 8).expect("valid shapes"))
+    });
+    let w3 = rng.normal(&[16, 8, 1, 1]);
+    group.bench_function("1x1", |b| {
+        b.iter(|| gemm::conv2d(&x1, &w3, None, 1, 0, 1).expect("valid shapes"))
+    });
+    group.finish();
+}
+
+fn bench_bmm_and_linear(c: &mut Criterion) {
+    let mut rng = TensorRng::seed(3);
+    // attention-shaped bmm: [heads, T, hd] @ [heads, hd, T]
+    let q = rng.normal(&[12, 64, 32]);
+    let k = rng.normal(&[12, 32, 64]);
+    c.bench_function("bmm_attention_shape", |b| {
+        b.iter(|| gemm::bmm(&q, &k).expect("valid shapes"))
+    });
+    let x = rng.normal(&[1, 64, 256]);
+    let w = rng.normal(&[512, 256]);
+    let bias = rng.normal(&[512]);
+    c.bench_function("linear_mlp_up", |b| {
+        b.iter(|| gemm::linear(&x, &w, Some(&bias)).expect("valid shapes"))
+    });
+    let wc = rng.normal(&[256, 512]);
+    c.bench_function("conv1d_gpt2", |b| {
+        b.iter(|| gemm::conv1d_gpt2(&x, &wc, Some(&bias)).expect("valid shapes"))
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_conv2d, bench_bmm_and_linear);
+criterion_main!(benches);

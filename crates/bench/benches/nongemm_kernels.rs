@@ -1,0 +1,126 @@
+//! Criterion benches for the non-GEMM operator kernels at Table-2-realistic
+//! shapes, including the paper's key ablations: fused vs decomposed
+//! activations (GELU vs NewGELU) and norms (RMSNorm vs LlamaRMSNorm,
+//! BatchNorm2d vs FrozenBatchNorm2d).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nongemm::ops::{
+    activation, arithmetic, embedding, interpolate, logit, memory, normalization, pooling,
+    reduction, roi,
+};
+use nongemm::tensor::random::TensorRng;
+use nongemm::tensor::Tensor;
+
+fn bench_activations(c: &mut Criterion) {
+    // GPT2-XL's Table 2 GELU shape, scaled to keep host iterations fast
+    let x = TensorRng::seed(1).normal(&[1, 8, 6400]);
+    let mut g = c.benchmark_group("activation");
+    g.bench_function("relu", |b| b.iter(|| activation::relu(&x).expect("f32")));
+    g.bench_function("gelu_fused", |b| b.iter(|| activation::gelu_tanh(&x).expect("f32")));
+    g.bench_function("new_gelu_decomposed", |b| b.iter(|| activation::new_gelu(&x).expect("f32")));
+    g.bench_function("silu", |b| b.iter(|| activation::silu(&x).expect("f32")));
+    g.finish();
+}
+
+fn bench_normalization(c: &mut Criterion) {
+    let mut rng = TensorRng::seed(2);
+    let x = rng.normal(&[1, 10, 4096]); // Llama's Table 2 shape
+    let gamma = rng.uniform(&[4096], 0.9, 1.1);
+    let beta = rng.uniform(&[4096], -0.1, 0.1);
+    let mut g = c.benchmark_group("normalization");
+    g.bench_function("layer_norm", |b| {
+        b.iter(|| normalization::layer_norm(&x, &gamma, &beta, 1e-5).expect("valid"))
+    });
+    g.bench_function("rms_norm_fused", |b| {
+        b.iter(|| normalization::rms_norm(&x, &gamma, 1e-6).expect("valid"))
+    });
+    g.bench_function("llama_rms_norm_decomposed", |b| {
+        b.iter(|| normalization::llama_rms_norm(&x, &gamma, 1e-6).expect("valid"))
+    });
+    let map = rng.normal(&[1, 64, 28, 28]);
+    let (gc, bc) = (rng.uniform(&[64], 0.9, 1.1), rng.uniform(&[64], -0.1, 0.1));
+    let (mc, vc) = (rng.normal(&[64]), rng.uniform(&[64], 0.8, 1.2));
+    g.bench_function("batch_norm2d", |b| {
+        b.iter(|| normalization::batch_norm2d(&map, &gc, &bc, &mc, &vc, 1e-5).expect("valid"))
+    });
+    g.bench_function("frozen_batch_norm2d", |b| {
+        b.iter(|| normalization::frozen_batch_norm2d(&map, &gc, &bc, &mc, &vc, 1e-5).expect("valid"))
+    });
+    g.finish();
+}
+
+fn bench_memory_ops(c: &mut Criterion) {
+    let x = TensorRng::seed(3).normal(&[1, 8, 25, 64]); // GPT2-XL head layout
+    let mut g = c.benchmark_group("memory");
+    g.bench_function("permute_view_zero_copy", |b| {
+        b.iter(|| memory::permute(&x, &[0, 2, 1, 3]).expect("valid"))
+    });
+    let p = memory::permute(&x, &[0, 2, 1, 3]).expect("valid");
+    g.bench_function("contiguous_copy", |b| b.iter(|| memory::contiguous(&p)));
+    let parts: Vec<Tensor> = (0..4).map(|_| TensorRng::seed(4).normal(&[1, 64, 128])).collect();
+    g.bench_function("cat_dim1", |b| b.iter(|| memory::cat(&parts, 1).expect("valid")));
+    g.bench_function("split", |b| b.iter(|| memory::split(&x, 2, 1).expect("valid")));
+    g.finish();
+}
+
+fn bench_logit_and_reduction(c: &mut Criterion) {
+    let x = TensorRng::seed(5).normal(&[25, 8, 8]); // GPT2-XL attention scores
+    c.bench_function("softmax_attention", |b| b.iter(|| logit::softmax(&x, 2).expect("valid")));
+    let logits = TensorRng::seed(6).normal(&[8, 1000]);
+    c.bench_function("argmax_classifier", |b| b.iter(|| reduction::argmax(&logits, 1).expect("valid")));
+    c.bench_function("topk5", |b| b.iter(|| reduction::topk(&logits, 5).expect("valid")));
+}
+
+fn bench_roi_and_interp(c: &mut Criterion) {
+    let mut rng = TensorRng::seed(7);
+    // NMS at a few box counts (the paper's MaskRCNN instance is 4663 boxes)
+    let mut g = c.benchmark_group("nms");
+    for n in [64usize, 256, 1024] {
+        let xy = rng.uniform(&[n, 2], 0.0, 100.0).to_vec_f32().expect("f32");
+        let wh = rng.uniform(&[n, 2], 2.0, 20.0).to_vec_f32().expect("f32");
+        let mut v = Vec::with_capacity(n * 4);
+        for i in 0..n {
+            v.extend_from_slice(&[xy[i * 2], xy[i * 2 + 1], xy[i * 2] + wh[i * 2], xy[i * 2 + 1] + wh[i * 2 + 1]]);
+        }
+        let boxes = Tensor::from_vec(v, &[n, 4]).expect("length");
+        let scores = rng.uniform(&[n], 0.0, 1.0);
+        g.bench_function(format!("boxes_{n}"), |b| {
+            b.iter(|| roi::nms(&boxes, &scores, 0.5).expect("valid"))
+        });
+    }
+    g.finish();
+
+    let feat = rng.normal(&[16, 50, 68]);
+    let rois = rng.uniform(&[32, 4], 0.0, 40.0);
+    c.bench_function("roi_align", |b| b.iter(|| roi::roi_align(&feat, &rois, 7, 1.0).expect("valid")));
+    let map = rng.normal(&[1, 16, 64, 64]);
+    c.bench_function("interpolate_bilinear_2x", |b| {
+        b.iter(|| interpolate::interpolate_bilinear(&map, 128, 128).expect("valid"))
+    });
+    c.bench_function("max_pool2d", |b| {
+        b.iter(|| pooling::max_pool2d(&map, 3, 2, 1).expect("valid"))
+    });
+}
+
+fn bench_arith_and_embedding(c: &mut Criterion) {
+    let mut rng = TensorRng::seed(8);
+    let a = rng.normal(&[1, 10, 11008]); // Llama's gated-MLP shape
+    let b2 = rng.normal(&[1, 10, 11008]);
+    c.bench_function("mul_gated_mlp", |b| b.iter(|| arithmetic::mul(&a, &b2).expect("valid")));
+    let bias = rng.normal(&[11008]);
+    c.bench_function("add_broadcast_bias", |b| b.iter(|| arithmetic::add(&a, &bias).expect("valid")));
+    let table = rng.normal(&[5000, 256]);
+    let ids = rng.uniform_i64(&[1, 128], 0, 5000);
+    c.bench_function("embedding_lookup", |b| b.iter(|| embedding::embedding(&table, &ids).expect("valid")));
+}
+
+criterion_group!(
+    benches,
+    bench_activations,
+    bench_normalization,
+    bench_memory_ops,
+    bench_logit_and_reduction,
+    bench_roi_and_interp,
+    bench_arith_and_embedding
+);
+criterion_main!(benches);

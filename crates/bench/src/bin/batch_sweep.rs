@@ -1,0 +1,44 @@
+//! Batch-size sweep (§4.1.1's batch discussion, extended): the non-GEMM
+//! share as a function of batch size on the A100, per representative model.
+//! Larger batches amortize dispatch/launch overheads and grow GEMM work,
+//! shifting time back toward GEMM — except where GEMMs are weight-streaming
+//! bound (small-sequence LLMs), where the crossover needs larger batches.
+
+use nongemm::profiler::profile_analytic;
+use nongemm::{Flow, ModelId, Platform, Scale};
+
+fn main() {
+    println!("Batch sweep: non-GEMM share (%) on the A100, eager\n");
+    let batches = [1usize, 2, 4, 8, 16, 32, 64];
+    print!("{:<14}", "model");
+    for b in batches {
+        print!("{b:>8}");
+    }
+    println!();
+    for model in [
+        ModelId::ResNet50,
+        ModelId::VitBase16,
+        ModelId::VitHuge14,
+        ModelId::SwinSmall,
+        ModelId::Gpt2,
+        ModelId::Gpt2Xl,
+        ModelId::Bert,
+    ] {
+        print!("{:<14}", model.spec().alias);
+        let mut shares = Vec::new();
+        for &batch in &batches {
+            let g = model.build(batch, Scale::Full).expect("suite models build");
+            let p = profile_analytic(&g, &Platform::data_center(), Flow::Eager, true, batch);
+            let ng = p.breakdown().non_gemm_frac() * 100.0;
+            shares.push(ng);
+            print!("{ng:>7.1}%");
+        }
+        println!();
+        // overall trend: batch 64 must be more GEMM-heavy than batch 1
+        assert!(
+            shares.last().expect("swept") < shares.first().expect("swept"),
+            "{model}: non-GEMM share should fall with batch size"
+        );
+    }
+    println!("\n(The paper reports the same trend for its batch 1 -> 8 / 64 pairs.)");
+}

@@ -1,0 +1,35 @@
+//! Internal calibration sweep: prints GEMM/non-GEMM fractions for every
+//! model on data-center CPU vs GPU (eager) and ORT, to tune device models.
+
+use ngb_bench::{figure_groups, percent_header, percent_row};
+use nongemm::{BenchConfig, Flow, NonGemmBench, Platform, Scale};
+
+fn main() {
+    let groups = figure_groups();
+    println!("{:<14}{:<18}{}", "model", "config", percent_header(&groups));
+    for (label, platform, gpu, flow) in [
+        ("dc-cpu", Platform::data_center().cpu_only(), false, Flow::Eager),
+        ("dc-gpu", Platform::data_center(), true, Flow::Eager),
+        ("dc-gpu-ort", Platform::data_center(), true, Flow::Ort),
+    ] {
+        let bench = NonGemmBench::new(BenchConfig {
+            platform,
+            use_gpu: gpu,
+            flow,
+            scale: Scale::Full,
+            ..BenchConfig::default()
+        });
+        for p in bench.run_end_to_end().unwrap() {
+            let b = p.breakdown();
+            println!(
+                "{:<14}{:<18}{}  ng={:>5.1}% {:8.2}ms",
+                p.model,
+                label,
+                percent_row(&b, &groups),
+                b.non_gemm_frac() * 100.0,
+                p.total_latency_s() * 1e3
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,58 @@
+//! Extension experiment: autoregressive **decode** (generation) profiles.
+//! The paper profiles prefill-style forward passes; single-token decode
+//! steps with a KV cache push even deeper into the non-GEMM regime — every
+//! GEMM degenerates to a matrix–vector product while the operator count
+//! stays constant.
+
+use nongemm::models::gpt2::Gpt2Config;
+use nongemm::profiler::profile_analytic;
+use nongemm::{Flow, NonGemmGroup, Platform, Scale};
+
+fn main() {
+    println!("GPT-2 prefill vs decode on the A100 (eager, batch 1)\n");
+    println!(
+        "{:<12}{:<16}{:>12}{:>10}{:>10}{:>10}{:>10}",
+        "model", "mode", "latency", "GEMM", "Act", "Memory", "non-GEMM"
+    );
+    for (alias, cfg) in
+        [("gpt2", Gpt2Config::base()), ("gpt2-l", Gpt2Config::large()), ("gpt2-xl", Gpt2Config::xl())]
+    {
+        let platform = Platform::data_center();
+        let prefill = cfg.build(1).expect("suite models build");
+        let p = profile_analytic(&prefill, &platform, Flow::Eager, true, 1);
+        let mut rows = vec![("prefill (seq 8)".to_string(), p)];
+        for past in [64usize, 512] {
+            let decode = cfg.build_decode(1, past).expect("suite models build");
+            let d = profile_analytic(&decode, &platform, Flow::Eager, true, 1);
+            rows.push((format!("decode (past {past})"), d));
+        }
+        let prefill_ng = rows[0].1.breakdown().non_gemm_frac();
+        for (mode, profile) in &rows {
+            let b = profile.breakdown();
+            println!(
+                "{:<12}{:<16}{:>10.2}ms{:>9.1}%{:>9.1}%{:>9.1}%{:>9.1}%",
+                alias,
+                mode,
+                profile.total_latency_s() * 1e3,
+                b.gemm_frac() * 100.0,
+                b.group_frac(NonGemmGroup::Activation) * 100.0,
+                b.group_frac(NonGemmGroup::Memory) * 100.0,
+                b.non_gemm_frac() * 100.0
+            );
+        }
+        let decode_ng = rows[1].1.breakdown().non_gemm_frac();
+        assert!(
+            decode_ng >= prefill_ng - 0.05,
+            "{alias}: decode should be at least as non-GEMM-bound as prefill"
+        );
+        println!();
+    }
+    // sanity: the tiny decode graph really executes
+    let g = Gpt2Config::toy().build_decode(1, 8).expect("builds");
+    nongemm::graph::Interpreter::default().run(&g).expect("decode step executes");
+    let _ = Scale::Tiny;
+    println!(
+        "Generation is the worst case for the paper's thesis: one token of\n\
+         GEMM work carries a full graph of non-GEMM overhead every step."
+    );
+}

@@ -1,0 +1,52 @@
+//! Figure 5: execution-time breakdown across operator groups for every
+//! NonGEMM Bench model on the Data Center configuration, CPU-only vs
+//! CPU+GPU (PyTorch eager), batch 1 plus the paper's batch-8 IC rows.
+
+use ngb_bench::{assert_partition, csv_breakdown_row, figure_groups, maybe_write_csv, percent_header, percent_row};
+use nongemm::{BenchConfig, Flow, ModelId, NonGemmBench, Platform, Scale, Task};
+
+fn main() {
+    let groups = figure_groups();
+    let mut csv = vec![format!("config,model,batch,gemm,{}", groups.iter().map(|g| g.label().to_lowercase()).collect::<Vec<_>>().join(","))];
+    println!("Figure 5: Data Center breakdown across operator groups (eager)\n");
+    for (label, platform, gpu) in [
+        ("CPU only", Platform::data_center().cpu_only(), false),
+        ("CPU + GPU", Platform::data_center(), true),
+    ] {
+        println!("== {label} ==");
+        println!("{:<16}{:>5} {}", "model", "batch", percent_header(&groups));
+        for &model in ModelId::all() {
+            let mut batches = vec![1usize];
+            // the paper also reports batch 8 for image classification
+            if model.spec().task == Task::ImageClassification {
+                batches.push(8);
+            }
+            for batch in batches {
+                let bench = NonGemmBench::new(BenchConfig {
+                    models: vec![model.spec().alias.into()],
+                    platform: platform.clone(),
+                    use_gpu: gpu,
+                    flow: Flow::Eager,
+                    batch,
+                    scale: Scale::Full,
+                    ..BenchConfig::default()
+                });
+                let p = &bench.run_end_to_end().expect("suite models build")[0];
+                assert_partition(p);
+                println!(
+                    "{:<16}{:>5} {}",
+                    model.spec().alias,
+                    batch,
+                    percent_row(&p.breakdown(), &groups)
+                );
+                csv.push(csv_breakdown_row(
+                    &format!("{label},{},{batch}", model.spec().alias),
+                    &p.breakdown(),
+                    &groups,
+                ));
+            }
+        }
+        println!();
+    }
+    maybe_write_csv("fig5", &csv.join("\n"));
+}

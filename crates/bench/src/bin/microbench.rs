@@ -1,0 +1,77 @@
+//! MicroBench flow (§3.2.3): harvests every non-GEMM operator instance of
+//! the 18-model suite into the operator registry (the paper ships 1460
+//! instances), prints registry statistics, and replays representative
+//! operators both measured (host) and analytically (A100 / EPYC).
+
+use nongemm::{DeviceModel, ModelId, OperatorRegistry, Scale};
+
+fn main() {
+    println!("NonGEMM Bench microbenchmark flow\n");
+    let mut registry = OperatorRegistry::new();
+    for &m in ModelId::all() {
+        let g = m.build(1, Scale::Full).expect("suite models build");
+        let added = registry.harvest(&g);
+        println!("{:<14} +{added:>5} unique non-GEMM operator instances", m.spec().alias);
+    }
+    println!(
+        "\nregistry: {} unique non-GEMM operator instances (paper: 1460)",
+        registry.len()
+    );
+    println!("\nper-group instance counts:");
+    for (group, count) in registry.group_stats() {
+        println!("  {group:<16}{count:>6}");
+    }
+    println!("\noperator variants per group:");
+    for (group, count) in registry.variant_stats() {
+        println!("  {group:<16}{count:>6}");
+    }
+
+    // aggregate analytic latency per group on the data-center GPU — the
+    // microbench view of the end-to-end group breakdowns
+    println!("\naggregate standalone latency per group (A100 analytic):");
+    let by_group = registry.group_latency(&DeviceModel::a100());
+    let total: f64 = by_group.values().sum();
+    for (group, secs) in &by_group {
+        println!("  {group:<16}{:>9.3} ms ({:>5.1}%)", secs * 1e3, secs / total * 100.0);
+    }
+
+    // replay a representative slice standalone (measured on the host +
+    // analytic on the paper's devices)
+    println!("\nstandalone replay (one instance per operator kind):");
+    println!(
+        "{:<22}{:<12}{:>14}{:>12}{:>12}  shapes",
+        "op", "model", "host (meas)", "A100", "EPYC 7763"
+    );
+    let a100 = DeviceModel::a100();
+    let epyc = DeviceModel::epyc7763();
+    let mut seen = std::collections::BTreeSet::new();
+    let mut replayed = 0;
+    for rec in registry.iter() {
+        if !seen.insert(rec.op.name()) {
+            continue;
+        }
+        // replay only instances small enough to execute quickly on the host
+        let elems: usize = rec.input_shapes.iter().map(|s| s.iter().product::<usize>()).sum();
+        if elems > 2_000_000 {
+            continue;
+        }
+        match registry.replay(rec, 3, &a100) {
+            Ok(res) => {
+                let cpu = registry.evaluate(rec, &epyc);
+                println!(
+                    "{:<22}{:<12}{:>12.1}us{:>10.1}us{:>10.1}us  {:?}",
+                    res.op,
+                    res.model,
+                    res.measured_s.unwrap_or(0.0) * 1e6,
+                    res.analytic_s * 1e6,
+                    cpu.analytic_s * 1e6,
+                    rec.input_shapes
+                );
+                replayed += 1;
+            }
+            Err(e) => println!("{:<22}{:<12}replay failed: {e}", rec.op.name(), rec.model),
+        }
+    }
+    assert!(replayed > 15, "expected a broad operator replay, got {replayed}");
+    assert!(registry.len() > 400, "registry suspiciously small: {}", registry.len());
+}

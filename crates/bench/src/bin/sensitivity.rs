@@ -1,0 +1,74 @@
+//! Sensitivity study: the Amdahl's-law argument of §1, made quantitative.
+//! Sweeps (a) GEMM-engine throughput and (b) kernel-launch overhead of the
+//! data-center GPU, showing that the faster the GEMM engine, the more the
+//! non-GEMM operators dominate — and that launch overhead drives the
+//! small-kernel models.
+
+use nongemm::profiler::profile_analytic;
+use nongemm::{Flow, ModelId, Platform, Scale};
+
+fn non_gemm_pct(g: &ngb_graph::Graph, platform: &Platform) -> f64 {
+    profile_analytic(g, platform, Flow::Eager, true, 1).breakdown().non_gemm_frac() * 100.0
+}
+
+fn main() {
+    let models = [ModelId::VitLarge16, ModelId::Gpt2Xl, ModelId::FasterRcnn];
+    let graphs: Vec<_> =
+        models.iter().map(|m| m.build(1, Scale::Full).expect("suite models build")).collect();
+
+    println!("Sweep A: non-GEMM share (%) vs GEMM-engine speed (A100 = 1x)\n");
+    print!("{:<12}", "model");
+    let factors = [0.25, 0.5, 1.0, 2.0, 4.0, 8.0];
+    for f in factors {
+        print!("{f:>8}x");
+    }
+    println!();
+    for (m, g) in models.iter().zip(&graphs) {
+        print!("{:<12}", m.spec().alias);
+        let mut prev = -1.0;
+        for f in factors {
+            let mut p = Platform::data_center();
+            if let Some(gpu) = &mut p.gpu {
+                gpu.gemm_tflops *= f;
+            }
+            let ng = non_gemm_pct(g, &p);
+            print!("{ng:>8.1}%");
+            assert!(ng + 1e-9 >= prev, "{m}: faster GEMM engine must not lower the non-GEMM share");
+            prev = ng;
+        }
+        println!();
+    }
+
+    println!("\nSweep B: non-GEMM share (%) vs kernel-launch overhead (A100 = 4 us)\n");
+    print!("{:<12}", "model");
+    let launches = [0.0, 1.0, 2.0, 4.0, 8.0, 16.0];
+    for l in launches {
+        print!("{l:>7}us");
+    }
+    println!();
+    for (m, g) in models.iter().zip(&graphs) {
+        print!("{:<12}", m.spec().alias);
+        let mut shares = Vec::new();
+        for l in launches {
+            let mut p = Platform::data_center();
+            if let Some(gpu) = &mut p.gpu {
+                gpu.kernel_launch_us = l;
+            }
+            let ng = non_gemm_pct(g, &p);
+            print!("{ng:>8.1}%");
+            shares.push(ng);
+        }
+        println!();
+        // GEMM nodes launch kernels too; the share is near-flat for fused
+        // transformer stacks (ViT) and rises for models with decomposed
+        // multi-kernel ops (GPT-2's NewGELU, detection's FrozenBatchNorm)
+        let (first, last) = (shares[0], *shares.last().expect("swept"));
+        assert!(last >= first - 1.0, "{m}: {first:.1} -> {last:.1}");
+    }
+    println!(
+        "\nSweep A is the Amdahl's-law story: every generation of GEMM\n\
+         acceleration makes the non-GEMM side more dominant, saturating once\n\
+         GEMMs are effectively free. Sweep B shows launch overhead taxes the\n\
+         decomposed multi-kernel ops (GPT-2, FasterRCNN) hardest."
+    );
+}

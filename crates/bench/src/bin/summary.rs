@@ -1,0 +1,103 @@
+//! §4.3 headline numbers: the cross-suite averages the paper's "Key
+//! Observations and Insights" section reports, recomputed over this
+//! reproduction.
+
+use ngb_bench::assert_partition;
+use nongemm::{
+    BenchConfig, Flow, ModelId, NonGemmBench, NonGemmGroup, Platform, Scale, Task,
+};
+
+fn avg(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+fn profile_frac(model: ModelId, platform: Platform, gpu: bool, flow: Flow) -> nongemm::Breakdown {
+    let bench = NonGemmBench::new(BenchConfig {
+        models: vec![model.spec().alias.into()],
+        platform,
+        use_gpu: gpu,
+        flow,
+        batch: 1,
+        scale: Scale::Full,
+        ..BenchConfig::default()
+    });
+    let p = &bench.run_end_to_end().expect("suite models build")[0];
+    assert_partition(p);
+    p.breakdown()
+}
+
+fn main() {
+    println!("NonGEMM Bench §4.3 headline averages (this reproduction vs paper)\n");
+
+    // 1. CPU-only vs CPU+GPU non-GEMM share, averaged over models × platforms
+    let mut cpu = Vec::new();
+    let mut gpu = Vec::new();
+    for platform in Platform::all_gpu() {
+        for &m in ModelId::all() {
+            cpu.push(
+                profile_frac(m, platform.clone().cpu_only(), false, Flow::Eager).non_gemm_frac(),
+            );
+            gpu.push(profile_frac(m, platform.clone(), true, Flow::Eager).non_gemm_frac());
+        }
+    }
+    let (cpu_avg, gpu_avg) = (avg(&cpu) * 100.0, avg(&gpu) * 100.0);
+    println!(
+        "non-GEMM share of execution time, all models x 3 platforms:\n  \
+         CPU-only {cpu_avg:.1}%  ->  CPU+GPU {gpu_avg:.1}%   (paper: 27% -> 55%)"
+    );
+    assert!(gpu_avg > cpu_avg + 15.0, "GPU must shift the balance to non-GEMM");
+
+    // 2. dominant groups per task on the data-center GPU
+    let mut ic_norm = Vec::new();
+    let mut lm_act = Vec::new();
+    let mut lm_arith = Vec::new();
+    for &m in ModelId::all() {
+        let b = profile_frac(m, Platform::data_center(), true, Flow::Eager);
+        match m.spec().task {
+            Task::ImageClassification => ic_norm.push(b.group_frac(NonGemmGroup::Normalization)),
+            Task::LanguageModel => {
+                lm_act.push(b.group_frac(NonGemmGroup::Activation));
+                lm_arith.push(b.group_frac(NonGemmGroup::Arithmetic));
+            }
+            _ => {}
+        }
+    }
+    println!(
+        "\nimage classification, avg Normalization share: {:.1}%  (paper: 18.4%)",
+        avg(&ic_norm) * 100.0
+    );
+    println!(
+        "language models, avg Activation share: {:.1}%  (paper: 17.75%)",
+        avg(&lm_act) * 100.0
+    );
+    println!(
+        "language models, avg Arithmetic share: {:.1}%  (paper: 17.6%)",
+        avg(&lm_arith) * 100.0
+    );
+
+    // 3. ORT: memory dominance and the eager -> ORT non-GEMM shift
+    let mut ort_mem = Vec::new();
+    let mut ort_ng = Vec::new();
+    let mut eager_ng = Vec::new();
+    for &m in ModelId::all() {
+        let e = profile_frac(m, Platform::data_center(), true, Flow::Eager);
+        let o = profile_frac(m, Platform::data_center(), true, Flow::Ort);
+        eager_ng.push(e.non_gemm_frac());
+        ort_ng.push(o.non_gemm_frac());
+        ort_mem.push(o.group_frac(NonGemmGroup::Memory));
+    }
+    println!(
+        "\nONNX Runtime on A100: avg Memory-group share {:.1}%  (paper: 56%)",
+        avg(&ort_mem) * 100.0
+    );
+    println!(
+        "non-GEMM share, eager {:.1}% -> ORT {:.1}%  (paper: 52% -> 73%)",
+        avg(&eager_ng) * 100.0,
+        avg(&ort_ng) * 100.0
+    );
+    assert!(avg(&ort_ng) > avg(&eager_ng), "ORT must increase the non-GEMM share");
+}

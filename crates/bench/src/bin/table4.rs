@@ -1,0 +1,52 @@
+//! Table 4: the most expensive non-GEMM operator group for selected models
+//! and batch sizes on the data-center GPU (A100, eager).
+
+use ngb_bench::assert_partition;
+use nongemm::{BenchConfig, Flow, NonGemmBench, Platform, Scale};
+
+fn main() {
+    println!("Table 4: most expensive non-GEMM group per model/batch on the A100 (eager)\n");
+    println!("{:<14}{:>6}  {:<16}{:>12}", "model", "batch", "top group", "% of time");
+    // (alias, batch) rows as in the paper's Table 4
+    let rows: &[(&str, usize)] = &[
+        ("vit-b", 1),
+        ("vit-b", 8),
+        ("vit-l", 1),
+        ("vit-l", 8),
+        ("sw-t", 1),
+        ("sw-t", 8),
+        ("sw-s", 1),
+        ("sw-s", 8),
+        ("sw-b", 1),
+        ("sw-b", 8),
+        ("frcnn", 1),
+        ("frcnn", 2),
+        ("frcnn", 8),
+        ("mrcnn", 1),
+        ("mrcnn", 2),
+        ("mrcnn", 8),
+        ("detr", 2),
+        ("gpt2", 1),
+        ("gpt2", 64),
+        ("gpt2-xl", 1),
+        ("gpt2-xl", 64),
+        ("llama2", 1),
+        ("bert", 1),
+        ("bert", 64),
+    ];
+    for &(alias, batch) in rows {
+        let bench = NonGemmBench::new(BenchConfig {
+            models: vec![alias.into()],
+            platform: Platform::data_center(),
+            use_gpu: true,
+            flow: Flow::Eager,
+            batch,
+            scale: Scale::Full,
+            ..BenchConfig::default()
+        });
+        let p = &bench.run_end_to_end().expect("suite models build")[0];
+        assert_partition(p);
+        let (group, frac) = p.breakdown().dominant_group().expect("non-GEMM ops exist");
+        println!("{:<14}{:>6}  {:<16}{:>11.1}%", alias, batch, group.label(), frac * 100.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! Table 5: feature comparison of NonGEMM Bench against MLPerf, LongTail
+//! Bench, and TorchBench.
+
+use nongemm::comparison_table;
+
+fn check(b: bool) -> &'static str {
+    if b {
+        "x"
+    } else {
+        ""
+    }
+}
+
+fn main() {
+    println!("Table 5: benchmark feature comparison\n");
+    println!(
+        "{:<28}{:>12}{:>12}{:>14}{:>16}",
+        "Benchmark", "Real Usage", "NonGEMM", "Real Dataset", "Plug & Profile"
+    );
+    for b in comparison_table() {
+        println!(
+            "{:<28}{:>12}{:>12}{:>14}{:>16}",
+            b.name,
+            check(b.real_usage_driven),
+            check(b.non_gemm_focused),
+            check(b.real_dataset_driven),
+            check(b.plug_model_and_profile)
+        );
+    }
+}

@@ -1,0 +1,213 @@
+//! `nongemm-cli` — command-line front end of the benchmark harness.
+//!
+//! ```text
+//! nongemm-cli [OPTIONS]
+//!   --model <alias>       model alias (repeatable; default: all 18)
+//!   --platform <p>        mobile | workstation | datacenter  (default: datacenter)
+//!   --flow <f>            eager | torchscript | dynamo | ort (default: eager)
+//!   --batch <n>           batch size (default: 1)
+//!   --cpu-only            drop the GPU from the platform
+//!   --tiny                use the executable tiny presets
+//!   --measured            execute on the host instead of the analytic models
+//!   --microbench          run the microbench flow instead of end-to-end
+//!   --format <fmt>        text | csv | json (default: text)
+//!   --trace <path>        also write a Chrome trace JSON per model
+//! ```
+
+use std::process::ExitCode;
+
+use nongemm::profiler::report::{csv_header, PerformanceReport};
+use nongemm::profiler::trace::to_chrome_trace;
+use nongemm::{BenchConfig, Flow, NonGemmBench, Platform, Scale};
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Csv,
+    Json,
+}
+
+#[derive(Debug)]
+struct Args {
+    models: Vec<String>,
+    platform: Platform,
+    flow: Flow,
+    batch: usize,
+    cpu_only: bool,
+    tiny: bool,
+    measured: bool,
+    microbench: bool,
+    format: Format,
+    trace: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: nongemm-cli [--model <alias>]... [--platform mobile|workstation|datacenter]\n\
+         \x20      [--flow eager|torchscript|dynamo|ort] [--batch N] [--cpu-only] [--tiny]\n\
+         \x20      [--measured] [--microbench] [--format text|csv|json] [--trace <path>]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        models: Vec::new(),
+        platform: Platform::data_center(),
+        flow: Flow::Eager,
+        batch: 1,
+        cpu_only: false,
+        tiny: false,
+        measured: false,
+        microbench: false,
+        format: Format::Text,
+        trace: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().unwrap_or_else(|| {
+            eprintln!("{name} requires a value");
+            usage()
+        });
+        match arg.as_str() {
+            "--model" => args.models.push(value("--model")),
+            "--platform" => {
+                args.platform = match value("--platform").as_str() {
+                    "mobile" => Platform::mobile(),
+                    "workstation" => Platform::workstation(),
+                    "datacenter" | "data-center" => Platform::data_center(),
+                    other => {
+                        eprintln!("unknown platform '{other}'");
+                        usage()
+                    }
+                }
+            }
+            "--flow" => {
+                args.flow = match value("--flow").as_str() {
+                    "eager" => Flow::Eager,
+                    "torchscript" => Flow::TorchScript,
+                    "dynamo" => Flow::Dynamo,
+                    "ort" => Flow::Ort,
+                    other => {
+                        eprintln!("unknown flow '{other}'");
+                        usage()
+                    }
+                }
+            }
+            "--batch" => {
+                args.batch = value("--batch").parse().unwrap_or_else(|_| {
+                    eprintln!("--batch requires a positive integer");
+                    usage()
+                })
+            }
+            "--cpu-only" => args.cpu_only = true,
+            "--tiny" => args.tiny = true,
+            "--measured" => args.measured = true,
+            "--microbench" => args.microbench = true,
+            "--format" => {
+                args.format = match value("--format").as_str() {
+                    "text" => Format::Text,
+                    "csv" => Format::Csv,
+                    "json" => Format::Json,
+                    other => {
+                        eprintln!("unknown format '{other}'");
+                        usage()
+                    }
+                }
+            }
+            "--trace" => args.trace = Some(value("--trace")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument '{other}'");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let platform =
+        if args.cpu_only { args.platform.clone().cpu_only() } else { args.platform.clone() };
+    let bench = NonGemmBench::new(BenchConfig {
+        models: args.models.clone(),
+        platform,
+        use_gpu: !args.cpu_only,
+        flow: args.flow,
+        batch: args.batch,
+        scale: if args.tiny { Scale::Tiny } else { Scale::Full },
+        iterations: 3,
+    });
+
+    if args.microbench {
+        return run_microbench(&bench, args.format);
+    }
+
+    let profiles = if args.measured { bench.run_measured() } else { bench.run_end_to_end() };
+    let profiles = match profiles {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("profiling failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.format == Format::Csv {
+        println!("{}", csv_header());
+    }
+    for profile in &profiles {
+        let report = PerformanceReport::from_profile(profile);
+        match args.format {
+            Format::Text => println!("{}", report.to_text()),
+            Format::Csv => println!("{}", report.to_csv_row()),
+            Format::Json => println!(
+                "{}",
+                serde_json::to_string(&report).expect("reports serialize")
+            ),
+        }
+        if let Some(dir) = &args.trace {
+            let path = format!("{dir}/{}.trace.json", profile.model);
+            if let Err(e) = std::fs::write(&path, to_chrome_trace(profile)) {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {path}");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_microbench(bench: &NonGemmBench, format: Format) -> ExitCode {
+    let (registry, results) = match bench.run_microbench() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("microbench failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match format {
+        Format::Json => {
+            println!("{}", serde_json::to_string(&results).expect("results serialize"));
+        }
+        Format::Csv => {
+            println!("op,model,analytic_us,analytic_mj");
+            for r in &results {
+                println!(
+                    "{},{},{:.3},{:.3}",
+                    r.op,
+                    r.model,
+                    r.analytic_s * 1e6,
+                    r.analytic_j * 1e3
+                );
+            }
+        }
+        Format::Text => {
+            println!("{} unique non-GEMM operator instances", registry.len());
+            for (group, count) in registry.group_stats() {
+                println!("  {group:<16}{count:>6}");
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

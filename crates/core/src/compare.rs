@@ -1,0 +1,75 @@
+//! Benchmark feature comparison (paper Table 5).
+
+use serde::Serialize;
+
+/// Feature vector of an ML benchmark, as compared in Table 5.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchmarkFeatures {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Model selection driven by real usage/popularity.
+    pub real_usage_driven: bool,
+    /// Focuses on non-GEMM operators specifically.
+    pub non_gemm_focused: bool,
+    /// Evaluates on real datasets.
+    pub real_dataset_driven: bool,
+    /// Users can plug custom models and profile them.
+    pub plug_model_and_profile: bool,
+}
+
+/// The Table 5 comparison: MLPerf, LongTail Bench, TorchBench, and
+/// NonGEMM Bench (this work).
+pub fn comparison_table() -> Vec<BenchmarkFeatures> {
+    vec![
+        BenchmarkFeatures {
+            name: "MLPerf",
+            real_usage_driven: false,
+            non_gemm_focused: false,
+            real_dataset_driven: true,
+            plug_model_and_profile: false,
+        },
+        BenchmarkFeatures {
+            name: "LongTailBench",
+            real_usage_driven: false,
+            non_gemm_focused: true,
+            real_dataset_driven: false,
+            plug_model_and_profile: false,
+        },
+        BenchmarkFeatures {
+            name: "TorchBench",
+            real_usage_driven: true,
+            non_gemm_focused: false,
+            real_dataset_driven: false,
+            plug_model_and_profile: false,
+        },
+        BenchmarkFeatures {
+            name: "NonGEMMBench (this work)",
+            real_usage_driven: true,
+            non_gemm_focused: true,
+            real_dataset_driven: true,
+            plug_model_and_profile: true,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_nongemm_bench_has_all_features() {
+        let t = comparison_table();
+        assert_eq!(t.len(), 4);
+        let full = t
+            .iter()
+            .filter(|b| {
+                b.real_usage_driven
+                    && b.non_gemm_focused
+                    && b.real_dataset_driven
+                    && b.plug_model_and_profile
+            })
+            .count();
+        assert_eq!(full, 1);
+        assert!(t.last().unwrap().name.contains("this work"));
+    }
+}

@@ -1,0 +1,287 @@
+//! # nongemm — NonGEMM Bench in Rust
+//!
+//! A from-scratch Rust reproduction of *NonGEMM Bench: Understanding the
+//! Performance Horizon of the Latest ML Workloads with NonGEMM Workloads*
+//! (ISPASS 2025): a benchmark and profiling harness that breaks ML
+//! inference down into **GEMM** and **non-GEMM** operators and shows how
+//! GPU acceleration shifts the Amdahl's-law balance toward the non-GEMM
+//! side.
+//!
+//! This crate is the facade: it re-exports every subsystem and provides
+//! the [`NonGemmBench`] harness that mirrors the paper's Figure 4 — model
+//! registry in, end-to-end and microbench flows out.
+//!
+//! ## Subsystems
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`tensor`] | `ngb-tensor` | strided tensors with view semantics |
+//! | [`ops`] | `ngb-ops` | executable kernels + analytic costs |
+//! | [`graph`] | `ngb-graph` | operator-graph IR, classification, interpreter |
+//! | [`models`] | `ngb-models` | the 18 Table 1 model builders |
+//! | [`platform`] | `ngb-platform` | Table 3 device roofline models |
+//! | [`runtime`] | `ngb-runtime` | deployment flows (eager/TS/Dynamo/ORT) |
+//! | [`profiler`] | `ngb-profiler` | end-to-end profiling + reports |
+//! | [`microbench`] | `ngb-microbench` | harvested non-GEMM op registry |
+//! | [`data`] | `ngb-data` | synthetic ImageNet/COCO/wikitext |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use nongemm::{BenchConfig, NonGemmBench};
+//!
+//! # fn main() -> Result<(), ngb_tensor::TensorError> {
+//! let bench = NonGemmBench::new(BenchConfig {
+//!     models: vec!["gpt2".into()],
+//!     scale: nongemm::Scale::Full,
+//!     ..BenchConfig::default()
+//! });
+//! let profiles = bench.run_end_to_end()?;
+//! let breakdown = profiles[0].breakdown();
+//! println!("non-GEMM share: {:.0}%", breakdown.non_gemm_frac() * 100.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use ngb_data as data;
+pub use ngb_graph as graph;
+pub use ngb_microbench as microbench;
+pub use ngb_models as models;
+pub use ngb_ops as ops;
+pub use ngb_platform as platform;
+pub use ngb_profiler as profiler;
+pub use ngb_runtime as runtime;
+pub use ngb_tensor as tensor;
+
+pub use ngb_graph::{Graph, NonGemmGroup, OpClass, OpKind};
+pub use ngb_microbench::{MicroResult, OperatorRegistry};
+pub use ngb_models::{ModelId, ModelRegistry, Scale, Task};
+pub use ngb_platform::{DeviceModel, HardwareClass, Platform};
+pub use ngb_profiler::report::{NonGemmReport, PerformanceReport, WorkloadReport};
+pub use ngb_profiler::{Breakdown, ModelProfile};
+pub use ngb_runtime::Flow;
+
+mod compare;
+pub use compare::{comparison_table, BenchmarkFeatures};
+
+use ngb_tensor::TensorError;
+
+/// Inputs of a benchmark run (the paper's Figure 4 input block: models,
+/// deployment flow, datasets are implied by the models, misc
+/// configuration).
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Model aliases to run; empty means the full 18-model registry.
+    pub models: Vec<String>,
+    /// Deployment software flow.
+    pub flow: Flow,
+    /// Hardware platform.
+    pub platform: Platform,
+    /// Run on the platform's GPU when present.
+    pub use_gpu: bool,
+    /// Batch size.
+    pub batch: usize,
+    /// Model scale (full = paper configs, tiny = executable toys).
+    pub scale: Scale,
+    /// Iterations for measured (host-executed) profiling.
+    pub iterations: usize,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            models: Vec::new(),
+            flow: Flow::Eager,
+            platform: Platform::data_center(),
+            use_gpu: true,
+            batch: 1,
+            scale: Scale::Full,
+            iterations: 3,
+        }
+    }
+}
+
+/// The top-level harness: builds the selected models and runs the
+/// end-to-end and microbench flows.
+#[derive(Debug)]
+pub struct NonGemmBench {
+    config: BenchConfig,
+}
+
+impl NonGemmBench {
+    /// Creates a harness from `config`.
+    pub fn new(config: BenchConfig) -> NonGemmBench {
+        NonGemmBench { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &BenchConfig {
+        &self.config
+    }
+
+    /// Models selected by the configuration.
+    pub fn selected_models(&self) -> Vec<ModelId> {
+        if self.config.models.is_empty() {
+            ModelId::all().to_vec()
+        } else {
+            ModelId::all()
+                .iter()
+                .copied()
+                .filter(|m| self.config.models.iter().any(|n| n == m.spec().alias))
+                .collect()
+        }
+    }
+
+    /// Builds the operator graphs for the selected models.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph-construction errors.
+    pub fn build_graphs(&self) -> Result<Vec<Graph>, TensorError> {
+        self.selected_models()
+            .into_iter()
+            .map(|m| m.build(self.config.batch, self.config.scale))
+            .collect()
+    }
+
+    /// Runs the end-to-end flow analytically on the configured platform,
+    /// returning one profile per selected model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph-construction errors.
+    pub fn run_end_to_end(&self) -> Result<Vec<ModelProfile>, TensorError> {
+        Ok(self
+            .build_graphs()?
+            .iter()
+            .map(|g| {
+                ngb_profiler::profile_analytic(
+                    g,
+                    &self.config.platform,
+                    self.config.flow,
+                    self.config.use_gpu,
+                    self.config.batch,
+                )
+            })
+            .collect())
+    }
+
+    /// Runs the end-to-end flow by real host execution (sensible with
+    /// [`Scale::Tiny`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph-construction or kernel errors.
+    pub fn run_measured(&self) -> Result<Vec<ModelProfile>, TensorError> {
+        self.build_graphs()?
+            .iter()
+            .map(|g| ngb_profiler::profile_measured(g, self.config.iterations, 0x5eed))
+            .collect()
+    }
+
+    /// Runs the microbench flow: harvests every non-GEMM operator instance
+    /// of the selected models into a registry and evaluates each on the
+    /// configured device.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph-construction errors.
+    pub fn run_microbench(&self) -> Result<(OperatorRegistry, Vec<MicroResult>), TensorError> {
+        let graphs = self.build_graphs()?;
+        let mut registry = OperatorRegistry::new();
+        registry.harvest_suite(graphs.iter());
+        let device = if self.config.use_gpu && self.config.platform.has_gpu() {
+            self.config.platform.gpu.clone().expect("checked")
+        } else {
+            self.config.platform.cpu.clone()
+        };
+        let results = registry.iter().map(|r| registry.evaluate(r, &device)).collect();
+        Ok((registry, results))
+    }
+
+    /// Emits the three §3.2.4 reports for every selected model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph-construction errors.
+    pub fn reports(
+        &self,
+    ) -> Result<Vec<(PerformanceReport, WorkloadReport, NonGemmReport)>, TensorError> {
+        let graphs = self.build_graphs()?;
+        let profiles = self.run_end_to_end()?;
+        Ok(graphs
+            .iter()
+            .zip(&profiles)
+            .map(|(g, p)| {
+                (
+                    PerformanceReport::from_profile(p),
+                    WorkloadReport::from_graph(g),
+                    NonGemmReport::from_graph(g),
+                )
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_selects_all_models() {
+        let b = NonGemmBench::new(BenchConfig::default());
+        assert_eq!(b.selected_models().len(), 18);
+    }
+
+    #[test]
+    fn named_selection() {
+        let b = NonGemmBench::new(BenchConfig {
+            models: vec!["gpt2".into(), "vit-l".into()],
+            ..BenchConfig::default()
+        });
+        let sel = b.selected_models();
+        assert_eq!(sel.len(), 2);
+        assert!(sel.contains(&ModelId::Gpt2));
+        assert!(sel.contains(&ModelId::VitLarge16));
+    }
+
+    #[test]
+    fn end_to_end_and_reports() {
+        let b = NonGemmBench::new(BenchConfig {
+            models: vec!["gpt2".into()],
+            scale: Scale::Tiny,
+            ..BenchConfig::default()
+        });
+        let profiles = b.run_end_to_end().unwrap();
+        assert_eq!(profiles.len(), 1);
+        assert!(profiles[0].total_latency_s() > 0.0);
+        let reports = b.reports().unwrap();
+        assert_eq!(reports.len(), 1);
+        assert!(reports[0].0.latency_ms > 0.0);
+    }
+
+    #[test]
+    fn measured_flow_runs_tiny_models() {
+        let b = NonGemmBench::new(BenchConfig {
+            models: vec!["bert".into()],
+            scale: Scale::Tiny,
+            iterations: 1,
+            ..BenchConfig::default()
+        });
+        let p = b.run_measured().unwrap();
+        assert_eq!(p.len(), 1);
+        assert!(p[0].total_latency_s() > 0.0);
+    }
+
+    #[test]
+    fn microbench_flow_builds_registry() {
+        let b = NonGemmBench::new(BenchConfig {
+            models: vec!["gpt2".into(), "bert".into()],
+            scale: Scale::Tiny,
+            ..BenchConfig::default()
+        });
+        let (reg, results) = b.run_microbench().unwrap();
+        assert!(!reg.is_empty());
+        assert_eq!(reg.len(), results.len());
+    }
+}

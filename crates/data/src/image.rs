@@ -1,0 +1,201 @@
+//! Synthetic image datasets and the image-preprocessing pipeline.
+
+use ngb_tensor::random::TensorRng;
+use ngb_tensor::Tensor;
+
+use crate::Result;
+
+/// A deterministic ImageNet-like source: every sample is a smooth random
+/// field at a raw resolution that the [`Preprocessor`] then rescales, so
+/// profiling runs include the same preprocessing work as the paper's.
+#[derive(Debug, Clone)]
+pub struct ImageNetSynthetic {
+    /// Raw capture resolution before preprocessing (ImageNet JPEGs average
+    /// ~400 px on the short side).
+    pub raw_resolution: usize,
+    /// Dataset seed.
+    pub seed: u64,
+}
+
+impl Default for ImageNetSynthetic {
+    fn default() -> Self {
+        ImageNetSynthetic { raw_resolution: 256, seed: 0xda7a }
+    }
+}
+
+impl ImageNetSynthetic {
+    /// Creates a source producing `raw_resolution²` RGB images.
+    pub fn new(raw_resolution: usize, seed: u64) -> Self {
+        ImageNetSynthetic { raw_resolution, seed }
+    }
+
+    /// The `index`-th raw image, `[3, R, R]` with values in `[0, 1)`.
+    pub fn sample(&self, index: usize) -> Tensor {
+        let mut rng = TensorRng::seed(self.seed.wrapping_add(index as u64));
+        // low-frequency base + pixel noise gives natural-image-like stats
+        let base = rng.uniform(&[3, 8, 8], 0.0, 1.0);
+        let noise = rng.uniform(&[3, self.raw_resolution, self.raw_resolution], 0.0, 0.15);
+        let up = ngb_ops::interpolate::interpolate_bilinear(
+            &base.unsqueeze(0).expect("rank ok"),
+            self.raw_resolution,
+            self.raw_resolution,
+        )
+        .expect("valid resize")
+        .squeeze(0)
+        .expect("batch dim");
+        up.zip_map(&noise, |a, b| (a + b).clamp(0.0, 1.0)).expect("same shape")
+    }
+}
+
+/// A COCO-like detection sample: an image plus ground-truth boxes.
+#[derive(Debug, Clone)]
+pub struct CocoSample {
+    /// RGB image `[3, R, R]`.
+    pub image: Tensor,
+    /// Boxes `[N, 4]` in corner format within the image bounds.
+    pub boxes: Tensor,
+}
+
+/// A deterministic COCO-like source (images + object boxes); detection
+/// scenes average ~7 objects, which drives the NMS workload size.
+#[derive(Debug, Clone)]
+pub struct CocoSynthetic {
+    /// Raw resolution.
+    pub raw_resolution: usize,
+    /// Mean objects per image.
+    pub objects: usize,
+    /// Dataset seed.
+    pub seed: u64,
+}
+
+impl Default for CocoSynthetic {
+    fn default() -> Self {
+        CocoSynthetic { raw_resolution: 320, objects: 7, seed: 0xc0c0 }
+    }
+}
+
+impl CocoSynthetic {
+    /// The `index`-th sample.
+    pub fn sample(&self, index: usize) -> CocoSample {
+        let image = ImageNetSynthetic::new(self.raw_resolution, self.seed ^ 0x1111)
+            .sample(index);
+        let mut rng = TensorRng::seed(self.seed.wrapping_add(index as u64) ^ 0xb0b0);
+        let n = 1 + (index + self.objects) % (2 * self.objects);
+        let r = self.raw_resolution as f32;
+        let xy = rng.uniform(&[n, 2], 0.0, r * 0.7);
+        let wh = rng.uniform(&[n, 2], r * 0.05, r * 0.3);
+        let mut v = Vec::with_capacity(n * 4);
+        for i in 0..n {
+            let (x, y) = (xy.at(&[i, 0]).expect("in range"), xy.at(&[i, 1]).expect("in range"));
+            let (w, h) = (wh.at(&[i, 0]).expect("in range"), wh.at(&[i, 1]).expect("in range"));
+            v.extend_from_slice(&[x, y, (x + w).min(r), (y + h).min(r)]);
+        }
+        let boxes = Tensor::from_vec(v, &[n, 4]).expect("length matches");
+        CocoSample { image, boxes }
+    }
+}
+
+/// The model-side image preprocessing the paper's harness performs:
+/// bilinear rescale to the model resolution, then per-channel
+/// normalization with ImageNet statistics.
+#[derive(Debug, Clone)]
+pub struct Preprocessor {
+    /// Target (square) model resolution.
+    pub resolution: usize,
+}
+
+impl Preprocessor {
+    /// Creates a preprocessor targeting `resolution²`.
+    pub fn new(resolution: usize) -> Self {
+        Preprocessor { resolution }
+    }
+
+    /// Rescales and normalizes one raw image `[3, R, R]` → `[3, res, res]`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the input is not a `[3, H, W]` f32 tensor.
+    pub fn process(&self, raw: &Tensor) -> Result<Tensor> {
+        const MEAN: [f32; 3] = [0.485, 0.456, 0.406];
+        const STD: [f32; 3] = [0.229, 0.224, 0.225];
+        let resized = ngb_ops::interpolate::interpolate_bilinear(
+            &raw.unsqueeze(0)?,
+            self.resolution,
+            self.resolution,
+        )?
+        .squeeze(0)?;
+        let mean = Tensor::from_vec(MEAN.to_vec(), &[3])?.reshape(&[3, 1, 1])?;
+        let std = Tensor::from_vec(STD.to_vec(), &[3])?.reshape(&[3, 1, 1])?;
+        let centered = resized.zip_map(&mean, |a, m| a - m)?;
+        centered.zip_map(&std, |a, s| a / s)
+    }
+
+    /// Processes and stacks `count` samples into a batch `[count, 3, r, r]`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-sample preprocessing errors.
+    pub fn batch(&self, source: &ImageNetSynthetic, count: usize) -> Result<Tensor> {
+        let processed: Result<Vec<Tensor>> =
+            (0..count).map(|i| self.process(&source.sample(i))).collect();
+        Tensor::stack(&processed?, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_are_deterministic_and_distinct() {
+        let ds = ImageNetSynthetic::default();
+        let a = ds.sample(0);
+        let b = ds.sample(0);
+        let c = ds.sample(1);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.shape(), &[3, 256, 256]);
+        assert!(a.to_vec_f32().unwrap().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn preprocess_resizes_and_normalizes() {
+        let ds = ImageNetSynthetic::new(64, 1);
+        let p = Preprocessor::new(32);
+        let out = p.process(&ds.sample(3)).unwrap();
+        assert_eq!(out.shape(), &[3, 32, 32]);
+        // normalized values leave [0, 1]
+        let v = out.to_vec_f32().unwrap();
+        assert!(v.iter().any(|&x| x < 0.0) || v.iter().any(|&x| x > 1.0));
+    }
+
+    #[test]
+    fn batch_stacks() {
+        let ds = ImageNetSynthetic::new(48, 2);
+        let b = Preprocessor::new(24).batch(&ds, 4).unwrap();
+        assert_eq!(b.shape(), &[4, 3, 24, 24]);
+    }
+
+    #[test]
+    fn coco_boxes_in_bounds() {
+        let ds = CocoSynthetic::default();
+        for i in 0..5 {
+            let s = ds.sample(i);
+            assert_eq!(s.image.shape(), &[3, 320, 320]);
+            let b = s.boxes.to_vec_f32().unwrap();
+            assert!(s.boxes.shape()[0] >= 1);
+            for bx in b.chunks(4) {
+                assert!(bx[0] <= bx[2] && bx[1] <= bx[3]);
+                assert!(bx[2] <= 320.0 && bx[3] <= 320.0);
+            }
+        }
+    }
+
+    #[test]
+    fn coco_object_count_varies() {
+        let ds = CocoSynthetic::default();
+        let counts: std::collections::BTreeSet<usize> =
+            (0..8).map(|i| ds.sample(i).boxes.shape()[0]).collect();
+        assert!(counts.len() > 2);
+    }
+}

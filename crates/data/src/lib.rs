@@ -1,0 +1,19 @@
+//! # ngb-data
+//!
+//! Synthetic stand-ins for the paper's datasets (Table 1): ImageNet-2012,
+//! MS-COCO, and wikitext. The environment has none of the real corpora, so
+//! each generator produces deterministic samples with the *properties the
+//! study depends on* — input resolutions, box counts, and token-sequence
+//! lengths — plus the preprocessing steps the paper's harness applies
+//! (rescale to model resolution, tokenize, batch) so the data-preprocessing
+//! code path is exercised end to end. See DESIGN.md §2 for the
+//! substitution rationale.
+
+mod image;
+mod text;
+
+pub use image::{CocoSample, CocoSynthetic, ImageNetSynthetic, Preprocessor};
+pub use text::{Tokenizer, WikitextSynthetic};
+
+/// Result alias shared by the dataset generators.
+pub type Result<T> = std::result::Result<T, ngb_tensor::TensorError>;

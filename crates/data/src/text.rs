@@ -1,0 +1,175 @@
+//! Synthetic wikitext-like corpus and a deterministic tokenizer.
+
+use ngb_tensor::Tensor;
+
+use crate::Result;
+
+/// A deterministic wikitext-like corpus: sentences assembled from a fixed
+/// function-word skeleton plus content words drawn from a Zipf-ish
+/// distribution, mirroring the length statistics language-model profiling
+/// depends on. Empty lines occur (as in real wikitext) so the paper's
+/// "remove empty sequences" cleaning step has work to do.
+#[derive(Debug, Clone)]
+pub struct WikitextSynthetic {
+    /// Corpus seed.
+    pub seed: u64,
+}
+
+impl Default for WikitextSynthetic {
+    fn default() -> Self {
+        WikitextSynthetic { seed: 0x7e97 }
+    }
+}
+
+const FUNCTION_WORDS: [&str; 12] =
+    ["the", "of", "and", "in", "to", "a", "was", "is", "for", "on", "as", "with"];
+const CONTENT_WORDS: [&str; 24] = [
+    "system", "network", "model", "history", "village", "energy", "river", "music", "species",
+    "game", "century", "battle", "engine", "album", "language", "station", "theory", "region",
+    "processor", "matrix", "kernel", "memory", "tensor", "operator",
+];
+
+impl WikitextSynthetic {
+    /// Creates a corpus from `seed`.
+    pub fn new(seed: u64) -> Self {
+        WikitextSynthetic { seed }
+    }
+
+    /// The `index`-th line; roughly one in eight lines is empty.
+    pub fn line(&self, index: usize) -> String {
+        let mut state = self.seed.wrapping_add(index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        if next() % 8 == 0 {
+            return String::new();
+        }
+        let len = 6 + (next() % 18) as usize;
+        let mut words = Vec::with_capacity(len);
+        for w in 0..len {
+            if w % 2 == 0 {
+                words.push(FUNCTION_WORDS[(next() % FUNCTION_WORDS.len() as u64) as usize]);
+            } else {
+                // square a uniform draw for a head-heavy (Zipf-ish) pick
+                let u = (next() % 1000) as f64 / 1000.0;
+                let idx = ((u * u) * CONTENT_WORDS.len() as f64) as usize;
+                words.push(CONTENT_WORDS[idx.min(CONTENT_WORDS.len() - 1)]);
+            }
+        }
+        words.join(" ")
+    }
+
+    /// The first `count` non-empty lines (the paper's data cleaning step).
+    pub fn clean_lines(&self, count: usize) -> Vec<String> {
+        (0..).map(|i| self.line(i)).filter(|l| !l.is_empty()).take(count).collect()
+    }
+}
+
+/// A deterministic word-level tokenizer with a hash vocabulary, standing in
+/// for BPE: stable ids, bounded vocabulary, padding and truncation.
+#[derive(Debug, Clone)]
+pub struct Tokenizer {
+    /// Vocabulary size (ids are in `0..vocab`).
+    pub vocab: usize,
+    /// Padding token id (0).
+    pub pad_id: i64,
+}
+
+impl Tokenizer {
+    /// Creates a tokenizer over `vocab` ids.
+    pub fn new(vocab: usize) -> Tokenizer {
+        Tokenizer { vocab, pad_id: 0 }
+    }
+
+    /// Token ids of `text` (whitespace split, hashed into `1..vocab`).
+    pub fn encode(&self, text: &str) -> Vec<i64> {
+        text.split_whitespace()
+            .map(|w| {
+                let mut h = 0xcbf2_9ce4_8422_2325u64;
+                for b in w.bytes() {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x1000_0000_01b3);
+                }
+                (1 + (h % (self.vocab as u64 - 1))) as i64
+            })
+            .collect()
+    }
+
+    /// Encodes a batch of lines into a `[batch, seq]` i64 tensor with
+    /// truncation and right-padding.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `lines` is empty or `seq` is zero.
+    pub fn encode_batch(&self, lines: &[String], seq: usize) -> Result<Tensor> {
+        if lines.is_empty() || seq == 0 {
+            return Err(ngb_tensor::TensorError::InvalidArgument(
+                "encode_batch requires lines and a nonzero sequence length".into(),
+            ));
+        }
+        let mut data = Vec::with_capacity(lines.len() * seq);
+        for line in lines {
+            let mut ids = self.encode(line);
+            ids.truncate(seq);
+            ids.resize(seq, self.pad_id);
+            data.extend_from_slice(&ids);
+        }
+        Tensor::from_i64(data, &[lines.len(), seq])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic_with_empty_lines() {
+        let c = WikitextSynthetic::default();
+        assert_eq!(c.line(5), c.line(5));
+        let empties = (0..200).filter(|&i| c.line(i).is_empty()).count();
+        assert!(empties > 5 && empties < 80, "{empties}");
+    }
+
+    #[test]
+    fn clean_lines_removes_empties() {
+        let c = WikitextSynthetic::default();
+        let lines = c.clean_lines(50);
+        assert_eq!(lines.len(), 50);
+        assert!(lines.iter().all(|l| !l.is_empty()));
+    }
+
+    #[test]
+    fn tokenizer_is_stable_and_bounded() {
+        let t = Tokenizer::new(100);
+        let a = t.encode("the memory system");
+        let b = t.encode("the memory system");
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        assert!(a.iter().all(|&id| (1..100).contains(&id)));
+        // same word -> same id
+        let c = t.encode("memory memory");
+        assert_eq!(c[0], c[1]);
+    }
+
+    #[test]
+    fn batch_pads_and_truncates() {
+        let t = Tokenizer::new(50);
+        let lines = vec!["one two".to_string(), "a b c d e f g h".to_string()];
+        let batch = t.encode_batch(&lines, 4).unwrap();
+        assert_eq!(batch.shape(), &[2, 4]);
+        assert_eq!(batch.at_i64(&[0, 2]).unwrap(), 0); // padded
+        assert_ne!(batch.at_i64(&[1, 3]).unwrap(), 0); // truncated, not padded
+        assert!(t.encode_batch(&[], 4).is_err());
+    }
+
+    #[test]
+    fn corpus_lengths_vary() {
+        let c = WikitextSynthetic::new(1);
+        let lens: std::collections::BTreeSet<usize> =
+            c.clean_lines(30).iter().map(|l| l.split_whitespace().count()).collect();
+        assert!(lens.len() > 5);
+    }
+}

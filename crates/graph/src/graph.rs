@@ -1,0 +1,371 @@
+//! The operator graph IR and its builder.
+
+use serde::{Deserialize, Serialize};
+
+use ngb_tensor::TensorError;
+
+use crate::infer::{infer_shape, op_cost};
+use crate::op::{NonGemmGroup, OpClass, OpKind};
+
+/// Identifier of a node within one [`Graph`] (its topological position).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+/// One operator invocation in the graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// This node's id (== its index in [`Graph::nodes`]).
+    pub id: NodeId,
+    /// The operator.
+    pub op: OpKind,
+    /// Producer nodes, in argument order.
+    pub inputs: Vec<NodeId>,
+    /// Statically inferred output shape.
+    pub out_shape: Vec<usize>,
+    /// Dotted scope name (e.g. `"encoder.3.attn.softmax"`).
+    pub name: String,
+}
+
+impl Node {
+    /// GEMM / non-GEMM classification.
+    pub fn class(&self) -> OpClass {
+        self.op.class()
+    }
+}
+
+/// A topologically ordered operator graph for one model at one input
+/// configuration (shapes are concrete, like a `torch.fx` trace).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Graph {
+    /// Nodes in topological (construction) order.
+    pub nodes: Vec<Node>,
+    /// Human-readable model name.
+    pub name: String,
+}
+
+impl Graph {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node with `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is out of range (ids are only minted by the builder,
+    /// so this indicates a cross-graph mix-up).
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Iterates nodes in topological order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Node> {
+        self.nodes.iter()
+    }
+
+    /// Validates structural invariants: ids match positions and every input
+    /// precedes its consumer.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, node) in self.nodes.iter().enumerate() {
+            if node.id.0 != i {
+                return Err(format!("node at position {i} has id {}", node.id));
+            }
+            for &inp in &node.inputs {
+                if inp.0 >= i {
+                    return Err(format!("node {} consumes later node {inp}", node.id));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total learned parameters across all nodes.
+    pub fn param_count(&self) -> usize {
+        self.nodes.iter().map(|n| n.op.param_count()).sum()
+    }
+
+    /// Number of GEMM-classified nodes.
+    pub fn gemm_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.class().is_gemm()).count()
+    }
+
+    /// Number of non-GEMM nodes in `group`.
+    pub fn group_count(&self, group: NonGemmGroup) -> usize {
+        self.nodes.iter().filter(|n| n.class().group() == Some(group)).count()
+    }
+
+    /// Device-independent cost of node `id` given the current static shapes.
+    pub fn node_cost(&self, id: NodeId) -> ngb_ops::OpCost {
+        let node = self.node(id);
+        let input_shapes: Vec<Vec<usize>> =
+            node.inputs.iter().map(|&i| self.node(i).out_shape.clone()).collect();
+        op_cost(&node.op, &input_shapes, &node.out_shape)
+    }
+
+    /// Histogram of operator names to occurrence counts.
+    pub fn op_histogram(&self) -> std::collections::BTreeMap<&'static str, usize> {
+        let mut h = std::collections::BTreeMap::new();
+        for n in &self.nodes {
+            *h.entry(n.op.name()).or_insert(0) += 1;
+        }
+        h
+    }
+
+    /// Estimated peak activation memory in bytes: the high-water mark of a
+    /// linear scan holding each node's output until its last consumer.
+    pub fn peak_activation_bytes(&self) -> usize {
+        let mut last_use = vec![0usize; self.nodes.len()];
+        for node in &self.nodes {
+            for &inp in &node.inputs {
+                last_use[inp.0] = node.id.0;
+            }
+        }
+        let mut live = 0usize;
+        let mut peak = 0usize;
+        let mut release_at: std::collections::BTreeMap<usize, usize> = Default::default();
+        for (i, node) in self.nodes.iter().enumerate() {
+            // release tensors whose last use has passed
+            let expired: Vec<usize> = release_at.range(..=i).map(|(&k, _)| k).collect();
+            for k in expired {
+                live -= release_at.remove(&k).expect("present");
+            }
+            let bytes = ngb_tensor::num_elements(&node.out_shape) * 4;
+            live += bytes;
+            peak = peak.max(live);
+            let lu = last_use[i].max(i);
+            *release_at.entry(lu + 1).or_insert(0) += bytes;
+        }
+        peak
+    }
+}
+
+impl<'a> IntoIterator for &'a Graph {
+    type Item = &'a Node;
+    type IntoIter = std::slice::Iter<'a, Node>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.nodes.iter()
+    }
+}
+
+/// Incrementally builds a valid [`Graph`], inferring every output shape.
+///
+/// # Examples
+///
+/// ```
+/// use ngb_graph::{GraphBuilder, OpKind};
+///
+/// # fn main() -> Result<(), ngb_tensor::TensorError> {
+/// let mut b = GraphBuilder::new("toy");
+/// let x = b.input(&[1, 8]);
+/// let h = b.push(OpKind::Linear { in_f: 8, out_f: 4, bias: true }, &[x], "fc")?;
+/// let y = b.push(OpKind::Relu, &[h], "act")?;
+/// let g = b.finish();
+/// assert_eq!(g.node(y).out_shape, vec![1, 4]);
+/// assert!(g.validate().is_ok());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct GraphBuilder {
+    graph: Graph,
+    scope: Vec<String>,
+}
+
+impl GraphBuilder {
+    /// Starts a new graph named `name`.
+    pub fn new(name: impl Into<String>) -> GraphBuilder {
+        GraphBuilder { graph: Graph { nodes: Vec::new(), name: name.into() }, scope: Vec::new() }
+    }
+
+    /// Pushes a scope segment; subsequent node names are prefixed with it.
+    pub fn enter_scope(&mut self, segment: impl Into<String>) -> &mut Self {
+        self.scope.push(segment.into());
+        self
+    }
+
+    /// Pops the innermost scope segment.
+    pub fn exit_scope(&mut self) -> &mut Self {
+        self.scope.pop();
+        self
+    }
+
+    fn scoped(&self, name: &str) -> String {
+        if self.scope.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}.{}", self.scope.join("."), name)
+        }
+    }
+
+    /// Adds an f32 activation input of `shape`.
+    pub fn input(&mut self, shape: &[usize]) -> NodeId {
+        let id = NodeId(self.graph.nodes.len());
+        self.graph.nodes.push(Node {
+            id,
+            op: OpKind::Input,
+            inputs: Vec::new(),
+            out_shape: shape.to_vec(),
+            name: self.scoped("input"),
+        });
+        id
+    }
+
+    /// Adds an i64 token-id input of `shape` over a vocabulary of `vocab`.
+    pub fn input_ids(&mut self, shape: &[usize], vocab: usize) -> NodeId {
+        let id = NodeId(self.graph.nodes.len());
+        self.graph.nodes.push(Node {
+            id,
+            op: OpKind::InputIds { vocab },
+            inputs: Vec::new(),
+            out_shape: shape.to_vec(),
+            name: self.scoped("input_ids"),
+        });
+        id
+    }
+
+    /// Adds an operator node consuming `inputs`, inferring its output shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns the shape-inference error when the operator is incompatible
+    /// with its input shapes.
+    pub fn push(
+        &mut self,
+        op: OpKind,
+        inputs: &[NodeId],
+        name: &str,
+    ) -> Result<NodeId, TensorError> {
+        let input_shapes: Vec<Vec<usize>> = inputs
+            .iter()
+            .map(|&i| {
+                self.graph
+                    .nodes
+                    .get(i.0)
+                    .map(|n| n.out_shape.clone())
+                    .ok_or(TensorError::InvalidArgument(format!("unknown input node {i}")))
+            })
+            .collect::<Result<_, _>>()?;
+        let out_shape = infer_shape(&op, &input_shapes)?;
+        let id = NodeId(self.graph.nodes.len());
+        self.graph.nodes.push(Node {
+            id,
+            op,
+            inputs: inputs.to_vec(),
+            out_shape,
+            name: self.scoped(name),
+        });
+        Ok(id)
+    }
+
+    /// Current output shape of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` was not minted by this builder.
+    pub fn shape(&self, id: NodeId) -> &[usize] {
+        &self.graph.nodes[id.0].out_shape
+    }
+
+    /// Finishes construction, returning the graph.
+    pub fn finish(self) -> Graph {
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Graph {
+        let mut b = GraphBuilder::new("toy");
+        let x = b.input(&[1, 8]);
+        b.enter_scope("block");
+        let h = b.push(OpKind::Linear { in_f: 8, out_f: 8, bias: true }, &[x], "fc").unwrap();
+        let a = b.push(OpKind::Relu, &[h], "act").unwrap();
+        let s = b.push(OpKind::Add, &[a, x], "residual").unwrap();
+        b.exit_scope();
+        b.push(OpKind::Softmax { dim: 1 }, &[s], "head").unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn builder_produces_valid_graph() {
+        let g = toy();
+        assert_eq!(g.len(), 5);
+        assert!(g.validate().is_ok());
+        assert_eq!(g.node(NodeId(1)).name, "block.fc");
+        assert_eq!(g.node(NodeId(4)).name, "head");
+    }
+
+    #[test]
+    fn shape_inference_errors_propagate() {
+        let mut b = GraphBuilder::new("bad");
+        let x = b.input(&[1, 8]);
+        assert!(b.push(OpKind::Linear { in_f: 9, out_f: 4, bias: false }, &[x], "fc").is_err());
+        assert!(b.push(OpKind::Relu, &[NodeId(99)], "oops").is_err());
+    }
+
+    #[test]
+    fn counts_and_histogram() {
+        let g = toy();
+        assert_eq!(g.gemm_count(), 1);
+        assert_eq!(g.group_count(NonGemmGroup::Activation), 1);
+        assert_eq!(g.group_count(NonGemmGroup::Arithmetic), 1);
+        assert_eq!(g.group_count(NonGemmGroup::LogitComputation), 1);
+        assert_eq!(g.op_histogram()["linear"], 1);
+        assert_eq!(g.param_count(), 8 * 8 + 8);
+    }
+
+    #[test]
+    fn node_cost_uses_shapes() {
+        let g = toy();
+        let c = g.node_cost(NodeId(1));
+        assert!(c.flops >= 2.0 * 8.0 * 8.0);
+        assert_eq!(g.node_cost(NodeId(0)).kernels, 0);
+    }
+
+    #[test]
+    fn validate_detects_corruption() {
+        let mut g = toy();
+        g.nodes[2].inputs = vec![NodeId(4)];
+        assert!(g.validate().is_err());
+        let mut g2 = toy();
+        g2.nodes[1].id = NodeId(7);
+        assert!(g2.validate().is_err());
+    }
+
+    #[test]
+    fn peak_memory_positive_and_bounded() {
+        let g = toy();
+        let peak = g.peak_activation_bytes();
+        let total: usize =
+            g.iter().map(|n| ngb_tensor::num_elements(&n.out_shape) * 4).sum();
+        assert!(peak > 0 && peak <= total);
+    }
+
+    #[test]
+    fn graph_serializes() {
+        let g = toy();
+        let js = serde_json::to_string(&g).unwrap();
+        let back: Graph = serde_json::from_str(&js).unwrap();
+        assert_eq!(back.len(), g.len());
+        assert_eq!(back.node(NodeId(1)).op, g.node(NodeId(1)).op);
+    }
+}

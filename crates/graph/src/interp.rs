@@ -1,0 +1,421 @@
+//! Graph interpreter: executes an operator graph on real tensors.
+//!
+//! Weights are materialized lazily from a seeded RNG keyed by node id, so a
+//! graph is a complete, reproducible executable artifact. The interpreter
+//! also records per-node wall-clock time, which is the *measured* (host
+//! CPU) profiling mode of the benchmark.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use ngb_tensor::random::TensorRng;
+use ngb_tensor::{Tensor, TensorError};
+
+use crate::graph::{Graph, Node, NodeId};
+use crate::op::OpKind;
+
+/// Per-node record of one executed inference.
+#[derive(Debug, Clone)]
+pub struct NodeTiming {
+    /// Executed node.
+    pub id: NodeId,
+    /// Wall-clock execution time of the kernel on the host.
+    pub elapsed: Duration,
+    /// Actual output shape (may differ from the static shape after dynamic
+    /// ops like NMS).
+    pub out_shape: Vec<usize>,
+}
+
+/// Result of executing a graph.
+#[derive(Debug)]
+pub struct ExecutionTrace {
+    /// Values of the graph's terminal nodes (no consumers), in id order.
+    pub outputs: Vec<(NodeId, Tensor)>,
+    /// Per-node timings in execution order.
+    pub timings: Vec<NodeTiming>,
+}
+
+impl ExecutionTrace {
+    /// Total measured execution time.
+    pub fn total_time(&self) -> Duration {
+        self.timings.iter().map(|t| t.elapsed).sum()
+    }
+}
+
+/// Executes graphs with reproducible synthetic weights.
+#[derive(Debug)]
+pub struct Interpreter {
+    seed: u64,
+}
+
+impl Default for Interpreter {
+    fn default() -> Self {
+        Interpreter::new(0x5eed)
+    }
+}
+
+impl Interpreter {
+    /// Creates an interpreter whose weights derive from `seed`.
+    pub fn new(seed: u64) -> Interpreter {
+        Interpreter { seed }
+    }
+
+    fn rng_for(&self, node: NodeId) -> TensorRng {
+        TensorRng::seed(self.seed ^ ((node.0 as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+    }
+
+    /// Generates a synthetic input tensor for an input node.
+    fn make_input(&self, node: &Node) -> Tensor {
+        let mut rng = self.rng_for(node.id);
+        match &node.op {
+            OpKind::InputIds { vocab } => {
+                rng.uniform_i64(&node.out_shape, 0, (*vocab).max(1) as i64)
+            }
+            _ => rng.uniform(&node.out_shape, -1.0, 1.0),
+        }
+    }
+
+    /// Runs the graph end to end with synthetic inputs, timing every node.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any kernel error (a structurally valid graph built through
+    /// [`crate::GraphBuilder`] executes without error).
+    pub fn run(&self, graph: &Graph) -> Result<ExecutionTrace, TensorError> {
+        self.run_with_inputs(graph, &HashMap::new())
+    }
+
+    /// Runs the graph, overriding selected input nodes with caller-provided
+    /// tensors (e.g. preprocessed dataset samples).
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors, including shape mismatches from overridden
+    /// inputs.
+    pub fn run_with_inputs(
+        &self,
+        graph: &Graph,
+        inputs: &HashMap<NodeId, Tensor>,
+    ) -> Result<ExecutionTrace, TensorError> {
+        let mut values: Vec<Option<Tensor>> = vec![None; graph.len()];
+        let mut timings = Vec::with_capacity(graph.len());
+        let mut consumed = vec![false; graph.len()];
+        for node in graph.iter() {
+            for &i in &node.inputs {
+                consumed[i.0] = true;
+            }
+        }
+        for node in graph.iter() {
+            let start = Instant::now();
+            let out = self.execute_node(node, &values, inputs)?;
+            let elapsed = start.elapsed();
+            timings.push(NodeTiming { id: node.id, elapsed, out_shape: out.shape().to_vec() });
+            values[node.id.0] = Some(out);
+        }
+        let outputs = graph
+            .iter()
+            .filter(|n| !consumed[n.id.0])
+            .map(|n| (n.id, values[n.id.0].clone().expect("executed")))
+            .collect();
+        Ok(ExecutionTrace { outputs, timings })
+    }
+
+    fn execute_node(
+        &self,
+        node: &Node,
+        values: &[Option<Tensor>],
+        overrides: &HashMap<NodeId, Tensor>,
+    ) -> Result<Tensor, TensorError> {
+        let arg = |i: usize| -> Result<&Tensor, TensorError> {
+            node.inputs
+                .get(i)
+                .and_then(|id| values[id.0].as_ref())
+                .ok_or_else(|| TensorError::InvalidArgument(format!("missing input {i}")))
+        };
+        let mut rng = self.rng_for(node.id);
+        match &node.op {
+            OpKind::Input | OpKind::InputIds { .. } => Ok(overrides
+                .get(&node.id)
+                .cloned()
+                .unwrap_or_else(|| self.make_input(node))),
+
+            OpKind::Linear { in_f, out_f, bias } => {
+                let w = rng.kaiming(&[*out_f, *in_f], *in_f);
+                let b = bias.then(|| rng.normal(&[*out_f]));
+                ngb_ops::gemm::linear(arg(0)?, &w, b.as_ref())
+            }
+            OpKind::Conv1dGpt2 { in_f, out_f } => {
+                let w = rng.kaiming(&[*in_f, *out_f], *in_f);
+                let b = rng.normal(&[*out_f]);
+                ngb_ops::gemm::conv1d_gpt2(arg(0)?, &w, Some(&b))
+            }
+            OpKind::Conv2d { in_c, out_c, kernel, stride, padding, groups, bias } => {
+                let fan_in = (in_c / groups) * kernel * kernel;
+                let w = rng.kaiming(&[*out_c, in_c / groups, *kernel, *kernel], fan_in.max(1));
+                let b = bias.then(|| rng.normal(&[*out_c]));
+                ngb_ops::gemm::conv2d(arg(0)?, &w, b.as_ref(), *stride, *padding, *groups)
+            }
+            OpKind::Matmul => ngb_ops::gemm::matmul(arg(0)?, arg(1)?),
+            OpKind::Bmm => ngb_ops::gemm::bmm(arg(0)?, arg(1)?),
+
+            OpKind::Relu => ngb_ops::activation::relu(arg(0)?),
+            OpKind::Relu6 => ngb_ops::activation::relu6(arg(0)?),
+            OpKind::Gelu => ngb_ops::activation::gelu(arg(0)?),
+            OpKind::GeluTanh => ngb_ops::activation::gelu_tanh(arg(0)?),
+            OpKind::NewGelu => ngb_ops::activation::new_gelu(arg(0)?),
+            OpKind::Silu => ngb_ops::activation::silu(arg(0)?),
+            OpKind::Sigmoid => ngb_ops::activation::sigmoid(arg(0)?),
+            OpKind::Hardswish => ngb_ops::activation::hardswish(arg(0)?),
+
+            OpKind::LayerNorm { dim } => {
+                let g = rng.uniform(&[*dim], 0.9, 1.1);
+                let b = rng.uniform(&[*dim], -0.1, 0.1);
+                ngb_ops::normalization::layer_norm(arg(0)?, &g, &b, 1e-5)
+            }
+            OpKind::RmsNorm { dim } => {
+                let g = rng.uniform(&[*dim], 0.9, 1.1);
+                ngb_ops::normalization::rms_norm(arg(0)?, &g, 1e-6)
+            }
+            OpKind::LlamaRmsNorm { dim } => {
+                let g = rng.uniform(&[*dim], 0.9, 1.1);
+                ngb_ops::normalization::llama_rms_norm(arg(0)?, &g, 1e-6)
+            }
+            OpKind::BatchNorm2d { c } => {
+                let (g, b) = (rng.uniform(&[*c], 0.9, 1.1), rng.uniform(&[*c], -0.1, 0.1));
+                let (m, v) = (rng.uniform(&[*c], -0.1, 0.1), rng.uniform(&[*c], 0.8, 1.2));
+                ngb_ops::normalization::batch_norm2d(arg(0)?, &g, &b, &m, &v, 1e-5)
+            }
+            OpKind::FrozenBatchNorm2d { c } => {
+                let (g, b) = (rng.uniform(&[*c], 0.9, 1.1), rng.uniform(&[*c], -0.1, 0.1));
+                let (m, v) = (rng.uniform(&[*c], -0.1, 0.1), rng.uniform(&[*c], 0.8, 1.2));
+                ngb_ops::normalization::frozen_batch_norm2d(arg(0)?, &g, &b, &m, &v, 1e-5)
+            }
+            OpKind::GroupNorm { groups, c } => {
+                let (g, b) = (rng.uniform(&[*c], 0.9, 1.1), rng.uniform(&[*c], -0.1, 0.1));
+                ngb_ops::normalization::group_norm(arg(0)?, *groups, &g, &b, 1e-5)
+            }
+
+            OpKind::Reshape { shape } => arg(0)?.reshape(&resolve(shape, arg(0)?.numel())),
+            OpKind::View { shape } => {
+                // views on non-contiguous values fall back to reshape; real
+                // models insert `.contiguous()` where PyTorch requires it,
+                // and the runtime cost model charges that there.
+                arg(0)?.reshape(&resolve(shape, arg(0)?.numel()))
+            }
+            OpKind::Permute { perm } => arg(0)?.permute(perm),
+            OpKind::Transpose { d0, d1 } => arg(0)?.transpose(*d0 as isize, *d1 as isize),
+            OpKind::Contiguous => Ok(arg(0)?.contiguous()),
+            OpKind::Expand { shape } => arg(0)?.expand(shape),
+            OpKind::Squeeze { dim } => arg(0)?.squeeze(*dim as isize),
+            OpKind::Unsqueeze { dim } => arg(0)?.unsqueeze(*dim),
+            OpKind::Slice { dim, start, len } => arg(0)?.narrow(*dim, *start, *len),
+            OpKind::Roll { shift, dim } => ngb_ops::memory::roll(arg(0)?, *shift, *dim),
+            OpKind::Cat { dim } => {
+                let tensors: Vec<Tensor> = node
+                    .inputs
+                    .iter()
+                    .map(|id| values[id.0].clone().expect("executed"))
+                    .collect();
+                Tensor::cat(&tensors, *dim)
+            }
+
+            OpKind::Add => ngb_ops::arithmetic::add(arg(0)?, arg(1)?),
+            OpKind::Sub => ngb_ops::arithmetic::sub(arg(0)?, arg(1)?),
+            OpKind::Mul => ngb_ops::arithmetic::mul(arg(0)?, arg(1)?),
+            OpKind::Div => ngb_ops::arithmetic::div(arg(0)?, arg(1)?),
+            OpKind::Neg => ngb_ops::arithmetic::neg(arg(0)?),
+            OpKind::AddScalar(s) => ngb_ops::arithmetic::add_scalar(arg(0)?, *s),
+            OpKind::MulScalar(s) => ngb_ops::arithmetic::mul_scalar(arg(0)?, *s),
+            OpKind::DivScalar(s) => ngb_ops::arithmetic::div_scalar(arg(0)?, *s),
+            OpKind::PowScalar(e) => ngb_ops::arithmetic::pow_scalar(arg(0)?, *e),
+            OpKind::Sqrt => ngb_ops::arithmetic::sqrt(arg(0)?),
+            OpKind::MeanDim { dim, keepdim } => {
+                ngb_ops::arithmetic::mean_dim(arg(0)?, *dim, *keepdim)
+            }
+            OpKind::CausalMask => causal_mask(arg(0)?),
+
+            OpKind::Softmax { dim } => ngb_ops::logit::softmax(arg(0)?, *dim),
+            OpKind::LogSoftmax { dim } => ngb_ops::logit::log_softmax(arg(0)?, *dim),
+
+            OpKind::MaxPool2d { kernel, stride, padding } => {
+                ngb_ops::pooling::max_pool2d(arg(0)?, *kernel, *stride, *padding)
+            }
+            OpKind::AvgPool2d { kernel, stride, padding } => {
+                ngb_ops::pooling::avg_pool2d(arg(0)?, *kernel, *stride, *padding)
+            }
+            OpKind::AdaptiveAvgPool2d { oh, ow } => {
+                ngb_ops::pooling::adaptive_avg_pool2d(arg(0)?, *oh, *ow)
+            }
+
+            OpKind::Nms { iou_threshold, .. } => {
+                let boxes = arg(0)?;
+                let scores = if node.inputs.len() > 1 {
+                    arg(1)?.clone()
+                } else {
+                    rng.uniform(&[boxes.shape()[0]], 0.0, 1.0)
+                };
+                ngb_ops::roi::nms(boxes, &scores, *iou_threshold)
+            }
+            OpKind::RoiAlign { out, spatial_scale } => {
+                ngb_ops::roi::roi_align(arg(0)?, arg(1)?, *out, *spatial_scale)
+            }
+            OpKind::BoxConvert => ngb_ops::roi::box_cxcywh_to_xyxy(arg(0)?),
+
+            OpKind::InterpolateNearest { oh, ow } => {
+                ngb_ops::interpolate::interpolate_nearest(arg(0)?, *oh, *ow)
+            }
+            OpKind::InterpolateBilinear { oh, ow } => {
+                ngb_ops::interpolate::interpolate_bilinear(arg(0)?, *oh, *ow)
+            }
+
+            OpKind::Embedding { vocab, dim } => {
+                let table = rng.normal(&[*vocab, *dim]);
+                ngb_ops::embedding::embedding(&table, arg(0)?)
+            }
+
+            OpKind::Argmax { dim } => ngb_ops::reduction::argmax(arg(0)?, *dim),
+            OpKind::TopK { k } => ngb_ops::reduction::topk(arg(0)?, *k).map(|(v, _)| v),
+        }
+    }
+}
+
+fn resolve(shape: &[usize], numel: usize) -> Vec<usize> {
+    if shape.contains(&usize::MAX) {
+        let known: usize = shape.iter().filter(|&&d| d != usize::MAX).product();
+        shape
+            .iter()
+            .map(|&d| if d == usize::MAX { numel / known.max(1) } else { d })
+            .collect()
+    } else {
+        shape.to_vec()
+    }
+}
+
+/// Fills the strict upper triangle of the trailing `[T, T]` dims with a
+/// large negative value (causal attention masking).
+fn causal_mask(x: &Tensor) -> Result<Tensor, TensorError> {
+    let rank = x.rank();
+    if rank < 2 {
+        return Err(TensorError::InvalidArgument("causal mask requires rank >= 2".into()));
+    }
+    let (tq, tk) = (x.shape()[rank - 2], x.shape()[rank - 1]);
+    let v = x.to_vec_f32()?;
+    let rows = x.numel() / (tq * tk);
+    let mut out = v;
+    for r in 0..rows {
+        for q in 0..tq {
+            for k in 0..tk {
+                // allow attending to positions <= q (aligned to the right
+                // for tk >= tq, matching decoder caches)
+                let limit = k as isize - (tk as isize - tq as isize);
+                if limit > q as isize {
+                    out[r * tq * tk + q * tk + k] = -1e9;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, x.shape())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn mlp_graph() -> Graph {
+        let mut b = GraphBuilder::new("mlp");
+        let x = b.input(&[2, 16]);
+        let h = b.push(OpKind::Linear { in_f: 16, out_f: 32, bias: true }, &[x], "fc1").unwrap();
+        let a = b.push(OpKind::Gelu, &[h], "act").unwrap();
+        let o = b.push(OpKind::Linear { in_f: 32, out_f: 4, bias: true }, &[a], "fc2").unwrap();
+        b.push(OpKind::Softmax { dim: 1 }, &[o], "probs").unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn runs_and_times_every_node() {
+        let g = mlp_graph();
+        let trace = Interpreter::default().run(&g).unwrap();
+        assert_eq!(trace.timings.len(), g.len());
+        assert_eq!(trace.outputs.len(), 1);
+        let (_, probs) = &trace.outputs[0];
+        assert_eq!(probs.shape(), &[2, 4]);
+        let sums = probs.reduce_dim(1, false, 0.0, |a, v| a + v).unwrap();
+        for s in sums.to_vec_f32().unwrap() {
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+        assert!(trace.total_time() > Duration::ZERO);
+    }
+
+    #[test]
+    fn execution_is_deterministic_per_seed() {
+        let g = mlp_graph();
+        let a = Interpreter::new(7).run(&g).unwrap();
+        let b = Interpreter::new(7).run(&g).unwrap();
+        let c = Interpreter::new(8).run(&g).unwrap();
+        assert_eq!(a.outputs[0].1, b.outputs[0].1);
+        assert_ne!(a.outputs[0].1, c.outputs[0].1);
+    }
+
+    #[test]
+    fn input_override_is_used() {
+        let g = mlp_graph();
+        let x = Tensor::zeros(&[2, 16]);
+        let mut inputs = HashMap::new();
+        inputs.insert(NodeId(0), x);
+        let t = Interpreter::default().run_with_inputs(&g, &inputs).unwrap();
+        // zero input -> both rows identical
+        let p = t.outputs[0].1.to_vec_f32().unwrap();
+        assert_eq!(&p[0..4], &p[4..8]);
+    }
+
+    #[test]
+    fn static_shapes_match_actual_for_static_ops() {
+        let g = mlp_graph();
+        let t = Interpreter::default().run(&g).unwrap();
+        for (node, timing) in g.iter().zip(&t.timings) {
+            assert_eq!(node.out_shape, timing.out_shape, "node {}", node.name);
+        }
+    }
+
+    #[test]
+    fn dynamic_nms_subgraph_executes() {
+        let mut b = GraphBuilder::new("det");
+        let boxes = b.input(&[64, 4]);
+        let scores = b.input(&[64]);
+        let keep = b
+            .push(OpKind::Nms { iou_threshold: 0.5, nominal_keep: 32 }, &[boxes, scores], "nms")
+            .unwrap();
+        let g = b.finish();
+        let t = Interpreter::default().run(&g).unwrap();
+        let kept = &t.outputs.iter().find(|(id, _)| *id == keep).unwrap().1;
+        assert!(kept.numel() <= 64);
+    }
+
+    #[test]
+    fn causal_mask_blocks_future() {
+        let mut b = GraphBuilder::new("mask");
+        let x = b.input(&[1, 2, 3, 3]);
+        b.push(OpKind::CausalMask, &[x], "mask").unwrap();
+        let g = b.finish();
+        let mut inputs = HashMap::new();
+        inputs.insert(NodeId(0), Tensor::ones(&[1, 2, 3, 3]));
+        let t = Interpreter::default().run_with_inputs(&g, &inputs).unwrap();
+        let m = &t.outputs[0].1;
+        assert_eq!(m.at(&[0, 0, 0, 0]).unwrap(), 1.0);
+        assert!(m.at(&[0, 0, 0, 1]).unwrap() < -1e8);
+        assert!(m.at(&[0, 0, 1, 2]).unwrap() < -1e8);
+        assert_eq!(m.at(&[0, 0, 2, 2]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn embedding_pipeline_executes() {
+        let mut b = GraphBuilder::new("emb");
+        let ids = b.input_ids(&[1, 6], 100);
+        let e = b.push(OpKind::Embedding { vocab: 100, dim: 8 }, &[ids], "wte").unwrap();
+        b.push(OpKind::LayerNorm { dim: 8 }, &[e], "ln").unwrap();
+        let g = b.finish();
+        let t = Interpreter::default().run(&g).unwrap();
+        assert_eq!(t.outputs[0].1.shape(), &[1, 6, 8]);
+    }
+}

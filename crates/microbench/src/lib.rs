@@ -1,0 +1,370 @@
+//! # ngb-microbench
+//!
+//! The MicroBench flow of NonGEMM Bench (paper §3.2.3): a registry of
+//! non-GEMM operator instances *harvested from real end-to-end traces* —
+//! operator, concrete input shapes, and parent model — replayed standalone
+//! with synthetic tensors of the recorded shapes.
+//!
+//! The paper ships 1460 such operator instances collected from its model
+//! suite; [`OperatorRegistry::harvest_suite`] rebuilds the equivalent
+//! registry from this reproduction's 18 model graphs.
+//!
+//! # Examples
+//!
+//! ```
+//! use ngb_microbench::OperatorRegistry;
+//! use ngb_models::{ModelId, Scale};
+//!
+//! let graph = ModelId::Gpt2.build(1, Scale::Tiny)?;
+//! let mut reg = OperatorRegistry::new();
+//! reg.harvest(&graph);
+//! assert!(reg.len() > 10);
+//! let stats = reg.group_stats();
+//! assert!(stats.contains_key("Memory"));
+//! # Ok::<(), ngb_tensor::TensorError>(())
+//! ```
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use ngb_graph::{Graph, GraphBuilder, Interpreter, OpClass, OpKind};
+use ngb_platform::DeviceModel;
+use serde::{Deserialize, Serialize};
+
+/// One harvested non-GEMM operator instance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OpRecord {
+    /// The operator with its attributes.
+    pub op: OpKind,
+    /// Concrete input shapes recorded from the end-to-end trace.
+    pub input_shapes: Vec<Vec<usize>>,
+    /// Model the instance was captured from.
+    pub model: String,
+    /// Scope name of the capturing node.
+    pub node_name: String,
+}
+
+impl OpRecord {
+    /// Dedup key: operator identity + input shapes + parent model. The
+    /// registry stores each operator *as implemented in its parent model*
+    /// (paper §3.2.3), so the same shape occurring in two models is two
+    /// records, while repeats within one model collapse.
+    fn key(&self) -> String {
+        format!("{}|{:?}|{:?}", self.model, self.op, self.input_shapes)
+    }
+
+    /// Builds a standalone single-op graph for this record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape-inference errors (harvested records are valid by
+    /// construction).
+    pub fn to_graph(&self) -> Result<Graph, ngb_tensor::TensorError> {
+        let mut b = GraphBuilder::new(format!("micro_{}", self.op.name()));
+        let inputs: Vec<_> = self
+            .input_shapes
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                // NMS consumes (boxes, scores); scores arrive as plain f32
+                // inputs, embeddings need ids
+                if matches!(self.op, OpKind::Embedding { .. }) && i == 0 {
+                    let vocab = match self.op {
+                        OpKind::Embedding { vocab, .. } => vocab,
+                        _ => unreachable!(),
+                    };
+                    b.input_ids(s, vocab)
+                } else {
+                    b.input(s)
+                }
+            })
+            .collect();
+        b.push(self.op.clone(), &inputs, "op")?;
+        Ok(b.finish())
+    }
+}
+
+/// Result of replaying one record.
+#[derive(Debug, Clone, Serialize)]
+pub struct MicroResult {
+    /// Operator short name.
+    pub op: &'static str,
+    /// Parent model.
+    pub model: String,
+    /// Input shapes replayed.
+    pub input_shapes: Vec<Vec<usize>>,
+    /// Best-of-N measured host latency, seconds (`None` in analytic mode).
+    pub measured_s: Option<f64>,
+    /// Analytic latency on the chosen device, seconds.
+    pub analytic_s: f64,
+    /// Analytic energy, joules.
+    pub analytic_j: f64,
+}
+
+/// The microbench operator registry (paper Figure 4 "NonGEMM Bench
+/// Operators Registry").
+#[derive(Debug, Default)]
+pub struct OperatorRegistry {
+    records: Vec<OpRecord>,
+    seen: std::collections::BTreeSet<String>,
+}
+
+impl OperatorRegistry {
+    /// An empty registry.
+    pub fn new() -> OperatorRegistry {
+        OperatorRegistry::default()
+    }
+
+    /// Number of unique records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterates the records.
+    pub fn iter(&self) -> std::slice::Iter<'_, OpRecord> {
+        self.records.iter()
+    }
+
+    /// Harvests every **non-GEMM** operator instance of `graph` (the
+    /// MicroBench Extractor of Figure 4). Returns how many new unique
+    /// records were added.
+    pub fn harvest(&mut self, graph: &Graph) -> usize {
+        let mut added = 0;
+        for node in graph.iter() {
+            if node.class().is_gemm()
+                || matches!(node.op, OpKind::Input | OpKind::InputIds { .. })
+            {
+                continue;
+            }
+            let record = OpRecord {
+                op: node.op.clone(),
+                input_shapes: node
+                    .inputs
+                    .iter()
+                    .map(|&i| graph.node(i).out_shape.clone())
+                    .collect(),
+                model: graph.name.clone(),
+                node_name: node.name.clone(),
+            };
+            if record.input_shapes.is_empty() {
+                continue;
+            }
+            if self.seen.insert(record.key()) {
+                self.records.push(record);
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// Harvests a whole model suite (e.g. all 18 Table 1 graphs).
+    pub fn harvest_suite<'a>(&mut self, graphs: impl IntoIterator<Item = &'a Graph>) -> usize {
+        graphs.into_iter().map(|g| self.harvest(g)).sum()
+    }
+
+    /// Record count per non-GEMM group label.
+    pub fn group_stats(&self) -> BTreeMap<&'static str, usize> {
+        let mut m = BTreeMap::new();
+        for r in &self.records {
+            if let OpClass::NonGemm(g) = r.op.class() {
+                *m.entry(g.label()).or_insert(0) += 1;
+            }
+        }
+        m
+    }
+
+    /// Distinct operator names per group (the paper's "operator variants"
+    /// statistic).
+    pub fn variant_stats(&self) -> BTreeMap<&'static str, usize> {
+        let mut sets: BTreeMap<&'static str, std::collections::BTreeSet<&'static str>> =
+            BTreeMap::new();
+        for r in &self.records {
+            if let OpClass::NonGemm(g) = r.op.class() {
+                sets.entry(g.label()).or_default().insert(r.op.name());
+            }
+        }
+        sets.into_iter().map(|(k, v)| (k, v.len())).collect()
+    }
+
+    /// Replays one record: real execution on the host (best of
+    /// `iterations`) plus the analytic latency/energy on `device`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph-construction or kernel errors.
+    pub fn replay(
+        &self,
+        record: &OpRecord,
+        iterations: usize,
+        device: &DeviceModel,
+    ) -> Result<MicroResult, ngb_tensor::TensorError> {
+        let graph = record.to_graph()?;
+        let interp = Interpreter::new(0x31c);
+        let mut best = f64::INFINITY;
+        for _ in 0..iterations.max(1) {
+            let start = Instant::now();
+            interp.run(&graph)?;
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        Ok(self.analytic_result(record, device, Some(best)))
+    }
+
+    /// Analytic-only evaluation of one record on `device`.
+    pub fn evaluate(&self, record: &OpRecord, device: &DeviceModel) -> MicroResult {
+        self.analytic_result(record, device, None)
+    }
+
+    /// Aggregates analytic latency per non-GEMM group across the whole
+    /// registry on `device` — the microbench-level counterpart of the
+    /// end-to-end group breakdowns.
+    pub fn group_latency(&self, device: &DeviceModel) -> BTreeMap<&'static str, f64> {
+        let mut m: BTreeMap<&'static str, f64> = BTreeMap::new();
+        for r in &self.records {
+            if let OpClass::NonGemm(g) = r.op.class() {
+                let res = self.evaluate(r, device);
+                *m.entry(g.label()).or_insert(0.0) += res.analytic_s;
+            }
+        }
+        m
+    }
+
+    /// Serializes the registry to JSON (the persisted artifact the paper
+    /// ships alongside the benchmark).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(&self.records).expect("records always serialize")
+    }
+
+    /// Restores a registry from [`OperatorRegistry::to_json`] output,
+    /// re-deduplicating on load.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying parse error on malformed input.
+    pub fn from_json(json: &str) -> Result<OperatorRegistry, serde_json::Error> {
+        let records: Vec<OpRecord> = serde_json::from_str(json)?;
+        let mut reg = OperatorRegistry::new();
+        for record in records {
+            if reg.seen.insert(record.key()) {
+                reg.records.push(record);
+            }
+        }
+        Ok(reg)
+    }
+
+    fn analytic_result(
+        &self,
+        record: &OpRecord,
+        device: &DeviceModel,
+        measured_s: Option<f64>,
+    ) -> MicroResult {
+        let out = ngb_graph::infer_shape(&record.op, &record.input_shapes)
+            .unwrap_or_else(|_| record.input_shapes[0].clone());
+        let cost = ngb_graph::op_cost(&record.op, &record.input_shapes, &out);
+        let analytic_s = device.op_latency(&cost, record.op.class().is_gemm());
+        MicroResult {
+            op: record.op.name(),
+            model: record.model.clone(),
+            input_shapes: record.input_shapes.clone(),
+            measured_s,
+            analytic_s,
+            analytic_j: device.energy(analytic_s, 0.35),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ngb_models::{ModelId, Scale};
+
+    #[test]
+    fn group_latency_aggregates_positive_totals() {
+        let g = ModelId::Segformer.build(1, Scale::Tiny).unwrap();
+        let mut reg = OperatorRegistry::new();
+        reg.harvest(&g);
+        let by_group = reg.group_latency(&DeviceModel::a100());
+        assert!(by_group.values().all(|&v| v >= 0.0));
+        assert!(by_group.values().sum::<f64>() > 0.0);
+        // groups present in the stats appear in the latency map
+        for group in reg.group_stats().keys() {
+            assert!(by_group.contains_key(group), "missing {group}");
+        }
+    }
+
+    #[test]
+    fn registry_json_roundtrip() {
+        let g = ModelId::Llama2_7b.build(1, Scale::Tiny).unwrap();
+        let mut reg = OperatorRegistry::new();
+        reg.harvest(&g);
+        let json = reg.to_json();
+        let back = OperatorRegistry::from_json(&json).unwrap();
+        assert_eq!(back.len(), reg.len());
+        assert_eq!(back.group_stats(), reg.group_stats());
+        // loading twice-concatenated data dedups
+        assert!(OperatorRegistry::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn harvest_dedups_and_skips_gemm() {
+        let g = ModelId::Gpt2.build(1, Scale::Tiny).unwrap();
+        let mut reg = OperatorRegistry::new();
+        let added = reg.harvest(&g);
+        assert!(added > 10);
+        // re-harvesting the same graph adds nothing
+        assert_eq!(reg.harvest(&g), 0);
+        assert!(reg.iter().all(|r| !r.op.class().is_gemm()));
+    }
+
+    #[test]
+    fn suite_harvest_accumulates_across_models() {
+        let mut reg = OperatorRegistry::new();
+        let graphs: Vec<_> = [ModelId::Gpt2, ModelId::Bert, ModelId::ResNet50]
+            .iter()
+            .map(|m| m.build(1, Scale::Tiny).unwrap())
+            .collect();
+        let added = reg.harvest_suite(graphs.iter());
+        assert_eq!(added, reg.len());
+        let stats = reg.group_stats();
+        assert!(stats["Normalization"] > 0);
+        assert!(stats["Memory"] > 0);
+        let variants = reg.variant_stats();
+        assert!(variants["Normalization"] >= 2, "{variants:?}"); // layer_norm + batch_norm2d
+    }
+
+    #[test]
+    fn replay_measures_and_estimates() {
+        let g = ModelId::Bert.build(1, Scale::Tiny).unwrap();
+        let mut reg = OperatorRegistry::new();
+        reg.harvest(&g);
+        let rec = reg.iter().find(|r| r.op.name() == "layer_norm").unwrap().clone();
+        let res = reg.replay(&rec, 2, &DeviceModel::a100()).unwrap();
+        assert!(res.measured_s.unwrap() > 0.0);
+        assert!(res.analytic_s > 0.0);
+        assert!(res.analytic_j > 0.0);
+        let res2 = reg.evaluate(&rec, &DeviceModel::epyc7763());
+        assert!(res2.measured_s.is_none());
+        // this tiny layer_norm is launch-bound on the GPU, so the CPU wins —
+        // exactly the small-kernel effect the paper studies
+        assert!(res2.analytic_s < res.analytic_s);
+    }
+
+    #[test]
+    fn records_rebuild_runnable_graphs() {
+        let g = ModelId::Segformer.build(1, Scale::Tiny).unwrap();
+        let mut reg = OperatorRegistry::new();
+        reg.harvest(&g);
+        let mut executed = 0;
+        for rec in reg.iter().take(20) {
+            let micro = rec.to_graph().unwrap();
+            if Interpreter::new(1).run(&micro).is_ok() {
+                executed += 1;
+            }
+        }
+        assert!(executed >= 18, "only {executed}/20 micro graphs executed");
+    }
+}

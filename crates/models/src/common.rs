@@ -1,0 +1,433 @@
+//! Shared sub-network builders: attention blocks, MLPs, conv-bn-act stacks.
+
+use ngb_graph::{GraphBuilder, NodeId, OpKind};
+use ngb_tensor::TensorError;
+
+pub(crate) type Result<T> = std::result::Result<T, TensorError>;
+
+/// Which normalization flavor a CNN block uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CnnNorm {
+    /// Library BatchNorm2d (classification backbones).
+    Batch,
+    /// Torchvision detection models' custom FrozenBatchNorm2d.
+    Frozen,
+}
+
+impl CnnNorm {
+    fn op(self, c: usize) -> OpKind {
+        match self {
+            CnnNorm::Batch => OpKind::BatchNorm2d { c },
+            CnnNorm::Frozen => OpKind::FrozenBatchNorm2d { c },
+        }
+    }
+}
+
+/// conv → norm → optional ReLU.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn conv_norm_act(
+    b: &mut GraphBuilder,
+    x: NodeId,
+    in_c: usize,
+    out_c: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    norm: CnnNorm,
+    relu: bool,
+    name: &str,
+) -> Result<NodeId> {
+    let c = b.push(
+        OpKind::Conv2d { in_c, out_c, kernel, stride, padding, groups: 1, bias: false },
+        &[x],
+        &format!("{name}.conv"),
+    )?;
+    let n = b.push(norm.op(out_c), &[c], &format!("{name}.bn"))?;
+    if relu {
+        b.push(OpKind::Relu, &[n], &format!("{name}.relu"))
+    } else {
+        Ok(n)
+    }
+}
+
+/// ResNet bottleneck block (1×1 reduce, 3×3, 1×1 expand, residual add).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn bottleneck(
+    b: &mut GraphBuilder,
+    x: NodeId,
+    in_c: usize,
+    mid_c: usize,
+    out_c: usize,
+    stride: usize,
+    norm: CnnNorm,
+    name: &str,
+) -> Result<NodeId> {
+    let h = conv_norm_act(b, x, in_c, mid_c, 1, 1, 0, norm, true, &format!("{name}.0"))?;
+    let h = conv_norm_act(b, h, mid_c, mid_c, 3, stride, 1, norm, true, &format!("{name}.1"))?;
+    let h = conv_norm_act(b, h, mid_c, out_c, 1, 1, 0, norm, false, &format!("{name}.2"))?;
+    let shortcut = if in_c != out_c || stride != 1 {
+        conv_norm_act(b, x, in_c, out_c, 1, stride, 0, norm, false, &format!("{name}.down"))?
+    } else {
+        x
+    };
+    let s = b.push(OpKind::Add, &[h, shortcut], &format!("{name}.add"))?;
+    b.push(OpKind::Relu, &[s], &format!("{name}.out"))
+}
+
+/// Configuration of one multi-head attention block over `[B, T, D]`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Attention {
+    /// Hidden size.
+    pub d: usize,
+    /// Number of heads.
+    pub heads: usize,
+    /// Whether to apply a causal mask before the softmax.
+    pub causal: bool,
+    /// Use GPT-2 style fused-qkv `Conv1D` projections instead of separate
+    /// `Linear` q/k/v.
+    pub gpt2_conv1d: bool,
+    /// Whether projections carry a bias (Llama: false).
+    pub bias: bool,
+    /// Insert the rotary-embedding arithmetic (Llama).
+    pub rotary: bool,
+}
+
+/// Builds a multi-head self-attention block; returns the output `[B, T, D]`.
+///
+/// Reproduces the memory-operator choreography of Hugging Face attention:
+/// qkv projection(s), `view`/`permute` into heads, scaled `bmm`, optional
+/// causal mask, `softmax`, `bmm`, `permute`/`contiguous`/`view` back, and
+/// the output projection.
+pub(crate) fn self_attention(
+    b: &mut GraphBuilder,
+    x: NodeId,
+    batch: usize,
+    t: usize,
+    cfg: Attention,
+    name: &str,
+) -> Result<NodeId> {
+    let Attention { d, heads, causal, gpt2_conv1d, bias, rotary } = cfg;
+    let hd = d / heads;
+    let scale = 1.0 / (hd as f32).sqrt();
+
+    let (q, k, v) = if gpt2_conv1d {
+        // fused qkv then split (GPT-2)
+        let qkv =
+            b.push(OpKind::Conv1dGpt2 { in_f: d, out_f: 3 * d }, &[x], &format!("{name}.c_attn"))?;
+        let q = b.push(
+            OpKind::Slice { dim: 2, start: 0, len: d },
+            &[qkv],
+            &format!("{name}.split.q"),
+        )?;
+        let k = b.push(
+            OpKind::Slice { dim: 2, start: d, len: d },
+            &[qkv],
+            &format!("{name}.split.k"),
+        )?;
+        let v = b.push(
+            OpKind::Slice { dim: 2, start: 2 * d, len: d },
+            &[qkv],
+            &format!("{name}.split.v"),
+        )?;
+        (q, k, v)
+    } else {
+        let q = b.push(OpKind::Linear { in_f: d, out_f: d, bias }, &[x], &format!("{name}.q"))?;
+        let k = b.push(OpKind::Linear { in_f: d, out_f: d, bias }, &[x], &format!("{name}.k"))?;
+        let v = b.push(OpKind::Linear { in_f: d, out_f: d, bias }, &[x], &format!("{name}.v"))?;
+        (q, k, v)
+    };
+
+    // [B, T, D] -> [B*H, T, hd]
+    let to_heads = |b: &mut GraphBuilder, h: NodeId, tag: &str| -> Result<NodeId> {
+        let v4 = b.push(
+            OpKind::View { shape: vec![batch, t, heads, hd] },
+            &[h],
+            &format!("{name}.{tag}.view"),
+        )?;
+        let p = b.push(
+            OpKind::Permute { perm: vec![0, 2, 1, 3] },
+            &[v4],
+            &format!("{name}.{tag}.permute"),
+        )?;
+        // cuBLAS consumes the strided head layout directly (HF does not
+        // call .contiguous() here), so merging is a reshape
+        b.push(
+            OpKind::Reshape { shape: vec![batch * heads, t, hd] },
+            &[p],
+            &format!("{name}.{tag}.merge"),
+        )
+    };
+    let mut qh = to_heads(b, q, "q")?;
+    let mut kh = to_heads(b, k, "k")?;
+    let vh = to_heads(b, v, "v")?;
+
+    if rotary {
+        // Llama rotary embedding: rotate_half uses slice + neg + cat, then
+        // two muls and an add per q/k (Table 2's `Neg` entry).
+        let rotate = |b: &mut GraphBuilder, h: NodeId, tag: &str| -> Result<NodeId> {
+            let lo = b.push(
+                OpKind::Slice { dim: 2, start: 0, len: hd / 2 },
+                &[h],
+                &format!("{name}.rot.{tag}.lo"),
+            )?;
+            let hi = b.push(
+                OpKind::Slice { dim: 2, start: hd / 2, len: hd - hd / 2 },
+                &[h],
+                &format!("{name}.rot.{tag}.hi"),
+            )?;
+            let neg = b.push(OpKind::Neg, &[hi], &format!("{name}.rot.{tag}.neg"))?;
+            let rotated = b.push(OpKind::Cat { dim: 2 }, &[neg, lo], &format!("{name}.rot.{tag}.cat"))?;
+            let cos_part = b.push(OpKind::MulScalar(0.7), &[h], &format!("{name}.rot.{tag}.cos"))?;
+            let sin_part =
+                b.push(OpKind::MulScalar(0.7), &[rotated], &format!("{name}.rot.{tag}.sin"))?;
+            b.push(OpKind::Add, &[cos_part, sin_part], &format!("{name}.rot.{tag}.add"))
+        };
+        qh = rotate(b, qh, "q")?;
+        kh = rotate(b, kh, "k")?;
+    }
+
+    let kt = b.push(OpKind::Transpose { d0: 1, d1: 2 }, &[kh], &format!("{name}.k_t"))?;
+    let scores = b.push(OpKind::Bmm, &[qh, kt], &format!("{name}.scores"))?;
+    let scaled = b.push(OpKind::DivScalar(1.0 / scale), &[scores], &format!("{name}.scale"))?;
+    let masked = if causal {
+        b.push(OpKind::CausalMask, &[scaled], &format!("{name}.mask"))?
+    } else {
+        scaled
+    };
+    let probs = b.push(OpKind::Softmax { dim: 2 }, &[masked], &format!("{name}.softmax"))?;
+    let ctx = b.push(OpKind::Bmm, &[probs, vh], &format!("{name}.context"))?;
+
+    // [B*H, T, hd] -> [B, T, D]
+    let c4 = b.push(
+        OpKind::View { shape: vec![batch, heads, t, hd] },
+        &[ctx],
+        &format!("{name}.ctx.view"),
+    )?;
+    let cp = b.push(
+        OpKind::Permute { perm: vec![0, 2, 1, 3] },
+        &[c4],
+        &format!("{name}.ctx.permute"),
+    )?;
+    let cc = b.push(OpKind::Contiguous, &[cp], &format!("{name}.ctx.contiguous"))?;
+    let merged =
+        b.push(OpKind::View { shape: vec![batch, t, d] }, &[cc], &format!("{name}.ctx.merge"))?;
+
+    if gpt2_conv1d {
+        b.push(OpKind::Conv1dGpt2 { in_f: d, out_f: d }, &[merged], &format!("{name}.c_proj"))
+    } else {
+        b.push(OpKind::Linear { in_f: d, out_f: d, bias }, &[merged], &format!("{name}.proj"))
+    }
+}
+
+/// Builds a multi-head cross-attention block: queries `[B, Tq, D]` attend
+/// to a memory `[B, Tk, D]` (DETR decoder, SegFormer's spatially-reduced
+/// attention, MaskFormer decoder).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn cross_attention(
+    b: &mut GraphBuilder,
+    q_in: NodeId,
+    kv_in: NodeId,
+    batch: usize,
+    tq: usize,
+    tk: usize,
+    d: usize,
+    heads: usize,
+    name: &str,
+) -> Result<NodeId> {
+    let hd = d / heads;
+    let q = b.push(OpKind::Linear { in_f: d, out_f: d, bias: true }, &[q_in], &format!("{name}.q"))?;
+    let k = b.push(OpKind::Linear { in_f: d, out_f: d, bias: true }, &[kv_in], &format!("{name}.k"))?;
+    let v = b.push(OpKind::Linear { in_f: d, out_f: d, bias: true }, &[kv_in], &format!("{name}.v"))?;
+    let to_heads = |b: &mut GraphBuilder, h: NodeId, t: usize, tag: &str| -> Result<NodeId> {
+        let v4 = b.push(
+            OpKind::View { shape: vec![batch, t, heads, hd] },
+            &[h],
+            &format!("{name}.{tag}.view"),
+        )?;
+        let p = b.push(
+            OpKind::Permute { perm: vec![0, 2, 1, 3] },
+            &[v4],
+            &format!("{name}.{tag}.permute"),
+        )?;
+        b.push(
+            OpKind::Reshape { shape: vec![batch * heads, t, hd] },
+            &[p],
+            &format!("{name}.{tag}.merge"),
+        )
+    };
+    let qh = to_heads(b, q, tq, "q")?;
+    let kh = to_heads(b, k, tk, "k")?;
+    let vh = to_heads(b, v, tk, "v")?;
+    let kt = b.push(OpKind::Transpose { d0: 1, d1: 2 }, &[kh], &format!("{name}.k_t"))?;
+    let scores = b.push(OpKind::Bmm, &[qh, kt], &format!("{name}.scores"))?;
+    let scaled =
+        b.push(OpKind::DivScalar((hd as f32).sqrt()), &[scores], &format!("{name}.scale"))?;
+    let probs = b.push(OpKind::Softmax { dim: 2 }, &[scaled], &format!("{name}.softmax"))?;
+    let ctx = b.push(OpKind::Bmm, &[probs, vh], &format!("{name}.context"))?;
+    let c4 = b.push(
+        OpKind::View { shape: vec![batch, heads, tq, hd] },
+        &[ctx],
+        &format!("{name}.ctx.view"),
+    )?;
+    let cp = b.push(
+        OpKind::Permute { perm: vec![0, 2, 1, 3] },
+        &[c4],
+        &format!("{name}.ctx.permute"),
+    )?;
+    let cc = b.push(OpKind::Contiguous, &[cp], &format!("{name}.ctx.contiguous"))?;
+    let merged =
+        b.push(OpKind::View { shape: vec![batch, tq, d] }, &[cc], &format!("{name}.ctx.merge"))?;
+    b.push(OpKind::Linear { in_f: d, out_f: d, bias: true }, &[merged], &format!("{name}.proj"))
+}
+
+/// Which activation a transformer MLP uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum MlpAct {
+    /// Fused exact GELU (ViT, BERT).
+    Gelu,
+    /// Hugging Face's decomposed NewGELU (GPT-2).
+    NewGelu,
+    /// ReLU (DETR transformer).
+    Relu,
+}
+
+impl MlpAct {
+    fn op(self) -> OpKind {
+        match self {
+            MlpAct::Gelu => OpKind::Gelu,
+            MlpAct::NewGelu => OpKind::NewGelu,
+            MlpAct::Relu => OpKind::Relu,
+        }
+    }
+}
+
+/// Two-layer transformer MLP `D -> hidden -> D`.
+pub(crate) fn mlp(
+    b: &mut GraphBuilder,
+    x: NodeId,
+    d: usize,
+    hidden: usize,
+    act: MlpAct,
+    gpt2_conv1d: bool,
+    name: &str,
+) -> Result<NodeId> {
+    let up = if gpt2_conv1d {
+        b.push(OpKind::Conv1dGpt2 { in_f: d, out_f: hidden }, &[x], &format!("{name}.c_fc"))?
+    } else {
+        b.push(OpKind::Linear { in_f: d, out_f: hidden, bias: true }, &[x], &format!("{name}.fc1"))?
+    };
+    let a = b.push(act.op(), &[up], &format!("{name}.act"))?;
+    if gpt2_conv1d {
+        b.push(OpKind::Conv1dGpt2 { in_f: hidden, out_f: d }, &[a], &format!("{name}.c_proj"))
+    } else {
+        b.push(OpKind::Linear { in_f: hidden, out_f: d, bias: true }, &[a], &format!("{name}.fc2"))
+    }
+}
+
+/// Pre-LayerNorm transformer encoder block (ViT/Swin style):
+/// `x + attn(ln(x))` then `x + mlp(ln(x))`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn pre_ln_block(
+    b: &mut GraphBuilder,
+    x: NodeId,
+    batch: usize,
+    t: usize,
+    d: usize,
+    heads: usize,
+    mlp_hidden: usize,
+    name: &str,
+) -> Result<NodeId> {
+    let ln1 = b.push(OpKind::LayerNorm { dim: d }, &[x], &format!("{name}.ln1"))?;
+    let att = self_attention(
+        b,
+        ln1,
+        batch,
+        t,
+        Attention { d, heads, causal: false, gpt2_conv1d: false, bias: true, rotary: false },
+        &format!("{name}.attn"),
+    )?;
+    let x1 = b.push(OpKind::Add, &[x, att], &format!("{name}.add1"))?;
+    let ln2 = b.push(OpKind::LayerNorm { dim: d }, &[x1], &format!("{name}.ln2"))?;
+    let ff = mlp(b, ln2, d, mlp_hidden, MlpAct::Gelu, false, &format!("{name}.mlp"))?;
+    b.push(OpKind::Add, &[x1, ff], &format!("{name}.add2"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ngb_graph::Interpreter;
+
+    #[test]
+    fn attention_block_shapes_and_execution() {
+        let mut b = GraphBuilder::new("attn_test");
+        let x = b.input(&[2, 5, 16]);
+        let out = self_attention(
+            &mut b,
+            x,
+            2,
+            5,
+            Attention {
+                d: 16,
+                heads: 4,
+                causal: true,
+                gpt2_conv1d: true,
+                bias: true,
+                rotary: false,
+            },
+            "blk",
+        )
+        .unwrap();
+        assert_eq!(b.shape(out), &[2, 5, 16]);
+        let g = b.finish();
+        g.validate().unwrap();
+        let t = Interpreter::default().run(&g).unwrap();
+        assert!(t.outputs[0].1.to_vec_f32().unwrap().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn rotary_attention_builds() {
+        let mut b = GraphBuilder::new("rot");
+        let x = b.input(&[1, 4, 8]);
+        let out = self_attention(
+            &mut b,
+            x,
+            1,
+            4,
+            Attention {
+                d: 8,
+                heads: 2,
+                causal: true,
+                gpt2_conv1d: false,
+                bias: false,
+                rotary: true,
+            },
+            "blk",
+        )
+        .unwrap();
+        assert_eq!(b.shape(out), &[1, 4, 8]);
+        let g = b.finish();
+        // rotary inserts a Neg (the Table 2 Llama entry)
+        assert!(g.iter().any(|n| n.op == OpKind::Neg));
+        Interpreter::default().run(&g).unwrap();
+    }
+
+    #[test]
+    fn bottleneck_downsamples() {
+        let mut b = GraphBuilder::new("bn");
+        let x = b.input(&[1, 8, 8, 8]);
+        let out = bottleneck(&mut b, x, 8, 4, 16, 2, CnnNorm::Batch, "layer").unwrap();
+        assert_eq!(b.shape(out), &[1, 16, 4, 4]);
+        Interpreter::default().run(&b.finish()).unwrap();
+    }
+
+    #[test]
+    fn pre_ln_block_roundtrips_shape() {
+        let mut b = GraphBuilder::new("blk");
+        let x = b.input(&[1, 6, 12]);
+        let out = pre_ln_block(&mut b, x, 1, 6, 12, 3, 24, "enc0").unwrap();
+        assert_eq!(b.shape(out), &[1, 6, 12]);
+        let g = b.finish();
+        assert!(g.iter().any(|n| n.op == OpKind::Gelu));
+        Interpreter::default().run(&g).unwrap();
+    }
+}

@@ -1,0 +1,39 @@
+//! # ngb-models
+//!
+//! The NonGEMM Bench model registry: operator-graph builders for the 18
+//! models of the paper's Table 1, spanning image classification, object
+//! detection, segmentation, and language modeling.
+//!
+//! Each model family is built from the same primitive [`ngb_graph::OpKind`]
+//! vocabulary the paper profiles — including the *custom* operator variants
+//! the paper calls out (Hugging Face `NewGELU` in GPT-2, `LlamaRMSNorm` in
+//! Llama-2, `FrozenBatchNorm2d` in torchvision detection models).
+//!
+//! Two scales are provided:
+//!
+//! * [`Scale::Full`] — the paper's configurations (ViT-H/14's 632 M
+//!   parameters, GPT2-XL's 48 layers, Llama-2-7B's 32 × 4096), used with the
+//!   analytic platform models, and
+//! * [`Scale::Tiny`] — structurally identical graphs at toy dimensions that
+//!   execute in milliseconds on the host, used by tests, examples, and the
+//!   measured profiling mode.
+//!
+//! # Examples
+//!
+//! ```
+//! use ngb_models::{ModelId, Scale};
+//!
+//! let graph = ModelId::VitBase16.build(1, Scale::Tiny)?;
+//! assert!(graph.validate().is_ok());
+//! # Ok::<(), ngb_tensor::TensorError>(())
+//! ```
+
+mod common;
+mod nlp;
+mod registry;
+mod vision;
+
+pub use registry::{ModelId, ModelRegistry, ModelSpec, Scale, Task};
+
+pub use nlp::{bert, gpt2, llama};
+pub use vision::{detection, mobilenet, resnet, segmentation, swin, vit};

@@ -1,0 +1,144 @@
+//! BERT-base encoder (Devlin et al., Table 1's 110 M entry): post-LayerNorm
+//! encoder blocks with separate q/k/v linears, fused GELU, and the
+//! word/position/type embedding adds that make element-wise Arithmetic
+//! BERT's top non-GEMM group in the paper (Table 4).
+
+use ngb_graph::{Graph, GraphBuilder, OpKind};
+
+use crate::common::{mlp, self_attention, Attention, MlpAct, Result};
+
+/// BERT configuration.
+#[derive(Debug, Clone)]
+pub struct BertConfig {
+    /// Model alias used as the graph name.
+    pub name: &'static str,
+    /// WordPiece vocabulary (30522).
+    pub vocab: usize,
+    /// Hidden size.
+    pub d: usize,
+    /// Encoder depth.
+    pub layers: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Sequence length profiled.
+    pub seq: usize,
+}
+
+impl BertConfig {
+    /// BERT-base-uncased: 110 M parameters, 12 × 768.
+    pub fn base() -> Self {
+        BertConfig { name: "bert_base", vocab: 30522, d: 768, layers: 12, heads: 12, seq: 128 }
+    }
+
+    /// Executable toy preset.
+    pub fn toy() -> Self {
+        BertConfig { name: "bert_toy", vocab: 64, d: 16, layers: 2, heads: 2, seq: 8 }
+    }
+
+    /// Builds the encoder graph for `batch` sequences.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on internally inconsistent configurations.
+    pub fn build(&self, batch: usize) -> Result<Graph> {
+        let mut b = GraphBuilder::new(self.name);
+        let ids = b.input_ids(&[batch, self.seq], self.vocab);
+        let we = b.push(
+            OpKind::Embedding { vocab: self.vocab, dim: self.d },
+            &[ids],
+            "embeddings.word",
+        )?;
+        let pos = b.input(&[1, self.seq, self.d]);
+        let tok_type = b.input(&[1, self.seq, self.d]);
+        let e1 = b.push(OpKind::Add, &[we, pos], "embeddings.add_pos")?;
+        let e2 = b.push(OpKind::Add, &[e1, tok_type], "embeddings.add_type")?;
+        let mut h = b.push(OpKind::LayerNorm { dim: self.d }, &[e2], "embeddings.norm")?;
+
+        for l in 0..self.layers {
+            // post-norm: attn -> add -> LN -> mlp -> add -> LN
+            let att = self_attention(
+                &mut b,
+                h,
+                batch,
+                self.seq,
+                Attention {
+                    d: self.d,
+                    heads: self.heads,
+                    causal: false,
+                    gpt2_conv1d: false,
+                    bias: true,
+                    rotary: false,
+                },
+                &format!("encoder.{l}.attention"),
+            )?;
+            let a1 = b.push(OpKind::Add, &[h, att], &format!("encoder.{l}.add1"))?;
+            let n1 = b.push(
+                OpKind::LayerNorm { dim: self.d },
+                &[a1],
+                &format!("encoder.{l}.attention.output.norm"),
+            )?;
+            let ff = mlp(&mut b, n1, self.d, 4 * self.d, MlpAct::Gelu, false, &format!("encoder.{l}.ffn"))?;
+            let a2 = b.push(OpKind::Add, &[n1, ff], &format!("encoder.{l}.add2"))?;
+            h = b.push(
+                OpKind::LayerNorm { dim: self.d },
+                &[a2],
+                &format!("encoder.{l}.output.norm"),
+            )?;
+        }
+        // pooler: first token -> linear -> tanh-ish (sigmoid as proxy) + MLM head
+        let cls = b.push(OpKind::Slice { dim: 1, start: 0, len: 1 }, &[h], "pooler.take_cls")?;
+        let cls_sq = b.push(OpKind::Squeeze { dim: 1 }, &[cls], "pooler.squeeze")?;
+        let pooled = b.push(
+            OpKind::Linear { in_f: self.d, out_f: self.d, bias: true },
+            &[cls_sq],
+            "pooler.dense",
+        )?;
+        b.push(OpKind::Sigmoid, &[pooled], "pooler.activation")?;
+        let logits = b.push(
+            OpKind::Linear { in_f: self.d, out_f: self.vocab, bias: true },
+            &[h],
+            "mlm_head",
+        )?;
+        b.push(OpKind::Softmax { dim: 2 }, &[logits], "probs")?;
+        Ok(b.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ngb_graph::{Interpreter, NonGemmGroup};
+
+    #[test]
+    fn published_parameter_count() {
+        let g = BertConfig::base().build(1).unwrap();
+        g.validate().unwrap();
+        let p = g.param_count();
+        // 110M + MLM head
+        assert!((100_000_000..145_000_000).contains(&p), "{p}");
+    }
+
+    #[test]
+    fn embedding_adds_present() {
+        let g = BertConfig::base().build(1).unwrap();
+        let adds = g.group_count(NonGemmGroup::Arithmetic);
+        assert!(adds >= 2 + 2 * 12, "{adds}"); // embeddings + residuals
+        assert!(g.iter().any(|n| n.name == "embeddings.add_type"));
+    }
+
+    #[test]
+    fn toy_executes() {
+        let g = BertConfig::toy().build(1).unwrap();
+        let t = Interpreter::default().run(&g).unwrap();
+        assert!(t.outputs.iter().any(|(_, v)| v.shape() == [1, 8, 64]));
+        assert!(t.outputs.iter().any(|(_, v)| v.shape() == [1, 16]));
+    }
+
+    #[test]
+    fn uses_separate_qkv_linears() {
+        let g = BertConfig::base().build(1).unwrap();
+        assert!(!g.op_histogram().contains_key("conv1d_gpt2"));
+        // 4 attn linears + 2 mlp per layer + pooler + mlm head
+        assert_eq!(g.op_histogram()["linear"], 6 * 12 + 2);
+    }
+}

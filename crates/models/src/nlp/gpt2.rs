@@ -1,0 +1,317 @@
+//! GPT-2 decoder-only language models (Radford et al.): base, Large, and
+//! X-Large variants from Table 1.
+//!
+//! Faithfully reproduces the Hugging Face eager-mode operator stream the
+//! paper profiles: fused-qkv `Conv1D` projections followed by `split`/
+//! `view`/`permute` head reshuffles (Table 2's GPT2-XL Memory entries),
+//! per-head `bmm` attention with a `TrueDiv` scale and causal mask, and the
+//! hand-written `NewGELU` activation that decomposes into many element-wise
+//! kernels (§4.1.4).
+
+use ngb_graph::{Graph, GraphBuilder, OpKind};
+
+use crate::common::{mlp, self_attention, Attention, MlpAct, Result};
+
+/// GPT-2 configuration.
+#[derive(Debug, Clone)]
+pub struct Gpt2Config {
+    /// Model alias used as the graph name.
+    pub name: &'static str,
+    /// Vocabulary size (50257).
+    pub vocab: usize,
+    /// Hidden size.
+    pub d: usize,
+    /// Decoder depth.
+    pub layers: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Sequence length profiled (the paper's Table 2 uses 8).
+    pub seq: usize,
+}
+
+impl Gpt2Config {
+    /// GPT-2 base: 117 M parameters, 12 × 768.
+    pub fn base() -> Self {
+        Gpt2Config { name: "gpt2", vocab: 50257, d: 768, layers: 12, heads: 12, seq: 8 }
+    }
+
+    /// GPT-2 Large: 762 M parameters, 36 × 1280.
+    pub fn large() -> Self {
+        Gpt2Config { name: "gpt2_large", vocab: 50257, d: 1280, layers: 36, heads: 20, seq: 8 }
+    }
+
+    /// GPT-2 X-Large: 1.5 B parameters, 48 × 1600.
+    pub fn xl() -> Self {
+        Gpt2Config { name: "gpt2_xl", vocab: 50257, d: 1600, layers: 48, heads: 25, seq: 8 }
+    }
+
+    /// Executable toy preset.
+    pub fn toy() -> Self {
+        Gpt2Config { name: "gpt2_toy", vocab: 100, d: 16, layers: 2, heads: 2, seq: 6 }
+    }
+
+    /// Builds the causal LM graph for `batch` sequences.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on internally inconsistent configurations.
+    pub fn build(&self, batch: usize) -> Result<Graph> {
+        let mut b = GraphBuilder::new(self.name);
+        let ids = b.input_ids(&[batch, self.seq], self.vocab);
+        let wte = b.push(OpKind::Embedding { vocab: self.vocab, dim: self.d }, &[ids], "wte")?;
+        let pos = b.input(&[1, self.seq, self.d]);
+        let mut h = b.push(OpKind::Add, &[wte, pos], "wpe.add")?;
+
+        for l in 0..self.layers {
+            let ln1 = b.push(OpKind::LayerNorm { dim: self.d }, &[h], &format!("h.{l}.ln_1"))?;
+            let att = self_attention(
+                &mut b,
+                ln1,
+                batch,
+                self.seq,
+                Attention {
+                    d: self.d,
+                    heads: self.heads,
+                    causal: true,
+                    gpt2_conv1d: true,
+                    bias: true,
+                    rotary: false,
+                },
+                &format!("h.{l}.attn"),
+            )?;
+            let x1 = b.push(OpKind::Add, &[h, att], &format!("h.{l}.add_attn"))?;
+            let ln2 = b.push(OpKind::LayerNorm { dim: self.d }, &[x1], &format!("h.{l}.ln_2"))?;
+            // Hugging Face GPT-2 MLP: Conv1D + NewGELU + Conv1D
+            let ff = mlp(&mut b, ln2, self.d, 4 * self.d, MlpAct::NewGelu, true, &format!("h.{l}.mlp"))?;
+            h = b.push(OpKind::Add, &[x1, ff], &format!("h.{l}.add_mlp"))?;
+        }
+        let lnf = b.push(OpKind::LayerNorm { dim: self.d }, &[h], "ln_f")?;
+        let logits = b.push(
+            OpKind::Linear { in_f: self.d, out_f: self.vocab, bias: false },
+            &[lnf],
+            "lm_head",
+        )?;
+        b.push(OpKind::Softmax { dim: 2 }, &[logits], "probs")?;
+        Ok(b.finish())
+    }
+}
+
+impl Gpt2Config {
+    /// Builds a **single decode step** with a KV cache of `past` tokens —
+    /// the autoregressive-generation workload. Each layer projects one new
+    /// token, concatenates it onto the cached keys/values (`Cat`, a real
+    /// memory copy), and attends over `past + 1` positions. At sequence
+    /// length 1 every GEMM degenerates to a matrix–vector product, so the
+    /// non-GEMM overheads the paper measures dominate even harder than in
+    /// the prefill graphs.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on internally inconsistent configurations.
+    pub fn build_decode(&self, batch: usize, past: usize) -> Result<Graph> {
+        use ngb_graph::NodeId;
+        let d = self.d;
+        let heads = self.heads;
+        let hd = d / heads;
+        let mut b = GraphBuilder::new(format!("{}_decode", self.name));
+        let ids = b.input_ids(&[batch, 1], self.vocab);
+        let wte = b.push(OpKind::Embedding { vocab: self.vocab, dim: d }, &[ids], "wte")?;
+        let pos = b.input(&[1, 1, d]);
+        let mut h = b.push(OpKind::Add, &[wte, pos], "wpe.add")?;
+
+        for l in 0..self.layers {
+            let ln1 = b.push(OpKind::LayerNorm { dim: d }, &[h], &format!("h.{l}.ln_1"))?;
+            let qkv = b.push(
+                OpKind::Conv1dGpt2 { in_f: d, out_f: 3 * d },
+                &[ln1],
+                &format!("h.{l}.attn.c_attn"),
+            )?;
+            let slice = |b: &mut GraphBuilder, start: usize, tag: &str| {
+                b.push(
+                    OpKind::Slice { dim: 2, start, len: d },
+                    &[qkv],
+                    &format!("h.{l}.attn.split.{tag}"),
+                )
+            };
+            let q = slice(&mut b, 0, "q")?;
+            let k_new = slice(&mut b, d, "k")?;
+            let v_new = slice(&mut b, 2 * d, "v")?;
+            // merge heads: [B, 1, D] -> [B*H, 1, hd]
+            let to_heads = |b: &mut GraphBuilder, x: NodeId, tag: &str| -> Result<NodeId> {
+                let v4 = b.push(
+                    OpKind::View { shape: vec![batch, 1, heads, hd] },
+                    &[x],
+                    &format!("h.{l}.attn.{tag}.view"),
+                )?;
+                let pm = b.push(
+                    OpKind::Permute { perm: vec![0, 2, 1, 3] },
+                    &[v4],
+                    &format!("h.{l}.attn.{tag}.permute"),
+                )?;
+                b.push(
+                    OpKind::Reshape { shape: vec![batch * heads, 1, hd] },
+                    &[pm],
+                    &format!("h.{l}.attn.{tag}.merge"),
+                )
+            };
+            let qh = to_heads(&mut b, q, "q")?;
+            let kh = to_heads(&mut b, k_new, "k")?;
+            let vh = to_heads(&mut b, v_new, "v")?;
+            // KV cache concat: [B*H, past, hd] ++ [B*H, 1, hd]
+            let k_cache = b.input(&[batch * heads, past, hd]);
+            let v_cache = b.input(&[batch * heads, past, hd]);
+            let k_all = b.push(OpKind::Cat { dim: 1 }, &[k_cache, kh], &format!("h.{l}.kv.k_cat"))?;
+            let v_all = b.push(OpKind::Cat { dim: 1 }, &[v_cache, vh], &format!("h.{l}.kv.v_cat"))?;
+            let kt = b.push(OpKind::Transpose { d0: 1, d1: 2 }, &[k_all], &format!("h.{l}.attn.k_t"))?;
+            let scores = b.push(OpKind::Bmm, &[qh, kt], &format!("h.{l}.attn.scores"))?;
+            let scaled = b.push(
+                OpKind::DivScalar((hd as f32).sqrt()),
+                &[scores],
+                &format!("h.{l}.attn.scale"),
+            )?;
+            // single query token attends to the whole cache: no mask needed
+            let probs =
+                b.push(OpKind::Softmax { dim: 2 }, &[scaled], &format!("h.{l}.attn.softmax"))?;
+            let ctx = b.push(OpKind::Bmm, &[probs, v_all], &format!("h.{l}.attn.context"))?;
+            let cv = b.push(
+                OpKind::View { shape: vec![batch, heads, 1, hd] },
+                &[ctx],
+                &format!("h.{l}.attn.ctx.view"),
+            )?;
+            let cp = b.push(
+                OpKind::Permute { perm: vec![0, 2, 1, 3] },
+                &[cv],
+                &format!("h.{l}.attn.ctx.permute"),
+            )?;
+            let cc = b.push(OpKind::Contiguous, &[cp], &format!("h.{l}.attn.ctx.contiguous"))?;
+            let merged = b.push(
+                OpKind::View { shape: vec![batch, 1, d] },
+                &[cc],
+                &format!("h.{l}.attn.ctx.merge"),
+            )?;
+            let att = b.push(
+                OpKind::Conv1dGpt2 { in_f: d, out_f: d },
+                &[merged],
+                &format!("h.{l}.attn.c_proj"),
+            )?;
+            let x1 = b.push(OpKind::Add, &[h, att], &format!("h.{l}.add_attn"))?;
+            let ln2 = b.push(OpKind::LayerNorm { dim: d }, &[x1], &format!("h.{l}.ln_2"))?;
+            let fc = b.push(
+                OpKind::Conv1dGpt2 { in_f: d, out_f: 4 * d },
+                &[ln2],
+                &format!("h.{l}.mlp.c_fc"),
+            )?;
+            let act = b.push(OpKind::NewGelu, &[fc], &format!("h.{l}.mlp.act"))?;
+            let proj = b.push(
+                OpKind::Conv1dGpt2 { in_f: 4 * d, out_f: d },
+                &[act],
+                &format!("h.{l}.mlp.c_proj"),
+            )?;
+            h = b.push(OpKind::Add, &[x1, proj], &format!("h.{l}.add_mlp"))?;
+        }
+        let lnf = b.push(OpKind::LayerNorm { dim: d }, &[h], "ln_f")?;
+        let logits =
+            b.push(OpKind::Linear { in_f: d, out_f: self.vocab, bias: false }, &[lnf], "lm_head")?;
+        b.push(OpKind::Softmax { dim: 2 }, &[logits], "probs")?;
+        Ok(b.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ngb_graph::{Interpreter, NonGemmGroup};
+
+    #[test]
+    fn published_parameter_counts() {
+        // lm_head shares wte in HF, so compare against ~model+vocab*d
+        let base = Gpt2Config::base().build(1).unwrap().param_count();
+        assert!((120_000_000..210_000_000).contains(&base), "base: {base}");
+        let xl = Gpt2Config::xl().build(1).unwrap().param_count();
+        assert!((1_400_000_000..1_800_000_000).contains(&xl), "xl: {xl}");
+    }
+
+    #[test]
+    fn table2_operator_shapes_gpt2_xl() {
+        let g = Gpt2Config::xl().build(1).unwrap();
+        g.validate().unwrap();
+        // Table 2: NewGELU on [1, 8, 6400]
+        assert!(g.iter().any(|n| n.op == OpKind::NewGelu && n.out_shape == [1, 8, 6400]));
+        // Table 2: Split/View on [1, 8, 4800] / [1, 8, 1600]
+        assert!(g
+            .iter()
+            .any(|n| matches!(n.op, OpKind::Slice { .. }) && n.out_shape == [1, 8, 1600]));
+        // Table 2: Permute to [1, 8, 25, 64] head layout (then merged)
+        assert!(g
+            .iter()
+            .any(|n| matches!(n.op, OpKind::Permute { .. }) && n.out_shape == [1, 25, 8, 64]));
+        // Table 2: TrueDiv on [1, 25, 8, 8] attention scores — ours works on
+        // the merged [25, 8, 8] batched layout
+        assert!(g
+            .iter()
+            .any(|n| matches!(n.op, OpKind::DivScalar(_)) && n.out_shape == [25, 8, 8]));
+    }
+
+    #[test]
+    fn memory_ops_dominate_the_op_count() {
+        // §4.2: memory operators are ~80% of GPT2-XL's operator count
+        let g = Gpt2Config::xl().build(1).unwrap();
+        let mem = g.group_count(NonGemmGroup::Memory) as f64;
+        let frac = mem / g.len() as f64;
+        assert!(frac > 0.35, "memory fraction {frac}");
+    }
+
+    #[test]
+    fn toy_executes_to_distribution() {
+        let g = Gpt2Config::toy().build(1).unwrap();
+        let t = Interpreter::default().run(&g).unwrap();
+        let probs = &t.outputs[0].1;
+        assert_eq!(probs.shape(), &[1, 6, 100]);
+        let sums = probs.reduce_dim(2, false, 0.0, |a, v| a + v).unwrap();
+        for s in sums.to_vec_f32().unwrap() {
+            assert!((s - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn decode_step_builds_and_executes() {
+        let cfg = Gpt2Config::toy();
+        let g = cfg.build_decode(1, 4).unwrap();
+        g.validate().unwrap();
+        // one Cat per cached tensor per layer
+        assert_eq!(g.op_histogram()["cat"], 2 * cfg.layers);
+        let t = ngb_graph::Interpreter::default().run(&g).unwrap();
+        let probs = t.outputs.iter().find(|(_, v)| v.shape() == [1, 1, 100]).unwrap();
+        let s: f32 = probs.1.to_vec_f32().unwrap().iter().sum();
+        assert!((s - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn decode_is_more_non_gemm_bound_than_prefill() {
+        // at seq 1, every GEMM is a matrix-vector product: generation is
+        // even deeper into the non-GEMM regime than prefill
+        let cfg = Gpt2Config::base();
+        let prefill = cfg.build(1).unwrap();
+        let decode = cfg.build_decode(1, 128).unwrap();
+        let platform = ngb_platform::Platform::data_center();
+        let p = ngb_profiler::profile_analytic(&prefill, &platform, ngb_runtime::Flow::Eager, true, 1);
+        let d = ngb_profiler::profile_analytic(&decode, &platform, ngb_runtime::Flow::Eager, true, 1);
+        assert!(
+            d.breakdown().non_gemm_frac() >= p.breakdown().non_gemm_frac() - 0.05,
+            "decode {:.2} vs prefill {:.2}",
+            d.breakdown().non_gemm_frac(),
+            p.breakdown().non_gemm_frac()
+        );
+    }
+
+    #[test]
+    fn uses_conv1d_not_linear_in_blocks() {
+        let g = Gpt2Config::base().build(1).unwrap();
+        let h = g.op_histogram();
+        // 4 Conv1D per block (qkv, proj, fc, proj) + lm_head linear
+        assert_eq!(h["conv1d_gpt2"], 4 * 12);
+        assert_eq!(h["linear"], 1);
+        assert_eq!(h["new_gelu"], 12);
+        assert_eq!(h["causal_mask"], 12);
+    }
+}

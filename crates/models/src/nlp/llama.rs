@@ -1,0 +1,177 @@
+//! Llama-2 decoder-only language model (Touvron et al., Table 1's 7 B
+//! entry).
+//!
+//! Reproduces the eager-mode characteristics the paper attributes Llama's
+//! GPU profile to: the decomposed `LlamaRMSNorm` (§4.1.4), rotary position
+//! embeddings whose `rotate_half` emits the Table 2 `Neg` on
+//! `[1, 32, 10, 64]`-like shapes, SiLU-gated MLPs with an element-wise
+//! `Mul` on `[1, 10, 11008]`, and bias-free projections.
+
+use ngb_graph::{Graph, GraphBuilder, OpKind};
+
+use crate::common::{self_attention, Attention, Result};
+
+/// Llama-2 configuration.
+#[derive(Debug, Clone)]
+pub struct LlamaConfig {
+    /// Model alias used as the graph name.
+    pub name: &'static str,
+    /// Vocabulary size (32000).
+    pub vocab: usize,
+    /// Hidden size.
+    pub d: usize,
+    /// Gated-MLP intermediate size (11008 for 7B).
+    pub intermediate: usize,
+    /// Decoder depth.
+    pub layers: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Sequence length profiled (the paper's Table 2 uses 10).
+    pub seq: usize,
+}
+
+impl LlamaConfig {
+    /// Llama-2-7B: 32 × 4096, intermediate 11008.
+    pub fn llama2_7b() -> Self {
+        LlamaConfig {
+            name: "llama2_7b",
+            vocab: 32000,
+            d: 4096,
+            intermediate: 11008,
+            layers: 32,
+            heads: 32,
+            seq: 10,
+        }
+    }
+
+    /// Executable toy preset.
+    pub fn toy() -> Self {
+        LlamaConfig {
+            name: "llama_toy",
+            vocab: 64,
+            d: 16,
+            intermediate: 40,
+            layers: 2,
+            heads: 2,
+            seq: 5,
+        }
+    }
+
+    /// Builds the causal LM graph for `batch` sequences.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on internally inconsistent configurations.
+    pub fn build(&self, batch: usize) -> Result<Graph> {
+        let mut b = GraphBuilder::new(self.name);
+        let ids = b.input_ids(&[batch, self.seq], self.vocab);
+        let mut h =
+            b.push(OpKind::Embedding { vocab: self.vocab, dim: self.d }, &[ids], "embed_tokens")?;
+
+        for l in 0..self.layers {
+            let n1 = b.push(
+                OpKind::LlamaRmsNorm { dim: self.d },
+                &[h],
+                &format!("layers.{l}.input_layernorm"),
+            )?;
+            let att = self_attention(
+                &mut b,
+                n1,
+                batch,
+                self.seq,
+                Attention {
+                    d: self.d,
+                    heads: self.heads,
+                    causal: true,
+                    gpt2_conv1d: false,
+                    bias: false,
+                    rotary: true,
+                },
+                &format!("layers.{l}.self_attn"),
+            )?;
+            let x1 = b.push(OpKind::Add, &[h, att], &format!("layers.{l}.add_attn"))?;
+            let n2 = b.push(
+                OpKind::LlamaRmsNorm { dim: self.d },
+                &[x1],
+                &format!("layers.{l}.post_attention_layernorm"),
+            )?;
+            // SwiGLU MLP: silu(gate(x)) * up(x) -> down
+            let gate = b.push(
+                OpKind::Linear { in_f: self.d, out_f: self.intermediate, bias: false },
+                &[n2],
+                &format!("layers.{l}.mlp.gate_proj"),
+            )?;
+            let act = b.push(OpKind::Silu, &[gate], &format!("layers.{l}.mlp.act"))?;
+            let up = b.push(
+                OpKind::Linear { in_f: self.d, out_f: self.intermediate, bias: false },
+                &[n2],
+                &format!("layers.{l}.mlp.up_proj"),
+            )?;
+            let gated = b.push(OpKind::Mul, &[act, up], &format!("layers.{l}.mlp.mul"))?;
+            let down = b.push(
+                OpKind::Linear { in_f: self.intermediate, out_f: self.d, bias: false },
+                &[gated],
+                &format!("layers.{l}.mlp.down_proj"),
+            )?;
+            h = b.push(OpKind::Add, &[x1, down], &format!("layers.{l}.add_mlp"))?;
+        }
+        let norm = b.push(OpKind::LlamaRmsNorm { dim: self.d }, &[h], "norm")?;
+        let logits = b.push(
+            OpKind::Linear { in_f: self.d, out_f: self.vocab, bias: false },
+            &[norm],
+            "lm_head",
+        )?;
+        b.push(OpKind::Softmax { dim: 2 }, &[logits], "probs")?;
+        Ok(b.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ngb_graph::Interpreter;
+
+    #[test]
+    fn seven_billion_parameters() {
+        let g = LlamaConfig::llama2_7b().build(1).unwrap();
+        g.validate().unwrap();
+        let p = g.param_count();
+        assert!((6_400_000_000..7_200_000_000).contains(&p), "{p}");
+    }
+
+    #[test]
+    fn table2_operator_shapes() {
+        let g = LlamaConfig::llama2_7b().build(1).unwrap();
+        // Table 2: SiLU and Mul on [1, 10, 11008]
+        assert!(g.iter().any(|n| n.op == OpKind::Silu && n.out_shape == [1, 10, 11008]));
+        assert!(g.iter().any(|n| n.op == OpKind::Mul && n.out_shape == [1, 10, 11008]));
+        // Table 2: LlamaRMSNorm on [1, 10, 4096]
+        assert!(g
+            .iter()
+            .any(|n| matches!(n.op, OpKind::LlamaRmsNorm { .. }) && n.out_shape == [1, 10, 4096]));
+        // Table 2: Neg from rotate_half on the merged head layout [32, 10, 64]
+        assert!(g.iter().any(|n| n.op == OpKind::Neg && n.out_shape == [32, 10, 64]));
+        // bias-free projections
+        assert!(g
+            .iter()
+            .all(|n| !matches!(n.op, OpKind::Linear { bias: true, .. }) || n.name == "lm_head"));
+    }
+
+    #[test]
+    fn uses_decomposed_rms_norm() {
+        let g = LlamaConfig::llama2_7b().build(1).unwrap();
+        let h = g.op_histogram();
+        assert_eq!(h["llama_rms_norm"], 2 * 32 + 1);
+        assert!(!h.contains_key("rms_norm"));
+        assert!(!h.contains_key("layer_norm"));
+    }
+
+    #[test]
+    fn toy_executes() {
+        let g = LlamaConfig::toy().build(2).unwrap();
+        let t = Interpreter::default().run(&g).unwrap();
+        let probs = &t.outputs[0].1;
+        assert_eq!(probs.shape(), &[2, 5, 64]);
+        assert!(probs.to_vec_f32().unwrap().iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,5 @@
+//! Language-model families.
+
+pub mod bert;
+pub mod gpt2;
+pub mod llama;

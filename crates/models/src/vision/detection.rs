@@ -1,0 +1,603 @@
+//! Object-detection models (Table 1): FasterRCNN, MaskRCNN, and DETR.
+//!
+//! The R-CNN variants reproduce the three properties the paper attributes
+//! their GPU profiles to: a `FrozenBatchNorm2d`-laden backbone (custom
+//! normalization → Normalization dominates, §4.1.2), an FPN full of
+//! interpolation and element-wise adds, and a dynamic RoI pipeline
+//! (sigmoid → top-k → NMS → RoIAlign).
+
+use ngb_graph::{Graph, GraphBuilder, NodeId, OpKind};
+
+use crate::common::{cross_attention, mlp, self_attention, Attention, MlpAct, Result};
+use crate::vision::resnet::{backbone_pyramid, ResNet50Config};
+
+/// Shared configuration of the two R-CNN variants.
+#[derive(Debug, Clone)]
+pub struct RcnnConfig {
+    /// Input resolution (torchvision resizes COCO images to ~800).
+    pub image: usize,
+    /// FPN channel width (256).
+    pub fpn: usize,
+    /// Proposals kept after RPN NMS.
+    pub proposals: usize,
+    /// Final detections kept.
+    pub detections: usize,
+    /// COCO classes + background.
+    pub classes: usize,
+    /// Whether to append the mask head (MaskRCNN).
+    pub mask_head: bool,
+    /// Backbone config (frozen-norm ResNet-50).
+    pub backbone: ResNet50Config,
+}
+
+impl RcnnConfig {
+    /// Paper-scale FasterRCNN (42 M parameters).
+    pub fn faster_rcnn() -> Self {
+        RcnnConfig {
+            image: 800,
+            fpn: 256,
+            proposals: 1000,
+            detections: 100,
+            classes: 91,
+            mask_head: false,
+            backbone: ResNet50Config { norm_frozen: true, image: 800, ..ResNet50Config::full() },
+        }
+    }
+
+    /// Paper-scale MaskRCNN (44 M parameters).
+    pub fn mask_rcnn() -> Self {
+        RcnnConfig { mask_head: true, ..RcnnConfig::faster_rcnn() }
+    }
+
+    /// Executable toy preset.
+    pub fn toy(mask_head: bool) -> Self {
+        RcnnConfig {
+            image: 64,
+            fpn: 16,
+            proposals: 32,
+            detections: 8,
+            classes: 5,
+            mask_head,
+            backbone: ResNet50Config {
+                norm_frozen: true,
+                image: 64,
+                stem: 8,
+                blocks: [1, 1, 1, 1],
+                classes: 5,
+            },
+        }
+    }
+
+    /// Builds the detector graph for `batch` images.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on internally inconsistent configurations.
+    pub fn build(&self, batch: usize) -> Result<Graph> {
+        let name = if self.mask_head { "mask_rcnn" } else { "faster_rcnn" };
+        let mut b = GraphBuilder::new(name);
+        let x = b.input(&[batch, 3, self.image, self.image]);
+        let stages = backbone_pyramid(&mut b, x, &self.backbone, "backbone")?;
+        let pyramid = fpn(&mut b, &stages, self.fpn, "fpn")?;
+
+        // ---- RPN over every pyramid level
+        let anchors = 3;
+        let mut level_proposals = Vec::new();
+        for (li, &level) in pyramid.iter().enumerate() {
+            let shape = b.shape(level).to_vec();
+            let (h, w) = (shape[2], shape[3]);
+            let conv = b.push(
+                OpKind::Conv2d {
+                    in_c: self.fpn,
+                    out_c: self.fpn,
+                    kernel: 3,
+                    stride: 1,
+                    padding: 1,
+                    groups: 1,
+                    bias: true,
+                },
+                &[level],
+                &format!("rpn.head.{li}.conv"),
+            )?;
+            let act = b.push(OpKind::Relu, &[conv], &format!("rpn.head.{li}.relu"))?;
+            let logits = b.push(
+                OpKind::Conv2d {
+                    in_c: self.fpn,
+                    out_c: anchors,
+                    kernel: 1,
+                    stride: 1,
+                    padding: 0,
+                    groups: 1,
+                    bias: true,
+                },
+                &[act],
+                &format!("rpn.head.{li}.cls"),
+            )?;
+            let deltas = b.push(
+                OpKind::Conv2d {
+                    in_c: self.fpn,
+                    out_c: 4 * anchors,
+                    kernel: 1,
+                    stride: 1,
+                    padding: 0,
+                    groups: 1,
+                    bias: true,
+                },
+                &[act],
+                &format!("rpn.head.{li}.bbox"),
+            )?;
+            // objectness: [B, A, H, W] -> [B*A*H*W] scores
+            let n_anchors = batch * anchors * h * w;
+            let flat = b.push(
+                OpKind::Reshape { shape: vec![n_anchors] },
+                &[logits],
+                &format!("rpn.{li}.flatten"),
+            )?;
+            let scores = b.push(OpKind::Sigmoid, &[flat], &format!("rpn.{li}.sigmoid"))?;
+            // decode deltas into boxes: permute + reshape + arithmetic
+            let dp = b.push(
+                OpKind::Permute { perm: vec![0, 2, 3, 1] },
+                &[deltas],
+                &format!("rpn.{li}.deltas.permute"),
+            )?;
+            let dc = b.push(OpKind::Contiguous, &[dp], &format!("rpn.{li}.deltas.contiguous"))?;
+            let boxes = b.push(
+                OpKind::Reshape { shape: vec![n_anchors, 4] },
+                &[dc],
+                &format!("rpn.{li}.deltas.reshape"),
+            )?;
+            let scaled =
+                b.push(OpKind::MulScalar(16.0), &[boxes], &format!("rpn.{li}.decode.scale"))?;
+            let decoded =
+                b.push(OpKind::AddScalar(0.5), &[scaled], &format!("rpn.{li}.decode.shift"))?;
+            // pre-NMS top-k per level
+            let pre = self.proposals.min(n_anchors);
+            let top_scores = b.push(
+                OpKind::Reshape { shape: vec![1, n_anchors] },
+                &[scores],
+                &format!("rpn.{li}.scores.reshape"),
+            )?;
+            let topk = b.push(OpKind::TopK { k: pre }, &[top_scores], &format!("rpn.{li}.topk"))?;
+            let topk_flat = b.push(
+                OpKind::Reshape { shape: vec![pre] },
+                &[topk],
+                &format!("rpn.{li}.topk.flatten"),
+            )?;
+            let cand = b.push(
+                OpKind::Slice { dim: 0, start: 0, len: pre },
+                &[decoded],
+                &format!("rpn.{li}.candidates"),
+            )?;
+            let keep = b.push(
+                OpKind::Nms { iou_threshold: 0.7, nominal_keep: pre / 2 },
+                &[cand, topk_flat],
+                &format!("rpn.{li}.nms"),
+            )?;
+            let _ = keep;
+            let kept_boxes = b.push(
+                OpKind::Slice { dim: 0, start: 0, len: pre / 2 },
+                &[cand],
+                &format!("rpn.{li}.kept"),
+            )?;
+            level_proposals.push(kept_boxes);
+        }
+        let all = b.push(OpKind::Cat { dim: 0 }, &level_proposals, "rpn.cat_levels")?;
+        let total = b.shape(all)[0];
+        let n_props = self.proposals.min(total);
+        let props =
+            b.push(OpKind::Slice { dim: 0, start: 0, len: n_props }, &[all], "rpn.proposals")?;
+
+        // ---- RoI heads: align on the mid-pyramid level (RoIs are
+        // gathered per image, so take the first image's map as the
+        // representative feature — torchvision iterates images here)
+        let feat = pyramid[1];
+        let fshape = b.shape(feat).to_vec();
+        let first = b.push(OpKind::Slice { dim: 0, start: 0, len: 1 }, &[feat], "roi.image0")?;
+        let fmap = b.push(
+            OpKind::Reshape { shape: vec![fshape[1], fshape[2], fshape[3]] },
+            &[first],
+            "roi.feature",
+        )?;
+        let aligned = b.push(
+            OpKind::RoiAlign { out: 7, spatial_scale: 0.125 },
+            &[fmap, props],
+            "roi.align",
+        )?;
+        let flat = b.push(
+            OpKind::Reshape { shape: vec![n_props, self.fpn * 49] },
+            &[aligned],
+            "roi.flatten",
+        )?;
+        let fc6 = b.push(
+            OpKind::Linear { in_f: self.fpn * 49, out_f: 1024, bias: true },
+            &[flat],
+            "roi.box_head.fc6",
+        )?;
+        let r6 = b.push(OpKind::Relu, &[fc6], "roi.box_head.relu6")?;
+        let fc7 =
+            b.push(OpKind::Linear { in_f: 1024, out_f: 1024, bias: true }, &[r6], "roi.box_head.fc7")?;
+        let r7 = b.push(OpKind::Relu, &[fc7], "roi.box_head.relu7")?;
+        let cls = b.push(
+            OpKind::Linear { in_f: 1024, out_f: self.classes, bias: true },
+            &[r7],
+            "roi.predictor.cls",
+        )?;
+        let probs = b.push(OpKind::Softmax { dim: 1 }, &[cls], "roi.predictor.softmax")?;
+        let bbox = b.push(
+            OpKind::Linear { in_f: 1024, out_f: 4 * self.classes, bias: true },
+            &[r7],
+            "roi.predictor.bbox",
+        )?;
+        // final filtering: best class score per proposal, decode, NMS
+        let best = b.push(OpKind::TopK { k: 1 }, &[probs], "post.best_score")?;
+        let best_flat =
+            b.push(OpKind::Reshape { shape: vec![n_props] }, &[best], "post.scores")?;
+        let boxes4 = b.push(
+            OpKind::Slice { dim: 1, start: 0, len: 4 },
+            &[bbox],
+            "post.take_boxes",
+        )?;
+        let decoded = b.push(OpKind::MulScalar(8.0), &[boxes4], "post.decode")?;
+        let keep = b.push(
+            OpKind::Nms { iou_threshold: 0.5, nominal_keep: self.detections },
+            &[decoded, best_flat],
+            "post.nms",
+        )?;
+        let _ = keep;
+        let final_boxes = b.push(
+            OpKind::Slice { dim: 0, start: 0, len: self.detections.min(n_props) },
+            &[decoded],
+            "post.detections",
+        )?;
+
+        if self.mask_head {
+            let n_det = self.detections.min(n_props);
+            let maligned = b.push(
+                OpKind::RoiAlign { out: 14, spatial_scale: 0.125 },
+                &[fmap, final_boxes],
+                "mask.align",
+            )?;
+            let mut h = maligned;
+            for i in 0..4 {
+                let c = b.push(
+                    OpKind::Conv2d {
+                        in_c: self.fpn,
+                        out_c: self.fpn,
+                        kernel: 3,
+                        stride: 1,
+                        padding: 1,
+                        groups: 1,
+                        bias: true,
+                    },
+                    &[h],
+                    &format!("mask.fcn{i}.conv"),
+                )?;
+                h = b.push(OpKind::Relu, &[c], &format!("mask.fcn{i}.relu"))?;
+            }
+            let up = b.push(OpKind::InterpolateBilinear { oh: 28, ow: 28 }, &[h], "mask.upsample")?;
+            let logits = b.push(
+                OpKind::Conv2d {
+                    in_c: self.fpn,
+                    out_c: self.classes,
+                    kernel: 1,
+                    stride: 1,
+                    padding: 0,
+                    groups: 1,
+                    bias: true,
+                },
+                &[up],
+                "mask.predictor",
+            )?;
+            let masks = b.push(OpKind::Sigmoid, &[logits], "mask.probs")?;
+            let _ = (masks, n_det);
+        }
+        Ok(b.finish())
+    }
+}
+
+/// Feature pyramid network: lateral 1×1 convs + nearest-neighbor top-down
+/// fusion + 3×3 output convs (+ P6 pool level).
+fn fpn(
+    b: &mut GraphBuilder,
+    stages: &[(NodeId, usize)],
+    out_c: usize,
+    name: &str,
+) -> Result<Vec<NodeId>> {
+    // lateral projections, from deepest to shallowest
+    let mut laterals = Vec::new();
+    for (i, &(node, c)) in stages.iter().enumerate() {
+        let l = b.push(
+            OpKind::Conv2d { in_c: c, out_c, kernel: 1, stride: 1, padding: 0, groups: 1, bias: true },
+            &[node],
+            &format!("{name}.lateral{i}"),
+        )?;
+        laterals.push(l);
+    }
+    let mut outs = vec![*laterals.last().expect("nonempty pyramid")];
+    for i in (0..laterals.len() - 1).rev() {
+        let below = outs[0];
+        let shape = b.shape(laterals[i]).to_vec();
+        let up = b.push(
+            OpKind::InterpolateNearest { oh: shape[2], ow: shape[3] },
+            &[below],
+            &format!("{name}.upsample{i}"),
+        )?;
+        let sum = b.push(OpKind::Add, &[laterals[i], up], &format!("{name}.add{i}"))?;
+        outs.insert(0, sum);
+    }
+    let mut smoothed = Vec::new();
+    for (i, &o) in outs.iter().enumerate() {
+        let s = b.push(
+            OpKind::Conv2d {
+                in_c: out_c,
+                out_c,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+                groups: 1,
+                bias: true,
+            },
+            &[o],
+            &format!("{name}.output{i}"),
+        )?;
+        smoothed.push(s);
+    }
+    Ok(smoothed)
+}
+
+/// DETR configuration (Carion et al., 41 M parameters).
+#[derive(Debug, Clone)]
+pub struct DetrConfig {
+    /// Input resolution.
+    pub image: usize,
+    /// Transformer hidden size (256).
+    pub d: usize,
+    /// Attention heads (8).
+    pub heads: usize,
+    /// Encoder/decoder depth (6 each).
+    pub layers: usize,
+    /// Object queries (100).
+    pub queries: usize,
+    /// FFN hidden size (2048).
+    pub ffn: usize,
+    /// COCO classes + no-object.
+    pub classes: usize,
+    /// Backbone config.
+    pub backbone: ResNet50Config,
+}
+
+impl DetrConfig {
+    /// Paper-scale DETR-R50.
+    pub fn full() -> Self {
+        DetrConfig {
+            image: 800,
+            d: 256,
+            heads: 8,
+            layers: 6,
+            queries: 100,
+            ffn: 2048,
+            classes: 92,
+            backbone: ResNet50Config { norm_frozen: true, image: 800, ..ResNet50Config::full() },
+        }
+    }
+
+    /// Executable toy preset.
+    pub fn toy() -> Self {
+        DetrConfig {
+            image: 64,
+            d: 16,
+            heads: 2,
+            layers: 1,
+            queries: 4,
+            ffn: 32,
+            classes: 5,
+            backbone: ResNet50Config {
+                norm_frozen: true,
+                image: 64,
+                stem: 8,
+                blocks: [1, 1, 1, 1],
+                classes: 5,
+            },
+        }
+    }
+
+    /// Builds the DETR graph for `batch` images.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on internally inconsistent configurations.
+    pub fn build(&self, batch: usize) -> Result<Graph> {
+        let mut b = GraphBuilder::new("detr");
+        let x = b.input(&[batch, 3, self.image, self.image]);
+        let stages = backbone_pyramid(&mut b, x, &self.backbone, "backbone")?;
+        let (c5, c5_c) = *stages.last().expect("four stages");
+        let shape = b.shape(c5).to_vec();
+        let (h, w) = (shape[2], shape[3]);
+        let t = h * w;
+
+        let proj = b.push(
+            OpKind::Conv2d {
+                in_c: c5_c,
+                out_c: self.d,
+                kernel: 1,
+                stride: 1,
+                padding: 0,
+                groups: 1,
+                bias: true,
+            },
+            &[c5],
+            "input_proj",
+        )?;
+        let flat =
+            b.push(OpKind::Reshape { shape: vec![batch, self.d, t] }, &[proj], "flatten")?;
+        let perm = b.push(OpKind::Permute { perm: vec![0, 2, 1] }, &[flat], "permute")?;
+        let tokens = b.push(OpKind::Contiguous, &[perm], "contiguous")?;
+        let pos = b.input(&[1, t, self.d]);
+        let mut memory = b.push(OpKind::Add, &[tokens, pos], "pos_embed")?;
+
+        // post-norm encoder with ReLU FFN (DETR's Table 2 entries: ReLU and
+        // LayerNorm on [2, 850, 256]-like shapes)
+        for l in 0..self.layers {
+            let att = self_attention(
+                &mut b,
+                memory,
+                batch,
+                t,
+                Attention {
+                    d: self.d,
+                    heads: self.heads,
+                    causal: false,
+                    gpt2_conv1d: false,
+                    bias: true,
+                    rotary: false,
+                },
+                &format!("encoder.{l}.attn"),
+            )?;
+            let a1 = b.push(OpKind::Add, &[memory, att], &format!("encoder.{l}.add1"))?;
+            let n1 =
+                b.push(OpKind::LayerNorm { dim: self.d }, &[a1], &format!("encoder.{l}.norm1"))?;
+            let ff = mlp(&mut b, n1, self.d, self.ffn, MlpAct::Relu, false, &format!("encoder.{l}.ffn"))?;
+            let a2 = b.push(OpKind::Add, &[n1, ff], &format!("encoder.{l}.add2"))?;
+            memory =
+                b.push(OpKind::LayerNorm { dim: self.d }, &[a2], &format!("encoder.{l}.norm2"))?;
+        }
+
+        // decoder over object queries
+        let queries = b.input(&[1, self.queries, self.d]);
+        let mut q = b.push(
+            OpKind::Expand { shape: vec![batch, self.queries, self.d] },
+            &[queries],
+            "query_embed.expand",
+        )?;
+        q = b.push(OpKind::Contiguous, &[q], "query_embed.contiguous")?;
+        for l in 0..self.layers {
+            let sa = self_attention(
+                &mut b,
+                q,
+                batch,
+                self.queries,
+                Attention {
+                    d: self.d,
+                    heads: self.heads,
+                    causal: false,
+                    gpt2_conv1d: false,
+                    bias: true,
+                    rotary: false,
+                },
+                &format!("decoder.{l}.self_attn"),
+            )?;
+            let a1 = b.push(OpKind::Add, &[q, sa], &format!("decoder.{l}.add1"))?;
+            let n1 =
+                b.push(OpKind::LayerNorm { dim: self.d }, &[a1], &format!("decoder.{l}.norm1"))?;
+            let ca = cross_attention(
+                &mut b,
+                n1,
+                memory,
+                batch,
+                self.queries,
+                t,
+                self.d,
+                self.heads,
+                &format!("decoder.{l}.cross_attn"),
+            )?;
+            let a2 = b.push(OpKind::Add, &[n1, ca], &format!("decoder.{l}.add2"))?;
+            let n2 =
+                b.push(OpKind::LayerNorm { dim: self.d }, &[a2], &format!("decoder.{l}.norm2"))?;
+            let ff = mlp(&mut b, n2, self.d, self.ffn, MlpAct::Relu, false, &format!("decoder.{l}.ffn"))?;
+            let a3 = b.push(OpKind::Add, &[n2, ff], &format!("decoder.{l}.add3"))?;
+            q = b.push(OpKind::LayerNorm { dim: self.d }, &[a3], &format!("decoder.{l}.norm3"))?;
+        }
+
+        // prediction heads
+        let cls = b.push(
+            OpKind::Linear { in_f: self.d, out_f: self.classes, bias: true },
+            &[q],
+            "class_head",
+        )?;
+        b.push(OpKind::Softmax { dim: 2 }, &[cls], "class_probs")?;
+        let mut bh = q;
+        for i in 0..2 {
+            let fc = b.push(
+                OpKind::Linear { in_f: self.d, out_f: self.d, bias: true },
+                &[bh],
+                &format!("bbox_head.{i}"),
+            )?;
+            bh = b.push(OpKind::Relu, &[fc], &format!("bbox_head.{i}.relu"))?;
+        }
+        let raw = b.push(OpKind::Linear { in_f: self.d, out_f: 4, bias: true }, &[bh], "bbox_head.out")?;
+        let sig = b.push(OpKind::Sigmoid, &[raw], "bbox_sigmoid")?;
+        let flat_boxes = b.push(
+            OpKind::Reshape { shape: vec![batch * self.queries, 4] },
+            &[sig],
+            "bbox_flatten",
+        )?;
+        b.push(OpKind::BoxConvert, &[flat_boxes], "box_convert")?;
+        Ok(b.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ngb_graph::{Interpreter, NonGemmGroup};
+
+    #[test]
+    fn faster_rcnn_full_structure() {
+        let g = RcnnConfig::faster_rcnn().build(1).unwrap();
+        g.validate().unwrap();
+        assert!(g.iter().any(|n| matches!(n.op, OpKind::FrozenBatchNorm2d { .. })));
+        assert!(g.iter().any(|n| matches!(n.op, OpKind::Nms { .. })));
+        assert!(g.iter().any(|n| matches!(n.op, OpKind::RoiAlign { .. })));
+        assert!(g.group_count(NonGemmGroup::Normalization) >= 53);
+        let params = g.param_count();
+        assert!((30_000_000..55_000_000).contains(&params), "{params}");
+    }
+
+    #[test]
+    fn mask_rcnn_adds_mask_head() {
+        let f = RcnnConfig::faster_rcnn().build(1).unwrap();
+        let m = RcnnConfig::mask_rcnn().build(1).unwrap();
+        assert!(m.len() > f.len());
+        assert!(m.iter().any(|n| n.name.starts_with("mask.")));
+        assert!(m.param_count() > f.param_count());
+    }
+
+    #[test]
+    fn rcnn_toy_executes() {
+        let g = RcnnConfig::toy(false).build(1).unwrap();
+        let t = Interpreter::default().run(&g).unwrap();
+        assert!(!t.outputs.is_empty());
+    }
+
+    #[test]
+    fn mask_rcnn_toy_executes() {
+        let g = RcnnConfig::toy(true).build(1).unwrap();
+        let t = Interpreter::default().run(&g).unwrap();
+        // mask output present: [det, classes, 28, 28]-shaped sigmoid map
+        assert!(t
+            .outputs
+            .iter()
+            .any(|(_, v)| v.rank() == 4 && v.shape()[2] == 28));
+    }
+
+    #[test]
+    fn detr_full_structure() {
+        let g = DetrConfig::full().build(2).unwrap();
+        g.validate().unwrap();
+        let params = g.param_count();
+        assert!((35_000_000..50_000_000).contains(&params), "{params}");
+        // DETR's table-2 ops: ReLU FFN + LayerNorm + FrozenBatchNorm2d
+        assert!(g.iter().any(|n| n.op == OpKind::Relu));
+        assert!(g.iter().any(|n| matches!(n.op, OpKind::LayerNorm { .. })));
+        assert!(g.iter().any(|n| matches!(n.op, OpKind::FrozenBatchNorm2d { .. })));
+        assert!(g.iter().any(|n| n.op == OpKind::BoxConvert));
+    }
+
+    #[test]
+    fn detr_toy_executes() {
+        let g = DetrConfig::toy().build(1).unwrap();
+        let t = Interpreter::default().run(&g).unwrap();
+        // box output in corner format [queries, 4]
+        assert!(t.outputs.iter().any(|(_, v)| v.shape() == [4, 4]));
+    }
+}

@@ -1,0 +1,176 @@
+//! MobileNetV2 image classifier (Sandler et al., Table 1): inverted
+//! residual blocks with depthwise convolutions and ReLU6.
+
+use ngb_graph::{Graph, GraphBuilder, NodeId, OpKind};
+
+use crate::common::Result;
+
+/// MobileNetV2 configuration.
+#[derive(Debug, Clone)]
+pub struct MobileNetV2Config {
+    /// Input resolution.
+    pub image: usize,
+    /// Width multiplier applied to every channel count.
+    pub width: f32,
+    /// Output classes.
+    pub classes: usize,
+}
+
+impl MobileNetV2Config {
+    /// Paper-scale MobileNetV2 (width 1.0, 224², 1000 classes, 3.4 M params).
+    pub fn full() -> Self {
+        MobileNetV2Config { image: 224, width: 1.0, classes: 1000 }
+    }
+
+    /// Executable toy preset.
+    pub fn tiny() -> Self {
+        MobileNetV2Config { image: 32, width: 0.125, classes: 10 }
+    }
+
+    fn ch(&self, c: usize) -> usize {
+        ((c as f32 * self.width).round() as usize).max(4)
+    }
+
+    /// Builds the classifier graph for `batch` images.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on internally inconsistent configurations.
+    pub fn build(&self, batch: usize) -> Result<Graph> {
+        // (expansion t, out channels c, repeats n, stride s) — Table 2 of the
+        // MobileNetV2 paper.
+        const SETTINGS: [(usize, usize, usize, usize); 7] = [
+            (1, 16, 1, 1),
+            (6, 24, 2, 2),
+            (6, 32, 3, 2),
+            (6, 64, 4, 2),
+            (6, 96, 3, 1),
+            (6, 160, 3, 2),
+            (6, 320, 1, 1),
+        ];
+        let mut b = GraphBuilder::new("mobilenet_v2");
+        let x = b.input(&[batch, 3, self.image, self.image]);
+        let stem_c = self.ch(32);
+        let mut h = conv_bn_relu6(&mut b, x, 3, stem_c, 3, 2, 1, 1, "stem")?;
+        let mut in_c = stem_c;
+        for (bi, &(t, c, n, s)) in SETTINGS.iter().enumerate() {
+            let out_c = self.ch(c);
+            for r in 0..n {
+                let stride = if r == 0 { s } else { 1 };
+                h = inverted_residual(
+                    &mut b,
+                    h,
+                    in_c,
+                    out_c,
+                    t,
+                    stride,
+                    &format!("features.{bi}.{r}"),
+                )?;
+                in_c = out_c;
+            }
+        }
+        let head_c = self.ch(1280);
+        h = conv_bn_relu6(&mut b, h, in_c, head_c, 1, 1, 0, 1, "head")?;
+        let pooled = b.push(OpKind::AdaptiveAvgPool2d { oh: 1, ow: 1 }, &[h], "avgpool")?;
+        let flat = b.push(OpKind::Reshape { shape: vec![batch, head_c] }, &[pooled], "flatten")?;
+        let logits = b.push(
+            OpKind::Linear { in_f: head_c, out_f: self.classes, bias: true },
+            &[flat],
+            "classifier",
+        )?;
+        b.push(OpKind::Softmax { dim: 1 }, &[logits], "probs")?;
+        Ok(b.finish())
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn conv_bn_relu6(
+    b: &mut GraphBuilder,
+    x: NodeId,
+    in_c: usize,
+    out_c: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    groups: usize,
+    name: &str,
+) -> Result<NodeId> {
+    let c = b.push(
+        OpKind::Conv2d { in_c, out_c, kernel, stride, padding, groups, bias: false },
+        &[x],
+        &format!("{name}.conv"),
+    )?;
+    let n = b.push(OpKind::BatchNorm2d { c: out_c }, &[c], &format!("{name}.bn"))?;
+    b.push(OpKind::Relu6, &[n], &format!("{name}.relu6"))
+}
+
+fn inverted_residual(
+    b: &mut GraphBuilder,
+    x: NodeId,
+    in_c: usize,
+    out_c: usize,
+    expand: usize,
+    stride: usize,
+    name: &str,
+) -> Result<NodeId> {
+    let hidden = in_c * expand;
+    let mut h = x;
+    if expand != 1 {
+        h = conv_bn_relu6(b, h, in_c, hidden, 1, 1, 0, 1, &format!("{name}.expand"))?;
+    }
+    // depthwise
+    h = conv_bn_relu6(b, h, hidden, hidden, 3, stride, 1, hidden, &format!("{name}.dw"))?;
+    // linear bottleneck (no activation)
+    let pc = b.push(
+        OpKind::Conv2d { in_c: hidden, out_c, kernel: 1, stride: 1, padding: 0, groups: 1, bias: false },
+        &[h],
+        &format!("{name}.project.conv"),
+    )?;
+    let pn = b.push(OpKind::BatchNorm2d { c: out_c }, &[pc], &format!("{name}.project.bn"))?;
+    if stride == 1 && in_c == out_c {
+        b.push(OpKind::Add, &[x, pn], &format!("{name}.residual"))
+    } else {
+        Ok(pn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ngb_graph::Interpreter;
+
+    #[test]
+    fn full_param_count_near_reference() {
+        let g = MobileNetV2Config::full().build(1).unwrap();
+        g.validate().unwrap();
+        let params = g.param_count();
+        // reference: 3.4M
+        assert!((2_500_000..4_500_000).contains(&params), "{params}");
+    }
+
+    #[test]
+    fn uses_depthwise_convs_and_relu6() {
+        let g = MobileNetV2Config::full().build(1).unwrap();
+        assert!(g
+            .iter()
+            .any(|n| matches!(n.op, OpKind::Conv2d { groups, .. } if groups > 1)));
+        assert!(g.iter().any(|n| n.op == OpKind::Relu6));
+        assert!(g.iter().any(|n| n.op == OpKind::Add)); // residuals
+    }
+
+    #[test]
+    fn tiny_executes() {
+        let g = MobileNetV2Config::tiny().build(2).unwrap();
+        let t = Interpreter::default().run(&g).unwrap();
+        assert_eq!(t.outputs[0].1.shape(), &[2, 10]);
+    }
+
+    #[test]
+    fn output_resolution_halves_five_times() {
+        let g = MobileNetV2Config::full().build(1).unwrap();
+        // the last conv feature map before pooling is 7x7 at 224 input
+        let pool = g.iter().find(|n| n.name == "avgpool").unwrap();
+        let feat = g.node(pool.inputs[0]);
+        assert_eq!(&feat.out_shape[2..], &[7, 7]);
+    }
+}

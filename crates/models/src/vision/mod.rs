@@ -1,0 +1,8 @@
+//! Computer-vision model families.
+
+pub mod detection;
+pub mod mobilenet;
+pub mod resnet;
+pub mod segmentation;
+pub mod swin;
+pub mod vit;

@@ -1,0 +1,332 @@
+//! Swin Transformer classifiers (Liu et al.): tiny, small, and base
+//! variants from Table 1. Windowed attention is expressed through the same
+//! view/permute/contiguous memory-operator choreography as the PyTorch
+//! implementation (window partition and reverse), which is what gives Swin
+//! its heavy Memory-group footprint in the paper's profiles.
+
+use ngb_graph::{Graph, GraphBuilder, NodeId, OpKind};
+
+use crate::common::{mlp, self_attention, Attention, MlpAct, Result};
+
+/// Swin Transformer configuration.
+#[derive(Debug, Clone)]
+pub struct SwinConfig {
+    /// Model alias used as the graph name.
+    pub name: &'static str,
+    /// Input resolution.
+    pub image: usize,
+    /// Patch size (4 in all published variants).
+    pub patch: usize,
+    /// Stage-1 embedding dim (`C`).
+    pub embed: usize,
+    /// Blocks per stage.
+    pub depths: Vec<usize>,
+    /// Heads per stage.
+    pub heads: Vec<usize>,
+    /// Attention window (7 in all published variants).
+    pub window: usize,
+    /// Output classes.
+    pub classes: usize,
+}
+
+impl SwinConfig {
+    /// Swin-Tiny: 29 M parameters, depths `[2,2,6,2]`, C = 96.
+    pub fn tiny_224() -> Self {
+        SwinConfig {
+            name: "swin_t",
+            image: 224,
+            patch: 4,
+            embed: 96,
+            depths: vec![2, 2, 6, 2],
+            heads: vec![3, 6, 12, 24],
+            window: 7,
+            classes: 1000,
+        }
+    }
+
+    /// Swin-Small: 50 M parameters, depths `[2,2,18,2]`, C = 96.
+    pub fn small_224() -> Self {
+        SwinConfig { depths: vec![2, 2, 18, 2], name: "swin_s", ..SwinConfig::tiny_224() }
+    }
+
+    /// Swin-Base: 88 M parameters, depths `[2,2,18,2]`, C = 128.
+    pub fn base_224() -> Self {
+        SwinConfig {
+            name: "swin_b",
+            embed: 128,
+            depths: vec![2, 2, 18, 2],
+            heads: vec![4, 8, 16, 32],
+            ..SwinConfig::small_224()
+        }
+    }
+
+    /// Executable toy preset.
+    pub fn toy() -> Self {
+        SwinConfig {
+            name: "swin_toy",
+            image: 16,
+            patch: 4,
+            embed: 8,
+            depths: vec![1, 1],
+            heads: vec![2, 4],
+            window: 2,
+            classes: 10,
+        }
+    }
+
+    /// Builds the classifier graph for `batch` images.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the window does not tile a stage resolution.
+    pub fn build(&self, batch: usize) -> Result<Graph> {
+        let mut b = GraphBuilder::new(self.name);
+        let x = b.input(&[batch, 3, self.image, self.image]);
+        let mut res = self.image / self.patch;
+        let mut c = self.embed;
+
+        // Patch embedding conv + flatten to tokens
+        let pe = b.push(
+            OpKind::Conv2d {
+                in_c: 3,
+                out_c: c,
+                kernel: self.patch,
+                stride: self.patch,
+                padding: 0,
+                groups: 1,
+                bias: true,
+            },
+            &[x],
+            "patch_embed.proj",
+        )?;
+        let r = b.push(OpKind::Reshape { shape: vec![batch, c, res * res] }, &[pe], "patch_embed.flatten")?;
+        let p = b.push(OpKind::Permute { perm: vec![0, 2, 1] }, &[r], "patch_embed.permute")?;
+        let pc = b.push(OpKind::Contiguous, &[p], "patch_embed.contiguous")?;
+        let mut h = b.push(OpKind::LayerNorm { dim: c }, &[pc], "patch_embed.norm")?;
+
+        for (stage, (&depth, &heads)) in self.depths.iter().zip(&self.heads).enumerate() {
+            for blk in 0..depth {
+                // Swin alternates W-MSA and SW-MSA: odd blocks cyclically
+                // shift the feature map by half a window before
+                // partitioning and shift back after (torch.roll)
+                let shifted = blk % 2 == 1 && res > self.window;
+                h = self.swin_block(
+                    &mut b,
+                    h,
+                    batch,
+                    res,
+                    c,
+                    heads,
+                    shifted,
+                    &format!("layers.{stage}.blocks.{blk}"),
+                )?;
+            }
+            // Patch merging between stages (not after the last)
+            if stage + 1 < self.depths.len() {
+                h = patch_merging(&mut b, h, batch, res, c, &format!("layers.{stage}.downsample"))?;
+                res /= 2;
+                c *= 2;
+            }
+        }
+        let ln = b.push(OpKind::LayerNorm { dim: c }, &[h], "norm")?;
+        let mean = b.push(OpKind::MeanDim { dim: 1, keepdim: false }, &[ln], "avgpool")?;
+        let logits =
+            b.push(OpKind::Linear { in_f: c, out_f: self.classes, bias: true }, &[mean], "head")?;
+        b.push(OpKind::Softmax { dim: 1 }, &[logits], "probs")?;
+        Ok(b.finish())
+    }
+
+    /// One Swin block: LN → (shift) → window partition → W-MSA → window
+    /// reverse → (unshift) → residual; LN → MLP → residual.
+    #[allow(clippy::too_many_arguments)]
+    fn swin_block(
+        &self,
+        b: &mut GraphBuilder,
+        x: NodeId,
+        batch: usize,
+        res: usize,
+        c: usize,
+        heads: usize,
+        shifted: bool,
+        name: &str,
+    ) -> Result<NodeId> {
+        let w = self.window.min(res);
+        if !res.is_multiple_of(w) {
+            return Err(ngb_tensor::TensorError::InvalidArgument(format!(
+                "window {w} does not tile resolution {res}"
+            )));
+        }
+        let nw = res / w;
+        let ln1 = b.push(OpKind::LayerNorm { dim: c }, &[x], &format!("{name}.norm1"))?;
+        // SW-MSA: cyclic shift the [B, H, W, C] map by half a window
+        let shift = (w / 2) as isize;
+        let ln1 = if shifted {
+            let map = b.push(
+                OpKind::View { shape: vec![batch, res, res, c] },
+                &[ln1],
+                &format!("{name}.shift.view"),
+            )?;
+            let r1 = b.push(
+                OpKind::Roll { shift: -shift, dim: 1 },
+                &[map],
+                &format!("{name}.shift.roll_h"),
+            )?;
+            let r2 = b.push(
+                OpKind::Roll { shift: -shift, dim: 2 },
+                &[r1],
+                &format!("{name}.shift.roll_w"),
+            )?;
+            b.push(
+                OpKind::Reshape { shape: vec![batch, res * res, c] },
+                &[r2],
+                &format!("{name}.shift.merge"),
+            )?
+        } else {
+            ln1
+        };
+        // window partition: [B, H*W, C] -> [B*nW*nW, w*w, C]
+        let v = b.push(
+            OpKind::View { shape: vec![batch, nw, w, nw, w, c] },
+            &[ln1],
+            &format!("{name}.win.view"),
+        )?;
+        let perm = b.push(
+            OpKind::Permute { perm: vec![0, 1, 3, 2, 4, 5] },
+            &[v],
+            &format!("{name}.win.permute"),
+        )?;
+        let cont = b.push(OpKind::Contiguous, &[perm], &format!("{name}.win.contiguous"))?;
+        let windows = b.push(
+            OpKind::View { shape: vec![batch * nw * nw, w * w, c] },
+            &[cont],
+            &format!("{name}.win.merge"),
+        )?;
+        let att = self_attention(
+            b,
+            windows,
+            batch * nw * nw,
+            w * w,
+            Attention { d: c, heads, causal: false, gpt2_conv1d: false, bias: true, rotary: false },
+            &format!("{name}.attn"),
+        )?;
+        // window reverse
+        let rv = b.push(
+            OpKind::View { shape: vec![batch, nw, nw, w, w, c] },
+            &[att],
+            &format!("{name}.rev.view"),
+        )?;
+        let rp = b.push(
+            OpKind::Permute { perm: vec![0, 1, 3, 2, 4, 5] },
+            &[rv],
+            &format!("{name}.rev.permute"),
+        )?;
+        let rc = b.push(OpKind::Contiguous, &[rp], &format!("{name}.rev.contiguous"))?;
+        let mut tokens = b.push(
+            OpKind::View { shape: vec![batch, res * res, c] },
+            &[rc],
+            &format!("{name}.rev.merge"),
+        )?;
+        if shifted {
+            // undo the cyclic shift
+            let map = b.push(
+                OpKind::View { shape: vec![batch, res, res, c] },
+                &[tokens],
+                &format!("{name}.unshift.view"),
+            )?;
+            let r1 = b.push(
+                OpKind::Roll { shift, dim: 1 },
+                &[map],
+                &format!("{name}.unshift.roll_h"),
+            )?;
+            let r2 = b.push(
+                OpKind::Roll { shift, dim: 2 },
+                &[r1],
+                &format!("{name}.unshift.roll_w"),
+            )?;
+            tokens = b.push(
+                OpKind::Reshape { shape: vec![batch, res * res, c] },
+                &[r2],
+                &format!("{name}.unshift.merge"),
+            )?;
+        }
+        let x1 = b.push(OpKind::Add, &[x, tokens], &format!("{name}.add1"))?;
+        let ln2 = b.push(OpKind::LayerNorm { dim: c }, &[x1], &format!("{name}.norm2"))?;
+        let ff = mlp(b, ln2, c, 4 * c, MlpAct::Gelu, false, &format!("{name}.mlp"))?;
+        b.push(OpKind::Add, &[x1, ff], &format!("{name}.add2"))
+    }
+}
+
+/// Patch merging: gathers 2×2 token neighborhoods (slice + cat), normalizes,
+/// and halves the token count while doubling channels.
+fn patch_merging(
+    b: &mut GraphBuilder,
+    x: NodeId,
+    batch: usize,
+    res: usize,
+    c: usize,
+    name: &str,
+) -> Result<NodeId> {
+    // [B, H*W, C] -> [B, H/2, 2, W/2, 2, C] -> [B, H/2, W/2, 2, 2, C]
+    let v = b.push(
+        OpKind::View { shape: vec![batch, res / 2, 2, res / 2, 2, c] },
+        &[x],
+        &format!("{name}.view"),
+    )?;
+    let p = b.push(
+        OpKind::Permute { perm: vec![0, 1, 3, 2, 4, 5] },
+        &[v],
+        &format!("{name}.permute"),
+    )?;
+    let pc = b.push(OpKind::Contiguous, &[p], &format!("{name}.contiguous"))?;
+    let merged = b.push(
+        OpKind::View { shape: vec![batch, (res / 2) * (res / 2), 4 * c] },
+        &[pc],
+        &format!("{name}.merge"),
+    )?;
+    let ln = b.push(OpKind::LayerNorm { dim: 4 * c }, &[merged], &format!("{name}.norm"))?;
+    b.push(
+        OpKind::Linear { in_f: 4 * c, out_f: 2 * c, bias: false },
+        &[ln],
+        &format!("{name}.reduction"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ngb_graph::{Interpreter, NonGemmGroup};
+
+    #[test]
+    fn published_param_counts() {
+        let t = SwinConfig::tiny_224().build(1).unwrap().param_count();
+        assert!((25_000_000..33_000_000).contains(&t), "T: {t}");
+        let s = SwinConfig::small_224().build(1).unwrap().param_count();
+        assert!((44_000_000..55_000_000).contains(&s), "S: {s}");
+        let bb = SwinConfig::base_224().build(1).unwrap().param_count();
+        assert!((80_000_000..95_000_000).contains(&bb), "B: {bb}");
+    }
+
+    #[test]
+    fn memory_ops_are_plentiful() {
+        // window partition/reverse makes Swin memory-op heavy
+        let g = SwinConfig::tiny_224().build(1).unwrap();
+        g.validate().unwrap();
+        let mem = g.group_count(NonGemmGroup::Memory);
+        assert!(mem > 150, "memory ops: {mem}");
+    }
+
+    #[test]
+    fn toy_executes() {
+        let g = SwinConfig::toy().build(1).unwrap();
+        let t = Interpreter::default().run(&g).unwrap();
+        assert_eq!(t.outputs[0].1.shape(), &[1, 10]);
+    }
+
+    #[test]
+    fn stage_resolutions_tile() {
+        // 224/4 = 56 -> 28 -> 14 -> 7, all divisible by window 7
+        let cfg = SwinConfig::base_224();
+        let g = cfg.build(1).unwrap();
+        assert!(g.len() > 400);
+    }
+}

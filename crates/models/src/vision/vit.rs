@@ -1,0 +1,178 @@
+//! Vision Transformer classifiers (Dosovitskiy et al.): ViT-B/16, ViT-L/16,
+//! ViT-H/14 from Table 1.
+
+use ngb_graph::{Graph, GraphBuilder, OpKind};
+
+use crate::common::{pre_ln_block, Result};
+
+/// ViT configuration.
+#[derive(Debug, Clone)]
+pub struct VitConfig {
+    /// Model alias used as the graph name.
+    pub name: &'static str,
+    /// Input resolution.
+    pub image: usize,
+    /// Patch size.
+    pub patch: usize,
+    /// Hidden size.
+    pub d: usize,
+    /// Encoder depth.
+    pub layers: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// MLP hidden size.
+    pub mlp: usize,
+    /// Output classes.
+    pub classes: usize,
+}
+
+impl VitConfig {
+    /// ViT-Base/16: 86 M parameters, 12 × 768.
+    pub fn base16() -> Self {
+        VitConfig { name: "vit_b16", image: 224, patch: 16, d: 768, layers: 12, heads: 12, mlp: 3072, classes: 1000 }
+    }
+
+    /// ViT-Large/16: 307 M parameters, 24 × 1024.
+    pub fn large16() -> Self {
+        VitConfig { name: "vit_l16", image: 224, patch: 16, d: 1024, layers: 24, heads: 16, mlp: 4096, classes: 1000 }
+    }
+
+    /// ViT-Huge/14: 632 M parameters, 32 × 1280.
+    pub fn huge14() -> Self {
+        VitConfig { name: "vit_h14", image: 224, patch: 14, d: 1280, layers: 32, heads: 16, mlp: 5120, classes: 1000 }
+    }
+
+    /// Executable toy preset.
+    pub fn tiny() -> Self {
+        VitConfig { name: "vit_tiny", image: 32, patch: 8, d: 32, layers: 2, heads: 4, mlp: 64, classes: 10 }
+    }
+
+    /// Number of tokens (patches + CLS).
+    pub fn tokens(&self) -> usize {
+        (self.image / self.patch) * (self.image / self.patch) + 1
+    }
+
+    /// Builds the classifier graph for `batch` images.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on internally inconsistent configurations.
+    pub fn build(&self, batch: usize) -> Result<Graph> {
+        let mut b = GraphBuilder::new(self.name);
+        let grid = self.image / self.patch;
+        let t = self.tokens();
+        let x = b.input(&[batch, 3, self.image, self.image]);
+
+        // Patch embedding: conv(patch, stride patch) -> [B, D, g, g]
+        let pe = b.push(
+            OpKind::Conv2d {
+                in_c: 3,
+                out_c: self.d,
+                kernel: self.patch,
+                stride: self.patch,
+                padding: 0,
+                groups: 1,
+                bias: true,
+            },
+            &[x],
+            "patch_embed.proj",
+        )?;
+        // [B, D, g, g] -> [B, D, g*g] -> [B, g*g, D] (the Reshape/Permute
+        // entries of Table 2 for ViT-b16)
+        let r = b.push(
+            OpKind::Reshape { shape: vec![batch, self.d, grid * grid] },
+            &[pe],
+            "patch_embed.reshape",
+        )?;
+        let p = b.push(OpKind::Permute { perm: vec![0, 2, 1] }, &[r], "patch_embed.permute")?;
+        let pc = b.push(OpKind::Contiguous, &[p], "patch_embed.contiguous")?;
+
+        // CLS token: expand + cat (the Expand entry of Table 2)
+        let cls = b.input(&[1, 1, self.d]);
+        let cls_e = b.push(
+            OpKind::Expand { shape: vec![batch, 1, self.d] },
+            &[cls],
+            "cls_token.expand",
+        )?;
+        let tokens = b.push(OpKind::Cat { dim: 1 }, &[cls_e, pc], "cat_cls")?;
+
+        // Positional embedding add
+        let pos = b.input(&[1, t, self.d]);
+        let mut h = b.push(OpKind::Add, &[tokens, pos], "pos_embed.add")?;
+
+        for l in 0..self.layers {
+            h = pre_ln_block(
+                &mut b,
+                h,
+                batch,
+                t,
+                self.d,
+                self.heads,
+                self.mlp,
+                &format!("encoder.{l}"),
+            )?;
+        }
+        let ln = b.push(OpKind::LayerNorm { dim: self.d }, &[h], "ln_final")?;
+        // classification on the CLS token
+        let cls_tok = b.push(OpKind::Slice { dim: 1, start: 0, len: 1 }, &[ln], "take_cls")?;
+        let sq = b.push(OpKind::Squeeze { dim: 1 }, &[cls_tok], "squeeze")?;
+        let logits = b.push(
+            OpKind::Linear { in_f: self.d, out_f: self.classes, bias: true },
+            &[sq],
+            "head",
+        )?;
+        b.push(OpKind::Softmax { dim: 1 }, &[logits], "probs")?;
+        Ok(b.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ngb_graph::{Interpreter, NonGemmGroup};
+
+    #[test]
+    fn parameter_counts_track_published_sizes() {
+        // ViT-L/16 is 307M, ViT-H/14 is 632M (Table 1)
+        let l = VitConfig::large16().build(1).unwrap().param_count();
+        assert!((280_000_000..330_000_000).contains(&l), "L: {l}");
+        let h = VitConfig::huge14().build(1).unwrap().param_count();
+        assert!((600_000_000..680_000_000).contains(&h), "H: {h}");
+        let base = VitConfig::base16().build(1).unwrap().param_count();
+        assert!((80_000_000..95_000_000).contains(&base), "B: {base}");
+    }
+
+    #[test]
+    fn token_counts() {
+        assert_eq!(VitConfig::base16().tokens(), 197);
+        assert_eq!(VitConfig::huge14().tokens(), 257);
+    }
+
+    #[test]
+    fn graph_contains_paper_table2_ops() {
+        let g = VitConfig::base16().build(1).unwrap();
+        g.validate().unwrap();
+        for op in ["gelu", "layer_norm", "permute", "reshape", "expand", "softmax", "bmm"] {
+            assert!(g.op_histogram().contains_key(op), "missing {op}");
+        }
+        assert!(g.group_count(NonGemmGroup::Memory) > 50);
+    }
+
+    #[test]
+    fn tiny_executes_to_distribution() {
+        let g = VitConfig::tiny().build(2).unwrap();
+        let t = Interpreter::default().run(&g).unwrap();
+        let probs = &t.outputs[0].1;
+        assert_eq!(probs.shape(), &[2, 10]);
+        for r in 0..2 {
+            let s: f32 = probs.select(0, r).unwrap().to_vec_f32().unwrap().iter().sum();
+            assert!((s - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn batch_scales_shapes() {
+        let g = VitConfig::tiny().build(8).unwrap();
+        assert_eq!(g.nodes.last().unwrap().out_shape, vec![8, 10]);
+    }
+}

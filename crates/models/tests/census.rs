@@ -1,0 +1,155 @@
+//! Operator-census tests: each full-scale model graph must contain exactly
+//! the operator population its architecture implies. These pin the graphs
+//! against accidental structural drift — the shapes and counts here are
+//! what the paper's measurements hang off.
+
+use ngb_models::{ModelId, Scale};
+
+fn histogram(m: ModelId) -> std::collections::BTreeMap<&'static str, usize> {
+    m.build(1, Scale::Full).expect("builds").op_histogram()
+}
+
+#[test]
+fn resnet50_census() {
+    let h = histogram(ModelId::ResNet50);
+    assert_eq!(h["conv2d"], 53); // 49 + 4 downsample projections
+    assert_eq!(h["batch_norm2d"], 53);
+    assert_eq!(h["relu"], 49);
+    assert_eq!(h["add"], 16); // one residual per bottleneck
+    assert_eq!(h["max_pool2d"], 1);
+    assert_eq!(h["adaptive_avg_pool2d"], 1);
+    assert_eq!(h["linear"], 1);
+}
+
+#[test]
+fn mobilenet_census() {
+    let h = histogram(ModelId::MobileNetV2);
+    // 17 inverted residuals: 16 with expansion (3 convs) + 1 without (2) =
+    // 50, plus stem + head = 52
+    assert_eq!(h["conv2d"], 52);
+    assert_eq!(h["relu6"], 35); // stem + head + expand/dw activations
+    assert_eq!(h["add"], 10); // stride-1 same-width residuals
+}
+
+#[test]
+fn vit_b16_census() {
+    let h = histogram(ModelId::VitBase16);
+    assert_eq!(h["layer_norm"], 2 * 12 + 1);
+    assert_eq!(h["gelu"], 12);
+    assert_eq!(h["softmax"], 12 + 1); // attention + class probs
+    assert_eq!(h["bmm"], 24);
+    // 4 attention linears + 2 MLP linears per block + head
+    assert_eq!(h["linear"], 6 * 12 + 1);
+    assert_eq!(h["conv2d"], 1); // patch embedding
+    assert_eq!(h["expand"], 1); // CLS token
+    assert_eq!(h["cat"], 1);
+}
+
+#[test]
+fn swin_t_census() {
+    let h = histogram(ModelId::SwinTiny);
+    let blocks = 2 + 2 + 6 + 2;
+    // 2 LN per block + 1 per patch-merge (3) + embed norm + final
+    assert_eq!(h["layer_norm"], 2 * blocks + 3 + 2);
+    assert_eq!(h["softmax"], blocks + 1); // attention + class probs
+    assert_eq!(h["gelu"], blocks);
+    // window partition + reverse contiguous per block, + patch embed &
+    // attention internals
+    assert!(h["contiguous"] >= 3 * blocks);
+}
+
+#[test]
+fn gpt2_family_census_scales_with_depth() {
+    for (m, layers) in [(ModelId::Gpt2, 12), (ModelId::Gpt2Large, 36), (ModelId::Gpt2Xl, 48)] {
+        let h = histogram(m);
+        assert_eq!(h["conv1d_gpt2"], 4 * layers, "{m}");
+        assert_eq!(h["new_gelu"], layers, "{m}");
+        assert_eq!(h["causal_mask"], layers, "{m}");
+        assert_eq!(h["layer_norm"], 2 * layers + 1, "{m}");
+        assert_eq!(h["slice"], 3 * layers, "{m}"); // qkv split
+        assert_eq!(h["embedding"], 1, "{m}");
+        assert_eq!(h["softmax"], layers + 1, "{m}"); // attn + lm probs
+    }
+}
+
+#[test]
+fn llama_census() {
+    let h = histogram(ModelId::Llama2_7b);
+    let layers = 32;
+    assert_eq!(h["llama_rms_norm"], 2 * layers + 1);
+    assert_eq!(h["silu"], layers);
+    // rotary: 2 neg per layer (q and k)
+    assert_eq!(h["neg"], 2 * layers);
+    assert_eq!(h["cat"], 2 * layers);
+    // 4 attention + 3 MLP projections per layer + lm head
+    assert_eq!(h["linear"], 7 * layers + 1);
+    assert!(!h.contains_key("layer_norm"));
+    assert!(!h.contains_key("new_gelu"));
+}
+
+#[test]
+fn bert_census() {
+    let h = histogram(ModelId::Bert);
+    assert_eq!(h["layer_norm"], 2 * 12 + 1);
+    assert_eq!(h["gelu"], 12);
+    assert_eq!(h["linear"], 6 * 12 + 2);
+    assert_eq!(h["embedding"], 1);
+    assert_eq!(h["sigmoid"], 1); // pooler activation proxy
+}
+
+#[test]
+fn detection_census() {
+    let h = histogram(ModelId::FasterRcnn);
+    assert_eq!(h["frozen_batch_norm2d"], 53);
+    assert_eq!(h["nms"], 5); // 4 RPN levels + final
+    assert_eq!(h["roi_align"], 1);
+    assert_eq!(h["sigmoid"], 4);
+    assert_eq!(h["topk"], 5);
+    assert_eq!(h["interpolate_nearest"], 3); // FPN top-down
+
+    let m = histogram(ModelId::MaskRcnn);
+    assert_eq!(m["roi_align"], 2); // box + mask heads
+    assert_eq!(m["interpolate_bilinear"], 1); // mask upsample
+
+    let d = histogram(ModelId::Detr);
+    assert_eq!(d["frozen_batch_norm2d"], 53);
+    assert_eq!(d["box_convert"], 1);
+    // 6 encoder (2) + 6 decoder (3) norms + embeddings = 30
+    assert_eq!(d["layer_norm"], 30);
+}
+
+#[test]
+fn segmentation_census() {
+    let h = histogram(ModelId::Segformer);
+    // depthwise Mix-FFN conv per block (8 blocks) + patch embeds (4) +
+    // spatial-reduction convs (2 blocks in each of 3 sr>1 stages) +
+    // decode head fuse + classifier (2)
+    assert_eq!(h["conv2d"], 8 + 4 + 6 + 2);
+    assert_eq!(h["interpolate_bilinear"], 3 + 1); // 3 stage upsamples + final
+    assert_eq!(h["argmax"], 1);
+    assert_eq!(h["batch_norm2d"], 1);
+
+    let m = histogram(ModelId::Maskformer);
+    assert_eq!(m["group_norm"], 4);
+    assert!(m["bmm"] >= 13); // decoder attention + mask projection
+    assert_eq!(m["sigmoid"], 1);
+}
+
+#[test]
+fn every_model_keeps_input_arity() {
+    // all graphs start from at least one input and every non-input node has
+    // at least one producer
+    for &m in ModelId::all() {
+        let g = m.build(1, Scale::Full).expect("builds");
+        let inputs = g
+            .iter()
+            .filter(|n| matches!(n.op, ngb_graph::OpKind::Input | ngb_graph::OpKind::InputIds { .. }))
+            .count();
+        assert!(inputs >= 1, "{m}");
+        for n in g.iter() {
+            let is_input =
+                matches!(n.op, ngb_graph::OpKind::Input | ngb_graph::OpKind::InputIds { .. });
+            assert_eq!(n.inputs.is_empty(), is_input, "{m}: node {}", n.name);
+        }
+    }
+}

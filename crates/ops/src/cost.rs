@@ -1,0 +1,193 @@
+//! The analytic operator cost descriptor.
+
+/// Work and traffic of one operator invocation, independent of any device.
+///
+/// `ngb-platform` turns an `OpCost` into latency via a roofline model:
+/// compute-limited time from `flops`, memory-limited time from
+/// `bytes_read + bytes_written`, plus `kernels` launch overheads. The
+/// paper's key eager-mode effect — Hugging Face's hand-written GELU and
+/// Llama's RMSNorm decomposing into many small kernels — is captured by
+/// `kernels > 1`.
+///
+/// # Examples
+///
+/// ```
+/// use ngb_ops::OpCost;
+/// let a = OpCost::elementwise(1024, 1.0);
+/// assert_eq!(a.flops, 1024.0);
+/// assert_eq!(a.memory_bytes(), 1024.0 * 8.0); // read + write f32
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OpCost {
+    /// Floating-point (or comparable scalar) operations performed.
+    pub flops: f64,
+    /// Bytes read from memory (logical traffic; caches are the device
+    /// model's concern).
+    pub bytes_read: f64,
+    /// Bytes written to memory.
+    pub bytes_written: f64,
+    /// Number of device kernels this op launches in unfused (PyTorch eager)
+    /// execution. Zero for pure metadata ops (view/permute/…).
+    pub kernels: u32,
+    /// Whether the op's output shape/behavior depends on input *data*
+    /// (e.g. NMS), which defeats static scheduling — Table 2's
+    /// "Dynamicity" column.
+    pub dynamic: bool,
+}
+
+impl OpCost {
+    /// A cost of zero work: pure metadata operators (view, permute,
+    /// squeeze, …) that only rewrite the tensor header.
+    pub fn metadata() -> OpCost {
+        OpCost::default()
+    }
+
+    /// Cost of an element-wise kernel over `n` f32 elements performing
+    /// `flops_per_elem` operations each (one read + one write).
+    pub fn elementwise(n: usize, flops_per_elem: f64) -> OpCost {
+        OpCost {
+            flops: n as f64 * flops_per_elem,
+            bytes_read: n as f64 * 4.0,
+            bytes_written: n as f64 * 4.0,
+            kernels: 1,
+            dynamic: false,
+        }
+    }
+
+    /// Cost of a binary element-wise kernel over `n` output elements
+    /// (two reads + one write).
+    pub fn elementwise_binary(n: usize, flops_per_elem: f64) -> OpCost {
+        OpCost {
+            flops: n as f64 * flops_per_elem,
+            bytes_read: 2.0 * n as f64 * 4.0,
+            bytes_written: n as f64 * 4.0,
+            kernels: 1,
+            dynamic: false,
+        }
+    }
+
+    /// Cost of a pure copy of `n` f32 elements (cat/contiguous/transfers).
+    pub fn copy(n: usize) -> OpCost {
+        OpCost {
+            flops: 0.0,
+            bytes_read: n as f64 * 4.0,
+            bytes_written: n as f64 * 4.0,
+            kernels: 1,
+            dynamic: false,
+        }
+    }
+
+    /// Cost of a reduction over `n` inputs producing `m` outputs with
+    /// `flops_per_elem` work per input element.
+    pub fn reduction(n: usize, m: usize, flops_per_elem: f64) -> OpCost {
+        OpCost {
+            flops: n as f64 * flops_per_elem,
+            bytes_read: n as f64 * 4.0,
+            bytes_written: m as f64 * 4.0,
+            kernels: 1,
+            dynamic: false,
+        }
+    }
+
+    /// Total memory traffic in bytes.
+    pub fn memory_bytes(&self) -> f64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// FLOPs per byte of traffic; `f64::INFINITY` for zero-traffic compute,
+    /// `0` for pure movement.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let mem = self.memory_bytes();
+        if mem == 0.0 {
+            if self.flops == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.flops / mem
+        }
+    }
+
+    /// Marks the cost as data-dependent (builder style).
+    pub fn dynamic(mut self) -> OpCost {
+        self.dynamic = true;
+        self
+    }
+
+    /// Overrides the unfused kernel-launch count (builder style).
+    pub fn with_kernels(mut self, kernels: u32) -> OpCost {
+        self.kernels = kernels;
+        self
+    }
+
+    /// Sums two costs — used when an operator decomposes into sub-kernels.
+    pub fn and_then(self, other: OpCost) -> OpCost {
+        OpCost {
+            flops: self.flops + other.flops,
+            bytes_read: self.bytes_read + other.bytes_read,
+            bytes_written: self.bytes_written + other.bytes_written,
+            kernels: self.kernels + other.kernels,
+            dynamic: self.dynamic || other.dynamic,
+        }
+    }
+}
+
+impl std::ops::Add for OpCost {
+    type Output = OpCost;
+
+    fn add(self, rhs: OpCost) -> OpCost {
+        self.and_then(rhs)
+    }
+}
+
+impl std::iter::Sum for OpCost {
+    fn sum<I: Iterator<Item = OpCost>>(iter: I) -> OpCost {
+        iter.fold(OpCost::default(), OpCost::and_then)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metadata_is_free() {
+        let c = OpCost::metadata();
+        assert_eq!(c.flops, 0.0);
+        assert_eq!(c.memory_bytes(), 0.0);
+        assert_eq!(c.kernels, 0);
+        assert_eq!(c.arithmetic_intensity(), 0.0);
+    }
+
+    #[test]
+    fn elementwise_traffic() {
+        let c = OpCost::elementwise(10, 2.0);
+        assert_eq!(c.flops, 20.0);
+        assert_eq!(c.bytes_read, 40.0);
+        assert_eq!(c.bytes_written, 40.0);
+        let b = OpCost::elementwise_binary(10, 1.0);
+        assert_eq!(b.bytes_read, 80.0);
+    }
+
+    #[test]
+    fn sum_accumulates_kernels() {
+        let total: OpCost = (0..3).map(|_| OpCost::copy(4)).sum();
+        assert_eq!(total.kernels, 3);
+        assert_eq!(total.memory_bytes(), 3.0 * 32.0);
+    }
+
+    #[test]
+    fn dynamic_and_kernels_builders() {
+        let c = OpCost::copy(1).dynamic().with_kernels(5);
+        assert!(c.dynamic);
+        assert_eq!(c.kernels, 5);
+    }
+
+    #[test]
+    fn intensity_edge_cases() {
+        assert_eq!(OpCost { flops: 5.0, ..OpCost::default() }.arithmetic_intensity(), f64::INFINITY);
+        let c = OpCost::reduction(100, 1, 1.0);
+        assert!(c.arithmetic_intensity() > 0.0 && c.arithmetic_intensity() < 1.0);
+    }
+}

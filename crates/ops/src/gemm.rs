@@ -1,0 +1,506 @@
+//! GEMM-based operators: Linear, matmul, batched matmul, Conv2d, Conv1D.
+//!
+//! These are the operators the paper classifies as *GEMM operators*
+//! (§2.1.1): each reduces to a perfectly nested multiply–accumulate loop
+//! and is the target of GPU tensor-core acceleration. `conv2d` is lowered
+//! through `im2col` exactly as the cuDNN lineage does, and the direct
+//! (sliding-window) implementation is kept as a cross-check oracle.
+
+use ngb_tensor::{Tensor, TensorError};
+
+use crate::{OpCost, Result, F32_BYTES};
+
+/// `C[M,N] = A[M,K] @ B[K,N]` on contiguous row-major buffers.
+///
+/// # Errors
+///
+/// Fails when either input is not rank-2 f32 or inner dims disagree.
+///
+/// # Examples
+///
+/// ```
+/// use ngb_tensor::Tensor;
+/// # fn main() -> Result<(), ngb_tensor::TensorError> {
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+/// let i = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2])?;
+/// assert_eq!(ngb_ops::gemm::matmul(&a, &i)?, a);
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    if a.rank() != 2 || b.rank() != 2 {
+        return Err(TensorError::InvalidArgument(format!(
+            "matmul requires rank-2 inputs, got ranks {} and {}",
+            a.rank(),
+            b.rank()
+        )));
+    }
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![m, k],
+            actual: vec![k2, n],
+            op: "matmul",
+        });
+    }
+    let ac = a.contiguous();
+    let bc = b.contiguous();
+    let av = ac.as_slice_f32().expect("contiguous f32");
+    let bv = bc.as_slice_f32().expect("contiguous f32");
+    let mut out = vec![0.0f32; m * n];
+    // i-k-j loop order: unit-stride inner loop over both B and C rows.
+    for i in 0..m {
+        for kk in 0..k {
+            let aik = av[i * k + kk];
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &bv[kk * n..(kk + 1) * n];
+            let crow = &mut out[i * n..(i + 1) * n];
+            for j in 0..n {
+                crow[j] += aik * brow[j];
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Analytic cost of `[m,k] @ [k,n]`.
+pub fn matmul_cost(m: usize, k: usize, n: usize) -> OpCost {
+    OpCost {
+        flops: 2.0 * m as f64 * k as f64 * n as f64,
+        bytes_read: ((m * k) + (k * n)) as f64 * F32_BYTES,
+        bytes_written: (m * n) as f64 * F32_BYTES,
+        kernels: 1,
+        dynamic: false,
+    }
+}
+
+/// Batched matmul: `[B,M,K] @ [B,K,N] -> [B,M,N]` (like `torch.bmm`).
+///
+/// # Errors
+///
+/// Fails on non-rank-3 inputs or mismatched batch/inner dims.
+pub fn bmm(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    if a.rank() != 3 || b.rank() != 3 || a.shape()[0] != b.shape()[0] {
+        return Err(TensorError::ShapeMismatch {
+            expected: a.shape().to_vec(),
+            actual: b.shape().to_vec(),
+            op: "bmm",
+        });
+    }
+    let batch = a.shape()[0];
+    let mut outs = Vec::with_capacity(batch);
+    for i in 0..batch {
+        let ai = a.select(0, i)?;
+        let bi = b.select(0, i)?;
+        outs.push(matmul(&ai, &bi)?.unsqueeze(0)?);
+    }
+    Tensor::cat(&outs, 0)
+}
+
+/// Analytic cost of `[b,m,k] @ [b,k,n]`.
+pub fn bmm_cost(b: usize, m: usize, k: usize, n: usize) -> OpCost {
+    let per = matmul_cost(m, k, n);
+    OpCost {
+        flops: per.flops * b as f64,
+        bytes_read: per.bytes_read * b as f64,
+        bytes_written: per.bytes_written * b as f64,
+        kernels: 1,
+        dynamic: false,
+    }
+}
+
+/// Fully-connected layer: `y = x @ w^T + bias` with `x: [..., in]`,
+/// `w: [out, in]`, `bias: [out]` (like `torch.nn.Linear`).
+///
+/// # Errors
+///
+/// Fails when the trailing dim of `x` differs from `w`'s `in` dim or the
+/// bias length differs from `out`.
+pub fn linear(x: &Tensor, w: &Tensor, bias: Option<&Tensor>) -> Result<Tensor> {
+    if w.rank() != 2 {
+        return Err(TensorError::InvalidArgument("linear weight must be rank 2".into()));
+    }
+    let (out_f, in_f) = (w.shape()[0], w.shape()[1]);
+    let x_in = *x.shape().last().ok_or_else(|| {
+        TensorError::InvalidArgument("linear input must have at least one dim".into())
+    })?;
+    if x_in != in_f {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![in_f],
+            actual: vec![x_in],
+            op: "linear",
+        });
+    }
+    let rows = x.numel() / x_in;
+    let x2 = x.reshape(&[rows, x_in])?;
+    let wt = w.transpose(0, 1)?.contiguous();
+    let mut y = matmul(&x2, &wt)?;
+    if let Some(b) = bias {
+        if b.shape() != [out_f] {
+            return Err(TensorError::ShapeMismatch {
+                expected: vec![out_f],
+                actual: b.shape().to_vec(),
+                op: "linear",
+            });
+        }
+        y = y.zip_map(b, |a, c| a + c)?;
+    }
+    let mut out_shape = x.shape().to_vec();
+    *out_shape.last_mut().expect("nonempty") = out_f;
+    y.reshape(&out_shape)
+}
+
+/// Analytic cost of a linear layer over `rows` rows.
+pub fn linear_cost(rows: usize, in_f: usize, out_f: usize, bias: bool) -> OpCost {
+    let mut c = matmul_cost(rows, in_f, out_f);
+    if bias {
+        c.flops += (rows * out_f) as f64;
+        c.bytes_read += out_f as f64 * F32_BYTES;
+    }
+    c
+}
+
+/// GPT-2's `Conv1D` (a Linear with transposed weight layout `w: [in, out]`),
+/// kept as its own entry point because Hugging Face traces report it as a
+/// distinct operator.
+///
+/// # Errors
+///
+/// Same conditions as [`linear`].
+pub fn conv1d_gpt2(x: &Tensor, w: &Tensor, bias: Option<&Tensor>) -> Result<Tensor> {
+    let wt = w.transpose(0, 1)?.contiguous();
+    linear(x, &wt, bias)
+}
+
+/// 2-D convolution on NCHW input via im2col + GEMM.
+///
+/// `x: [N, C, H, W]`, `w: [F, C/groups, KH, KW]`, optional `bias: [F]`.
+/// Supports stride, zero padding, and grouped convolution (depthwise when
+/// `groups == C`).
+///
+/// # Errors
+///
+/// Fails on rank or channel mismatches, zero stride, or when `groups` does
+/// not divide both `C` and `F`.
+pub fn conv2d(
+    x: &Tensor,
+    w: &Tensor,
+    bias: Option<&Tensor>,
+    stride: usize,
+    padding: usize,
+    groups: usize,
+) -> Result<Tensor> {
+    if x.rank() != 4 || w.rank() != 4 {
+        return Err(TensorError::InvalidArgument("conv2d requires NCHW x and FCHW w".into()));
+    }
+    if stride == 0 || groups == 0 {
+        return Err(TensorError::InvalidArgument("conv2d stride/groups must be nonzero".into()));
+    }
+    let (n, c, h, wd) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    let (f, cg, kh, kw) = (w.shape()[0], w.shape()[1], w.shape()[2], w.shape()[3]);
+    if c % groups != 0 || f % groups != 0 || cg != c / groups {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![f, c / groups.max(1), kh, kw],
+            actual: w.shape().to_vec(),
+            op: "conv2d",
+        });
+    }
+    let oh = (h + 2 * padding).checked_sub(kh).map(|v| v / stride + 1).ok_or_else(|| {
+        TensorError::InvalidArgument("conv2d kernel larger than padded input".into())
+    })?;
+    let ow = (wd + 2 * padding).checked_sub(kw).map(|v| v / stride + 1).ok_or_else(|| {
+        TensorError::InvalidArgument("conv2d kernel larger than padded input".into())
+    })?;
+
+    let xc = x.contiguous();
+    let xs = xc.as_slice_f32().expect("contiguous f32");
+    let wc = w.contiguous();
+    let fg = f / groups;
+    let mut out = vec![0.0f32; n * f * oh * ow];
+
+    for g in 0..groups {
+        // im2col for this group: [cg*kh*kw, N*oh*ow]
+        let cols_rows = cg * kh * kw;
+        let cols_cols = n * oh * ow;
+        let mut cols = vec![0.0f32; cols_rows * cols_cols];
+        for b in 0..n {
+            for cc in 0..cg {
+                let ch = g * cg + cc;
+                for ky in 0..kh {
+                    for kx in 0..kw {
+                        let row = (cc * kh + ky) * kw + kx;
+                        for oy in 0..oh {
+                            let iy = oy * stride + ky;
+                            if iy < padding || iy >= h + padding {
+                                continue;
+                            }
+                            let iy = iy - padding;
+                            for ox in 0..ow {
+                                let ix = ox * stride + kx;
+                                if ix < padding || ix >= wd + padding {
+                                    continue;
+                                }
+                                let ix = ix - padding;
+                                let col = (b * oh + oy) * ow + ox;
+                                cols[row * cols_cols + col] =
+                                    xs[((b * c + ch) * h + iy) * wd + ix];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // weights for this group: [fg, cg*kh*kw]
+        let wg = wc.narrow(0, g * fg, fg)?.reshape(&[fg, cols_rows])?;
+        let cols_t = Tensor::from_vec(cols, &[cols_rows, cols_cols])?;
+        let y = matmul(&wg, &cols_t)?; // [fg, N*oh*ow]
+        let yv = y.as_slice_f32().expect("matmul output contiguous");
+        for ff in 0..fg {
+            for b in 0..n {
+                for p in 0..oh * ow {
+                    out[((b * f + g * fg + ff) * oh * ow) + p] =
+                        yv[ff * cols_cols + b * oh * ow + p];
+                }
+            }
+        }
+    }
+    let mut y = Tensor::from_vec(out, &[n, f, oh, ow])?;
+    if let Some(bt) = bias {
+        if bt.shape() != [f] {
+            return Err(TensorError::ShapeMismatch {
+                expected: vec![f],
+                actual: bt.shape().to_vec(),
+                op: "conv2d",
+            });
+        }
+        let b4 = bt.reshape(&[1, f, 1, 1])?;
+        y = y.zip_map(&b4, |a, c| a + c)?;
+    }
+    Ok(y)
+}
+
+/// Direct (sliding-window) conv2d used as a numerical oracle for the
+/// im2col path in tests.
+///
+/// # Errors
+///
+/// Same conditions as [`conv2d`].
+pub fn conv2d_direct(
+    x: &Tensor,
+    w: &Tensor,
+    bias: Option<&Tensor>,
+    stride: usize,
+    padding: usize,
+    groups: usize,
+) -> Result<Tensor> {
+    let (n, c, h, wd) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    let (f, cg, kh, kw) = (w.shape()[0], w.shape()[1], w.shape()[2], w.shape()[3]);
+    if stride == 0 || groups == 0 || c % groups != 0 || f % groups != 0 || cg != c / groups {
+        return Err(TensorError::InvalidArgument("conv2d_direct invalid configuration".into()));
+    }
+    let oh = (h + 2 * padding - kh) / stride + 1;
+    let ow = (wd + 2 * padding - kw) / stride + 1;
+    let fg = f / groups;
+    let mut out = Tensor::zeros(&[n, f, oh, ow]);
+    for b in 0..n {
+        for ff in 0..f {
+            let g = ff / fg;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = bias.map(|bt| bt.at(&[ff]).unwrap_or(0.0)).unwrap_or(0.0);
+                    for cc in 0..cg {
+                        for ky in 0..kh {
+                            for kx in 0..kw {
+                                let iy = oy * stride + ky;
+                                let ix = ox * stride + kx;
+                                if iy < padding || ix < padding {
+                                    continue;
+                                }
+                                let (iy, ix) = (iy - padding, ix - padding);
+                                if iy >= h || ix >= wd {
+                                    continue;
+                                }
+                                acc += x.at(&[b, g * cg + cc, iy, ix])?
+                                    * w.at(&[ff, cc, ky, kx])?;
+                            }
+                        }
+                    }
+                    out.set(&[b, ff, oy, ox], acc)?;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Analytic cost of a conv2d with output `[n, f, oh, ow]` and kernel
+/// `[f, c/groups, kh, kw]`.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_cost(
+    n: usize,
+    c: usize,
+    f: usize,
+    oh: usize,
+    ow: usize,
+    kh: usize,
+    kw: usize,
+    groups: usize,
+) -> OpCost {
+    let cg = c / groups.max(1);
+    let macs = (n * f * oh * ow) as f64 * (cg * kh * kw) as f64;
+    OpCost {
+        flops: 2.0 * macs,
+        // input is read ~kh*kw/stride^2 times logically; count logical
+        // im2col traffic once plus weights once.
+        bytes_read: ((n * f * oh * ow * cg * kh * kw) as f64 / f as f64
+            + (f * cg * kh * kw) as f64)
+            * F32_BYTES,
+        bytes_written: (n * f * oh * ow) as f64 * F32_BYTES,
+        kernels: 1,
+        dynamic: false,
+    }
+}
+
+/// Output spatial size of a conv/pool window.
+pub fn conv_out_dim(input: usize, kernel: usize, stride: usize, padding: usize) -> usize {
+    (input + 2 * padding - kernel) / stride + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ngb_tensor::random::TensorRng;
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        let av = a.to_vec_f32().unwrap();
+        let bv = b.to_vec_f32().unwrap();
+        assert_eq!(a.shape(), b.shape());
+        for (i, (x, y)) in av.iter().zip(&bv).enumerate() {
+            assert!((x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())), "elem {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.to_vec_f32().unwrap(), vec![58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_shapes() {
+        let a = Tensor::zeros(&[2, 3]);
+        assert!(matmul(&a, &Tensor::zeros(&[2, 3])).is_err());
+        assert!(matmul(&a, &Tensor::zeros(&[3])).is_err());
+    }
+
+    #[test]
+    fn matmul_handles_transposed_views() {
+        let mut rng = TensorRng::seed(1);
+        let a = rng.normal(&[4, 5]);
+        let b = rng.normal(&[6, 5]);
+        let c = matmul(&a, &b.transpose(0, 1).unwrap()).unwrap();
+        assert_eq!(c.shape(), &[4, 6]);
+        // oracle: element [1,2] = dot(a[1,:], b[2,:])
+        let mut dot = 0.0;
+        for k in 0..5 {
+            dot += a.at(&[1, k]).unwrap() * b.at(&[2, k]).unwrap();
+        }
+        assert!((c.at(&[1, 2]).unwrap() - dot).abs() < 1e-4);
+    }
+
+    #[test]
+    fn bmm_batches_independently() {
+        let mut rng = TensorRng::seed(2);
+        let a = rng.normal(&[3, 2, 4]);
+        let b = rng.normal(&[3, 4, 5]);
+        let c = bmm(&a, &b).unwrap();
+        assert_eq!(c.shape(), &[3, 2, 5]);
+        let c1 = matmul(&a.select(0, 1).unwrap(), &b.select(0, 1).unwrap()).unwrap();
+        assert_close(&c.select(0, 1).unwrap(), &c1, 1e-5);
+    }
+
+    #[test]
+    fn linear_matches_manual() {
+        let x = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]).unwrap();
+        let w = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0], &[3, 2]).unwrap();
+        let b = Tensor::from_vec(vec![0.5, 0.5, 0.5], &[3]).unwrap();
+        let y = linear(&x, &w, Some(&b)).unwrap();
+        assert_eq!(y.to_vec_f32().unwrap(), vec![1.5, 2.5, 3.5]);
+    }
+
+    #[test]
+    fn linear_keeps_leading_dims() {
+        let mut rng = TensorRng::seed(3);
+        let x = rng.normal(&[2, 5, 8]);
+        let w = rng.normal(&[16, 8]);
+        let y = linear(&x, &w, None).unwrap();
+        assert_eq!(y.shape(), &[2, 5, 16]);
+    }
+
+    #[test]
+    fn conv1d_gpt2_equals_linear_with_transpose() {
+        let mut rng = TensorRng::seed(4);
+        let x = rng.normal(&[1, 3, 8]);
+        let w = rng.normal(&[8, 12]); // [in, out] layout
+        let y = conv1d_gpt2(&x, &w, None).unwrap();
+        let y2 = linear(&x, &w.transpose(0, 1).unwrap().contiguous(), None).unwrap();
+        assert_close(&y, &y2, 1e-6);
+    }
+
+    #[test]
+    fn conv2d_im2col_matches_direct() {
+        let mut rng = TensorRng::seed(5);
+        for (stride, padding, groups) in [(1, 0, 1), (2, 1, 1), (1, 1, 2)] {
+            let x = rng.normal(&[2, 4, 7, 7]);
+            let w = rng.normal(&[6, 4 / groups, 3, 3]);
+            let b = rng.normal(&[6]);
+            let fast = conv2d(&x, &w, Some(&b), stride, padding, groups).unwrap();
+            let slow = conv2d_direct(&x, &w, Some(&b), stride, padding, groups).unwrap();
+            assert_close(&fast, &slow, 1e-4);
+        }
+    }
+
+    #[test]
+    fn depthwise_conv() {
+        let mut rng = TensorRng::seed(6);
+        let x = rng.normal(&[1, 4, 5, 5]);
+        let w = rng.normal(&[4, 1, 3, 3]);
+        let y = conv2d(&x, &w, None, 1, 1, 4).unwrap();
+        assert_eq!(y.shape(), &[1, 4, 5, 5]);
+        let slow = conv2d_direct(&x, &w, None, 1, 1, 4).unwrap();
+        assert_close(&y, &slow, 1e-4);
+    }
+
+    #[test]
+    fn conv2d_validates() {
+        let x = Tensor::zeros(&[1, 3, 5, 5]);
+        let w = Tensor::zeros(&[4, 3, 3, 3]);
+        assert!(conv2d(&x, &w, None, 0, 0, 1).is_err());
+        assert!(conv2d(&x, &Tensor::zeros(&[4, 2, 3, 3]), None, 1, 0, 1).is_err());
+        assert!(conv2d(&x, &w, Some(&Tensor::zeros(&[5])), 1, 0, 1).is_err());
+    }
+
+    #[test]
+    fn costs_scale_as_expected() {
+        let c1 = matmul_cost(64, 64, 64);
+        let c2 = matmul_cost(128, 64, 64);
+        assert_eq!(c2.flops, 2.0 * c1.flops);
+        assert_eq!(c1.flops, 2.0 * 64.0 * 64.0 * 64.0);
+        let lc = linear_cost(10, 4, 8, true);
+        assert!(lc.flops > matmul_cost(10, 4, 8).flops);
+        let bc = bmm_cost(4, 2, 3, 5);
+        assert_eq!(bc.flops, 4.0 * matmul_cost(2, 3, 5).flops);
+        assert!(conv2d_cost(1, 3, 8, 16, 16, 3, 3, 1).flops > 0.0);
+    }
+
+    #[test]
+    fn conv_out_dim_formula() {
+        assert_eq!(conv_out_dim(224, 7, 2, 3), 112);
+        assert_eq!(conv_out_dim(5, 3, 1, 1), 5);
+    }
+}

@@ -1,0 +1,164 @@
+//! Interpolation operators (Table 2 "Interpolation"): nearest and bilinear
+//! up/down-sampling of NCHW maps, as used by SegFormer's decode head and
+//! MaskRCNN's FPN.
+
+use ngb_tensor::{Tensor, TensorError};
+
+use crate::{OpCost, Result, F32_BYTES};
+
+/// Nearest-neighbor resize of `x: [N, C, H, W]` to `(out_h, out_w)`.
+///
+/// # Errors
+///
+/// Fails on non-NCHW input or zero output size.
+pub fn interpolate_nearest(x: &Tensor, out_h: usize, out_w: usize) -> Result<Tensor> {
+    let (n, c, h, w) = nchw(x, "interpolate_nearest")?;
+    if out_h == 0 || out_w == 0 {
+        return Err(TensorError::InvalidArgument("interpolate output must be nonzero".into()));
+    }
+    let xc = x.contiguous();
+    let xs = xc.as_slice_f32().ok_or(TensorError::DTypeMismatch {
+        expected: "f32",
+        actual: x.dtype().name(),
+        op: "interpolate_nearest",
+    })?;
+    let mut out = vec![0.0f32; n * c * out_h * out_w];
+    for b in 0..n {
+        for ch in 0..c {
+            let base = (b * c + ch) * h * w;
+            for oy in 0..out_h {
+                let iy = (oy * h) / out_h;
+                for ox in 0..out_w {
+                    let ix = (ox * w) / out_w;
+                    out[((b * c + ch) * out_h + oy) * out_w + ox] = xs[base + iy * w + ix];
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, c, out_h, out_w])
+}
+
+/// Bilinear resize of `x: [N, C, H, W]` to `(out_h, out_w)` with
+/// `align_corners=false` (PyTorch default) coordinate mapping.
+///
+/// # Errors
+///
+/// Fails on non-NCHW input or zero output size.
+pub fn interpolate_bilinear(x: &Tensor, out_h: usize, out_w: usize) -> Result<Tensor> {
+    let (n, c, h, w) = nchw(x, "interpolate_bilinear")?;
+    if out_h == 0 || out_w == 0 {
+        return Err(TensorError::InvalidArgument("interpolate output must be nonzero".into()));
+    }
+    let xc = x.contiguous();
+    let xs = xc.as_slice_f32().ok_or(TensorError::DTypeMismatch {
+        expected: "f32",
+        actual: x.dtype().name(),
+        op: "interpolate_bilinear",
+    })?;
+    let scale_y = h as f32 / out_h as f32;
+    let scale_x = w as f32 / out_w as f32;
+    let mut out = vec![0.0f32; n * c * out_h * out_w];
+    for b in 0..n {
+        for ch in 0..c {
+            let base = (b * c + ch) * h * w;
+            for oy in 0..out_h {
+                let sy = ((oy as f32 + 0.5) * scale_y - 0.5).clamp(0.0, (h - 1) as f32);
+                let y0 = sy.floor() as usize;
+                let y1 = (y0 + 1).min(h - 1);
+                let dy = sy - y0 as f32;
+                for ox in 0..out_w {
+                    let sx = ((ox as f32 + 0.5) * scale_x - 0.5).clamp(0.0, (w - 1) as f32);
+                    let x0 = sx.floor() as usize;
+                    let x1 = (x0 + 1).min(w - 1);
+                    let dx = sx - x0 as f32;
+                    let v = xs[base + y0 * w + x0] * (1.0 - dy) * (1.0 - dx)
+                        + xs[base + y0 * w + x1] * (1.0 - dy) * dx
+                        + xs[base + y1 * w + x0] * dy * (1.0 - dx)
+                        + xs[base + y1 * w + x1] * dy * dx;
+                    out[((b * c + ch) * out_h + oy) * out_w + ox] = v;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, c, out_h, out_w])
+}
+
+fn nchw(x: &Tensor, op: &'static str) -> Result<(usize, usize, usize, usize)> {
+    if x.rank() != 4 {
+        return Err(TensorError::InvalidArgument(format!("{op} requires NCHW input")));
+    }
+    Ok((x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]))
+}
+
+/// Cost of an interpolation producing `out_elems` elements with
+/// `flops_per_out` work each (1 for nearest, 11 for bilinear).
+pub fn interpolate_cost(in_shape: &[usize], out_elems: usize, bilinear: bool) -> OpCost {
+    OpCost {
+        flops: out_elems as f64 * if bilinear { 11.0 } else { 1.0 },
+        bytes_read: ngb_tensor::num_elements(in_shape) as f64 * F32_BYTES,
+        bytes_written: out_elems as f64 * F32_BYTES,
+        kernels: 1,
+        dynamic: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ngb_tensor::random::TensorRng;
+
+    #[test]
+    fn nearest_doubling_replicates() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        let y = interpolate_nearest(&x, 4, 4).unwrap();
+        assert_eq!(y.at(&[0, 0, 0, 0]).unwrap(), 1.0);
+        assert_eq!(y.at(&[0, 0, 0, 1]).unwrap(), 1.0);
+        assert_eq!(y.at(&[0, 0, 3, 3]).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn bilinear_preserves_constant() {
+        let x = Tensor::full(&[1, 2, 3, 3], 2.5);
+        let y = interpolate_bilinear(&x, 7, 5).unwrap();
+        assert!(y.to_vec_f32().unwrap().iter().all(|&v| (v - 2.5).abs() < 1e-6));
+    }
+
+    #[test]
+    fn bilinear_identity_when_same_size() {
+        let x = TensorRng::seed(1).normal(&[1, 1, 4, 4]);
+        let y = interpolate_bilinear(&x, 4, 4).unwrap();
+        for (a, b) in x.to_vec_f32().unwrap().iter().zip(y.to_vec_f32().unwrap()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn bilinear_monotone_on_ramp() {
+        let x = Tensor::arange(0.0, 4.0, 1.0).reshape(&[1, 1, 1, 4]).unwrap();
+        let y = interpolate_bilinear(&x, 1, 8).unwrap().to_vec_f32().unwrap();
+        for w in y.windows(2) {
+            assert!(w[1] >= w[0], "{y:?} not monotone");
+        }
+    }
+
+    #[test]
+    fn downsample_shapes() {
+        let x = TensorRng::seed(2).normal(&[2, 3, 8, 8]);
+        assert_eq!(interpolate_nearest(&x, 2, 2).unwrap().shape(), &[2, 3, 2, 2]);
+        assert_eq!(interpolate_bilinear(&x, 3, 5).unwrap().shape(), &[2, 3, 3, 5]);
+    }
+
+    #[test]
+    fn validates() {
+        assert!(interpolate_nearest(&Tensor::zeros(&[2, 2]), 2, 2).is_err());
+        assert!(interpolate_bilinear(&Tensor::zeros(&[1, 1, 2, 2]), 0, 2).is_err());
+    }
+
+    #[test]
+    fn cost_bilinear_exceeds_nearest() {
+        let a = interpolate_cost(&[2, 256, 128, 128], 2 * 256 * 512 * 512, true);
+        let b = interpolate_cost(&[2, 256, 128, 128], 2 * 256 * 512 * 512, false);
+        assert!(a.flops > b.flops);
+        assert_eq!(a.bytes_read, b.bytes_read);
+    }
+}

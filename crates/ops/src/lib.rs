@@ -1,0 +1,64 @@
+//! # ngb-ops
+//!
+//! Executable CPU kernels and analytic cost descriptors for every operator
+//! that appears in the NonGEMM Bench model suite.
+//!
+//! The crate is organized by the paper's operator taxonomy (§2.1, Table 2):
+//!
+//! * [`gemm`] — the GEMM-based operators (Linear, Conv2d, BMM, …),
+//! * [`activation`] — ReLU, GELU (fused and Hugging Face's decomposed
+//!   `NewGELU`), SiLU, …,
+//! * [`normalization`] — LayerNorm, BatchNorm2d, FrozenBatchNorm2d, RMSNorm
+//!   (fused and the decomposed Llama variant), GroupNorm,
+//! * [`memory`] — layout manipulation (reshape/view/permute/…/cat/split),
+//! * [`arithmetic`] — element-wise and reduction arithmetic,
+//! * [`logit`] — softmax-family logit computation,
+//! * [`pooling`] — max/avg/adaptive pooling,
+//! * [`roi`] — RoI selection (NMS, RoIAlign, box utilities),
+//! * [`interpolate`] — nearest/bilinear resampling,
+//! * [`embedding`] — table lookup and gather,
+//! * [`reduction`] — argmax/top-k/sum/max.
+//!
+//! Every kernel has two faces:
+//!
+//! 1. an **execute** function that really computes on [`ngb_tensor::Tensor`]s
+//!    (used by tests, the microbench flow, and host-measured profiling), and
+//! 2. a **cost** function returning an [`OpCost`] (FLOPs, bytes moved,
+//!    unfused kernel-launch count, dynamicity) that the analytic device
+//!    models in `ngb-platform` convert into latency/energy.
+//!
+//! # Examples
+//!
+//! ```
+//! use ngb_tensor::Tensor;
+//! use ngb_ops::activation;
+//!
+//! # fn main() -> Result<(), ngb_tensor::TensorError> {
+//! let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3])?;
+//! let y = activation::relu(&x)?;
+//! assert_eq!(y.to_vec_f32()?, vec![0.0, 0.0, 2.0]);
+//! let cost = activation::relu_cost(&[3]);
+//! assert_eq!(cost.kernels, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod activation;
+pub mod arithmetic;
+mod cost;
+pub mod embedding;
+pub mod gemm;
+pub mod interpolate;
+pub mod logit;
+pub mod memory;
+pub mod normalization;
+pub mod pooling;
+pub mod reduction;
+pub mod roi;
+
+pub use cost::OpCost;
+
+/// Result alias shared by all kernels.
+pub type Result<T> = std::result::Result<T, ngb_tensor::TensorError>;
+
+pub(crate) const F32_BYTES: f64 = 4.0;

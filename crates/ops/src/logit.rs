@@ -1,0 +1,125 @@
+//! Logit-computation operators (Table 2 "Logit Computation" group):
+//! numerically-stable softmax and log-softmax over an arbitrary dimension.
+
+use ngb_tensor::Tensor;
+
+use crate::{OpCost, Result, F32_BYTES};
+
+/// Numerically stable softmax over dimension `dim`.
+///
+/// # Errors
+///
+/// Fails when `dim` is out of range or input is not f32.
+///
+/// # Examples
+///
+/// ```
+/// use ngb_tensor::Tensor;
+/// # fn main() -> Result<(), ngb_tensor::TensorError> {
+/// let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3])?;
+/// let p = ngb_ops::logit::softmax(&x, 1)?;
+/// let s: f32 = p.to_vec_f32()?.iter().sum();
+/// assert!((s - 1.0).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn softmax(x: &Tensor, dim: usize) -> Result<Tensor> {
+    let max = x.reduce_dim(dim, true, f32::NEG_INFINITY, f32::max)?;
+    let shifted = x.zip_map(&max, |a, m| a - m)?;
+    let exp = shifted.map(f32::exp)?;
+    let sum = exp.reduce_dim(dim, true, 0.0, |a, v| a + v)?;
+    exp.zip_map(&sum, |e, s| e / s)
+}
+
+/// Numerically stable log-softmax over dimension `dim`.
+///
+/// # Errors
+///
+/// Fails when `dim` is out of range or input is not f32.
+pub fn log_softmax(x: &Tensor, dim: usize) -> Result<Tensor> {
+    let max = x.reduce_dim(dim, true, f32::NEG_INFINITY, f32::max)?;
+    let shifted = x.zip_map(&max, |a, m| a - m)?;
+    let exp = shifted.map(f32::exp)?;
+    let sum = exp.reduce_dim(dim, true, 0.0, |a, v| a + v)?;
+    let log_sum = sum.map(f32::ln)?;
+    shifted.zip_map(&log_sum, |a, l| a - l)
+}
+
+/// Cost of a fused [`softmax`] kernel on `shape` (max pass, exp pass,
+/// normalize pass).
+pub fn softmax_cost(shape: &[usize]) -> OpCost {
+    let n = ngb_tensor::num_elements(shape);
+    OpCost {
+        flops: 5.0 * n as f64,
+        bytes_read: 3.0 * n as f64 * F32_BYTES,
+        bytes_written: n as f64 * F32_BYTES,
+        kernels: 1,
+        dynamic: false,
+    }
+}
+
+/// Cost of [`log_softmax`] on `shape`.
+pub fn log_softmax_cost(shape: &[usize]) -> OpCost {
+    let mut c = softmax_cost(shape);
+    c.flops += ngb_tensor::num_elements(shape) as f64;
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ngb_tensor::random::TensorRng;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = TensorRng::seed(1).normal(&[4, 7]);
+        let p = softmax(&x, 1).unwrap();
+        for r in 0..4 {
+            let row: f32 = p.select(0, r).unwrap().to_vec_f32().unwrap().iter().sum();
+            assert!((row - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let x = Tensor::from_vec(vec![1000.0, 1001.0, 1002.0], &[1, 3]).unwrap();
+        let p = softmax(&x, 1).unwrap().to_vec_f32().unwrap();
+        assert!(p.iter().all(|v| v.is_finite()));
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_over_middle_dim() {
+        let x = TensorRng::seed(2).normal(&[2, 5, 3]);
+        let p = softmax(&x, 1).unwrap();
+        assert_eq!(p.shape(), x.shape());
+        // sum over dim 1 must be 1 at every (b, k)
+        let s = p.reduce_dim(1, false, 0.0, |a, v| a + v).unwrap();
+        for v in s.to_vec_f32().unwrap() {
+            assert!((v - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn log_softmax_consistent_with_softmax() {
+        let x = TensorRng::seed(3).normal(&[3, 6]);
+        let ls = log_softmax(&x, 1).unwrap().to_vec_f32().unwrap();
+        let p = softmax(&x, 1).unwrap().to_vec_f32().unwrap();
+        for (l, q) in ls.iter().zip(&p) {
+            assert!((l.exp() - q).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn invalid_dim_rejected() {
+        let x = Tensor::zeros(&[2, 2]);
+        assert!(softmax(&x, 2).is_err());
+    }
+
+    #[test]
+    fn cost_reports_single_fused_kernel() {
+        let c = softmax_cost(&[1, 25, 8, 8]);
+        assert_eq!(c.kernels, 1);
+        assert!(log_softmax_cost(&[4]).flops > softmax_cost(&[4]).flops);
+    }
+}

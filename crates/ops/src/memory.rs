@@ -1,0 +1,211 @@
+//! Memory (layout) operators and their costs (Table 2 "Memory" group).
+//!
+//! The executable semantics live on [`ngb_tensor::Tensor`]; this module adds
+//! the cost view that distinguishes *metadata-only* operators (`view`,
+//! `permute`, `expand`, `squeeze`, `split` — zero traffic, zero kernels)
+//! from *copying* operators (`contiguous`, `cat` — full traffic). That
+//! distinction is exactly what changes between deployment flows: ORT's CPU
+//! fallback turns cheap layout ops into device transfers (§4.2).
+
+use ngb_tensor::Tensor;
+
+use crate::{OpCost, Result};
+
+/// Reshape that preserves PyTorch semantics: views when contiguous, copies
+/// otherwise (re-exported here so callers see the whole memory-op family in
+/// one place).
+///
+/// # Errors
+///
+/// Fails when element counts differ.
+pub fn reshape(x: &Tensor, shape: &[usize]) -> Result<Tensor> {
+    x.reshape(shape)
+}
+
+/// Zero-copy `view`; fails on non-contiguous inputs like PyTorch.
+///
+/// # Errors
+///
+/// Fails on non-contiguous input or element-count mismatch.
+pub fn view(x: &Tensor, shape: &[usize]) -> Result<Tensor> {
+    x.view(shape)
+}
+
+/// Zero-copy axis permutation.
+///
+/// # Errors
+///
+/// Fails when `perm` is not a permutation of the rank.
+pub fn permute(x: &Tensor, perm: &[usize]) -> Result<Tensor> {
+    x.permute(perm)
+}
+
+/// Zero-copy transpose of two dims.
+///
+/// # Errors
+///
+/// Fails when a dim is out of range.
+pub fn transpose(x: &Tensor, d0: isize, d1: isize) -> Result<Tensor> {
+    x.transpose(d0, d1)
+}
+
+/// Materializes a dense row-major copy.
+pub fn contiguous(x: &Tensor) -> Tensor {
+    x.contiguous()
+}
+
+/// Zero-copy broadcast expansion.
+///
+/// # Errors
+///
+/// Fails when a non-1 dim differs from the target.
+pub fn expand(x: &Tensor, shape: &[usize]) -> Result<Tensor> {
+    x.expand(shape)
+}
+
+/// Removes a size-1 dim.
+///
+/// # Errors
+///
+/// Fails when the dim is not size 1.
+pub fn squeeze(x: &Tensor, dim: isize) -> Result<Tensor> {
+    x.squeeze(dim)
+}
+
+/// Inserts a size-1 dim.
+///
+/// # Errors
+///
+/// Fails when `dim > rank`.
+pub fn unsqueeze(x: &Tensor, dim: usize) -> Result<Tensor> {
+    x.unsqueeze(dim)
+}
+
+/// Zero-copy split into chunks along `dim`.
+///
+/// # Errors
+///
+/// Fails when `size` is zero or `dim` out of range.
+pub fn split(x: &Tensor, size: usize, dim: usize) -> Result<Vec<Tensor>> {
+    x.split(size, dim)
+}
+
+/// Copying concatenation along `dim`.
+///
+/// # Errors
+///
+/// Fails when shapes disagree off-dim.
+pub fn cat(xs: &[Tensor], dim: usize) -> Result<Tensor> {
+    Tensor::cat(xs, dim)
+}
+
+/// Cyclically rolls the tensor by `shift` positions along `dim`
+/// (`torch.roll`) — the memory operator behind Swin's shifted windows.
+///
+/// # Errors
+///
+/// Fails when `dim` is out of range or the input is not f32.
+pub fn roll(x: &Tensor, shift: isize, dim: usize) -> Result<Tensor> {
+    if dim >= x.rank() {
+        return Err(ngb_tensor::TensorError::InvalidDim { dim, rank: x.rank() });
+    }
+    let d = x.shape()[dim];
+    if d == 0 {
+        return Ok(x.clone());
+    }
+    let s = shift.rem_euclid(d as isize) as usize;
+    if s == 0 {
+        return Ok(x.contiguous());
+    }
+    // roll = cat(tail, head) along dim
+    let head = x.narrow(dim, 0, d - s)?;
+    let tail = x.narrow(dim, d - s, s)?;
+    Tensor::cat(&[tail, head], dim)
+}
+
+/// Cost of [`roll`] on `shape`: a full copy (one kernel).
+pub fn roll_cost(shape: &[usize]) -> OpCost {
+    OpCost::copy(ngb_tensor::num_elements(shape))
+}
+
+/// Cost of any metadata-only layout op (`view`, `permute`, `transpose`,
+/// `expand`, `squeeze`, `unsqueeze`, `split`): a header rewrite, no
+/// traffic, no kernel. Eager frameworks still pay dispatch overhead, which
+/// the platform model adds per *node*, not per kernel.
+pub fn metadata_cost() -> OpCost {
+    OpCost::metadata()
+}
+
+/// Cost of `contiguous` on `shape`: a full copy when the input is assumed
+/// non-contiguous (the conservative, paper-relevant case).
+pub fn contiguous_cost(shape: &[usize]) -> OpCost {
+    OpCost::copy(ngb_tensor::num_elements(shape))
+}
+
+/// Cost of `reshape` given whether the input is contiguous.
+pub fn reshape_cost(shape: &[usize], input_contiguous: bool) -> OpCost {
+    if input_contiguous {
+        OpCost::metadata()
+    } else {
+        contiguous_cost(shape)
+    }
+}
+
+/// Cost of `cat` producing `out_elems` total elements.
+pub fn cat_cost(out_elems: usize) -> OpCost {
+    OpCost::copy(out_elems)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrappers_delegate() {
+        let x = Tensor::arange(0.0, 6.0, 1.0);
+        let r = reshape(&x, &[2, 3]).unwrap();
+        assert_eq!(r.shape(), &[2, 3]);
+        let p = permute(&r, &[1, 0]).unwrap();
+        assert_eq!(p.shape(), &[3, 2]);
+        let t = transpose(&r, 0, 1).unwrap();
+        assert_eq!(t.shape(), p.shape());
+        let c = contiguous(&p);
+        assert!(c.is_contiguous());
+        let e = expand(&Tensor::ones(&[1, 3]), &[4, 3]).unwrap();
+        assert_eq!(e.shape(), &[4, 3]);
+        let u = unsqueeze(&x, 0).unwrap();
+        assert_eq!(squeeze(&u, 0).unwrap().shape(), x.shape());
+        assert_eq!(split(&x, 2, 0).unwrap().len(), 3);
+        assert_eq!(cat(&[x.clone(), x], 0).unwrap().shape(), &[12]);
+        assert_eq!(view(&r, &[6]).unwrap().shape(), &[6]);
+    }
+
+    #[test]
+    fn roll_is_cyclic() {
+        let x = Tensor::arange(0.0, 6.0, 1.0).reshape(&[2, 3]).unwrap();
+        let r = roll(&x, 1, 1).unwrap();
+        assert_eq!(r.to_vec_f32().unwrap(), vec![2.0, 0.0, 1.0, 5.0, 3.0, 4.0]);
+        let neg = roll(&x, -1, 1).unwrap();
+        assert_eq!(neg.to_vec_f32().unwrap(), vec![1.0, 2.0, 0.0, 4.0, 5.0, 3.0]);
+        // full-period roll is the identity
+        let full = roll(&x, 3, 1).unwrap();
+        assert_eq!(full.to_vec_f32().unwrap(), x.to_vec_f32().unwrap());
+        // inverse shifts round-trip
+        let rt = roll(&roll(&x, 2, 0).unwrap(), -2, 0).unwrap();
+        assert_eq!(rt.to_vec_f32().unwrap(), x.to_vec_f32().unwrap());
+        assert!(roll(&x, 1, 5).is_err());
+        assert_eq!(roll_cost(&[2, 3]).kernels, 1);
+    }
+
+    #[test]
+    fn metadata_ops_are_free_copies_are_not() {
+        assert_eq!(metadata_cost().memory_bytes(), 0.0);
+        assert_eq!(metadata_cost().kernels, 0);
+        let c = contiguous_cost(&[2, 850, 256]);
+        assert!(c.memory_bytes() > 0.0);
+        assert_eq!(c.kernels, 1);
+        assert_eq!(reshape_cost(&[4, 4], true).kernels, 0);
+        assert_eq!(reshape_cost(&[4, 4], false).kernels, 1);
+        assert_eq!(cat_cost(100).bytes_written, 400.0);
+    }
+}

@@ -1,0 +1,435 @@
+//! Normalization operators (paper Table 2 "Normalization" group).
+//!
+//! Besides the library kernels (LayerNorm, BatchNorm2d, GroupNorm) this
+//! module implements the *custom* variants the paper singles out:
+//! `FrozenBatchNorm2d` (detection models re-implement batch norm as a
+//! scale-and-shift, bypassing the fused library kernel — §4.1.2) and
+//! Llama's `RMSNorm`, whose eager-mode execution decomposes into several
+//! kernels (§4.1.4).
+
+use ngb_tensor::{Tensor, TensorError};
+
+use crate::{OpCost, Result, F32_BYTES};
+
+/// Layer normalization over the last dimension:
+/// `y = (x - mean) / sqrt(var + eps) * gamma + beta`.
+///
+/// `gamma`/`beta` have the size of the last dim.
+///
+/// # Errors
+///
+/// Fails when the affine parameter shapes do not match the last dim.
+pub fn layer_norm(x: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> Result<Tensor> {
+    let d = *x.shape().last().ok_or_else(|| {
+        TensorError::InvalidArgument("layer_norm input must have at least one dim".into())
+    })?;
+    if gamma.shape() != [d] || beta.shape() != [d] {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![d],
+            actual: gamma.shape().to_vec(),
+            op: "layer_norm",
+        });
+    }
+    let rows = x.numel() / d;
+    let xv = x.contiguous();
+    let xs = xv.as_slice_f32().expect("contiguous f32");
+    let gs = gamma.contiguous();
+    let gs = gs.as_slice_f32().expect("contiguous f32");
+    let bs = beta.contiguous();
+    let bs = bs.as_slice_f32().expect("contiguous f32");
+    let mut out = vec![0.0f32; rows * d];
+    for r in 0..rows {
+        let row = &xs[r * d..(r + 1) * d];
+        let mean: f32 = row.iter().sum::<f32>() / d as f32;
+        let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+        let inv = 1.0 / (var + eps).sqrt();
+        for i in 0..d {
+            out[r * d + i] = (row[i] - mean) * inv * gs[i] + bs[i];
+        }
+    }
+    Tensor::from_vec(out, x.shape())
+}
+
+/// Cost of the fused [`layer_norm`] kernel on `shape`.
+pub fn layer_norm_cost(shape: &[usize]) -> OpCost {
+    let n = ngb_tensor::num_elements(shape);
+    // eager CUDA layer norm runs a statistics pass and a normalize pass
+    OpCost {
+        flops: 8.0 * n as f64,
+        bytes_read: 2.0 * n as f64 * F32_BYTES,
+        bytes_written: n as f64 * F32_BYTES,
+        kernels: 2,
+        dynamic: false,
+    }
+}
+
+/// Root-mean-square norm (Llama): `y = x / rms(x) * gamma` with
+/// `rms(x) = sqrt(mean(x^2) + eps)` over the last dim — fused form.
+///
+/// # Errors
+///
+/// Fails when `gamma` does not match the last dim.
+pub fn rms_norm(x: &Tensor, gamma: &Tensor, eps: f32) -> Result<Tensor> {
+    let d = *x.shape().last().ok_or_else(|| {
+        TensorError::InvalidArgument("rms_norm input must have at least one dim".into())
+    })?;
+    if gamma.shape() != [d] {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![d],
+            actual: gamma.shape().to_vec(),
+            op: "rms_norm",
+        });
+    }
+    let rows = x.numel() / d;
+    let xc = x.contiguous();
+    let xs = xc.as_slice_f32().expect("contiguous f32");
+    let gc = gamma.contiguous();
+    let gs = gc.as_slice_f32().expect("contiguous f32");
+    let mut out = vec![0.0f32; rows * d];
+    for r in 0..rows {
+        let row = &xs[r * d..(r + 1) * d];
+        let ms: f32 = row.iter().map(|v| v * v).sum::<f32>() / d as f32;
+        let inv = 1.0 / (ms + eps).sqrt();
+        for i in 0..d {
+            out[r * d + i] = row[i] * inv * gs[i];
+        }
+    }
+    Tensor::from_vec(out, x.shape())
+}
+
+/// Cost of the fused [`rms_norm`] kernel on `shape`.
+pub fn rms_norm_cost(shape: &[usize]) -> OpCost {
+    let n = ngb_tensor::num_elements(shape);
+    OpCost {
+        flops: 5.0 * n as f64,
+        bytes_read: 2.0 * n as f64 * F32_BYTES,
+        bytes_written: n as f64 * F32_BYTES,
+        kernels: 1,
+        dynamic: false,
+    }
+}
+
+/// `LlamaRMSNorm` as Hugging Face executes it in eager mode: `pow` →
+/// `mean` → `add eps` → `rsqrt` → `mul` → `mul gamma`, six kernels with
+/// intermediate materialization (the overhead §4.1.4 describes).
+///
+/// Numerically identical to [`rms_norm`].
+///
+/// # Errors
+///
+/// Fails when `gamma` does not match the last dim.
+pub fn llama_rms_norm(x: &Tensor, gamma: &Tensor, eps: f32) -> Result<Tensor> {
+    let sq = x.map(|v| v * v)?; // pow(2)
+    let rank = x.rank();
+    let ms = sq.reduce_dim(rank - 1, true, 0.0, |a, v| a + v)?; // mean (sum…
+    let d = *x.shape().last().expect("checked nonempty");
+    let ms = ms.map(|v| v / d as f32)?; // …/ n)
+    let inv = ms.map(|v| 1.0 / (v + eps).sqrt())?; // add + rsqrt
+    let normed = x.zip_map(&inv, |a, b| a * b)?; // mul (broadcast)
+    normed.zip_map(gamma, |a, g| a * g) // mul gamma
+}
+
+/// Cost of the decomposed [`llama_rms_norm`] chain on `shape`.
+pub fn llama_rms_norm_cost(shape: &[usize]) -> OpCost {
+    let n = ngb_tensor::num_elements(shape);
+    let rows = n / shape.last().copied().unwrap_or(1).max(1);
+    OpCost::elementwise(n, 1.0) // pow
+        + OpCost::reduction(n, rows, 1.0) // mean
+        + OpCost::elementwise(rows, 2.0) // add eps + div n
+        + OpCost::elementwise(rows, 2.0) // rsqrt
+        + OpCost::elementwise_binary(n, 1.0) // mul inv
+        + OpCost::elementwise_binary(n, 1.0) // mul gamma
+}
+
+/// Inference-mode 2-D batch norm on NCHW using running statistics:
+/// `y = (x - mean_c) / sqrt(var_c + eps) * gamma_c + beta_c`.
+///
+/// # Errors
+///
+/// Fails when `x` is not rank 4 or per-channel parameters mismatch `C`.
+pub fn batch_norm2d(
+    x: &Tensor,
+    gamma: &Tensor,
+    beta: &Tensor,
+    running_mean: &Tensor,
+    running_var: &Tensor,
+    eps: f32,
+) -> Result<Tensor> {
+    if x.rank() != 4 {
+        return Err(TensorError::InvalidArgument("batch_norm2d requires NCHW input".into()));
+    }
+    let c = x.shape()[1];
+    for (t, name) in [(gamma, "gamma"), (beta, "beta"), (running_mean, "mean"), (running_var, "var")]
+    {
+        if t.shape() != [c] {
+            return Err(TensorError::InvalidArgument(format!(
+                "batch_norm2d {name} must have shape [{c}], got {:?}",
+                t.shape()
+            )));
+        }
+    }
+    let g4 = gamma.reshape(&[1, c, 1, 1])?;
+    let b4 = beta.reshape(&[1, c, 1, 1])?;
+    let m4 = running_mean.reshape(&[1, c, 1, 1])?;
+    let v4 = running_var.reshape(&[1, c, 1, 1])?;
+    let centered = x.zip_map(&m4, |a, m| a - m)?;
+    let scaled = centered.zip_map(&v4, move |a, v| a / (v + eps).sqrt())?;
+    scaled.zip_map(&g4, |a, g| a * g)?.zip_map(&b4, |a, b| a + b)
+}
+
+/// Cost of a fused inference [`batch_norm2d`] kernel on `shape`.
+pub fn batch_norm2d_cost(shape: &[usize]) -> OpCost {
+    OpCost::elementwise(ngb_tensor::num_elements(shape), 4.0)
+}
+
+/// `FrozenBatchNorm2d` — torchvision detection models' hand-rolled batch
+/// norm (`(x * scale) + shift` with precomputed per-channel constants).
+/// In eager mode this executes as separate `mul` and `add` broadcasts
+/// rather than one fused norm kernel — the custom-implementation overhead
+/// §4.1.2 identifies as the reason Normalization dominates detection
+/// models on GPU.
+///
+/// # Errors
+///
+/// Fails when `x` is not rank 4 or parameters mismatch `C`.
+pub fn frozen_batch_norm2d(
+    x: &Tensor,
+    gamma: &Tensor,
+    beta: &Tensor,
+    running_mean: &Tensor,
+    running_var: &Tensor,
+    eps: f32,
+) -> Result<Tensor> {
+    if x.rank() != 4 {
+        return Err(TensorError::InvalidArgument(
+            "frozen_batch_norm2d requires NCHW input".into(),
+        ));
+    }
+    let c = x.shape()[1];
+    // scale = gamma * rsqrt(var + eps); shift = beta - mean * scale
+    let scale = gamma.zip_map(running_var, move |g, v| g / (v + eps).sqrt())?;
+    let shift = beta.zip_map(&running_mean.zip_map(&scale, |m, s| m * s)?, |b, ms| b - ms)?;
+    let s4 = scale.reshape(&[1, c, 1, 1])?;
+    let sh4 = shift.reshape(&[1, c, 1, 1])?;
+    x.zip_map(&s4, |a, s| a * s)?.zip_map(&sh4, |a, s| a + s)
+}
+
+/// Cost of the decomposed [`frozen_batch_norm2d`]: four kernels (scale
+/// prep ×2 on `C` elements, then `mul` + `add` broadcasts over the map).
+pub fn frozen_batch_norm2d_cost(shape: &[usize]) -> OpCost {
+    let n = ngb_tensor::num_elements(shape);
+    let c = if shape.len() >= 2 { shape[1] } else { 1 };
+    // eager torchvision: rsqrt, two per-channel prep kernels, then the
+    // broadcast mul and add each re-touch the whole map
+    OpCost::elementwise(c, 3.0)
+        + OpCost::elementwise(c, 2.0)
+        + OpCost::elementwise(c, 2.0)
+        + OpCost::elementwise_binary(n, 1.0)
+        + OpCost::elementwise_binary(n, 1.0)
+}
+
+/// Group normalization on NCHW with `groups` channel groups.
+///
+/// # Errors
+///
+/// Fails when `C % groups != 0`, parameters mismatch `C`, or input is not
+/// rank 4.
+pub fn group_norm(
+    x: &Tensor,
+    groups: usize,
+    gamma: &Tensor,
+    beta: &Tensor,
+    eps: f32,
+) -> Result<Tensor> {
+    if x.rank() != 4 {
+        return Err(TensorError::InvalidArgument("group_norm requires NCHW input".into()));
+    }
+    let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    if groups == 0 || c % groups != 0 {
+        return Err(TensorError::InvalidArgument(format!(
+            "group_norm: {groups} groups do not divide {c} channels"
+        )));
+    }
+    if gamma.shape() != [c] || beta.shape() != [c] {
+        return Err(TensorError::InvalidArgument(
+            "group_norm affine params must have shape [C]".into(),
+        ));
+    }
+    let cg = c / groups;
+    let xc = x.contiguous();
+    let xs = xc.as_slice_f32().expect("contiguous f32");
+    let gc = gamma.contiguous();
+    let gs = gc.as_slice_f32().expect("contiguous f32");
+    let bc = beta.contiguous();
+    let bs = bc.as_slice_f32().expect("contiguous f32");
+    let mut out = vec![0.0f32; x.numel()];
+    let plane = h * w;
+    for b in 0..n {
+        for g in 0..groups {
+            let start = (b * c + g * cg) * plane;
+            let len = cg * plane;
+            let seg = &xs[start..start + len];
+            let mean: f32 = seg.iter().sum::<f32>() / len as f32;
+            let var: f32 = seg.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / len as f32;
+            let inv = 1.0 / (var + eps).sqrt();
+            for cc in 0..cg {
+                let ch = g * cg + cc;
+                for p in 0..plane {
+                    let i = start + cc * plane + p;
+                    out[i] = (xs[i] - mean) * inv * gs[ch] + bs[ch];
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, x.shape())
+}
+
+/// Cost of [`group_norm`] on `shape`.
+pub fn group_norm_cost(shape: &[usize]) -> OpCost {
+    let n = ngb_tensor::num_elements(shape);
+    OpCost {
+        flops: 8.0 * n as f64,
+        bytes_read: 2.0 * n as f64 * F32_BYTES,
+        bytes_written: n as f64 * F32_BYTES,
+        kernels: 2,
+        dynamic: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ngb_tensor::random::TensorRng;
+
+    fn mean_var(v: &[f32]) -> (f32, f32) {
+        let mean = v.iter().sum::<f32>() / v.len() as f32;
+        let var = v.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / v.len() as f32;
+        (mean, var)
+    }
+
+    #[test]
+    fn layer_norm_normalizes_rows() {
+        let x = TensorRng::seed(1).normal(&[4, 16]);
+        let g = Tensor::ones(&[16]);
+        let b = Tensor::zeros(&[16]);
+        let y = layer_norm(&x, &g, &b, 1e-5).unwrap();
+        for r in 0..4 {
+            let row = y.select(0, r).unwrap().to_vec_f32().unwrap();
+            let (m, v) = mean_var(&row);
+            assert!(m.abs() < 1e-5, "row {r} mean {m}");
+            assert!((v - 1.0).abs() < 1e-3, "row {r} var {v}");
+        }
+    }
+
+    #[test]
+    fn layer_norm_affine() {
+        let x = TensorRng::seed(2).normal(&[2, 8]);
+        let g = Tensor::full(&[8], 2.0);
+        let b = Tensor::full(&[8], 1.0);
+        let y = layer_norm(&x, &g, &b, 1e-5).unwrap();
+        let plain = layer_norm(&x, &Tensor::ones(&[8]), &Tensor::zeros(&[8]), 1e-5).unwrap();
+        let expect = plain.map(|v| 2.0 * v + 1.0).unwrap();
+        for (a, e) in y.to_vec_f32().unwrap().iter().zip(expect.to_vec_f32().unwrap()) {
+            assert!((a - e).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn rms_norm_fused_vs_decomposed() {
+        let x = TensorRng::seed(3).normal(&[2, 5, 32]);
+        let g = TensorRng::seed(4).uniform(&[32], 0.5, 1.5);
+        let fused = rms_norm(&x, &g, 1e-6).unwrap();
+        let dec = llama_rms_norm(&x, &g, 1e-6).unwrap();
+        for (a, b) in fused.to_vec_f32().unwrap().iter().zip(dec.to_vec_f32().unwrap()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn rms_norm_unit_rms() {
+        let x = TensorRng::seed(5).normal(&[1, 64]);
+        let y = rms_norm(&x, &Tensor::ones(&[64]), 0.0).unwrap().to_vec_f32().unwrap();
+        let rms = (y.iter().map(|v| v * v).sum::<f32>() / 64.0).sqrt();
+        assert!((rms - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn llama_rms_norm_costs_six_kernels() {
+        let fused = rms_norm_cost(&[1, 10, 4096]);
+        let dec = llama_rms_norm_cost(&[1, 10, 4096]);
+        assert_eq!(fused.kernels, 1);
+        assert_eq!(dec.kernels, 6);
+        assert!(dec.memory_bytes() > fused.memory_bytes());
+    }
+
+    #[test]
+    fn batch_norm_matches_frozen_variant() {
+        let mut rng = TensorRng::seed(6);
+        let x = rng.normal(&[2, 3, 4, 4]);
+        let g = rng.uniform(&[3], 0.5, 1.5);
+        let b = rng.normal(&[3]);
+        let m = rng.normal(&[3]);
+        let v = rng.uniform(&[3], 0.5, 2.0);
+        let bn = batch_norm2d(&x, &g, &b, &m, &v, 1e-5).unwrap();
+        let fbn = frozen_batch_norm2d(&x, &g, &b, &m, &v, 1e-5).unwrap();
+        for (a, c) in bn.to_vec_f32().unwrap().iter().zip(fbn.to_vec_f32().unwrap()) {
+            assert!((a - c).abs() < 1e-4, "{a} vs {c}");
+        }
+    }
+
+    #[test]
+    fn frozen_bn_costs_more_kernels() {
+        let shape = [1, 1024, 50, 68];
+        assert_eq!(batch_norm2d_cost(&shape).kernels, 1);
+        assert_eq!(frozen_batch_norm2d_cost(&shape).kernels, 5);
+    }
+
+    #[test]
+    fn batch_norm_normalizes_with_true_stats() {
+        // if running stats equal the data stats, output is ~N(0,1) per channel
+        let x = TensorRng::seed(7).normal(&[8, 1, 16, 16]);
+        let data = x.to_vec_f32().unwrap();
+        let (m, v) = mean_var(&data);
+        let y = batch_norm2d(
+            &x,
+            &Tensor::ones(&[1]),
+            &Tensor::zeros(&[1]),
+            &Tensor::full(&[1], m),
+            &Tensor::full(&[1], v),
+            0.0,
+        )
+        .unwrap();
+        let (ym, yv) = mean_var(&y.to_vec_f32().unwrap());
+        assert!(ym.abs() < 1e-5);
+        assert!((yv - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn group_norm_per_group_stats() {
+        let x = TensorRng::seed(8).normal(&[1, 4, 3, 3]);
+        let y = group_norm(&x, 2, &Tensor::ones(&[4]), &Tensor::zeros(&[4]), 0.0).unwrap();
+        let v = y.to_vec_f32().unwrap();
+        // each group = 2 channels * 9 = 18 elements, should be ~N(0,1)
+        let (m0, v0) = mean_var(&v[0..18]);
+        assert!(m0.abs() < 1e-5);
+        assert!((v0 - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let x = Tensor::zeros(&[2, 4]);
+        assert!(layer_norm(&x, &Tensor::ones(&[3]), &Tensor::zeros(&[4]), 1e-5).is_err());
+        assert!(rms_norm(&x, &Tensor::ones(&[5]), 1e-5).is_err());
+        let x4 = Tensor::zeros(&[1, 4, 2, 2]);
+        assert!(group_norm(&x4, 3, &Tensor::ones(&[4]), &Tensor::zeros(&[4]), 1e-5).is_err());
+        assert!(batch_norm2d(
+            &Tensor::zeros(&[2, 4]),
+            &Tensor::ones(&[4]),
+            &Tensor::zeros(&[4]),
+            &Tensor::zeros(&[4]),
+            &Tensor::ones(&[4]),
+            1e-5
+        )
+        .is_err());
+    }
+}

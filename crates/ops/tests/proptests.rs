@@ -1,0 +1,246 @@
+//! Property-based tests for kernel invariants.
+
+use ngb_ops::{activation, arithmetic, gemm, logit, normalization, roi};
+use ngb_tensor::Tensor;
+use proptest::prelude::*;
+
+fn tensor_1d(max: usize) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(-50.0f32..50.0, 1..=max)
+        .prop_map(|v| {
+            let n = v.len();
+            Tensor::from_vec(v, &[n]).unwrap()
+        })
+}
+
+proptest! {
+    /// softmax output is a probability distribution for any input row.
+    #[test]
+    fn softmax_is_distribution(v in prop::collection::vec(-30.0f32..30.0, 1..40)) {
+        let n = v.len();
+        let x = Tensor::from_vec(v, &[1, n]).unwrap();
+        let p = logit::softmax(&x, 1).unwrap().to_vec_f32().unwrap();
+        prop_assert!(p.iter().all(|&q| (0.0..=1.0 + 1e-6).contains(&q)));
+        let s: f32 = p.iter().sum();
+        prop_assert!((s - 1.0).abs() < 1e-4, "sum {s}");
+    }
+
+    /// softmax is invariant to adding a constant to all logits.
+    #[test]
+    fn softmax_shift_invariant(v in prop::collection::vec(-10.0f32..10.0, 2..20), c in -5.0f32..5.0) {
+        let n = v.len();
+        let x = Tensor::from_vec(v.clone(), &[1, n]).unwrap();
+        let xs = Tensor::from_vec(v.iter().map(|a| a + c).collect(), &[1, n]).unwrap();
+        let p = logit::softmax(&x, 1).unwrap().to_vec_f32().unwrap();
+        let ps = logit::softmax(&xs, 1).unwrap().to_vec_f32().unwrap();
+        for (a, b) in p.iter().zip(&ps) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    /// relu is idempotent and monotone.
+    #[test]
+    fn relu_idempotent(x in tensor_1d(64)) {
+        let once = activation::relu(&x).unwrap();
+        let twice = activation::relu(&once).unwrap();
+        prop_assert_eq!(once.to_vec_f32().unwrap(), twice.to_vec_f32().unwrap());
+    }
+
+    /// layer_norm output has ~zero mean and ~unit variance per row.
+    #[test]
+    fn layer_norm_standardizes(v in prop::collection::vec(-20.0f32..20.0, 8..64)) {
+        let n = v.len();
+        // skip degenerate constant rows (variance ~0 amplifies eps effects)
+        let mean0 = v.iter().sum::<f32>() / n as f32;
+        let var0 = v.iter().map(|a| (a - mean0).powi(2)).sum::<f32>() / n as f32;
+        prop_assume!(var0 > 1e-3);
+        let x = Tensor::from_vec(v, &[1, n]).unwrap();
+        let y = normalization::layer_norm(&x, &Tensor::ones(&[n]), &Tensor::zeros(&[n]), 1e-5)
+            .unwrap()
+            .to_vec_f32()
+            .unwrap();
+        let mean = y.iter().sum::<f32>() / n as f32;
+        let var = y.iter().map(|a| (a - mean).powi(2)).sum::<f32>() / n as f32;
+        prop_assert!(mean.abs() < 1e-3, "mean {mean}");
+        prop_assert!((var - 1.0).abs() < 1e-2, "var {var}");
+    }
+
+    /// matmul distributes over addition: A(B + C) = AB + AC.
+    #[test]
+    fn matmul_distributive(seed in 0u64..1000) {
+        let mut rng = ngb_tensor::random::TensorRng::seed(seed);
+        let a = rng.uniform(&[3, 4], -2.0, 2.0);
+        let b = rng.uniform(&[4, 5], -2.0, 2.0);
+        let c = rng.uniform(&[4, 5], -2.0, 2.0);
+        let lhs = gemm::matmul(&a, &arithmetic::add(&b, &c).unwrap()).unwrap();
+        let rhs = arithmetic::add(
+            &gemm::matmul(&a, &b).unwrap(),
+            &gemm::matmul(&a, &c).unwrap(),
+        ).unwrap();
+        for (x, y) in lhs.to_vec_f32().unwrap().iter().zip(rhs.to_vec_f32().unwrap()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    /// linear with identity weight is the identity map.
+    #[test]
+    fn linear_identity(v in prop::collection::vec(-10.0f32..10.0, 4..=4)) {
+        let x = Tensor::from_vec(v.clone(), &[1, 4]).unwrap();
+        let mut eye = Tensor::zeros(&[4, 4]);
+        for i in 0..4 { eye.set(&[i, i], 1.0).unwrap(); }
+        let y = gemm::linear(&x, &eye, None).unwrap();
+        prop_assert_eq!(y.to_vec_f32().unwrap(), v);
+    }
+
+    /// NMS keep-list is sorted by descending score and is a subset of inputs.
+    #[test]
+    fn nms_output_valid(seed in 0u64..500, thresh in 0.1f32..0.9) {
+        let mut rng = ngb_tensor::random::TensorRng::seed(seed);
+        let n = 20;
+        let xy = rng.uniform(&[n, 2], 0.0, 30.0).to_vec_f32().unwrap();
+        let wh = rng.uniform(&[n, 2], 1.0, 10.0).to_vec_f32().unwrap();
+        let mut bx = Vec::with_capacity(n * 4);
+        for i in 0..n {
+            bx.extend_from_slice(&[xy[i*2], xy[i*2+1], xy[i*2] + wh[i*2], xy[i*2+1] + wh[i*2+1]]);
+        }
+        let boxes = Tensor::from_vec(bx, &[n, 4]).unwrap();
+        let scores = rng.uniform(&[n], 0.0, 1.0);
+        let keep = roi::nms(&boxes, &scores, thresh).unwrap().to_vec_i64().unwrap();
+        prop_assert!(!keep.is_empty() && keep.len() <= n);
+        let sv = scores.to_vec_f32().unwrap();
+        for w in keep.windows(2) {
+            prop_assert!(sv[w[0] as usize] >= sv[w[1] as usize]);
+        }
+        // highest-score box always kept
+        let best = sv.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        prop_assert!(keep.contains(&(best as i64)));
+    }
+
+    /// add/mul are commutative element-wise.
+    #[test]
+    fn arithmetic_commutative(a in tensor_1d(32), seed in 0u64..100) {
+        let b = ngb_tensor::random::TensorRng::seed(seed).uniform(a.shape(), -5.0, 5.0);
+        prop_assert_eq!(
+            arithmetic::add(&a, &b).unwrap().to_vec_f32().unwrap(),
+            arithmetic::add(&b, &a).unwrap().to_vec_f32().unwrap()
+        );
+        prop_assert_eq!(
+            arithmetic::mul(&a, &b).unwrap().to_vec_f32().unwrap(),
+            arithmetic::mul(&b, &a).unwrap().to_vec_f32().unwrap()
+        );
+    }
+}
+
+proptest! {
+    /// Bilinear interpolation never leaves the input's value range
+    /// (convex combination of corners).
+    #[test]
+    fn bilinear_stays_in_range(
+        h in 1usize..6, w in 1usize..6, oh in 1usize..10, ow in 1usize..10, seed in 0u64..200,
+    ) {
+        let x = ngb_tensor::random::TensorRng::seed(seed).uniform(&[1, 1, h, w], -5.0, 5.0);
+        let v = x.to_vec_f32().unwrap();
+        let (lo, hi) = v.iter().fold((f32::INFINITY, f32::NEG_INFINITY), |(l, h2), &a| {
+            (l.min(a), h2.max(a))
+        });
+        let y = ngb_ops::interpolate::interpolate_bilinear(&x, oh, ow).unwrap();
+        for q in y.to_vec_f32().unwrap() {
+            prop_assert!(q >= lo - 1e-4 && q <= hi + 1e-4, "{q} outside [{lo}, {hi}]");
+        }
+    }
+
+    /// Max pooling dominates average pooling element-wise.
+    #[test]
+    fn max_pool_dominates_avg_pool(seed in 0u64..200, k in 1usize..4) {
+        let x = ngb_tensor::random::TensorRng::seed(seed).uniform(&[1, 2, 6, 6], -3.0, 3.0);
+        let mx = ngb_ops::pooling::max_pool2d(&x, k, k, 0).unwrap();
+        let av = ngb_ops::pooling::avg_pool2d(&x, k, k, 0).unwrap();
+        for (m, a) in mx.to_vec_f32().unwrap().iter().zip(av.to_vec_f32().unwrap()) {
+            prop_assert!(m >= &(a - 1e-5), "max {m} < avg {a}");
+        }
+    }
+
+    /// IoU is symmetric, bounded in [0, 1], and 1 on the diagonal for
+    /// non-degenerate boxes.
+    #[test]
+    fn iou_matrix_properties(seed in 0u64..200, n in 1usize..8) {
+        let mut rng = ngb_tensor::random::TensorRng::seed(seed);
+        let xy = rng.uniform(&[n, 2], 0.0, 20.0).to_vec_f32().unwrap();
+        let wh = rng.uniform(&[n, 2], 0.5, 10.0).to_vec_f32().unwrap();
+        let mut v = Vec::with_capacity(n * 4);
+        for i in 0..n {
+            v.extend_from_slice(&[xy[i*2], xy[i*2+1], xy[i*2] + wh[i*2], xy[i*2+1] + wh[i*2+1]]);
+        }
+        let b = Tensor::from_vec(v, &[n, 4]).unwrap();
+        let iou = ngb_ops::roi::box_iou(&b, &b).unwrap();
+        for i in 0..n {
+            prop_assert!((iou.at(&[i, i]).unwrap() - 1.0).abs() < 1e-5);
+            for j in 0..n {
+                let a = iou.at(&[i, j]).unwrap();
+                prop_assert!((0.0..=1.0 + 1e-6).contains(&a));
+                prop_assert!((a - iou.at(&[j, i]).unwrap()).abs() < 1e-6);
+            }
+        }
+    }
+
+    /// Raising the NMS IoU threshold can only keep more boxes.
+    #[test]
+    fn nms_monotone_in_threshold(seed in 0u64..100) {
+        let mut rng = ngb_tensor::random::TensorRng::seed(seed);
+        let n = 24;
+        let xy = rng.uniform(&[n, 2], 0.0, 20.0).to_vec_f32().unwrap();
+        let wh = rng.uniform(&[n, 2], 1.0, 10.0).to_vec_f32().unwrap();
+        let mut v = Vec::with_capacity(n * 4);
+        for i in 0..n {
+            v.extend_from_slice(&[xy[i*2], xy[i*2+1], xy[i*2] + wh[i*2], xy[i*2+1] + wh[i*2+1]]);
+        }
+        let boxes = Tensor::from_vec(v, &[n, 4]).unwrap();
+        let scores = rng.uniform(&[n], 0.0, 1.0);
+        let mut prev = 0usize;
+        for thresh in [0.1f32, 0.3, 0.5, 0.7, 0.9] {
+            let kept = roi::nms(&boxes, &scores, thresh).unwrap().numel();
+            prop_assert!(kept >= prev, "threshold {thresh}: {kept} < {prev}");
+            prev = kept;
+        }
+    }
+
+    /// Embedding lookup is exactly a row gather: looked-up vectors match
+    /// the table rows.
+    #[test]
+    fn embedding_is_row_gather(seed in 0u64..100, vocab in 2usize..20, d in 1usize..8) {
+        let mut rng = ngb_tensor::random::TensorRng::seed(seed);
+        let table = rng.normal(&[vocab, d]);
+        let ids = rng.uniform_i64(&[5], 0, vocab as i64);
+        let e = ngb_ops::embedding::embedding(&table, &ids).unwrap();
+        for (row, &id) in ids.to_vec_i64().unwrap().iter().enumerate() {
+            for col in 0..d {
+                prop_assert_eq!(
+                    e.at(&[row, col]).unwrap(),
+                    table.at(&[id as usize, col]).unwrap()
+                );
+            }
+        }
+    }
+
+    /// Conv2d is linear in its input: conv(a*x) == a * conv(x).
+    #[test]
+    fn conv_is_linear_in_input(seed in 0u64..100, scale in 0.25f32..4.0) {
+        let mut rng = ngb_tensor::random::TensorRng::seed(seed);
+        let x = rng.normal(&[1, 2, 5, 5]);
+        let w = rng.normal(&[3, 2, 3, 3]);
+        let base = gemm::conv2d(&x, &w, None, 1, 1, 1).unwrap();
+        let scaled_in = arithmetic::mul_scalar(&x, scale).unwrap();
+        let scaled_out = gemm::conv2d(&scaled_in, &w, None, 1, 1, 1).unwrap();
+        for (a, b) in base.to_vec_f32().unwrap().iter().zip(scaled_out.to_vec_f32().unwrap()) {
+            prop_assert!((a * scale - b).abs() < 1e-3 * (1.0 + a.abs() * scale.abs()));
+        }
+    }
+
+    /// Roll composes additively: roll(roll(x, a), b) == roll(x, a + b).
+    #[test]
+    fn roll_composes(seed in 0u64..100, a in -5isize..5, b2 in -5isize..5) {
+        let x = ngb_tensor::random::TensorRng::seed(seed).normal(&[3, 7]);
+        let twice = ngb_ops::memory::roll(&ngb_ops::memory::roll(&x, a, 1).unwrap(), b2, 1).unwrap();
+        let once = ngb_ops::memory::roll(&x, a + b2, 1).unwrap();
+        prop_assert_eq!(twice.to_vec_f32().unwrap(), once.to_vec_f32().unwrap());
+    }
+}

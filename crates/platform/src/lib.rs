@@ -1,0 +1,350 @@
+//! # ngb-platform
+//!
+//! Analytic hardware models for the paper's Table 3 platforms.
+//!
+//! The original study measures on four physical CPUs and GPUs. This
+//! reproduction substitutes roofline-style device models parameterized
+//! from public spec sheets (see DESIGN.md §2): an operator's latency is
+//!
+//! ```text
+//! t = max(flops / throughput, bytes / bandwidth) + kernels × launch
+//! ```
+//!
+//! where `throughput` is the GEMM-engine rate for GEMM-classified ops and
+//! the vector rate otherwise. The model deliberately captures the two
+//! effects the paper's analysis rests on:
+//!
+//! 1. GPUs accelerate GEMMs by 1–2 orders of magnitude more than they
+//!    accelerate memory-bound non-GEMM ops (compute vs bandwidth ratios),
+//!    which shifts the Amdahl's-law balance toward non-GEMM operators; and
+//! 2. every GPU kernel pays a launch overhead, so operators that decompose
+//!    into many small kernels (NewGELU, LlamaRMSNorm, FrozenBatchNorm2d)
+//!    are disproportionately expensive at small batch sizes.
+//!
+//! Energy integrates a TDP-based power model over the same latency.
+
+use ngb_ops::OpCost;
+use serde::{Deserialize, Serialize};
+
+/// What kind of execution engine a device is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// A host CPU.
+    Cpu,
+    /// A discrete GPU with a kernel-launch model and a PCIe link.
+    Gpu,
+}
+
+/// Roofline parameters of one device.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DeviceModel {
+    /// Marketing name (Table 3).
+    pub name: &'static str,
+    /// CPU or GPU.
+    pub kind: DeviceKind,
+    /// Peak sustained GEMM throughput in TFLOP/s (tensor cores on GPUs,
+    /// AVX-512/AMX-class FMA on CPUs), already derated to achievable rates.
+    pub gemm_tflops: f64,
+    /// Peak sustained element-wise/vector throughput in TFLOP/s.
+    pub vector_tflops: f64,
+    /// Memory bandwidth in GB/s.
+    pub mem_bw_gbs: f64,
+    /// Per-kernel launch overhead in microseconds (≈0 on CPUs).
+    pub kernel_launch_us: f64,
+    /// Host↔device transfer bandwidth in GB/s (PCIe; unused for CPUs).
+    pub pcie_gbs: f64,
+    /// Fixed per-transfer latency in microseconds (driver + sync).
+    pub transfer_fixed_us: f64,
+    /// Board/package power at full load, watts.
+    pub tdp_watts: f64,
+    /// Idle power, watts.
+    pub idle_watts: f64,
+}
+
+impl DeviceModel {
+    /// NVIDIA A100 (data-center GPU).
+    pub fn a100() -> Self {
+        DeviceModel {
+            name: "NVIDIA A100",
+            kind: DeviceKind::Gpu,
+            gemm_tflops: 120.0, // TF32 tensor cores, derated from 156 peak
+            vector_tflops: 15.0,
+            mem_bw_gbs: 1555.0,
+            kernel_launch_us: 4.0,
+            pcie_gbs: 25.0,
+            transfer_fixed_us: 6.0,
+            tdp_watts: 400.0,
+            idle_watts: 55.0,
+        }
+    }
+
+    /// NVIDIA RTX 4090 (workstation GPU).
+    pub fn rtx4090() -> Self {
+        DeviceModel {
+            name: "NVIDIA RTX 4090",
+            kind: DeviceKind::Gpu,
+            gemm_tflops: 70.0,
+            vector_tflops: 12.0,
+            mem_bw_gbs: 1008.0,
+            kernel_launch_us: 3.5,
+            pcie_gbs: 25.0,
+            transfer_fixed_us: 6.0,
+            tdp_watts: 450.0,
+            idle_watts: 25.0,
+        }
+    }
+
+    /// NVIDIA RTX 4060 Mobile (laptop GPU).
+    pub fn rtx4060m() -> Self {
+        DeviceModel {
+            name: "NVIDIA RTX 4060m",
+            kind: DeviceKind::Gpu,
+            gemm_tflops: 14.0,
+            vector_tflops: 3.5,
+            mem_bw_gbs: 256.0,
+            kernel_launch_us: 5.0,
+            pcie_gbs: 12.0,
+            transfer_fixed_us: 8.0,
+            tdp_watts: 115.0,
+            idle_watts: 10.0,
+        }
+    }
+
+    /// AMD EPYC 7763 (data-center CPU, 64 cores).
+    pub fn epyc7763() -> Self {
+        DeviceModel {
+            name: "AMD EPYC 7763",
+            kind: DeviceKind::Cpu,
+            gemm_tflops: 2.8,
+            vector_tflops: 0.9,
+            mem_bw_gbs: 205.0,
+            kernel_launch_us: 0.2,
+            pcie_gbs: 0.0,
+            transfer_fixed_us: 0.0,
+            tdp_watts: 280.0,
+            idle_watts: 95.0,
+        }
+    }
+
+    /// Intel i9-13900K (workstation CPU).
+    pub fn i9_13900k() -> Self {
+        DeviceModel {
+            name: "Intel i9-13900K",
+            kind: DeviceKind::Cpu,
+            gemm_tflops: 1.6,
+            vector_tflops: 0.55,
+            mem_bw_gbs: 89.0,
+            kernel_launch_us: 0.15,
+            pcie_gbs: 0.0,
+            transfer_fixed_us: 0.0,
+            tdp_watts: 253.0,
+            idle_watts: 28.0,
+        }
+    }
+
+    /// Intel i7-13700H (mobile CPU).
+    pub fn i7_13700h() -> Self {
+        DeviceModel {
+            name: "Intel i7-13700H",
+            kind: DeviceKind::Cpu,
+            gemm_tflops: 0.8,
+            vector_tflops: 0.3,
+            mem_bw_gbs: 62.0,
+            kernel_launch_us: 0.15,
+            pcie_gbs: 0.0,
+            transfer_fixed_us: 0.0,
+            tdp_watts: 115.0,
+            idle_watts: 12.0,
+        }
+    }
+
+    /// Latency in **seconds** of one operator with `cost`, classified GEMM
+    /// or not, on this device.
+    pub fn op_latency(&self, cost: &OpCost, is_gemm: bool) -> f64 {
+        let tput = if is_gemm { self.gemm_tflops } else { self.vector_tflops } * 1e12;
+        let compute = if tput > 0.0 { cost.flops / tput } else { 0.0 };
+        let memory = cost.memory_bytes() / (self.mem_bw_gbs * 1e9);
+        compute.max(memory) + cost.kernels as f64 * self.kernel_launch_us * 1e-6
+    }
+
+    /// Latency in seconds of moving `bytes` across the host link (zero for
+    /// CPUs, which share memory with the host).
+    pub fn transfer_latency(&self, bytes: f64) -> f64 {
+        if self.kind == DeviceKind::Cpu || bytes <= 0.0 {
+            return 0.0;
+        }
+        self.transfer_fixed_us * 1e-6 + bytes / (self.pcie_gbs * 1e9)
+    }
+
+    /// Energy in **joules** consumed running a kernel for `seconds` at
+    /// `utilization` (0–1) of full load.
+    pub fn energy(&self, seconds: f64, utilization: f64) -> f64 {
+        let u = utilization.clamp(0.0, 1.0);
+        (self.idle_watts + (self.tdp_watts - self.idle_watts) * u) * seconds
+    }
+}
+
+/// Table 3's three hardware classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum HardwareClass {
+    /// Laptop-class.
+    Mobile,
+    /// Desktop workstation.
+    Workstation,
+    /// Server.
+    DataCenter,
+}
+
+impl std::fmt::Display for HardwareClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            HardwareClass::Mobile => "Mobile",
+            HardwareClass::Workstation => "Workstation",
+            HardwareClass::DataCenter => "Data Center",
+        })
+    }
+}
+
+/// A CPU (+ optional GPU) pair, one row of Table 3.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Platform {
+    /// Hardware class.
+    pub class: HardwareClass,
+    /// Host CPU model.
+    pub cpu: DeviceModel,
+    /// Attached GPU, when present.
+    pub gpu: Option<DeviceModel>,
+}
+
+impl Platform {
+    /// Data center: EPYC 7763 + A100.
+    pub fn data_center() -> Self {
+        Platform {
+            class: HardwareClass::DataCenter,
+            cpu: DeviceModel::epyc7763(),
+            gpu: Some(DeviceModel::a100()),
+        }
+    }
+
+    /// Workstation: i9-13900K + RTX 4090.
+    pub fn workstation() -> Self {
+        Platform {
+            class: HardwareClass::Workstation,
+            cpu: DeviceModel::i9_13900k(),
+            gpu: Some(DeviceModel::rtx4090()),
+        }
+    }
+
+    /// Mobile: i7-13700H + RTX 4060m.
+    pub fn mobile() -> Self {
+        Platform {
+            class: HardwareClass::Mobile,
+            cpu: DeviceModel::i7_13700h(),
+            gpu: Some(DeviceModel::rtx4060m()),
+        }
+    }
+
+    /// The same platform with the GPU removed (CPU-only configuration).
+    pub fn cpu_only(mut self) -> Self {
+        self.gpu = None;
+        self
+    }
+
+    /// Whether a GPU is attached.
+    pub fn has_gpu(&self) -> bool {
+        self.gpu.is_some()
+    }
+
+    /// Short display name, e.g. `"Data Center (CPU+GPU)"`.
+    pub fn label(&self) -> String {
+        format!("{} ({})", self.class, if self.has_gpu() { "CPU+GPU" } else { "CPU only" })
+    }
+
+    /// All three Table 3 platforms with GPUs.
+    pub fn all_gpu() -> Vec<Platform> {
+        vec![Platform::mobile(), Platform::workstation(), Platform::data_center()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gemm_cost() -> OpCost {
+        ngb_ops::gemm::matmul_cost(1024, 1024, 1024)
+    }
+
+    #[test]
+    fn gpu_accelerates_gemm_far_more_than_elementwise() {
+        let cpu = DeviceModel::epyc7763();
+        let gpu = DeviceModel::a100();
+        let g = gemm_cost();
+        let e = OpCost::elementwise(1024 * 1024, 1.0);
+        let gemm_speedup = cpu.op_latency(&g, true) / gpu.op_latency(&g, true);
+        let ew_speedup = cpu.op_latency(&e, false) / gpu.op_latency(&e, false);
+        assert!(gemm_speedup > 5.0 * ew_speedup, "gemm {gemm_speedup:.1}x vs ew {ew_speedup:.1}x");
+    }
+
+    #[test]
+    fn launch_overhead_dominates_tiny_gpu_kernels() {
+        let gpu = DeviceModel::a100();
+        let tiny = OpCost::elementwise(128, 1.0);
+        let t = gpu.op_latency(&tiny, false);
+        assert!(t >= 4.0e-6, "tiny kernel should pay the launch: {t}");
+        // 8-kernel NewGELU on the same data costs ~8x the launches
+        let decomposed = ngb_ops::activation::new_gelu_cost(&[128]);
+        assert!(gpu.op_latency(&decomposed, false) > 7.0 * t);
+    }
+
+    #[test]
+    fn memory_bound_ops_track_bandwidth() {
+        let gpu = DeviceModel::a100();
+        let big = OpCost::copy(100_000_000); // 800 MB traffic
+        let t = gpu.op_latency(&big, false);
+        let expected = 8.0e8 / (1555.0 * 1e9);
+        assert!((t - expected - 4.0e-6).abs() / expected < 0.05, "{t} vs {expected}");
+    }
+
+    #[test]
+    fn transfer_latency_only_on_gpus() {
+        assert_eq!(DeviceModel::epyc7763().transfer_latency(1e6), 0.0);
+        let t = DeviceModel::a100().transfer_latency(1e6);
+        assert!(t > 1e-5, "{t}");
+        assert_eq!(DeviceModel::a100().transfer_latency(0.0), 0.0);
+    }
+
+    #[test]
+    fn energy_scales_with_time_and_load() {
+        let d = DeviceModel::rtx4090();
+        assert!(d.energy(1.0, 1.0) > d.energy(1.0, 0.1));
+        assert!((d.energy(2.0, 0.5) - 2.0 * d.energy(1.0, 0.5)).abs() < 1e-9);
+        assert_eq!(d.energy(0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn platform_rosters_match_table3() {
+        let dc = Platform::data_center();
+        assert_eq!(dc.cpu.name, "AMD EPYC 7763");
+        assert_eq!(dc.gpu.as_ref().unwrap().name, "NVIDIA A100");
+        let ws = Platform::workstation();
+        assert_eq!(ws.gpu.as_ref().unwrap().name, "NVIDIA RTX 4090");
+        let mb = Platform::mobile();
+        assert_eq!(mb.cpu.name, "Intel i7-13700H");
+        assert!(!mb.clone().cpu_only().has_gpu());
+        assert_eq!(Platform::all_gpu().len(), 3);
+    }
+
+    #[test]
+    fn device_hierarchy_is_ordered() {
+        // faster classes must be strictly faster on the same op
+        let c = gemm_cost();
+        let t_dc = DeviceModel::a100().op_latency(&c, true);
+        let t_ws = DeviceModel::rtx4090().op_latency(&c, true);
+        let t_mb = DeviceModel::rtx4060m().op_latency(&c, true);
+        assert!(t_dc < t_ws && t_ws < t_mb);
+        let t_cpu_dc = DeviceModel::epyc7763().op_latency(&c, true);
+        let t_cpu_ws = DeviceModel::i9_13900k().op_latency(&c, true);
+        let t_cpu_mb = DeviceModel::i7_13700h().op_latency(&c, true);
+        assert!(t_cpu_dc < t_cpu_ws && t_cpu_ws < t_cpu_mb);
+    }
+}

@@ -1,0 +1,385 @@
+//! Per-operator profiles and their aggregation.
+
+use std::collections::BTreeMap;
+
+use ngb_graph::{Graph, Interpreter, NodeId, NonGemmGroup, OpClass};
+use ngb_platform::Platform;
+use ngb_runtime::{Flow, Placement};
+use serde::Serialize;
+
+/// Profile of one executed operator.
+#[derive(Debug, Clone, Serialize)]
+pub struct NodeProfile {
+    /// Graph node id.
+    pub id: NodeId,
+    /// Dotted scope name.
+    pub name: String,
+    /// Operator short name.
+    pub op: &'static str,
+    /// GEMM / non-GEMM classification.
+    pub class: OpClass,
+    /// Kernel + dispatch latency, seconds.
+    pub latency_s: f64,
+    /// Host↔device transfer latency attributed to this node, seconds.
+    pub transfer_s: f64,
+    /// Energy, joules.
+    pub energy_j: f64,
+    /// Where the flow placed the op.
+    pub placement: &'static str,
+    /// Output tensor shape.
+    pub out_shape: Vec<usize>,
+}
+
+impl NodeProfile {
+    /// Total wall time attributed to this node.
+    pub fn total_s(&self) -> f64 {
+        self.latency_s + self.transfer_s
+    }
+}
+
+/// Latency aggregated into the paper's categories.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct Breakdown {
+    /// End-to-end seconds.
+    pub total_s: f64,
+    /// Seconds in GEMM-classified operators.
+    pub gemm_s: f64,
+    /// Seconds per non-GEMM group.
+    pub groups: BTreeMap<NonGemmGroup, f64>,
+}
+
+impl Breakdown {
+    /// Seconds in all non-GEMM operators.
+    pub fn non_gemm_s(&self) -> f64 {
+        self.groups.values().sum()
+    }
+
+    /// Fraction of end-to-end time in GEMM operators.
+    pub fn gemm_frac(&self) -> f64 {
+        if self.total_s > 0.0 {
+            self.gemm_s / self.total_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of end-to-end time in non-GEMM operators.
+    pub fn non_gemm_frac(&self) -> f64 {
+        if self.total_s > 0.0 {
+            self.non_gemm_s() / self.total_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of end-to-end time in one non-GEMM group.
+    pub fn group_frac(&self, g: NonGemmGroup) -> f64 {
+        if self.total_s > 0.0 {
+            self.groups.get(&g).copied().unwrap_or(0.0) / self.total_s
+        } else {
+            0.0
+        }
+    }
+
+    /// The most expensive non-GEMM group, with its share of total time
+    /// (the paper's Table 4 metric).
+    pub fn dominant_group(&self) -> Option<(NonGemmGroup, f64)> {
+        self.groups
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite latencies"))
+            .map(|(&g, &s)| (g, if self.total_s > 0.0 { s / self.total_s } else { 0.0 }))
+    }
+}
+
+/// A complete profile of one (model × platform × flow × batch) run.
+#[derive(Debug, Clone, Serialize)]
+pub struct ModelProfile {
+    /// Model name (graph name).
+    pub model: String,
+    /// Platform label (e.g. `"Data Center (CPU+GPU)"`).
+    pub platform: String,
+    /// Deployment flow label.
+    pub flow: String,
+    /// Batch size.
+    pub batch: usize,
+    /// Per-node profiles in graph order.
+    pub nodes: Vec<NodeProfile>,
+    /// Estimated peak activation memory, bytes.
+    pub peak_memory_bytes: usize,
+}
+
+impl ModelProfile {
+    /// End-to-end latency in seconds.
+    pub fn total_latency_s(&self) -> f64 {
+        self.nodes.iter().map(NodeProfile::total_s).sum()
+    }
+
+    /// End-to-end energy in joules.
+    pub fn total_energy_j(&self) -> f64 {
+        self.nodes.iter().map(|n| n.energy_j).sum()
+    }
+
+    /// Aggregates node latencies into the paper's breakdown. Transfer time
+    /// is charged to the node that caused it (so ORT's fallen-back memory
+    /// ops carry their PCIe cost, as in §4.2).
+    pub fn breakdown(&self) -> Breakdown {
+        let mut b = Breakdown::default();
+        for n in &self.nodes {
+            let t = n.total_s();
+            b.total_s += t;
+            match n.class {
+                OpClass::Gemm => b.gemm_s += t,
+                OpClass::NonGemm(g) => *b.groups.entry(g).or_insert(0.0) += t,
+            }
+        }
+        b
+    }
+
+    /// The `k` slowest nodes (for hot-spot reports).
+    pub fn hottest(&self, k: usize) -> Vec<&NodeProfile> {
+        let mut v: Vec<&NodeProfile> = self.nodes.iter().collect();
+        v.sort_by(|a, b| b.total_s().partial_cmp(&a.total_s()).expect("finite"));
+        v.truncate(k);
+        v
+    }
+}
+
+/// Profiles `graph` analytically on `platform` under `flow`.
+///
+/// `use_gpu` requests GPU execution; it is ignored when the platform has no
+/// GPU (matching the paper's CPU-only configurations).
+pub fn profile_analytic(
+    graph: &Graph,
+    platform: &Platform,
+    flow: Flow,
+    use_gpu: bool,
+    batch: usize,
+) -> ModelProfile {
+    profile_analytic_with_options(graph, platform, flow, use_gpu, batch, Default::default())
+}
+
+/// [`profile_analytic`] with extra runtime optimization passes
+/// (e.g. FlashAttention-style fusion).
+pub fn profile_analytic_with_options(
+    graph: &Graph,
+    platform: &Platform,
+    flow: Flow,
+    use_gpu: bool,
+    batch: usize,
+    options: ngb_runtime::RuntimeOptions,
+) -> ModelProfile {
+    let gpu_active = use_gpu && platform.has_gpu();
+    let exec_plan = ngb_runtime::plan_with_options(graph, flow, gpu_active, options);
+    let mut nodes = Vec::with_capacity(graph.len());
+    for (node, planned) in graph.iter().zip(&exec_plan.nodes) {
+        let device = match planned.placement {
+            Placement::Gpu => platform.gpu.as_ref().expect("gpu placement requires gpu"),
+            Placement::Cpu => &platform.cpu,
+        };
+        let kernel_s = device.op_latency(&planned.cost, planned.is_gemm);
+        let latency_s = kernel_s + planned.dispatch_s;
+        // transfers ride the GPU's PCIe link regardless of which side runs
+        // the op
+        let transfer_s = platform
+            .gpu
+            .as_ref()
+            .map(|g| g.transfer_latency(planned.transfer_bytes))
+            .unwrap_or(0.0);
+        // utilization: compute-bound ops load the device fully, launch- or
+        // bandwidth-bound ops much less
+        let util = if planned.is_gemm { 0.9 } else { 0.35 };
+        let energy_j = device.energy(latency_s + transfer_s, util);
+        nodes.push(NodeProfile {
+            id: node.id,
+            name: node.name.clone(),
+            op: node.op.name(),
+            class: node.class(),
+            latency_s,
+            transfer_s,
+            energy_j,
+            placement: match planned.placement {
+                Placement::Gpu => "gpu",
+                Placement::Cpu => "cpu",
+            },
+            out_shape: node.out_shape.clone(),
+        });
+    }
+    ModelProfile {
+        model: graph.name.clone(),
+        platform: if gpu_active {
+            platform.label()
+        } else {
+            format!("{} (CPU only)", platform.class)
+        },
+        flow: flow.label().to_string(),
+        batch,
+        nodes,
+        peak_memory_bytes: graph.peak_activation_bytes(),
+    }
+}
+
+/// Profiles `graph` by real execution on the host CPU, taking the
+/// minimum over `iterations` runs per node (warm caches, like the paper's
+/// steady-state iterations).
+///
+/// # Errors
+///
+/// Propagates interpreter errors.
+pub fn profile_measured(
+    graph: &Graph,
+    iterations: usize,
+    seed: u64,
+) -> Result<ModelProfile, ngb_tensor::TensorError> {
+    let interp = Interpreter::new(seed);
+    let iterations = iterations.max(1);
+    let mut best: Vec<f64> = vec![f64::INFINITY; graph.len()];
+    let mut shapes: Vec<Vec<usize>> = vec![Vec::new(); graph.len()];
+    for _ in 0..iterations {
+        let trace = interp.run(graph)?;
+        for t in &trace.timings {
+            best[t.id.0] = best[t.id.0].min(t.elapsed.as_secs_f64());
+            shapes[t.id.0] = t.out_shape.clone();
+        }
+    }
+    let nodes = graph
+        .iter()
+        .map(|n| NodeProfile {
+            id: n.id,
+            name: n.name.clone(),
+            op: n.op.name(),
+            class: n.class(),
+            latency_s: best[n.id.0],
+            transfer_s: 0.0,
+            energy_j: 0.0, // no power telemetry on the host
+            placement: "host",
+            out_shape: shapes[n.id.0].clone(),
+        })
+        .collect();
+    let batch = graph.iter().next().map(|n| n.out_shape.first().copied().unwrap_or(1)).unwrap_or(1);
+    Ok(ModelProfile {
+        model: graph.name.clone(),
+        platform: "Host (measured)".to_string(),
+        flow: "interpreter".to_string(),
+        batch,
+        nodes,
+        peak_memory_bytes: graph.peak_activation_bytes(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ngb_graph::{GraphBuilder, OpKind};
+
+    fn transformer_ish() -> Graph {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input(&[1, 64, 256]);
+        let n = b.push(OpKind::LayerNorm { dim: 256 }, &[x], "ln").unwrap();
+        let q = b.push(OpKind::Linear { in_f: 256, out_f: 256, bias: true }, &[n], "q").unwrap();
+        let g = b.push(OpKind::NewGelu, &[q], "act").unwrap();
+        let v = b.push(OpKind::View { shape: vec![64, 256] }, &[g], "view").unwrap();
+        b.push(OpKind::Contiguous, &[v], "contig").unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn analytic_profile_covers_all_nodes() {
+        let g = transformer_ish();
+        let p = profile_analytic(&g, &Platform::data_center(), Flow::Eager, true, 1);
+        assert_eq!(p.nodes.len(), g.len());
+        assert!(p.total_latency_s() > 0.0);
+        assert!(p.total_energy_j() > 0.0);
+        assert!(p.peak_memory_bytes > 0);
+    }
+
+    #[test]
+    fn breakdown_fractions_sum_to_one() {
+        let g = transformer_ish();
+        let p = profile_analytic(&g, &Platform::workstation(), Flow::Eager, true, 1);
+        let b = p.breakdown();
+        let total_frac = b.gemm_frac() + b.non_gemm_frac();
+        assert!((total_frac - 1.0).abs() < 1e-9, "{total_frac}");
+        assert!(b.dominant_group().is_some());
+    }
+
+    #[test]
+    fn gpu_shifts_time_toward_non_gemm() {
+        // the paper's headline effect, on a small but realistic mix
+        let g = ngb_models_stub();
+        let cpu = profile_analytic(&g, &Platform::data_center().cpu_only(), Flow::Eager, false, 1);
+        let gpu = profile_analytic(&g, &Platform::data_center(), Flow::Eager, true, 1);
+        assert!(
+            gpu.breakdown().non_gemm_frac() > cpu.breakdown().non_gemm_frac(),
+            "gpu {:.2} vs cpu {:.2}",
+            gpu.breakdown().non_gemm_frac(),
+            cpu.breakdown().non_gemm_frac()
+        );
+        assert!(gpu.total_latency_s() < cpu.total_latency_s());
+    }
+
+    /// A GEMM-heavy block with a realistic non-GEMM tail.
+    fn ngb_models_stub() -> Graph {
+        let mut b = GraphBuilder::new("stub");
+        let x = b.input(&[1, 128, 1024]);
+        let mut h = x;
+        for i in 0..4 {
+            let n = b.push(OpKind::LayerNorm { dim: 1024 }, &[h], &format!("ln{i}")).unwrap();
+            let l = b
+                .push(OpKind::Linear { in_f: 1024, out_f: 4096, bias: true }, &[n], &format!("up{i}"))
+                .unwrap();
+            let a = b.push(OpKind::NewGelu, &[l], &format!("act{i}")).unwrap();
+            let d = b
+                .push(OpKind::Linear { in_f: 4096, out_f: 1024, bias: true }, &[a], &format!("dn{i}"))
+                .unwrap();
+            h = b.push(OpKind::Add, &[h, d], &format!("res{i}")).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn ort_charges_transfers_to_memory_ops() {
+        let g = transformer_ish();
+        let p = profile_analytic(&g, &Platform::data_center(), Flow::Ort, true, 1);
+        // views are native ORT ops and stay on the GPU; the data-moving
+        // contiguous falls back to the CPU and pays PCIe transfers
+        let view = p.nodes.iter().find(|n| n.name == "view").unwrap();
+        assert_eq!(view.placement, "gpu");
+        let contig = p.nodes.iter().find(|n| n.name == "contig").unwrap();
+        assert!(contig.transfer_s > 0.0);
+        assert_eq!(contig.placement, "cpu");
+        let q = p.nodes.iter().find(|n| n.name == "q").unwrap();
+        assert_eq!(q.placement, "gpu");
+        assert_eq!(q.transfer_s, 0.0);
+    }
+
+    #[test]
+    fn cpu_only_ignores_use_gpu_flag() {
+        let g = transformer_ish();
+        let p = profile_analytic(&g, &Platform::mobile().cpu_only(), Flow::Eager, true, 1);
+        assert!(p.nodes.iter().all(|n| n.placement == "cpu"));
+        assert!(p.platform.contains("CPU only"));
+    }
+
+    #[test]
+    fn measured_profile_times_real_execution() {
+        let g = transformer_ish();
+        let p = profile_measured(&g, 3, 42).unwrap();
+        assert_eq!(p.nodes.len(), g.len());
+        assert!(p.total_latency_s() > 0.0);
+        assert!(p.nodes.iter().all(|n| n.latency_s.is_finite()));
+        // linear on [64, 256] must out-cost the zero-copy view
+        let q = p.nodes.iter().find(|n| n.name == "q").unwrap();
+        let v = p.nodes.iter().find(|n| n.name == "view").unwrap();
+        assert!(q.latency_s > v.latency_s);
+    }
+
+    #[test]
+    fn hottest_sorts_descending() {
+        let g = transformer_ish();
+        let p = profile_analytic(&g, &Platform::data_center(), Flow::Eager, true, 1);
+        let h = p.hottest(3);
+        assert_eq!(h.len(), 3);
+        assert!(h[0].total_s() >= h[1].total_s());
+        assert!(h[1].total_s() >= h[2].total_s());
+    }
+}

@@ -1,0 +1,118 @@
+//! Chrome-tracing export: renders a [`ModelProfile`] as a `chrome://tracing`
+//! / Perfetto-compatible JSON document, one lane per device, so profiles
+//! can be inspected visually alongside real PyTorch traces.
+
+use std::fmt::Write as _;
+
+use crate::profile::ModelProfile;
+
+/// Serializes `profile` into the Chrome trace-event JSON format.
+///
+/// Events are complete ("X") events with microsecond timestamps laid out
+/// end-to-start in graph order; transfers appear as separate events on a
+/// `pcie` lane. The result loads directly in `chrome://tracing` or
+/// [Perfetto](https://ui.perfetto.dev).
+pub fn to_chrome_trace(profile: &ModelProfile) -> String {
+    let mut events = String::from("[");
+    let mut cursor_us = 0.0f64;
+    let mut first = true;
+    for node in &profile.nodes {
+        let dur_us = node.latency_s * 1e6;
+        let class = match node.class {
+            ngb_graph::OpClass::Gemm => "GEMM".to_string(),
+            ngb_graph::OpClass::NonGemm(g) => g.label().to_string(),
+        };
+        if !first {
+            events.push(',');
+        }
+        first = false;
+        let _ = write!(
+            events,
+            r#"{{"name":{},"cat":{},"ph":"X","ts":{:.3},"dur":{:.3},"pid":1,"tid":{},"args":{{"op":{},"shape":{:?}}}}}"#,
+            json_str(&node.name),
+            json_str(&class),
+            cursor_us,
+            dur_us.max(0.001),
+            json_str(node.placement),
+            json_str(node.op),
+            node.out_shape,
+        );
+        cursor_us += dur_us;
+        if node.transfer_s > 0.0 {
+            let t_us = node.transfer_s * 1e6;
+            let _ = write!(
+                events,
+                r#",{{"name":{},"cat":"transfer","ph":"X","ts":{:.3},"dur":{:.3},"pid":1,"tid":"pcie"}}"#,
+                json_str(&format!("{}.transfer", node.name)),
+                cursor_us,
+                t_us.max(0.001),
+            );
+            cursor_us += t_us;
+        }
+    }
+    events.push(']');
+    format!(
+        r#"{{"traceEvents":{events},"displayTimeUnit":"ms","otherData":{{"model":{},"platform":{},"flow":{}}}}}"#,
+        json_str(&profile.model),
+        json_str(&profile.platform),
+        json_str(&profile.flow),
+    )
+}
+
+fn json_str(s: &str) -> String {
+    serde_json::to_string(s).expect("strings always serialize")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::profile_analytic;
+    use ngb_graph::{GraphBuilder, OpKind};
+    use ngb_platform::Platform;
+    use ngb_runtime::Flow;
+
+    fn profile() -> ModelProfile {
+        let mut b = GraphBuilder::new("trace_me");
+        let x = b.input(&[1, 32]);
+        let h = b.push(OpKind::Linear { in_f: 32, out_f: 32, bias: true }, &[x], "fc").unwrap();
+        let v = b.push(OpKind::View { shape: vec![32] }, &[h], "view").unwrap();
+        b.push(OpKind::Contiguous, &[v], "contig").unwrap();
+        let g = b.finish();
+        profile_analytic(&g, &Platform::data_center(), Flow::Ort, true, 1)
+    }
+
+    #[test]
+    fn trace_is_valid_json_with_all_nodes() {
+        let p = profile();
+        let trace = to_chrome_trace(&p);
+        let v: serde_json::Value = serde_json::from_str(&trace).expect("valid json");
+        let events = v["traceEvents"].as_array().expect("array");
+        assert!(events.len() >= p.nodes.len());
+        assert_eq!(v["otherData"]["model"], "trace_me");
+    }
+
+    #[test]
+    fn transfers_get_their_own_lane() {
+        let p = profile();
+        let trace = to_chrome_trace(&p);
+        let v: serde_json::Value = serde_json::from_str(&trace).expect("valid json");
+        let has_pcie = v["traceEvents"]
+            .as_array()
+            .expect("array")
+            .iter()
+            .any(|e| e["tid"] == "pcie");
+        assert!(has_pcie, "ORT fallback must emit a transfer event");
+    }
+
+    #[test]
+    fn timestamps_are_monotone() {
+        let trace = to_chrome_trace(&profile());
+        let v: serde_json::Value = serde_json::from_str(&trace).expect("valid json");
+        let mut last = -1.0;
+        for e in v["traceEvents"].as_array().expect("array") {
+            let ts = e["ts"].as_f64().expect("number");
+            assert!(ts >= last);
+            last = ts;
+        }
+    }
+}

@@ -1,0 +1,121 @@
+use std::fmt;
+
+/// Error type returned by all fallible tensor operations.
+///
+/// Each variant carries enough context to diagnose the failing call without
+/// a debugger; messages follow the lowercase, no-trailing-punctuation
+/// convention.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two shapes that were required to match (element count or per-dim) did not.
+    ShapeMismatch {
+        /// Shape expected by the operation.
+        expected: Vec<usize>,
+        /// Shape actually supplied.
+        actual: Vec<usize>,
+        /// Operation that raised the error.
+        op: &'static str,
+    },
+    /// A multi-dimensional index was out of bounds for the tensor's shape.
+    IndexOutOfBounds {
+        /// Offending index.
+        index: Vec<usize>,
+        /// Shape indexed into.
+        shape: Vec<usize>,
+    },
+    /// A dimension argument exceeded the tensor rank.
+    InvalidDim {
+        /// Requested dimension.
+        dim: usize,
+        /// Tensor rank.
+        rank: usize,
+    },
+    /// A `view` was requested on a non-contiguous tensor whose strides
+    /// cannot express the new shape without a copy (PyTorch raises the
+    /// same error and models call `.contiguous()` first, which is exactly
+    /// the overhead NonGEMM Bench wants to observe).
+    NonContiguousView {
+        /// Shape of the view that was requested.
+        requested: Vec<usize>,
+    },
+    /// An axis permutation was not a permutation of `0..rank`.
+    InvalidPermutation {
+        /// The offending permutation.
+        perm: Vec<usize>,
+    },
+    /// The element type of the tensor did not match what the operation needs.
+    DTypeMismatch {
+        /// Expected element type name.
+        expected: &'static str,
+        /// Actual element type name.
+        actual: &'static str,
+        /// Operation that raised the error.
+        op: &'static str,
+    },
+    /// Two shapes could not be broadcast together.
+    BroadcastError {
+        /// Left-hand shape.
+        lhs: Vec<usize>,
+        /// Right-hand shape.
+        rhs: Vec<usize>,
+    },
+    /// Any other invalid argument, with a human-readable description.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { expected, actual, op } => write!(
+                f,
+                "shape mismatch in {op}: expected {expected:?}, got {actual:?}"
+            ),
+            TensorError::IndexOutOfBounds { index, shape } => {
+                write!(f, "index {index:?} out of bounds for shape {shape:?}")
+            }
+            TensorError::InvalidDim { dim, rank } => {
+                write!(f, "dimension {dim} invalid for tensor of rank {rank}")
+            }
+            TensorError::NonContiguousView { requested } => write!(
+                f,
+                "cannot view non-contiguous tensor as {requested:?}; call contiguous() first"
+            ),
+            TensorError::InvalidPermutation { perm } => {
+                write!(f, "{perm:?} is not a valid axis permutation")
+            }
+            TensorError::DTypeMismatch { expected, actual, op } => {
+                write!(f, "dtype mismatch in {op}: expected {expected}, got {actual}")
+            }
+            TensorError::BroadcastError { lhs, rhs } => {
+                write!(f, "cannot broadcast shapes {lhs:?} and {rhs:?}")
+            }
+            TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = TensorError::ShapeMismatch {
+            expected: vec![2, 3],
+            actual: vec![3, 2],
+            op: "matmul",
+        };
+        let s = e.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("[2, 3]"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

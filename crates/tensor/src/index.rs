@@ -1,0 +1,98 @@
+//! Multi-dimensional index iteration.
+
+/// Iterator over every multi-dimensional index of a shape, in row-major
+/// order.
+///
+/// Used by strided (non-contiguous) kernels; contiguous fast paths bypass it.
+///
+/// # Examples
+///
+/// ```
+/// use ngb_tensor::IndexIter;
+/// let ix: Vec<Vec<usize>> = IndexIter::new(&[2, 2]).collect();
+/// assert_eq!(ix, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IndexIter {
+    shape: Vec<usize>,
+    current: Vec<usize>,
+    remaining: usize,
+}
+
+impl IndexIter {
+    /// Creates an iterator over all indices of `shape`.
+    ///
+    /// A scalar shape (`[]`) yields exactly one empty index.
+    pub fn new(shape: &[usize]) -> Self {
+        let remaining = crate::num_elements(shape);
+        IndexIter { shape: shape.to_vec(), current: vec![0; shape.len()], remaining }
+    }
+}
+
+impl Iterator for IndexIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let out = self.current.clone();
+        self.remaining -= 1;
+        // Advance odometer-style from the last axis.
+        for ax in (0..self.shape.len()).rev() {
+            self.current[ax] += 1;
+            if self.current[ax] < self.shape[ax] {
+                break;
+            }
+            self.current[ax] = 0;
+        }
+        Some(out)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for IndexIter {}
+
+/// Converts a multi-index into a linear storage offset given strides and a
+/// base offset.
+#[inline]
+pub(crate) fn offset_of(index: &[usize], strides: &[isize], base: usize) -> usize {
+    let mut off = base as isize;
+    for (&i, &s) in index.iter().zip(strides) {
+        off += i as isize * s;
+    }
+    debug_assert!(off >= 0, "negative storage offset");
+    off as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_yields_one_empty_index() {
+        let all: Vec<_> = IndexIter::new(&[]).collect();
+        assert_eq!(all, vec![Vec::<usize>::new()]);
+    }
+
+    #[test]
+    fn zero_sized_dim_yields_nothing() {
+        assert_eq!(IndexIter::new(&[2, 0, 3]).count(), 0);
+    }
+
+    #[test]
+    fn count_matches_numel() {
+        assert_eq!(IndexIter::new(&[3, 4, 5]).count(), 60);
+        let it = IndexIter::new(&[3, 4]);
+        assert_eq!(it.len(), 12);
+    }
+
+    #[test]
+    fn offsets_follow_strides() {
+        // shape [2,3], transposed strides [1,2], base 5
+        assert_eq!(offset_of(&[1, 2], &[1, 2], 5), 5 + 1 + 4);
+    }
+}

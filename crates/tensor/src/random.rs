@@ -1,0 +1,124 @@
+//! Seeded random tensor initialization.
+//!
+//! All synthetic inputs and weights in the benchmark are produced here so
+//! every experiment is bit-reproducible from a seed.
+
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{num_elements, Tensor};
+
+/// Deterministic tensor generator wrapping a seeded [`StdRng`].
+///
+/// # Examples
+///
+/// ```
+/// use ngb_tensor::random::TensorRng;
+/// let mut rng = TensorRng::seed(42);
+/// let a = rng.normal(&[2, 2]);
+/// let b = TensorRng::seed(42).normal(&[2, 2]);
+/// assert_eq!(a, b); // same seed, same tensor
+/// ```
+#[derive(Debug)]
+pub struct TensorRng {
+    rng: StdRng,
+}
+
+impl TensorRng {
+    /// Creates a generator from `seed`.
+    pub fn seed(seed: u64) -> TensorRng {
+        TensorRng { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Standard-normal f32 tensor (Box–Muller over a uniform source).
+    pub fn normal(&mut self, shape: &[usize]) -> Tensor {
+        let n = num_elements(shape);
+        let uni = Uniform::new(f32::EPSILON, 1.0f32);
+        let data: Vec<f32> = (0..n)
+            .map(|_| {
+                let u1: f32 = uni.sample(&mut self.rng);
+                let u2: f32 = uni.sample(&mut self.rng);
+                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+            })
+            .collect();
+        Tensor::from_vec(data, shape).expect("length matches by construction")
+    }
+
+    /// Uniform f32 tensor in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform(&mut self, shape: &[usize], lo: f32, hi: f32) -> Tensor {
+        assert!(lo < hi, "uniform requires lo < hi");
+        let n = num_elements(shape);
+        let uni = Uniform::new(lo, hi);
+        let data: Vec<f32> = (0..n).map(|_| uni.sample(&mut self.rng)).collect();
+        Tensor::from_vec(data, shape).expect("length matches by construction")
+    }
+
+    /// Uniform i64 tensor in `[lo, hi)` — e.g. synthetic token ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform_i64(&mut self, shape: &[usize], lo: i64, hi: i64) -> Tensor {
+        assert!(lo < hi, "uniform_i64 requires lo < hi");
+        let n = num_elements(shape);
+        let uni = Uniform::new(lo, hi);
+        let data: Vec<i64> = (0..n).map(|_| uni.sample(&mut self.rng)).collect();
+        Tensor::from_i64(data, shape).expect("length matches by construction")
+    }
+
+    /// Kaiming-style scaled normal for weight init: `N(0, sqrt(2/fan_in))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fan_in` is zero.
+    pub fn kaiming(&mut self, shape: &[usize], fan_in: usize) -> Tensor {
+        assert!(fan_in > 0, "kaiming requires nonzero fan_in");
+        let scale = (2.0 / fan_in as f32).sqrt();
+        self.normal(shape).map(|v| v * scale).expect("normal tensors are f32")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = TensorRng::seed(7).uniform(&[16], -1.0, 1.0);
+        let b = TensorRng::seed(7).uniform(&[16], -1.0, 1.0);
+        let c = TensorRng::seed(8).uniform(&[16], -1.0, 1.0);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn normal_has_roughly_zero_mean_unit_var() {
+        let t = TensorRng::seed(1).normal(&[10_000]);
+        let v = t.to_vec_f32().unwrap();
+        let mean: f32 = v.iter().sum::<f32>() / v.len() as f32;
+        let var: f32 = v.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / v.len() as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let t = TensorRng::seed(2).uniform(&[1000], 3.0, 4.0);
+        assert!(t.to_vec_f32().unwrap().iter().all(|&x| (3.0..4.0).contains(&x)));
+        let ti = TensorRng::seed(2).uniform_i64(&[1000], 0, 50);
+        assert!(ti.to_vec_i64().unwrap().iter().all(|&x| (0..50).contains(&x)));
+    }
+
+    #[test]
+    fn kaiming_scales_down_with_fan_in() {
+        let big = TensorRng::seed(3).kaiming(&[4096], 10_000);
+        let v = big.to_vec_f32().unwrap();
+        let var: f32 = v.iter().map(|x| x * x).sum::<f32>() / v.len() as f32;
+        assert!(var < 0.001, "var {var} should be ~2/10000");
+    }
+}

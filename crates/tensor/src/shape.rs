@@ -1,0 +1,195 @@
+//! Shape and stride arithmetic shared by the whole crate.
+
+use crate::TensorError;
+
+/// Returns the number of elements implied by `shape`.
+///
+/// An empty shape denotes a scalar and has one element.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(ngb_tensor::num_elements(&[2, 3, 4]), 24);
+/// assert_eq!(ngb_tensor::num_elements(&[]), 1);
+/// ```
+pub fn num_elements(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+/// Computes row-major ("C order") strides for `shape`, in **elements**.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(ngb_tensor::contiguous_strides(&[2, 3, 4]), vec![12, 4, 1]);
+/// ```
+pub fn contiguous_strides(shape: &[usize]) -> Vec<isize> {
+    let mut strides = vec![1isize; shape.len()];
+    let mut acc = 1isize;
+    for (i, &dim) in shape.iter().enumerate().rev() {
+        strides[i] = acc;
+        acc *= dim as isize;
+    }
+    strides
+}
+
+/// Broadcasts two shapes following the NumPy/PyTorch rules: trailing
+/// dimensions must be equal or one of them must be `1`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::BroadcastError`] when a trailing dimension pair is
+/// incompatible.
+///
+/// # Examples
+///
+/// ```
+/// let s = ngb_tensor::broadcast_shapes(&[8, 1, 6], &[7, 1]).unwrap();
+/// assert_eq!(s, vec![8, 7, 6]);
+/// ```
+pub fn broadcast_shapes(lhs: &[usize], rhs: &[usize]) -> Result<Vec<usize>, TensorError> {
+    let rank = lhs.len().max(rhs.len());
+    let mut out = vec![0usize; rank];
+    for i in 0..rank {
+        let l = if i < rank - lhs.len() { 1 } else { lhs[i - (rank - lhs.len())] };
+        let r = if i < rank - rhs.len() { 1 } else { rhs[i - (rank - rhs.len())] };
+        out[i] = if l == r || r == 1 {
+            l
+        } else if l == 1 {
+            r
+        } else {
+            return Err(TensorError::BroadcastError { lhs: lhs.to_vec(), rhs: rhs.to_vec() });
+        };
+    }
+    Ok(out)
+}
+
+/// Strides to iterate a tensor of `shape`/`strides` as if it had been
+/// broadcast to `target` (size-1 dims get stride 0).
+///
+/// Callers must have validated broadcastability via [`broadcast_shapes`].
+pub(crate) fn broadcast_strides(
+    shape: &[usize],
+    strides: &[isize],
+    target: &[usize],
+) -> Vec<isize> {
+    let pad = target.len() - shape.len();
+    let mut out = vec![0isize; target.len()];
+    for i in 0..shape.len() {
+        out[pad + i] = if shape[i] == 1 && target[pad + i] != 1 { 0 } else { strides[i] };
+    }
+    out
+}
+
+/// Resolves one `-1`-style wildcard in a reshape target.
+///
+/// `target` entries are `usize::MAX` for the inferred dimension. Returns the
+/// fully resolved shape.
+///
+/// # Errors
+///
+/// Fails if more than one wildcard is present or element counts do not match.
+pub(crate) fn resolve_reshape(
+    numel: usize,
+    target: &[usize],
+) -> Result<Vec<usize>, TensorError> {
+    let wildcards = target.iter().filter(|&&d| d == usize::MAX).count();
+    if wildcards > 1 {
+        return Err(TensorError::InvalidArgument(
+            "reshape target may contain at most one inferred dimension".into(),
+        ));
+    }
+    let mut out = target.to_vec();
+    if wildcards == 1 {
+        let known: usize = target.iter().filter(|&&d| d != usize::MAX).product();
+        if known == 0 || !numel.is_multiple_of(known) {
+            return Err(TensorError::ShapeMismatch {
+                expected: vec![numel],
+                actual: target.iter().map(|&d| if d == usize::MAX { 0 } else { d }).collect(),
+                op: "reshape",
+            });
+        }
+        for d in out.iter_mut() {
+            if *d == usize::MAX {
+                *d = numel / known;
+            }
+        }
+    }
+    if num_elements(&out) != numel {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![numel],
+            actual: out,
+            op: "reshape",
+        });
+    }
+    Ok(out)
+}
+
+/// Normalizes a possibly-negative dimension index (`-1` = last) into `0..rank`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidDim`] when out of range.
+pub fn normalize_dim(dim: isize, rank: usize) -> Result<usize, TensorError> {
+    let d = if dim < 0 { dim + rank as isize } else { dim };
+    if d < 0 || d as usize >= rank {
+        Err(TensorError::InvalidDim { dim: dim.unsigned_abs(), rank })
+    } else {
+        Ok(d as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_of_scalar_are_empty() {
+        assert!(contiguous_strides(&[]).is_empty());
+        assert_eq!(num_elements(&[]), 1);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(contiguous_strides(&[4]), vec![1]);
+        assert_eq!(contiguous_strides(&[2, 3]), vec![3, 1]);
+        assert_eq!(contiguous_strides(&[5, 1, 2]), vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn broadcast_basic() {
+        assert_eq!(broadcast_shapes(&[3, 1], &[1, 4]).unwrap(), vec![3, 4]);
+        assert_eq!(broadcast_shapes(&[1], &[2, 3]).unwrap(), vec![2, 3]);
+        assert_eq!(broadcast_shapes(&[], &[2]).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn broadcast_incompatible() {
+        assert!(broadcast_shapes(&[2, 3], &[4, 3]).is_err());
+    }
+
+    #[test]
+    fn broadcast_strides_zero_out_expanded_dims() {
+        let s = broadcast_strides(&[3, 1], &[1, 1], &[3, 4]);
+        assert_eq!(s, vec![1, 0]);
+        let s = broadcast_strides(&[4], &[1], &[2, 3, 4]);
+        assert_eq!(s, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn reshape_wildcard() {
+        assert_eq!(resolve_reshape(12, &[3, usize::MAX]).unwrap(), vec![3, 4]);
+        assert_eq!(resolve_reshape(12, &[12]).unwrap(), vec![12]);
+        assert!(resolve_reshape(12, &[5, usize::MAX]).is_err());
+        assert!(resolve_reshape(12, &[usize::MAX, usize::MAX]).is_err());
+        assert!(resolve_reshape(12, &[3, 5]).is_err());
+    }
+
+    #[test]
+    fn normalize_dim_handles_negative() {
+        assert_eq!(normalize_dim(-1, 3).unwrap(), 2);
+        assert_eq!(normalize_dim(0, 3).unwrap(), 0);
+        assert!(normalize_dim(3, 3).is_err());
+        assert!(normalize_dim(-4, 3).is_err());
+    }
+}

@@ -1,0 +1,148 @@
+//! Backing storage for tensors.
+
+use std::sync::Arc;
+
+/// Element type of a tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DType {
+    /// 32-bit IEEE-754 float — the working precision of the benchmark.
+    F32,
+    /// 64-bit signed integer — indices (argmax, top-k, token ids).
+    I64,
+    /// Boolean — masks produced by comparisons and NMS keep-lists.
+    Bool,
+}
+
+impl DType {
+    /// Size of one element in bytes, used by the analytic memory-traffic model.
+    pub fn size_bytes(self) -> usize {
+        match self {
+            DType::F32 => 4,
+            DType::I64 => 8,
+            DType::Bool => 1,
+        }
+    }
+
+    /// Lowercase type name, as it appears in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DType::F32 => "f32",
+            DType::I64 => "i64",
+            DType::Bool => "bool",
+        }
+    }
+}
+
+impl std::fmt::Display for DType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Reference-counted, immutable-once-shared element buffer.
+///
+/// Views share the same `Arc`ed storage; mutation goes through
+/// copy-on-write in [`crate::Tensor`].
+#[derive(Debug, Clone)]
+pub enum Storage {
+    /// f32 buffer.
+    F32(Arc<Vec<f32>>),
+    /// i64 buffer.
+    I64(Arc<Vec<i64>>),
+    /// bool buffer.
+    Bool(Arc<Vec<bool>>),
+}
+
+impl Storage {
+    /// The element type held by this storage.
+    pub fn dtype(&self) -> DType {
+        match self {
+            Storage::F32(_) => DType::F32,
+            Storage::I64(_) => DType::I64,
+            Storage::Bool(_) => DType::Bool,
+        }
+    }
+
+    /// Number of elements in the underlying buffer (not the logical view).
+    pub fn len(&self) -> usize {
+        match self {
+            Storage::F32(v) => v.len(),
+            Storage::I64(v) => v.len(),
+            Storage::Bool(v) => v.len(),
+        }
+    }
+
+    /// Whether the underlying buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Borrows the f32 buffer, if this is f32 storage.
+    pub fn as_f32(&self) -> Option<&[f32]> {
+        match self {
+            Storage::F32(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrows the i64 buffer, if this is i64 storage.
+    pub fn as_i64(&self) -> Option<&[i64]> {
+        match self {
+            Storage::I64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrows the bool buffer, if this is bool storage.
+    pub fn as_bool(&self) -> Option<&[bool]> {
+        match self {
+            Storage::Bool(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl From<Vec<f32>> for Storage {
+    fn from(v: Vec<f32>) -> Self {
+        Storage::F32(Arc::new(v))
+    }
+}
+
+impl From<Vec<i64>> for Storage {
+    fn from(v: Vec<i64>) -> Self {
+        Storage::I64(Arc::new(v))
+    }
+}
+
+impl From<Vec<bool>> for Storage {
+    fn from(v: Vec<bool>) -> Self {
+        Storage::Bool(Arc::new(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtype_sizes() {
+        assert_eq!(DType::F32.size_bytes(), 4);
+        assert_eq!(DType::I64.size_bytes(), 8);
+        assert_eq!(DType::Bool.size_bytes(), 1);
+    }
+
+    #[test]
+    fn storage_roundtrip() {
+        let s: Storage = vec![1.0f32, 2.0].into();
+        assert_eq!(s.dtype(), DType::F32);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert_eq!(s.as_f32().unwrap()[1], 2.0);
+        assert!(s.as_i64().is_none());
+    }
+
+    #[test]
+    fn dtype_display() {
+        assert_eq!(DType::Bool.to_string(), "bool");
+    }
+}

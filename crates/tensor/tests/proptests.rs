@@ -1,0 +1,148 @@
+//! Property-based tests for tensor view/layout invariants.
+
+use ngb_tensor::{broadcast_shapes, Tensor};
+use proptest::prelude::*;
+
+/// Strategy: a small shape of rank 1..=4 with dims 1..=5.
+fn small_shape() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..=5, 1..=4)
+}
+
+/// Strategy: a shape plus data filling it.
+fn shaped_tensor() -> impl Strategy<Value = Tensor> {
+    small_shape().prop_flat_map(|shape| {
+        let n: usize = shape.iter().product();
+        prop::collection::vec(-100.0f32..100.0, n..=n)
+            .prop_map(move |data| Tensor::from_vec(data, &shape).unwrap())
+    })
+}
+
+proptest! {
+    /// contiguous() never changes the logical contents.
+    #[test]
+    fn contiguous_preserves_values(t in shaped_tensor(), perm_seed in 0usize..24) {
+        let rank = t.rank();
+        let mut perm: Vec<usize> = (0..rank).collect();
+        // derive some permutation from the seed
+        perm.rotate_left(perm_seed % rank.max(1));
+        let p = t.permute(&perm).unwrap();
+        let c = p.contiguous();
+        prop_assert_eq!(c.to_vec_f32().unwrap(), p.to_vec_f32().unwrap());
+        prop_assert!(c.is_contiguous());
+    }
+
+    /// reshape to flat and back is the identity.
+    #[test]
+    fn reshape_roundtrip(t in shaped_tensor()) {
+        let flat = t.reshape(&[t.numel()]).unwrap();
+        let back = flat.reshape(t.shape()).unwrap();
+        prop_assert_eq!(back.to_vec_f32().unwrap(), t.to_vec_f32().unwrap());
+    }
+
+    /// permute twice with inverse permutation is the identity view.
+    #[test]
+    fn permute_inverse_roundtrip(t in shaped_tensor()) {
+        let rank = t.rank();
+        let perm: Vec<usize> = (0..rank).rev().collect();
+        let mut inv = vec![0usize; rank];
+        for (i, &p) in perm.iter().enumerate() { inv[p] = i; }
+        let round = t.permute(&perm).unwrap().permute(&inv).unwrap();
+        prop_assert_eq!(round.shape(), t.shape());
+        prop_assert_eq!(round.to_vec_f32().unwrap(), t.to_vec_f32().unwrap());
+    }
+
+    /// split followed by cat along the same dim reconstructs the tensor.
+    #[test]
+    fn split_cat_roundtrip(t in shaped_tensor(), size in 1usize..=3) {
+        let dim = t.rank() - 1;
+        let parts = t.split(size, dim).unwrap();
+        let sum: usize = parts.iter().map(|p| p.shape()[dim]).sum();
+        prop_assert_eq!(sum, t.shape()[dim]);
+        let whole = Tensor::cat(&parts, dim).unwrap();
+        prop_assert_eq!(whole.to_vec_f32().unwrap(), t.to_vec_f32().unwrap());
+    }
+
+    /// expand never changes values read back at broadcast indices.
+    #[test]
+    fn expand_replicates(v in prop::collection::vec(-10.0f32..10.0, 1..5), reps in 1usize..4) {
+        let n = v.len();
+        let t = Tensor::from_vec(v.clone(), &[n, 1]).unwrap();
+        let e = t.expand(&[n, reps]).unwrap();
+        for (i, x) in v.iter().enumerate() {
+            for j in 0..reps {
+                prop_assert_eq!(e.at(&[i, j]).unwrap(), *x);
+            }
+        }
+    }
+
+    /// broadcast_shapes is commutative and idempotent against itself.
+    #[test]
+    fn broadcast_commutative(a in small_shape(), b in small_shape()) {
+        let ab = broadcast_shapes(&a, &b);
+        let ba = broadcast_shapes(&b, &a);
+        match (ab, ba) {
+            (Ok(x), Ok(y)) => {
+                prop_assert_eq!(&x, &y);
+                prop_assert_eq!(broadcast_shapes(&x, &a).unwrap(), x.clone());
+            }
+            (Err(_), Err(_)) => {}
+            _ => prop_assert!(false, "broadcast not symmetric"),
+        }
+    }
+
+    /// cat of single-element splits equals contiguous copy (exercises
+    /// strided reads in cat).
+    #[test]
+    fn narrow_views_tile_the_tensor(t in shaped_tensor()) {
+        let dim = 0;
+        let slices: Vec<Tensor> =
+            (0..t.shape()[dim]).map(|i| t.narrow(dim, i, 1).unwrap()).collect();
+        let whole = Tensor::cat(&slices, dim).unwrap();
+        prop_assert_eq!(whole.to_vec_f32().unwrap(), t.to_vec_f32().unwrap());
+    }
+}
+
+/// Reference broadcast implementation against which the zip_map fast paths
+/// are checked.
+fn zip_map_reference(a: &Tensor, b: &Tensor) -> Vec<f32> {
+    let out = broadcast_shapes(a.shape(), b.shape()).unwrap();
+    let read = |t: &Tensor, ix: &[usize]| {
+        let pad = out.len() - t.rank();
+        let tix: Vec<usize> = ix[pad..]
+            .iter()
+            .zip(t.shape())
+            .map(|(&i, &d)| if d == 1 { 0 } else { i })
+            .collect();
+        t.at(&tix).unwrap()
+    };
+    ngb_tensor::IndexIter::new(&out).map(|ix| read(a, &ix) + read(b, &ix)).collect()
+}
+
+proptest! {
+    /// zip_map (with its suffix- and single-axis fast paths) must agree
+    /// with the naive broadcast reference for every shape pair.
+    #[test]
+    fn zip_map_matches_reference(
+        lhs_shape in prop::collection::vec(1usize..=4, 1..=4),
+        mask in prop::collection::vec(prop::bool::ANY, 4),
+    ) {
+        // rhs: same rank with a random subset of dims collapsed to 1
+        let rhs_shape: Vec<usize> = lhs_shape
+            .iter()
+            .zip(&mask)
+            .map(|(&d, &keep)| if keep { d } else { 1 })
+            .collect();
+        let n_l: usize = lhs_shape.iter().product();
+        let n_r: usize = rhs_shape.iter().product();
+        let a = Tensor::from_vec((0..n_l).map(|i| i as f32).collect(), &lhs_shape).unwrap();
+        let b = Tensor::from_vec((0..n_r).map(|i| (i * 7) as f32).collect(), &rhs_shape).unwrap();
+        let fast = a.zip_map(&b, |x, y| x + y).unwrap();
+        prop_assert_eq!(fast.to_vec_f32().unwrap(), zip_map_reference(&a, &b));
+        // and with a lower-rank rhs (drop leading dims)
+        if rhs_shape.len() > 1 && rhs_shape[0] == 1 {
+            let b2 = b.reshape(&rhs_shape[1..]).unwrap();
+            let fast2 = a.zip_map(&b2, |x, y| x + y).unwrap();
+            prop_assert_eq!(fast2.to_vec_f32().unwrap(), zip_map_reference(&a, &b2));
+        }
+    }
+}

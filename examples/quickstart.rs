@@ -1,0 +1,60 @@
+//! Quickstart: profile one model end to end and print the three NonGEMM
+//! Bench reports.
+//!
+//! ```sh
+//! cargo run --example quickstart --release
+//! ```
+
+use nongemm::{BenchConfig, Flow, NonGemmBench, Platform, Scale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Profile ViT-B/16 at batch 1 on the data-center platform (EPYC 7763 +
+    // A100 analytic models), PyTorch-eager deployment flow.
+    let bench = NonGemmBench::new(BenchConfig {
+        models: vec!["vit-b".into()],
+        platform: Platform::data_center(),
+        use_gpu: true,
+        flow: Flow::Eager,
+        batch: 1,
+        scale: Scale::Full,
+        ..BenchConfig::default()
+    });
+
+    let reports = bench.reports()?;
+    let (perf, workload, non_gemm) = &reports[0];
+
+    println!("== performance / cost report ==");
+    println!("{}", perf.to_text());
+
+    println!("== workload report ==");
+    println!("model: {} ({} ops, {} params)", workload.model, workload.total_ops, workload.params);
+    for (op, count) in workload.op_histogram.iter().take(8) {
+        let shapes = &workload.example_shapes[op];
+        println!("  {op:<12} x{count:<4} e.g. {:?}", shapes[0]);
+    }
+
+    println!("\n== non-GEMM report ==");
+    println!(
+        "{} non-GEMM ops vs {} GEMM ops; {} dynamic",
+        non_gemm.non_gemm_ops, non_gemm.gemm_ops, non_gemm.dynamic_ops
+    );
+    for (group, variants) in &non_gemm.group_variants {
+        println!("  {group:<16} variants: {}", variants.join(", "));
+    }
+
+    // The paper's headline: compare against the CPU-only run.
+    let cpu_bench = NonGemmBench::new(BenchConfig {
+        models: vec!["vit-b".into()],
+        platform: Platform::data_center().cpu_only(),
+        use_gpu: false,
+        ..BenchConfig::default()
+    });
+    let cpu = &cpu_bench.run_end_to_end()?[0];
+    let gpu = &bench.run_end_to_end()?[0];
+    println!(
+        "\nnon-GEMM share: {:.0}% on CPU-only -> {:.0}% with the A100",
+        cpu.breakdown().non_gemm_frac() * 100.0,
+        gpu.breakdown().non_gemm_frac() * 100.0
+    );
+    Ok(())
+}
