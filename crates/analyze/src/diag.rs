@@ -1,0 +1,371 @@
+//! The lint registry, severity levels, per-lint configuration, and the
+//! [`Diagnostic`] record every pass emits.
+
+use ngb_graph::NodeId;
+
+/// How seriously a finding is treated.
+///
+/// Severities order `Allow < Warn < Deny`; a graph is "clean" when it has no
+/// deny-level findings. `Allow` findings are still recorded (fusion
+/// opportunities use this level) but renderers hide them unless asked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational: recorded, hidden from default output.
+    Allow,
+    /// Suspicious but not invalid.
+    Warn,
+    /// An invariant violation; fails `verify`.
+    Deny,
+}
+
+impl Severity {
+    /// Lower-case label used in reports (`allow` / `warn` / `deny`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Allow => "allow",
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        }
+    }
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The analyzer's passes, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Pass {
+    /// NodeId/topology consistency, dead nodes, duplicate subgraphs.
+    Structural,
+    /// Re-runs shape inference and cross-checks stored shapes.
+    Shape,
+    /// GEMM / non-GEMM census against the paper's §2.1 taxonomy.
+    Taxonomy,
+    /// `op_cost` sanity invariants.
+    Cost,
+    /// Fusion-opportunity patterns (Linear→GELU, attention, Conv→BN→ReLU).
+    Fusion,
+}
+
+impl Pass {
+    /// All passes in execution order.
+    pub fn all() -> &'static [Pass] {
+        &[
+            Pass::Structural,
+            Pass::Shape,
+            Pass::Taxonomy,
+            Pass::Cost,
+            Pass::Fusion,
+        ]
+    }
+
+    /// Stable lower-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Pass::Structural => "structural",
+            Pass::Shape => "shape",
+            Pass::Taxonomy => "taxonomy",
+            Pass::Cost => "cost",
+            Pass::Fusion => "fusion",
+        }
+    }
+}
+
+impl std::fmt::Display for Pass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Every lint the analyzer can raise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Lint {
+    /// A node's stored id disagrees with its position.
+    NodeIdMismatch,
+    /// A node consumes an id no node in the graph carries.
+    DanglingInput,
+    /// A node consumes a node at or after its own position.
+    NonTopologicalInput,
+    /// A node's output is never consumed while later nodes continue the
+    /// graph (unreachable from the output frontier).
+    DeadNode,
+    /// Two nodes apply the identical op to the identical inputs (a common
+    /// subexpression elimination candidate).
+    DuplicateSubgraph,
+    /// A node's stored output shape disagrees with re-run shape inference.
+    ShapeMismatch,
+    /// Shape inference fails outright on a node's stored input shapes.
+    ShapeInferFailed,
+    /// A non-GEMM node's group is missing from `NonGemmGroup::all()`, so
+    /// census reports would silently drop it.
+    UnknownGroup,
+    /// The GEMM + per-group censuses do not add up to the node count, or
+    /// disagree with the `Graph` counting helpers.
+    CensusMismatch,
+    /// A GEMM-classified node reports zero FLOPs.
+    GemmZeroFlops,
+    /// A node reports FLOPs or traffic but zero kernel launches.
+    KernellessWork,
+    /// A non-input, non-metadata node reports an all-zero cost.
+    ZeroCostNode,
+    /// A static kernel's traffic is below the bytes of its inputs plus
+    /// outputs.
+    TrafficUnderflow,
+    /// A GEMM feeding a single-consumer activation (fusable epilogue).
+    FuseLinearActivation,
+    /// The `MatMul → scale → (mask) → Softmax` attention prologue
+    /// (FlashAttention-style fusion candidate).
+    FuseAttention,
+    /// The `Conv2d → BatchNorm → ReLU` triple (foldable at inference).
+    FuseConvBnRelu,
+}
+
+impl Lint {
+    /// All lints, grouped by pass.
+    pub fn all() -> &'static [Lint] {
+        &[
+            Lint::NodeIdMismatch,
+            Lint::DanglingInput,
+            Lint::NonTopologicalInput,
+            Lint::DeadNode,
+            Lint::DuplicateSubgraph,
+            Lint::ShapeMismatch,
+            Lint::ShapeInferFailed,
+            Lint::UnknownGroup,
+            Lint::CensusMismatch,
+            Lint::GemmZeroFlops,
+            Lint::KernellessWork,
+            Lint::ZeroCostNode,
+            Lint::TrafficUnderflow,
+            Lint::FuseLinearActivation,
+            Lint::FuseAttention,
+            Lint::FuseConvBnRelu,
+        ]
+    }
+
+    /// Stable kebab-case name (the id used in output and configuration).
+    pub fn name(self) -> &'static str {
+        match self {
+            Lint::NodeIdMismatch => "node-id-mismatch",
+            Lint::DanglingInput => "dangling-input",
+            Lint::NonTopologicalInput => "non-topological-input",
+            Lint::DeadNode => "dead-node",
+            Lint::DuplicateSubgraph => "duplicate-subgraph",
+            Lint::ShapeMismatch => "shape-mismatch",
+            Lint::ShapeInferFailed => "shape-infer-failed",
+            Lint::UnknownGroup => "unknown-group",
+            Lint::CensusMismatch => "census-mismatch",
+            Lint::GemmZeroFlops => "gemm-zero-flops",
+            Lint::KernellessWork => "kernelless-work",
+            Lint::ZeroCostNode => "zero-cost-node",
+            Lint::TrafficUnderflow => "traffic-underflow",
+            Lint::FuseLinearActivation => "fuse-linear-activation",
+            Lint::FuseAttention => "fuse-attention",
+            Lint::FuseConvBnRelu => "fuse-conv-bn-relu",
+        }
+    }
+
+    /// Resolves a kebab-case name back to its lint.
+    pub fn from_name(name: &str) -> Option<Lint> {
+        Lint::all().iter().copied().find(|l| l.name() == name)
+    }
+
+    /// The pass that raises this lint.
+    pub fn pass(self) -> Pass {
+        match self {
+            Lint::NodeIdMismatch
+            | Lint::DanglingInput
+            | Lint::NonTopologicalInput
+            | Lint::DeadNode
+            | Lint::DuplicateSubgraph => Pass::Structural,
+            Lint::ShapeMismatch | Lint::ShapeInferFailed => Pass::Shape,
+            Lint::UnknownGroup | Lint::CensusMismatch => Pass::Taxonomy,
+            Lint::GemmZeroFlops
+            | Lint::KernellessWork
+            | Lint::ZeroCostNode
+            | Lint::TrafficUnderflow => Pass::Cost,
+            Lint::FuseLinearActivation | Lint::FuseAttention | Lint::FuseConvBnRelu => Pass::Fusion,
+        }
+    }
+
+    /// Default severity (see the lint table in `DESIGN.md`).
+    pub fn default_severity(self) -> Severity {
+        match self {
+            Lint::NodeIdMismatch
+            | Lint::DanglingInput
+            | Lint::NonTopologicalInput
+            | Lint::ShapeMismatch
+            | Lint::ShapeInferFailed
+            | Lint::UnknownGroup
+            | Lint::CensusMismatch
+            | Lint::GemmZeroFlops
+            | Lint::KernellessWork
+            | Lint::ZeroCostNode => Severity::Deny,
+            Lint::DeadNode | Lint::DuplicateSubgraph | Lint::TrafficUnderflow => Severity::Warn,
+            Lint::FuseLinearActivation | Lint::FuseAttention | Lint::FuseConvBnRelu => {
+                Severity::Allow
+            }
+        }
+    }
+
+    /// One-line description for `--help`-style listings.
+    pub fn description(self) -> &'static str {
+        match self {
+            Lint::NodeIdMismatch => "a node's stored id disagrees with its position",
+            Lint::DanglingInput => "a node consumes an id no node carries",
+            Lint::NonTopologicalInput => "a node consumes a node at or after its own position",
+            Lint::DeadNode => "a node's output is never consumed while the graph continues",
+            Lint::DuplicateSubgraph => "identical op applied to identical inputs (CSE candidate)",
+            Lint::ShapeMismatch => "stored output shape disagrees with re-run shape inference",
+            Lint::ShapeInferFailed => "shape inference fails on the stored input shapes",
+            Lint::UnknownGroup => "non-GEMM group missing from the census group list",
+            Lint::CensusMismatch => "GEMM + group censuses do not add up to the node count",
+            Lint::GemmZeroFlops => "a GEMM-classified node reports zero FLOPs",
+            Lint::KernellessWork => "FLOPs or traffic reported with zero kernel launches",
+            Lint::ZeroCostNode => "a non-input compute node reports an all-zero cost",
+            Lint::TrafficUnderflow => "kernel traffic below the bytes of its inputs + outputs",
+            Lint::FuseLinearActivation => "GEMM feeding a single-consumer activation",
+            Lint::FuseAttention => "MatMul -> scale -> (mask) -> Softmax attention prologue",
+            Lint::FuseConvBnRelu => "Conv2d -> BatchNorm -> ReLU triple",
+        }
+    }
+}
+
+impl std::fmt::Display for Lint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-lint severity overrides layered over [`Lint::default_severity`].
+///
+/// # Examples
+///
+/// ```
+/// use ngb_analyze::{Lint, LintConfig, Severity};
+///
+/// let config = LintConfig::new().deny(Lint::DeadNode).allow(Lint::TrafficUnderflow);
+/// assert_eq!(config.severity(Lint::DeadNode), Severity::Deny);
+/// assert_eq!(config.severity(Lint::ShapeMismatch), Severity::Deny); // default
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LintConfig {
+    overrides: Vec<(Lint, Severity)>,
+}
+
+impl LintConfig {
+    /// A configuration with every lint at its default severity.
+    pub fn new() -> LintConfig {
+        LintConfig::default()
+    }
+
+    /// Sets `lint` to `severity` (builder style; later calls win).
+    #[must_use]
+    pub fn set(mut self, lint: Lint, severity: Severity) -> LintConfig {
+        self.overrides.retain(|(l, _)| *l != lint);
+        self.overrides.push((lint, severity));
+        self
+    }
+
+    /// Shorthand for [`LintConfig::set`] with [`Severity::Allow`].
+    #[must_use]
+    pub fn allow(self, lint: Lint) -> LintConfig {
+        self.set(lint, Severity::Allow)
+    }
+
+    /// Shorthand for [`LintConfig::set`] with [`Severity::Warn`].
+    #[must_use]
+    pub fn warn(self, lint: Lint) -> LintConfig {
+        self.set(lint, Severity::Warn)
+    }
+
+    /// Shorthand for [`LintConfig::set`] with [`Severity::Deny`].
+    #[must_use]
+    pub fn deny(self, lint: Lint) -> LintConfig {
+        self.set(lint, Severity::Deny)
+    }
+
+    /// The effective severity of `lint`.
+    pub fn severity(&self, lint: Lint) -> Severity {
+        self.overrides
+            .iter()
+            .find(|(l, _)| *l == lint)
+            .map(|&(_, s)| s)
+            .unwrap_or_else(|| lint.default_severity())
+    }
+}
+
+/// One finding: a lint, its effective severity, the node it anchors to
+/// (`None` for graph-level findings), and a human-readable message.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Which lint fired.
+    pub lint: Lint,
+    /// Effective severity after configuration.
+    pub severity: Severity,
+    /// The node the finding anchors to, when node-scoped.
+    pub node: Option<NodeId>,
+    /// The anchored node's dotted name (empty for graph-level findings).
+    pub node_name: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.node {
+            Some(id) if !self.node_name.is_empty() => write!(
+                f,
+                "{}[{}] {} ({}): {}",
+                self.severity, self.lint, id, self.node_name, self.message
+            ),
+            Some(id) => write!(
+                f,
+                "{}[{}] {}: {}",
+                self.severity, self.lint, id, self.message
+            ),
+            None => write!(
+                f,
+                "{}[{}] graph: {}",
+                self.severity, self.lint, self.message
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lint_names_roundtrip_and_are_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for &l in Lint::all() {
+            assert!(seen.insert(l.name()), "duplicate lint name {}", l.name());
+            assert_eq!(Lint::from_name(l.name()), Some(l));
+            assert!(!l.description().is_empty());
+        }
+        assert_eq!(Lint::from_name("nope"), None);
+    }
+
+    #[test]
+    fn every_pass_has_lints_and_every_lint_a_pass() {
+        for &p in Pass::all() {
+            assert!(
+                Lint::all().iter().any(|l| l.pass() == p),
+                "pass {p} has no lints"
+            );
+        }
+    }
+
+    #[test]
+    fn config_overrides_win_and_later_calls_replace() {
+        let c = LintConfig::new().allow(Lint::DeadNode).deny(Lint::DeadNode);
+        assert_eq!(c.severity(Lint::DeadNode), Severity::Deny);
+        assert_eq!(c.severity(Lint::FuseAttention), Severity::Allow);
+        assert!(Severity::Allow < Severity::Warn && Severity::Warn < Severity::Deny);
+    }
+}

@@ -1,0 +1,54 @@
+//! # ngb-analyze
+//!
+//! Static graph analysis and lints over the NonGEMM Bench operator IR — a
+//! `clippy` for [`ngb_graph::Graph`]s. The [`Analyzer`] runs five passes:
+//!
+//! 1. **structural** — NodeId/topological-order consistency, dangling
+//!    inputs, dead-node detection, duplicate-subgraph (CSE) candidates;
+//! 2. **shape** — independently re-runs [`ngb_graph::infer_shape`] on every
+//!    node and cross-checks the stored `out_shape`;
+//! 3. **taxonomy** — audits the GEMM / non-GEMM classification and produces
+//!    the per-model operator census of the paper's §2.1;
+//! 4. **cost** — `op_cost` invariants: GEMMs do work, work launches
+//!    kernels, static kernels move at least their operands;
+//! 5. **fusion** — flags Linear→GELU epilogues, `MatMul → scale → (mask) →
+//!    Softmax` attention prologues, and Conv→BN→ReLU triples as
+//!    optimization opportunities.
+//!
+//! Findings are [`Diagnostic`]s with a configurable severity
+//! (allow / warn / deny, per lint via [`LintConfig`]) and render both
+//! human-readable ([`AnalysisReport::to_text`]) and as JSON
+//! ([`AnalysisReport::to_json`]). The `nongemm-cli verify <model>`
+//! subcommand and the opt-in [`ngb_graph::Interpreter`] preflight are built
+//! on this crate.
+//!
+//! # Examples
+//!
+//! ```
+//! use ngb_analyze::{Analyzer, Lint, Severity};
+//! use ngb_graph::{GraphBuilder, OpKind};
+//!
+//! # fn main() -> Result<(), ngb_tensor::TensorError> {
+//! let mut b = GraphBuilder::new("toy");
+//! let x = b.input(&[1, 8]);
+//! let h = b.push(OpKind::Linear { in_f: 8, out_f: 8, bias: true }, &[x], "fc")?;
+//! b.push(OpKind::Gelu, &[h], "act")?;
+//! let report = Analyzer::new().analyze(&b.finish());
+//!
+//! assert!(report.is_clean()); // no deny-level findings
+//! assert_eq!(report.census.gemm, 1);
+//! // the fusable linear->gelu pair is reported at allow level
+//! let fusable = report.findings(Lint::FuseLinearActivation);
+//! assert_eq!(fusable.len(), 1);
+//! assert_eq!(fusable[0].severity, Severity::Allow);
+//! # Ok(())
+//! # }
+//! ```
+
+mod diag;
+mod passes;
+mod report;
+
+pub use diag::{Diagnostic, Lint, LintConfig, Pass, Severity};
+pub use passes::Analyzer;
+pub use report::{AnalysisReport, Census};

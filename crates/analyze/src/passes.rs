@@ -1,0 +1,467 @@
+//! The [`Analyzer`] and its five passes.
+//!
+//! Passes run in a fixed order — structural, shape, taxonomy, cost,
+//! fusion — and each appends [`Diagnostic`]s to the report. Later passes
+//! guard against structurally broken nodes (out-of-range inputs) instead of
+//! assuming the structural pass came back clean, so a single corrupted node
+//! produces one precise finding rather than a cascade of panics.
+
+use std::collections::BTreeMap;
+
+use ngb_graph::{infer_shape, Graph, Node, NodeId, NonGemmGroup, OpClass, OpKind, StructuralIssue};
+use ngb_tensor::num_elements;
+
+use crate::diag::{Diagnostic, Lint, LintConfig};
+use crate::report::{AnalysisReport, Census};
+
+/// Multi-pass static analyzer over an operator [`Graph`].
+///
+/// See the crate docs for an end-to-end example.
+#[derive(Debug, Clone, Default)]
+pub struct Analyzer {
+    config: LintConfig,
+}
+
+/// Mutable state threaded through the passes of one `analyze` call.
+struct Ctx<'g> {
+    graph: &'g Graph,
+    config: &'g LintConfig,
+    /// consumers[i] = number of nodes consuming node i's output.
+    consumers: Vec<usize>,
+    /// Whether every input id of node i is in range (safe to cost/infer).
+    sound: Vec<bool>,
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl<'g> Ctx<'g> {
+    fn new(graph: &'g Graph, config: &'g LintConfig) -> Ctx<'g> {
+        let len = graph.len();
+        let mut consumers = vec![0usize; len];
+        let mut sound = vec![true; len];
+        for (i, node) in graph.iter().enumerate() {
+            for &inp in &node.inputs {
+                if inp.0 < len {
+                    consumers[inp.0] += 1;
+                } else {
+                    sound[i] = false;
+                }
+                // a forward reference makes the node's semantics undefined;
+                // the structural pass owns that finding
+                if inp.0 >= i {
+                    sound[i] = false;
+                }
+            }
+        }
+        Ctx {
+            graph,
+            config,
+            consumers,
+            sound,
+            diagnostics: Vec::new(),
+        }
+    }
+
+    /// Records a node-scoped finding at the configured severity.
+    fn emit(&mut self, lint: Lint, node: NodeId, message: String) {
+        let node_name = self
+            .graph
+            .nodes
+            .get(node.0)
+            .map(|n| n.name.clone())
+            .unwrap_or_default();
+        self.diagnostics.push(Diagnostic {
+            lint,
+            severity: self.config.severity(lint),
+            node: Some(node),
+            node_name,
+            message,
+        });
+    }
+
+    /// Records a graph-level finding at the configured severity.
+    fn emit_graph(&mut self, lint: Lint, message: String) {
+        self.diagnostics.push(Diagnostic {
+            lint,
+            severity: self.config.severity(lint),
+            node: None,
+            node_name: String::new(),
+            message,
+        });
+    }
+
+    /// Input shapes of `node`, when all its inputs are in range.
+    fn input_shapes(&self, node: &Node) -> Option<Vec<Vec<usize>>> {
+        node.inputs
+            .iter()
+            .map(|&i| self.graph.nodes.get(i.0).map(|n| n.out_shape.clone()))
+            .collect()
+    }
+}
+
+impl Analyzer {
+    /// An analyzer with every lint at its default severity.
+    pub fn new() -> Analyzer {
+        Analyzer::default()
+    }
+
+    /// An analyzer with per-lint severity overrides.
+    pub fn with_config(config: LintConfig) -> Analyzer {
+        Analyzer { config }
+    }
+
+    /// Runs all five passes over `graph`.
+    pub fn analyze(&self, graph: &Graph) -> AnalysisReport {
+        let mut ctx = Ctx::new(graph, &self.config);
+        structural_pass(&mut ctx);
+        shape_pass(&mut ctx);
+        let census = taxonomy_pass(&mut ctx);
+        cost_pass(&mut ctx);
+        fusion_pass(&mut ctx);
+        AnalysisReport {
+            graph_name: graph.name.clone(),
+            diagnostics: ctx.diagnostics,
+            census,
+        }
+    }
+}
+
+/// Pass 1: NodeId/topology consistency (via [`Graph::structural_issues`]),
+/// dead-node detection, and duplicate-subgraph (CSE) candidates.
+fn structural_pass(ctx: &mut Ctx) {
+    for issue in ctx.graph.structural_issues() {
+        let lint = match issue {
+            StructuralIssue::IdMismatch { .. } => Lint::NodeIdMismatch,
+            StructuralIssue::InputOutOfRange { .. } => Lint::DanglingInput,
+            StructuralIssue::NonTopologicalInput { .. } => Lint::NonTopologicalInput,
+        };
+        ctx.emit(lint, issue.node(), issue.to_string());
+    }
+
+    // Dead nodes: a sink (no consumers) is dead when some later node is
+    // still interior — the graph moved on without this result. Trailing
+    // sinks are the graph's output frontier and stay live.
+    let last_interior = ctx
+        .consumers
+        .iter()
+        .rposition(|&c| c > 0)
+        .map(|p| p as isize)
+        .unwrap_or(-1);
+    for (i, node) in ctx.graph.iter().enumerate() {
+        if ctx.consumers[i] == 0 && (i as isize) < last_interior {
+            ctx.emit(
+                Lint::DeadNode,
+                NodeId(i),
+                format!(
+                    "'{}' is never consumed but the graph continues past it",
+                    node.name
+                ),
+            );
+        }
+    }
+
+    // Duplicate subgraphs: identical op applied to identical inputs.
+    // Inputs themselves are excluded (same shape does not mean same data).
+    let mut seen: BTreeMap<String, NodeId> = BTreeMap::new();
+    for node in ctx.graph.iter() {
+        if node.inputs.is_empty() {
+            continue;
+        }
+        let key = format!("{:?}|{:?}", node.op, node.inputs);
+        match seen.get(&key) {
+            Some(&first) => {
+                let msg = format!(
+                    "'{}' recomputes {} ({}) on the same inputs; CSE candidate",
+                    node.name,
+                    first,
+                    node.op.name()
+                );
+                ctx.emit(Lint::DuplicateSubgraph, node.id, msg);
+            }
+            None => {
+                seen.insert(key, node.id);
+            }
+        }
+    }
+}
+
+/// Pass 2: independently re-runs shape inference on every node and
+/// cross-checks the stored `out_shape`.
+fn shape_pass(ctx: &mut Ctx) {
+    for (i, node) in ctx.graph.iter().enumerate() {
+        if matches!(node.op, OpKind::Input | OpKind::InputIds { .. }) || !ctx.sound[i] {
+            continue;
+        }
+        let Some(input_shapes) = ctx.input_shapes(node) else {
+            continue;
+        };
+        match infer_shape(&node.op, &input_shapes) {
+            Err(e) => {
+                let msg = format!("{} on inputs {:?}: {e}", node.op.name(), input_shapes);
+                ctx.emit(Lint::ShapeInferFailed, node.id, msg);
+            }
+            Ok(inferred) if inferred != node.out_shape => {
+                let msg = format!(
+                    "stored shape {:?} but {} infers {:?}",
+                    node.out_shape,
+                    node.op.name(),
+                    inferred
+                );
+                ctx.emit(Lint::ShapeMismatch, node.id, msg);
+            }
+            Ok(_) => {}
+        }
+    }
+}
+
+/// Pass 3: audits the GEMM / non-GEMM taxonomy and produces the per-model
+/// census (the paper's §2.1 breakdown), cross-checked against the
+/// [`Graph`] counting helpers.
+fn taxonomy_pass(ctx: &mut Ctx) -> Census {
+    let mut gemm = 0usize;
+    let mut dynamic = 0usize;
+    let mut by_group: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for node in ctx.graph.iter() {
+        if node.op.is_dynamic() {
+            dynamic += 1;
+        }
+        match node.class() {
+            OpClass::Gemm => gemm += 1,
+            OpClass::NonGemm(group) => {
+                if !NonGemmGroup::all().contains(&group) {
+                    let msg = format!(
+                        "group {:?} of {} is missing from NonGemmGroup::all(); census \
+                         reports would drop it",
+                        group,
+                        node.op.name()
+                    );
+                    ctx.emit(Lint::UnknownGroup, node.id, msg);
+                }
+                *by_group.entry(group.label()).or_insert(0) += 1;
+            }
+        }
+    }
+    let groups: Vec<(&'static str, usize)> = NonGemmGroup::all()
+        .iter()
+        .map(|g| (g.label(), by_group.get(g.label()).copied().unwrap_or(0)))
+        .collect();
+    let census = Census {
+        nodes: ctx.graph.len(),
+        gemm,
+        groups,
+        dynamic,
+    };
+
+    if census.gemm + census.non_gemm() != census.nodes {
+        ctx.emit_graph(
+            Lint::CensusMismatch,
+            format!(
+                "{} gemm + {} non-gemm != {} nodes",
+                census.gemm,
+                census.non_gemm(),
+                census.nodes
+            ),
+        );
+    }
+    if ctx.graph.gemm_count() != census.gemm {
+        ctx.emit_graph(
+            Lint::CensusMismatch,
+            format!(
+                "Graph::gemm_count() says {} but the per-node census says {}",
+                ctx.graph.gemm_count(),
+                census.gemm
+            ),
+        );
+    }
+    for &g in NonGemmGroup::all() {
+        let from_graph = ctx.graph.group_count(g);
+        let from_census = census
+            .groups
+            .iter()
+            .find(|&&(l, _)| l == g.label())
+            .map_or(0, |&(_, n)| n);
+        if from_graph != from_census {
+            ctx.emit_graph(
+                Lint::CensusMismatch,
+                format!(
+                    "Graph::group_count({}) says {from_graph} but the census says {from_census}",
+                    g.label()
+                ),
+            );
+        }
+    }
+    census
+}
+
+/// Pass 4: `op_cost` sanity invariants — GEMMs do work, work launches
+/// kernels, kernels move at least their operands, and nothing but inputs
+/// and metadata views is free.
+fn cost_pass(ctx: &mut Ctx) {
+    for (i, node) in ctx.graph.iter().enumerate() {
+        if matches!(node.op, OpKind::Input | OpKind::InputIds { .. }) || !ctx.sound[i] {
+            continue;
+        }
+        let Some(input_shapes) = ctx.input_shapes(node) else {
+            continue;
+        };
+        let cost = ngb_graph::op_cost(&node.op, &input_shapes, &node.out_shape);
+
+        if node.class().is_gemm() && cost.flops <= 0.0 {
+            ctx.emit(
+                Lint::GemmZeroFlops,
+                node.id,
+                format!("GEMM op {} reports {} flops", node.op.name(), cost.flops),
+            );
+        }
+        let works = cost.flops > 0.0 || cost.memory_bytes() > 0.0;
+        if cost.kernels == 0 && works {
+            ctx.emit(
+                Lint::KernellessWork,
+                node.id,
+                format!(
+                    "{} reports {} flops and {} traffic bytes with zero kernel launches",
+                    node.op.name(),
+                    cost.flops,
+                    cost.memory_bytes()
+                ),
+            );
+        }
+        if cost.kernels == 0 && !works && node.class().group() != Some(NonGemmGroup::Memory) {
+            ctx.emit(
+                Lint::ZeroCostNode,
+                node.id,
+                format!(
+                    "{} reports an all-zero cost but is not a metadata view",
+                    node.op.name()
+                ),
+            );
+        }
+        // Static kernels must move at least their operands; dynamic ops
+        // (NMS, RoIAlign) cost nominal shapes and are exempt.
+        if cost.kernels >= 1 && !cost.dynamic {
+            let operand_bytes = 4.0
+                * (num_elements(&node.out_shape)
+                    + input_shapes.iter().map(|s| num_elements(s)).sum::<usize>())
+                    as f64;
+            if cost.memory_bytes() + 0.5 < operand_bytes {
+                ctx.emit(
+                    Lint::TrafficUnderflow,
+                    node.id,
+                    format!(
+                        "{} moves {} bytes but its operands total {} bytes",
+                        node.op.name(),
+                        cost.memory_bytes(),
+                        operand_bytes
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Pass 5: fusion-opportunity patterns. All three lints default to
+/// [`crate::diag::Severity::Allow`]: they flag optimization candidates,
+/// not defects.
+fn fusion_pass(ctx: &mut Ctx) {
+    let g = ctx.graph;
+    let len = g.len();
+    // in-range single input of a node, if any
+    let single_input = |node: &Node| -> Option<NodeId> {
+        match node.inputs.first() {
+            Some(&i) if i.0 < len => Some(i),
+            _ => None,
+        }
+    };
+    let mut found: Vec<(Lint, NodeId, String)> = Vec::new();
+    for node in g.iter() {
+        // GEMM feeding a single-consumer activation: fusable epilogue.
+        if node.class().group() == Some(NonGemmGroup::Activation) {
+            if let Some(prev) = single_input(node) {
+                let producer = g.node(prev);
+                if producer.class().is_gemm() && ctx.consumers[prev.0] == 1 {
+                    found.push((
+                        Lint::FuseLinearActivation,
+                        node.id,
+                        format!(
+                            "{} '{}' feeds only this {}; fusable as a GEMM epilogue",
+                            producer.op.name(),
+                            producer.name,
+                            node.op.name()
+                        ),
+                    ));
+                }
+            }
+        }
+        // MatMul -> scale -> (mask) -> Softmax attention prologue,
+        // anchored at the softmax (walked backwards, single-consumer links).
+        if let OpKind::Softmax { .. } = node.op {
+            if let Some(chain) = match_attention(ctx, node) {
+                found.push((
+                    Lint::FuseAttention,
+                    node.id,
+                    format!(
+                        "attention prologue {} ending at '{}'; FlashAttention-style \
+                         fusion candidate",
+                        chain, node.name
+                    ),
+                ));
+            }
+        }
+        // Conv2d -> BatchNorm -> ReLU: BN folds into the conv at inference.
+        if matches!(node.op, OpKind::Relu | OpKind::Relu6) {
+            if let Some(bn_id) = single_input(node) {
+                let bn = g.node(bn_id);
+                let is_bn = matches!(
+                    bn.op,
+                    OpKind::BatchNorm2d { .. } | OpKind::FrozenBatchNorm2d { .. }
+                );
+                if is_bn && ctx.consumers[bn_id.0] == 1 {
+                    if let Some(conv_id) = single_input(bn) {
+                        let conv = g.node(conv_id);
+                        if matches!(conv.op, OpKind::Conv2d { .. }) && ctx.consumers[conv_id.0] == 1
+                        {
+                            found.push((
+                                Lint::FuseConvBnRelu,
+                                node.id,
+                                format!(
+                                    "'{}' -> '{}' -> '{}' folds into a single conv kernel",
+                                    conv.name, bn.name, node.name
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for (lint, node, msg) in found {
+        ctx.emit(lint, node, msg);
+    }
+}
+
+/// Matches the attention prologue backwards from a softmax node:
+/// `Matmul/Bmm -> {Div,Mul}Scalar -> [CausalMask | Add] -> Softmax`,
+/// every interior link single-consumer. Returns a rendered chain.
+fn match_attention(ctx: &Ctx, softmax: &Node) -> Option<String> {
+    let g = ctx.graph;
+    let len = g.len();
+    let step = |id: NodeId| -> Option<&Node> {
+        (id.0 < len && ctx.consumers[id.0] == 1).then(|| g.node(id))
+    };
+    let mut cur = step(*softmax.inputs.first()?)?;
+    let mut names = vec![softmax.op.name()];
+    if matches!(cur.op, OpKind::CausalMask | OpKind::Add) {
+        names.push(cur.op.name());
+        cur = step(*cur.inputs.first()?)?;
+    }
+    if !matches!(cur.op, OpKind::DivScalar(_) | OpKind::MulScalar(_)) {
+        return None;
+    }
+    names.push(cur.op.name());
+    cur = step(*cur.inputs.first()?)?;
+    if !matches!(cur.op, OpKind::Matmul | OpKind::Bmm) {
+        return None;
+    }
+    names.push(cur.op.name());
+    names.reverse();
+    Some(names.join(" -> "))
+}

@@ -1,0 +1,260 @@
+//! Analysis results: the per-model operator census and the
+//! [`AnalysisReport`] with its human-readable and JSON renderings.
+
+use crate::diag::{Diagnostic, Lint, Severity};
+
+/// Per-model GEMM / non-GEMM operator census (the paper's §2.1 breakdown).
+#[derive(Debug, Clone)]
+pub struct Census {
+    /// Total node count, including inputs.
+    pub nodes: usize,
+    /// GEMM-classified nodes (Linear / Conv / MatMul / BMM families).
+    pub gemm: usize,
+    /// Non-GEMM nodes per functional group, in report order
+    /// (`(label, count)`, zero-count groups included).
+    pub groups: Vec<(&'static str, usize)>,
+    /// Nodes whose output shape is data-dependent (NMS, RoIAlign).
+    pub dynamic: usize,
+}
+
+impl Census {
+    /// Total non-GEMM nodes.
+    pub fn non_gemm(&self) -> usize {
+        self.groups.iter().map(|&(_, n)| n).sum()
+    }
+
+    /// Non-GEMM share of all operators, in `[0, 1]`.
+    pub fn non_gemm_fraction(&self) -> f64 {
+        if self.nodes == 0 {
+            0.0
+        } else {
+            self.non_gemm() as f64 / self.nodes as f64
+        }
+    }
+}
+
+/// Everything the analyzer found for one graph.
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    /// The analyzed graph's name.
+    pub graph_name: String,
+    /// All findings, in pass order (allow-level findings included).
+    pub diagnostics: Vec<Diagnostic>,
+    /// The taxonomy pass's operator census.
+    pub census: Census,
+}
+
+impl AnalysisReport {
+    /// Number of findings at exactly `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// Number of deny-level findings.
+    pub fn deny_count(&self) -> usize {
+        self.count(Severity::Deny)
+    }
+
+    /// Number of warn-level findings.
+    pub fn warn_count(&self) -> usize {
+        self.count(Severity::Warn)
+    }
+
+    /// Whether the graph has no deny-level findings.
+    pub fn is_clean(&self) -> bool {
+        self.deny_count() == 0
+    }
+
+    /// All findings raised by `lint`.
+    pub fn findings(&self, lint: Lint) -> Vec<&Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.lint == lint).collect()
+    }
+
+    /// Human-readable report. Allow-level findings (fusion opportunities)
+    /// are summarized unless `include_allowed` is set.
+    pub fn to_text(&self, include_allowed: bool) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "analysis of '{}'", self.graph_name);
+        let c = &self.census;
+        let _ = writeln!(
+            out,
+            "  census: {} nodes, {} gemm, {} non-gemm ({:.1}%), {} dynamic",
+            c.nodes,
+            c.gemm,
+            c.non_gemm(),
+            100.0 * c.non_gemm_fraction(),
+            c.dynamic
+        );
+        let groups: Vec<String> = c
+            .groups
+            .iter()
+            .filter(|&&(_, n)| n > 0)
+            .map(|&(label, n)| format!("{label}={n}"))
+            .collect();
+        let _ = writeln!(out, "  groups: {}", groups.join(" "));
+        for d in &self.diagnostics {
+            if d.severity > Severity::Allow || include_allowed {
+                let _ = writeln!(out, "  {d}");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  {} deny, {} warn, {} allow -> {}",
+            self.deny_count(),
+            self.warn_count(),
+            self.count(Severity::Allow),
+            if self.is_clean() { "PASS" } else { "FAIL" }
+        );
+        out
+    }
+
+    /// JSON rendering of the full report (allow-level findings included).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = write!(out, "{{\"graph\":{}", json_string(&self.graph_name));
+        let _ = write!(
+            out,
+            ",\"summary\":{{\"deny\":{},\"warn\":{},\"allow\":{},\"clean\":{}}}",
+            self.deny_count(),
+            self.warn_count(),
+            self.count(Severity::Allow),
+            self.is_clean()
+        );
+        let c = &self.census;
+        let _ = write!(
+            out,
+            ",\"census\":{{\"nodes\":{},\"gemm\":{},\"non_gemm\":{},\"dynamic\":{},\"groups\":{{",
+            c.nodes,
+            c.gemm,
+            c.non_gemm(),
+            c.dynamic
+        );
+        for (i, &(label, n)) in c.groups.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{}", json_string(label), n);
+        }
+        out.push_str("}},\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let node = match d.node {
+                Some(id) => id.0.to_string(),
+                None => "null".to_string(),
+            };
+            let _ = write!(
+                out,
+                "{{\"lint\":{},\"pass\":{},\"severity\":{},\"node\":{},\"name\":{},\"message\":{}}}",
+                json_string(d.lint.name()),
+                json_string(d.lint.pass().name()),
+                json_string(d.severity.label()),
+                node,
+                json_string(&d.node_name),
+                json_string(&d.message)
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Escapes `s` as a JSON string literal (quotes included).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ngb_graph::NodeId;
+
+    fn sample() -> AnalysisReport {
+        AnalysisReport {
+            graph_name: "toy \"quoted\"".into(),
+            diagnostics: vec![
+                Diagnostic {
+                    lint: Lint::DeadNode,
+                    severity: Severity::Warn,
+                    node: Some(NodeId(3)),
+                    node_name: "block.act".into(),
+                    message: "output never consumed".into(),
+                },
+                Diagnostic {
+                    lint: Lint::FuseAttention,
+                    severity: Severity::Allow,
+                    node: Some(NodeId(9)),
+                    node_name: "attn.softmax".into(),
+                    message: "attention prologue".into(),
+                },
+            ],
+            census: Census {
+                nodes: 10,
+                gemm: 2,
+                groups: vec![("Activation", 3), ("Memory", 5)],
+                dynamic: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn counts_and_cleanliness() {
+        let r = sample();
+        assert_eq!(r.deny_count(), 0);
+        assert_eq!(r.warn_count(), 1);
+        assert_eq!(r.count(Severity::Allow), 1);
+        assert!(r.is_clean());
+        assert_eq!(r.findings(Lint::DeadNode).len(), 1);
+        assert_eq!(r.census.non_gemm(), 8);
+        assert!((r.census.non_gemm_fraction() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn text_hides_allow_level_by_default() {
+        let r = sample();
+        let brief = r.to_text(false);
+        assert!(brief.contains("dead-node"));
+        assert!(!brief.contains("fuse-attention"));
+        assert!(brief.contains("PASS"));
+        let full = r.to_text(true);
+        assert!(full.contains("fuse-attention"));
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let r = sample();
+        let js = r.to_json();
+        assert!(js.contains("\"graph\":\"toy \\\"quoted\\\"\""));
+        assert!(js.contains("\"deny\":0"));
+        assert!(js.contains("\"lint\":\"dead-node\""));
+        assert!(js.contains("\"node\":3"));
+        // must parse back with the workspace JSON parser
+        let v: serde_json::Value = serde_json::from_str(&js).unwrap();
+        assert_eq!(v["summary"]["warn"], 1);
+        assert_eq!(v["census"]["groups"]["Memory"], 5);
+        assert_eq!(v["diagnostics"][1]["lint"], "fuse-attention");
+        assert_eq!(v["diagnostics"][0]["node"], 3);
+    }
+}

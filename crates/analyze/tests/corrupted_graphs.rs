@@ -1,0 +1,189 @@
+//! Negative tests: each deliberate corruption must trigger exactly the
+//! intended lint, anchored at the corrupted node.
+
+use ngb_analyze::{Analyzer, Lint, LintConfig, Severity};
+use ngb_graph::{Graph, GraphBuilder, NodeId, OpKind};
+
+/// input -> fc -> gelu -> fc2 -> softmax
+fn toy() -> Graph {
+    let mut b = GraphBuilder::new("toy");
+    let x = b.input(&[2, 16]);
+    let h = b
+        .push(
+            OpKind::Linear {
+                in_f: 16,
+                out_f: 32,
+                bias: true,
+            },
+            &[x],
+            "fc",
+        )
+        .unwrap();
+    let a = b.push(OpKind::Gelu, &[h], "act").unwrap();
+    let o = b
+        .push(
+            OpKind::Linear {
+                in_f: 32,
+                out_f: 4,
+                bias: true,
+            },
+            &[a],
+            "fc2",
+        )
+        .unwrap();
+    b.push(OpKind::Softmax { dim: 1 }, &[o], "probs").unwrap();
+    b.finish()
+}
+
+/// Asserts `lint` fired at `node` with deny severity, and that no *other*
+/// deny-level lint fired anywhere.
+fn assert_sole_deny(graph: &Graph, lint: Lint, node: NodeId) {
+    let report = Analyzer::new().analyze(graph);
+    let hits = report.findings(lint);
+    assert!(
+        hits.iter().any(|d| d.node == Some(node)),
+        "{lint} did not fire at {node}: {:?}",
+        report
+            .diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+    );
+    for d in &report.diagnostics {
+        if d.severity == Severity::Deny {
+            assert_eq!(d.lint, lint, "unexpected extra deny finding: {d}");
+        }
+    }
+}
+
+#[test]
+fn bad_node_id_fires_node_id_mismatch() {
+    let mut g = toy();
+    g.nodes[1].id = NodeId(7);
+    assert_sole_deny(&g, Lint::NodeIdMismatch, NodeId(1));
+}
+
+#[test]
+fn dangling_input_fires_at_the_consumer() {
+    let mut g = toy();
+    g.nodes[2].inputs = vec![NodeId(42)];
+    assert_sole_deny(&g, Lint::DanglingInput, NodeId(2));
+}
+
+#[test]
+fn forward_reference_fires_non_topological_input() {
+    let mut g = toy();
+    g.nodes[2].inputs = vec![NodeId(3)];
+    assert_sole_deny(&g, Lint::NonTopologicalInput, NodeId(2));
+}
+
+#[test]
+fn wrong_out_shape_fires_shape_mismatch() {
+    let mut g = toy();
+    g.nodes[2].out_shape = vec![2, 33]; // gelu must preserve [2, 32]
+                                        // the corruption also cascades into fc2, whose input no longer fits
+    let report = Analyzer::new().analyze(&g);
+    let hits = report.findings(Lint::ShapeMismatch);
+    assert!(
+        hits.iter().any(|d| d.node == Some(NodeId(2))),
+        "no shape-mismatch at %2"
+    );
+    assert!(hits.iter().all(|d| d.severity == Severity::Deny));
+}
+
+#[test]
+fn impossible_shape_fires_shape_infer_failed() {
+    let mut g = toy();
+    // fc2 expects in_f == 32; lie about gelu's width so inference errors
+    g.nodes[2].out_shape = vec![2, 8];
+    let report = Analyzer::new().analyze(&g);
+    // node 2 itself mismatches, and node 3 fails inference outright
+    assert!(report
+        .findings(Lint::ShapeMismatch)
+        .iter()
+        .any(|d| d.node == Some(NodeId(2))));
+    assert!(report
+        .findings(Lint::ShapeInferFailed)
+        .iter()
+        .any(|d| d.node == Some(NodeId(3))));
+}
+
+#[test]
+fn dead_node_fires_on_orphaned_interior_node() {
+    let mut g = toy();
+    // rewire fc2 to read the linear directly, orphaning the gelu
+    g.nodes[3].op = OpKind::Linear {
+        in_f: 32,
+        out_f: 4,
+        bias: true,
+    };
+    g.nodes[3].inputs = vec![NodeId(1)];
+    let report = Analyzer::new().analyze(&g);
+    let dead = report.findings(Lint::DeadNode);
+    assert_eq!(dead.len(), 1);
+    assert_eq!(dead[0].node, Some(NodeId(2)));
+    assert_eq!(dead[0].severity, Severity::Warn);
+    // warn-level by default: the graph is still deny-clean...
+    assert!(report.is_clean());
+    // ...unless the caller escalates the lint
+    let strict = Analyzer::with_config(LintConfig::new().deny(Lint::DeadNode));
+    assert!(!strict.analyze(&g).is_clean());
+}
+
+#[test]
+fn zero_cost_gemm_fires_gemm_zero_flops() {
+    let mut g = toy();
+    // a Linear whose input claims zero rows computes nothing
+    g.nodes[0].out_shape = vec![0, 16];
+    let report = Analyzer::new().analyze(&g);
+    assert!(
+        report
+            .findings(Lint::GemmZeroFlops)
+            .iter()
+            .any(|d| d.node == Some(NodeId(1))),
+        "{:?}",
+        report
+            .diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn duplicate_subgraph_flags_recomputation() {
+    let mut b = GraphBuilder::new("dup");
+    let x = b.input(&[4, 8]);
+    let a = b.push(OpKind::Relu, &[x], "a").unwrap();
+    let bb = b.push(OpKind::Relu, &[x], "b").unwrap();
+    b.push(OpKind::Add, &[a, bb], "sum").unwrap();
+    let g = b.finish();
+    let report = Analyzer::new().analyze(&g);
+    let dups = report.findings(Lint::DuplicateSubgraph);
+    assert_eq!(dups.len(), 1);
+    assert_eq!(dups[0].node, Some(NodeId(2)));
+    assert_eq!(dups[0].severity, Severity::Warn);
+}
+
+#[test]
+fn two_inputs_of_equal_shape_are_not_duplicates() {
+    let mut b = GraphBuilder::new("two-inputs");
+    let x = b.input(&[4, 8]);
+    let y = b.input(&[4, 8]);
+    b.push(OpKind::Add, &[x, y], "sum").unwrap();
+    let report = Analyzer::new().analyze(&b.finish());
+    assert!(report.findings(Lint::DuplicateSubgraph).is_empty());
+    assert!(report.is_clean());
+}
+
+#[test]
+fn trailing_multi_output_frontier_is_not_dead() {
+    // detection-style ending: several sinks at the end are all outputs
+    let mut b = GraphBuilder::new("multi-out");
+    let x = b.input(&[8, 4]);
+    let h = b.push(OpKind::Relu, &[x], "trunk").unwrap();
+    b.push(OpKind::Softmax { dim: 1 }, &[h], "scores").unwrap();
+    b.push(OpKind::Sigmoid, &[h], "boxes").unwrap();
+    let report = Analyzer::new().analyze(&b.finish());
+    assert!(report.findings(Lint::DeadNode).is_empty());
+}

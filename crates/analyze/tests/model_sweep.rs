@@ -1,0 +1,96 @@
+//! Analyzer sweep over every registry model: all 18 Table 1 graphs must be
+//! free of deny-level diagnostics at batch 1, at both scales.
+
+use ngb_analyze::{Analyzer, Lint, Severity};
+use ngb_models::{ModelId, Scale};
+
+#[test]
+fn every_tiny_model_is_deny_clean_at_batch_1() {
+    let analyzer = Analyzer::new();
+    for &m in ModelId::all() {
+        let g = m
+            .build(1, Scale::Tiny)
+            .unwrap_or_else(|e| panic!("{m}: {e}"));
+        let report = analyzer.analyze(&g);
+        let denials: Vec<String> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Deny)
+            .map(|d| d.to_string())
+            .collect();
+        assert!(denials.is_empty(), "{m} (tiny): {denials:?}");
+    }
+}
+
+#[test]
+fn every_full_model_is_deny_clean_at_batch_1() {
+    let analyzer = Analyzer::new();
+    for &m in ModelId::all() {
+        let g = m
+            .build(1, Scale::Full)
+            .unwrap_or_else(|e| panic!("{m}: {e}"));
+        let report = analyzer.analyze(&g);
+        let denials: Vec<String> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Deny)
+            .map(|d| d.to_string())
+            .collect();
+        assert!(denials.is_empty(), "{m} (full): {denials:?}");
+        // census must agree with the graph's own counters and cover every node
+        assert_eq!(report.census.nodes, g.len(), "{m}");
+        assert_eq!(report.census.gemm, g.gemm_count(), "{m}");
+        assert_eq!(
+            report.census.gemm + report.census.non_gemm(),
+            g.len(),
+            "{m}"
+        );
+    }
+}
+
+#[test]
+fn transformers_expose_attention_fusion_opportunities() {
+    // every language model and ViT contains the MatMul->scale->Softmax
+    // prologue; the fusion pass must surface it as an allow-level finding
+    let analyzer = Analyzer::new();
+    for &m in &[
+        ModelId::Gpt2,
+        ModelId::Bert,
+        ModelId::Llama2_7b,
+        ModelId::VitBase16,
+    ] {
+        let g = m.build(1, Scale::Tiny).unwrap();
+        let report = analyzer.analyze(&g);
+        let attn = report.findings(Lint::FuseAttention);
+        assert!(!attn.is_empty(), "{m}: no attention prologue found");
+        assert!(attn.iter().all(|d| d.severity == Severity::Allow), "{m}");
+    }
+}
+
+#[test]
+fn convnets_expose_conv_bn_relu_opportunities() {
+    let analyzer = Analyzer::new();
+    for &m in &[ModelId::ResNet50, ModelId::MobileNetV2] {
+        let g = m.build(1, Scale::Tiny).unwrap();
+        let report = analyzer.analyze(&g);
+        assert!(
+            !report.findings(Lint::FuseConvBnRelu).is_empty(),
+            "{m}: no conv->bn->relu triple found"
+        );
+    }
+}
+
+#[test]
+fn census_fractions_match_the_papers_nongemm_story() {
+    // the paper's premise: non-GEMM operators are the majority of nodes
+    let analyzer = Analyzer::new();
+    for &m in ModelId::all() {
+        let g = m.build(1, Scale::Full).unwrap();
+        let report = analyzer.analyze(&g);
+        assert!(
+            report.census.non_gemm_fraction() > 0.5,
+            "{m}: non-GEMM fraction {:.2} unexpectedly low",
+            report.census.non_gemm_fraction()
+        );
+    }
+}

@@ -35,7 +35,8 @@ fn bench_analytic_profiling(c: &mut Criterion) {
         let platform = Platform::data_center();
         g.bench_function(model.spec().alias, |b| {
             b.iter(|| {
-                let p = nongemm::profiler::profile_analytic(&graph, &platform, Flow::Eager, true, 1);
+                let p =
+                    nongemm::profiler::profile_analytic(&graph, &platform, Flow::Eager, true, 1);
                 p.breakdown()
             })
         });
@@ -54,5 +55,10 @@ fn bench_graph_construction(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_tiny_execution, bench_analytic_profiling, bench_graph_construction);
+criterion_group!(
+    benches,
+    bench_tiny_execution,
+    bench_analytic_profiling,
+    bench_graph_construction
+);
 criterion_main!(benches);

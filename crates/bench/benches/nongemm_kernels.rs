@@ -16,8 +16,12 @@ fn bench_activations(c: &mut Criterion) {
     let x = TensorRng::seed(1).normal(&[1, 8, 6400]);
     let mut g = c.benchmark_group("activation");
     g.bench_function("relu", |b| b.iter(|| activation::relu(&x).expect("f32")));
-    g.bench_function("gelu_fused", |b| b.iter(|| activation::gelu_tanh(&x).expect("f32")));
-    g.bench_function("new_gelu_decomposed", |b| b.iter(|| activation::new_gelu(&x).expect("f32")));
+    g.bench_function("gelu_fused", |b| {
+        b.iter(|| activation::gelu_tanh(&x).expect("f32"))
+    });
+    g.bench_function("new_gelu_decomposed", |b| {
+        b.iter(|| activation::new_gelu(&x).expect("f32"))
+    });
     g.bench_function("silu", |b| b.iter(|| activation::silu(&x).expect("f32")));
     g.finish();
 }
@@ -44,7 +48,9 @@ fn bench_normalization(c: &mut Criterion) {
         b.iter(|| normalization::batch_norm2d(&map, &gc, &bc, &mc, &vc, 1e-5).expect("valid"))
     });
     g.bench_function("frozen_batch_norm2d", |b| {
-        b.iter(|| normalization::frozen_batch_norm2d(&map, &gc, &bc, &mc, &vc, 1e-5).expect("valid"))
+        b.iter(|| {
+            normalization::frozen_batch_norm2d(&map, &gc, &bc, &mc, &vc, 1e-5).expect("valid")
+        })
     });
     g.finish();
 }
@@ -57,18 +63,30 @@ fn bench_memory_ops(c: &mut Criterion) {
     });
     let p = memory::permute(&x, &[0, 2, 1, 3]).expect("valid");
     g.bench_function("contiguous_copy", |b| b.iter(|| memory::contiguous(&p)));
-    let parts: Vec<Tensor> = (0..4).map(|_| TensorRng::seed(4).normal(&[1, 64, 128])).collect();
-    g.bench_function("cat_dim1", |b| b.iter(|| memory::cat(&parts, 1).expect("valid")));
-    g.bench_function("split", |b| b.iter(|| memory::split(&x, 2, 1).expect("valid")));
+    let parts: Vec<Tensor> = (0..4)
+        .map(|_| TensorRng::seed(4).normal(&[1, 64, 128]))
+        .collect();
+    g.bench_function("cat_dim1", |b| {
+        b.iter(|| memory::cat(&parts, 1).expect("valid"))
+    });
+    g.bench_function("split", |b| {
+        b.iter(|| memory::split(&x, 2, 1).expect("valid"))
+    });
     g.finish();
 }
 
 fn bench_logit_and_reduction(c: &mut Criterion) {
     let x = TensorRng::seed(5).normal(&[25, 8, 8]); // GPT2-XL attention scores
-    c.bench_function("softmax_attention", |b| b.iter(|| logit::softmax(&x, 2).expect("valid")));
+    c.bench_function("softmax_attention", |b| {
+        b.iter(|| logit::softmax(&x, 2).expect("valid"))
+    });
     let logits = TensorRng::seed(6).normal(&[8, 1000]);
-    c.bench_function("argmax_classifier", |b| b.iter(|| reduction::argmax(&logits, 1).expect("valid")));
-    c.bench_function("topk5", |b| b.iter(|| reduction::topk(&logits, 5).expect("valid")));
+    c.bench_function("argmax_classifier", |b| {
+        b.iter(|| reduction::argmax(&logits, 1).expect("valid"))
+    });
+    c.bench_function("topk5", |b| {
+        b.iter(|| reduction::topk(&logits, 5).expect("valid"))
+    });
 }
 
 fn bench_roi_and_interp(c: &mut Criterion) {
@@ -80,7 +98,12 @@ fn bench_roi_and_interp(c: &mut Criterion) {
         let wh = rng.uniform(&[n, 2], 2.0, 20.0).to_vec_f32().expect("f32");
         let mut v = Vec::with_capacity(n * 4);
         for i in 0..n {
-            v.extend_from_slice(&[xy[i * 2], xy[i * 2 + 1], xy[i * 2] + wh[i * 2], xy[i * 2 + 1] + wh[i * 2 + 1]]);
+            v.extend_from_slice(&[
+                xy[i * 2],
+                xy[i * 2 + 1],
+                xy[i * 2] + wh[i * 2],
+                xy[i * 2 + 1] + wh[i * 2 + 1],
+            ]);
         }
         let boxes = Tensor::from_vec(v, &[n, 4]).expect("length");
         let scores = rng.uniform(&[n], 0.0, 1.0);
@@ -92,7 +115,9 @@ fn bench_roi_and_interp(c: &mut Criterion) {
 
     let feat = rng.normal(&[16, 50, 68]);
     let rois = rng.uniform(&[32, 4], 0.0, 40.0);
-    c.bench_function("roi_align", |b| b.iter(|| roi::roi_align(&feat, &rois, 7, 1.0).expect("valid")));
+    c.bench_function("roi_align", |b| {
+        b.iter(|| roi::roi_align(&feat, &rois, 7, 1.0).expect("valid"))
+    });
     let map = rng.normal(&[1, 16, 64, 64]);
     c.bench_function("interpolate_bilinear_2x", |b| {
         b.iter(|| interpolate::interpolate_bilinear(&map, 128, 128).expect("valid"))
@@ -106,12 +131,18 @@ fn bench_arith_and_embedding(c: &mut Criterion) {
     let mut rng = TensorRng::seed(8);
     let a = rng.normal(&[1, 10, 11008]); // Llama's gated-MLP shape
     let b2 = rng.normal(&[1, 10, 11008]);
-    c.bench_function("mul_gated_mlp", |b| b.iter(|| arithmetic::mul(&a, &b2).expect("valid")));
+    c.bench_function("mul_gated_mlp", |b| {
+        b.iter(|| arithmetic::mul(&a, &b2).expect("valid"))
+    });
     let bias = rng.normal(&[11008]);
-    c.bench_function("add_broadcast_bias", |b| b.iter(|| arithmetic::add(&a, &bias).expect("valid")));
+    c.bench_function("add_broadcast_bias", |b| {
+        b.iter(|| arithmetic::add(&a, &bias).expect("valid"))
+    });
     let table = rng.normal(&[5000, 256]);
     let ids = rng.uniform_i64(&[1, 128], 0, 5000);
-    c.bench_function("embedding_lookup", |b| b.iter(|| embedding::embedding(&table, &ids).expect("valid")));
+    c.bench_function("embedding_lookup", |b| {
+        b.iter(|| embedding::embedding(&table, &ids).expect("valid"))
+    });
 }
 
 criterion_group!(

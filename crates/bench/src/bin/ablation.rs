@@ -18,7 +18,10 @@ use nongemm::{Flow, ModelId, Platform, Scale};
 
 fn non_gemm_pct(graph: &ngb_graph::Graph, platform: &Platform, flow: Flow) -> (f64, f64) {
     let p = profile_analytic(graph, platform, flow, true, 1);
-    (p.breakdown().non_gemm_frac() * 100.0, p.total_latency_s() * 1e3)
+    (
+        p.breakdown().non_gemm_frac() * 100.0,
+        p.total_latency_s() * 1e3,
+    )
 }
 
 fn main() {
@@ -27,7 +30,10 @@ fn main() {
         "{:<10}{:>16}{:>16}{:>16}{:>16}{:>16}",
         "model", "eager", "fused customs", "zero launch", "zero dispatch", "ORT free PCIe"
     );
-    println!("{:<10}{:>16}{:>16}{:>16}{:>16}{:>16}", "", "ng% / ms", "ng% / ms", "ng% / ms", "ng% / ms", "ng% / ms");
+    println!(
+        "{:<10}{:>16}{:>16}{:>16}{:>16}{:>16}",
+        "", "ng% / ms", "ng% / ms", "ng% / ms", "ng% / ms", "ng% / ms"
+    );
 
     let mut free_launch = Platform::data_center();
     if let Some(gpu) = &mut free_launch.gpu {
@@ -39,7 +45,12 @@ fn main() {
         gpu.transfer_fixed_us = 0.0;
     }
 
-    for model in [ModelId::Gpt2Xl, ModelId::Llama2_7b, ModelId::FasterRcnn, ModelId::VitLarge16] {
+    for model in [
+        ModelId::Gpt2Xl,
+        ModelId::Llama2_7b,
+        ModelId::FasterRcnn,
+        ModelId::VitLarge16,
+    ] {
         let g = model.build(1, Scale::Full).expect("suite models build");
         let base = non_gemm_pct(&g, &Platform::data_center(), Flow::Eager);
         // TorchScript = same kernels, cheaper dispatch; Dynamo = fused —
@@ -55,11 +66,16 @@ fn main() {
         println!(
             "{:<10}{:>9.1}/{:>6.2}{:>9.1}/{:>6.2}{:>9.1}/{:>6.2}{:>9.1}/{:>6.2}{:>9.1}/{:>6.2}",
             model.spec().alias,
-            base.0, base.1,
-            fused.0, fused.1,
-            zl.0, zl.1,
-            zd.0, zd.1,
-            ort_free.0, ort_free.1,
+            base.0,
+            base.1,
+            fused.0,
+            fused.1,
+            zl.0,
+            zl.1,
+            zd.0,
+            zd.1,
+            ort_free.0,
+            ort_free.1,
         );
         // each removed mechanism must reduce end-to-end latency
         assert!(fused.1 < base.1, "{model}: fusing must help");

@@ -38,7 +38,9 @@ fn main() {
             Flow::Eager,
             true,
             1,
-            RuntimeOptions { fuse_attention: true },
+            RuntimeOptions {
+                fuse_attention: true,
+            },
         );
         let (tb, tf) = (base.total_latency_s(), fused.total_latency_s());
         assert!(tf < tb, "{model}: fusion must help");

@@ -8,7 +8,12 @@ fn main() {
     let groups = figure_groups();
     println!("{:<14}{:<18}{}", "model", "config", percent_header(&groups));
     for (label, platform, gpu, flow) in [
-        ("dc-cpu", Platform::data_center().cpu_only(), false, Flow::Eager),
+        (
+            "dc-cpu",
+            Platform::data_center().cpu_only(),
+            false,
+            Flow::Eager,
+        ),
         ("dc-gpu", Platform::data_center(), true, Flow::Eager),
         ("dc-gpu-ort", Platform::data_center(), true, Flow::Ort),
     ] {

@@ -14,9 +14,11 @@ fn main() {
         "{:<12}{:<16}{:>12}{:>10}{:>10}{:>10}{:>10}",
         "model", "mode", "latency", "GEMM", "Act", "Memory", "non-GEMM"
     );
-    for (alias, cfg) in
-        [("gpt2", Gpt2Config::base()), ("gpt2-l", Gpt2Config::large()), ("gpt2-xl", Gpt2Config::xl())]
-    {
+    for (alias, cfg) in [
+        ("gpt2", Gpt2Config::base()),
+        ("gpt2-l", Gpt2Config::large()),
+        ("gpt2-xl", Gpt2Config::xl()),
+    ] {
         let platform = Platform::data_center();
         let prefill = cfg.build(1).expect("suite models build");
         let p = profile_analytic(&prefill, &platform, Flow::Eager, true, 1);
@@ -49,7 +51,9 @@ fn main() {
     }
     // sanity: the tiny decode graph really executes
     let g = Gpt2Config::toy().build_decode(1, 8).expect("builds");
-    nongemm::graph::Interpreter::default().run(&g).expect("decode step executes");
+    nongemm::graph::Interpreter::default()
+        .run(&g)
+        .expect("decode step executes");
     let _ = Scale::Tiny;
     println!(
         "Generation is the worst case for the paper's thesis: one token of\n\

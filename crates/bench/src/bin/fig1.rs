@@ -7,7 +7,10 @@ use nongemm::{BenchConfig, Flow, NonGemmBench, Platform, Scale};
 
 fn main() {
     println!("Figure 1: GEMM vs non-GEMM latency, EPYC 7763 vs +A100 (batch 1, eager)\n");
-    println!("{:<10}{:<14}{:>12}{:>10}{:>12}", "model", "config", "latency", "GEMM", "non-GEMM");
+    println!(
+        "{:<10}{:<14}{:>12}{:>10}{:>12}",
+        "model", "config", "latency", "GEMM", "non-GEMM"
+    );
     for alias in ["gpt2-xl", "vit-l"] {
         for (label, platform, gpu) in [
             ("CPU only", Platform::data_center().cpu_only(), false),

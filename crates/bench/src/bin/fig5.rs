@@ -2,12 +2,22 @@
 //! NonGEMM Bench model on the Data Center configuration, CPU-only vs
 //! CPU+GPU (PyTorch eager), batch 1 plus the paper's batch-8 IC rows.
 
-use ngb_bench::{assert_partition, csv_breakdown_row, figure_groups, maybe_write_csv, percent_header, percent_row};
+use ngb_bench::{
+    assert_partition, csv_breakdown_row, figure_groups, maybe_write_csv, percent_header,
+    percent_row,
+};
 use nongemm::{BenchConfig, Flow, ModelId, NonGemmBench, Platform, Scale, Task};
 
 fn main() {
     let groups = figure_groups();
-    let mut csv = vec![format!("config,model,batch,gemm,{}", groups.iter().map(|g| g.label().to_lowercase()).collect::<Vec<_>>().join(","))];
+    let mut csv = vec![format!(
+        "config,model,batch,gemm,{}",
+        groups
+            .iter()
+            .map(|g| g.label().to_lowercase())
+            .collect::<Vec<_>>()
+            .join(",")
+    )];
     println!("Figure 5: Data Center breakdown across operator groups (eager)\n");
     for (label, platform, gpu) in [
         ("CPU only", Platform::data_center().cpu_only(), false),

@@ -1,12 +1,22 @@
 //! Figure 6: execution-time breakdown across operator groups on the
 //! Workstation configuration (i9-13900K vs + RTX 4090), PyTorch eager.
 
-use ngb_bench::{assert_partition, csv_breakdown_row, figure_groups, maybe_write_csv, percent_header, percent_row};
+use ngb_bench::{
+    assert_partition, csv_breakdown_row, figure_groups, maybe_write_csv, percent_header,
+    percent_row,
+};
 use nongemm::{BenchConfig, Flow, ModelId, NonGemmBench, Platform, Scale};
 
 fn main() {
     let groups = figure_groups();
-    let mut csv = vec![format!("config,model,batch,gemm,{}", groups.iter().map(|g| g.label().to_lowercase()).collect::<Vec<_>>().join(","))];
+    let mut csv = vec![format!(
+        "config,model,batch,gemm,{}",
+        groups
+            .iter()
+            .map(|g| g.label().to_lowercase())
+            .collect::<Vec<_>>()
+            .join(",")
+    )];
     println!("Figure 6: Workstation breakdown across operator groups (eager, batch 1)\n");
     for (label, platform, gpu) in [
         ("CPU only", Platform::workstation().cpu_only(), false),
@@ -26,7 +36,11 @@ fn main() {
             });
             let p = &bench.run_end_to_end().expect("suite models build")[0];
             assert_partition(p);
-            println!("{:<16}{}", model.spec().alias, percent_row(&p.breakdown(), &groups));
+            println!(
+                "{:<16}{}",
+                model.spec().alias,
+                percent_row(&p.breakdown(), &groups)
+            );
             csv.push(csv_breakdown_row(
                 &format!("{label},{},1", model.spec().alias),
                 &p.breakdown(),

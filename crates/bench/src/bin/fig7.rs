@@ -25,7 +25,12 @@ fn main() {
             assert_partition(p);
             let b = p.breakdown();
             memory_frac.push(b.group_frac(NonGemmGroup::Memory));
-            println!("{:<12}{:<18}{}", alias, flow.label(), percent_row(&b, &groups));
+            println!(
+                "{:<12}{:<18}{}",
+                alias,
+                flow.label(),
+                percent_row(&b, &groups)
+            );
         }
         assert!(
             memory_frac[1] > memory_frac[0],

@@ -1,16 +1,27 @@
 //! Figure 8: latency breakdown of ONNX Runtime inference on two platform
 //! configurations — Mobile (RTX 4060m) and Data Center (A100).
 
-use ngb_bench::{assert_partition, csv_breakdown_row, figure_groups, maybe_write_csv, percent_header, percent_row};
+use ngb_bench::{
+    assert_partition, csv_breakdown_row, figure_groups, maybe_write_csv, percent_header,
+    percent_row,
+};
 use nongemm::{BenchConfig, Flow, ModelId, NonGemmBench, Platform, Scale};
 
 fn main() {
     let groups = figure_groups();
-    let mut csv = vec![format!("config,model,batch,gemm,{}", groups.iter().map(|g| g.label().to_lowercase()).collect::<Vec<_>>().join(","))];
+    let mut csv = vec![format!(
+        "config,model,batch,gemm,{}",
+        groups
+            .iter()
+            .map(|g| g.label().to_lowercase())
+            .collect::<Vec<_>>()
+            .join(",")
+    )];
     println!("Figure 8: ONNX Runtime breakdown, Mobile vs Data Center GPUs (batch 1)\n");
-    for (label, platform) in
-        [("Mobile (RTX 4060m)", Platform::mobile()), ("Data Center (A100)", Platform::data_center())]
-    {
+    for (label, platform) in [
+        ("Mobile (RTX 4060m)", Platform::mobile()),
+        ("Data Center (A100)", Platform::data_center()),
+    ] {
         println!("== {label} ==");
         println!("{:<16}{}", "model", percent_header(&groups));
         for &model in ModelId::all() {
@@ -25,7 +36,11 @@ fn main() {
             });
             let p = &bench.run_end_to_end().expect("suite models build")[0];
             assert_partition(p);
-            println!("{:<16}{}", model.spec().alias, percent_row(&p.breakdown(), &groups));
+            println!(
+                "{:<16}{}",
+                model.spec().alias,
+                percent_row(&p.breakdown(), &groups)
+            );
             csv.push(csv_breakdown_row(
                 &format!("{label},{},1", model.spec().alias),
                 &p.breakdown(),

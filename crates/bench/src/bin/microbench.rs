@@ -11,7 +11,10 @@ fn main() {
     for &m in ModelId::all() {
         let g = m.build(1, Scale::Full).expect("suite models build");
         let added = registry.harvest(&g);
-        println!("{:<14} +{added:>5} unique non-GEMM operator instances", m.spec().alias);
+        println!(
+            "{:<14} +{added:>5} unique non-GEMM operator instances",
+            m.spec().alias
+        );
     }
     println!(
         "\nregistry: {} unique non-GEMM operator instances (paper: 1460)",
@@ -32,7 +35,11 @@ fn main() {
     let by_group = registry.group_latency(&DeviceModel::a100());
     let total: f64 = by_group.values().sum();
     for (group, secs) in &by_group {
-        println!("  {group:<16}{:>9.3} ms ({:>5.1}%)", secs * 1e3, secs / total * 100.0);
+        println!(
+            "  {group:<16}{:>9.3} ms ({:>5.1}%)",
+            secs * 1e3,
+            secs / total * 100.0
+        );
     }
 
     // replay a representative slice standalone (measured on the host +
@@ -51,7 +58,11 @@ fn main() {
             continue;
         }
         // replay only instances small enough to execute quickly on the host
-        let elems: usize = rec.input_shapes.iter().map(|s| s.iter().product::<usize>()).sum();
+        let elems: usize = rec
+            .input_shapes
+            .iter()
+            .map(|s| s.iter().product::<usize>())
+            .sum();
         if elems > 2_000_000 {
             continue;
         }
@@ -72,6 +83,13 @@ fn main() {
             Err(e) => println!("{:<22}{:<12}replay failed: {e}", rec.op.name(), rec.model),
         }
     }
-    assert!(replayed > 15, "expected a broad operator replay, got {replayed}");
-    assert!(registry.len() > 400, "registry suspiciously small: {}", registry.len());
+    assert!(
+        replayed > 15,
+        "expected a broad operator replay, got {replayed}"
+    );
+    assert!(
+        registry.len() > 400,
+        "registry suspiciously small: {}",
+        registry.len()
+    );
 }

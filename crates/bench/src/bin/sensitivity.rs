@@ -8,13 +8,18 @@ use nongemm::profiler::profile_analytic;
 use nongemm::{Flow, ModelId, Platform, Scale};
 
 fn non_gemm_pct(g: &ngb_graph::Graph, platform: &Platform) -> f64 {
-    profile_analytic(g, platform, Flow::Eager, true, 1).breakdown().non_gemm_frac() * 100.0
+    profile_analytic(g, platform, Flow::Eager, true, 1)
+        .breakdown()
+        .non_gemm_frac()
+        * 100.0
 }
 
 fn main() {
     let models = [ModelId::VitLarge16, ModelId::Gpt2Xl, ModelId::FasterRcnn];
-    let graphs: Vec<_> =
-        models.iter().map(|m| m.build(1, Scale::Full).expect("suite models build")).collect();
+    let graphs: Vec<_> = models
+        .iter()
+        .map(|m| m.build(1, Scale::Full).expect("suite models build"))
+        .collect();
 
     println!("Sweep A: non-GEMM share (%) vs GEMM-engine speed (A100 = 1x)\n");
     print!("{:<12}", "model");
@@ -33,7 +38,10 @@ fn main() {
             }
             let ng = non_gemm_pct(g, &p);
             print!("{ng:>8.1}%");
-            assert!(ng + 1e-9 >= prev, "{m}: faster GEMM engine must not lower the non-GEMM share");
+            assert!(
+                ng + 1e-9 >= prev,
+                "{m}: faster GEMM engine must not lower the non-GEMM share"
+            );
             prev = ng;
         }
         println!();

@@ -3,9 +3,7 @@
 //! reproduction.
 
 use ngb_bench::assert_partition;
-use nongemm::{
-    BenchConfig, Flow, ModelId, NonGemmBench, NonGemmGroup, Platform, Scale, Task,
-};
+use nongemm::{BenchConfig, Flow, ModelId, NonGemmBench, NonGemmGroup, Platform, Scale, Task};
 
 fn avg(v: &[f64]) -> f64 {
     if v.is_empty() {
@@ -49,7 +47,10 @@ fn main() {
         "non-GEMM share of execution time, all models x 3 platforms:\n  \
          CPU-only {cpu_avg:.1}%  ->  CPU+GPU {gpu_avg:.1}%   (paper: 27% -> 55%)"
     );
-    assert!(gpu_avg > cpu_avg + 15.0, "GPU must shift the balance to non-GEMM");
+    assert!(
+        gpu_avg > cpu_avg + 15.0,
+        "GPU must shift the balance to non-GEMM"
+    );
 
     // 2. dominant groups per task on the data-center GPU
     let mut ic_norm = Vec::new();
@@ -99,5 +100,8 @@ fn main() {
         avg(&eager_ng) * 100.0,
         avg(&ort_ng) * 100.0
     );
-    assert!(avg(&ort_ng) > avg(&eager_ng), "ORT must increase the non-GEMM share");
+    assert!(
+        avg(&ort_ng) > avg(&eager_ng),
+        "ORT must increase the non-GEMM share"
+    );
 }

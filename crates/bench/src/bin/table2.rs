@@ -63,6 +63,10 @@ fn main() {
         );
         rows += 1;
     }
-    println!("\n{} distinct (group, operator, model) rows; {} registry records", rows, registry.len());
+    println!(
+        "\n{} distinct (group, operator, model) rows; {} registry records",
+        rows,
+        registry.len()
+    );
     assert!(rows >= 28, "Table 2 has at least 28 rows in the paper");
 }

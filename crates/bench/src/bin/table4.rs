@@ -6,7 +6,10 @@ use nongemm::{BenchConfig, Flow, NonGemmBench, Platform, Scale};
 
 fn main() {
     println!("Table 4: most expensive non-GEMM group per model/batch on the A100 (eager)\n");
-    println!("{:<14}{:>6}  {:<16}{:>12}", "model", "batch", "top group", "% of time");
+    println!(
+        "{:<14}{:>6}  {:<16}{:>12}",
+        "model", "batch", "top group", "% of time"
+    );
     // (alias, batch) rows as in the paper's Table 4
     let rows: &[(&str, usize)] = &[
         ("vit-b", 1),
@@ -47,6 +50,12 @@ fn main() {
         let p = &bench.run_end_to_end().expect("suite models build")[0];
         assert_partition(p);
         let (group, frac) = p.breakdown().dominant_group().expect("non-GEMM ops exist");
-        println!("{:<14}{:>6}  {:<16}{:>11.1}%", alias, batch, group.label(), frac * 100.0);
+        println!(
+            "{:<14}{:>6}  {:<16}{:>11.1}%",
+            alias,
+            batch,
+            group.label(),
+            frac * 100.0
+        );
     }
 }

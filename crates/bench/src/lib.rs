@@ -68,29 +68,6 @@ pub fn assert_partition(profile: &ModelProfile) {
     );
 }
 
-#[cfg(test)]
-mod tests {
-    use nongemm::{BenchConfig, NonGemmBench, Scale};
-
-    #[test]
-    fn helpers_render() {
-        let b = NonGemmBench::new(BenchConfig {
-            models: vec!["gpt2".into()],
-            scale: Scale::Tiny,
-            ..BenchConfig::default()
-        });
-        let p = &b.run_end_to_end().unwrap()[0];
-        super::assert_partition(p);
-        let groups = super::figure_groups();
-        let row = super::percent_row(&p.breakdown(), &groups);
-        assert!(row.contains('%'));
-        assert_eq!(
-            super::percent_header(&groups).split_whitespace().count(),
-            groups.len() + 1
-        );
-    }
-}
-
 /// Writes `content` to `$NGB_OUT_DIR/<name>.csv` when the `NGB_OUT_DIR`
 /// environment variable is set, so figure data can be collected by scripts;
 /// silently does nothing otherwise. Returns whether a file was written.
@@ -118,4 +95,27 @@ pub fn csv_breakdown_row(label: &str, b: &Breakdown, groups: &[NonGemmGroup]) ->
         s.push_str(&format!(",{:.4}", b.group_frac(g)));
     }
     s
+}
+
+#[cfg(test)]
+mod tests {
+    use nongemm::{BenchConfig, NonGemmBench, Scale};
+
+    #[test]
+    fn helpers_render() {
+        let b = NonGemmBench::new(BenchConfig {
+            models: vec!["gpt2".into()],
+            scale: Scale::Tiny,
+            ..BenchConfig::default()
+        });
+        let p = &b.run_end_to_end().unwrap()[0];
+        super::assert_partition(p);
+        let groups = super::figure_groups();
+        let row = super::percent_row(&p.breakdown(), &groups);
+        assert!(row.contains('%'));
+        assert_eq!(
+            super::percent_header(&groups).split_whitespace().count(),
+            groups.len() + 1
+        );
+    }
 }

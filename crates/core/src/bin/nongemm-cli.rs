@@ -1,7 +1,7 @@
 //! `nongemm-cli` — command-line front end of the benchmark harness.
 //!
 //! ```text
-//! nongemm-cli [OPTIONS]
+//! nongemm-cli [run] [OPTIONS]
 //!   --model <alias>       model alias (repeatable; default: all 18)
 //!   --platform <p>        mobile | workstation | datacenter  (default: datacenter)
 //!   --flow <f>            eager | torchscript | dynamo | ort (default: eager)
@@ -12,7 +12,18 @@
 //!   --microbench          run the microbench flow instead of end-to-end
 //!   --format <fmt>        text | csv | json (default: text)
 //!   --trace <path>        also write a Chrome trace JSON per model
+//!
+//! nongemm-cli verify [OPTIONS]
+//!   --model <alias>       model alias (repeatable; default: all 18)
+//!   --batch <n>           batch size (default: 1)
+//!   --tiny                use the executable tiny presets
+//!   --format <fmt>        text | json (default: text)
+//!   --all                 include allow-level findings in text output
 //! ```
+//!
+//! `verify` runs the `ngb-analyze` static analyzer over the selected
+//! model graphs and exits 0 when every report is clean, 1 when any
+//! deny-level diagnostic fires, and 2 on usage errors.
 
 use std::process::ExitCode;
 
@@ -41,16 +52,35 @@ struct Args {
     trace: Option<String>,
 }
 
+#[derive(Debug)]
+struct VerifyArgs {
+    models: Vec<String>,
+    batch: usize,
+    tiny: bool,
+    format: Format,
+    all: bool,
+}
+
 fn usage() -> ! {
     eprintln!(
-        "usage: nongemm-cli [--model <alias>]... [--platform mobile|workstation|datacenter]\n\
+        "usage: nongemm-cli [run] [--model <alias>]... [--platform mobile|workstation|datacenter]\n\
          \x20      [--flow eager|torchscript|dynamo|ort] [--batch N] [--cpu-only] [--tiny]\n\
-         \x20      [--measured] [--microbench] [--format text|csv|json] [--trace <path>]"
+         \x20      [--measured] [--microbench] [--format text|csv|json] [--trace <path>]\n\
+         \x20  nongemm-cli verify [--model <alias>]... [--batch N] [--tiny]\n\
+         \x20      [--format text|json] [--all]"
     );
     std::process::exit(2);
 }
 
-fn parse_args() -> Args {
+/// Pops the next value for a `--flag <value>` option or dies with usage.
+fn take_value(it: &mut std::slice::Iter<'_, String>, name: &str) -> String {
+    it.next().cloned().unwrap_or_else(|| {
+        eprintln!("{name} requires a value");
+        usage()
+    })
+}
+
+fn parse_run_args(argv: &[String]) -> Args {
     let mut args = Args {
         models: Vec::new(),
         platform: Platform::data_center(),
@@ -63,16 +93,15 @@ fn parse_args() -> Args {
         format: Format::Text,
         trace: None,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = argv.iter();
     while let Some(arg) = it.next() {
-        let mut value = |name: &str| it.next().unwrap_or_else(|| {
-            eprintln!("{name} requires a value");
-            usage()
-        });
         match arg.as_str() {
-            "--model" => args.models.push(value("--model")),
+            "--model" => {
+                let v = take_value(&mut it, "--model");
+                args.models.push(v);
+            }
             "--platform" => {
-                args.platform = match value("--platform").as_str() {
+                args.platform = match take_value(&mut it, "--platform").as_str() {
                     "mobile" => Platform::mobile(),
                     "workstation" => Platform::workstation(),
                     "datacenter" | "data-center" => Platform::data_center(),
@@ -83,7 +112,7 @@ fn parse_args() -> Args {
                 }
             }
             "--flow" => {
-                args.flow = match value("--flow").as_str() {
+                args.flow = match take_value(&mut it, "--flow").as_str() {
                     "eager" => Flow::Eager,
                     "torchscript" => Flow::TorchScript,
                     "dynamo" => Flow::Dynamo,
@@ -95,7 +124,7 @@ fn parse_args() -> Args {
                 }
             }
             "--batch" => {
-                args.batch = value("--batch").parse().unwrap_or_else(|_| {
+                args.batch = take_value(&mut it, "--batch").parse().unwrap_or_else(|_| {
                     eprintln!("--batch requires a positive integer");
                     usage()
                 })
@@ -105,7 +134,7 @@ fn parse_args() -> Args {
             "--measured" => args.measured = true,
             "--microbench" => args.microbench = true,
             "--format" => {
-                args.format = match value("--format").as_str() {
+                args.format = match take_value(&mut it, "--format").as_str() {
                     "text" => Format::Text,
                     "csv" => Format::Csv,
                     "json" => Format::Json,
@@ -115,7 +144,53 @@ fn parse_args() -> Args {
                     }
                 }
             }
-            "--trace" => args.trace = Some(value("--trace")),
+            "--trace" => {
+                let v = take_value(&mut it, "--trace");
+                args.trace = Some(v);
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument '{other}'");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn parse_verify_args(argv: &[String]) -> VerifyArgs {
+    let mut args = VerifyArgs {
+        models: Vec::new(),
+        batch: 1,
+        tiny: false,
+        format: Format::Text,
+        all: false,
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--model" => {
+                let v = take_value(&mut it, "--model");
+                args.models.push(v);
+            }
+            "--batch" => {
+                args.batch = take_value(&mut it, "--batch").parse().unwrap_or_else(|_| {
+                    eprintln!("--batch requires a positive integer");
+                    usage()
+                })
+            }
+            "--tiny" => args.tiny = true,
+            "--all" => args.all = true,
+            "--format" => {
+                args.format = match take_value(&mut it, "--format").as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => {
+                        eprintln!("verify supports --format text|json, not '{other}'");
+                        usage()
+                    }
+                }
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument '{other}'");
@@ -127,9 +202,63 @@ fn parse_args() -> Args {
 }
 
 fn main() -> ExitCode {
-    let args = parse_args();
-    let platform =
-        if args.cpu_only { args.platform.clone().cpu_only() } else { args.platform.clone() };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("verify") => run_verify(&argv[1..]),
+        Some("run") => run_bench(&argv[1..]),
+        Some(cmd) if !cmd.starts_with('-') => {
+            eprintln!("unknown subcommand '{cmd}'");
+            usage()
+        }
+        _ => run_bench(&argv),
+    }
+}
+
+fn run_verify(argv: &[String]) -> ExitCode {
+    let args = parse_verify_args(argv);
+    let bench = NonGemmBench::new(BenchConfig {
+        models: args.models.clone(),
+        batch: args.batch,
+        scale: if args.tiny { Scale::Tiny } else { Scale::Full },
+        ..BenchConfig::default()
+    });
+    let reports = match bench.verify() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("verify failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if reports.is_empty() {
+        eprintln!("no models matched the selection");
+        return ExitCode::FAILURE;
+    }
+    let mut denied = 0usize;
+    for report in &reports {
+        denied += report.deny_count();
+        match args.format {
+            Format::Json => println!("{}", report.to_json()),
+            _ => println!("{}", report.to_text(args.all)),
+        }
+    }
+    if denied > 0 {
+        eprintln!(
+            "verify: {denied} deny-level finding(s) across {} model(s)",
+            reports.len()
+        );
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn run_bench(argv: &[String]) -> ExitCode {
+    let args = parse_run_args(argv);
+    let platform = if args.cpu_only {
+        args.platform.clone().cpu_only()
+    } else {
+        args.platform.clone()
+    };
     let bench = NonGemmBench::new(BenchConfig {
         models: args.models.clone(),
         platform,
@@ -144,7 +273,11 @@ fn main() -> ExitCode {
         return run_microbench(&bench, args.format);
     }
 
-    let profiles = if args.measured { bench.run_measured() } else { bench.run_end_to_end() };
+    let profiles = if args.measured {
+        bench.run_measured()
+    } else {
+        bench.run_end_to_end()
+    };
     let profiles = match profiles {
         Ok(p) => p,
         Err(e) => {
@@ -188,7 +321,10 @@ fn run_microbench(bench: &NonGemmBench, format: Format) -> ExitCode {
     };
     match format {
         Format::Json => {
-            println!("{}", serde_json::to_string(&results).expect("results serialize"));
+            println!(
+                "{}",
+                serde_json::to_string(&results).expect("results serialize")
+            );
         }
         Format::Csv => {
             println!("op,model,analytic_us,analytic_mj");

@@ -18,6 +18,7 @@
 //! | [`tensor`] | `ngb-tensor` | strided tensors with view semantics |
 //! | [`ops`] | `ngb-ops` | executable kernels + analytic costs |
 //! | [`graph`] | `ngb-graph` | operator-graph IR, classification, interpreter |
+//! | [`analyze`] | `ngb-analyze` | static graph analysis + lint diagnostics |
 //! | [`models`] | `ngb-models` | the 18 Table 1 model builders |
 //! | [`platform`] | `ngb-platform` | Table 3 device roofline models |
 //! | [`runtime`] | `ngb-runtime` | deployment flows (eager/TS/Dynamo/ORT) |
@@ -43,6 +44,7 @@
 //! # }
 //! ```
 
+pub use ngb_analyze as analyze;
 pub use ngb_data as data;
 pub use ngb_graph as graph;
 pub use ngb_microbench as microbench;
@@ -53,6 +55,7 @@ pub use ngb_profiler as profiler;
 pub use ngb_runtime as runtime;
 pub use ngb_tensor as tensor;
 
+pub use ngb_analyze::{AnalysisReport, Analyzer, Lint, LintConfig, Severity};
 pub use ngb_graph::{Graph, NonGemmGroup, OpClass, OpKind};
 pub use ngb_microbench::{MicroResult, OperatorRegistry};
 pub use ngb_models::{ModelId, ModelRegistry, Scale, Task};
@@ -195,8 +198,26 @@ impl NonGemmBench {
         } else {
             self.config.platform.cpu.clone()
         };
-        let results = registry.iter().map(|r| registry.evaluate(r, &device)).collect();
+        let results = registry
+            .iter()
+            .map(|r| registry.evaluate(r, &device))
+            .collect();
         Ok((registry, results))
+    }
+
+    /// Runs the `ngb-analyze` static analyzer over every selected model's
+    /// graph (the `nongemm-cli verify` flow), one report per model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph-construction errors.
+    pub fn verify(&self) -> Result<Vec<AnalysisReport>, TensorError> {
+        let analyzer = Analyzer::new();
+        Ok(self
+            .build_graphs()?
+            .iter()
+            .map(|g| analyzer.analyze(g))
+            .collect())
     }
 
     /// Emits the three §3.2.4 reports for every selected model.
@@ -271,6 +292,21 @@ mod tests {
         let p = b.run_measured().unwrap();
         assert_eq!(p.len(), 1);
         assert!(p[0].total_latency_s() > 0.0);
+    }
+
+    #[test]
+    fn verify_flow_is_clean_for_presets() {
+        let b = NonGemmBench::new(BenchConfig {
+            models: vec!["gpt2".into(), "resnet50".into()],
+            scale: Scale::Tiny,
+            ..BenchConfig::default()
+        });
+        let reports = b.verify().unwrap();
+        assert_eq!(reports.len(), 2);
+        for r in &reports {
+            assert!(r.is_clean(), "{}: {:?}", r.graph_name, r.deny_count());
+            assert!(r.census.nodes > 0);
+        }
     }
 
     #[test]

@@ -19,14 +19,20 @@ pub struct ImageNetSynthetic {
 
 impl Default for ImageNetSynthetic {
     fn default() -> Self {
-        ImageNetSynthetic { raw_resolution: 256, seed: 0xda7a }
+        ImageNetSynthetic {
+            raw_resolution: 256,
+            seed: 0xda7a,
+        }
     }
 }
 
 impl ImageNetSynthetic {
     /// Creates a source producing `raw_resolution²` RGB images.
     pub fn new(raw_resolution: usize, seed: u64) -> Self {
-        ImageNetSynthetic { raw_resolution, seed }
+        ImageNetSynthetic {
+            raw_resolution,
+            seed,
+        }
     }
 
     /// The `index`-th raw image, `[3, R, R]` with values in `[0, 1)`.
@@ -43,7 +49,8 @@ impl ImageNetSynthetic {
         .expect("valid resize")
         .squeeze(0)
         .expect("batch dim");
-        up.zip_map(&noise, |a, b| (a + b).clamp(0.0, 1.0)).expect("same shape")
+        up.zip_map(&noise, |a, b| (a + b).clamp(0.0, 1.0))
+            .expect("same shape")
     }
 }
 
@@ -70,15 +77,18 @@ pub struct CocoSynthetic {
 
 impl Default for CocoSynthetic {
     fn default() -> Self {
-        CocoSynthetic { raw_resolution: 320, objects: 7, seed: 0xc0c0 }
+        CocoSynthetic {
+            raw_resolution: 320,
+            objects: 7,
+            seed: 0xc0c0,
+        }
     }
 }
 
 impl CocoSynthetic {
     /// The `index`-th sample.
     pub fn sample(&self, index: usize) -> CocoSample {
-        let image = ImageNetSynthetic::new(self.raw_resolution, self.seed ^ 0x1111)
-            .sample(index);
+        let image = ImageNetSynthetic::new(self.raw_resolution, self.seed ^ 0x1111).sample(index);
         let mut rng = TensorRng::seed(self.seed.wrapping_add(index as u64) ^ 0xb0b0);
         let n = 1 + (index + self.objects) % (2 * self.objects);
         let r = self.raw_resolution as f32;
@@ -86,8 +96,14 @@ impl CocoSynthetic {
         let wh = rng.uniform(&[n, 2], r * 0.05, r * 0.3);
         let mut v = Vec::with_capacity(n * 4);
         for i in 0..n {
-            let (x, y) = (xy.at(&[i, 0]).expect("in range"), xy.at(&[i, 1]).expect("in range"));
-            let (w, h) = (wh.at(&[i, 0]).expect("in range"), wh.at(&[i, 1]).expect("in range"));
+            let (x, y) = (
+                xy.at(&[i, 0]).expect("in range"),
+                xy.at(&[i, 1]).expect("in range"),
+            );
+            let (w, h) = (
+                wh.at(&[i, 0]).expect("in range"),
+                wh.at(&[i, 1]).expect("in range"),
+            );
             v.extend_from_slice(&[x, y, (x + w).min(r), (y + h).min(r)]);
         }
         let boxes = Tensor::from_vec(v, &[n, 4]).expect("length matches");
@@ -136,8 +152,9 @@ impl Preprocessor {
     ///
     /// Propagates per-sample preprocessing errors.
     pub fn batch(&self, source: &ImageNetSynthetic, count: usize) -> Result<Tensor> {
-        let processed: Result<Vec<Tensor>> =
-            (0..count).map(|i| self.process(&source.sample(i))).collect();
+        let processed: Result<Vec<Tensor>> = (0..count)
+            .map(|i| self.process(&source.sample(i)))
+            .collect();
         Tensor::stack(&processed?, 0)
     }
 }
@@ -155,7 +172,11 @@ mod tests {
         assert_eq!(a, b);
         assert_ne!(a, c);
         assert_eq!(a.shape(), &[3, 256, 256]);
-        assert!(a.to_vec_f32().unwrap().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!(a
+            .to_vec_f32()
+            .unwrap()
+            .iter()
+            .all(|&v| (0.0..=1.0).contains(&v)));
     }
 
     #[test]

@@ -21,12 +21,34 @@ impl Default for WikitextSynthetic {
     }
 }
 
-const FUNCTION_WORDS: [&str; 12] =
-    ["the", "of", "and", "in", "to", "a", "was", "is", "for", "on", "as", "with"];
+const FUNCTION_WORDS: [&str; 12] = [
+    "the", "of", "and", "in", "to", "a", "was", "is", "for", "on", "as", "with",
+];
 const CONTENT_WORDS: [&str; 24] = [
-    "system", "network", "model", "history", "village", "energy", "river", "music", "species",
-    "game", "century", "battle", "engine", "album", "language", "station", "theory", "region",
-    "processor", "matrix", "kernel", "memory", "tensor", "operator",
+    "system",
+    "network",
+    "model",
+    "history",
+    "village",
+    "energy",
+    "river",
+    "music",
+    "species",
+    "game",
+    "century",
+    "battle",
+    "engine",
+    "album",
+    "language",
+    "station",
+    "theory",
+    "region",
+    "processor",
+    "matrix",
+    "kernel",
+    "memory",
+    "tensor",
+    "operator",
 ];
 
 impl WikitextSynthetic {
@@ -37,7 +59,10 @@ impl WikitextSynthetic {
 
     /// The `index`-th line; roughly one in eight lines is empty.
     pub fn line(&self, index: usize) -> String {
-        let mut state = self.seed.wrapping_add(index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut state = self
+            .seed
+            .wrapping_add(index as u64)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15);
         let mut next = || {
             state ^= state << 13;
             state ^= state >> 7;
@@ -64,7 +89,11 @@ impl WikitextSynthetic {
 
     /// The first `count` non-empty lines (the paper's data cleaning step).
     pub fn clean_lines(&self, count: usize) -> Vec<String> {
-        (0..).map(|i| self.line(i)).filter(|l| !l.is_empty()).take(count).collect()
+        (0..)
+            .map(|i| self.line(i))
+            .filter(|l| !l.is_empty())
+            .take(count)
+            .collect()
     }
 }
 
@@ -168,8 +197,11 @@ mod tests {
     #[test]
     fn corpus_lengths_vary() {
         let c = WikitextSynthetic::new(1);
-        let lens: std::collections::BTreeSet<usize> =
-            c.clean_lines(30).iter().map(|l| l.split_whitespace().count()).collect();
+        let lens: std::collections::BTreeSet<usize> = c
+            .clean_lines(30)
+            .iter()
+            .map(|l| l.split_whitespace().count())
+            .collect();
         assert!(lens.len() > 5);
     }
 }

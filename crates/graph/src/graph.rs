@@ -17,6 +17,65 @@ impl std::fmt::Display for NodeId {
     }
 }
 
+/// One structural defect in a [`Graph`], as found by
+/// [`Graph::structural_issues`].
+///
+/// These are the machine-readable facts behind [`Graph::validate`]; the
+/// `ngb-analyze` crate maps them onto lint diagnostics and layers further
+/// passes (dead-node detection, shape conformance, cost invariants) on top.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StructuralIssue {
+    /// The node stored at position `pos` carries a different id.
+    IdMismatch {
+        /// Index into [`Graph::nodes`].
+        pos: usize,
+        /// The id the node actually carries.
+        found: NodeId,
+    },
+    /// `node` consumes an id that no node in the graph carries.
+    InputOutOfRange {
+        /// The consuming node's position.
+        node: NodeId,
+        /// The out-of-range input id.
+        input: NodeId,
+    },
+    /// `node` consumes a node at or after its own position, breaking
+    /// topological order.
+    NonTopologicalInput {
+        /// The consuming node's position.
+        node: NodeId,
+        /// The later-or-equal input id.
+        input: NodeId,
+    },
+}
+
+impl StructuralIssue {
+    /// The position of the node the issue anchors to.
+    pub fn node(&self) -> NodeId {
+        match *self {
+            StructuralIssue::IdMismatch { pos, .. } => NodeId(pos),
+            StructuralIssue::InputOutOfRange { node, .. }
+            | StructuralIssue::NonTopologicalInput { node, .. } => node,
+        }
+    }
+}
+
+impl std::fmt::Display for StructuralIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            StructuralIssue::IdMismatch { pos, found } => {
+                write!(f, "node at position {pos} has id {found}")
+            }
+            StructuralIssue::InputOutOfRange { node, input } => {
+                write!(f, "node {node} consumes nonexistent node {input}")
+            }
+            StructuralIssue::NonTopologicalInput { node, input } => {
+                write!(f, "node {node} consumes later node {input}")
+            }
+        }
+    }
+}
+
 /// One operator invocation in the graph.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Node {
@@ -75,24 +134,50 @@ impl Graph {
         self.nodes.iter()
     }
 
+    /// Collects every violated structural invariant: ids must match
+    /// positions and every input must precede its consumer (and exist).
+    ///
+    /// Unlike [`Graph::validate`], which stops at the first defect, this
+    /// returns all of them in node order — the raw material for the
+    /// `ngb-analyze` structural pass.
+    pub fn structural_issues(&self) -> Vec<StructuralIssue> {
+        let mut issues = Vec::new();
+        let len = self.nodes.len();
+        for (i, node) in self.nodes.iter().enumerate() {
+            if node.id.0 != i {
+                issues.push(StructuralIssue::IdMismatch {
+                    pos: i,
+                    found: node.id,
+                });
+            }
+            for &inp in &node.inputs {
+                if inp.0 >= len {
+                    issues.push(StructuralIssue::InputOutOfRange {
+                        node: NodeId(i),
+                        input: inp,
+                    });
+                } else if inp.0 >= i {
+                    issues.push(StructuralIssue::NonTopologicalInput {
+                        node: NodeId(i),
+                        input: inp,
+                    });
+                }
+            }
+        }
+        issues
+    }
+
     /// Validates structural invariants: ids match positions and every input
-    /// precedes its consumer.
+    /// precedes its consumer. Delegates to [`Graph::structural_issues`].
     ///
     /// # Errors
     ///
     /// Returns a description of the first violated invariant.
     pub fn validate(&self) -> Result<(), String> {
-        for (i, node) in self.nodes.iter().enumerate() {
-            if node.id.0 != i {
-                return Err(format!("node at position {i} has id {}", node.id));
-            }
-            for &inp in &node.inputs {
-                if inp.0 >= i {
-                    return Err(format!("node {} consumes later node {inp}", node.id));
-                }
-            }
+        match self.structural_issues().first() {
+            Some(issue) => Err(issue.to_string()),
+            None => Ok(()),
         }
-        Ok(())
     }
 
     /// Total learned parameters across all nodes.
@@ -107,14 +192,20 @@ impl Graph {
 
     /// Number of non-GEMM nodes in `group`.
     pub fn group_count(&self, group: NonGemmGroup) -> usize {
-        self.nodes.iter().filter(|n| n.class().group() == Some(group)).count()
+        self.nodes
+            .iter()
+            .filter(|n| n.class().group() == Some(group))
+            .count()
     }
 
     /// Device-independent cost of node `id` given the current static shapes.
     pub fn node_cost(&self, id: NodeId) -> ngb_ops::OpCost {
         let node = self.node(id);
-        let input_shapes: Vec<Vec<usize>> =
-            node.inputs.iter().map(|&i| self.node(i).out_shape.clone()).collect();
+        let input_shapes: Vec<Vec<usize>> = node
+            .inputs
+            .iter()
+            .map(|&i| self.node(i).out_shape.clone())
+            .collect();
         op_cost(&node.op, &input_shapes, &node.out_shape)
     }
 
@@ -191,7 +282,13 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Starts a new graph named `name`.
     pub fn new(name: impl Into<String>) -> GraphBuilder {
-        GraphBuilder { graph: Graph { nodes: Vec::new(), name: name.into() }, scope: Vec::new() }
+        GraphBuilder {
+            graph: Graph {
+                nodes: Vec::new(),
+                name: name.into(),
+            },
+            scope: Vec::new(),
+        }
     }
 
     /// Pushes a scope segment; subsequent node names are prefixed with it.
@@ -259,7 +356,9 @@ impl GraphBuilder {
                     .nodes
                     .get(i.0)
                     .map(|n| n.out_shape.clone())
-                    .ok_or(TensorError::InvalidArgument(format!("unknown input node {i}")))
+                    .ok_or(TensorError::InvalidArgument(format!(
+                        "unknown input node {i}"
+                    )))
             })
             .collect::<Result<_, _>>()?;
         let out_shape = infer_shape(&op, &input_shapes)?;
@@ -297,7 +396,17 @@ mod tests {
         let mut b = GraphBuilder::new("toy");
         let x = b.input(&[1, 8]);
         b.enter_scope("block");
-        let h = b.push(OpKind::Linear { in_f: 8, out_f: 8, bias: true }, &[x], "fc").unwrap();
+        let h = b
+            .push(
+                OpKind::Linear {
+                    in_f: 8,
+                    out_f: 8,
+                    bias: true,
+                },
+                &[x],
+                "fc",
+            )
+            .unwrap();
         let a = b.push(OpKind::Relu, &[h], "act").unwrap();
         let s = b.push(OpKind::Add, &[a, x], "residual").unwrap();
         b.exit_scope();
@@ -318,7 +427,17 @@ mod tests {
     fn shape_inference_errors_propagate() {
         let mut b = GraphBuilder::new("bad");
         let x = b.input(&[1, 8]);
-        assert!(b.push(OpKind::Linear { in_f: 9, out_f: 4, bias: false }, &[x], "fc").is_err());
+        assert!(b
+            .push(
+                OpKind::Linear {
+                    in_f: 9,
+                    out_f: 4,
+                    bias: false
+                },
+                &[x],
+                "fc"
+            )
+            .is_err());
         assert!(b.push(OpKind::Relu, &[NodeId(99)], "oops").is_err());
     }
 
@@ -352,11 +471,43 @@ mod tests {
     }
 
     #[test]
+    fn structural_issues_reports_all_defects_in_order() {
+        let mut g = toy();
+        g.nodes[1].id = NodeId(7);
+        g.nodes[2].inputs = vec![NodeId(4)]; // later node (in range, len == 5)
+        g.nodes[3].inputs = vec![NodeId(99)]; // out of range
+        let issues = g.structural_issues();
+        assert_eq!(
+            issues,
+            vec![
+                StructuralIssue::IdMismatch {
+                    pos: 1,
+                    found: NodeId(7)
+                },
+                StructuralIssue::NonTopologicalInput {
+                    node: NodeId(2),
+                    input: NodeId(4)
+                },
+                StructuralIssue::InputOutOfRange {
+                    node: NodeId(3),
+                    input: NodeId(99)
+                },
+            ]
+        );
+        assert_eq!(issues[0].node(), NodeId(1));
+        // validate reports the first issue's message
+        assert_eq!(g.validate().unwrap_err(), "node at position 1 has id %7");
+        assert!(toy().structural_issues().is_empty());
+    }
+
+    #[test]
     fn peak_memory_positive_and_bounded() {
         let g = toy();
         let peak = g.peak_activation_bytes();
-        let total: usize =
-            g.iter().map(|n| ngb_tensor::num_elements(&n.out_shape) * 4).sum();
+        let total: usize = g
+            .iter()
+            .map(|n| ngb_tensor::num_elements(&n.out_shape) * 4)
+            .sum();
         assert!(peak > 0 && peak <= total);
     }
 

@@ -8,16 +8,19 @@ use crate::op::OpKind;
 type Result<T> = std::result::Result<T, TensorError>;
 
 fn one(inputs: &[Vec<usize>], op: &'static str) -> Result<Vec<usize>> {
-    inputs.first().cloned().ok_or_else(|| {
-        TensorError::InvalidArgument(format!("{op} requires at least one input"))
-    })
+    inputs
+        .first()
+        .cloned()
+        .ok_or_else(|| TensorError::InvalidArgument(format!("{op} requires at least one input")))
 }
 
 fn resolve_target(numel: usize, target: &[usize]) -> Result<Vec<usize>> {
     // reuse tensor reshape resolution through a throwaway computation
     let wild = target.iter().filter(|&&d| d == usize::MAX).count();
     if wild > 1 {
-        return Err(TensorError::InvalidArgument("at most one inferred dim".into()));
+        return Err(TensorError::InvalidArgument(
+            "at most one inferred dim".into(),
+        ));
     }
     let mut out = target.to_vec();
     if wild == 1 {
@@ -35,7 +38,11 @@ fn resolve_target(numel: usize, target: &[usize]) -> Result<Vec<usize>> {
             }
         }
     } else if num_elements(&out) != numel {
-        return Err(TensorError::ShapeMismatch { expected: vec![numel], actual: out, op: "reshape" });
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![numel],
+            actual: out,
+            op: "reshape",
+        });
     }
     Ok(out)
 }
@@ -66,7 +73,14 @@ pub fn infer_shape(op: &OpKind, inputs: &[Vec<usize>]) -> Result<Vec<usize>> {
             *s.last_mut().expect("checked") = *out_f;
             Ok(s)
         }
-        OpKind::Conv2d { in_c, out_c, kernel, stride, padding, .. } => {
+        OpKind::Conv2d {
+            in_c,
+            out_c,
+            kernel,
+            stride,
+            padding,
+            ..
+        } => {
             let s = one(inputs, "conv2d")?;
             if s.len() != 4 || s[1] != *in_c {
                 return Err(TensorError::ShapeMismatch {
@@ -82,14 +96,22 @@ pub fn infer_shape(op: &OpKind, inputs: &[Vec<usize>]) -> Result<Vec<usize>> {
         OpKind::Matmul => {
             let (a, b) = two(inputs, "matmul")?;
             if a.len() != 2 || b.len() != 2 || a[1] != b[0] {
-                return Err(TensorError::ShapeMismatch { expected: a, actual: b, op: "matmul" });
+                return Err(TensorError::ShapeMismatch {
+                    expected: a,
+                    actual: b,
+                    op: "matmul",
+                });
             }
             Ok(vec![a[0], b[1]])
         }
         OpKind::Bmm => {
             let (a, b) = two(inputs, "bmm")?;
             if a.len() != 3 || b.len() != 3 || a[0] != b[0] || a[2] != b[1] {
-                return Err(TensorError::ShapeMismatch { expected: a, actual: b, op: "bmm" });
+                return Err(TensorError::ShapeMismatch {
+                    expected: a,
+                    actual: b,
+                    op: "bmm",
+                });
             }
             Ok(vec![a[0], a[1], b[2]])
         }
@@ -167,7 +189,10 @@ pub fn infer_shape(op: &OpKind, inputs: &[Vec<usize>]) -> Result<Vec<usize>> {
         OpKind::Transpose { d0, d1 } => {
             let mut s = one(inputs, "transpose")?;
             if *d0 >= s.len() || *d1 >= s.len() {
-                return Err(TensorError::InvalidDim { dim: (*d0).max(*d1), rank: s.len() });
+                return Err(TensorError::InvalidDim {
+                    dim: (*d0).max(*d1),
+                    rank: s.len(),
+                });
             }
             s.swap(*d0, *d1);
             Ok(s)
@@ -198,7 +223,10 @@ pub fn infer_shape(op: &OpKind, inputs: &[Vec<usize>]) -> Result<Vec<usize>> {
         OpKind::Unsqueeze { dim } => {
             let mut s = one(inputs, "unsqueeze")?;
             if *dim > s.len() {
-                return Err(TensorError::InvalidDim { dim: *dim, rank: s.len() });
+                return Err(TensorError::InvalidDim {
+                    dim: *dim,
+                    rank: s.len(),
+                });
             }
             s.insert(*dim, 1);
             Ok(s)
@@ -216,20 +244,28 @@ pub fn infer_shape(op: &OpKind, inputs: &[Vec<usize>]) -> Result<Vec<usize>> {
         OpKind::Roll { dim, .. } => {
             let s = one(inputs, "roll")?;
             if *dim >= s.len() {
-                return Err(TensorError::InvalidDim { dim: *dim, rank: s.len() });
+                return Err(TensorError::InvalidDim {
+                    dim: *dim,
+                    rank: s.len(),
+                });
             }
             Ok(s)
         }
         OpKind::Cat { dim } => {
             let first = one(inputs, "cat")?;
             if *dim >= first.len() {
-                return Err(TensorError::InvalidDim { dim: *dim, rank: first.len() });
+                return Err(TensorError::InvalidDim {
+                    dim: *dim,
+                    rank: first.len(),
+                });
             }
             let mut out = first.clone();
             out[*dim] = 0;
             for s in inputs {
                 if s.len() != first.len()
-                    || s.iter().enumerate().any(|(i, &d)| i != *dim && d != first[i])
+                    || s.iter()
+                        .enumerate()
+                        .any(|(i, &d)| i != *dim && d != first[i])
                 {
                     return Err(TensorError::ShapeMismatch {
                         expected: first,
@@ -249,7 +285,10 @@ pub fn infer_shape(op: &OpKind, inputs: &[Vec<usize>]) -> Result<Vec<usize>> {
         OpKind::MeanDim { dim, keepdim } => {
             let mut s = one(inputs, "mean")?;
             if *dim >= s.len() {
-                return Err(TensorError::InvalidDim { dim: *dim, rank: s.len() });
+                return Err(TensorError::InvalidDim {
+                    dim: *dim,
+                    rank: s.len(),
+                });
             }
             if *keepdim {
                 s[*dim] = 1;
@@ -262,13 +301,24 @@ pub fn infer_shape(op: &OpKind, inputs: &[Vec<usize>]) -> Result<Vec<usize>> {
         OpKind::Softmax { dim } | OpKind::LogSoftmax { dim } => {
             let s = one(inputs, "softmax")?;
             if *dim >= s.len() {
-                return Err(TensorError::InvalidDim { dim: *dim, rank: s.len() });
+                return Err(TensorError::InvalidDim {
+                    dim: *dim,
+                    rank: s.len(),
+                });
             }
             Ok(s)
         }
 
-        OpKind::MaxPool2d { kernel, stride, padding }
-        | OpKind::AvgPool2d { kernel, stride, padding } => {
+        OpKind::MaxPool2d {
+            kernel,
+            stride,
+            padding,
+        }
+        | OpKind::AvgPool2d {
+            kernel,
+            stride,
+            padding,
+        } => {
             let s = one(inputs, "pool")?;
             if s.len() != 4 {
                 return Err(TensorError::InvalidArgument("pool requires NCHW".into()));
@@ -288,7 +338,9 @@ pub fn infer_shape(op: &OpKind, inputs: &[Vec<usize>]) -> Result<Vec<usize>> {
         OpKind::Nms { nominal_keep, .. } => {
             let s = one(inputs, "nms")?;
             if s.len() != 2 || s[1] != 4 {
-                return Err(TensorError::InvalidArgument("nms boxes must be [N, 4]".into()));
+                return Err(TensorError::InvalidArgument(
+                    "nms boxes must be [N, 4]".into(),
+                ));
             }
             Ok(vec![(*nominal_keep).min(s[0])])
         }
@@ -305,7 +357,9 @@ pub fn infer_shape(op: &OpKind, inputs: &[Vec<usize>]) -> Result<Vec<usize>> {
         OpKind::InterpolateNearest { oh, ow } | OpKind::InterpolateBilinear { oh, ow } => {
             let s = one(inputs, "interpolate")?;
             if s.len() != 4 {
-                return Err(TensorError::InvalidArgument("interpolate requires NCHW".into()));
+                return Err(TensorError::InvalidArgument(
+                    "interpolate requires NCHW".into(),
+                ));
             }
             Ok(vec![s[0], s[1], *oh, *ow])
         }
@@ -319,7 +373,10 @@ pub fn infer_shape(op: &OpKind, inputs: &[Vec<usize>]) -> Result<Vec<usize>> {
         OpKind::Argmax { dim } => {
             let mut s = one(inputs, "argmax")?;
             if *dim >= s.len() {
-                return Err(TensorError::InvalidDim { dim: *dim, rank: s.len() });
+                return Err(TensorError::InvalidDim {
+                    dim: *dim,
+                    rank: s.len(),
+                });
             }
             s.remove(*dim);
             Ok(s)
@@ -362,7 +419,13 @@ pub fn op_cost(op: &OpKind, inputs: &[Vec<usize>], output: &[usize]) -> OpCost {
             let rows = num_elements(in0) / in_f.max(&1);
             ngb_ops::gemm::linear_cost(rows, *in_f, *out_f, true)
         }
-        OpKind::Conv2d { in_c, out_c, kernel, groups, .. } => {
+        OpKind::Conv2d {
+            in_c,
+            out_c,
+            kernel,
+            groups,
+            ..
+        } => {
             let (n, oh, ow) = (output[0], output[2], output[3]);
             ngb_ops::gemm::conv2d_cost(n, *in_c, *out_c, oh, ow, *kernel, *kernel, *groups)
         }
@@ -387,9 +450,7 @@ pub fn op_cost(op: &OpKind, inputs: &[Vec<usize>], output: &[usize]) -> OpCost {
         OpKind::RmsNorm { .. } => ngb_ops::normalization::rms_norm_cost(in0),
         OpKind::LlamaRmsNorm { .. } => ngb_ops::normalization::llama_rms_norm_cost(in0),
         OpKind::BatchNorm2d { .. } => ngb_ops::normalization::batch_norm2d_cost(in0),
-        OpKind::FrozenBatchNorm2d { .. } => {
-            ngb_ops::normalization::frozen_batch_norm2d_cost(in0)
-        }
+        OpKind::FrozenBatchNorm2d { .. } => ngb_ops::normalization::frozen_batch_norm2d_cost(in0),
         OpKind::GroupNorm { .. } => ngb_ops::normalization::group_norm_cost(in0),
 
         // reshape may or may not copy; the conservative static assumption is
@@ -455,7 +516,11 @@ mod tests {
 
     #[test]
     fn linear_shape() {
-        let op = OpKind::Linear { in_f: 8, out_f: 16, bias: true };
+        let op = OpKind::Linear {
+            in_f: 8,
+            out_f: 16,
+            bias: true,
+        };
         assert_eq!(infer_shape(&op, &[vec![2, 5, 8]]).unwrap(), vec![2, 5, 16]);
         assert!(infer_shape(&op, &[vec![2, 5, 9]]).is_err());
     }
@@ -471,7 +536,10 @@ mod tests {
             groups: 1,
             bias: false,
         };
-        assert_eq!(infer_shape(&op, &[vec![1, 3, 224, 224]]).unwrap(), vec![1, 64, 112, 112]);
+        assert_eq!(
+            infer_shape(&op, &[vec![1, 3, 224, 224]]).unwrap(),
+            vec![1, 64, 112, 112]
+        );
         assert!(infer_shape(&op, &[vec![1, 4, 224, 224]]).is_err());
     }
 
@@ -491,12 +559,23 @@ mod tests {
     #[test]
     fn memory_shapes() {
         assert_eq!(
-            infer_shape(&OpKind::Reshape { shape: vec![4, usize::MAX] }, &[vec![2, 2, 3]])
-                .unwrap(),
+            infer_shape(
+                &OpKind::Reshape {
+                    shape: vec![4, usize::MAX]
+                },
+                &[vec![2, 2, 3]]
+            )
+            .unwrap(),
             vec![4, 3]
         );
         assert_eq!(
-            infer_shape(&OpKind::Permute { perm: vec![2, 0, 1] }, &[vec![2, 3, 4]]).unwrap(),
+            infer_shape(
+                &OpKind::Permute {
+                    perm: vec![2, 0, 1]
+                },
+                &[vec![2, 3, 4]]
+            )
+            .unwrap(),
             vec![4, 2, 3]
         );
         assert_eq!(
@@ -504,7 +583,15 @@ mod tests {
             vec![2, 4, 3]
         );
         assert_eq!(
-            infer_shape(&OpKind::Slice { dim: 1, start: 2, len: 3 }, &[vec![2, 8]]).unwrap(),
+            infer_shape(
+                &OpKind::Slice {
+                    dim: 1,
+                    start: 2,
+                    len: 3
+                },
+                &[vec![2, 8]]
+            )
+            .unwrap(),
             vec![2, 3]
         );
         assert_eq!(
@@ -528,10 +615,16 @@ mod tests {
 
     #[test]
     fn detection_shapes() {
-        let nms = OpKind::Nms { iou_threshold: 0.5, nominal_keep: 100 };
+        let nms = OpKind::Nms {
+            iou_threshold: 0.5,
+            nominal_keep: 100,
+        };
         assert_eq!(infer_shape(&nms, &[vec![4663, 4]]).unwrap(), vec![100]);
         assert_eq!(infer_shape(&nms, &[vec![50, 4]]).unwrap(), vec![50]);
-        let ra = OpKind::RoiAlign { out: 7, spatial_scale: 0.25 };
+        let ra = OpKind::RoiAlign {
+            out: 7,
+            spatial_scale: 0.25,
+        };
         assert_eq!(
             infer_shape(&ra, &[vec![256, 50, 68], vec![100, 4]]).unwrap(),
             vec![100, 256, 7, 7]
@@ -540,22 +633,40 @@ mod tests {
 
     #[test]
     fn nlp_shapes() {
-        let e = OpKind::Embedding { vocab: 50257, dim: 768 };
+        let e = OpKind::Embedding {
+            vocab: 50257,
+            dim: 768,
+        };
         assert_eq!(infer_shape(&e, &[vec![1, 8]]).unwrap(), vec![1, 8, 768]);
-        assert_eq!(infer_shape(&OpKind::TopK { k: 5 }, &[vec![1, 50257]]).unwrap(), vec![1, 5]);
-        assert_eq!(infer_shape(&OpKind::Argmax { dim: 1 }, &[vec![8, 1000]]).unwrap(), vec![8]);
+        assert_eq!(
+            infer_shape(&OpKind::TopK { k: 5 }, &[vec![1, 50257]]).unwrap(),
+            vec![1, 5]
+        );
+        assert_eq!(
+            infer_shape(&OpKind::Argmax { dim: 1 }, &[vec![8, 1000]]).unwrap(),
+            vec![8]
+        );
     }
 
     #[test]
     fn costs_dispatch() {
-        let lin = OpKind::Linear { in_f: 768, out_f: 3072, bias: true };
+        let lin = OpKind::Linear {
+            in_f: 768,
+            out_f: 3072,
+            bias: true,
+        };
         let c = op_cost(&lin, &[vec![1, 8, 768]], &[1, 8, 3072]);
         assert!(c.flops > 2.0 * 8.0 * 768.0 * 3072.0 - 1.0);
-        let view = OpKind::View { shape: vec![8, 768] };
+        let view = OpKind::View {
+            shape: vec![8, 768],
+        };
         assert_eq!(op_cost(&view, &[vec![1, 8, 768]], &[8, 768]).kernels, 0);
         let ng = op_cost(&OpKind::NewGelu, &[vec![1, 8, 6400]], &[1, 8, 6400]);
         assert_eq!(ng.kernels, 8);
-        let nms = OpKind::Nms { iou_threshold: 0.5, nominal_keep: 10 };
+        let nms = OpKind::Nms {
+            iou_threshold: 0.5,
+            nominal_keep: 10,
+        };
         assert!(op_cost(&nms, &[vec![1000, 4], vec![1000]], &[10]).dynamic);
     }
 }

@@ -46,6 +46,7 @@ impl ExecutionTrace {
 #[derive(Debug)]
 pub struct Interpreter {
     seed: u64,
+    preflight: bool,
 }
 
 impl Default for Interpreter {
@@ -57,7 +58,54 @@ impl Default for Interpreter {
 impl Interpreter {
     /// Creates an interpreter whose weights derive from `seed`.
     pub fn new(seed: u64) -> Interpreter {
-        Interpreter { seed }
+        Interpreter {
+            seed,
+            preflight: false,
+        }
+    }
+
+    /// Enables (or disables) the opt-in preflight check: before executing,
+    /// the graph's structural invariants are verified and every node's
+    /// stored shape is re-inferred, so corruption surfaces as one clear
+    /// [`TensorError`] instead of a mid-execution kernel failure.
+    #[must_use]
+    pub fn preflight(mut self, enabled: bool) -> Interpreter {
+        self.preflight = enabled;
+        self
+    }
+
+    /// Runs the preflight checks on `graph` without executing it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural defect or shape-conformance mismatch.
+    pub fn check(&self, graph: &Graph) -> Result<(), TensorError> {
+        if let Some(issue) = graph.structural_issues().first() {
+            return Err(TensorError::InvalidArgument(format!("preflight: {issue}")));
+        }
+        for node in graph.iter() {
+            if matches!(node.op, OpKind::Input | OpKind::InputIds { .. }) {
+                continue;
+            }
+            let input_shapes: Vec<Vec<usize>> = node
+                .inputs
+                .iter()
+                .map(|&i| graph.node(i).out_shape.clone())
+                .collect();
+            let inferred = crate::infer::infer_shape(&node.op, &input_shapes).map_err(|e| {
+                TensorError::InvalidArgument(format!(
+                    "preflight: node {} ({}) fails shape inference: {e}",
+                    node.id, node.name
+                ))
+            })?;
+            if inferred != node.out_shape {
+                return Err(TensorError::InvalidArgument(format!(
+                    "preflight: node {} ({}) stores shape {:?} but infers {:?}",
+                    node.id, node.name, node.out_shape, inferred
+                )));
+            }
+        }
+        Ok(())
     }
 
     fn rng_for(&self, node: NodeId) -> TensorRng {
@@ -97,26 +145,52 @@ impl Interpreter {
         graph: &Graph,
         inputs: &HashMap<NodeId, Tensor>,
     ) -> Result<ExecutionTrace, TensorError> {
+        if self.preflight {
+            self.check(graph)?;
+        }
         let mut values: Vec<Option<Tensor>> = vec![None; graph.len()];
         let mut timings = Vec::with_capacity(graph.len());
         let mut consumed = vec![false; graph.len()];
         for node in graph.iter() {
             for &i in &node.inputs {
-                consumed[i.0] = true;
+                match consumed.get_mut(i.0) {
+                    Some(slot) => *slot = true,
+                    None => {
+                        return Err(TensorError::InvalidArgument(format!(
+                            "node {} consumes nonexistent node {i}",
+                            node.id
+                        )))
+                    }
+                }
             }
         }
-        for node in graph.iter() {
+        for (pos, node) in graph.iter().enumerate() {
+            if node.id.0 != pos {
+                return Err(TensorError::InvalidArgument(format!(
+                    "node at position {pos} has id {}",
+                    node.id
+                )));
+            }
             let start = Instant::now();
             let out = self.execute_node(node, &values, inputs)?;
             let elapsed = start.elapsed();
-            timings.push(NodeTiming { id: node.id, elapsed, out_shape: out.shape().to_vec() });
-            values[node.id.0] = Some(out);
+            timings.push(NodeTiming {
+                id: node.id,
+                elapsed,
+                out_shape: out.shape().to_vec(),
+            });
+            values[pos] = Some(out);
         }
         let outputs = graph
             .iter()
             .filter(|n| !consumed[n.id.0])
-            .map(|n| (n.id, values[n.id.0].clone().expect("executed")))
-            .collect();
+            .map(|n| {
+                let v = values[n.id.0].clone().ok_or_else(|| {
+                    TensorError::InvalidArgument(format!("output node {} never executed", n.id))
+                })?;
+                Ok((n.id, v))
+            })
+            .collect::<Result<Vec<_>, TensorError>>()?;
         Ok(ExecutionTrace { outputs, timings })
     }
 
@@ -129,8 +203,14 @@ impl Interpreter {
         let arg = |i: usize| -> Result<&Tensor, TensorError> {
             node.inputs
                 .get(i)
-                .and_then(|id| values[id.0].as_ref())
-                .ok_or_else(|| TensorError::InvalidArgument(format!("missing input {i}")))
+                .and_then(|id| values.get(id.0))
+                .and_then(|v| v.as_ref())
+                .ok_or_else(|| {
+                    TensorError::InvalidArgument(format!(
+                        "node {} ({}) is missing input {i}",
+                        node.id, node.name
+                    ))
+                })
         };
         let mut rng = self.rng_for(node.id);
         match &node.op {
@@ -149,7 +229,15 @@ impl Interpreter {
                 let b = rng.normal(&[*out_f]);
                 ngb_ops::gemm::conv1d_gpt2(arg(0)?, &w, Some(&b))
             }
-            OpKind::Conv2d { in_c, out_c, kernel, stride, padding, groups, bias } => {
+            OpKind::Conv2d {
+                in_c,
+                out_c,
+                kernel,
+                stride,
+                padding,
+                groups,
+                bias,
+            } => {
                 let fan_in = (in_c / groups) * kernel * kernel;
                 let w = rng.kaiming(&[*out_c, in_c / groups, *kernel, *kernel], fan_in.max(1));
                 let b = bias.then(|| rng.normal(&[*out_c]));
@@ -211,11 +299,9 @@ impl Interpreter {
             OpKind::Slice { dim, start, len } => arg(0)?.narrow(*dim, *start, *len),
             OpKind::Roll { shift, dim } => ngb_ops::memory::roll(arg(0)?, *shift, *dim),
             OpKind::Cat { dim } => {
-                let tensors: Vec<Tensor> = node
-                    .inputs
-                    .iter()
-                    .map(|id| values[id.0].clone().expect("executed"))
-                    .collect();
+                let tensors: Vec<Tensor> = (0..node.inputs.len())
+                    .map(|i| arg(i).cloned())
+                    .collect::<Result<_, _>>()?;
                 Tensor::cat(&tensors, *dim)
             }
 
@@ -237,12 +323,16 @@ impl Interpreter {
             OpKind::Softmax { dim } => ngb_ops::logit::softmax(arg(0)?, *dim),
             OpKind::LogSoftmax { dim } => ngb_ops::logit::log_softmax(arg(0)?, *dim),
 
-            OpKind::MaxPool2d { kernel, stride, padding } => {
-                ngb_ops::pooling::max_pool2d(arg(0)?, *kernel, *stride, *padding)
-            }
-            OpKind::AvgPool2d { kernel, stride, padding } => {
-                ngb_ops::pooling::avg_pool2d(arg(0)?, *kernel, *stride, *padding)
-            }
+            OpKind::MaxPool2d {
+                kernel,
+                stride,
+                padding,
+            } => ngb_ops::pooling::max_pool2d(arg(0)?, *kernel, *stride, *padding),
+            OpKind::AvgPool2d {
+                kernel,
+                stride,
+                padding,
+            } => ngb_ops::pooling::avg_pool2d(arg(0)?, *kernel, *stride, *padding),
             OpKind::AdaptiveAvgPool2d { oh, ow } => {
                 ngb_ops::pooling::adaptive_avg_pool2d(arg(0)?, *oh, *ow)
             }
@@ -284,7 +374,13 @@ fn resolve(shape: &[usize], numel: usize) -> Vec<usize> {
         let known: usize = shape.iter().filter(|&&d| d != usize::MAX).product();
         shape
             .iter()
-            .map(|&d| if d == usize::MAX { numel / known.max(1) } else { d })
+            .map(|&d| {
+                if d == usize::MAX {
+                    numel / known.max(1)
+                } else {
+                    d
+                }
+            })
             .collect()
     } else {
         shape.to_vec()
@@ -296,7 +392,9 @@ fn resolve(shape: &[usize], numel: usize) -> Vec<usize> {
 fn causal_mask(x: &Tensor) -> Result<Tensor, TensorError> {
     let rank = x.rank();
     if rank < 2 {
-        return Err(TensorError::InvalidArgument("causal mask requires rank >= 2".into()));
+        return Err(TensorError::InvalidArgument(
+            "causal mask requires rank >= 2".into(),
+        ));
     }
     let (tq, tk) = (x.shape()[rank - 2], x.shape()[rank - 1]);
     let v = x.to_vec_f32()?;
@@ -325,9 +423,29 @@ mod tests {
     fn mlp_graph() -> Graph {
         let mut b = GraphBuilder::new("mlp");
         let x = b.input(&[2, 16]);
-        let h = b.push(OpKind::Linear { in_f: 16, out_f: 32, bias: true }, &[x], "fc1").unwrap();
+        let h = b
+            .push(
+                OpKind::Linear {
+                    in_f: 16,
+                    out_f: 32,
+                    bias: true,
+                },
+                &[x],
+                "fc1",
+            )
+            .unwrap();
         let a = b.push(OpKind::Gelu, &[h], "act").unwrap();
-        let o = b.push(OpKind::Linear { in_f: 32, out_f: 4, bias: true }, &[a], "fc2").unwrap();
+        let o = b
+            .push(
+                OpKind::Linear {
+                    in_f: 32,
+                    out_f: 4,
+                    bias: true,
+                },
+                &[a],
+                "fc2",
+            )
+            .unwrap();
         b.push(OpKind::Softmax { dim: 1 }, &[o], "probs").unwrap();
         b.finish()
     }
@@ -384,7 +502,14 @@ mod tests {
         let boxes = b.input(&[64, 4]);
         let scores = b.input(&[64]);
         let keep = b
-            .push(OpKind::Nms { iou_threshold: 0.5, nominal_keep: 32 }, &[boxes, scores], "nms")
+            .push(
+                OpKind::Nms {
+                    iou_threshold: 0.5,
+                    nominal_keep: 32,
+                },
+                &[boxes, scores],
+                "nms",
+            )
             .unwrap();
         let g = b.finish();
         let t = Interpreter::default().run(&g).unwrap();
@@ -409,10 +534,43 @@ mod tests {
     }
 
     #[test]
+    fn corrupted_graph_errors_instead_of_panicking() {
+        // dangling input id: typed error, not an index panic
+        let mut g = mlp_graph();
+        g.nodes[2].inputs = vec![NodeId(99)];
+        let err = Interpreter::default().run(&g).unwrap_err();
+        assert!(err.to_string().contains("nonexistent node %99"), "{err}");
+
+        // id out of step with position: typed error, not a slot mix-up
+        let mut g2 = mlp_graph();
+        g2.nodes[1].id = NodeId(3);
+        let err2 = Interpreter::default().run(&g2).unwrap_err();
+        assert!(err2.to_string().contains("position 1 has id %3"), "{err2}");
+    }
+
+    #[test]
+    fn preflight_rejects_wrong_stored_shape_before_execution() {
+        let mut g = mlp_graph();
+        g.nodes[2].out_shape = vec![2, 33]; // gelu output lies about its shape
+                                            // without preflight this silently executes (the kernel recomputes)
+        assert!(Interpreter::default().run(&g).is_ok());
+        let err = Interpreter::default().preflight(true).run(&g).unwrap_err();
+        assert!(err.to_string().contains("preflight"), "{err}");
+        assert!(err.to_string().contains("[2, 33]"), "{err}");
+        // a clean graph passes preflight
+        assert!(Interpreter::default()
+            .preflight(true)
+            .run(&mlp_graph())
+            .is_ok());
+    }
+
+    #[test]
     fn embedding_pipeline_executes() {
         let mut b = GraphBuilder::new("emb");
         let ids = b.input_ids(&[1, 6], 100);
-        let e = b.push(OpKind::Embedding { vocab: 100, dim: 8 }, &[ids], "wte").unwrap();
+        let e = b
+            .push(OpKind::Embedding { vocab: 100, dim: 8 }, &[ids], "wte")
+            .unwrap();
         b.push(OpKind::LayerNorm { dim: 8 }, &[e], "ln").unwrap();
         let g = b.finish();
         let t = Interpreter::default().run(&g).unwrap();

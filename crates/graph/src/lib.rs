@@ -37,7 +37,7 @@ mod infer;
 mod interp;
 mod op;
 
-pub use graph::{Graph, GraphBuilder, Node, NodeId};
+pub use graph::{Graph, GraphBuilder, Node, NodeId, StructuralIssue};
 pub use infer::{infer_shape, op_cost};
 pub use interp::{ExecutionTrace, Interpreter, NodeTiming};
 pub use op::{NonGemmGroup, OpClass, OpKind};

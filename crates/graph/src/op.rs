@@ -522,7 +522,9 @@ impl OpKind {
 
             OpKind::Embedding { .. } => OpClass::NonGemm(G::Embedding),
 
-            OpKind::Argmax { .. } | OpKind::TopK { .. } | OpKind::Input
+            OpKind::Argmax { .. }
+            | OpKind::TopK { .. }
+            | OpKind::Input
             | OpKind::InputIds { .. } => OpClass::NonGemm(G::Other),
         }
     }
@@ -532,10 +534,14 @@ impl OpKind {
         match self {
             OpKind::Linear { in_f, out_f, bias } => in_f * out_f + if *bias { *out_f } else { 0 },
             OpKind::Conv1dGpt2 { in_f, out_f } => in_f * out_f + out_f,
-            OpKind::Conv2d { in_c, out_c, kernel, groups, bias, .. } => {
-                out_c * (in_c / groups.max(&1)) * kernel * kernel
-                    + if *bias { *out_c } else { 0 }
-            }
+            OpKind::Conv2d {
+                in_c,
+                out_c,
+                kernel,
+                groups,
+                bias,
+                ..
+            } => out_c * (in_c / groups.max(&1)) * kernel * kernel + if *bias { *out_c } else { 0 },
             OpKind::LayerNorm { dim } | OpKind::RmsNorm { dim } | OpKind::LlamaRmsNorm { dim } => {
                 2 * dim
             }
@@ -635,7 +641,13 @@ mod tests {
 
     #[test]
     fn gemm_classification_matches_paper() {
-        assert!(OpKind::Linear { in_f: 1, out_f: 1, bias: true }.class().is_gemm());
+        assert!(OpKind::Linear {
+            in_f: 1,
+            out_f: 1,
+            bias: true
+        }
+        .class()
+        .is_gemm());
         assert!(OpKind::Bmm.class().is_gemm());
         assert!(OpKind::Matmul.class().is_gemm());
         assert!(OpKind::Conv2d {
@@ -654,24 +666,57 @@ mod tests {
 
     #[test]
     fn non_gemm_groups() {
-        assert_eq!(OpKind::Softmax { dim: 1 }.class().group(), Some(NonGemmGroup::LogitComputation));
-        assert_eq!(OpKind::NewGelu.class().group(), Some(NonGemmGroup::Activation));
+        assert_eq!(
+            OpKind::Softmax { dim: 1 }.class().group(),
+            Some(NonGemmGroup::LogitComputation)
+        );
+        assert_eq!(
+            OpKind::NewGelu.class().group(),
+            Some(NonGemmGroup::Activation)
+        );
         assert_eq!(
             OpKind::FrozenBatchNorm2d { c: 4 }.class().group(),
             Some(NonGemmGroup::Normalization)
         );
-        assert_eq!(OpKind::Contiguous.class().group(), Some(NonGemmGroup::Memory));
         assert_eq!(
-            OpKind::Nms { iou_threshold: 0.5, nominal_keep: 100 }.class().group(),
+            OpKind::Contiguous.class().group(),
+            Some(NonGemmGroup::Memory)
+        );
+        assert_eq!(
+            OpKind::Nms {
+                iou_threshold: 0.5,
+                nominal_keep: 100
+            }
+            .class()
+            .group(),
             Some(NonGemmGroup::RoiSelection)
         );
-        assert_eq!(OpKind::CausalMask.class().group(), Some(NonGemmGroup::Arithmetic));
+        assert_eq!(
+            OpKind::CausalMask.class().group(),
+            Some(NonGemmGroup::Arithmetic)
+        );
     }
 
     #[test]
     fn param_counts() {
-        assert_eq!(OpKind::Linear { in_f: 4, out_f: 8, bias: true }.param_count(), 40);
-        assert_eq!(OpKind::Linear { in_f: 4, out_f: 8, bias: false }.param_count(), 32);
+        assert_eq!(
+            OpKind::Linear {
+                in_f: 4,
+                out_f: 8,
+                bias: true
+            }
+            .param_count(),
+            40
+        );
+        assert_eq!(
+            OpKind::Linear {
+                in_f: 4,
+                out_f: 8,
+                bias: false
+            }
+            .param_count(),
+            32
+        );
         assert_eq!(OpKind::LayerNorm { dim: 16 }.param_count(), 32);
         assert_eq!(OpKind::Relu.param_count(), 0);
         assert_eq!(OpKind::Embedding { vocab: 10, dim: 4 }.param_count(), 40);
@@ -692,7 +737,11 @@ mod tests {
 
     #[test]
     fn dynamic_flags() {
-        assert!(OpKind::Nms { iou_threshold: 0.5, nominal_keep: 10 }.is_dynamic());
+        assert!(OpKind::Nms {
+            iou_threshold: 0.5,
+            nominal_keep: 10
+        }
+        .is_dynamic());
         assert!(!OpKind::Softmax { dim: 0 }.is_dynamic());
     }
 

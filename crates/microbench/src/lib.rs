@@ -136,8 +136,7 @@ impl OperatorRegistry {
     pub fn harvest(&mut self, graph: &Graph) -> usize {
         let mut added = 0;
         for node in graph.iter() {
-            if node.class().is_gemm()
-                || matches!(node.op, OpKind::Input | OpKind::InputIds { .. })
+            if node.class().is_gemm() || matches!(node.op, OpKind::Input | OpKind::InputIds { .. })
             {
                 continue;
             }
@@ -341,7 +340,11 @@ mod tests {
         let g = ModelId::Bert.build(1, Scale::Tiny).unwrap();
         let mut reg = OperatorRegistry::new();
         reg.harvest(&g);
-        let rec = reg.iter().find(|r| r.op.name() == "layer_norm").unwrap().clone();
+        let rec = reg
+            .iter()
+            .find(|r| r.op.name() == "layer_norm")
+            .unwrap()
+            .clone();
         let res = reg.replay(&rec, 2, &DeviceModel::a100()).unwrap();
         assert!(res.measured_s.unwrap() > 0.0);
         assert!(res.analytic_s > 0.0);

@@ -38,7 +38,15 @@ pub(crate) fn conv_norm_act(
     name: &str,
 ) -> Result<NodeId> {
     let c = b.push(
-        OpKind::Conv2d { in_c, out_c, kernel, stride, padding, groups: 1, bias: false },
+        OpKind::Conv2d {
+            in_c,
+            out_c,
+            kernel,
+            stride,
+            padding,
+            groups: 1,
+            bias: false,
+        },
         &[x],
         &format!("{name}.conv"),
     )?;
@@ -63,10 +71,43 @@ pub(crate) fn bottleneck(
     name: &str,
 ) -> Result<NodeId> {
     let h = conv_norm_act(b, x, in_c, mid_c, 1, 1, 0, norm, true, &format!("{name}.0"))?;
-    let h = conv_norm_act(b, h, mid_c, mid_c, 3, stride, 1, norm, true, &format!("{name}.1"))?;
-    let h = conv_norm_act(b, h, mid_c, out_c, 1, 1, 0, norm, false, &format!("{name}.2"))?;
+    let h = conv_norm_act(
+        b,
+        h,
+        mid_c,
+        mid_c,
+        3,
+        stride,
+        1,
+        norm,
+        true,
+        &format!("{name}.1"),
+    )?;
+    let h = conv_norm_act(
+        b,
+        h,
+        mid_c,
+        out_c,
+        1,
+        1,
+        0,
+        norm,
+        false,
+        &format!("{name}.2"),
+    )?;
     let shortcut = if in_c != out_c || stride != 1 {
-        conv_norm_act(b, x, in_c, out_c, 1, stride, 0, norm, false, &format!("{name}.down"))?
+        conv_norm_act(
+            b,
+            x,
+            in_c,
+            out_c,
+            1,
+            stride,
+            0,
+            norm,
+            false,
+            &format!("{name}.down"),
+        )?
     } else {
         x
     };
@@ -106,53 +147,108 @@ pub(crate) fn self_attention(
     cfg: Attention,
     name: &str,
 ) -> Result<NodeId> {
-    let Attention { d, heads, causal, gpt2_conv1d, bias, rotary } = cfg;
+    let Attention {
+        d,
+        heads,
+        causal,
+        gpt2_conv1d,
+        bias,
+        rotary,
+    } = cfg;
     let hd = d / heads;
     let scale = 1.0 / (hd as f32).sqrt();
 
     let (q, k, v) = if gpt2_conv1d {
         // fused qkv then split (GPT-2)
-        let qkv =
-            b.push(OpKind::Conv1dGpt2 { in_f: d, out_f: 3 * d }, &[x], &format!("{name}.c_attn"))?;
+        let qkv = b.push(
+            OpKind::Conv1dGpt2 {
+                in_f: d,
+                out_f: 3 * d,
+            },
+            &[x],
+            &format!("{name}.c_attn"),
+        )?;
         let q = b.push(
-            OpKind::Slice { dim: 2, start: 0, len: d },
+            OpKind::Slice {
+                dim: 2,
+                start: 0,
+                len: d,
+            },
             &[qkv],
             &format!("{name}.split.q"),
         )?;
         let k = b.push(
-            OpKind::Slice { dim: 2, start: d, len: d },
+            OpKind::Slice {
+                dim: 2,
+                start: d,
+                len: d,
+            },
             &[qkv],
             &format!("{name}.split.k"),
         )?;
         let v = b.push(
-            OpKind::Slice { dim: 2, start: 2 * d, len: d },
+            OpKind::Slice {
+                dim: 2,
+                start: 2 * d,
+                len: d,
+            },
             &[qkv],
             &format!("{name}.split.v"),
         )?;
         (q, k, v)
     } else {
-        let q = b.push(OpKind::Linear { in_f: d, out_f: d, bias }, &[x], &format!("{name}.q"))?;
-        let k = b.push(OpKind::Linear { in_f: d, out_f: d, bias }, &[x], &format!("{name}.k"))?;
-        let v = b.push(OpKind::Linear { in_f: d, out_f: d, bias }, &[x], &format!("{name}.v"))?;
+        let q = b.push(
+            OpKind::Linear {
+                in_f: d,
+                out_f: d,
+                bias,
+            },
+            &[x],
+            &format!("{name}.q"),
+        )?;
+        let k = b.push(
+            OpKind::Linear {
+                in_f: d,
+                out_f: d,
+                bias,
+            },
+            &[x],
+            &format!("{name}.k"),
+        )?;
+        let v = b.push(
+            OpKind::Linear {
+                in_f: d,
+                out_f: d,
+                bias,
+            },
+            &[x],
+            &format!("{name}.v"),
+        )?;
         (q, k, v)
     };
 
     // [B, T, D] -> [B*H, T, hd]
     let to_heads = |b: &mut GraphBuilder, h: NodeId, tag: &str| -> Result<NodeId> {
         let v4 = b.push(
-            OpKind::View { shape: vec![batch, t, heads, hd] },
+            OpKind::View {
+                shape: vec![batch, t, heads, hd],
+            },
             &[h],
             &format!("{name}.{tag}.view"),
         )?;
         let p = b.push(
-            OpKind::Permute { perm: vec![0, 2, 1, 3] },
+            OpKind::Permute {
+                perm: vec![0, 2, 1, 3],
+            },
             &[v4],
             &format!("{name}.{tag}.permute"),
         )?;
         // cuBLAS consumes the strided head layout directly (HF does not
         // call .contiguous() here), so merging is a reshape
         b.push(
-            OpKind::Reshape { shape: vec![batch * heads, t, hd] },
+            OpKind::Reshape {
+                shape: vec![batch * heads, t, hd],
+            },
             &[p],
             &format!("{name}.{tag}.merge"),
         )
@@ -166,56 +262,112 @@ pub(crate) fn self_attention(
         // two muls and an add per q/k (Table 2's `Neg` entry).
         let rotate = |b: &mut GraphBuilder, h: NodeId, tag: &str| -> Result<NodeId> {
             let lo = b.push(
-                OpKind::Slice { dim: 2, start: 0, len: hd / 2 },
+                OpKind::Slice {
+                    dim: 2,
+                    start: 0,
+                    len: hd / 2,
+                },
                 &[h],
                 &format!("{name}.rot.{tag}.lo"),
             )?;
             let hi = b.push(
-                OpKind::Slice { dim: 2, start: hd / 2, len: hd - hd / 2 },
+                OpKind::Slice {
+                    dim: 2,
+                    start: hd / 2,
+                    len: hd - hd / 2,
+                },
                 &[h],
                 &format!("{name}.rot.{tag}.hi"),
             )?;
             let neg = b.push(OpKind::Neg, &[hi], &format!("{name}.rot.{tag}.neg"))?;
-            let rotated = b.push(OpKind::Cat { dim: 2 }, &[neg, lo], &format!("{name}.rot.{tag}.cat"))?;
-            let cos_part = b.push(OpKind::MulScalar(0.7), &[h], &format!("{name}.rot.{tag}.cos"))?;
-            let sin_part =
-                b.push(OpKind::MulScalar(0.7), &[rotated], &format!("{name}.rot.{tag}.sin"))?;
-            b.push(OpKind::Add, &[cos_part, sin_part], &format!("{name}.rot.{tag}.add"))
+            let rotated = b.push(
+                OpKind::Cat { dim: 2 },
+                &[neg, lo],
+                &format!("{name}.rot.{tag}.cat"),
+            )?;
+            let cos_part = b.push(
+                OpKind::MulScalar(0.7),
+                &[h],
+                &format!("{name}.rot.{tag}.cos"),
+            )?;
+            let sin_part = b.push(
+                OpKind::MulScalar(0.7),
+                &[rotated],
+                &format!("{name}.rot.{tag}.sin"),
+            )?;
+            b.push(
+                OpKind::Add,
+                &[cos_part, sin_part],
+                &format!("{name}.rot.{tag}.add"),
+            )
         };
         qh = rotate(b, qh, "q")?;
         kh = rotate(b, kh, "k")?;
     }
 
-    let kt = b.push(OpKind::Transpose { d0: 1, d1: 2 }, &[kh], &format!("{name}.k_t"))?;
+    let kt = b.push(
+        OpKind::Transpose { d0: 1, d1: 2 },
+        &[kh],
+        &format!("{name}.k_t"),
+    )?;
     let scores = b.push(OpKind::Bmm, &[qh, kt], &format!("{name}.scores"))?;
-    let scaled = b.push(OpKind::DivScalar(1.0 / scale), &[scores], &format!("{name}.scale"))?;
+    let scaled = b.push(
+        OpKind::DivScalar(1.0 / scale),
+        &[scores],
+        &format!("{name}.scale"),
+    )?;
     let masked = if causal {
         b.push(OpKind::CausalMask, &[scaled], &format!("{name}.mask"))?
     } else {
         scaled
     };
-    let probs = b.push(OpKind::Softmax { dim: 2 }, &[masked], &format!("{name}.softmax"))?;
+    let probs = b.push(
+        OpKind::Softmax { dim: 2 },
+        &[masked],
+        &format!("{name}.softmax"),
+    )?;
     let ctx = b.push(OpKind::Bmm, &[probs, vh], &format!("{name}.context"))?;
 
     // [B*H, T, hd] -> [B, T, D]
     let c4 = b.push(
-        OpKind::View { shape: vec![batch, heads, t, hd] },
+        OpKind::View {
+            shape: vec![batch, heads, t, hd],
+        },
         &[ctx],
         &format!("{name}.ctx.view"),
     )?;
     let cp = b.push(
-        OpKind::Permute { perm: vec![0, 2, 1, 3] },
+        OpKind::Permute {
+            perm: vec![0, 2, 1, 3],
+        },
         &[c4],
         &format!("{name}.ctx.permute"),
     )?;
     let cc = b.push(OpKind::Contiguous, &[cp], &format!("{name}.ctx.contiguous"))?;
-    let merged =
-        b.push(OpKind::View { shape: vec![batch, t, d] }, &[cc], &format!("{name}.ctx.merge"))?;
+    let merged = b.push(
+        OpKind::View {
+            shape: vec![batch, t, d],
+        },
+        &[cc],
+        &format!("{name}.ctx.merge"),
+    )?;
 
     if gpt2_conv1d {
-        b.push(OpKind::Conv1dGpt2 { in_f: d, out_f: d }, &[merged], &format!("{name}.c_proj"))
+        b.push(
+            OpKind::Conv1dGpt2 { in_f: d, out_f: d },
+            &[merged],
+            &format!("{name}.c_proj"),
+        )
     } else {
-        b.push(OpKind::Linear { in_f: d, out_f: d, bias }, &[merged], &format!("{name}.proj"))
+        b.push(
+            OpKind::Linear {
+                in_f: d,
+                out_f: d,
+                bias,
+            },
+            &[merged],
+            &format!("{name}.proj"),
+        )
     }
 }
 
@@ -235,22 +387,52 @@ pub(crate) fn cross_attention(
     name: &str,
 ) -> Result<NodeId> {
     let hd = d / heads;
-    let q = b.push(OpKind::Linear { in_f: d, out_f: d, bias: true }, &[q_in], &format!("{name}.q"))?;
-    let k = b.push(OpKind::Linear { in_f: d, out_f: d, bias: true }, &[kv_in], &format!("{name}.k"))?;
-    let v = b.push(OpKind::Linear { in_f: d, out_f: d, bias: true }, &[kv_in], &format!("{name}.v"))?;
+    let q = b.push(
+        OpKind::Linear {
+            in_f: d,
+            out_f: d,
+            bias: true,
+        },
+        &[q_in],
+        &format!("{name}.q"),
+    )?;
+    let k = b.push(
+        OpKind::Linear {
+            in_f: d,
+            out_f: d,
+            bias: true,
+        },
+        &[kv_in],
+        &format!("{name}.k"),
+    )?;
+    let v = b.push(
+        OpKind::Linear {
+            in_f: d,
+            out_f: d,
+            bias: true,
+        },
+        &[kv_in],
+        &format!("{name}.v"),
+    )?;
     let to_heads = |b: &mut GraphBuilder, h: NodeId, t: usize, tag: &str| -> Result<NodeId> {
         let v4 = b.push(
-            OpKind::View { shape: vec![batch, t, heads, hd] },
+            OpKind::View {
+                shape: vec![batch, t, heads, hd],
+            },
             &[h],
             &format!("{name}.{tag}.view"),
         )?;
         let p = b.push(
-            OpKind::Permute { perm: vec![0, 2, 1, 3] },
+            OpKind::Permute {
+                perm: vec![0, 2, 1, 3],
+            },
             &[v4],
             &format!("{name}.{tag}.permute"),
         )?;
         b.push(
-            OpKind::Reshape { shape: vec![batch * heads, t, hd] },
+            OpKind::Reshape {
+                shape: vec![batch * heads, t, hd],
+            },
             &[p],
             &format!("{name}.{tag}.merge"),
         )
@@ -258,26 +440,54 @@ pub(crate) fn cross_attention(
     let qh = to_heads(b, q, tq, "q")?;
     let kh = to_heads(b, k, tk, "k")?;
     let vh = to_heads(b, v, tk, "v")?;
-    let kt = b.push(OpKind::Transpose { d0: 1, d1: 2 }, &[kh], &format!("{name}.k_t"))?;
+    let kt = b.push(
+        OpKind::Transpose { d0: 1, d1: 2 },
+        &[kh],
+        &format!("{name}.k_t"),
+    )?;
     let scores = b.push(OpKind::Bmm, &[qh, kt], &format!("{name}.scores"))?;
-    let scaled =
-        b.push(OpKind::DivScalar((hd as f32).sqrt()), &[scores], &format!("{name}.scale"))?;
-    let probs = b.push(OpKind::Softmax { dim: 2 }, &[scaled], &format!("{name}.softmax"))?;
+    let scaled = b.push(
+        OpKind::DivScalar((hd as f32).sqrt()),
+        &[scores],
+        &format!("{name}.scale"),
+    )?;
+    let probs = b.push(
+        OpKind::Softmax { dim: 2 },
+        &[scaled],
+        &format!("{name}.softmax"),
+    )?;
     let ctx = b.push(OpKind::Bmm, &[probs, vh], &format!("{name}.context"))?;
     let c4 = b.push(
-        OpKind::View { shape: vec![batch, heads, tq, hd] },
+        OpKind::View {
+            shape: vec![batch, heads, tq, hd],
+        },
         &[ctx],
         &format!("{name}.ctx.view"),
     )?;
     let cp = b.push(
-        OpKind::Permute { perm: vec![0, 2, 1, 3] },
+        OpKind::Permute {
+            perm: vec![0, 2, 1, 3],
+        },
         &[c4],
         &format!("{name}.ctx.permute"),
     )?;
     let cc = b.push(OpKind::Contiguous, &[cp], &format!("{name}.ctx.contiguous"))?;
-    let merged =
-        b.push(OpKind::View { shape: vec![batch, tq, d] }, &[cc], &format!("{name}.ctx.merge"))?;
-    b.push(OpKind::Linear { in_f: d, out_f: d, bias: true }, &[merged], &format!("{name}.proj"))
+    let merged = b.push(
+        OpKind::View {
+            shape: vec![batch, tq, d],
+        },
+        &[cc],
+        &format!("{name}.ctx.merge"),
+    )?;
+    b.push(
+        OpKind::Linear {
+            in_f: d,
+            out_f: d,
+            bias: true,
+        },
+        &[merged],
+        &format!("{name}.proj"),
+    )
 }
 
 /// Which activation a transformer MLP uses.
@@ -312,15 +522,45 @@ pub(crate) fn mlp(
     name: &str,
 ) -> Result<NodeId> {
     let up = if gpt2_conv1d {
-        b.push(OpKind::Conv1dGpt2 { in_f: d, out_f: hidden }, &[x], &format!("{name}.c_fc"))?
+        b.push(
+            OpKind::Conv1dGpt2 {
+                in_f: d,
+                out_f: hidden,
+            },
+            &[x],
+            &format!("{name}.c_fc"),
+        )?
     } else {
-        b.push(OpKind::Linear { in_f: d, out_f: hidden, bias: true }, &[x], &format!("{name}.fc1"))?
+        b.push(
+            OpKind::Linear {
+                in_f: d,
+                out_f: hidden,
+                bias: true,
+            },
+            &[x],
+            &format!("{name}.fc1"),
+        )?
     };
     let a = b.push(act.op(), &[up], &format!("{name}.act"))?;
     if gpt2_conv1d {
-        b.push(OpKind::Conv1dGpt2 { in_f: hidden, out_f: d }, &[a], &format!("{name}.c_proj"))
+        b.push(
+            OpKind::Conv1dGpt2 {
+                in_f: hidden,
+                out_f: d,
+            },
+            &[a],
+            &format!("{name}.c_proj"),
+        )
     } else {
-        b.push(OpKind::Linear { in_f: hidden, out_f: d, bias: true }, &[a], &format!("{name}.fc2"))
+        b.push(
+            OpKind::Linear {
+                in_f: hidden,
+                out_f: d,
+                bias: true,
+            },
+            &[a],
+            &format!("{name}.fc2"),
+        )
     }
 }
 
@@ -343,12 +583,27 @@ pub(crate) fn pre_ln_block(
         ln1,
         batch,
         t,
-        Attention { d, heads, causal: false, gpt2_conv1d: false, bias: true, rotary: false },
+        Attention {
+            d,
+            heads,
+            causal: false,
+            gpt2_conv1d: false,
+            bias: true,
+            rotary: false,
+        },
         &format!("{name}.attn"),
     )?;
     let x1 = b.push(OpKind::Add, &[x, att], &format!("{name}.add1"))?;
     let ln2 = b.push(OpKind::LayerNorm { dim: d }, &[x1], &format!("{name}.ln2"))?;
-    let ff = mlp(b, ln2, d, mlp_hidden, MlpAct::Gelu, false, &format!("{name}.mlp"))?;
+    let ff = mlp(
+        b,
+        ln2,
+        d,
+        mlp_hidden,
+        MlpAct::Gelu,
+        false,
+        &format!("{name}.mlp"),
+    )?;
     b.push(OpKind::Add, &[x1, ff], &format!("{name}.add2"))
 }
 
@@ -381,7 +636,12 @@ mod tests {
         let g = b.finish();
         g.validate().unwrap();
         let t = Interpreter::default().run(&g).unwrap();
-        assert!(t.outputs[0].1.to_vec_f32().unwrap().iter().all(|v| v.is_finite()));
+        assert!(t.outputs[0]
+            .1
+            .to_vec_f32()
+            .unwrap()
+            .iter()
+            .all(|v| v.is_finite()));
     }
 
     #[test]

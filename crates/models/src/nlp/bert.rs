@@ -27,12 +27,26 @@ pub struct BertConfig {
 impl BertConfig {
     /// BERT-base-uncased: 110 M parameters, 12 × 768.
     pub fn base() -> Self {
-        BertConfig { name: "bert_base", vocab: 30522, d: 768, layers: 12, heads: 12, seq: 128 }
+        BertConfig {
+            name: "bert_base",
+            vocab: 30522,
+            d: 768,
+            layers: 12,
+            heads: 12,
+            seq: 128,
+        }
     }
 
     /// Executable toy preset.
     pub fn toy() -> Self {
-        BertConfig { name: "bert_toy", vocab: 64, d: 16, layers: 2, heads: 2, seq: 8 }
+        BertConfig {
+            name: "bert_toy",
+            vocab: 64,
+            d: 16,
+            layers: 2,
+            heads: 2,
+            seq: 8,
+        }
     }
 
     /// Builds the encoder graph for `batch` sequences.
@@ -44,7 +58,10 @@ impl BertConfig {
         let mut b = GraphBuilder::new(self.name);
         let ids = b.input_ids(&[batch, self.seq], self.vocab);
         let we = b.push(
-            OpKind::Embedding { vocab: self.vocab, dim: self.d },
+            OpKind::Embedding {
+                vocab: self.vocab,
+                dim: self.d,
+            },
             &[ids],
             "embeddings.word",
         )?;
@@ -77,7 +94,15 @@ impl BertConfig {
                 &[a1],
                 &format!("encoder.{l}.attention.output.norm"),
             )?;
-            let ff = mlp(&mut b, n1, self.d, 4 * self.d, MlpAct::Gelu, false, &format!("encoder.{l}.ffn"))?;
+            let ff = mlp(
+                &mut b,
+                n1,
+                self.d,
+                4 * self.d,
+                MlpAct::Gelu,
+                false,
+                &format!("encoder.{l}.ffn"),
+            )?;
             let a2 = b.push(OpKind::Add, &[n1, ff], &format!("encoder.{l}.add2"))?;
             h = b.push(
                 OpKind::LayerNorm { dim: self.d },
@@ -86,16 +111,32 @@ impl BertConfig {
             )?;
         }
         // pooler: first token -> linear -> tanh-ish (sigmoid as proxy) + MLM head
-        let cls = b.push(OpKind::Slice { dim: 1, start: 0, len: 1 }, &[h], "pooler.take_cls")?;
+        let cls = b.push(
+            OpKind::Slice {
+                dim: 1,
+                start: 0,
+                len: 1,
+            },
+            &[h],
+            "pooler.take_cls",
+        )?;
         let cls_sq = b.push(OpKind::Squeeze { dim: 1 }, &[cls], "pooler.squeeze")?;
         let pooled = b.push(
-            OpKind::Linear { in_f: self.d, out_f: self.d, bias: true },
+            OpKind::Linear {
+                in_f: self.d,
+                out_f: self.d,
+                bias: true,
+            },
             &[cls_sq],
             "pooler.dense",
         )?;
         b.push(OpKind::Sigmoid, &[pooled], "pooler.activation")?;
         let logits = b.push(
-            OpKind::Linear { in_f: self.d, out_f: self.vocab, bias: true },
+            OpKind::Linear {
+                in_f: self.d,
+                out_f: self.vocab,
+                bias: true,
+            },
             &[h],
             "mlm_head",
         )?;

@@ -32,22 +32,50 @@ pub struct Gpt2Config {
 impl Gpt2Config {
     /// GPT-2 base: 117 M parameters, 12 × 768.
     pub fn base() -> Self {
-        Gpt2Config { name: "gpt2", vocab: 50257, d: 768, layers: 12, heads: 12, seq: 8 }
+        Gpt2Config {
+            name: "gpt2",
+            vocab: 50257,
+            d: 768,
+            layers: 12,
+            heads: 12,
+            seq: 8,
+        }
     }
 
     /// GPT-2 Large: 762 M parameters, 36 × 1280.
     pub fn large() -> Self {
-        Gpt2Config { name: "gpt2_large", vocab: 50257, d: 1280, layers: 36, heads: 20, seq: 8 }
+        Gpt2Config {
+            name: "gpt2_large",
+            vocab: 50257,
+            d: 1280,
+            layers: 36,
+            heads: 20,
+            seq: 8,
+        }
     }
 
     /// GPT-2 X-Large: 1.5 B parameters, 48 × 1600.
     pub fn xl() -> Self {
-        Gpt2Config { name: "gpt2_xl", vocab: 50257, d: 1600, layers: 48, heads: 25, seq: 8 }
+        Gpt2Config {
+            name: "gpt2_xl",
+            vocab: 50257,
+            d: 1600,
+            layers: 48,
+            heads: 25,
+            seq: 8,
+        }
     }
 
     /// Executable toy preset.
     pub fn toy() -> Self {
-        Gpt2Config { name: "gpt2_toy", vocab: 100, d: 16, layers: 2, heads: 2, seq: 6 }
+        Gpt2Config {
+            name: "gpt2_toy",
+            vocab: 100,
+            d: 16,
+            layers: 2,
+            heads: 2,
+            seq: 6,
+        }
     }
 
     /// Builds the causal LM graph for `batch` sequences.
@@ -58,12 +86,23 @@ impl Gpt2Config {
     pub fn build(&self, batch: usize) -> Result<Graph> {
         let mut b = GraphBuilder::new(self.name);
         let ids = b.input_ids(&[batch, self.seq], self.vocab);
-        let wte = b.push(OpKind::Embedding { vocab: self.vocab, dim: self.d }, &[ids], "wte")?;
+        let wte = b.push(
+            OpKind::Embedding {
+                vocab: self.vocab,
+                dim: self.d,
+            },
+            &[ids],
+            "wte",
+        )?;
         let pos = b.input(&[1, self.seq, self.d]);
         let mut h = b.push(OpKind::Add, &[wte, pos], "wpe.add")?;
 
         for l in 0..self.layers {
-            let ln1 = b.push(OpKind::LayerNorm { dim: self.d }, &[h], &format!("h.{l}.ln_1"))?;
+            let ln1 = b.push(
+                OpKind::LayerNorm { dim: self.d },
+                &[h],
+                &format!("h.{l}.ln_1"),
+            )?;
             let att = self_attention(
                 &mut b,
                 ln1,
@@ -80,14 +119,30 @@ impl Gpt2Config {
                 &format!("h.{l}.attn"),
             )?;
             let x1 = b.push(OpKind::Add, &[h, att], &format!("h.{l}.add_attn"))?;
-            let ln2 = b.push(OpKind::LayerNorm { dim: self.d }, &[x1], &format!("h.{l}.ln_2"))?;
+            let ln2 = b.push(
+                OpKind::LayerNorm { dim: self.d },
+                &[x1],
+                &format!("h.{l}.ln_2"),
+            )?;
             // Hugging Face GPT-2 MLP: Conv1D + NewGELU + Conv1D
-            let ff = mlp(&mut b, ln2, self.d, 4 * self.d, MlpAct::NewGelu, true, &format!("h.{l}.mlp"))?;
+            let ff = mlp(
+                &mut b,
+                ln2,
+                self.d,
+                4 * self.d,
+                MlpAct::NewGelu,
+                true,
+                &format!("h.{l}.mlp"),
+            )?;
             h = b.push(OpKind::Add, &[x1, ff], &format!("h.{l}.add_mlp"))?;
         }
         let lnf = b.push(OpKind::LayerNorm { dim: self.d }, &[h], "ln_f")?;
         let logits = b.push(
-            OpKind::Linear { in_f: self.d, out_f: self.vocab, bias: false },
+            OpKind::Linear {
+                in_f: self.d,
+                out_f: self.vocab,
+                bias: false,
+            },
             &[lnf],
             "lm_head",
         )?;
@@ -115,20 +170,34 @@ impl Gpt2Config {
         let hd = d / heads;
         let mut b = GraphBuilder::new(format!("{}_decode", self.name));
         let ids = b.input_ids(&[batch, 1], self.vocab);
-        let wte = b.push(OpKind::Embedding { vocab: self.vocab, dim: d }, &[ids], "wte")?;
+        let wte = b.push(
+            OpKind::Embedding {
+                vocab: self.vocab,
+                dim: d,
+            },
+            &[ids],
+            "wte",
+        )?;
         let pos = b.input(&[1, 1, d]);
         let mut h = b.push(OpKind::Add, &[wte, pos], "wpe.add")?;
 
         for l in 0..self.layers {
             let ln1 = b.push(OpKind::LayerNorm { dim: d }, &[h], &format!("h.{l}.ln_1"))?;
             let qkv = b.push(
-                OpKind::Conv1dGpt2 { in_f: d, out_f: 3 * d },
+                OpKind::Conv1dGpt2 {
+                    in_f: d,
+                    out_f: 3 * d,
+                },
                 &[ln1],
                 &format!("h.{l}.attn.c_attn"),
             )?;
             let slice = |b: &mut GraphBuilder, start: usize, tag: &str| {
                 b.push(
-                    OpKind::Slice { dim: 2, start, len: d },
+                    OpKind::Slice {
+                        dim: 2,
+                        start,
+                        len: d,
+                    },
                     &[qkv],
                     &format!("h.{l}.attn.split.{tag}"),
                 )
@@ -139,17 +208,23 @@ impl Gpt2Config {
             // merge heads: [B, 1, D] -> [B*H, 1, hd]
             let to_heads = |b: &mut GraphBuilder, x: NodeId, tag: &str| -> Result<NodeId> {
                 let v4 = b.push(
-                    OpKind::View { shape: vec![batch, 1, heads, hd] },
+                    OpKind::View {
+                        shape: vec![batch, 1, heads, hd],
+                    },
                     &[x],
                     &format!("h.{l}.attn.{tag}.view"),
                 )?;
                 let pm = b.push(
-                    OpKind::Permute { perm: vec![0, 2, 1, 3] },
+                    OpKind::Permute {
+                        perm: vec![0, 2, 1, 3],
+                    },
                     &[v4],
                     &format!("h.{l}.attn.{tag}.permute"),
                 )?;
                 b.push(
-                    OpKind::Reshape { shape: vec![batch * heads, 1, hd] },
+                    OpKind::Reshape {
+                        shape: vec![batch * heads, 1, hd],
+                    },
                     &[pm],
                     &format!("h.{l}.attn.{tag}.merge"),
                 )
@@ -160,9 +235,21 @@ impl Gpt2Config {
             // KV cache concat: [B*H, past, hd] ++ [B*H, 1, hd]
             let k_cache = b.input(&[batch * heads, past, hd]);
             let v_cache = b.input(&[batch * heads, past, hd]);
-            let k_all = b.push(OpKind::Cat { dim: 1 }, &[k_cache, kh], &format!("h.{l}.kv.k_cat"))?;
-            let v_all = b.push(OpKind::Cat { dim: 1 }, &[v_cache, vh], &format!("h.{l}.kv.v_cat"))?;
-            let kt = b.push(OpKind::Transpose { d0: 1, d1: 2 }, &[k_all], &format!("h.{l}.attn.k_t"))?;
+            let k_all = b.push(
+                OpKind::Cat { dim: 1 },
+                &[k_cache, kh],
+                &format!("h.{l}.kv.k_cat"),
+            )?;
+            let v_all = b.push(
+                OpKind::Cat { dim: 1 },
+                &[v_cache, vh],
+                &format!("h.{l}.kv.v_cat"),
+            )?;
+            let kt = b.push(
+                OpKind::Transpose { d0: 1, d1: 2 },
+                &[k_all],
+                &format!("h.{l}.attn.k_t"),
+            )?;
             let scores = b.push(OpKind::Bmm, &[qh, kt], &format!("h.{l}.attn.scores"))?;
             let scaled = b.push(
                 OpKind::DivScalar((hd as f32).sqrt()),
@@ -170,22 +257,35 @@ impl Gpt2Config {
                 &format!("h.{l}.attn.scale"),
             )?;
             // single query token attends to the whole cache: no mask needed
-            let probs =
-                b.push(OpKind::Softmax { dim: 2 }, &[scaled], &format!("h.{l}.attn.softmax"))?;
+            let probs = b.push(
+                OpKind::Softmax { dim: 2 },
+                &[scaled],
+                &format!("h.{l}.attn.softmax"),
+            )?;
             let ctx = b.push(OpKind::Bmm, &[probs, v_all], &format!("h.{l}.attn.context"))?;
             let cv = b.push(
-                OpKind::View { shape: vec![batch, heads, 1, hd] },
+                OpKind::View {
+                    shape: vec![batch, heads, 1, hd],
+                },
                 &[ctx],
                 &format!("h.{l}.attn.ctx.view"),
             )?;
             let cp = b.push(
-                OpKind::Permute { perm: vec![0, 2, 1, 3] },
+                OpKind::Permute {
+                    perm: vec![0, 2, 1, 3],
+                },
                 &[cv],
                 &format!("h.{l}.attn.ctx.permute"),
             )?;
-            let cc = b.push(OpKind::Contiguous, &[cp], &format!("h.{l}.attn.ctx.contiguous"))?;
+            let cc = b.push(
+                OpKind::Contiguous,
+                &[cp],
+                &format!("h.{l}.attn.ctx.contiguous"),
+            )?;
             let merged = b.push(
-                OpKind::View { shape: vec![batch, 1, d] },
+                OpKind::View {
+                    shape: vec![batch, 1, d],
+                },
                 &[cc],
                 &format!("h.{l}.attn.ctx.merge"),
             )?;
@@ -197,21 +297,34 @@ impl Gpt2Config {
             let x1 = b.push(OpKind::Add, &[h, att], &format!("h.{l}.add_attn"))?;
             let ln2 = b.push(OpKind::LayerNorm { dim: d }, &[x1], &format!("h.{l}.ln_2"))?;
             let fc = b.push(
-                OpKind::Conv1dGpt2 { in_f: d, out_f: 4 * d },
+                OpKind::Conv1dGpt2 {
+                    in_f: d,
+                    out_f: 4 * d,
+                },
                 &[ln2],
                 &format!("h.{l}.mlp.c_fc"),
             )?;
             let act = b.push(OpKind::NewGelu, &[fc], &format!("h.{l}.mlp.act"))?;
             let proj = b.push(
-                OpKind::Conv1dGpt2 { in_f: 4 * d, out_f: d },
+                OpKind::Conv1dGpt2 {
+                    in_f: 4 * d,
+                    out_f: d,
+                },
                 &[act],
                 &format!("h.{l}.mlp.c_proj"),
             )?;
             h = b.push(OpKind::Add, &[x1, proj], &format!("h.{l}.add_mlp"))?;
         }
         let lnf = b.push(OpKind::LayerNorm { dim: d }, &[h], "ln_f")?;
-        let logits =
-            b.push(OpKind::Linear { in_f: d, out_f: self.vocab, bias: false }, &[lnf], "lm_head")?;
+        let logits = b.push(
+            OpKind::Linear {
+                in_f: d,
+                out_f: self.vocab,
+                bias: false,
+            },
+            &[lnf],
+            "lm_head",
+        )?;
         b.push(OpKind::Softmax { dim: 2 }, &[logits], "probs")?;
         Ok(b.finish())
     }
@@ -236,7 +349,9 @@ mod tests {
         let g = Gpt2Config::xl().build(1).unwrap();
         g.validate().unwrap();
         // Table 2: NewGELU on [1, 8, 6400]
-        assert!(g.iter().any(|n| n.op == OpKind::NewGelu && n.out_shape == [1, 8, 6400]));
+        assert!(g
+            .iter()
+            .any(|n| n.op == OpKind::NewGelu && n.out_shape == [1, 8, 6400]));
         // Table 2: Split/View on [1, 8, 4800] / [1, 8, 1600]
         assert!(g
             .iter()
@@ -281,7 +396,11 @@ mod tests {
         // one Cat per cached tensor per layer
         assert_eq!(g.op_histogram()["cat"], 2 * cfg.layers);
         let t = ngb_graph::Interpreter::default().run(&g).unwrap();
-        let probs = t.outputs.iter().find(|(_, v)| v.shape() == [1, 1, 100]).unwrap();
+        let probs = t
+            .outputs
+            .iter()
+            .find(|(_, v)| v.shape() == [1, 1, 100])
+            .unwrap();
         let s: f32 = probs.1.to_vec_f32().unwrap().iter().sum();
         assert!((s - 1.0).abs() < 1e-4);
     }
@@ -294,8 +413,10 @@ mod tests {
         let prefill = cfg.build(1).unwrap();
         let decode = cfg.build_decode(1, 128).unwrap();
         let platform = ngb_platform::Platform::data_center();
-        let p = ngb_profiler::profile_analytic(&prefill, &platform, ngb_runtime::Flow::Eager, true, 1);
-        let d = ngb_profiler::profile_analytic(&decode, &platform, ngb_runtime::Flow::Eager, true, 1);
+        let p =
+            ngb_profiler::profile_analytic(&prefill, &platform, ngb_runtime::Flow::Eager, true, 1);
+        let d =
+            ngb_profiler::profile_analytic(&decode, &platform, ngb_runtime::Flow::Eager, true, 1);
         assert!(
             d.breakdown().non_gemm_frac() >= p.breakdown().non_gemm_frac() - 0.05,
             "decode {:.2} vs prefill {:.2}",

@@ -65,8 +65,14 @@ impl LlamaConfig {
     pub fn build(&self, batch: usize) -> Result<Graph> {
         let mut b = GraphBuilder::new(self.name);
         let ids = b.input_ids(&[batch, self.seq], self.vocab);
-        let mut h =
-            b.push(OpKind::Embedding { vocab: self.vocab, dim: self.d }, &[ids], "embed_tokens")?;
+        let mut h = b.push(
+            OpKind::Embedding {
+                vocab: self.vocab,
+                dim: self.d,
+            },
+            &[ids],
+            "embed_tokens",
+        )?;
 
         for l in 0..self.layers {
             let n1 = b.push(
@@ -97,19 +103,31 @@ impl LlamaConfig {
             )?;
             // SwiGLU MLP: silu(gate(x)) * up(x) -> down
             let gate = b.push(
-                OpKind::Linear { in_f: self.d, out_f: self.intermediate, bias: false },
+                OpKind::Linear {
+                    in_f: self.d,
+                    out_f: self.intermediate,
+                    bias: false,
+                },
                 &[n2],
                 &format!("layers.{l}.mlp.gate_proj"),
             )?;
             let act = b.push(OpKind::Silu, &[gate], &format!("layers.{l}.mlp.act"))?;
             let up = b.push(
-                OpKind::Linear { in_f: self.d, out_f: self.intermediate, bias: false },
+                OpKind::Linear {
+                    in_f: self.d,
+                    out_f: self.intermediate,
+                    bias: false,
+                },
                 &[n2],
                 &format!("layers.{l}.mlp.up_proj"),
             )?;
             let gated = b.push(OpKind::Mul, &[act, up], &format!("layers.{l}.mlp.mul"))?;
             let down = b.push(
-                OpKind::Linear { in_f: self.intermediate, out_f: self.d, bias: false },
+                OpKind::Linear {
+                    in_f: self.intermediate,
+                    out_f: self.d,
+                    bias: false,
+                },
                 &[gated],
                 &format!("layers.{l}.mlp.down_proj"),
             )?;
@@ -117,7 +135,11 @@ impl LlamaConfig {
         }
         let norm = b.push(OpKind::LlamaRmsNorm { dim: self.d }, &[h], "norm")?;
         let logits = b.push(
-            OpKind::Linear { in_f: self.d, out_f: self.vocab, bias: false },
+            OpKind::Linear {
+                in_f: self.d,
+                out_f: self.vocab,
+                bias: false,
+            },
             &[norm],
             "lm_head",
         )?;
@@ -143,14 +165,20 @@ mod tests {
     fn table2_operator_shapes() {
         let g = LlamaConfig::llama2_7b().build(1).unwrap();
         // Table 2: SiLU and Mul on [1, 10, 11008]
-        assert!(g.iter().any(|n| n.op == OpKind::Silu && n.out_shape == [1, 10, 11008]));
-        assert!(g.iter().any(|n| n.op == OpKind::Mul && n.out_shape == [1, 10, 11008]));
+        assert!(g
+            .iter()
+            .any(|n| n.op == OpKind::Silu && n.out_shape == [1, 10, 11008]));
+        assert!(g
+            .iter()
+            .any(|n| n.op == OpKind::Mul && n.out_shape == [1, 10, 11008]));
         // Table 2: LlamaRMSNorm on [1, 10, 4096]
         assert!(g
             .iter()
             .any(|n| matches!(n.op, OpKind::LlamaRmsNorm { .. }) && n.out_shape == [1, 10, 4096]));
         // Table 2: Neg from rotate_half on the merged head layout [32, 10, 64]
-        assert!(g.iter().any(|n| n.op == OpKind::Neg && n.out_shape == [32, 10, 64]));
+        assert!(g
+            .iter()
+            .any(|n| n.op == OpKind::Neg && n.out_shape == [32, 10, 64]));
         // bias-free projections
         assert!(g
             .iter()

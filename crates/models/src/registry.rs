@@ -100,9 +100,24 @@ impl ModelId {
     pub fn all() -> &'static [ModelId] {
         use ModelId::*;
         &[
-            ResNet50, MobileNetV2, VitLarge16, VitHuge14, SwinTiny, SwinSmall, SwinBase,
-            VitBase16, FasterRcnn, MaskRcnn, Detr, Maskformer, Segformer, Gpt2, Gpt2Large,
-            Gpt2Xl, Llama2_7b, Bert,
+            ResNet50,
+            MobileNetV2,
+            VitLarge16,
+            VitHuge14,
+            SwinTiny,
+            SwinSmall,
+            SwinBase,
+            VitBase16,
+            FasterRcnn,
+            MaskRcnn,
+            Detr,
+            Maskformer,
+            Segformer,
+            Gpt2,
+            Gpt2Large,
+            Gpt2Xl,
+            Llama2_7b,
+            Bert,
         ]
     }
 
@@ -130,7 +145,13 @@ impl ModelId {
             Llama2_7b => ("llama2", LanguageModel, 7_000_000_000, "wikitext"),
             Bert => ("bert", LanguageModel, 110_000_000, "wikitext"),
         };
-        ModelSpec { id: self, alias, task, params_reported: params, dataset }
+        ModelSpec {
+            id: self,
+            alias,
+            task,
+            params_reported: params,
+            dataset,
+        }
     }
 
     /// Builds the operator graph for `batch` inputs at `scale`.
@@ -216,7 +237,10 @@ impl std::fmt::Debug for ModelRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ModelRegistry")
             .field("presets", &self.presets)
-            .field("custom", &self.custom.iter().map(|(n, _)| n).collect::<Vec<_>>())
+            .field(
+                "custom",
+                &self.custom.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+            )
             .field("scale", &self.scale)
             .finish()
     }
@@ -230,7 +254,11 @@ impl ModelRegistry {
 
     /// A registry preloaded with all 18 Table 1 models at full scale.
     pub fn with_presets() -> ModelRegistry {
-        ModelRegistry { presets: ModelId::all().to_vec(), custom: Vec::new(), scale: Scale::Full }
+        ModelRegistry {
+            presets: ModelId::all().to_vec(),
+            custom: Vec::new(),
+            scale: Scale::Full,
+        }
     }
 
     /// Sets the scale used for preset builds (builder style).
@@ -270,7 +298,9 @@ impl ModelRegistry {
         if let Some((_, f)) = self.custom.iter().find(|(n, _)| n == name) {
             return f(batch);
         }
-        Err(TensorError::InvalidArgument(format!("unknown model '{name}'")))
+        Err(TensorError::InvalidArgument(format!(
+            "unknown model '{name}'"
+        )))
     }
 }
 
@@ -283,14 +313,20 @@ mod tests {
         assert_eq!(ModelId::all().len(), 18);
         let mut seen = std::collections::BTreeSet::new();
         for m in ModelId::all() {
-            assert!(seen.insert(m.spec().alias), "duplicate alias {}", m.spec().alias);
+            assert!(
+                seen.insert(m.spec().alias),
+                "duplicate alias {}",
+                m.spec().alias
+            );
         }
     }
 
     #[test]
     fn every_model_builds_tiny_and_validates() {
         for &m in ModelId::all() {
-            let g = m.build(1, Scale::Tiny).unwrap_or_else(|e| panic!("{m}: {e}"));
+            let g = m
+                .build(1, Scale::Tiny)
+                .unwrap_or_else(|e| panic!("{m}: {e}"));
             g.validate().unwrap_or_else(|e| panic!("{m}: {e}"));
             assert!(g.len() > 5, "{m} suspiciously small");
         }

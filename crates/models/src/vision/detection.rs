@@ -40,13 +40,20 @@ impl RcnnConfig {
             detections: 100,
             classes: 91,
             mask_head: false,
-            backbone: ResNet50Config { norm_frozen: true, image: 800, ..ResNet50Config::full() },
+            backbone: ResNet50Config {
+                norm_frozen: true,
+                image: 800,
+                ..ResNet50Config::full()
+            },
         }
     }
 
     /// Paper-scale MaskRCNN (44 M parameters).
     pub fn mask_rcnn() -> Self {
-        RcnnConfig { mask_head: true, ..RcnnConfig::faster_rcnn() }
+        RcnnConfig {
+            mask_head: true,
+            ..RcnnConfig::faster_rcnn()
+        }
     }
 
     /// Executable toy preset.
@@ -74,7 +81,11 @@ impl RcnnConfig {
     ///
     /// Fails only on internally inconsistent configurations.
     pub fn build(&self, batch: usize) -> Result<Graph> {
-        let name = if self.mask_head { "mask_rcnn" } else { "faster_rcnn" };
+        let name = if self.mask_head {
+            "mask_rcnn"
+        } else {
+            "faster_rcnn"
+        };
         let mut b = GraphBuilder::new(name);
         let x = b.input(&[batch, 3, self.image, self.image]);
         let stages = backbone_pyramid(&mut b, x, &self.backbone, "backbone")?;
@@ -129,53 +140,86 @@ impl RcnnConfig {
             // objectness: [B, A, H, W] -> [B*A*H*W] scores
             let n_anchors = batch * anchors * h * w;
             let flat = b.push(
-                OpKind::Reshape { shape: vec![n_anchors] },
+                OpKind::Reshape {
+                    shape: vec![n_anchors],
+                },
                 &[logits],
                 &format!("rpn.{li}.flatten"),
             )?;
             let scores = b.push(OpKind::Sigmoid, &[flat], &format!("rpn.{li}.sigmoid"))?;
             // decode deltas into boxes: permute + reshape + arithmetic
             let dp = b.push(
-                OpKind::Permute { perm: vec![0, 2, 3, 1] },
+                OpKind::Permute {
+                    perm: vec![0, 2, 3, 1],
+                },
                 &[deltas],
                 &format!("rpn.{li}.deltas.permute"),
             )?;
-            let dc = b.push(OpKind::Contiguous, &[dp], &format!("rpn.{li}.deltas.contiguous"))?;
+            let dc = b.push(
+                OpKind::Contiguous,
+                &[dp],
+                &format!("rpn.{li}.deltas.contiguous"),
+            )?;
             let boxes = b.push(
-                OpKind::Reshape { shape: vec![n_anchors, 4] },
+                OpKind::Reshape {
+                    shape: vec![n_anchors, 4],
+                },
                 &[dc],
                 &format!("rpn.{li}.deltas.reshape"),
             )?;
-            let scaled =
-                b.push(OpKind::MulScalar(16.0), &[boxes], &format!("rpn.{li}.decode.scale"))?;
-            let decoded =
-                b.push(OpKind::AddScalar(0.5), &[scaled], &format!("rpn.{li}.decode.shift"))?;
+            let scaled = b.push(
+                OpKind::MulScalar(16.0),
+                &[boxes],
+                &format!("rpn.{li}.decode.scale"),
+            )?;
+            let decoded = b.push(
+                OpKind::AddScalar(0.5),
+                &[scaled],
+                &format!("rpn.{li}.decode.shift"),
+            )?;
             // pre-NMS top-k per level
             let pre = self.proposals.min(n_anchors);
             let top_scores = b.push(
-                OpKind::Reshape { shape: vec![1, n_anchors] },
+                OpKind::Reshape {
+                    shape: vec![1, n_anchors],
+                },
                 &[scores],
                 &format!("rpn.{li}.scores.reshape"),
             )?;
-            let topk = b.push(OpKind::TopK { k: pre }, &[top_scores], &format!("rpn.{li}.topk"))?;
+            let topk = b.push(
+                OpKind::TopK { k: pre },
+                &[top_scores],
+                &format!("rpn.{li}.topk"),
+            )?;
             let topk_flat = b.push(
                 OpKind::Reshape { shape: vec![pre] },
                 &[topk],
                 &format!("rpn.{li}.topk.flatten"),
             )?;
             let cand = b.push(
-                OpKind::Slice { dim: 0, start: 0, len: pre },
+                OpKind::Slice {
+                    dim: 0,
+                    start: 0,
+                    len: pre,
+                },
                 &[decoded],
                 &format!("rpn.{li}.candidates"),
             )?;
             let keep = b.push(
-                OpKind::Nms { iou_threshold: 0.7, nominal_keep: pre / 2 },
+                OpKind::Nms {
+                    iou_threshold: 0.7,
+                    nominal_keep: pre / 2,
+                },
                 &[cand, topk_flat],
                 &format!("rpn.{li}.nms"),
             )?;
             let _ = keep;
             let kept_boxes = b.push(
-                OpKind::Slice { dim: 0, start: 0, len: pre / 2 },
+                OpKind::Slice {
+                    dim: 0,
+                    start: 0,
+                    len: pre / 2,
+                },
                 &[cand],
                 &format!("rpn.{li}.kept"),
             )?;
@@ -184,68 +228,125 @@ impl RcnnConfig {
         let all = b.push(OpKind::Cat { dim: 0 }, &level_proposals, "rpn.cat_levels")?;
         let total = b.shape(all)[0];
         let n_props = self.proposals.min(total);
-        let props =
-            b.push(OpKind::Slice { dim: 0, start: 0, len: n_props }, &[all], "rpn.proposals")?;
+        let props = b.push(
+            OpKind::Slice {
+                dim: 0,
+                start: 0,
+                len: n_props,
+            },
+            &[all],
+            "rpn.proposals",
+        )?;
 
         // ---- RoI heads: align on the mid-pyramid level (RoIs are
         // gathered per image, so take the first image's map as the
         // representative feature — torchvision iterates images here)
         let feat = pyramid[1];
         let fshape = b.shape(feat).to_vec();
-        let first = b.push(OpKind::Slice { dim: 0, start: 0, len: 1 }, &[feat], "roi.image0")?;
+        let first = b.push(
+            OpKind::Slice {
+                dim: 0,
+                start: 0,
+                len: 1,
+            },
+            &[feat],
+            "roi.image0",
+        )?;
         let fmap = b.push(
-            OpKind::Reshape { shape: vec![fshape[1], fshape[2], fshape[3]] },
+            OpKind::Reshape {
+                shape: vec![fshape[1], fshape[2], fshape[3]],
+            },
             &[first],
             "roi.feature",
         )?;
         let aligned = b.push(
-            OpKind::RoiAlign { out: 7, spatial_scale: 0.125 },
+            OpKind::RoiAlign {
+                out: 7,
+                spatial_scale: 0.125,
+            },
             &[fmap, props],
             "roi.align",
         )?;
         let flat = b.push(
-            OpKind::Reshape { shape: vec![n_props, self.fpn * 49] },
+            OpKind::Reshape {
+                shape: vec![n_props, self.fpn * 49],
+            },
             &[aligned],
             "roi.flatten",
         )?;
         let fc6 = b.push(
-            OpKind::Linear { in_f: self.fpn * 49, out_f: 1024, bias: true },
+            OpKind::Linear {
+                in_f: self.fpn * 49,
+                out_f: 1024,
+                bias: true,
+            },
             &[flat],
             "roi.box_head.fc6",
         )?;
         let r6 = b.push(OpKind::Relu, &[fc6], "roi.box_head.relu6")?;
-        let fc7 =
-            b.push(OpKind::Linear { in_f: 1024, out_f: 1024, bias: true }, &[r6], "roi.box_head.fc7")?;
+        let fc7 = b.push(
+            OpKind::Linear {
+                in_f: 1024,
+                out_f: 1024,
+                bias: true,
+            },
+            &[r6],
+            "roi.box_head.fc7",
+        )?;
         let r7 = b.push(OpKind::Relu, &[fc7], "roi.box_head.relu7")?;
         let cls = b.push(
-            OpKind::Linear { in_f: 1024, out_f: self.classes, bias: true },
+            OpKind::Linear {
+                in_f: 1024,
+                out_f: self.classes,
+                bias: true,
+            },
             &[r7],
             "roi.predictor.cls",
         )?;
         let probs = b.push(OpKind::Softmax { dim: 1 }, &[cls], "roi.predictor.softmax")?;
         let bbox = b.push(
-            OpKind::Linear { in_f: 1024, out_f: 4 * self.classes, bias: true },
+            OpKind::Linear {
+                in_f: 1024,
+                out_f: 4 * self.classes,
+                bias: true,
+            },
             &[r7],
             "roi.predictor.bbox",
         )?;
         // final filtering: best class score per proposal, decode, NMS
         let best = b.push(OpKind::TopK { k: 1 }, &[probs], "post.best_score")?;
-        let best_flat =
-            b.push(OpKind::Reshape { shape: vec![n_props] }, &[best], "post.scores")?;
+        let best_flat = b.push(
+            OpKind::Reshape {
+                shape: vec![n_props],
+            },
+            &[best],
+            "post.scores",
+        )?;
         let boxes4 = b.push(
-            OpKind::Slice { dim: 1, start: 0, len: 4 },
+            OpKind::Slice {
+                dim: 1,
+                start: 0,
+                len: 4,
+            },
             &[bbox],
             "post.take_boxes",
         )?;
         let decoded = b.push(OpKind::MulScalar(8.0), &[boxes4], "post.decode")?;
         let keep = b.push(
-            OpKind::Nms { iou_threshold: 0.5, nominal_keep: self.detections },
+            OpKind::Nms {
+                iou_threshold: 0.5,
+                nominal_keep: self.detections,
+            },
             &[decoded, best_flat],
             "post.nms",
         )?;
         let _ = keep;
         let final_boxes = b.push(
-            OpKind::Slice { dim: 0, start: 0, len: self.detections.min(n_props) },
+            OpKind::Slice {
+                dim: 0,
+                start: 0,
+                len: self.detections.min(n_props),
+            },
             &[decoded],
             "post.detections",
         )?;
@@ -253,7 +354,10 @@ impl RcnnConfig {
         if self.mask_head {
             let n_det = self.detections.min(n_props);
             let maligned = b.push(
-                OpKind::RoiAlign { out: 14, spatial_scale: 0.125 },
+                OpKind::RoiAlign {
+                    out: 14,
+                    spatial_scale: 0.125,
+                },
                 &[fmap, final_boxes],
                 "mask.align",
             )?;
@@ -274,7 +378,11 @@ impl RcnnConfig {
                 )?;
                 h = b.push(OpKind::Relu, &[c], &format!("mask.fcn{i}.relu"))?;
             }
-            let up = b.push(OpKind::InterpolateBilinear { oh: 28, ow: 28 }, &[h], "mask.upsample")?;
+            let up = b.push(
+                OpKind::InterpolateBilinear { oh: 28, ow: 28 },
+                &[h],
+                "mask.upsample",
+            )?;
             let logits = b.push(
                 OpKind::Conv2d {
                     in_c: self.fpn,
@@ -307,7 +415,15 @@ fn fpn(
     let mut laterals = Vec::new();
     for (i, &(node, c)) in stages.iter().enumerate() {
         let l = b.push(
-            OpKind::Conv2d { in_c: c, out_c, kernel: 1, stride: 1, padding: 0, groups: 1, bias: true },
+            OpKind::Conv2d {
+                in_c: c,
+                out_c,
+                kernel: 1,
+                stride: 1,
+                padding: 0,
+                groups: 1,
+                bias: true,
+            },
             &[node],
             &format!("{name}.lateral{i}"),
         )?;
@@ -318,7 +434,10 @@ fn fpn(
         let below = outs[0];
         let shape = b.shape(laterals[i]).to_vec();
         let up = b.push(
-            OpKind::InterpolateNearest { oh: shape[2], ow: shape[3] },
+            OpKind::InterpolateNearest {
+                oh: shape[2],
+                ow: shape[3],
+            },
             &[below],
             &format!("{name}.upsample{i}"),
         )?;
@@ -377,7 +496,11 @@ impl DetrConfig {
             queries: 100,
             ffn: 2048,
             classes: 92,
-            backbone: ResNet50Config { norm_frozen: true, image: 800, ..ResNet50Config::full() },
+            backbone: ResNet50Config {
+                norm_frozen: true,
+                image: 800,
+                ..ResNet50Config::full()
+            },
         }
     }
 
@@ -428,9 +551,20 @@ impl DetrConfig {
             &[c5],
             "input_proj",
         )?;
-        let flat =
-            b.push(OpKind::Reshape { shape: vec![batch, self.d, t] }, &[proj], "flatten")?;
-        let perm = b.push(OpKind::Permute { perm: vec![0, 2, 1] }, &[flat], "permute")?;
+        let flat = b.push(
+            OpKind::Reshape {
+                shape: vec![batch, self.d, t],
+            },
+            &[proj],
+            "flatten",
+        )?;
+        let perm = b.push(
+            OpKind::Permute {
+                perm: vec![0, 2, 1],
+            },
+            &[flat],
+            "permute",
+        )?;
         let tokens = b.push(OpKind::Contiguous, &[perm], "contiguous")?;
         let pos = b.input(&[1, t, self.d]);
         let mut memory = b.push(OpKind::Add, &[tokens, pos], "pos_embed")?;
@@ -454,18 +588,34 @@ impl DetrConfig {
                 &format!("encoder.{l}.attn"),
             )?;
             let a1 = b.push(OpKind::Add, &[memory, att], &format!("encoder.{l}.add1"))?;
-            let n1 =
-                b.push(OpKind::LayerNorm { dim: self.d }, &[a1], &format!("encoder.{l}.norm1"))?;
-            let ff = mlp(&mut b, n1, self.d, self.ffn, MlpAct::Relu, false, &format!("encoder.{l}.ffn"))?;
+            let n1 = b.push(
+                OpKind::LayerNorm { dim: self.d },
+                &[a1],
+                &format!("encoder.{l}.norm1"),
+            )?;
+            let ff = mlp(
+                &mut b,
+                n1,
+                self.d,
+                self.ffn,
+                MlpAct::Relu,
+                false,
+                &format!("encoder.{l}.ffn"),
+            )?;
             let a2 = b.push(OpKind::Add, &[n1, ff], &format!("encoder.{l}.add2"))?;
-            memory =
-                b.push(OpKind::LayerNorm { dim: self.d }, &[a2], &format!("encoder.{l}.norm2"))?;
+            memory = b.push(
+                OpKind::LayerNorm { dim: self.d },
+                &[a2],
+                &format!("encoder.{l}.norm2"),
+            )?;
         }
 
         // decoder over object queries
         let queries = b.input(&[1, self.queries, self.d]);
         let mut q = b.push(
-            OpKind::Expand { shape: vec![batch, self.queries, self.d] },
+            OpKind::Expand {
+                shape: vec![batch, self.queries, self.d],
+            },
             &[queries],
             "query_embed.expand",
         )?;
@@ -487,8 +637,11 @@ impl DetrConfig {
                 &format!("decoder.{l}.self_attn"),
             )?;
             let a1 = b.push(OpKind::Add, &[q, sa], &format!("decoder.{l}.add1"))?;
-            let n1 =
-                b.push(OpKind::LayerNorm { dim: self.d }, &[a1], &format!("decoder.{l}.norm1"))?;
+            let n1 = b.push(
+                OpKind::LayerNorm { dim: self.d },
+                &[a1],
+                &format!("decoder.{l}.norm1"),
+            )?;
             let ca = cross_attention(
                 &mut b,
                 n1,
@@ -501,16 +654,35 @@ impl DetrConfig {
                 &format!("decoder.{l}.cross_attn"),
             )?;
             let a2 = b.push(OpKind::Add, &[n1, ca], &format!("decoder.{l}.add2"))?;
-            let n2 =
-                b.push(OpKind::LayerNorm { dim: self.d }, &[a2], &format!("decoder.{l}.norm2"))?;
-            let ff = mlp(&mut b, n2, self.d, self.ffn, MlpAct::Relu, false, &format!("decoder.{l}.ffn"))?;
+            let n2 = b.push(
+                OpKind::LayerNorm { dim: self.d },
+                &[a2],
+                &format!("decoder.{l}.norm2"),
+            )?;
+            let ff = mlp(
+                &mut b,
+                n2,
+                self.d,
+                self.ffn,
+                MlpAct::Relu,
+                false,
+                &format!("decoder.{l}.ffn"),
+            )?;
             let a3 = b.push(OpKind::Add, &[n2, ff], &format!("decoder.{l}.add3"))?;
-            q = b.push(OpKind::LayerNorm { dim: self.d }, &[a3], &format!("decoder.{l}.norm3"))?;
+            q = b.push(
+                OpKind::LayerNorm { dim: self.d },
+                &[a3],
+                &format!("decoder.{l}.norm3"),
+            )?;
         }
 
         // prediction heads
         let cls = b.push(
-            OpKind::Linear { in_f: self.d, out_f: self.classes, bias: true },
+            OpKind::Linear {
+                in_f: self.d,
+                out_f: self.classes,
+                bias: true,
+            },
             &[q],
             "class_head",
         )?;
@@ -518,16 +690,30 @@ impl DetrConfig {
         let mut bh = q;
         for i in 0..2 {
             let fc = b.push(
-                OpKind::Linear { in_f: self.d, out_f: self.d, bias: true },
+                OpKind::Linear {
+                    in_f: self.d,
+                    out_f: self.d,
+                    bias: true,
+                },
                 &[bh],
                 &format!("bbox_head.{i}"),
             )?;
             bh = b.push(OpKind::Relu, &[fc], &format!("bbox_head.{i}.relu"))?;
         }
-        let raw = b.push(OpKind::Linear { in_f: self.d, out_f: 4, bias: true }, &[bh], "bbox_head.out")?;
+        let raw = b.push(
+            OpKind::Linear {
+                in_f: self.d,
+                out_f: 4,
+                bias: true,
+            },
+            &[bh],
+            "bbox_head.out",
+        )?;
         let sig = b.push(OpKind::Sigmoid, &[raw], "bbox_sigmoid")?;
         let flat_boxes = b.push(
-            OpKind::Reshape { shape: vec![batch * self.queries, 4] },
+            OpKind::Reshape {
+                shape: vec![batch * self.queries, 4],
+            },
             &[sig],
             "bbox_flatten",
         )?;
@@ -545,7 +731,9 @@ mod tests {
     fn faster_rcnn_full_structure() {
         let g = RcnnConfig::faster_rcnn().build(1).unwrap();
         g.validate().unwrap();
-        assert!(g.iter().any(|n| matches!(n.op, OpKind::FrozenBatchNorm2d { .. })));
+        assert!(g
+            .iter()
+            .any(|n| matches!(n.op, OpKind::FrozenBatchNorm2d { .. })));
         assert!(g.iter().any(|n| matches!(n.op, OpKind::Nms { .. })));
         assert!(g.iter().any(|n| matches!(n.op, OpKind::RoiAlign { .. })));
         assert!(g.group_count(NonGemmGroup::Normalization) >= 53);
@@ -589,7 +777,9 @@ mod tests {
         // DETR's table-2 ops: ReLU FFN + LayerNorm + FrozenBatchNorm2d
         assert!(g.iter().any(|n| n.op == OpKind::Relu));
         assert!(g.iter().any(|n| matches!(n.op, OpKind::LayerNorm { .. })));
-        assert!(g.iter().any(|n| matches!(n.op, OpKind::FrozenBatchNorm2d { .. })));
+        assert!(g
+            .iter()
+            .any(|n| matches!(n.op, OpKind::FrozenBatchNorm2d { .. })));
         assert!(g.iter().any(|n| n.op == OpKind::BoxConvert));
     }
 

@@ -19,12 +19,20 @@ pub struct MobileNetV2Config {
 impl MobileNetV2Config {
     /// Paper-scale MobileNetV2 (width 1.0, 224², 1000 classes, 3.4 M params).
     pub fn full() -> Self {
-        MobileNetV2Config { image: 224, width: 1.0, classes: 1000 }
+        MobileNetV2Config {
+            image: 224,
+            width: 1.0,
+            classes: 1000,
+        }
     }
 
     /// Executable toy preset.
     pub fn tiny() -> Self {
-        MobileNetV2Config { image: 32, width: 0.125, classes: 10 }
+        MobileNetV2Config {
+            image: 32,
+            width: 0.125,
+            classes: 10,
+        }
     }
 
     fn ch(&self, c: usize) -> usize {
@@ -72,9 +80,19 @@ impl MobileNetV2Config {
         let head_c = self.ch(1280);
         h = conv_bn_relu6(&mut b, h, in_c, head_c, 1, 1, 0, 1, "head")?;
         let pooled = b.push(OpKind::AdaptiveAvgPool2d { oh: 1, ow: 1 }, &[h], "avgpool")?;
-        let flat = b.push(OpKind::Reshape { shape: vec![batch, head_c] }, &[pooled], "flatten")?;
+        let flat = b.push(
+            OpKind::Reshape {
+                shape: vec![batch, head_c],
+            },
+            &[pooled],
+            "flatten",
+        )?;
         let logits = b.push(
-            OpKind::Linear { in_f: head_c, out_f: self.classes, bias: true },
+            OpKind::Linear {
+                in_f: head_c,
+                out_f: self.classes,
+                bias: true,
+            },
             &[flat],
             "classifier",
         )?;
@@ -96,11 +114,23 @@ fn conv_bn_relu6(
     name: &str,
 ) -> Result<NodeId> {
     let c = b.push(
-        OpKind::Conv2d { in_c, out_c, kernel, stride, padding, groups, bias: false },
+        OpKind::Conv2d {
+            in_c,
+            out_c,
+            kernel,
+            stride,
+            padding,
+            groups,
+            bias: false,
+        },
         &[x],
         &format!("{name}.conv"),
     )?;
-    let n = b.push(OpKind::BatchNorm2d { c: out_c }, &[c], &format!("{name}.bn"))?;
+    let n = b.push(
+        OpKind::BatchNorm2d { c: out_c },
+        &[c],
+        &format!("{name}.bn"),
+    )?;
     b.push(OpKind::Relu6, &[n], &format!("{name}.relu6"))
 }
 
@@ -119,14 +149,36 @@ fn inverted_residual(
         h = conv_bn_relu6(b, h, in_c, hidden, 1, 1, 0, 1, &format!("{name}.expand"))?;
     }
     // depthwise
-    h = conv_bn_relu6(b, h, hidden, hidden, 3, stride, 1, hidden, &format!("{name}.dw"))?;
+    h = conv_bn_relu6(
+        b,
+        h,
+        hidden,
+        hidden,
+        3,
+        stride,
+        1,
+        hidden,
+        &format!("{name}.dw"),
+    )?;
     // linear bottleneck (no activation)
     let pc = b.push(
-        OpKind::Conv2d { in_c: hidden, out_c, kernel: 1, stride: 1, padding: 0, groups: 1, bias: false },
+        OpKind::Conv2d {
+            in_c: hidden,
+            out_c,
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+            groups: 1,
+            bias: false,
+        },
         &[h],
         &format!("{name}.project.conv"),
     )?;
-    let pn = b.push(OpKind::BatchNorm2d { c: out_c }, &[pc], &format!("{name}.project.bn"))?;
+    let pn = b.push(
+        OpKind::BatchNorm2d { c: out_c },
+        &[pc],
+        &format!("{name}.project.bn"),
+    )?;
     if stride == 1 && in_c == out_c {
         b.push(OpKind::Add, &[x, pn], &format!("{name}.residual"))
     } else {

@@ -22,12 +22,24 @@ pub struct ResNet50Config {
 impl ResNet50Config {
     /// Paper-scale ResNet-50 on 224×224 ImageNet.
     pub fn full() -> Self {
-        ResNet50Config { image: 224, stem: 64, blocks: [3, 4, 6, 3], classes: 1000, norm_frozen: false }
+        ResNet50Config {
+            image: 224,
+            stem: 64,
+            blocks: [3, 4, 6, 3],
+            classes: 1000,
+            norm_frozen: false,
+        }
     }
 
     /// Executable toy preset (same topology, one block per stage, 32×32).
     pub fn tiny() -> Self {
-        ResNet50Config { image: 32, stem: 8, blocks: [1, 1, 1, 1], classes: 10, norm_frozen: false }
+        ResNet50Config {
+            image: 32,
+            stem: 8,
+            blocks: [1, 1, 1, 1],
+            classes: 10,
+            norm_frozen: false,
+        }
     }
 
     /// Builds the classifier graph for `batch` images.
@@ -39,10 +51,24 @@ impl ResNet50Config {
         let mut b = GraphBuilder::new("resnet50");
         let x = b.input(&[batch, 3, self.image, self.image]);
         let (feat, c_out) = backbone(&mut b, x, self, "backbone")?;
-        let pooled = b.push(OpKind::AdaptiveAvgPool2d { oh: 1, ow: 1 }, &[feat], "avgpool")?;
-        let flat = b.push(OpKind::Reshape { shape: vec![batch, c_out] }, &[pooled], "flatten")?;
+        let pooled = b.push(
+            OpKind::AdaptiveAvgPool2d { oh: 1, ow: 1 },
+            &[feat],
+            "avgpool",
+        )?;
+        let flat = b.push(
+            OpKind::Reshape {
+                shape: vec![batch, c_out],
+            },
+            &[pooled],
+            "flatten",
+        )?;
         let logits = b.push(
-            OpKind::Linear { in_f: c_out, out_f: self.classes, bias: true },
+            OpKind::Linear {
+                in_f: c_out,
+                out_f: self.classes,
+                bias: true,
+            },
             &[flat],
             "fc",
         )?;
@@ -60,10 +86,29 @@ pub(crate) fn backbone(
     cfg: &ResNet50Config,
     name: &str,
 ) -> Result<(NodeId, usize)> {
-    let norm = if cfg.norm_frozen { CnnNorm::Frozen } else { CnnNorm::Batch };
-    let stem = conv_norm_act(b, x, 3, cfg.stem, 7, 2, 3, norm, true, &format!("{name}.stem"))?;
+    let norm = if cfg.norm_frozen {
+        CnnNorm::Frozen
+    } else {
+        CnnNorm::Batch
+    };
+    let stem = conv_norm_act(
+        b,
+        x,
+        3,
+        cfg.stem,
+        7,
+        2,
+        3,
+        norm,
+        true,
+        &format!("{name}.stem"),
+    )?;
     let mut h = b.push(
-        OpKind::MaxPool2d { kernel: 3, stride: 2, padding: 1 },
+        OpKind::MaxPool2d {
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        },
         &[stem],
         &format!("{name}.maxpool"),
     )?;
@@ -96,10 +141,29 @@ pub(crate) fn backbone_pyramid(
     cfg: &ResNet50Config,
     name: &str,
 ) -> Result<Vec<(NodeId, usize)>> {
-    let norm = if cfg.norm_frozen { CnnNorm::Frozen } else { CnnNorm::Batch };
-    let stem = conv_norm_act(b, x, 3, cfg.stem, 7, 2, 3, norm, true, &format!("{name}.stem"))?;
+    let norm = if cfg.norm_frozen {
+        CnnNorm::Frozen
+    } else {
+        CnnNorm::Batch
+    };
+    let stem = conv_norm_act(
+        b,
+        x,
+        3,
+        cfg.stem,
+        7,
+        2,
+        3,
+        norm,
+        true,
+        &format!("{name}.stem"),
+    )?;
     let mut h = b.push(
-        OpKind::MaxPool2d { kernel: 3, stride: 2, padding: 1 },
+        OpKind::MaxPool2d {
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        },
         &[stem],
         &format!("{name}.maxpool"),
     )?;
@@ -169,7 +233,9 @@ mod tests {
         let mut cfg = ResNet50Config::tiny();
         cfg.norm_frozen = true;
         let g = cfg.build(1).unwrap();
-        assert!(g.iter().any(|n| matches!(n.op, OpKind::FrozenBatchNorm2d { .. })));
+        assert!(g
+            .iter()
+            .any(|n| matches!(n.op, OpKind::FrozenBatchNorm2d { .. })));
         assert!(!g.iter().any(|n| matches!(n.op, OpKind::BatchNorm2d { .. })));
     }
 }

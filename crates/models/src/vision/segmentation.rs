@@ -94,17 +94,24 @@ impl SegformerConfig {
             res /= stride;
             let t = res * res;
             let fl = b.push(
-                OpKind::Reshape { shape: vec![batch, dim, t] },
+                OpKind::Reshape {
+                    shape: vec![batch, dim, t],
+                },
                 &[pe],
                 &format!("encoder.{s}.patch_embed.flatten"),
             )?;
             let pm = b.push(
-                OpKind::Permute { perm: vec![0, 2, 1] },
+                OpKind::Permute {
+                    perm: vec![0, 2, 1],
+                },
                 &[fl],
                 &format!("encoder.{s}.patch_embed.permute"),
             )?;
-            let pc =
-                b.push(OpKind::Contiguous, &[pm], &format!("encoder.{s}.patch_embed.contiguous"))?;
+            let pc = b.push(
+                OpKind::Contiguous,
+                &[pm],
+                &format!("encoder.{s}.patch_embed.contiguous"),
+            )?;
             let mut tok = b.push(
                 OpKind::LayerNorm { dim },
                 &[pc],
@@ -123,17 +130,29 @@ impl SegformerConfig {
                     &format!("encoder.{s}.block.{blk}"),
                 )?;
             }
-            tok = b.push(OpKind::LayerNorm { dim }, &[tok], &format!("encoder.{s}.norm"))?;
+            tok = b.push(
+                OpKind::LayerNorm { dim },
+                &[tok],
+                &format!("encoder.{s}.norm"),
+            )?;
             stage_feats.push((tok, res, dim));
             // back to NCHW for the next stage's conv
             let bp = b.push(
-                OpKind::Permute { perm: vec![0, 2, 1] },
+                OpKind::Permute {
+                    perm: vec![0, 2, 1],
+                },
                 &[tok],
                 &format!("encoder.{s}.to_map.permute"),
             )?;
-            let bc = b.push(OpKind::Contiguous, &[bp], &format!("encoder.{s}.to_map.contiguous"))?;
+            let bc = b.push(
+                OpKind::Contiguous,
+                &[bp],
+                &format!("encoder.{s}.to_map.contiguous"),
+            )?;
             h = b.push(
-                OpKind::Reshape { shape: vec![batch, dim, res, res] },
+                OpKind::Reshape {
+                    shape: vec![batch, dim, res, res],
+                },
                 &[bc],
                 &format!("encoder.{s}.to_map.reshape"),
             )?;
@@ -145,24 +164,39 @@ impl SegformerConfig {
         let mut ups = Vec::new();
         for (i, &(tok, sres, dim)) in stage_feats.iter().enumerate() {
             let proj = b.push(
-                OpKind::Linear { in_f: dim, out_f: self.decoder, bias: true },
+                OpKind::Linear {
+                    in_f: dim,
+                    out_f: self.decoder,
+                    bias: true,
+                },
                 &[tok],
                 &format!("decode_head.linear_c{i}"),
             )?;
             let pm = b.push(
-                OpKind::Permute { perm: vec![0, 2, 1] },
+                OpKind::Permute {
+                    perm: vec![0, 2, 1],
+                },
                 &[proj],
                 &format!("decode_head.c{i}.permute"),
             )?;
-            let pc = b.push(OpKind::Contiguous, &[pm], &format!("decode_head.c{i}.contiguous"))?;
+            let pc = b.push(
+                OpKind::Contiguous,
+                &[pm],
+                &format!("decode_head.c{i}.contiguous"),
+            )?;
             let map = b.push(
-                OpKind::Reshape { shape: vec![batch, self.decoder, sres, sres] },
+                OpKind::Reshape {
+                    shape: vec![batch, self.decoder, sres, sres],
+                },
                 &[pc],
                 &format!("decode_head.c{i}.reshape"),
             )?;
             let up = if sres != target {
                 b.push(
-                    OpKind::InterpolateBilinear { oh: target, ow: target },
+                    OpKind::InterpolateBilinear {
+                        oh: target,
+                        ow: target,
+                    },
                     &[map],
                     &format!("decode_head.c{i}.upsample"),
                 )?
@@ -186,7 +220,11 @@ impl SegformerConfig {
             &[fused_in],
             "decode_head.linear_fuse",
         )?;
-        let bn = b.push(OpKind::BatchNorm2d { c: self.decoder }, &[fuse], "decode_head.bn")?;
+        let bn = b.push(
+            OpKind::BatchNorm2d { c: self.decoder },
+            &[fuse],
+            "decode_head.bn",
+        )?;
         let act = b.push(OpKind::Relu, &[bn], "decode_head.relu")?;
         let logits = b.push(
             OpKind::Conv2d {
@@ -202,7 +240,10 @@ impl SegformerConfig {
             "decode_head.classifier",
         )?;
         let up = b.push(
-            OpKind::InterpolateBilinear { oh: self.image, ow: self.image },
+            OpKind::InterpolateBilinear {
+                oh: self.image,
+                ow: self.image,
+            },
             &[logits],
             "upsample_logits",
         )?;
@@ -229,13 +270,17 @@ impl SegformerConfig {
         // spatial reduction of k/v: tokens -> map -> conv(sr, sr) -> tokens
         let kv = if sr > 1 {
             let pm = b.push(
-                OpKind::Permute { perm: vec![0, 2, 1] },
+                OpKind::Permute {
+                    perm: vec![0, 2, 1],
+                },
                 &[ln1],
                 &format!("{name}.sr.permute"),
             )?;
             let pc = b.push(OpKind::Contiguous, &[pm], &format!("{name}.sr.contiguous"))?;
             let map = b.push(
-                OpKind::Reshape { shape: vec![batch, dim, res, res] },
+                OpKind::Reshape {
+                    shape: vec![batch, dim, res, res],
+                },
                 &[pc],
                 &format!("{name}.sr.reshape"),
             )?;
@@ -254,40 +299,70 @@ impl SegformerConfig {
             )?;
             let rr = res / sr;
             let fl = b.push(
-                OpKind::Reshape { shape: vec![batch, dim, rr * rr] },
+                OpKind::Reshape {
+                    shape: vec![batch, dim, rr * rr],
+                },
                 &[red],
                 &format!("{name}.sr.flatten"),
             )?;
             let bp = b.push(
-                OpKind::Permute { perm: vec![0, 2, 1] },
+                OpKind::Permute {
+                    perm: vec![0, 2, 1],
+                },
                 &[fl],
                 &format!("{name}.sr.back"),
             )?;
-            let bc = b.push(OpKind::Contiguous, &[bp], &format!("{name}.sr.back.contiguous"))?;
+            let bc = b.push(
+                OpKind::Contiguous,
+                &[bp],
+                &format!("{name}.sr.back.contiguous"),
+            )?;
             b.push(OpKind::LayerNorm { dim }, &[bc], &format!("{name}.sr.norm"))?
         } else {
             ln1
         };
         let tk = b.shape(kv)[1];
-        let att = cross_attention(b, ln1, kv, batch, t, tk, dim, heads, &format!("{name}.attn"))?;
+        let att = cross_attention(
+            b,
+            ln1,
+            kv,
+            batch,
+            t,
+            tk,
+            dim,
+            heads,
+            &format!("{name}.attn"),
+        )?;
         let x1 = b.push(OpKind::Add, &[x, att], &format!("{name}.add1"))?;
 
         // Mix-FFN: linear -> dwconv 3x3 -> GELU -> linear
         let ln2 = b.push(OpKind::LayerNorm { dim }, &[x1], &format!("{name}.norm2"))?;
         let hidden = 4 * dim;
         let fc1 = b.push(
-            OpKind::Linear { in_f: dim, out_f: hidden, bias: true },
+            OpKind::Linear {
+                in_f: dim,
+                out_f: hidden,
+                bias: true,
+            },
             &[ln2],
             &format!("{name}.mlp.fc1"),
         )?;
         let pm = b.push(
-            OpKind::Permute { perm: vec![0, 2, 1] },
+            OpKind::Permute {
+                perm: vec![0, 2, 1],
+            },
             &[fc1],
             &format!("{name}.mlp.dw.permute"),
         )?;
-        let pc = b.push(OpKind::Contiguous, &[pm], &format!("{name}.mlp.dw.contiguous"))?;
+        let pc = b.push(
+            OpKind::Contiguous,
+            &[pm],
+            &format!("{name}.mlp.dw.contiguous"),
+        )?;
         let map = b.push(
-            OpKind::Reshape { shape: vec![batch, hidden, res, res] },
+            OpKind::Reshape {
+                shape: vec![batch, hidden, res, res],
+            },
             &[pc],
             &format!("{name}.mlp.dw.reshape"),
         )?;
@@ -305,16 +380,31 @@ impl SegformerConfig {
             &format!("{name}.mlp.dwconv"),
         )?;
         let fl = b.push(
-            OpKind::Reshape { shape: vec![batch, hidden, t] },
+            OpKind::Reshape {
+                shape: vec![batch, hidden, t],
+            },
             &[dw],
             &format!("{name}.mlp.dw.flatten"),
         )?;
-        let bp =
-            b.push(OpKind::Permute { perm: vec![0, 2, 1] }, &[fl], &format!("{name}.mlp.dw.back"))?;
-        let bc = b.push(OpKind::Contiguous, &[bp], &format!("{name}.mlp.dw.back.contiguous"))?;
+        let bp = b.push(
+            OpKind::Permute {
+                perm: vec![0, 2, 1],
+            },
+            &[fl],
+            &format!("{name}.mlp.dw.back"),
+        )?;
+        let bc = b.push(
+            OpKind::Contiguous,
+            &[bp],
+            &format!("{name}.mlp.dw.back.contiguous"),
+        )?;
         let act = b.push(OpKind::Gelu, &[bc], &format!("{name}.mlp.act"))?;
         let fc2 = b.push(
-            OpKind::Linear { in_f: hidden, out_f: dim, bias: true },
+            OpKind::Linear {
+                in_f: hidden,
+                out_f: dim,
+                bias: true,
+            },
             &[act],
             &format!("{name}.mlp.fc2"),
         )?;
@@ -352,7 +442,10 @@ impl MaskformerConfig {
             heads: 8,
             queries: 100,
             classes: 134,
-            backbone: ResNet50Config { image: 512, ..ResNet50Config::full() },
+            backbone: ResNet50Config {
+                image: 512,
+                ..ResNet50Config::full()
+            },
         }
     }
 
@@ -403,14 +496,20 @@ impl MaskformerConfig {
                 &format!("pixel_decoder.lateral{i}"),
             )?;
             let gn = b.push(
-                OpKind::GroupNorm { groups: 8.min(self.d), c: self.d },
+                OpKind::GroupNorm {
+                    groups: 8.min(self.d),
+                    c: self.d,
+                },
                 &[l],
                 &format!("pixel_decoder.gn{i}"),
             )?;
             let fused = if let Some(p) = prev {
                 let shape = b.shape(gn).to_vec();
                 let up = b.push(
-                    OpKind::InterpolateNearest { oh: shape[2], ow: shape[3] },
+                    OpKind::InterpolateNearest {
+                        oh: shape[2],
+                        ow: shape[3],
+                    },
                     &[p],
                     &format!("pixel_decoder.up{i}"),
                 )?;
@@ -455,13 +554,27 @@ impl MaskformerConfig {
             &[c5],
             "transformer.input_proj",
         )?;
-        let fl = b.push(OpKind::Reshape { shape: vec![batch, self.d, t] }, &[proj], "transformer.flatten")?;
-        let pm = b.push(OpKind::Permute { perm: vec![0, 2, 1] }, &[fl], "transformer.permute")?;
+        let fl = b.push(
+            OpKind::Reshape {
+                shape: vec![batch, self.d, t],
+            },
+            &[proj],
+            "transformer.flatten",
+        )?;
+        let pm = b.push(
+            OpKind::Permute {
+                perm: vec![0, 2, 1],
+            },
+            &[fl],
+            "transformer.permute",
+        )?;
         let memory = b.push(OpKind::Contiguous, &[pm], "transformer.contiguous")?;
 
         let queries = b.input(&[1, self.queries, self.d]);
         let qe = b.push(
-            OpKind::Expand { shape: vec![batch, self.queries, self.d] },
+            OpKind::Expand {
+                shape: vec![batch, self.queries, self.d],
+            },
             &[queries],
             "queries.expand",
         )?;
@@ -479,15 +592,27 @@ impl MaskformerConfig {
                 &format!("decoder.{l}.cross_attn"),
             )?;
             let a = b.push(OpKind::Add, &[q, ca], &format!("decoder.{l}.add"))?;
-            let n = b.push(OpKind::LayerNorm { dim: self.d }, &[a], &format!("decoder.{l}.norm"))?;
+            let n = b.push(
+                OpKind::LayerNorm { dim: self.d },
+                &[a],
+                &format!("decoder.{l}.norm"),
+            )?;
             let fc = b.push(
-                OpKind::Linear { in_f: self.d, out_f: self.d * 4, bias: true },
+                OpKind::Linear {
+                    in_f: self.d,
+                    out_f: self.d * 4,
+                    bias: true,
+                },
                 &[n],
                 &format!("decoder.{l}.ffn.fc1"),
             )?;
             let act = b.push(OpKind::Relu, &[fc], &format!("decoder.{l}.ffn.relu"))?;
             let fc2 = b.push(
-                OpKind::Linear { in_f: self.d * 4, out_f: self.d, bias: true },
+                OpKind::Linear {
+                    in_f: self.d * 4,
+                    out_f: self.d,
+                    bias: true,
+                },
                 &[act],
                 &format!("decoder.{l}.ffn.fc2"),
             )?;
@@ -496,29 +621,44 @@ impl MaskformerConfig {
 
         // ---- heads: classes + mask embeddings × pixel embeddings
         let cls = b.push(
-            OpKind::Linear { in_f: self.d, out_f: self.classes, bias: true },
+            OpKind::Linear {
+                in_f: self.d,
+                out_f: self.classes,
+                bias: true,
+            },
             &[q],
             "class_head",
         )?;
         b.push(OpKind::Softmax { dim: 2 }, &[cls], "class_probs")?;
         let membed = b.push(
-            OpKind::Linear { in_f: self.d, out_f: self.d, bias: true },
+            OpKind::Linear {
+                in_f: self.d,
+                out_f: self.d,
+                bias: true,
+            },
             &[q],
             "mask_embed",
         )?;
         let pixels = b.push(
-            OpKind::Reshape { shape: vec![batch, self.d, ph * pw] },
+            OpKind::Reshape {
+                shape: vec![batch, self.d, ph * pw],
+            },
             &[pixel_emb],
             "pixels.flatten",
         )?;
         let masks = b.push(OpKind::Bmm, &[membed, pixels], "mask_logits")?;
         let mm = b.push(
-            OpKind::Reshape { shape: vec![batch * self.queries, 1, ph, pw] },
+            OpKind::Reshape {
+                shape: vec![batch * self.queries, 1, ph, pw],
+            },
             &[masks],
             "masks.reshape",
         )?;
         let up = b.push(
-            OpKind::InterpolateBilinear { oh: self.image / 2, ow: self.image / 2 },
+            OpKind::InterpolateBilinear {
+                oh: self.image / 2,
+                ow: self.image / 2,
+            },
             &[mm],
             "masks.upsample",
         )?;
@@ -545,15 +685,17 @@ mod tests {
     fn segformer_matches_table2_shapes() {
         let g = SegformerConfig::b0().build(2).unwrap();
         // Table 2: LayerNorm [2, 16384, 32] at stage 0
-        assert!(g
-            .iter()
-            .any(|n| matches!(n.op, OpKind::LayerNorm { dim: 32 }) && n.out_shape == [2, 16384, 32]));
+        assert!(g.iter().any(
+            |n| matches!(n.op, OpKind::LayerNorm { dim: 32 }) && n.out_shape == [2, 16384, 32]
+        ));
         // Table 2: Interpolate [2, 256, 128, 128] in the decode head
         assert!(g
             .iter()
             .any(|n| matches!(n.op, OpKind::InterpolateBilinear { .. })
                 && n.out_shape == [2, 256, 128, 128]));
-        assert!(g.iter().any(|n| matches!(n.op, OpKind::BatchNorm2d { c: 256 })));
+        assert!(g
+            .iter()
+            .any(|n| matches!(n.op, OpKind::BatchNorm2d { c: 256 })));
     }
 
     #[test]

@@ -46,7 +46,11 @@ impl SwinConfig {
 
     /// Swin-Small: 50 M parameters, depths `[2,2,18,2]`, C = 96.
     pub fn small_224() -> Self {
-        SwinConfig { depths: vec![2, 2, 18, 2], name: "swin_s", ..SwinConfig::tiny_224() }
+        SwinConfig {
+            depths: vec![2, 2, 18, 2],
+            name: "swin_s",
+            ..SwinConfig::tiny_224()
+        }
     }
 
     /// Swin-Base: 88 M parameters, depths `[2,2,18,2]`, C = 128.
@@ -99,8 +103,20 @@ impl SwinConfig {
             &[x],
             "patch_embed.proj",
         )?;
-        let r = b.push(OpKind::Reshape { shape: vec![batch, c, res * res] }, &[pe], "patch_embed.flatten")?;
-        let p = b.push(OpKind::Permute { perm: vec![0, 2, 1] }, &[r], "patch_embed.permute")?;
+        let r = b.push(
+            OpKind::Reshape {
+                shape: vec![batch, c, res * res],
+            },
+            &[pe],
+            "patch_embed.flatten",
+        )?;
+        let p = b.push(
+            OpKind::Permute {
+                perm: vec![0, 2, 1],
+            },
+            &[r],
+            "patch_embed.permute",
+        )?;
         let pc = b.push(OpKind::Contiguous, &[p], "patch_embed.contiguous")?;
         let mut h = b.push(OpKind::LayerNorm { dim: c }, &[pc], "patch_embed.norm")?;
 
@@ -123,15 +139,36 @@ impl SwinConfig {
             }
             // Patch merging between stages (not after the last)
             if stage + 1 < self.depths.len() {
-                h = patch_merging(&mut b, h, batch, res, c, &format!("layers.{stage}.downsample"))?;
+                h = patch_merging(
+                    &mut b,
+                    h,
+                    batch,
+                    res,
+                    c,
+                    &format!("layers.{stage}.downsample"),
+                )?;
                 res /= 2;
                 c *= 2;
             }
         }
         let ln = b.push(OpKind::LayerNorm { dim: c }, &[h], "norm")?;
-        let mean = b.push(OpKind::MeanDim { dim: 1, keepdim: false }, &[ln], "avgpool")?;
-        let logits =
-            b.push(OpKind::Linear { in_f: c, out_f: self.classes, bias: true }, &[mean], "head")?;
+        let mean = b.push(
+            OpKind::MeanDim {
+                dim: 1,
+                keepdim: false,
+            },
+            &[ln],
+            "avgpool",
+        )?;
+        let logits = b.push(
+            OpKind::Linear {
+                in_f: c,
+                out_f: self.classes,
+                bias: true,
+            },
+            &[mean],
+            "head",
+        )?;
         b.push(OpKind::Softmax { dim: 1 }, &[logits], "probs")?;
         Ok(b.finish())
     }
@@ -162,22 +199,32 @@ impl SwinConfig {
         let shift = (w / 2) as isize;
         let ln1 = if shifted {
             let map = b.push(
-                OpKind::View { shape: vec![batch, res, res, c] },
+                OpKind::View {
+                    shape: vec![batch, res, res, c],
+                },
                 &[ln1],
                 &format!("{name}.shift.view"),
             )?;
             let r1 = b.push(
-                OpKind::Roll { shift: -shift, dim: 1 },
+                OpKind::Roll {
+                    shift: -shift,
+                    dim: 1,
+                },
                 &[map],
                 &format!("{name}.shift.roll_h"),
             )?;
             let r2 = b.push(
-                OpKind::Roll { shift: -shift, dim: 2 },
+                OpKind::Roll {
+                    shift: -shift,
+                    dim: 2,
+                },
                 &[r1],
                 &format!("{name}.shift.roll_w"),
             )?;
             b.push(
-                OpKind::Reshape { shape: vec![batch, res * res, c] },
+                OpKind::Reshape {
+                    shape: vec![batch, res * res, c],
+                },
                 &[r2],
                 &format!("{name}.shift.merge"),
             )?
@@ -186,18 +233,28 @@ impl SwinConfig {
         };
         // window partition: [B, H*W, C] -> [B*nW*nW, w*w, C]
         let v = b.push(
-            OpKind::View { shape: vec![batch, nw, w, nw, w, c] },
+            OpKind::View {
+                shape: vec![batch, nw, w, nw, w, c],
+            },
             &[ln1],
             &format!("{name}.win.view"),
         )?;
         let perm = b.push(
-            OpKind::Permute { perm: vec![0, 1, 3, 2, 4, 5] },
+            OpKind::Permute {
+                perm: vec![0, 1, 3, 2, 4, 5],
+            },
             &[v],
             &format!("{name}.win.permute"),
         )?;
-        let cont = b.push(OpKind::Contiguous, &[perm], &format!("{name}.win.contiguous"))?;
+        let cont = b.push(
+            OpKind::Contiguous,
+            &[perm],
+            &format!("{name}.win.contiguous"),
+        )?;
         let windows = b.push(
-            OpKind::View { shape: vec![batch * nw * nw, w * w, c] },
+            OpKind::View {
+                shape: vec![batch * nw * nw, w * w, c],
+            },
             &[cont],
             &format!("{name}.win.merge"),
         )?;
@@ -206,30 +263,45 @@ impl SwinConfig {
             windows,
             batch * nw * nw,
             w * w,
-            Attention { d: c, heads, causal: false, gpt2_conv1d: false, bias: true, rotary: false },
+            Attention {
+                d: c,
+                heads,
+                causal: false,
+                gpt2_conv1d: false,
+                bias: true,
+                rotary: false,
+            },
             &format!("{name}.attn"),
         )?;
         // window reverse
         let rv = b.push(
-            OpKind::View { shape: vec![batch, nw, nw, w, w, c] },
+            OpKind::View {
+                shape: vec![batch, nw, nw, w, w, c],
+            },
             &[att],
             &format!("{name}.rev.view"),
         )?;
         let rp = b.push(
-            OpKind::Permute { perm: vec![0, 1, 3, 2, 4, 5] },
+            OpKind::Permute {
+                perm: vec![0, 1, 3, 2, 4, 5],
+            },
             &[rv],
             &format!("{name}.rev.permute"),
         )?;
         let rc = b.push(OpKind::Contiguous, &[rp], &format!("{name}.rev.contiguous"))?;
         let mut tokens = b.push(
-            OpKind::View { shape: vec![batch, res * res, c] },
+            OpKind::View {
+                shape: vec![batch, res * res, c],
+            },
             &[rc],
             &format!("{name}.rev.merge"),
         )?;
         if shifted {
             // undo the cyclic shift
             let map = b.push(
-                OpKind::View { shape: vec![batch, res, res, c] },
+                OpKind::View {
+                    shape: vec![batch, res, res, c],
+                },
                 &[tokens],
                 &format!("{name}.unshift.view"),
             )?;
@@ -244,14 +316,28 @@ impl SwinConfig {
                 &format!("{name}.unshift.roll_w"),
             )?;
             tokens = b.push(
-                OpKind::Reshape { shape: vec![batch, res * res, c] },
+                OpKind::Reshape {
+                    shape: vec![batch, res * res, c],
+                },
                 &[r2],
                 &format!("{name}.unshift.merge"),
             )?;
         }
         let x1 = b.push(OpKind::Add, &[x, tokens], &format!("{name}.add1"))?;
-        let ln2 = b.push(OpKind::LayerNorm { dim: c }, &[x1], &format!("{name}.norm2"))?;
-        let ff = mlp(b, ln2, c, 4 * c, MlpAct::Gelu, false, &format!("{name}.mlp"))?;
+        let ln2 = b.push(
+            OpKind::LayerNorm { dim: c },
+            &[x1],
+            &format!("{name}.norm2"),
+        )?;
+        let ff = mlp(
+            b,
+            ln2,
+            c,
+            4 * c,
+            MlpAct::Gelu,
+            false,
+            &format!("{name}.mlp"),
+        )?;
         b.push(OpKind::Add, &[x1, ff], &format!("{name}.add2"))
     }
 }
@@ -268,24 +354,38 @@ fn patch_merging(
 ) -> Result<NodeId> {
     // [B, H*W, C] -> [B, H/2, 2, W/2, 2, C] -> [B, H/2, W/2, 2, 2, C]
     let v = b.push(
-        OpKind::View { shape: vec![batch, res / 2, 2, res / 2, 2, c] },
+        OpKind::View {
+            shape: vec![batch, res / 2, 2, res / 2, 2, c],
+        },
         &[x],
         &format!("{name}.view"),
     )?;
     let p = b.push(
-        OpKind::Permute { perm: vec![0, 1, 3, 2, 4, 5] },
+        OpKind::Permute {
+            perm: vec![0, 1, 3, 2, 4, 5],
+        },
         &[v],
         &format!("{name}.permute"),
     )?;
     let pc = b.push(OpKind::Contiguous, &[p], &format!("{name}.contiguous"))?;
     let merged = b.push(
-        OpKind::View { shape: vec![batch, (res / 2) * (res / 2), 4 * c] },
+        OpKind::View {
+            shape: vec![batch, (res / 2) * (res / 2), 4 * c],
+        },
         &[pc],
         &format!("{name}.merge"),
     )?;
-    let ln = b.push(OpKind::LayerNorm { dim: 4 * c }, &[merged], &format!("{name}.norm"))?;
+    let ln = b.push(
+        OpKind::LayerNorm { dim: 4 * c },
+        &[merged],
+        &format!("{name}.norm"),
+    )?;
     b.push(
-        OpKind::Linear { in_f: 4 * c, out_f: 2 * c, bias: false },
+        OpKind::Linear {
+            in_f: 4 * c,
+            out_f: 2 * c,
+            bias: false,
+        },
         &[ln],
         &format!("{name}.reduction"),
     )

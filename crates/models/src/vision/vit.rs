@@ -29,22 +29,58 @@ pub struct VitConfig {
 impl VitConfig {
     /// ViT-Base/16: 86 M parameters, 12 × 768.
     pub fn base16() -> Self {
-        VitConfig { name: "vit_b16", image: 224, patch: 16, d: 768, layers: 12, heads: 12, mlp: 3072, classes: 1000 }
+        VitConfig {
+            name: "vit_b16",
+            image: 224,
+            patch: 16,
+            d: 768,
+            layers: 12,
+            heads: 12,
+            mlp: 3072,
+            classes: 1000,
+        }
     }
 
     /// ViT-Large/16: 307 M parameters, 24 × 1024.
     pub fn large16() -> Self {
-        VitConfig { name: "vit_l16", image: 224, patch: 16, d: 1024, layers: 24, heads: 16, mlp: 4096, classes: 1000 }
+        VitConfig {
+            name: "vit_l16",
+            image: 224,
+            patch: 16,
+            d: 1024,
+            layers: 24,
+            heads: 16,
+            mlp: 4096,
+            classes: 1000,
+        }
     }
 
     /// ViT-Huge/14: 632 M parameters, 32 × 1280.
     pub fn huge14() -> Self {
-        VitConfig { name: "vit_h14", image: 224, patch: 14, d: 1280, layers: 32, heads: 16, mlp: 5120, classes: 1000 }
+        VitConfig {
+            name: "vit_h14",
+            image: 224,
+            patch: 14,
+            d: 1280,
+            layers: 32,
+            heads: 16,
+            mlp: 5120,
+            classes: 1000,
+        }
     }
 
     /// Executable toy preset.
     pub fn tiny() -> Self {
-        VitConfig { name: "vit_tiny", image: 32, patch: 8, d: 32, layers: 2, heads: 4, mlp: 64, classes: 10 }
+        VitConfig {
+            name: "vit_tiny",
+            image: 32,
+            patch: 8,
+            d: 32,
+            layers: 2,
+            heads: 4,
+            mlp: 64,
+            classes: 10,
+        }
     }
 
     /// Number of tokens (patches + CLS).
@@ -80,17 +116,27 @@ impl VitConfig {
         // [B, D, g, g] -> [B, D, g*g] -> [B, g*g, D] (the Reshape/Permute
         // entries of Table 2 for ViT-b16)
         let r = b.push(
-            OpKind::Reshape { shape: vec![batch, self.d, grid * grid] },
+            OpKind::Reshape {
+                shape: vec![batch, self.d, grid * grid],
+            },
             &[pe],
             "patch_embed.reshape",
         )?;
-        let p = b.push(OpKind::Permute { perm: vec![0, 2, 1] }, &[r], "patch_embed.permute")?;
+        let p = b.push(
+            OpKind::Permute {
+                perm: vec![0, 2, 1],
+            },
+            &[r],
+            "patch_embed.permute",
+        )?;
         let pc = b.push(OpKind::Contiguous, &[p], "patch_embed.contiguous")?;
 
         // CLS token: expand + cat (the Expand entry of Table 2)
         let cls = b.input(&[1, 1, self.d]);
         let cls_e = b.push(
-            OpKind::Expand { shape: vec![batch, 1, self.d] },
+            OpKind::Expand {
+                shape: vec![batch, 1, self.d],
+            },
             &[cls],
             "cls_token.expand",
         )?;
@@ -114,10 +160,22 @@ impl VitConfig {
         }
         let ln = b.push(OpKind::LayerNorm { dim: self.d }, &[h], "ln_final")?;
         // classification on the CLS token
-        let cls_tok = b.push(OpKind::Slice { dim: 1, start: 0, len: 1 }, &[ln], "take_cls")?;
+        let cls_tok = b.push(
+            OpKind::Slice {
+                dim: 1,
+                start: 0,
+                len: 1,
+            },
+            &[ln],
+            "take_cls",
+        )?;
         let sq = b.push(OpKind::Squeeze { dim: 1 }, &[cls_tok], "squeeze")?;
         let logits = b.push(
-            OpKind::Linear { in_f: self.d, out_f: self.classes, bias: true },
+            OpKind::Linear {
+                in_f: self.d,
+                out_f: self.classes,
+                bias: true,
+            },
             &[sq],
             "head",
         )?;
@@ -152,7 +210,15 @@ mod tests {
     fn graph_contains_paper_table2_ops() {
         let g = VitConfig::base16().build(1).unwrap();
         g.validate().unwrap();
-        for op in ["gelu", "layer_norm", "permute", "reshape", "expand", "softmax", "bmm"] {
+        for op in [
+            "gelu",
+            "layer_norm",
+            "permute",
+            "reshape",
+            "expand",
+            "softmax",
+            "bmm",
+        ] {
             assert!(g.op_histogram().contains_key(op), "missing {op}");
         }
         assert!(g.group_count(NonGemmGroup::Memory) > 50);
@@ -165,7 +231,13 @@ mod tests {
         let probs = &t.outputs[0].1;
         assert_eq!(probs.shape(), &[2, 10]);
         for r in 0..2 {
-            let s: f32 = probs.select(0, r).unwrap().to_vec_f32().unwrap().iter().sum();
+            let s: f32 = probs
+                .select(0, r)
+                .unwrap()
+                .to_vec_f32()
+                .unwrap()
+                .iter()
+                .sum();
             assert!((s - 1.0).abs() < 1e-4);
         }
     }

@@ -60,7 +60,11 @@ fn swin_t_census() {
 
 #[test]
 fn gpt2_family_census_scales_with_depth() {
-    for (m, layers) in [(ModelId::Gpt2, 12), (ModelId::Gpt2Large, 36), (ModelId::Gpt2Xl, 48)] {
+    for (m, layers) in [
+        (ModelId::Gpt2, 12),
+        (ModelId::Gpt2Large, 36),
+        (ModelId::Gpt2Xl, 48),
+    ] {
         let h = histogram(m);
         assert_eq!(h["conv1d_gpt2"], 4 * layers, "{m}");
         assert_eq!(h["new_gelu"], layers, "{m}");
@@ -143,12 +147,19 @@ fn every_model_keeps_input_arity() {
         let g = m.build(1, Scale::Full).expect("builds");
         let inputs = g
             .iter()
-            .filter(|n| matches!(n.op, ngb_graph::OpKind::Input | ngb_graph::OpKind::InputIds { .. }))
+            .filter(|n| {
+                matches!(
+                    n.op,
+                    ngb_graph::OpKind::Input | ngb_graph::OpKind::InputIds { .. }
+                )
+            })
             .count();
         assert!(inputs >= 1, "{m}");
         for n in g.iter() {
-            let is_input =
-                matches!(n.op, ngb_graph::OpKind::Input | ngb_graph::OpKind::InputIds { .. });
+            let is_input = matches!(
+                n.op,
+                ngb_graph::OpKind::Input | ngb_graph::OpKind::InputIds { .. }
+            );
             assert_eq!(n.inputs.is_empty(), is_input, "{m}: node {}", n.name);
         }
     }

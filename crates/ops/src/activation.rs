@@ -148,7 +148,7 @@ fn erf(x: f32) -> f32 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_4 * t - 1.453_152_ ) * t) + 1.421_413_7) * t - 0.284_496_74) * t
+        - (((((1.061_405_4 * t - 1.453_152_) * t) + 1.421_413_7) * t - 0.284_496_74) * t
             + 0.254_829_6)
             * t
             * (-x * x).exp();
@@ -163,7 +163,10 @@ mod tests {
     #[test]
     fn relu_clamps_negatives() {
         let x = Tensor::from_vec(vec![-2.0, -0.5, 0.0, 3.0], &[4]).unwrap();
-        assert_eq!(relu(&x).unwrap().to_vec_f32().unwrap(), vec![0.0, 0.0, 0.0, 3.0]);
+        assert_eq!(
+            relu(&x).unwrap().to_vec_f32().unwrap(),
+            vec![0.0, 0.0, 0.0, 3.0]
+        );
     }
 
     #[test]
@@ -215,7 +218,10 @@ mod tests {
     #[test]
     fn relu6_and_hardswish() {
         let x = Tensor::from_vec(vec![-5.0, 3.0, 10.0], &[3]).unwrap();
-        assert_eq!(relu6(&x).unwrap().to_vec_f32().unwrap(), vec![0.0, 3.0, 6.0]);
+        assert_eq!(
+            relu6(&x).unwrap().to_vec_f32().unwrap(),
+            vec![0.0, 3.0, 6.0]
+        );
         let h = hardswish(&x).unwrap().to_vec_f32().unwrap();
         assert_eq!(h[0], 0.0); // relu6(-2) = 0
         assert_eq!(h[2], 10.0); // saturated: x * 6/6
@@ -231,7 +237,9 @@ mod tests {
     #[test]
     fn activation_preserves_shape() {
         let x = TensorRng::seed(3).normal(&[2, 3, 4]);
-        for f in [relu, gelu, gelu_tanh, new_gelu, silu, sigmoid, hardswish, relu6] {
+        for f in [
+            relu, gelu, gelu_tanh, new_gelu, silu, sigmoid, hardswish, relu6,
+        ] {
             assert_eq!(f(&x).unwrap().shape(), x.shape());
         }
     }

@@ -127,11 +127,16 @@ pub fn clamp(a: &Tensor, lo: f32, hi: f32) -> Result<Tensor> {
 ///
 /// Fails when `dim` is out of range or input is not f32.
 pub fn mean_dim(a: &Tensor, dim: usize, keepdim: bool) -> Result<Tensor> {
-    let n = a.shape().get(dim).copied().ok_or(ngb_tensor::TensorError::InvalidDim {
-        dim,
-        rank: a.rank(),
-    })? as f32;
-    a.reduce_dim(dim, keepdim, 0.0, |acc, v| acc + v)?.map(|v| v / n)
+    let n = a
+        .shape()
+        .get(dim)
+        .copied()
+        .ok_or(ngb_tensor::TensorError::InvalidDim {
+            dim,
+            rank: a.rank(),
+        })? as f32;
+    a.reduce_dim(dim, keepdim, 0.0, |acc, v| acc + v)?
+        .map(|v| v / n)
 }
 
 /// Sum over dimension `dim`.
@@ -159,8 +164,11 @@ pub fn masked_fill(a: &Tensor, mask: &Tensor, value: f32) -> Result<Tensor> {
     }
     let m = mask.to_vec_bool()?;
     let v = a.to_vec_f32()?;
-    let out: Vec<f32> =
-        v.into_iter().zip(m).map(|(x, keep)| if keep { value } else { x }).collect();
+    let out: Vec<f32> = v
+        .into_iter()
+        .zip(m)
+        .map(|(x, keep)| if keep { value } else { x })
+        .collect();
     Tensor::from_vec(out, a.shape())
 }
 
@@ -181,8 +189,11 @@ pub fn where_cond(cond: &Tensor, a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let c = cond.to_vec_bool()?;
     let av = a.to_vec_f32()?;
     let bv = b.to_vec_f32()?;
-    let out: Vec<f32> =
-        c.into_iter().zip(av.into_iter().zip(bv)).map(|(k, (x, y))| if k { x } else { y }).collect();
+    let out: Vec<f32> = c
+        .into_iter()
+        .zip(av.into_iter().zip(bv))
+        .map(|(k, (x, y))| if k { x } else { y })
+        .collect();
     Tensor::from_vec(out, a.shape())
 }
 
@@ -215,10 +226,22 @@ mod tests {
     fn binary_ops() {
         let a = v(&[1.0, 2.0, 3.0]);
         let b = v(&[4.0, 5.0, 6.0]);
-        assert_eq!(add(&a, &b).unwrap().to_vec_f32().unwrap(), vec![5.0, 7.0, 9.0]);
-        assert_eq!(sub(&b, &a).unwrap().to_vec_f32().unwrap(), vec![3.0, 3.0, 3.0]);
-        assert_eq!(mul(&a, &b).unwrap().to_vec_f32().unwrap(), vec![4.0, 10.0, 18.0]);
-        assert_eq!(div(&b, &a).unwrap().to_vec_f32().unwrap(), vec![4.0, 2.5, 2.0]);
+        assert_eq!(
+            add(&a, &b).unwrap().to_vec_f32().unwrap(),
+            vec![5.0, 7.0, 9.0]
+        );
+        assert_eq!(
+            sub(&b, &a).unwrap().to_vec_f32().unwrap(),
+            vec![3.0, 3.0, 3.0]
+        );
+        assert_eq!(
+            mul(&a, &b).unwrap().to_vec_f32().unwrap(),
+            vec![4.0, 10.0, 18.0]
+        );
+        assert_eq!(
+            div(&b, &a).unwrap().to_vec_f32().unwrap(),
+            vec![4.0, 2.5, 2.0]
+        );
     }
 
     #[test]
@@ -233,20 +256,41 @@ mod tests {
     fn scalar_ops() {
         let a = v(&[4.0, 9.0]);
         assert_eq!(neg(&a).unwrap().to_vec_f32().unwrap(), vec![-4.0, -9.0]);
-        assert_eq!(add_scalar(&a, 1.0).unwrap().to_vec_f32().unwrap(), vec![5.0, 10.0]);
-        assert_eq!(mul_scalar(&a, 0.5).unwrap().to_vec_f32().unwrap(), vec![2.0, 4.5]);
-        assert_eq!(div_scalar(&a, 2.0).unwrap().to_vec_f32().unwrap(), vec![2.0, 4.5]);
+        assert_eq!(
+            add_scalar(&a, 1.0).unwrap().to_vec_f32().unwrap(),
+            vec![5.0, 10.0]
+        );
+        assert_eq!(
+            mul_scalar(&a, 0.5).unwrap().to_vec_f32().unwrap(),
+            vec![2.0, 4.5]
+        );
+        assert_eq!(
+            div_scalar(&a, 2.0).unwrap().to_vec_f32().unwrap(),
+            vec![2.0, 4.5]
+        );
         assert!(div_scalar(&a, 0.0).is_err());
         assert_eq!(sqrt(&a).unwrap().to_vec_f32().unwrap(), vec![2.0, 3.0]);
-        assert_eq!(rsqrt(&a).unwrap().to_vec_f32().unwrap(), vec![0.5, 1.0 / 3.0]);
-        assert_eq!(pow_scalar(&a, 2.0).unwrap().to_vec_f32().unwrap(), vec![16.0, 81.0]);
-        assert_eq!(clamp(&a, 5.0, 8.0).unwrap().to_vec_f32().unwrap(), vec![5.0, 8.0]);
+        assert_eq!(
+            rsqrt(&a).unwrap().to_vec_f32().unwrap(),
+            vec![0.5, 1.0 / 3.0]
+        );
+        assert_eq!(
+            pow_scalar(&a, 2.0).unwrap().to_vec_f32().unwrap(),
+            vec![16.0, 81.0]
+        );
+        assert_eq!(
+            clamp(&a, 5.0, 8.0).unwrap().to_vec_f32().unwrap(),
+            vec![5.0, 8.0]
+        );
     }
 
     #[test]
     fn reductions() {
         let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
-        assert_eq!(mean_dim(&a, 1, false).unwrap().to_vec_f32().unwrap(), vec![1.5, 3.5]);
+        assert_eq!(
+            mean_dim(&a, 1, false).unwrap().to_vec_f32().unwrap(),
+            vec![1.5, 3.5]
+        );
         assert_eq!(sum_dim(&a, 0, true).unwrap().shape(), &[1, 2]);
         assert!(mean_dim(&a, 2, false).is_err());
     }

@@ -186,7 +186,14 @@ mod tests {
 
     #[test]
     fn intensity_edge_cases() {
-        assert_eq!(OpCost { flops: 5.0, ..OpCost::default() }.arithmetic_intensity(), f64::INFINITY);
+        assert_eq!(
+            OpCost {
+                flops: 5.0,
+                ..OpCost::default()
+            }
+            .arithmetic_intensity(),
+            f64::INFINITY
+        );
         let c = OpCost::reduction(100, 1, 1.0);
         assert!(c.arithmetic_intensity() > 0.0 && c.arithmetic_intensity() < 1.0);
     }

@@ -13,7 +13,9 @@ use crate::{OpCost, Result, F32_BYTES};
 /// of vocabulary range.
 pub fn embedding(table: &Tensor, ids: &Tensor) -> Result<Tensor> {
     if table.rank() != 2 {
-        return Err(TensorError::InvalidArgument("embedding table must be [V, D]".into()));
+        return Err(TensorError::InvalidArgument(
+            "embedding table must be [V, D]".into(),
+        ));
     }
     let (v, d) = (table.shape()[0], table.shape()[1]);
     let idv = ids.to_vec_i64()?;

@@ -121,7 +121,9 @@ pub fn bmm_cost(b: usize, m: usize, k: usize, n: usize) -> OpCost {
 /// bias length differs from `out`.
 pub fn linear(x: &Tensor, w: &Tensor, bias: Option<&Tensor>) -> Result<Tensor> {
     if w.rank() != 2 {
-        return Err(TensorError::InvalidArgument("linear weight must be rank 2".into()));
+        return Err(TensorError::InvalidArgument(
+            "linear weight must be rank 2".into(),
+        ));
     }
     let (out_f, in_f) = (w.shape()[0], w.shape()[1]);
     let x_in = *x.shape().last().ok_or_else(|| {
@@ -194,10 +196,14 @@ pub fn conv2d(
     groups: usize,
 ) -> Result<Tensor> {
     if x.rank() != 4 || w.rank() != 4 {
-        return Err(TensorError::InvalidArgument("conv2d requires NCHW x and FCHW w".into()));
+        return Err(TensorError::InvalidArgument(
+            "conv2d requires NCHW x and FCHW w".into(),
+        ));
     }
     if stride == 0 || groups == 0 {
-        return Err(TensorError::InvalidArgument("conv2d stride/groups must be nonzero".into()));
+        return Err(TensorError::InvalidArgument(
+            "conv2d stride/groups must be nonzero".into(),
+        ));
     }
     let (n, c, h, wd) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
     let (f, cg, kh, kw) = (w.shape()[0], w.shape()[1], w.shape()[2], w.shape()[3]);
@@ -208,12 +214,18 @@ pub fn conv2d(
             op: "conv2d",
         });
     }
-    let oh = (h + 2 * padding).checked_sub(kh).map(|v| v / stride + 1).ok_or_else(|| {
-        TensorError::InvalidArgument("conv2d kernel larger than padded input".into())
-    })?;
-    let ow = (wd + 2 * padding).checked_sub(kw).map(|v| v / stride + 1).ok_or_else(|| {
-        TensorError::InvalidArgument("conv2d kernel larger than padded input".into())
-    })?;
+    let oh = (h + 2 * padding)
+        .checked_sub(kh)
+        .map(|v| v / stride + 1)
+        .ok_or_else(|| {
+            TensorError::InvalidArgument("conv2d kernel larger than padded input".into())
+        })?;
+    let ow = (wd + 2 * padding)
+        .checked_sub(kw)
+        .map(|v| v / stride + 1)
+        .ok_or_else(|| {
+            TensorError::InvalidArgument("conv2d kernel larger than padded input".into())
+        })?;
 
     let xc = x.contiguous();
     let xs = xc.as_slice_f32().expect("contiguous f32");
@@ -245,8 +257,7 @@ pub fn conv2d(
                                 }
                                 let ix = ix - padding;
                                 let col = (b * oh + oy) * ow + ox;
-                                cols[row * cols_cols + col] =
-                                    xs[((b * c + ch) * h + iy) * wd + ix];
+                                cols[row * cols_cols + col] = xs[((b * c + ch) * h + iy) * wd + ix];
                             }
                         }
                     }
@@ -299,7 +310,9 @@ pub fn conv2d_direct(
     let (n, c, h, wd) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
     let (f, cg, kh, kw) = (w.shape()[0], w.shape()[1], w.shape()[2], w.shape()[3]);
     if stride == 0 || groups == 0 || c % groups != 0 || f % groups != 0 || cg != c / groups {
-        return Err(TensorError::InvalidArgument("conv2d_direct invalid configuration".into()));
+        return Err(TensorError::InvalidArgument(
+            "conv2d_direct invalid configuration".into(),
+        ));
     }
     let oh = (h + 2 * padding - kh) / stride + 1;
     let ow = (wd + 2 * padding - kw) / stride + 1;
@@ -323,8 +336,8 @@ pub fn conv2d_direct(
                                 if iy >= h || ix >= wd {
                                     continue;
                                 }
-                                acc += x.at(&[b, g * cg + cc, iy, ix])?
-                                    * w.at(&[ff, cc, ky, kx])?;
+                                acc +=
+                                    x.at(&[b, g * cg + cc, iy, ix])? * w.at(&[ff, cc, ky, kx])?;
                             }
                         }
                     }
@@ -379,7 +392,10 @@ mod tests {
         let bv = b.to_vec_f32().unwrap();
         assert_eq!(a.shape(), b.shape());
         for (i, (x, y)) in av.iter().zip(&bv).enumerate() {
-            assert!((x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())), "elem {i}: {x} vs {y}");
+            assert!(
+                (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())),
+                "elem {i}: {x} vs {y}"
+            );
         }
     }
 

@@ -14,7 +14,9 @@ use crate::{OpCost, Result, F32_BYTES};
 pub fn interpolate_nearest(x: &Tensor, out_h: usize, out_w: usize) -> Result<Tensor> {
     let (n, c, h, w) = nchw(x, "interpolate_nearest")?;
     if out_h == 0 || out_w == 0 {
-        return Err(TensorError::InvalidArgument("interpolate output must be nonzero".into()));
+        return Err(TensorError::InvalidArgument(
+            "interpolate output must be nonzero".into(),
+        ));
     }
     let xc = x.contiguous();
     let xs = xc.as_slice_f32().ok_or(TensorError::DTypeMismatch {
@@ -47,7 +49,9 @@ pub fn interpolate_nearest(x: &Tensor, out_h: usize, out_w: usize) -> Result<Ten
 pub fn interpolate_bilinear(x: &Tensor, out_h: usize, out_w: usize) -> Result<Tensor> {
     let (n, c, h, w) = nchw(x, "interpolate_bilinear")?;
     if out_h == 0 || out_w == 0 {
-        return Err(TensorError::InvalidArgument("interpolate output must be nonzero".into()));
+        return Err(TensorError::InvalidArgument(
+            "interpolate output must be nonzero".into(),
+        ));
     }
     let xc = x.contiguous();
     let xs = xc.as_slice_f32().ok_or(TensorError::DTypeMismatch {
@@ -85,7 +89,9 @@ pub fn interpolate_bilinear(x: &Tensor, out_h: usize, out_w: usize) -> Result<Te
 
 fn nchw(x: &Tensor, op: &'static str) -> Result<(usize, usize, usize, usize)> {
     if x.rank() != 4 {
-        return Err(TensorError::InvalidArgument(format!("{op} requires NCHW input")));
+        return Err(TensorError::InvalidArgument(format!(
+            "{op} requires NCHW input"
+        )));
     }
     Ok((x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]))
 }
@@ -120,7 +126,11 @@ mod tests {
     fn bilinear_preserves_constant() {
         let x = Tensor::full(&[1, 2, 3, 3], 2.5);
         let y = interpolate_bilinear(&x, 7, 5).unwrap();
-        assert!(y.to_vec_f32().unwrap().iter().all(|&v| (v - 2.5).abs() < 1e-6));
+        assert!(y
+            .to_vec_f32()
+            .unwrap()
+            .iter()
+            .all(|&v| (v - 2.5).abs() < 1e-6));
     }
 
     #[test]
@@ -134,8 +144,13 @@ mod tests {
 
     #[test]
     fn bilinear_monotone_on_ramp() {
-        let x = Tensor::arange(0.0, 4.0, 1.0).reshape(&[1, 1, 1, 4]).unwrap();
-        let y = interpolate_bilinear(&x, 1, 8).unwrap().to_vec_f32().unwrap();
+        let x = Tensor::arange(0.0, 4.0, 1.0)
+            .reshape(&[1, 1, 1, 4])
+            .unwrap();
+        let y = interpolate_bilinear(&x, 1, 8)
+            .unwrap()
+            .to_vec_f32()
+            .unwrap();
         for w in y.windows(2) {
             assert!(w[1] >= w[0], "{y:?} not monotone");
         }
@@ -144,8 +159,14 @@ mod tests {
     #[test]
     fn downsample_shapes() {
         let x = TensorRng::seed(2).normal(&[2, 3, 8, 8]);
-        assert_eq!(interpolate_nearest(&x, 2, 2).unwrap().shape(), &[2, 3, 2, 2]);
-        assert_eq!(interpolate_bilinear(&x, 3, 5).unwrap().shape(), &[2, 3, 3, 5]);
+        assert_eq!(
+            interpolate_nearest(&x, 2, 2).unwrap().shape(),
+            &[2, 3, 2, 2]
+        );
+        assert_eq!(
+            interpolate_bilinear(&x, 3, 5).unwrap().shape(),
+            &[2, 3, 3, 5]
+        );
     }
 
     #[test]

@@ -107,7 +107,10 @@ pub fn cat(xs: &[Tensor], dim: usize) -> Result<Tensor> {
 /// Fails when `dim` is out of range or the input is not f32.
 pub fn roll(x: &Tensor, shift: isize, dim: usize) -> Result<Tensor> {
     if dim >= x.rank() {
-        return Err(ngb_tensor::TensorError::InvalidDim { dim, rank: x.rank() });
+        return Err(ngb_tensor::TensorError::InvalidDim {
+            dim,
+            rank: x.rank(),
+        });
     }
     let d = x.shape()[dim];
     if d == 0 {
@@ -186,7 +189,10 @@ mod tests {
         let r = roll(&x, 1, 1).unwrap();
         assert_eq!(r.to_vec_f32().unwrap(), vec![2.0, 0.0, 1.0, 5.0, 3.0, 4.0]);
         let neg = roll(&x, -1, 1).unwrap();
-        assert_eq!(neg.to_vec_f32().unwrap(), vec![1.0, 2.0, 0.0, 4.0, 5.0, 3.0]);
+        assert_eq!(
+            neg.to_vec_f32().unwrap(),
+            vec![1.0, 2.0, 0.0, 4.0, 5.0, 3.0]
+        );
         // full-period roll is the identity
         let full = roll(&x, 3, 1).unwrap();
         assert_eq!(full.to_vec_f32().unwrap(), x.to_vec_f32().unwrap());

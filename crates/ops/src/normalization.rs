@@ -156,11 +156,17 @@ pub fn batch_norm2d(
     eps: f32,
 ) -> Result<Tensor> {
     if x.rank() != 4 {
-        return Err(TensorError::InvalidArgument("batch_norm2d requires NCHW input".into()));
+        return Err(TensorError::InvalidArgument(
+            "batch_norm2d requires NCHW input".into(),
+        ));
     }
     let c = x.shape()[1];
-    for (t, name) in [(gamma, "gamma"), (beta, "beta"), (running_mean, "mean"), (running_var, "var")]
-    {
+    for (t, name) in [
+        (gamma, "gamma"),
+        (beta, "beta"),
+        (running_mean, "mean"),
+        (running_var, "var"),
+    ] {
         if t.shape() != [c] {
             return Err(TensorError::InvalidArgument(format!(
                 "batch_norm2d {name} must have shape [{c}], got {:?}",
@@ -174,7 +180,9 @@ pub fn batch_norm2d(
     let v4 = running_var.reshape(&[1, c, 1, 1])?;
     let centered = x.zip_map(&m4, |a, m| a - m)?;
     let scaled = centered.zip_map(&v4, move |a, v| a / (v + eps).sqrt())?;
-    scaled.zip_map(&g4, |a, g| a * g)?.zip_map(&b4, |a, b| a + b)
+    scaled
+        .zip_map(&g4, |a, g| a * g)?
+        .zip_map(&b4, |a, b| a + b)
 }
 
 /// Cost of a fused inference [`batch_norm2d`] kernel on `shape`.
@@ -242,7 +250,9 @@ pub fn group_norm(
     eps: f32,
 ) -> Result<Tensor> {
     if x.rank() != 4 {
-        return Err(TensorError::InvalidArgument("group_norm requires NCHW input".into()));
+        return Err(TensorError::InvalidArgument(
+            "group_norm requires NCHW input".into(),
+        ));
     }
     let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
     if groups == 0 || c % groups != 0 {
@@ -329,7 +339,12 @@ mod tests {
         let y = layer_norm(&x, &g, &b, 1e-5).unwrap();
         let plain = layer_norm(&x, &Tensor::ones(&[8]), &Tensor::zeros(&[8]), 1e-5).unwrap();
         let expect = plain.map(|v| 2.0 * v + 1.0).unwrap();
-        for (a, e) in y.to_vec_f32().unwrap().iter().zip(expect.to_vec_f32().unwrap()) {
+        for (a, e) in y
+            .to_vec_f32()
+            .unwrap()
+            .iter()
+            .zip(expect.to_vec_f32().unwrap())
+        {
             assert!((a - e).abs() < 1e-5);
         }
     }
@@ -340,7 +355,12 @@ mod tests {
         let g = TensorRng::seed(4).uniform(&[32], 0.5, 1.5);
         let fused = rms_norm(&x, &g, 1e-6).unwrap();
         let dec = llama_rms_norm(&x, &g, 1e-6).unwrap();
-        for (a, b) in fused.to_vec_f32().unwrap().iter().zip(dec.to_vec_f32().unwrap()) {
+        for (a, b) in fused
+            .to_vec_f32()
+            .unwrap()
+            .iter()
+            .zip(dec.to_vec_f32().unwrap())
+        {
             assert!((a - b).abs() < 1e-4, "{a} vs {b}");
         }
     }
@@ -348,7 +368,10 @@ mod tests {
     #[test]
     fn rms_norm_unit_rms() {
         let x = TensorRng::seed(5).normal(&[1, 64]);
-        let y = rms_norm(&x, &Tensor::ones(&[64]), 0.0).unwrap().to_vec_f32().unwrap();
+        let y = rms_norm(&x, &Tensor::ones(&[64]), 0.0)
+            .unwrap()
+            .to_vec_f32()
+            .unwrap();
         let rms = (y.iter().map(|v| v * v).sum::<f32>() / 64.0).sqrt();
         assert!((rms - 1.0).abs() < 1e-4);
     }
@@ -372,7 +395,12 @@ mod tests {
         let v = rng.uniform(&[3], 0.5, 2.0);
         let bn = batch_norm2d(&x, &g, &b, &m, &v, 1e-5).unwrap();
         let fbn = frozen_batch_norm2d(&x, &g, &b, &m, &v, 1e-5).unwrap();
-        for (a, c) in bn.to_vec_f32().unwrap().iter().zip(fbn.to_vec_f32().unwrap()) {
+        for (a, c) in bn
+            .to_vec_f32()
+            .unwrap()
+            .iter()
+            .zip(fbn.to_vec_f32().unwrap())
+        {
             assert!((a - c).abs() < 1e-4, "{a} vs {c}");
         }
     }

@@ -9,7 +9,9 @@ use crate::{OpCost, Result, F32_BYTES};
 
 fn check_nchw(x: &Tensor, op: &'static str) -> Result<(usize, usize, usize, usize)> {
     if x.rank() != 4 {
-        return Err(TensorError::InvalidArgument(format!("{op} requires NCHW input")));
+        return Err(TensorError::InvalidArgument(format!(
+            "{op} requires NCHW input"
+        )));
     }
     Ok((x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]))
 }
@@ -23,7 +25,9 @@ fn check_nchw(x: &Tensor, op: &'static str) -> Result<(usize, usize, usize, usiz
 pub fn max_pool2d(x: &Tensor, kernel: usize, stride: usize, padding: usize) -> Result<Tensor> {
     let (n, c, h, w) = check_nchw(x, "max_pool2d")?;
     if stride == 0 || kernel == 0 {
-        return Err(TensorError::InvalidArgument("max_pool2d kernel/stride must be nonzero".into()));
+        return Err(TensorError::InvalidArgument(
+            "max_pool2d kernel/stride must be nonzero".into(),
+        ));
     }
     let oh = conv_out_dim(h, kernel, stride, padding);
     let ow = conv_out_dim(w, kernel, stride, padding);
@@ -71,7 +75,9 @@ pub fn max_pool2d(x: &Tensor, kernel: usize, stride: usize, padding: usize) -> R
 pub fn avg_pool2d(x: &Tensor, kernel: usize, stride: usize, padding: usize) -> Result<Tensor> {
     let (n, c, h, w) = check_nchw(x, "avg_pool2d")?;
     if stride == 0 || kernel == 0 {
-        return Err(TensorError::InvalidArgument("avg_pool2d kernel/stride must be nonzero".into()));
+        return Err(TensorError::InvalidArgument(
+            "avg_pool2d kernel/stride must be nonzero".into(),
+        ));
     }
     let oh = conv_out_dim(h, kernel, stride, padding);
     let ow = conv_out_dim(w, kernel, stride, padding);
@@ -214,7 +220,9 @@ mod tests {
 
     #[test]
     fn adaptive_pool_uneven_bins() {
-        let x = Tensor::arange(0.0, 5.0, 1.0).reshape(&[1, 1, 1, 5]).unwrap();
+        let x = Tensor::arange(0.0, 5.0, 1.0)
+            .reshape(&[1, 1, 1, 5])
+            .unwrap();
         let y = adaptive_avg_pool2d(&x, 1, 2).unwrap();
         // bins: [0..3) and [2..5) per ceil boundaries -> [0,1,2] and [2,3,4]
         assert_eq!(y.to_vec_f32().unwrap(), vec![1.0, 3.0]);

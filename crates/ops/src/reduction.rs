@@ -12,7 +12,10 @@ use crate::{OpCost, Result, F32_BYTES};
 /// Fails when `dim` is out of range or input is not f32.
 pub fn argmax(x: &Tensor, dim: usize) -> Result<Tensor> {
     if dim >= x.rank() {
-        return Err(TensorError::InvalidDim { dim, rank: x.rank() });
+        return Err(TensorError::InvalidDim {
+            dim,
+            rank: x.rank(),
+        });
     }
     let d = x.shape()[dim];
     let mut out_shape: Vec<usize> = x.shape().to_vec();
@@ -60,7 +63,11 @@ pub fn topk(x: &Tensor, k: usize) -> Result<(Tensor, Tensor)> {
     for r in 0..rows {
         let row = &v[r * d..(r + 1) * d];
         let mut order: Vec<usize> = (0..d).collect();
-        order.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).unwrap_or(std::cmp::Ordering::Equal));
+        order.sort_by(|&a, &b| {
+            row[b]
+                .partial_cmp(&row[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         for &i in order.iter().take(k) {
             vals.push(row[i]);
             ids.push(i as i64);
@@ -68,7 +75,10 @@ pub fn topk(x: &Tensor, k: usize) -> Result<(Tensor, Tensor)> {
     }
     let mut shape = x.shape().to_vec();
     *shape.last_mut().expect("nonempty") = k;
-    Ok((Tensor::from_vec(vals, &shape)?, Tensor::from_i64(ids, &shape)?))
+    Ok((
+        Tensor::from_vec(vals, &shape)?,
+        Tensor::from_i64(ids, &shape)?,
+    ))
 }
 
 /// Maximum element of the whole tensor.
@@ -78,9 +88,9 @@ pub fn topk(x: &Tensor, k: usize) -> Result<(Tensor, Tensor)> {
 /// Fails on an empty or non-f32 tensor.
 pub fn max_all(x: &Tensor) -> Result<f32> {
     let v = x.to_vec_f32()?;
-    v.into_iter().reduce(f32::max).ok_or_else(|| {
-        TensorError::InvalidArgument("max of empty tensor".into())
-    })
+    v.into_iter()
+        .reduce(f32::max)
+        .ok_or_else(|| TensorError::InvalidArgument("max of empty tensor".into()))
 }
 
 /// Sum of the whole tensor.

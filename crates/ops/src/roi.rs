@@ -17,7 +17,9 @@ use crate::{OpCost, Result, F32_BYTES};
 pub fn box_iou(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     for t in [a, b] {
         if t.rank() != 2 || t.shape()[1] != 4 {
-            return Err(TensorError::InvalidArgument("box_iou inputs must be [N, 4]".into()));
+            return Err(TensorError::InvalidArgument(
+                "box_iou inputs must be [N, 4]".into(),
+            ));
         }
     }
     let (n, m) = (a.shape()[0], b.shape()[0]);
@@ -54,7 +56,9 @@ pub fn box_iou(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 ///
 /// Fails when shapes disagree or inputs are not f32.
 pub fn nms(boxes: &Tensor, scores: &Tensor, iou_threshold: f32) -> Result<Tensor> {
-    if boxes.rank() != 2 || boxes.shape()[1] != 4 || scores.rank() != 1
+    if boxes.rank() != 2
+        || boxes.shape()[1] != 4
+        || scores.rank() != 1
         || boxes.shape()[0] != scores.shape()[0]
     {
         return Err(TensorError::InvalidArgument(
@@ -65,7 +69,11 @@ pub fn nms(boxes: &Tensor, scores: &Tensor, iou_threshold: f32) -> Result<Tensor
     let bv = boxes.to_vec_f32()?;
     let sv = scores.to_vec_f32()?;
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| sv[b].partial_cmp(&sv[a]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        sv[b]
+            .partial_cmp(&sv[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let area = |i: usize| {
         let b = &bv[i * 4..i * 4 + 4];
         ((b[2] - b[0]).max(0.0)) * ((b[3] - b[1]).max(0.0))
@@ -132,7 +140,11 @@ pub fn roi_align(
             "roi_align requires features [C, H, W] and rois [R, 4]".into(),
         ));
     }
-    let (c, h, w) = (features.shape()[0], features.shape()[1], features.shape()[2]);
+    let (c, h, w) = (
+        features.shape()[0],
+        features.shape()[1],
+        features.shape()[2],
+    );
     let r = rois.shape()[0];
     let fv = features.contiguous();
     let fs = fv.as_slice_f32().expect("contiguous f32");
@@ -235,8 +247,8 @@ mod tests {
     #[test]
     fn nms_suppresses_overlapping_lower_scores() {
         let b = boxes(&[
-            [0.0, 0.0, 10.0, 10.0],  // score .9 — kept
-            [1.0, 1.0, 10.5, 10.5],  // heavy overlap with 0 — suppressed
+            [0.0, 0.0, 10.0, 10.0],   // score .9 — kept
+            [1.0, 1.0, 10.5, 10.5],   // heavy overlap with 0 — suppressed
             [20.0, 20.0, 30.0, 30.0], // disjoint — kept
         ]);
         let s = Tensor::from_vec(vec![0.9, 0.8, 0.7], &[3]).unwrap();
@@ -246,7 +258,11 @@ mod tests {
 
     #[test]
     fn nms_keeps_all_below_threshold() {
-        let b = boxes(&[[0.0, 0.0, 1.0, 1.0], [5.0, 5.0, 6.0, 6.0], [9.0, 9.0, 10.0, 10.0]]);
+        let b = boxes(&[
+            [0.0, 0.0, 1.0, 1.0],
+            [5.0, 5.0, 6.0, 6.0],
+            [9.0, 9.0, 10.0, 10.0],
+        ]);
         let s = Tensor::from_vec(vec![0.1, 0.9, 0.5], &[3]).unwrap();
         let keep = nms(&b, &s, 0.5).unwrap();
         // all disjoint: kept in descending score order
@@ -292,7 +308,11 @@ mod tests {
         let r = boxes(&[[0.0, 0.0, 4.0, 4.0], [2.0, 2.0, 7.0, 7.0]]);
         let y = roi_align(&f, &r, 3, 1.0).unwrap();
         assert_eq!(y.shape(), &[2, 2, 3, 3]);
-        assert!(y.to_vec_f32().unwrap().iter().all(|&v| (v - 3.5).abs() < 1e-6));
+        assert!(y
+            .to_vec_f32()
+            .unwrap()
+            .iter()
+            .all(|&v| (v - 3.5).abs() < 1e-6));
     }
 
     #[test]
@@ -307,7 +327,13 @@ mod tests {
         let r = boxes(&[[0.0, 0.0, 8.0, 4.0]]);
         let y = roi_align(&f, &r, 4, 1.0).unwrap();
         // bin centers at x = 1, 3, 5, 7
-        let row = y.select(0, 0).unwrap().select(0, 0).unwrap().select(0, 0).unwrap();
+        let row = y
+            .select(0, 0)
+            .unwrap()
+            .select(0, 0)
+            .unwrap()
+            .select(0, 0)
+            .unwrap();
         let vals = row.to_vec_f32().unwrap();
         assert!((vals[0] - 1.0).abs() < 0.1, "{vals:?}");
         assert!((vals[3] - 7.0).abs() < 0.3, "{vals:?}");

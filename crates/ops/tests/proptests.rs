@@ -5,11 +5,10 @@ use ngb_tensor::Tensor;
 use proptest::prelude::*;
 
 fn tensor_1d(max: usize) -> impl Strategy<Value = Tensor> {
-    prop::collection::vec(-50.0f32..50.0, 1..=max)
-        .prop_map(|v| {
-            let n = v.len();
-            Tensor::from_vec(v, &[n]).unwrap()
-        })
+    prop::collection::vec(-50.0f32..50.0, 1..=max).prop_map(|v| {
+        let n = v.len();
+        Tensor::from_vec(v, &[n]).unwrap()
+    })
 }
 
 proptest! {

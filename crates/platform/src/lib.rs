@@ -161,7 +161,11 @@ impl DeviceModel {
     /// Latency in **seconds** of one operator with `cost`, classified GEMM
     /// or not, on this device.
     pub fn op_latency(&self, cost: &OpCost, is_gemm: bool) -> f64 {
-        let tput = if is_gemm { self.gemm_tflops } else { self.vector_tflops } * 1e12;
+        let tput = if is_gemm {
+            self.gemm_tflops
+        } else {
+            self.vector_tflops
+        } * 1e12;
         let compute = if tput > 0.0 { cost.flops / tput } else { 0.0 };
         let memory = cost.memory_bytes() / (self.mem_bw_gbs * 1e9);
         compute.max(memory) + cost.kernels as f64 * self.kernel_launch_us * 1e-6
@@ -257,12 +261,24 @@ impl Platform {
 
     /// Short display name, e.g. `"Data Center (CPU+GPU)"`.
     pub fn label(&self) -> String {
-        format!("{} ({})", self.class, if self.has_gpu() { "CPU+GPU" } else { "CPU only" })
+        format!(
+            "{} ({})",
+            self.class,
+            if self.has_gpu() {
+                "CPU+GPU"
+            } else {
+                "CPU only"
+            }
+        )
     }
 
     /// All three Table 3 platforms with GPUs.
     pub fn all_gpu() -> Vec<Platform> {
-        vec![Platform::mobile(), Platform::workstation(), Platform::data_center()]
+        vec![
+            Platform::mobile(),
+            Platform::workstation(),
+            Platform::data_center(),
+        ]
     }
 }
 
@@ -282,7 +298,10 @@ mod tests {
         let e = OpCost::elementwise(1024 * 1024, 1.0);
         let gemm_speedup = cpu.op_latency(&g, true) / gpu.op_latency(&g, true);
         let ew_speedup = cpu.op_latency(&e, false) / gpu.op_latency(&e, false);
-        assert!(gemm_speedup > 5.0 * ew_speedup, "gemm {gemm_speedup:.1}x vs ew {ew_speedup:.1}x");
+        assert!(
+            gemm_speedup > 5.0 * ew_speedup,
+            "gemm {gemm_speedup:.1}x vs ew {ew_speedup:.1}x"
+        );
     }
 
     #[test]
@@ -302,7 +321,10 @@ mod tests {
         let big = OpCost::copy(100_000_000); // 800 MB traffic
         let t = gpu.op_latency(&big, false);
         let expected = 8.0e8 / (1555.0 * 1e9);
-        assert!((t - expected - 4.0e-6).abs() / expected < 0.05, "{t} vs {expected}");
+        assert!(
+            (t - expected - 4.0e-6).abs() / expected < 0.05,
+            "{t} vs {expected}"
+        );
     }
 
     #[test]

@@ -22,6 +22,6 @@ pub mod report;
 pub mod trace;
 
 pub use profile::{
-    profile_analytic, profile_analytic_with_options, profile_measured, Breakdown,
-    ModelProfile, NodeProfile,
+    profile_analytic, profile_analytic_with_options, profile_measured, Breakdown, ModelProfile,
+    NodeProfile,
 };

@@ -87,7 +87,16 @@ impl Breakdown {
         self.groups
             .iter()
             .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite latencies"))
-            .map(|(&g, &s)| (g, if self.total_s > 0.0 { s / self.total_s } else { 0.0 }))
+            .map(|(&g, &s)| {
+                (
+                    g,
+                    if self.total_s > 0.0 {
+                        s / self.total_s
+                    } else {
+                        0.0
+                    },
+                )
+            })
     }
 }
 
@@ -255,7 +264,11 @@ pub fn profile_measured(
             out_shape: shapes[n.id.0].clone(),
         })
         .collect();
-    let batch = graph.iter().next().map(|n| n.out_shape.first().copied().unwrap_or(1)).unwrap_or(1);
+    let batch = graph
+        .iter()
+        .next()
+        .map(|n| n.out_shape.first().copied().unwrap_or(1))
+        .unwrap_or(1);
     Ok(ModelProfile {
         model: graph.name.clone(),
         platform: "Host (measured)".to_string(),
@@ -275,9 +288,27 @@ mod tests {
         let mut b = GraphBuilder::new("t");
         let x = b.input(&[1, 64, 256]);
         let n = b.push(OpKind::LayerNorm { dim: 256 }, &[x], "ln").unwrap();
-        let q = b.push(OpKind::Linear { in_f: 256, out_f: 256, bias: true }, &[n], "q").unwrap();
+        let q = b
+            .push(
+                OpKind::Linear {
+                    in_f: 256,
+                    out_f: 256,
+                    bias: true,
+                },
+                &[n],
+                "q",
+            )
+            .unwrap();
         let g = b.push(OpKind::NewGelu, &[q], "act").unwrap();
-        let v = b.push(OpKind::View { shape: vec![64, 256] }, &[g], "view").unwrap();
+        let v = b
+            .push(
+                OpKind::View {
+                    shape: vec![64, 256],
+                },
+                &[g],
+                "view",
+            )
+            .unwrap();
         b.push(OpKind::Contiguous, &[v], "contig").unwrap();
         b.finish()
     }
@@ -306,7 +337,13 @@ mod tests {
     fn gpu_shifts_time_toward_non_gemm() {
         // the paper's headline effect, on a small but realistic mix
         let g = ngb_models_stub();
-        let cpu = profile_analytic(&g, &Platform::data_center().cpu_only(), Flow::Eager, false, 1);
+        let cpu = profile_analytic(
+            &g,
+            &Platform::data_center().cpu_only(),
+            Flow::Eager,
+            false,
+            1,
+        );
         let gpu = profile_analytic(&g, &Platform::data_center(), Flow::Eager, true, 1);
         assert!(
             gpu.breakdown().non_gemm_frac() > cpu.breakdown().non_gemm_frac(),
@@ -323,13 +360,31 @@ mod tests {
         let x = b.input(&[1, 128, 1024]);
         let mut h = x;
         for i in 0..4 {
-            let n = b.push(OpKind::LayerNorm { dim: 1024 }, &[h], &format!("ln{i}")).unwrap();
+            let n = b
+                .push(OpKind::LayerNorm { dim: 1024 }, &[h], &format!("ln{i}"))
+                .unwrap();
             let l = b
-                .push(OpKind::Linear { in_f: 1024, out_f: 4096, bias: true }, &[n], &format!("up{i}"))
+                .push(
+                    OpKind::Linear {
+                        in_f: 1024,
+                        out_f: 4096,
+                        bias: true,
+                    },
+                    &[n],
+                    &format!("up{i}"),
+                )
                 .unwrap();
             let a = b.push(OpKind::NewGelu, &[l], &format!("act{i}")).unwrap();
             let d = b
-                .push(OpKind::Linear { in_f: 4096, out_f: 1024, bias: true }, &[a], &format!("dn{i}"))
+                .push(
+                    OpKind::Linear {
+                        in_f: 4096,
+                        out_f: 1024,
+                        bias: true,
+                    },
+                    &[a],
+                    &format!("dn{i}"),
+                )
                 .unwrap();
             h = b.push(OpKind::Add, &[h, d], &format!("res{i}")).unwrap();
         }

@@ -253,12 +253,29 @@ mod tests {
     fn toy() -> Graph {
         let mut b = GraphBuilder::new("toy");
         let x = b.input(&[1, 16]);
-        let l = b.push(OpKind::Linear { in_f: 16, out_f: 16, bias: true }, &[x], "fc").unwrap();
+        let l = b
+            .push(
+                OpKind::Linear {
+                    in_f: 16,
+                    out_f: 16,
+                    bias: true,
+                },
+                &[x],
+                "fc",
+            )
+            .unwrap();
         let a = b.push(OpKind::Gelu, &[l], "act").unwrap();
         let boxes = b.input(&[8, 4]);
         let scores = b.input(&[8]);
-        b.push(OpKind::Nms { iou_threshold: 0.5, nominal_keep: 4 }, &[boxes, scores], "nms")
-            .unwrap();
+        b.push(
+            OpKind::Nms {
+                iou_threshold: 0.5,
+                nominal_keep: 4,
+            },
+            &[boxes, scores],
+            "nms",
+        )
+        .unwrap();
         b.push(OpKind::Softmax { dim: 1 }, &[a], "sm").unwrap();
         b.finish()
     }

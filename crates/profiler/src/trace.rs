@@ -74,8 +74,20 @@ mod tests {
     fn profile() -> ModelProfile {
         let mut b = GraphBuilder::new("trace_me");
         let x = b.input(&[1, 32]);
-        let h = b.push(OpKind::Linear { in_f: 32, out_f: 32, bias: true }, &[x], "fc").unwrap();
-        let v = b.push(OpKind::View { shape: vec![32] }, &[h], "view").unwrap();
+        let h = b
+            .push(
+                OpKind::Linear {
+                    in_f: 32,
+                    out_f: 32,
+                    bias: true,
+                },
+                &[x],
+                "fc",
+            )
+            .unwrap();
+        let v = b
+            .push(OpKind::View { shape: vec![32] }, &[h], "view")
+            .unwrap();
         b.push(OpKind::Contiguous, &[v], "contig").unwrap();
         let g = b.finish();
         profile_analytic(&g, &Platform::data_center(), Flow::Ort, true, 1)

@@ -12,15 +12,27 @@ fn sample_graph() -> ngb_graph::Graph {
     let x = b.input(&[2, 3, 8, 8]);
     let c = b
         .push(
-            OpKind::Conv2d { in_c: 3, out_c: 4, kernel: 3, stride: 1, padding: 1, groups: 1, bias: true },
+            OpKind::Conv2d {
+                in_c: 3,
+                out_c: 4,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+                groups: 1,
+                bias: true,
+            },
             &[x],
             "conv",
         )
         .unwrap();
     let n = b.push(OpKind::BatchNorm2d { c: 4 }, &[c], "bn").unwrap();
     let a = b.push(OpKind::Relu, &[n], "act").unwrap();
-    let p = b.push(OpKind::AdaptiveAvgPool2d { oh: 1, ow: 1 }, &[a], "pool").unwrap();
-    let f = b.push(OpKind::Reshape { shape: vec![2, 4] }, &[p], "flat").unwrap();
+    let p = b
+        .push(OpKind::AdaptiveAvgPool2d { oh: 1, ow: 1 }, &[a], "pool")
+        .unwrap();
+    let f = b
+        .push(OpKind::Reshape { shape: vec![2, 4] }, &[p], "flat")
+        .unwrap();
     b.push(OpKind::Softmax { dim: 1 }, &[f], "sm").unwrap();
     b.finish()
 }
@@ -65,7 +77,10 @@ fn csv_fractions_parse_and_sum_to_one() {
     let p = profile_analytic(&g, &Platform::data_center(), Flow::Eager, true, 2);
     let row = PerformanceReport::from_profile(&p).to_csv_row();
     let fields: Vec<&str> = row.split(',').collect();
-    let fracs: f64 = fields[7..].iter().map(|f| f.parse::<f64>().expect("numeric")).sum();
+    let fracs: f64 = fields[7..]
+        .iter()
+        .map(|f| f.parse::<f64>().expect("numeric"))
+        .sum();
     assert!((fracs - 1.0).abs() < 0.01, "fractions sum to {fracs}");
 }
 
@@ -86,9 +101,17 @@ fn json_fields_are_complete() {
     let p = profile_analytic(&g, &Platform::data_center(), Flow::Ort, true, 2);
     let perf: serde_json::Value =
         serde_json::to_value(PerformanceReport::from_profile(&p)).expect("serializes");
-    for field in
-        ["model", "platform", "flow", "batch", "latency_ms", "energy_j", "peak_memory_mb", "gemm_frac", "group_fracs"]
-    {
+    for field in [
+        "model",
+        "platform",
+        "flow",
+        "batch",
+        "latency_ms",
+        "energy_j",
+        "peak_memory_mb",
+        "gemm_frac",
+        "group_fracs",
+    ] {
         assert!(perf.get(field).is_some(), "missing {field}");
     }
     let wl: serde_json::Value =
@@ -115,7 +138,7 @@ fn trace_export_composes_with_reports() {
     let p = profile_analytic(&g, &Platform::data_center(), Flow::Ort, true, 2);
     let trace = ngb_profiler::trace::to_chrome_trace(&p);
     let v: serde_json::Value = serde_json::from_str(&trace).expect("valid json");
-    assert_eq!(v["traceEvents"].as_array().expect("array").is_empty(), false);
+    assert!(!v["traceEvents"].as_array().expect("array").is_empty());
 }
 
 #[test]
@@ -126,12 +149,23 @@ fn gemm_intensity_dominates_at_model_scale() {
     let mut b = GraphBuilder::new("scale");
     let x = b.input(&[1, 128, 768]);
     let l = b
-        .push(OpKind::Linear { in_f: 768, out_f: 3072, bias: true }, &[x], "up")
+        .push(
+            OpKind::Linear {
+                in_f: 768,
+                out_f: 3072,
+                bias: true,
+            },
+            &[x],
+            "up",
+        )
         .unwrap();
     b.push(OpKind::Gelu, &[l], "act").unwrap();
     let g = b.finish();
     let r = NonGemmReport::from_graph(&g);
     let gemm_ai = r.group_costs["GEMM"].arithmetic_intensity();
     let act_ai = r.group_costs["Activation"].arithmetic_intensity();
-    assert!(gemm_ai > 10.0 * act_ai, "GEMM {gemm_ai:.1} vs Act {act_ai:.1}");
+    assert!(
+        gemm_ai > 10.0 * act_ai,
+        "GEMM {gemm_ai:.1} vs Act {act_ai:.1}"
+    );
 }

@@ -119,7 +119,14 @@ impl ExecutionPlan {
 
     /// Number of nodes placed on the CPU.
     pub fn cpu_fallback_count(&self) -> usize {
-        if self.gpu { self.nodes.iter().filter(|n| n.placement == Placement::Cpu).count() } else { 0 }
+        if self.gpu {
+            self.nodes
+                .iter()
+                .filter(|n| n.placement == Placement::Cpu)
+                .count()
+        } else {
+            0
+        }
     }
 }
 
@@ -217,7 +224,10 @@ fn fuse_attention(graph: &Graph, exec_plan: &mut ExecutionPlan) {
         let mut cur = start.id;
         let next = |cur: NodeId| graph.iter().find(|n| feeds(cur, n)).map(|n| n.id);
         let Some(scale) = next(cur).filter(|&id| {
-            matches!(graph.node(id).op, OpKind::DivScalar(_) | OpKind::MulScalar(_)) && single(cur)
+            matches!(
+                graph.node(id).op,
+                OpKind::DivScalar(_) | OpKind::MulScalar(_)
+            ) && single(cur)
         }) else {
             continue;
         };
@@ -236,8 +246,7 @@ fn fuse_attention(graph: &Graph, exec_plan: &mut ExecutionPlan) {
         };
         chain.push(softmax);
         cur = softmax;
-        let Some(bmm2) =
-            next(cur).filter(|&id| graph.node(id).op == OpKind::Bmm && single(cur))
+        let Some(bmm2) = next(cur).filter(|&id| graph.node(id).op == OpKind::Bmm && single(cur))
         else {
             continue;
         };
@@ -370,11 +379,27 @@ mod tests {
     fn toy_graph() -> Graph {
         let mut b = GraphBuilder::new("toy");
         let x = b.input(&[1, 8, 64]);
-        let n = b.push(OpKind::LlamaRmsNorm { dim: 64 }, &[x], "norm").unwrap();
-        let l = b.push(OpKind::Linear { in_f: 64, out_f: 64, bias: false }, &[n], "fc").unwrap();
+        let n = b
+            .push(OpKind::LlamaRmsNorm { dim: 64 }, &[x], "norm")
+            .unwrap();
+        let l = b
+            .push(
+                OpKind::Linear {
+                    in_f: 64,
+                    out_f: 64,
+                    bias: false,
+                },
+                &[n],
+                "fc",
+            )
+            .unwrap();
         let a = b.push(OpKind::NewGelu, &[l], "act").unwrap();
-        let v = b.push(OpKind::View { shape: vec![8, 64] }, &[a], "view").unwrap();
-        let p = b.push(OpKind::Permute { perm: vec![1, 0] }, &[v], "perm").unwrap();
+        let v = b
+            .push(OpKind::View { shape: vec![8, 64] }, &[a], "view")
+            .unwrap();
+        let p = b
+            .push(OpKind::Permute { perm: vec![1, 0] }, &[v], "perm")
+            .unwrap();
         b.push(OpKind::Contiguous, &[p], "contig").unwrap();
         b.finish()
     }
@@ -383,9 +408,17 @@ mod tests {
     fn eager_keeps_decomposed_kernels() {
         let g = toy_graph();
         let plan = plan(&g, Flow::Eager, true);
-        let act = plan.nodes.iter().find(|n| g.node(n.id).name == "act").unwrap();
+        let act = plan
+            .nodes
+            .iter()
+            .find(|n| g.node(n.id).name == "act")
+            .unwrap();
         assert_eq!(act.cost.kernels, 8); // NewGELU chain
-        let norm = plan.nodes.iter().find(|n| g.node(n.id).name == "norm").unwrap();
+        let norm = plan
+            .nodes
+            .iter()
+            .find(|n| g.node(n.id).name == "norm")
+            .unwrap();
         assert_eq!(norm.cost.kernels, 6); // LlamaRMSNorm chain
         assert!(plan.nodes.iter().all(|n| n.transfer_bytes == 0.0));
     }
@@ -394,9 +427,17 @@ mod tests {
     fn ort_fuses_custom_ops() {
         let g = toy_graph();
         let plan = plan(&g, Flow::Ort, true);
-        let act = plan.nodes.iter().find(|n| g.node(n.id).name == "act").unwrap();
+        let act = plan
+            .nodes
+            .iter()
+            .find(|n| g.node(n.id).name == "act")
+            .unwrap();
         assert_eq!(act.cost.kernels, 1);
-        let norm = plan.nodes.iter().find(|n| g.node(n.id).name == "norm").unwrap();
+        let norm = plan
+            .nodes
+            .iter()
+            .find(|n| g.node(n.id).name == "norm")
+            .unwrap();
         assert_eq!(norm.cost.kernels, 1);
     }
 
@@ -406,7 +447,11 @@ mod tests {
         let p = plan(&g, Flow::Ort, true);
         // view is a native ORT Reshape and stays resident; the data-moving
         // layout ops fall back with transfers
-        let view = p.nodes.iter().find(|n| g.node(n.id).name == "view").unwrap();
+        let view = p
+            .nodes
+            .iter()
+            .find(|n| g.node(n.id).name == "view")
+            .unwrap();
         assert_eq!(view.placement, Placement::Gpu);
         for name in ["perm", "contig"] {
             let n = p.nodes.iter().find(|n| g.node(n.id).name == name).unwrap();
@@ -461,7 +506,9 @@ mod tests {
             &g,
             Flow::Dynamo,
             true,
-            RuntimeOptions { fuse_attention: true },
+            RuntimeOptions {
+                fuse_attention: true,
+            },
         );
         assert!(fused.total_kernels() < base.total_kernels());
         // interior nodes are free, head keeps the combined flops
@@ -488,8 +535,14 @@ mod tests {
         b.push(OpKind::Relu, &[s], "act").unwrap();
         let g = b.finish();
         let base = plan(&g, Flow::Eager, true);
-        let opt =
-            plan_with_options(&g, Flow::Eager, true, RuntimeOptions { fuse_attention: true });
+        let opt = plan_with_options(
+            &g,
+            Flow::Eager,
+            true,
+            RuntimeOptions {
+                fuse_attention: true,
+            },
+        );
         assert_eq!(base.total_kernels(), opt.total_kernels());
     }
 

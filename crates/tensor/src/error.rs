@@ -66,7 +66,11 @@ pub enum TensorError {
 impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TensorError::ShapeMismatch { expected, actual, op } => write!(
+            TensorError::ShapeMismatch {
+                expected,
+                actual,
+                op,
+            } => write!(
                 f,
                 "shape mismatch in {op}: expected {expected:?}, got {actual:?}"
             ),
@@ -83,8 +87,15 @@ impl fmt::Display for TensorError {
             TensorError::InvalidPermutation { perm } => {
                 write!(f, "{perm:?} is not a valid axis permutation")
             }
-            TensorError::DTypeMismatch { expected, actual, op } => {
-                write!(f, "dtype mismatch in {op}: expected {expected}, got {actual}")
+            TensorError::DTypeMismatch {
+                expected,
+                actual,
+                op,
+            } => {
+                write!(
+                    f,
+                    "dtype mismatch in {op}: expected {expected}, got {actual}"
+                )
             }
             TensorError::BroadcastError { lhs, rhs } => {
                 write!(f, "cannot broadcast shapes {lhs:?} and {rhs:?}")

@@ -25,7 +25,11 @@ impl IndexIter {
     /// A scalar shape (`[]`) yields exactly one empty index.
     pub fn new(shape: &[usize]) -> Self {
         let remaining = crate::num_elements(shape);
-        IndexIter { shape: shape.to_vec(), current: vec![0; shape.len()], remaining }
+        IndexIter {
+            shape: shape.to_vec(),
+            current: vec![0; shape.len()],
+            remaining,
+        }
     }
 }
 

@@ -28,7 +28,9 @@ pub struct TensorRng {
 impl TensorRng {
     /// Creates a generator from `seed`.
     pub fn seed(seed: u64) -> TensorRng {
-        TensorRng { rng: StdRng::seed_from_u64(seed) }
+        TensorRng {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Standard-normal f32 tensor (Box–Muller over a uniform source).
@@ -79,7 +81,9 @@ impl TensorRng {
     pub fn kaiming(&mut self, shape: &[usize], fan_in: usize) -> Tensor {
         assert!(fan_in > 0, "kaiming requires nonzero fan_in");
         let scale = (2.0 / fan_in as f32).sqrt();
-        self.normal(shape).map(|v| v * scale).expect("normal tensors are f32")
+        self.normal(shape)
+            .map(|v| v * scale)
+            .expect("normal tensors are f32")
     }
 }
 
@@ -109,9 +113,17 @@ mod tests {
     #[test]
     fn uniform_respects_bounds() {
         let t = TensorRng::seed(2).uniform(&[1000], 3.0, 4.0);
-        assert!(t.to_vec_f32().unwrap().iter().all(|&x| (3.0..4.0).contains(&x)));
+        assert!(t
+            .to_vec_f32()
+            .unwrap()
+            .iter()
+            .all(|&x| (3.0..4.0).contains(&x)));
         let ti = TensorRng::seed(2).uniform_i64(&[1000], 0, 50);
-        assert!(ti.to_vec_i64().unwrap().iter().all(|&x| (0..50).contains(&x)));
+        assert!(ti
+            .to_vec_i64()
+            .unwrap()
+            .iter()
+            .all(|&x| (0..50).contains(&x)));
     }
 
     #[test]

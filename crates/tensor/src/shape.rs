@@ -51,14 +51,25 @@ pub fn broadcast_shapes(lhs: &[usize], rhs: &[usize]) -> Result<Vec<usize>, Tens
     let rank = lhs.len().max(rhs.len());
     let mut out = vec![0usize; rank];
     for i in 0..rank {
-        let l = if i < rank - lhs.len() { 1 } else { lhs[i - (rank - lhs.len())] };
-        let r = if i < rank - rhs.len() { 1 } else { rhs[i - (rank - rhs.len())] };
+        let l = if i < rank - lhs.len() {
+            1
+        } else {
+            lhs[i - (rank - lhs.len())]
+        };
+        let r = if i < rank - rhs.len() {
+            1
+        } else {
+            rhs[i - (rank - rhs.len())]
+        };
         out[i] = if l == r || r == 1 {
             l
         } else if l == 1 {
             r
         } else {
-            return Err(TensorError::BroadcastError { lhs: lhs.to_vec(), rhs: rhs.to_vec() });
+            return Err(TensorError::BroadcastError {
+                lhs: lhs.to_vec(),
+                rhs: rhs.to_vec(),
+            });
         };
     }
     Ok(out)
@@ -76,7 +87,11 @@ pub(crate) fn broadcast_strides(
     let pad = target.len() - shape.len();
     let mut out = vec![0isize; target.len()];
     for i in 0..shape.len() {
-        out[pad + i] = if shape[i] == 1 && target[pad + i] != 1 { 0 } else { strides[i] };
+        out[pad + i] = if shape[i] == 1 && target[pad + i] != 1 {
+            0
+        } else {
+            strides[i]
+        };
     }
     out
 }
@@ -89,10 +104,7 @@ pub(crate) fn broadcast_strides(
 /// # Errors
 ///
 /// Fails if more than one wildcard is present or element counts do not match.
-pub(crate) fn resolve_reshape(
-    numel: usize,
-    target: &[usize],
-) -> Result<Vec<usize>, TensorError> {
+pub(crate) fn resolve_reshape(numel: usize, target: &[usize]) -> Result<Vec<usize>, TensorError> {
     let wildcards = target.iter().filter(|&&d| d == usize::MAX).count();
     if wildcards > 1 {
         return Err(TensorError::InvalidArgument(
@@ -105,7 +117,10 @@ pub(crate) fn resolve_reshape(
         if known == 0 || !numel.is_multiple_of(known) {
             return Err(TensorError::ShapeMismatch {
                 expected: vec![numel],
-                actual: target.iter().map(|&d| if d == usize::MAX { 0 } else { d }).collect(),
+                actual: target
+                    .iter()
+                    .map(|&d| if d == usize::MAX { 0 } else { d })
+                    .collect(),
                 op: "reshape",
             });
         }
@@ -133,7 +148,10 @@ pub(crate) fn resolve_reshape(
 pub fn normalize_dim(dim: isize, rank: usize) -> Result<usize, TensorError> {
     let d = if dim < 0 { dim + rank as isize } else { dim };
     if d < 0 || d as usize >= rank {
-        Err(TensorError::InvalidDim { dim: dim.unsigned_abs(), rank })
+        Err(TensorError::InvalidDim {
+            dim: dim.unsigned_abs(),
+            rank,
+        })
     } else {
         Ok(d as usize)
     }

@@ -102,7 +102,12 @@ impl Tensor {
                 op: "from_vec",
             });
         }
-        Ok(Tensor { storage, strides: contiguous_strides(shape), shape: shape.to_vec(), offset: 0 })
+        Ok(Tensor {
+            storage,
+            strides: contiguous_strides(shape),
+            shape: shape.to_vec(),
+            offset: 0,
+        })
     }
 
     /// Creates a 1-D f32 tensor with values `start, start+step, …` up to but
@@ -191,9 +196,7 @@ impl Tensor {
     // ------------------------------------------------------------------
 
     fn check_index(&self, index: &[usize]) -> Result<usize> {
-        if index.len() != self.rank()
-            || index.iter().zip(&self.shape).any(|(&i, &d)| i >= d)
-        {
+        if index.len() != self.rank() || index.iter().zip(&self.shape).any(|(&i, &d)| i >= d) {
             return Err(TensorError::IndexOutOfBounds {
                 index: index.to_vec(),
                 shape: self.shape.clone(),
@@ -209,11 +212,14 @@ impl Tensor {
     /// Fails when the index is out of bounds or the tensor is not f32.
     pub fn at(&self, index: &[usize]) -> Result<f32> {
         let off = self.check_index(index)?;
-        self.storage.as_f32().map(|s| s[off]).ok_or(TensorError::DTypeMismatch {
-            expected: "f32",
-            actual: self.dtype().name(),
-            op: "at",
-        })
+        self.storage
+            .as_f32()
+            .map(|s| s[off])
+            .ok_or(TensorError::DTypeMismatch {
+                expected: "f32",
+                actual: self.dtype().name(),
+                op: "at",
+            })
     }
 
     /// Reads the i64 element at `index`.
@@ -223,11 +229,14 @@ impl Tensor {
     /// Fails when the index is out of bounds or the tensor is not i64.
     pub fn at_i64(&self, index: &[usize]) -> Result<i64> {
         let off = self.check_index(index)?;
-        self.storage.as_i64().map(|s| s[off]).ok_or(TensorError::DTypeMismatch {
-            expected: "i64",
-            actual: self.dtype().name(),
-            op: "at_i64",
-        })
+        self.storage
+            .as_i64()
+            .map(|s| s[off])
+            .ok_or(TensorError::DTypeMismatch {
+                expected: "i64",
+                actual: self.dtype().name(),
+                op: "at_i64",
+            })
     }
 
     /// Reads the bool element at `index`.
@@ -237,11 +246,14 @@ impl Tensor {
     /// Fails when the index is out of bounds or the tensor is not bool.
     pub fn at_bool(&self, index: &[usize]) -> Result<bool> {
         let off = self.check_index(index)?;
-        self.storage.as_bool().map(|s| s[off]).ok_or(TensorError::DTypeMismatch {
-            expected: "bool",
-            actual: self.dtype().name(),
-            op: "at_bool",
-        })
+        self.storage
+            .as_bool()
+            .map(|s| s[off])
+            .ok_or(TensorError::DTypeMismatch {
+                expected: "bool",
+                actual: self.dtype().name(),
+                op: "at_bool",
+            })
     }
 
     /// Writes `value` at `index`, copying the storage first if it is shared
@@ -286,7 +298,9 @@ impl Tensor {
     /// hot kernels.
     pub fn as_slice_f32(&self) -> Option<&[f32]> {
         if self.dtype() == DType::F32 && self.is_contiguous() {
-            self.storage.as_f32().map(|s| &s[self.offset..self.offset + self.numel()])
+            self.storage
+                .as_f32()
+                .map(|s| &s[self.offset..self.offset + self.numel()])
         } else {
             None
         }
@@ -458,7 +472,10 @@ impl Tensor {
         fold: impl Fn(f32, f32) -> f32,
     ) -> Result<Tensor> {
         if dim >= self.rank() {
-            return Err(TensorError::InvalidDim { dim, rank: self.rank() });
+            return Err(TensorError::InvalidDim {
+                dim,
+                rank: self.rank(),
+            });
         }
         let src = self.storage.as_f32().ok_or(TensorError::DTypeMismatch {
             expected: "f32",
@@ -569,7 +586,10 @@ mod tests {
         let b = Tensor::from_vec(vec![10.0, 20.0], &[2]).unwrap();
         let c = a.zip_map(&b, |x, y| x + y).unwrap();
         assert_eq!(c.shape(), &[3, 2]);
-        assert_eq!(c.to_vec_f32().unwrap(), vec![11.0, 21.0, 12.0, 22.0, 13.0, 23.0]);
+        assert_eq!(
+            c.to_vec_f32().unwrap(),
+            vec![11.0, 21.0, 12.0, 22.0, 13.0, 23.0]
+        );
     }
 
     #[test]

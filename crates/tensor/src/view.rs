@@ -45,7 +45,9 @@ impl Tensor {
     pub fn view(&self, shape: &[usize]) -> Result<Tensor> {
         let resolved = resolve_reshape(self.numel(), shape)?;
         if !self.is_contiguous() {
-            return Err(TensorError::NonContiguousView { requested: resolved });
+            return Err(TensorError::NonContiguousView {
+                requested: resolved,
+            });
         }
         Ok(Tensor {
             storage: self.storage.clone(),
@@ -76,7 +78,10 @@ impl Tensor {
     /// Fails when `start > end` or `end` is out of range.
     pub fn flatten(&self, start: usize, end: usize) -> Result<Tensor> {
         if start > end || end >= self.rank() {
-            return Err(TensorError::InvalidDim { dim: end, rank: self.rank() });
+            return Err(TensorError::InvalidDim {
+                dim: end,
+                rank: self.rank(),
+            });
         }
         let mut shape: Vec<usize> = self.shape[..start].to_vec();
         shape.push(self.shape[start..=end].iter().product());
@@ -93,8 +98,14 @@ impl Tensor {
     pub fn permute(&self, perm: &[usize]) -> Result<Tensor> {
         let rank = self.rank();
         let mut seen = vec![false; rank];
-        if perm.len() != rank || perm.iter().any(|&p| p >= rank || std::mem::replace(&mut seen[p], true)) {
-            return Err(TensorError::InvalidPermutation { perm: perm.to_vec() });
+        if perm.len() != rank
+            || perm
+                .iter()
+                .any(|&p| p >= rank || std::mem::replace(&mut seen[p], true))
+        {
+            return Err(TensorError::InvalidPermutation {
+                perm: perm.to_vec(),
+            });
         }
         Ok(Tensor {
             storage: self.storage.clone(),
@@ -171,11 +182,26 @@ impl Tensor {
                 self.shape[d]
             )));
         }
-        let shape: Vec<usize> =
-            self.shape.iter().enumerate().filter(|&(i, _)| i != d).map(|(_, &s)| s).collect();
-        let strides: Vec<isize> =
-            self.strides.iter().enumerate().filter(|&(i, _)| i != d).map(|(_, &s)| s).collect();
-        Ok(Tensor { storage: self.storage.clone(), shape, strides, offset: self.offset })
+        let shape: Vec<usize> = self
+            .shape
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != d)
+            .map(|(_, &s)| s)
+            .collect();
+        let strides: Vec<isize> = self
+            .strides
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != d)
+            .map(|(_, &s)| s)
+            .collect();
+        Ok(Tensor {
+            storage: self.storage.clone(),
+            shape,
+            strides,
+            offset: self.offset,
+        })
     }
 
     /// Inserts a size-1 dimension at `dim` (like `torch.unsqueeze`).
@@ -186,13 +212,21 @@ impl Tensor {
     /// Fails when `dim > rank`.
     pub fn unsqueeze(&self, dim: usize) -> Result<Tensor> {
         if dim > self.rank() {
-            return Err(TensorError::InvalidDim { dim, rank: self.rank() });
+            return Err(TensorError::InvalidDim {
+                dim,
+                rank: self.rank(),
+            });
         }
         let mut shape = self.shape.clone();
         let mut strides = self.strides.clone();
         shape.insert(dim, 1);
         strides.insert(dim, 0);
-        Ok(Tensor { storage: self.storage.clone(), shape, strides, offset: self.offset })
+        Ok(Tensor {
+            storage: self.storage.clone(),
+            shape,
+            strides,
+            offset: self.offset,
+        })
     }
 
     /// Zero-copy slice of `len` elements starting at `start` along `dim`
@@ -203,7 +237,10 @@ impl Tensor {
     /// Fails when the range exceeds the dimension.
     pub fn narrow(&self, dim: usize, start: usize, len: usize) -> Result<Tensor> {
         if dim >= self.rank() {
-            return Err(TensorError::InvalidDim { dim, rank: self.rank() });
+            return Err(TensorError::InvalidDim {
+                dim,
+                rank: self.rank(),
+            });
         }
         if start + len > self.shape[dim] {
             return Err(TensorError::InvalidArgument(format!(
@@ -215,7 +252,12 @@ impl Tensor {
         let mut shape = self.shape.clone();
         shape[dim] = len;
         let offset = (self.offset as isize + start as isize * self.strides[dim]) as usize;
-        Ok(Tensor { storage: self.storage.clone(), shape, strides: self.strides.clone(), offset })
+        Ok(Tensor {
+            storage: self.storage.clone(),
+            shape,
+            strides: self.strides.clone(),
+            offset,
+        })
     }
 
     /// Selects index `i` along `dim`, dropping that dim (like
@@ -236,10 +278,15 @@ impl Tensor {
     /// Fails when `size == 0` or `dim` is out of range.
     pub fn split(&self, size: usize, dim: usize) -> Result<Vec<Tensor>> {
         if size == 0 {
-            return Err(TensorError::InvalidArgument("split size must be nonzero".into()));
+            return Err(TensorError::InvalidArgument(
+                "split size must be nonzero".into(),
+            ));
         }
         if dim >= self.rank() {
-            return Err(TensorError::InvalidDim { dim, rank: self.rank() });
+            return Err(TensorError::InvalidDim {
+                dim,
+                rank: self.rank(),
+            });
         }
         let total = self.shape[dim];
         let mut out = Vec::with_capacity(total.div_ceil(size));
@@ -287,7 +334,10 @@ impl Tensor {
         out_shape[dim] = 0;
         for t in tensors {
             if t.rank() != rank
-                || t.shape().iter().enumerate().any(|(i, &d)| i != dim && d != out_shape[i] && out_shape[i] != 0)
+                || t.shape()
+                    .iter()
+                    .enumerate()
+                    .any(|(i, &d)| i != dim && d != out_shape[i] && out_shape[i] != 0)
             {
                 return Err(TensorError::ShapeMismatch {
                     expected: first.shape().to_vec(),
@@ -309,8 +359,7 @@ impl Tensor {
             for ix in IndexIter::new(t.shape()) {
                 let mut oix = ix.clone();
                 oix[dim] += base;
-                data[offset_of(&oix, &out_strides, 0)] =
-                    src[offset_of(&ix, t.strides(), t.offset)];
+                data[offset_of(&oix, &out_strides, 0)] = src[offset_of(&ix, t.strides(), t.offset)];
             }
             base += t.shape()[dim];
         }
@@ -323,8 +372,7 @@ impl Tensor {
     ///
     /// Fails when shapes disagree or the list is empty.
     pub fn stack(tensors: &[Tensor], dim: usize) -> Result<Tensor> {
-        let unsqueezed: Result<Vec<Tensor>> =
-            tensors.iter().map(|t| t.unsqueeze(dim)).collect();
+        let unsqueezed: Result<Vec<Tensor>> = tensors.iter().map(|t| t.unsqueeze(dim)).collect();
         Tensor::cat(&unsqueezed?, dim)
     }
 }
@@ -343,7 +391,10 @@ mod tests {
         let v = a.view(&[3, 2]).unwrap();
         assert!(v.shares_storage(&a));
         let p = a.permute(&[1, 0]).unwrap();
-        assert!(matches!(p.view(&[6]), Err(TensorError::NonContiguousView { .. })));
+        assert!(matches!(
+            p.view(&[6]),
+            Err(TensorError::NonContiguousView { .. })
+        ));
     }
 
     #[test]
@@ -368,7 +419,10 @@ mod tests {
         assert_eq!(p.shape(), &[3, 2]);
         assert_eq!(p.at(&[2, 1]).unwrap(), 5.0);
         assert!(!p.is_contiguous());
-        assert_eq!(p.contiguous().to_vec_f32().unwrap(), vec![0.0, 3.0, 1.0, 4.0, 2.0, 5.0]);
+        assert_eq!(
+            p.contiguous().to_vec_f32().unwrap(),
+            vec![0.0, 3.0, 1.0, 4.0, 2.0, 5.0]
+        );
     }
 
     #[test]

@@ -115,7 +115,9 @@ fn zip_map_reference(a: &Tensor, b: &Tensor) -> Vec<f32> {
             .collect();
         t.at(&tix).unwrap()
     };
-    ngb_tensor::IndexIter::new(&out).map(|ix| read(a, &ix) + read(b, &ix)).collect()
+    ngb_tensor::IndexIter::new(&out)
+        .map(|ix| read(a, &ix) + read(b, &ix))
+        .collect()
 }
 
 proptest! {

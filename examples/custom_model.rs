@@ -17,12 +17,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     registry.register("rec_tower", |batch| {
         let mut b = GraphBuilder::new("rec_tower");
         let ids = b.input_ids(&[batch, 32], 10_000);
-        let emb = b.push(OpKind::Embedding { vocab: 10_000, dim: 64 }, &[ids], "embed")?;
-        let pooled = b.push(OpKind::MeanDim { dim: 1, keepdim: false }, &[emb], "pool")?;
-        let h1 = b.push(OpKind::Linear { in_f: 64, out_f: 128, bias: true }, &[pooled], "fc1")?;
+        let emb = b.push(
+            OpKind::Embedding {
+                vocab: 10_000,
+                dim: 64,
+            },
+            &[ids],
+            "embed",
+        )?;
+        let pooled = b.push(
+            OpKind::MeanDim {
+                dim: 1,
+                keepdim: false,
+            },
+            &[emb],
+            "pool",
+        )?;
+        let h1 = b.push(
+            OpKind::Linear {
+                in_f: 64,
+                out_f: 128,
+                bias: true,
+            },
+            &[pooled],
+            "fc1",
+        )?;
         let a1 = b.push(OpKind::NewGelu, &[h1], "act1")?;
         let n1 = b.push(OpKind::LayerNorm { dim: 128 }, &[a1], "norm")?;
-        let h2 = b.push(OpKind::Linear { in_f: 128, out_f: 100, bias: true }, &[n1], "fc2")?;
+        let h2 = b.push(
+            OpKind::Linear {
+                in_f: 128,
+                out_f: 100,
+                bias: true,
+            },
+            &[n1],
+            "fc2",
+        )?;
         b.push(OpKind::Softmax { dim: 1 }, &[h2], "probs")?;
         Ok(b.finish())
     });
@@ -46,14 +76,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         b.non_gemm_frac() * 100.0
     );
     if let Some((group, frac)) = b.dominant_group() {
-        println!("most expensive non-GEMM group: {group} ({:.0}% of time)", frac * 100.0);
+        println!(
+            "most expensive non-GEMM group: {group} ({:.0}% of time)",
+            frac * 100.0
+        );
     }
 
     // Harvest its operators into the microbench registry alongside a preset.
     let mut micro = OperatorRegistry::new();
     micro.harvest(&graph);
     micro.harvest(&registry.build("gpt2", 1)?);
-    println!("\nmicrobench registry: {} unique non-GEMM operator instances", micro.len());
+    println!(
+        "\nmicrobench registry: {} unique non-GEMM operator instances",
+        micro.len()
+    );
     for (group, count) in micro.group_stats() {
         println!("  {group:<14}{count:>5}");
     }

@@ -43,8 +43,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nDynamo's element-wise fusion collapses the decomposed NewGELU chain;\n\
          ORT fuses too but pays CPU fallbacks on layout operators."
     );
-    let eager = latencies.iter().find(|(f, _)| *f == Flow::Eager).expect("ran").1;
-    let dynamo = latencies.iter().find(|(f, _)| *f == Flow::Dynamo).expect("ran").1;
+    let eager = latencies
+        .iter()
+        .find(|(f, _)| *f == Flow::Eager)
+        .expect("ran")
+        .1;
+    let dynamo = latencies
+        .iter()
+        .find(|(f, _)| *f == Flow::Dynamo)
+        .expect("ran")
+        .1;
     println!("torch.compile speedup over eager: {:.2}x", eager / dynamo);
     Ok(())
 }

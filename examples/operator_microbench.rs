@@ -16,10 +16,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let graph = ModelId::Gpt2.build(1, Scale::Tiny)?;
     let mut registry = OperatorRegistry::new();
     registry.harvest(&graph);
-    println!("harvested {} non-GEMM operator instances from tiny GPT-2\n", registry.len());
+    println!(
+        "harvested {} non-GEMM operator instances from tiny GPT-2\n",
+        registry.len()
+    );
 
     let a100 = DeviceModel::a100();
-    println!("{:<16}{:>14}{:>14}  input shapes", "op", "host measured", "A100 analytic");
+    println!(
+        "{:<16}{:>14}{:>14}  input shapes",
+        "op", "host measured", "A100 analytic"
+    );
     for rec in registry.iter().take(10) {
         let res = registry.replay(rec, 5, &a100)?;
         println!(
@@ -46,13 +52,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let decomposed = time(&|| activation::new_gelu(&x).expect("f32 input"));
     println!("\nGELU on [1, 64, 4096] (host):");
     println!("  fused tanh-GELU      {:>8.2} ms", fused * 1e3);
-    println!("  HF NewGELU (8 ops)   {:>8.2} ms  ({:.1}x slower)", decomposed * 1e3, decomposed / fused);
+    println!(
+        "  HF NewGELU (8 ops)   {:>8.2} ms  ({:.1}x slower)",
+        decomposed * 1e3,
+        decomposed / fused
+    );
 
     let g = TensorRng::seed(8).uniform(&[4096], 0.9, 1.1);
     let fused_n = time(&|| normalization::rms_norm(&x, &g, 1e-6).expect("valid shapes"));
     let dec_n = time(&|| normalization::llama_rms_norm(&x, &g, 1e-6).expect("valid shapes"));
     println!("\nRMSNorm on [1, 64, 4096] (host):");
     println!("  fused                {:>8.2} ms", fused_n * 1e3);
-    println!("  LlamaRMSNorm (6 ops) {:>8.2} ms  ({:.1}x slower)", dec_n * 1e3, dec_n / fused_n);
+    println!(
+        "  LlamaRMSNorm (6 ops) {:>8.2} ms  ({:.1}x slower)",
+        dec_n * 1e3,
+        dec_n / fused_n
+    );
     Ok(())
 }

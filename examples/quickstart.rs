@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", perf.to_text());
 
     println!("== workload report ==");
-    println!("model: {} ({} ops, {} params)", workload.model, workload.total_ops, workload.params);
+    println!(
+        "model: {} ({} ops, {} params)",
+        workload.model, workload.total_ops, workload.params
+    );
     for (op, count) in workload.op_histogram.iter().take(8) {
         let shapes = &workload.example_shapes[op];
         println!("  {op:<12} x{count:<4} e.g. {:?}", shapes[0]);

@@ -1,18 +1,20 @@
 //! Cross-crate integration tests: the full NonGEMM Bench stack from model
 //! construction through profiling and reporting.
 
-use nongemm::{
-    BenchConfig, Flow, ModelId, NonGemmBench, NonGemmGroup, Platform, Scale,
-};
+use nongemm::{BenchConfig, Flow, ModelId, NonGemmBench, NonGemmGroup, Platform, Scale};
 
 #[test]
 fn all_18_models_build_full_scale_and_validate() {
     for &m in ModelId::all() {
-        let g = m.build(1, Scale::Full).unwrap_or_else(|e| panic!("{m}: {e}"));
+        let g = m
+            .build(1, Scale::Full)
+            .unwrap_or_else(|e| panic!("{m}: {e}"));
         g.validate().unwrap_or_else(|e| panic!("{m}: {e}"));
         assert!(g.gemm_count() > 0, "{m} has no GEMM ops");
         assert!(
-            NonGemmGroup::all().iter().any(|&grp| g.group_count(grp) > 0),
+            NonGemmGroup::all()
+                .iter()
+                .any(|&grp| g.group_count(grp) > 0),
             "{m} has no non-GEMM ops"
         );
     }
@@ -82,7 +84,10 @@ fn tiny_models_execute_for_real_end_to_end() {
 
 #[test]
 fn microbench_registry_covers_all_groups() {
-    let bench = NonGemmBench::new(BenchConfig { scale: Scale::Full, ..BenchConfig::default() });
+    let bench = NonGemmBench::new(BenchConfig {
+        scale: Scale::Full,
+        ..BenchConfig::default()
+    });
     let (registry, results) = bench.run_microbench().expect("harvest succeeds");
     assert_eq!(registry.len(), results.len());
     // the paper's registry has 1460 instances; ours must be the same order
@@ -92,13 +97,26 @@ fn microbench_registry_covers_all_groups() {
         registry.len()
     );
     let stats = registry.group_stats();
-    for group in ["Normalization", "Activation", "Memory", "Arithmetic", "Logit"] {
-        assert!(stats.get(group).copied().unwrap_or(0) > 0, "no {group} records");
+    for group in [
+        "Normalization",
+        "Activation",
+        "Memory",
+        "Arithmetic",
+        "Logit",
+    ] {
+        assert!(
+            stats.get(group).copied().unwrap_or(0) > 0,
+            "no {group} records"
+        );
     }
     // metadata-only layout ops legitimately cost ~0; everything else must
     // have a positive analytic latency
     let positive = results.iter().filter(|r| r.analytic_s > 0.0).count();
-    assert!(positive as f64 > 0.5 * results.len() as f64, "{positive}/{}", results.len());
+    assert!(
+        positive as f64 > 0.5 * results.len() as f64,
+        "{positive}/{}",
+        results.len()
+    );
     assert!(results.iter().all(|r| r.analytic_s >= 0.0));
 }
 
@@ -134,17 +152,23 @@ fn dataset_pipeline_feeds_models() {
     let batch = Preprocessor::new(32).batch(&imgs, 1).expect("preprocess");
     let mut inputs = HashMap::new();
     inputs.insert(NodeId(0), batch);
-    let t = Interpreter::default().run_with_inputs(&g, &inputs).expect("executes");
+    let t = Interpreter::default()
+        .run_with_inputs(&g, &inputs)
+        .expect("executes");
     assert_eq!(t.outputs[0].1.shape(), &[1, 10]);
 
     // text path: synthetic corpus -> tokenize -> tiny GPT-2
     let g = ModelId::Gpt2.build(2, Scale::Tiny).expect("builds");
     let corpus = WikitextSynthetic::default();
     let lines = corpus.clean_lines(2);
-    let ids = Tokenizer::new(100).encode_batch(&lines, 6).expect("tokenizes");
+    let ids = Tokenizer::new(100)
+        .encode_batch(&lines, 6)
+        .expect("tokenizes");
     let mut inputs = HashMap::new();
     inputs.insert(NodeId(0), ids);
-    let t = Interpreter::default().run_with_inputs(&g, &inputs).expect("executes");
+    let t = Interpreter::default()
+        .run_with_inputs(&g, &inputs)
+        .expect("executes");
     assert_eq!(t.outputs[0].1.shape(), &[2, 6, 100]);
 }
 
@@ -157,7 +181,15 @@ fn custom_models_plug_into_the_registry() {
     reg.register("probe", |batch| {
         let mut b = GraphBuilder::new("probe");
         let x = b.input(&[batch, 8]);
-        let h = b.push(OpKind::Linear { in_f: 8, out_f: 8, bias: true }, &[x], "fc")?;
+        let h = b.push(
+            OpKind::Linear {
+                in_f: 8,
+                out_f: 8,
+                bias: true,
+            },
+            &[x],
+            "fc",
+        )?;
         b.push(OpKind::Silu, &[h], "act")?;
         Ok(b.finish())
     });

@@ -35,7 +35,13 @@ fn latency(alias: &str, platform: Platform, gpu: bool) -> f64 {
 #[test]
 fn fig1_gemm_dominates_cpu_and_gpu_accelerates() {
     for alias in ["gpt2-xl", "vit-l"] {
-        let cpu = breakdown(alias, Platform::data_center().cpu_only(), false, Flow::Eager, 1);
+        let cpu = breakdown(
+            alias,
+            Platform::data_center().cpu_only(),
+            false,
+            Flow::Eager,
+            1,
+        );
         assert!(
             cpu.gemm_frac() > 0.49,
             "{alias}: CPU GEMM share {:.2} below the paper's 49% floor",
@@ -43,7 +49,10 @@ fn fig1_gemm_dominates_cpu_and_gpu_accelerates() {
         );
         let t_cpu = latency(alias, Platform::data_center().cpu_only(), false);
         let t_gpu = latency(alias, Platform::data_center(), true);
-        assert!(t_gpu < t_cpu / 1.5, "{alias}: GPU must clearly beat the CPU");
+        assert!(
+            t_gpu < t_cpu / 1.5,
+            "{alias}: GPU must clearly beat the CPU"
+        );
     }
 }
 
@@ -55,14 +64,28 @@ fn headline_non_gemm_share_shift() {
     let mut gpu = Vec::new();
     for &m in ModelId::all() {
         let alias = m.spec().alias;
-        cpu.push(breakdown(alias, Platform::data_center().cpu_only(), false, Flow::Eager, 1)
-            .non_gemm_frac());
+        cpu.push(
+            breakdown(
+                alias,
+                Platform::data_center().cpu_only(),
+                false,
+                Flow::Eager,
+                1,
+            )
+            .non_gemm_frac(),
+        );
         gpu.push(breakdown(alias, Platform::data_center(), true, Flow::Eager, 1).non_gemm_frac());
     }
     let cpu_avg = cpu.iter().sum::<f64>() / cpu.len() as f64;
     let gpu_avg = gpu.iter().sum::<f64>() / gpu.len() as f64;
-    assert!((0.15..0.45).contains(&cpu_avg), "CPU avg {cpu_avg:.2} (paper 0.27)");
-    assert!((0.45..0.75).contains(&gpu_avg), "GPU avg {gpu_avg:.2} (paper 0.55)");
+    assert!(
+        (0.15..0.45).contains(&cpu_avg),
+        "CPU avg {cpu_avg:.2} (paper 0.27)"
+    );
+    assert!(
+        (0.45..0.75).contains(&gpu_avg),
+        "GPU avg {gpu_avg:.2} (paper 0.55)"
+    );
     assert!(gpu_avg > cpu_avg + 0.15);
 }
 
@@ -71,7 +94,13 @@ fn headline_non_gemm_share_shift() {
 #[test]
 fn fig5_vision_transformers_shift_to_non_gemm() {
     for (alias, paper_gpu_share) in [("vit-b", 0.60), ("vit-l", 0.55), ("sw-s", 0.55)] {
-        let cpu = breakdown(alias, Platform::data_center().cpu_only(), false, Flow::Eager, 1);
+        let cpu = breakdown(
+            alias,
+            Platform::data_center().cpu_only(),
+            false,
+            Flow::Eager,
+            1,
+        );
         let gpu = breakdown(alias, Platform::data_center(), true, Flow::Eager, 1);
         assert!(
             gpu.non_gemm_frac() > cpu.non_gemm_frac(),
@@ -120,9 +149,17 @@ fn batch_size_amortizes_non_gemm() {
 fn detection_dominated_by_normalization() {
     for alias in ["frcnn", "mrcnn", "detr"] {
         let b = breakdown(alias, Platform::data_center(), true, Flow::Eager, 1);
-        assert!(b.non_gemm_frac() > 0.55, "{alias}: non-GEMM {:.2}", b.non_gemm_frac());
+        assert!(
+            b.non_gemm_frac() > 0.55,
+            "{alias}: non-GEMM {:.2}",
+            b.non_gemm_frac()
+        );
         let (group, frac) = b.dominant_group().expect("has non-GEMM ops");
-        assert_eq!(group, NonGemmGroup::Normalization, "{alias} dominated by {group}");
+        assert_eq!(
+            group,
+            NonGemmGroup::Normalization,
+            "{alias} dominated by {group}"
+        );
         assert!(frac > 0.25, "{alias}: Norm share {frac:.2} (paper 40–60%)");
     }
 }
@@ -134,12 +171,20 @@ fn language_model_dominant_groups() {
     for alias in ["gpt2", "gpt2-xl"] {
         let b = breakdown(alias, Platform::data_center(), true, Flow::Eager, 1);
         let (group, frac) = b.dominant_group().expect("has non-GEMM ops");
-        assert_eq!(group, NonGemmGroup::Activation, "{alias} dominated by {group}");
+        assert_eq!(
+            group,
+            NonGemmGroup::Activation,
+            "{alias} dominated by {group}"
+        );
         assert!(frac > 0.15, "{alias}: Act share {frac:.2} (paper ~23%)");
     }
     let llama = breakdown("llama2", Platform::data_center(), true, Flow::Eager, 1);
     let (group, _) = llama.dominant_group().expect("has non-GEMM ops");
-    assert_eq!(group, NonGemmGroup::Arithmetic, "llama2 dominated by {group}");
+    assert_eq!(
+        group,
+        NonGemmGroup::Arithmetic,
+        "llama2 dominated by {group}"
+    );
 }
 
 /// §4.2 / Figures 7–8: under ONNX Runtime on a GPU, the Memory group
@@ -157,10 +202,17 @@ fn ort_memory_dominance() {
         ort_avg += ort.non_gemm_frac();
         if m.spec().task == Task::LanguageModel {
             let (group, _) = ort.dominant_group().expect("non-GEMM ops");
-            assert_eq!(group, NonGemmGroup::Memory, "{alias} under ORT dominated by {group}");
+            assert_eq!(
+                group,
+                NonGemmGroup::Memory,
+                "{alias} under ORT dominated by {group}"
+            );
         }
     }
-    assert!(ort_avg > eager_avg, "ORT must raise the average non-GEMM share");
+    assert!(
+        ort_avg > eager_avg,
+        "ORT must raise the average non-GEMM share"
+    );
 }
 
 /// §4.2: the deployment flow changes *which* group dominates — eager GPT-2
@@ -169,7 +221,10 @@ fn ort_memory_dominance() {
 fn deployment_flow_changes_dominant_group() {
     let eager = breakdown("gpt2-xl", Platform::data_center(), true, Flow::Eager, 1);
     let ort = breakdown("gpt2-xl", Platform::data_center(), true, Flow::Ort, 1);
-    assert_eq!(eager.dominant_group().expect("ops").0, NonGemmGroup::Activation);
+    assert_eq!(
+        eager.dominant_group().expect("ops").0,
+        NonGemmGroup::Activation
+    );
     assert_eq!(ort.dominant_group().expect("ops").0, NonGemmGroup::Memory);
     assert!(
         ort.group_frac(NonGemmGroup::Memory) > 2.0 * eager.group_frac(NonGemmGroup::Memory),

@@ -17,7 +17,10 @@ fn dynamo_fuses_fewer_kernels_than_eager() {
             dynamo.total_kernels(),
             eager.total_kernels()
         );
-        assert!(dynamo.nodes.iter().any(|n| n.fused_into_prev), "{m}: no fusion happened");
+        assert!(
+            dynamo.nodes.iter().any(|n| n.fused_into_prev),
+            "{m}: no fusion happened"
+        );
     }
 }
 
@@ -26,7 +29,10 @@ fn ort_fallback_only_on_gpu_platforms() {
     let g = ModelId::Gpt2Xl.build(1, Scale::Full).expect("builds");
     let gpu_plan = plan(&g, Flow::Ort, true);
     let cpu_plan = plan(&g, Flow::Ort, false);
-    assert!(gpu_plan.cpu_fallback_count() > 50, "GPT2-XL has many layout ops that fall back");
+    assert!(
+        gpu_plan.cpu_fallback_count() > 50,
+        "GPT2-XL has many layout ops that fall back"
+    );
     assert_eq!(cpu_plan.cpu_fallback_count(), 0);
     assert!(cpu_plan.nodes.iter().all(|n| n.transfer_bytes == 0.0));
     // fallen-back nodes pay transfers proportional to their tensors

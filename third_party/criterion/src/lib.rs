@@ -1,0 +1,131 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Mirrors the slice of the criterion API the bench targets use
+//! (`benchmark_group`, `bench_function`, `bench_with_input`,
+//! `criterion_group!` / `criterion_main!`) but performs only a short
+//! wall-clock measurement per benchmark — no statistics, plots, or
+//! baseline storage. Each benchmark runs a warmup pass plus a handful of
+//! timed iterations and prints the mean, which keeps `cargo test` (which
+//! also builds and runs `harness = false` bench targets) fast.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Timed iterations per benchmark (after one warmup call).
+const TIMED_ITERS: u32 = 5;
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        run_one(&id.into(), &mut f);
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for API compatibility; the stub's fixed iteration count
+    /// ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        run_one(&format!("{}/{}", self.name, id.into()), &mut f);
+    }
+
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        run_one(&format!("{}/{}", self.name, id.label), &mut |b| f(b, input));
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Labels the benchmark with its parameter value.
+    pub fn from_parameter(p: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: p.to_string(),
+        }
+    }
+}
+
+/// Handed to each benchmark closure to time its routine.
+pub struct Bencher {
+    elapsed_ns: u128,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Times `routine` over the stub's fixed iteration count.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let _ = routine(); // warmup
+        let start = Instant::now();
+        for _ in 0..TIMED_ITERS {
+            let _ = routine();
+        }
+        self.elapsed_ns = start.elapsed().as_nanos();
+        self.iters = TIMED_ITERS;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, f: &mut F) {
+    let mut b = Bencher {
+        elapsed_ns: 0,
+        iters: 0,
+    };
+    f(&mut b);
+    let mean_us = if b.iters > 0 {
+        b.elapsed_ns as f64 / f64::from(b.iters) / 1e3
+    } else {
+        0.0
+    };
+    println!("bench {label:<40} {mean_us:>12.2} us/iter");
+}
+
+/// Collects benchmark functions into one runner, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

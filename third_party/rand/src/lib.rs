@@ -1,0 +1,149 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The benchmark container has no access to crates.io, so this vendored
+//! crate provides exactly the API surface `ngb-tensor` consumes: a seedable
+//! `StdRng` and `Uniform` distributions over `f32`/`f64`/`i64`. The
+//! generator is SplitMix64 — statistically solid for synthetic-tensor
+//! purposes and bit-reproducible from a seed, which is the property the
+//! repo's determinism tests rely on. Streams are *not* bit-compatible with
+//! the upstream `rand` crate.
+
+/// Core trait for pseudo-random generators (subset of `rand::RngCore`).
+pub trait RngCore {
+    /// Next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly distributed bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seeding trait (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    /// The standard generator: SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // avoid the all-zero fixed point without disturbing other seeds
+            StdRng {
+                state: seed ^ 0x9e37_79b9_7f4a_7c15,
+            }
+        }
+    }
+
+    impl super::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+pub mod distributions {
+    //! Value distributions (subset of `rand::distributions`).
+
+    use super::RngCore;
+
+    /// Sampling interface.
+    pub trait Distribution<T> {
+        /// Draws one value from the distribution.
+        fn sample<R: RngCore>(&self, rng: &mut R) -> T;
+    }
+
+    /// Uniform distribution over `[lo, hi)`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Uniform<X> {
+        lo: X,
+        hi: X,
+    }
+
+    impl<X: PartialOrd + Copy + core::fmt::Debug> Uniform<X> {
+        /// Creates the half-open uniform distribution `[lo, hi)`.
+        ///
+        /// # Panics
+        ///
+        /// Panics when `lo >= hi`, matching upstream behavior.
+        pub fn new(lo: X, hi: X) -> Uniform<X> {
+            assert!(
+                lo < hi,
+                "Uniform::new requires lo < hi, got [{lo:?}, {hi:?})"
+            );
+            Uniform { lo, hi }
+        }
+    }
+
+    /// A uniform fraction in `[0, 1)` with 53 bits of precision.
+    fn unit_f64<R: RngCore>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    impl Distribution<f32> for Uniform<f32> {
+        fn sample<R: RngCore>(&self, rng: &mut R) -> f32 {
+            let v = self.lo as f64 + (self.hi as f64 - self.lo as f64) * unit_f64(rng);
+            // rounding to f32 may land exactly on `hi`; keep the interval open
+            (v as f32).clamp(self.lo, f32_prev(self.hi))
+        }
+    }
+
+    impl Distribution<f64> for Uniform<f64> {
+        fn sample<R: RngCore>(&self, rng: &mut R) -> f64 {
+            self.lo + (self.hi - self.lo) * unit_f64(rng)
+        }
+    }
+
+    impl Distribution<i64> for Uniform<i64> {
+        fn sample<R: RngCore>(&self, rng: &mut R) -> i64 {
+            let span = self.hi.wrapping_sub(self.lo) as u64;
+            self.lo.wrapping_add((rng.next_u64() % span) as i64)
+        }
+    }
+
+    impl Distribution<usize> for Uniform<usize> {
+        fn sample<R: RngCore>(&self, rng: &mut R) -> usize {
+            let span = (self.hi - self.lo) as u64;
+            self.lo + (rng.next_u64() % span) as usize
+        }
+    }
+
+    /// The largest f32 strictly below `x` (for finite positive spans).
+    fn f32_prev(x: f32) -> f32 {
+        f32::from_bits(x.to_bits().wrapping_sub(if x > 0.0 { 1 } else { 0 }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::rngs::StdRng;
+    use super::SeedableRng;
+
+    #[test]
+    fn deterministic_and_bounded() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let u = Uniform::new(-1.0f32, 1.0f32);
+        for _ in 0..1000 {
+            let (x, y) = (u.sample(&mut a), u.sample(&mut b));
+            assert_eq!(x, y);
+            assert!((-1.0..1.0).contains(&x));
+        }
+        let ui = Uniform::new(0i64, 50i64);
+        let mut r = StdRng::seed_from_u64(3);
+        assert!((0..1000).all(|_| (0..50).contains(&ui.sample(&mut r))));
+    }
+}

@@ -1,0 +1,294 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The container building this repo has no network access to crates.io, so
+//! the workspace vendors a minimal serde replacement. Instead of serde's
+//! visitor architecture, types convert to and from a [`Content`] tree — a
+//! self-describing value representation that `serde_json` (the vendored
+//! one) renders to and parses from JSON text. The `derive` feature
+//! re-exports `#[derive(Serialize, Deserialize)]` macros from the vendored
+//! `serde_derive`, which generate `to_content`/`from_content` impls with
+//! serde's externally-tagged enum layout, so JSON produced here looks like
+//! what upstream serde_json would emit for the same types.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::BTreeMap;
+
+/// Self-describing value tree: the intermediate form between Rust values
+/// and a serialized wire format.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null` / `Option::None`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence (array).
+    Seq(Vec<Content>),
+    /// Key-value map; keys are arbitrary content but stringify on output.
+    Map(Vec<(Content, Content)>),
+}
+
+/// The singleton used when a map field is absent, so `Option` fields can
+/// deserialize to `None` without allocating.
+pub static NULL: Content = Content::Null;
+
+/// Types that can render themselves into a [`Content`] tree.
+pub trait Serialize {
+    /// Converts `self` into the content tree.
+    fn to_content(&self) -> Content;
+}
+
+/// Types that can be rebuilt from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Converts the content tree into `Self`, with a descriptive error on
+    /// shape mismatch.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the expected and found
+    /// content kinds.
+    fn from_content(c: &Content) -> Result<Self, String>;
+}
+
+/// Looks up `name` in a content map, yielding [`NULL`] when absent so
+/// optional fields decode to their empty form.
+pub fn content_field<'a>(m: &'a [(Content, Content)], name: &str) -> &'a Content {
+    m.iter()
+        .find(|(k, _)| matches!(k, Content::Str(s) if s == name))
+        .map_or(&NULL, |(_, v)| v)
+}
+
+fn kind(c: &Content) -> &'static str {
+    match c {
+        Content::Null => "null",
+        Content::Bool(_) => "bool",
+        Content::I64(_) | Content::U64(_) => "integer",
+        Content::F64(_) => "number",
+        Content::Str(_) => "string",
+        Content::Seq(_) => "sequence",
+        Content::Map(_) => "map",
+    }
+}
+
+fn mismatch<T>(want: &str, got: &Content) -> Result<T, String> {
+    Err(format!("expected {want}, found {}", kind(got)))
+}
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, String> {
+                let v = match *c {
+                    Content::I64(v) => v,
+                    Content::U64(v) if v <= i64::MAX as u64 => v as i64,
+                    Content::F64(v) if v.fract() == 0.0 => v as i64,
+                    ref other => return mismatch("integer", other),
+                };
+                <$t>::try_from(v).map_err(|_| format!("{v} out of range for {}", stringify!($t)))
+            }
+        }
+    )*};
+}
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, String> {
+                let v = match *c {
+                    Content::U64(v) => v,
+                    Content::I64(v) if v >= 0 => v as u64,
+                    Content::F64(v) if v.fract() == 0.0 && v >= 0.0 => v as u64,
+                    ref other => return mismatch("unsigned integer", other),
+                };
+                <$t>::try_from(v).map_err(|_| format!("{v} out of range for {}", stringify!($t)))
+            }
+        }
+    )*};
+}
+
+ser_signed!(i8, i16, i32, i64, isize);
+ser_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::F64(*self as f64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, String> {
+                match *c {
+                    Content::F64(v) => Ok(v as $t),
+                    Content::I64(v) => Ok(v as $t),
+                    Content::U64(v) => Ok(v as $t),
+                    ref other => mismatch("number", other),
+                }
+            }
+        }
+    )*};
+}
+
+ser_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            other => mismatch("bool", other),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            other => mismatch("string", other),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        self.as_slice().to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => mismatch("sequence", other),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_content(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_content(k)?, V::from_content(v)?)))
+                .collect(),
+            other => mismatch("map", other),
+        }
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$n.to_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(c: &Content) -> Result<Self, String> {
+                match c {
+                    Content::Seq(items) => Ok(($(
+                        $t::from_content(
+                            items.get($n).ok_or_else(|| format!("tuple too short at {}", $n))?,
+                        )?,
+                    )+)),
+                    other => mismatch("sequence", other),
+                }
+            }
+        }
+    )*};
+}
+
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        Ok(c.clone())
+    }
+}

@@ -1,0 +1,416 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the vendored serde's `Serialize`/`Deserialize`
+//! traits (`to_content`/`from_content` over `serde::Content`). The parser
+//! walks the raw `TokenStream` directly — no `syn`/`quote`, since those
+//! aren't available offline — and supports exactly the shapes this
+//! workspace uses: non-generic structs (named, tuple, unit) and enums
+//! whose variants are unit, tuple, or struct-like. Enums use serde's
+//! externally-tagged layout: unit variants serialize as a string, payload
+//! variants as a single-entry map keyed by the variant name.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse(input);
+    gen_serialize(&input)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse(input);
+    gen_deserialize(&input)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse(input: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+    let keyword = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    i += 1;
+    if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive stub does not support generic type `{name}`");
+    }
+    let shape = match keyword.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(named_fields(&collect(g)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_fields(&collect(g)))
+            }
+            _ => Shape::UnitStruct,
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(variants(&collect(g)))
+            }
+            other => panic!("expected enum body, found {other:?}"),
+        },
+        other => panic!("cannot derive for `{other}` items"),
+    };
+    Input { name, shape }
+}
+
+fn collect(g: &proc_macro::Group) -> Vec<TokenTree> {
+    g.stream().into_iter().collect()
+}
+
+/// Advances past `#[...]` attributes and `pub`/`pub(...)` visibility.
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => *i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    toks.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Advances past the current type expression to just after the next
+/// top-level comma (commas inside `<...>` or nested groups don't count).
+fn skip_to_next_field(toks: &[TokenTree], i: &mut usize) {
+    let mut angle = 0i32;
+    while *i < toks.len() {
+        if let TokenTree::Punct(p) = &toks[*i] {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn named_fields(toks: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        match &toks[i] {
+            TokenTree::Ident(id) => fields.push(id.to_string()),
+            other => panic!("expected field name, found {other}"),
+        }
+        i += 1;
+        skip_to_next_field(toks, &mut i);
+    }
+    fields
+}
+
+fn count_fields(toks: &[TokenTree]) -> usize {
+    let mut count = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        count += 1;
+        skip_to_next_field(toks, &mut i);
+    }
+    count
+}
+
+fn variants(toks: &[TokenTree]) -> Vec<Variant> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, found {other}"),
+        };
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_fields(&collect(g)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(named_fields(&collect(g)))
+            }
+            _ => VariantKind::Unit,
+        };
+        out.push(Variant { name, kind });
+        skip_to_next_field(toks, &mut i);
+    }
+    out
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn str_lit(s: &str) -> String {
+    format!("::std::string::String::from(\"{s}\")")
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::UnitStruct => "::serde::Content::Null".to_string(),
+        Shape::TupleStruct(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+        }
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::serde::Content::Str({}), ::serde::Serialize::to_content(&self.{f}))",
+                        str_lit(f)
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(vec![{}])", entries.join(", "))
+        }
+        Shape::Enum(vars) => {
+            let mut arms = String::new();
+            for v in vars {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{vn} => ::serde::Content::Str({}),",
+                            str_lit(vn)
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_content(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_content({b})"))
+                                .collect();
+                            format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+                        };
+                        let _ = write!(
+                            arms,
+                            "{name}::{vn}({binds}) => ::serde::Content::Map(vec![\
+                             (::serde::Content::Str({tag}), {payload})]),",
+                            binds = binds.join(", "),
+                            tag = str_lit(vn),
+                        );
+                    }
+                    VariantKind::Named(fields) => {
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::serde::Content::Str({}), \
+                                     ::serde::Serialize::to_content({f}))",
+                                    str_lit(f)
+                                )
+                            })
+                            .collect();
+                        let _ = write!(
+                            arms,
+                            "{name}::{vn} {{ {fields} }} => ::serde::Content::Map(vec![\
+                             (::serde::Content::Str({tag}), \
+                             ::serde::Content::Map(vec![{entries}]))]),",
+                            fields = fields.join(", "),
+                            tag = str_lit(vn),
+                            entries = entries.join(", "),
+                        );
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::UnitStruct => format!("{{ let _ = __c; Ok({name}) }}"),
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_content(__c)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(&__s[{i}])?"))
+                .collect();
+            format!(
+                "match __c {{\n\
+                     ::serde::Content::Seq(__s) if __s.len() == {n} => \
+                         Ok({name}({items})),\n\
+                     _ => Err(format!(\"expected sequence of {n} for {name}\")),\n\
+                 }}",
+                items = items.join(", "),
+            )
+        }
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_content(\
+                         ::serde::content_field(__m, \"{f}\"))\
+                         .map_err(|e| format!(\"{name}.{f}: {{e}}\"))?"
+                    )
+                })
+                .collect();
+            format!(
+                "match __c {{\n\
+                     ::serde::Content::Map(__m) => Ok({name} {{ {inits} }}),\n\
+                     _ => Err(format!(\"expected map for {name}\")),\n\
+                 }}",
+                inits = inits.join(", "),
+            )
+        }
+        Shape::Enum(vars) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in vars {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = write!(unit_arms, "\"{vn}\" => Ok({name}::{vn}),");
+                    }
+                    VariantKind::Tuple(1) => {
+                        let _ = write!(
+                            payload_arms,
+                            "\"{vn}\" => Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_content(__v)\
+                             .map_err(|e| format!(\"{name}::{vn}: {{e}}\"))?)),"
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_content(&__s[{i}])?"))
+                            .collect();
+                        let _ = write!(
+                            payload_arms,
+                            "\"{vn}\" => match __v {{\n\
+                                 ::serde::Content::Seq(__s) if __s.len() == {n} => \
+                                     Ok({name}::{vn}({items})),\n\
+                                 _ => Err(format!(\"expected sequence of {n} for {name}::{vn}\")),\n\
+                             }},",
+                            items = items.join(", "),
+                        );
+                    }
+                    VariantKind::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_content(\
+                                     ::serde::content_field(__fm, \"{f}\"))\
+                                     .map_err(|e| format!(\"{name}::{vn}.{f}: {{e}}\"))?"
+                                )
+                            })
+                            .collect();
+                        let _ = write!(
+                            payload_arms,
+                            "\"{vn}\" => match __v {{\n\
+                                 ::serde::Content::Map(__fm) => Ok({name}::{vn} {{ {inits} }}),\n\
+                                 _ => Err(format!(\"expected field map for {name}::{vn}\")),\n\
+                             }},",
+                            inits = inits.join(", "),
+                        );
+                    }
+                }
+            }
+            format!(
+                "match __c {{\n\
+                     ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\n\
+                         __other => Err(format!(\"unknown variant {{__other}} for {name}\")),\n\
+                     }},\n\
+                     ::serde::Content::Map(__m) if __m.len() == 1 => {{\n\
+                         let (__k, __v) = &__m[0];\n\
+                         let __tag = match __k {{\n\
+                             ::serde::Content::Str(s) => s.as_str(),\n\
+                             _ => return Err(format!(\"non-string variant tag for {name}\")),\n\
+                         }};\n\
+                         match __tag {{\n\
+                             {payload_arms}\n\
+                             __other => Err(format!(\"unknown variant {{__other}} for {name}\")),\n\
+                         }}\n\
+                     }},\n\
+                     _ => Err(format!(\"expected variant encoding for {name}\")),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(__c: &::serde::Content) \
+                 -> ::std::result::Result<Self, ::std::string::String> {{ {body} }}\n\
+         }}\n"
+    )
+}

@@ -1,0 +1,86 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Renders the vendored serde's `Content` tree to JSON text and parses
+//! JSON text back into it, exposing the familiar `to_string` /
+//! `to_string_pretty` / `from_str` / `to_value` entry points plus a
+//! [`Value`] type with indexing and typed accessors. Numbers are carried
+//! as `f64`; integers up to 2^53 round-trip exactly, which covers every
+//! count, byte total, and parameter tally this workspace serializes.
+
+use serde::{Content, Deserialize, Serialize};
+
+mod parse;
+mod value;
+mod write;
+
+pub use value::Value;
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Error {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` to compact JSON.
+///
+/// # Errors
+///
+/// Never fails for the types in this workspace; the `Result` mirrors the
+/// upstream signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(write::compact(&value.to_content()))
+}
+
+/// Serializes `value` to indented JSON.
+///
+/// # Errors
+///
+/// Never fails for the types in this workspace; the `Result` mirrors the
+/// upstream signature.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(write::pretty(&value.to_content()))
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Never fails for the types in this workspace; the `Result` mirrors the
+/// upstream signature.
+pub fn to_value<T: Serialize>(value: T) -> Result<Value, Error> {
+    Ok(Value::from_content_tree(&value.to_content()))
+}
+
+/// Parses JSON text into any deserializable type.
+///
+/// # Errors
+///
+/// Returns a parse error on malformed JSON, or a shape error when the
+/// document doesn't match `T`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let content = parse::parse(s).map_err(Error::new)?;
+    T::from_content(&content).map_err(Error::new)
+}
+
+/// Renders a map key: JSON object keys must be strings, so non-string
+/// content keys are stringified through their compact rendering.
+fn key_string(k: &Content) -> String {
+    match k {
+        Content::Str(s) => s.clone(),
+        other => write::compact(other),
+    }
+}

@@ -1,0 +1,101 @@
+//! JSON text rendering for `Content` trees.
+
+use serde::Content;
+
+/// Compact (single-line) rendering.
+pub fn compact(c: &Content) -> String {
+    let mut out = String::new();
+    render(c, None, 0, &mut out);
+    out
+}
+
+/// Pretty rendering with two-space indentation.
+pub fn pretty(c: &Content) -> String {
+    let mut out = String::new();
+    render(c, Some(2), 0, &mut out);
+    out
+}
+
+fn render(c: &Content, indent: Option<usize>, depth: usize, out: &mut String) {
+    match c {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => out.push_str(&render_f64(*v)),
+        Content::Str(s) => escape_into(s, out),
+        Content::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline(indent, depth + 1, out);
+                render(item, indent, depth + 1, out);
+            }
+            if !items.is_empty() {
+                newline(indent, depth, out);
+            }
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline(indent, depth + 1, out);
+                escape_into(&crate::key_string(k), out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                render(v, indent, depth + 1, out);
+            }
+            if !entries.is_empty() {
+                newline(indent, depth, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn newline(indent: Option<usize>, depth: usize, out: &mut String) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..depth * width {
+            out.push(' ');
+        }
+    }
+}
+
+/// Rust's `Display` for floats round-trips and never uses exponents, so
+/// it is valid JSON as-is; non-finite values have no JSON form and render
+/// as `null` like upstream's lossy modes.
+fn render_f64(v: f64) -> String {
+    if v.is_finite() {
+        v.to_string()
+    } else {
+        "null".to_string()
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
