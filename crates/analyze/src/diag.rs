@@ -48,6 +48,8 @@ pub enum Pass {
     Cost,
     /// Fusion-opportunity patterns (Linear→GELU, attention, Conv→BN→ReLU).
     Fusion,
+    /// Inter-operator parallelism: wavefront widths of the dependency DAG.
+    Parallelism,
 }
 
 impl Pass {
@@ -59,6 +61,7 @@ impl Pass {
             Pass::Taxonomy,
             Pass::Cost,
             Pass::Fusion,
+            Pass::Parallelism,
         ]
     }
 
@@ -70,6 +73,7 @@ impl Pass {
             Pass::Taxonomy => "taxonomy",
             Pass::Cost => "cost",
             Pass::Fusion => "fusion",
+            Pass::Parallelism => "parallelism",
         }
     }
 }
@@ -121,6 +125,9 @@ pub enum Lint {
     FuseAttention,
     /// The `Conv2d → BatchNorm → ReLU` triple (foldable at inference).
     FuseConvBnRelu,
+    /// A multi-node graph whose every wavefront has width 1, so a parallel
+    /// executor can never overlap two operators.
+    SerialGraph,
 }
 
 impl Lint {
@@ -143,6 +150,7 @@ impl Lint {
             Lint::FuseLinearActivation,
             Lint::FuseAttention,
             Lint::FuseConvBnRelu,
+            Lint::SerialGraph,
         ]
     }
 
@@ -165,6 +173,7 @@ impl Lint {
             Lint::FuseLinearActivation => "fuse-linear-activation",
             Lint::FuseAttention => "fuse-attention",
             Lint::FuseConvBnRelu => "fuse-conv-bn-relu",
+            Lint::SerialGraph => "serial-graph",
         }
     }
 
@@ -188,6 +197,7 @@ impl Lint {
             | Lint::ZeroCostNode
             | Lint::TrafficUnderflow => Pass::Cost,
             Lint::FuseLinearActivation | Lint::FuseAttention | Lint::FuseConvBnRelu => Pass::Fusion,
+            Lint::SerialGraph => Pass::Parallelism,
         }
     }
 
@@ -205,9 +215,10 @@ impl Lint {
             | Lint::KernellessWork
             | Lint::ZeroCostNode => Severity::Deny,
             Lint::DeadNode | Lint::DuplicateSubgraph | Lint::TrafficUnderflow => Severity::Warn,
-            Lint::FuseLinearActivation | Lint::FuseAttention | Lint::FuseConvBnRelu => {
-                Severity::Allow
-            }
+            Lint::FuseLinearActivation
+            | Lint::FuseAttention
+            | Lint::FuseConvBnRelu
+            | Lint::SerialGraph => Severity::Allow,
         }
     }
 
@@ -230,6 +241,7 @@ impl Lint {
             Lint::FuseLinearActivation => "GEMM feeding a single-consumer activation",
             Lint::FuseAttention => "MatMul -> scale -> (mask) -> Softmax attention prologue",
             Lint::FuseConvBnRelu => "Conv2d -> BatchNorm -> ReLU triple",
+            Lint::SerialGraph => "no inter-operator parallelism (every wavefront has width 1)",
         }
     }
 }

@@ -1,7 +1,7 @@
 //! # ngb-analyze
 //!
 //! Static graph analysis and lints over the NonGEMM Bench operator IR — a
-//! `clippy` for [`ngb_graph::Graph`]s. The [`Analyzer`] runs five passes:
+//! `clippy` for [`ngb_graph::Graph`]s. The [`Analyzer`] runs six passes:
 //!
 //! 1. **structural** — NodeId/topological-order consistency, dangling
 //!    inputs, dead-node detection, duplicate-subgraph (CSE) candidates;
@@ -13,13 +13,17 @@
 //!    kernels, static kernels move at least their operands;
 //! 5. **fusion** — flags Linear→GELU epilogues, `MatMul → scale → (mask) →
 //!    Softmax` attention prologues, and Conv→BN→ReLU triples as
-//!    optimization opportunities.
+//!    optimization opportunities;
+//! 6. **parallelism** — builds the executor's wavefront schedule
+//!    ([`ngb_exec::Schedule`]) and reports the graph's depth and max/mean
+//!    wavefront width — how much inter-operator parallelism a multi-threaded
+//!    runner can exploit.
 //!
 //! Findings are [`Diagnostic`]s with a configurable severity
 //! (allow / warn / deny, per lint via [`LintConfig`]) and render both
 //! human-readable ([`AnalysisReport::to_text`]) and as JSON
 //! ([`AnalysisReport::to_json`]). The `nongemm-cli verify <model>`
-//! subcommand and the opt-in [`ngb_graph::Interpreter`] preflight are built
+//! subcommand and the opt-in [`ngb_exec::Interpreter`] preflight are built
 //! on this crate.
 //!
 //! # Examples
@@ -51,4 +55,4 @@ mod report;
 
 pub use diag::{Diagnostic, Lint, LintConfig, Pass, Severity};
 pub use passes::Analyzer;
-pub use report::{AnalysisReport, Census};
+pub use report::{AnalysisReport, Census, ParallelismStats};

@@ -12,7 +12,7 @@ use ngb_graph::{infer_shape, Graph, Node, NodeId, NonGemmGroup, OpClass, OpKind,
 use ngb_tensor::num_elements;
 
 use crate::diag::{Diagnostic, Lint, LintConfig};
-use crate::report::{AnalysisReport, Census};
+use crate::report::{AnalysisReport, Census, ParallelismStats};
 
 /// Multi-pass static analyzer over an operator [`Graph`].
 ///
@@ -109,7 +109,7 @@ impl Analyzer {
         Analyzer { config }
     }
 
-    /// Runs all five passes over `graph`.
+    /// Runs all six passes over `graph`.
     pub fn analyze(&self, graph: &Graph) -> AnalysisReport {
         let mut ctx = Ctx::new(graph, &self.config);
         structural_pass(&mut ctx);
@@ -117,10 +117,12 @@ impl Analyzer {
         let census = taxonomy_pass(&mut ctx);
         cost_pass(&mut ctx);
         fusion_pass(&mut ctx);
+        let parallelism = parallelism_pass(&mut ctx);
         AnalysisReport {
             graph_name: graph.name.clone(),
             diagnostics: ctx.diagnostics,
             census,
+            parallelism,
         }
     }
 }
@@ -436,6 +438,37 @@ fn fusion_pass(ctx: &mut Ctx) {
     for (lint, node, msg) in found {
         ctx.emit(lint, node, msg);
     }
+}
+
+/// Pass 6: inter-operator parallelism. Builds the same wavefront
+/// [`ngb_exec::Schedule`] the parallel executor runs from and reports its
+/// shape (depth, max/mean width). A structurally broken graph has no
+/// meaningful schedule, so the pass reports zeros and stays silent there —
+/// the structural pass already owns those findings.
+fn parallelism_pass(ctx: &mut Ctx) -> ParallelismStats {
+    if ctx.graph.is_empty() || !ctx.graph.structural_issues().is_empty() {
+        return ParallelismStats::default();
+    }
+    let sched = ngb_exec::Schedule::new(ctx.graph);
+    if !sched.is_complete() {
+        return ParallelismStats::default();
+    }
+    let stats = ParallelismStats {
+        wavefronts: sched.depth(),
+        max_width: sched.max_width(),
+        mean_width: sched.mean_width(),
+    };
+    if stats.max_width <= 1 && ctx.graph.len() > 1 {
+        ctx.emit_graph(
+            Lint::SerialGraph,
+            format!(
+                "all {} nodes form a single dependency chain; a parallel \
+                 executor cannot overlap any two operators",
+                ctx.graph.len()
+            ),
+        );
+    }
+    stats
 }
 
 /// Matches the attention prologue backwards from a softmax node:

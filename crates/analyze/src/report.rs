@@ -33,6 +33,21 @@ impl Census {
     }
 }
 
+/// Wavefront shape of the graph's dependency DAG (the parallelism pass).
+///
+/// All zeros when the graph is empty or structurally broken — a corrupt
+/// graph has no meaningful schedule, so the pass reports nothing rather
+/// than guessing.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ParallelismStats {
+    /// Number of Kahn wavefronts (the DAG's depth).
+    pub wavefronts: usize,
+    /// Widest wavefront: the most operators ever runnable at once.
+    pub max_width: usize,
+    /// Mean wavefront width (nodes / wavefronts).
+    pub mean_width: f64,
+}
+
 /// Everything the analyzer found for one graph.
 #[derive(Debug, Clone)]
 pub struct AnalysisReport {
@@ -42,6 +57,8 @@ pub struct AnalysisReport {
     pub diagnostics: Vec<Diagnostic>,
     /// The taxonomy pass's operator census.
     pub census: Census,
+    /// The parallelism pass's wavefront statistics.
+    pub parallelism: ParallelismStats,
 }
 
 impl AnalysisReport {
@@ -96,6 +113,12 @@ impl AnalysisReport {
             .map(|&(label, n)| format!("{label}={n}"))
             .collect();
         let _ = writeln!(out, "  groups: {}", groups.join(" "));
+        let p = &self.parallelism;
+        let _ = writeln!(
+            out,
+            "  parallelism: {} wavefronts, max width {}, mean width {:.2}",
+            p.wavefronts, p.max_width, p.mean_width
+        );
         for d in &self.diagnostics {
             if d.severity > Severity::Allow || include_allowed {
                 let _ = writeln!(out, "  {d}");
@@ -140,7 +163,14 @@ impl AnalysisReport {
             }
             let _ = write!(out, "{}:{}", json_string(label), n);
         }
-        out.push_str("}},\"diagnostics\":[");
+        out.push_str("}}");
+        let p = &self.parallelism;
+        let _ = write!(
+            out,
+            ",\"parallelism\":{{\"wavefronts\":{},\"max_width\":{},\"mean_width\":{:.4}}}",
+            p.wavefronts, p.max_width, p.mean_width
+        );
+        out.push_str(",\"diagnostics\":[");
         for (i, d) in self.diagnostics.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -216,6 +246,11 @@ mod tests {
                 groups: vec![("Activation", 3), ("Memory", 5)],
                 dynamic: 0,
             },
+            parallelism: ParallelismStats {
+                wavefronts: 5,
+                max_width: 3,
+                mean_width: 2.0,
+            },
         }
     }
 
@@ -254,6 +289,7 @@ mod tests {
         let v: serde_json::Value = serde_json::from_str(&js).unwrap();
         assert_eq!(v["summary"]["warn"], 1);
         assert_eq!(v["census"]["groups"]["Memory"], 5);
+        assert_eq!(v["parallelism"]["max_width"], 3);
         assert_eq!(v["diagnostics"][1]["lint"], "fuse-attention");
         assert_eq!(v["diagnostics"][0]["node"], 3);
     }

@@ -81,6 +81,52 @@ fn convnets_expose_conv_bn_relu_opportunities() {
 }
 
 #[test]
+fn every_model_reports_wavefront_parallelism() {
+    // the parallelism pass must produce a complete schedule for every
+    // registry model: depth covers all nodes, widths are consistent
+    let analyzer = Analyzer::new();
+    for &m in ModelId::all() {
+        let g = m.build(1, Scale::Tiny).unwrap();
+        let p = analyzer.analyze(&g).parallelism;
+        assert!(p.wavefronts > 0, "{m}: no wavefronts");
+        assert!(p.wavefronts <= g.len(), "{m}");
+        assert!(p.max_width >= 1, "{m}");
+        assert!(
+            p.mean_width >= 1.0 && p.mean_width <= p.max_width as f64,
+            "{m}"
+        );
+        // depth * mean width recovers the node count
+        let nodes = p.mean_width * p.wavefronts as f64;
+        assert!((nodes - g.len() as f64).abs() < 1e-6, "{m}");
+    }
+}
+
+#[test]
+fn attention_models_have_parallel_wavefronts_and_chains_lint_serial() {
+    let analyzer = Analyzer::new();
+    // multi-head attention fans out: some wavefront must be wider than 1
+    let g = ModelId::VitBase16.build(1, Scale::Tiny).unwrap();
+    let report = analyzer.analyze(&g);
+    assert!(
+        report.parallelism.max_width > 1,
+        "ViT should expose inter-operator parallelism, got {:?}",
+        report.parallelism
+    );
+    assert!(report.findings(Lint::SerialGraph).is_empty());
+
+    // a pure chain gets the serial-graph lint at allow level
+    let mut b = ngb_graph::GraphBuilder::new("chain");
+    let x = b.input(&[1, 8]);
+    let h = b.push(ngb_graph::OpKind::Relu, &[x], "a").unwrap();
+    b.push(ngb_graph::OpKind::Gelu, &[h], "b").unwrap();
+    let report = analyzer.analyze(&b.finish());
+    let serial = report.findings(Lint::SerialGraph);
+    assert_eq!(serial.len(), 1);
+    assert_eq!(serial[0].severity, Severity::Allow);
+    assert_eq!(report.parallelism.max_width, 1);
+}
+
+#[test]
 fn census_fractions_match_the_papers_nongemm_story() {
     // the paper's premise: non-GEMM operators are the majority of nodes
     let analyzer = Analyzer::new();

@@ -3,7 +3,7 @@
 //! full scale — the two backends of the end-to-end flow.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use nongemm::graph::Interpreter;
+use nongemm::exec::Interpreter;
 use nongemm::{Flow, ModelId, Platform, Scale};
 
 fn bench_tiny_execution(c: &mut Criterion) {

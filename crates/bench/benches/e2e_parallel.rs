@@ -1,0 +1,36 @@
+//! Criterion benches: sequential vs parallel end-to-end execution of the
+//! branchier tiny presets. The interesting comparison is the same graph on
+//! `Engine::Sequential` and `Engine::Parallel(n)` — wavefront width, not
+//! node count, decides how much the thread pool can help.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nongemm::exec::{Engine, Interpreter};
+use nongemm::{ModelId, Scale};
+
+fn bench_parallel_execution(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2e_parallel_execute");
+    g.sample_size(10);
+    for model in [
+        ModelId::FasterRcnn,
+        ModelId::SwinBase,
+        ModelId::VitBase16,
+        ModelId::Gpt2,
+    ] {
+        let graph = model.build(4, Scale::Tiny).expect("suite models build");
+        let alias = model.spec().alias;
+        for (label, engine) in [
+            ("seq", Engine::Sequential),
+            ("par2", Engine::Parallel(2)),
+            ("par4", Engine::Parallel(4)),
+        ] {
+            let interp = Interpreter::default().engine(engine);
+            g.bench_function(format!("{alias}/{label}"), |b| {
+                b.iter(|| interp.run(&graph).expect("tiny models execute"))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_parallel_execution);
+criterion_main!(benches);

@@ -51,7 +51,7 @@ fn main() {
     }
     // sanity: the tiny decode graph really executes
     let g = Gpt2Config::toy().build_decode(1, 8).expect("builds");
-    nongemm::graph::Interpreter::default()
+    nongemm::exec::Interpreter::default()
         .run(&g)
         .expect("decode step executes");
     let _ = Scale::Tiny;

@@ -10,6 +10,7 @@
 //!   --tiny                use the executable tiny presets
 //!   --measured            execute on the host instead of the analytic models
 //!   --microbench          run the microbench flow instead of end-to-end
+//!   --threads <n>         worker threads for --measured (default: $NGB_THREADS or 1)
 //!   --format <fmt>        text | csv | json (default: text)
 //!   --trace <path>        also write a Chrome trace JSON per model
 //!
@@ -17,6 +18,7 @@
 //!   --model <alias>       model alias (repeatable; default: all 18)
 //!   --batch <n>           batch size (default: 1)
 //!   --tiny                use the executable tiny presets
+//!   --threads <n>         analyze models concurrently (default: $NGB_THREADS or 1)
 //!   --format <fmt>        text | json (default: text)
 //!   --all                 include allow-level findings in text output
 //! ```
@@ -48,6 +50,7 @@ struct Args {
     tiny: bool,
     measured: bool,
     microbench: bool,
+    threads: usize,
     format: Format,
     trace: Option<String>,
 }
@@ -57,6 +60,7 @@ struct VerifyArgs {
     models: Vec<String>,
     batch: usize,
     tiny: bool,
+    threads: usize,
     format: Format,
     all: bool,
 }
@@ -65,8 +69,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: nongemm-cli [run] [--model <alias>]... [--platform mobile|workstation|datacenter]\n\
          \x20      [--flow eager|torchscript|dynamo|ort] [--batch N] [--cpu-only] [--tiny]\n\
-         \x20      [--measured] [--microbench] [--format text|csv|json] [--trace <path>]\n\
-         \x20  nongemm-cli verify [--model <alias>]... [--batch N] [--tiny]\n\
+         \x20      [--measured] [--microbench] [--threads N] [--format text|csv|json]\n\
+         \x20      [--trace <path>]\n\
+         \x20  nongemm-cli verify [--model <alias>]... [--batch N] [--tiny] [--threads N]\n\
          \x20      [--format text|json] [--all]"
     );
     std::process::exit(2);
@@ -80,6 +85,16 @@ fn take_value(it: &mut std::slice::Iter<'_, String>, name: &str) -> String {
     })
 }
 
+fn parse_threads(v: &str) -> usize {
+    match v.parse() {
+        Ok(n) if n >= 1 => n,
+        _ => {
+            eprintln!("--threads requires a positive integer");
+            usage()
+        }
+    }
+}
+
 fn parse_run_args(argv: &[String]) -> Args {
     let mut args = Args {
         models: Vec::new(),
@@ -90,6 +105,7 @@ fn parse_run_args(argv: &[String]) -> Args {
         tiny: false,
         measured: false,
         microbench: false,
+        threads: 0,
         format: Format::Text,
         trace: None,
     };
@@ -133,6 +149,7 @@ fn parse_run_args(argv: &[String]) -> Args {
             "--tiny" => args.tiny = true,
             "--measured" => args.measured = true,
             "--microbench" => args.microbench = true,
+            "--threads" => args.threads = parse_threads(&take_value(&mut it, "--threads")),
             "--format" => {
                 args.format = match take_value(&mut it, "--format").as_str() {
                     "text" => Format::Text,
@@ -163,6 +180,7 @@ fn parse_verify_args(argv: &[String]) -> VerifyArgs {
         models: Vec::new(),
         batch: 1,
         tiny: false,
+        threads: 0,
         format: Format::Text,
         all: false,
     };
@@ -181,6 +199,7 @@ fn parse_verify_args(argv: &[String]) -> VerifyArgs {
             }
             "--tiny" => args.tiny = true,
             "--all" => args.all = true,
+            "--threads" => args.threads = parse_threads(&take_value(&mut it, "--threads")),
             "--format" => {
                 args.format = match take_value(&mut it, "--format").as_str() {
                     "text" => Format::Text,
@@ -220,6 +239,7 @@ fn run_verify(argv: &[String]) -> ExitCode {
         models: args.models.clone(),
         batch: args.batch,
         scale: if args.tiny { Scale::Tiny } else { Scale::Full },
+        threads: args.threads,
         ..BenchConfig::default()
     });
     let reports = match bench.verify() {
@@ -267,6 +287,7 @@ fn run_bench(argv: &[String]) -> ExitCode {
         batch: args.batch,
         scale: if args.tiny { Scale::Tiny } else { Scale::Full },
         iterations: 3,
+        threads: args.threads,
     });
 
     if args.microbench {

@@ -17,7 +17,8 @@
 //! |---|---|---|
 //! | [`tensor`] | `ngb-tensor` | strided tensors with view semantics |
 //! | [`ops`] | `ngb-ops` | executable kernels + analytic costs |
-//! | [`graph`] | `ngb-graph` | operator-graph IR, classification, interpreter |
+//! | [`graph`] | `ngb-graph` | operator-graph IR and classification |
+//! | [`exec`] | `ngb-exec` | sequential + parallel graph execution engine |
 //! | [`analyze`] | `ngb-analyze` | static graph analysis + lint diagnostics |
 //! | [`models`] | `ngb-models` | the 18 Table 1 model builders |
 //! | [`platform`] | `ngb-platform` | Table 3 device roofline models |
@@ -46,6 +47,7 @@
 
 pub use ngb_analyze as analyze;
 pub use ngb_data as data;
+pub use ngb_exec as exec;
 pub use ngb_graph as graph;
 pub use ngb_microbench as microbench;
 pub use ngb_models as models;
@@ -56,6 +58,7 @@ pub use ngb_runtime as runtime;
 pub use ngb_tensor as tensor;
 
 pub use ngb_analyze::{AnalysisReport, Analyzer, Lint, LintConfig, Severity};
+pub use ngb_exec::{Engine, ExecutionTrace, Interpreter, ParallelExecutor, Schedule, ThreadPool};
 pub use ngb_graph::{Graph, NonGemmGroup, OpClass, OpKind};
 pub use ngb_microbench::{MicroResult, OperatorRegistry};
 pub use ngb_models::{ModelId, ModelRegistry, Scale, Task};
@@ -88,6 +91,9 @@ pub struct BenchConfig {
     pub scale: Scale,
     /// Iterations for measured (host-executed) profiling.
     pub iterations: usize,
+    /// Worker threads for measured execution and verification.
+    /// `0` means auto: honor `NGB_THREADS` when set, else run sequentially.
+    pub threads: usize,
 }
 
 impl Default for BenchConfig {
@@ -100,6 +106,7 @@ impl Default for BenchConfig {
             batch: 1,
             scale: Scale::Full,
             iterations: 3,
+            threads: 0,
         }
     }
 }
@@ -169,16 +176,43 @@ impl NonGemmBench {
             .collect())
     }
 
+    /// Effective worker-thread count: the explicit `threads` setting, or
+    /// `NGB_THREADS` (falling back to 1) when the setting is `0` (auto).
+    pub fn effective_threads(&self) -> usize {
+        if self.config.threads == 0 {
+            ngb_exec::env_threads(1)
+        } else {
+            self.config.threads
+        }
+    }
+
+    /// The execution engine measured runs use, derived from
+    /// [`NonGemmBench::effective_threads`].
+    pub fn engine(&self) -> Engine {
+        match self.effective_threads() {
+            0 | 1 => Engine::Sequential,
+            n => Engine::Parallel(n),
+        }
+    }
+
     /// Runs the end-to-end flow by real host execution (sensible with
-    /// [`Scale::Tiny`]).
+    /// [`Scale::Tiny`]), on the engine selected by the `threads` setting.
     ///
     /// # Errors
     ///
     /// Propagates graph-construction or kernel errors.
     pub fn run_measured(&self) -> Result<Vec<ModelProfile>, TensorError> {
+        let engine = self.engine();
         self.build_graphs()?
             .iter()
-            .map(|g| ngb_profiler::profile_measured(g, self.config.iterations, 0x5eed))
+            .map(|g| {
+                ngb_profiler::profile_measured_with_engine(
+                    g,
+                    self.config.iterations,
+                    0x5eed,
+                    engine,
+                )
+            })
             .collect()
     }
 
@@ -206,17 +240,37 @@ impl NonGemmBench {
     }
 
     /// Runs the `ngb-analyze` static analyzer over every selected model's
-    /// graph (the `nongemm-cli verify` flow), one report per model.
+    /// graph (the `nongemm-cli verify` flow), one report per model, in the
+    /// original selection order. With more than one effective thread the
+    /// models are analyzed concurrently on a [`ThreadPool`].
     ///
     /// # Errors
     ///
     /// Propagates graph-construction errors.
     pub fn verify(&self) -> Result<Vec<AnalysisReport>, TensorError> {
-        let analyzer = Analyzer::new();
-        Ok(self
-            .build_graphs()?
-            .iter()
-            .map(|g| analyzer.analyze(g))
+        let graphs = self.build_graphs()?;
+        let threads = self.effective_threads().min(graphs.len().max(1));
+        if threads <= 1 {
+            let analyzer = Analyzer::new();
+            return Ok(graphs.iter().map(|g| analyzer.analyze(g)).collect());
+        }
+        let pool = ThreadPool::new(threads);
+        let (tx, rx) = std::sync::mpsc::channel();
+        let n = graphs.len();
+        for (i, g) in graphs.into_iter().enumerate() {
+            let tx = tx.clone();
+            pool.spawn(move |_worker| {
+                let _ = tx.send((i, Analyzer::new().analyze(&g)));
+            });
+        }
+        drop(tx);
+        let mut reports: Vec<Option<AnalysisReport>> = (0..n).map(|_| None).collect();
+        for (i, report) in rx {
+            reports[i] = Some(report);
+        }
+        Ok(reports
+            .into_iter()
+            .map(|r| r.expect("every verify job reports"))
             .collect())
     }
 
@@ -307,6 +361,58 @@ mod tests {
             assert!(r.is_clean(), "{}: {:?}", r.graph_name, r.deny_count());
             assert!(r.census.nodes > 0);
         }
+    }
+
+    #[test]
+    fn parallel_verify_preserves_model_order() {
+        let models = vec!["gpt2".into(), "resnet50".into(), "bert".into()];
+        let seq = NonGemmBench::new(BenchConfig {
+            models: models.clone(),
+            scale: Scale::Tiny,
+            threads: 1,
+            ..BenchConfig::default()
+        });
+        let par = NonGemmBench::new(BenchConfig {
+            models,
+            scale: Scale::Tiny,
+            threads: 4,
+            ..BenchConfig::default()
+        });
+        let a = seq.verify().unwrap();
+        let b = par.verify().unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.graph_name, y.graph_name);
+            assert_eq!(x.diagnostics.len(), y.diagnostics.len());
+            assert_eq!(x.parallelism, y.parallelism);
+        }
+    }
+
+    #[test]
+    fn threads_setting_picks_the_engine() {
+        let mk = |threads| {
+            NonGemmBench::new(BenchConfig {
+                threads,
+                ..BenchConfig::default()
+            })
+        };
+        assert_eq!(mk(1).engine(), Engine::Sequential);
+        assert_eq!(mk(4).engine(), Engine::Parallel(4));
+        assert_eq!(mk(4).effective_threads(), 4);
+    }
+
+    #[test]
+    fn measured_flow_respects_the_parallel_engine() {
+        let b = NonGemmBench::new(BenchConfig {
+            models: vec!["vit-b".into()],
+            scale: Scale::Tiny,
+            iterations: 1,
+            threads: 2,
+            ..BenchConfig::default()
+        });
+        let p = b.run_measured().unwrap();
+        assert_eq!(p.len(), 1);
+        assert!(p[0].total_latency_s() > 0.0);
     }
 
     #[test]

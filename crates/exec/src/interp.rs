@@ -1,0 +1,815 @@
+//! Graph interpreter: executes an operator graph on real tensors.
+//!
+//! Weights are materialized lazily from a seeded RNG keyed by node id, so a
+//! graph is a complete, reproducible executable artifact. The interpreter
+//! also records per-node wall-clock time, which is the *measured* (host
+//! CPU) profiling mode of the benchmark.
+//!
+//! Execution is engine-selectable: [`Engine::Sequential`] runs nodes one by
+//! one on the calling thread, [`Engine::Parallel`] hands the graph to the
+//! [`crate::ParallelExecutor`]. Both engines share the same per-node kernel
+//! dispatch ([`execute_node`]) and per-node RNG seeding, so their outputs
+//! are bit-identical.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use ngb_tensor::random::TensorRng;
+use ngb_tensor::{Tensor, TensorError};
+
+use ngb_graph::{Graph, Node, NodeId, OpKind};
+
+use crate::bufplan::{Arena, ArenaStats};
+
+/// Which execution engine [`Interpreter::run`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// One node at a time on the calling thread.
+    Sequential,
+    /// Dependency-scheduled execution on a pool of N worker threads
+    /// (see [`crate::ParallelExecutor`]). `Parallel(1)` still exercises the
+    /// scheduler and pool with a single worker.
+    Parallel(usize),
+}
+
+impl Engine {
+    /// A parallel engine sized by [`crate::default_threads`]
+    /// (`NGB_THREADS` or the host's available parallelism).
+    pub fn auto() -> Engine {
+        Engine::Parallel(crate::default_threads())
+    }
+
+    /// Worker-thread count of this engine (1 for sequential).
+    pub fn threads(&self) -> usize {
+        match *self {
+            Engine::Sequential => 1,
+            Engine::Parallel(n) => n.max(1),
+        }
+    }
+}
+
+/// Per-node record of one executed inference.
+#[derive(Debug, Clone)]
+pub struct NodeTiming {
+    /// Executed node.
+    pub id: NodeId,
+    /// Wall-clock execution time of the kernel on the host.
+    pub elapsed: Duration,
+    /// Offset of the kernel's start from the beginning of the run (lets
+    /// traces reconstruct the concurrency structure of a parallel run).
+    pub start: Duration,
+    /// Worker thread that executed the node (0 for sequential runs).
+    pub worker: usize,
+    /// Actual output shape (may differ from the static shape after dynamic
+    /// ops like NMS).
+    pub out_shape: Vec<usize>,
+}
+
+/// Result of executing a graph.
+#[derive(Debug)]
+pub struct ExecutionTrace {
+    /// Values of the graph's terminal nodes (no consumers), in id order.
+    pub outputs: Vec<(NodeId, Tensor)>,
+    /// Per-node timings in node-id order.
+    pub timings: Vec<NodeTiming>,
+    /// High-water mark of live activation memory during the run, in the
+    /// planner's f32-equivalent metric (elements × 4 bytes, actual shapes).
+    /// For sequential runs this is bounded by
+    /// [`Graph::peak_activation_bytes`]; parallel runs may exceed it because
+    /// concurrent wavefronts keep more values live at once.
+    pub peak_live_bytes: usize,
+    /// Storage-recycling counters of the run's buffer arena.
+    pub arena: ArenaStats,
+}
+
+impl ExecutionTrace {
+    /// Total measured execution time (sum of per-node kernel times; for a
+    /// parallel run this is the *work*, not the wall-clock).
+    pub fn total_time(&self) -> Duration {
+        self.timings.iter().map(|t| t.elapsed).sum()
+    }
+
+    /// Wall-clock span of the run: latest kernel end minus first start.
+    pub fn span(&self) -> Duration {
+        self.timings
+            .iter()
+            .map(|t| t.start + t.elapsed)
+            .max()
+            .unwrap_or(Duration::ZERO)
+    }
+}
+
+/// Executes graphs with reproducible synthetic weights.
+#[derive(Debug)]
+pub struct Interpreter {
+    seed: u64,
+    preflight: bool,
+    engine: Engine,
+}
+
+impl Default for Interpreter {
+    fn default() -> Self {
+        Interpreter::new(0x5eed)
+    }
+}
+
+impl Interpreter {
+    /// Creates a sequential interpreter whose weights derive from `seed`.
+    pub fn new(seed: u64) -> Interpreter {
+        Interpreter {
+            seed,
+            preflight: false,
+            engine: Engine::Sequential,
+        }
+    }
+
+    /// Selects the execution engine (builder style).
+    #[must_use]
+    pub fn engine(mut self, engine: Engine) -> Interpreter {
+        self.engine = engine;
+        self
+    }
+
+    /// Enables (or disables) the opt-in preflight check: before executing,
+    /// the graph's structural invariants are verified and every node's
+    /// stored shape is re-inferred, so corruption surfaces as one clear
+    /// [`TensorError`] instead of a mid-execution kernel failure.
+    #[must_use]
+    pub fn preflight(mut self, enabled: bool) -> Interpreter {
+        self.preflight = enabled;
+        self
+    }
+
+    /// Runs the preflight checks on `graph` without executing it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural defect or shape-conformance mismatch.
+    pub fn check(&self, graph: &Graph) -> Result<(), TensorError> {
+        preflight_check(graph)
+    }
+
+    /// Runs the graph end to end with synthetic inputs, timing every node.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any kernel error (a structurally valid graph built through
+    /// [`ngb_graph::GraphBuilder`] executes without error).
+    pub fn run(&self, graph: &Graph) -> Result<ExecutionTrace, TensorError> {
+        self.run_with_inputs(graph, &HashMap::new())
+    }
+
+    /// Runs the graph, overriding selected input nodes with caller-provided
+    /// tensors (e.g. preprocessed dataset samples).
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors, including shape mismatches from overridden
+    /// inputs.
+    pub fn run_with_inputs(
+        &self,
+        graph: &Graph,
+        inputs: &HashMap<NodeId, Tensor>,
+    ) -> Result<ExecutionTrace, TensorError> {
+        if self.preflight {
+            self.check(graph)?;
+        }
+        match self.engine {
+            Engine::Sequential => self.run_sequential(graph, inputs),
+            Engine::Parallel(n) => {
+                crate::ParallelExecutor::new(self.seed, n.max(1)).run_with_inputs(graph, inputs)
+            }
+        }
+    }
+
+    fn run_sequential(
+        &self,
+        graph: &Graph,
+        inputs: &HashMap<NodeId, Tensor>,
+    ) -> Result<ExecutionTrace, TensorError> {
+        let len = graph.len();
+        let mut values: Vec<Option<Tensor>> = vec![None; len];
+        let mut timings = Vec::with_capacity(len);
+        // remaining-consumer counts drive drop-at-last-use; a node that
+        // starts at zero is an output and is never dropped
+        let mut uses = vec![0usize; len];
+        for node in graph.iter() {
+            for &i in &node.inputs {
+                match uses.get_mut(i.0) {
+                    Some(slot) => *slot += 1,
+                    None => {
+                        return Err(TensorError::InvalidArgument(format!(
+                            "node {} consumes nonexistent node {i}",
+                            node.id
+                        )))
+                    }
+                }
+            }
+        }
+        let is_output: Vec<bool> = uses.iter().map(|&u| u == 0).collect();
+        let arena = Arena::default();
+        let mut live_bytes = 0usize;
+        let mut peak_live_bytes = 0usize;
+        let t0 = Instant::now();
+        for (pos, node) in graph.iter().enumerate() {
+            if node.id.0 != pos {
+                return Err(TensorError::InvalidArgument(format!(
+                    "node at position {pos} has id {}",
+                    node.id
+                )));
+            }
+            let args = gather_args(node, &values)?;
+            let started = Instant::now();
+            let out = execute_node(self.seed, node, &args, inputs.get(&node.id), &arena)?;
+            let elapsed = started.elapsed();
+            drop(args); // release input clones so last-use reclaim sees unique storage
+            live_bytes += planner_bytes(out.shape());
+            peak_live_bytes = peak_live_bytes.max(live_bytes);
+            timings.push(NodeTiming {
+                id: node.id,
+                elapsed,
+                start: started.duration_since(t0),
+                worker: 0,
+                out_shape: out.shape().to_vec(),
+            });
+            values[pos] = Some(out);
+            for &i in &node.inputs {
+                uses[i.0] -= 1;
+                if uses[i.0] == 0 {
+                    if let Some(dead) = values[i.0].take() {
+                        live_bytes -= planner_bytes(dead.shape());
+                        arena.reclaim(dead);
+                    }
+                }
+            }
+        }
+        let outputs = collect_outputs(graph, &is_output, &mut values)?;
+        Ok(ExecutionTrace {
+            outputs,
+            timings,
+            peak_live_bytes,
+            arena: arena.stats(),
+        })
+    }
+}
+
+/// Structural + shape-conformance preflight shared by both engines.
+///
+/// # Errors
+///
+/// Returns the first structural defect or shape mismatch found.
+pub fn preflight_check(graph: &Graph) -> Result<(), TensorError> {
+    if let Some(issue) = graph.structural_issues().first() {
+        return Err(TensorError::InvalidArgument(format!("preflight: {issue}")));
+    }
+    for node in graph.iter() {
+        if matches!(node.op, OpKind::Input | OpKind::InputIds { .. }) {
+            continue;
+        }
+        let input_shapes: Vec<Vec<usize>> = node
+            .inputs
+            .iter()
+            .map(|&i| graph.node(i).out_shape.clone())
+            .collect();
+        let inferred = ngb_graph::infer_shape(&node.op, &input_shapes).map_err(|e| {
+            TensorError::InvalidArgument(format!(
+                "preflight: node {} ({}) fails shape inference: {e}",
+                node.id, node.name
+            ))
+        })?;
+        if inferred != node.out_shape {
+            return Err(TensorError::InvalidArgument(format!(
+                "preflight: node {} ({}) stores shape {:?} but infers {:?}",
+                node.id, node.name, node.out_shape, inferred
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Bytes of one value in the planner's metric: element count × 4 (the
+/// f32-equivalent accounting [`Graph::peak_activation_bytes`] uses).
+pub(crate) fn planner_bytes(shape: &[usize]) -> usize {
+    ngb_tensor::num_elements(shape) * 4
+}
+
+/// Clones the input tensors of `node` out of the value table.
+pub(crate) fn gather_args(
+    node: &Node,
+    values: &[Option<Tensor>],
+) -> Result<Vec<Tensor>, TensorError> {
+    node.inputs
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| {
+            values
+                .get(id.0)
+                .and_then(|v| v.clone())
+                .ok_or_else(|| missing_input(node, i))
+        })
+        .collect()
+}
+
+fn missing_input(node: &Node, i: usize) -> TensorError {
+    TensorError::InvalidArgument(format!(
+        "node {} ({}) is missing input {i}",
+        node.id, node.name
+    ))
+}
+
+/// Drains output values (nodes without consumers) in id order.
+pub(crate) fn collect_outputs(
+    graph: &Graph,
+    is_output: &[bool],
+    values: &mut [Option<Tensor>],
+) -> Result<Vec<(NodeId, Tensor)>, TensorError> {
+    graph
+        .iter()
+        .filter(|n| is_output[n.id.0])
+        .map(|n| {
+            let v = values[n.id.0].take().ok_or_else(|| {
+                TensorError::InvalidArgument(format!("output node {} never executed", n.id))
+            })?;
+            Ok((n.id, v))
+        })
+        .collect()
+}
+
+/// The per-node weight/input RNG: keyed on node id (never execution
+/// order), which is what makes parallel execution bit-identical to
+/// sequential.
+pub(crate) fn rng_for(seed: u64, node: NodeId) -> TensorRng {
+    TensorRng::seed(seed ^ ((node.0 as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+}
+
+/// Generates a synthetic input tensor for an input node.
+fn make_input(seed: u64, node: &Node) -> Tensor {
+    let mut rng = rng_for(seed, node.id);
+    match &node.op {
+        OpKind::InputIds { vocab } => rng.uniform_i64(&node.out_shape, 0, (*vocab).max(1) as i64),
+        _ => rng.uniform(&node.out_shape, -1.0, 1.0),
+    }
+}
+
+/// Executes one node given its already-gathered input tensors.
+///
+/// Shared by the sequential and parallel engines. Weight tensors for the
+/// large parameterized ops draw their backing buffers from `arena` and are
+/// returned to it after the kernel runs, so steady-state execution recycles
+/// weight storage instead of allocating it fresh per node.
+///
+/// # Errors
+///
+/// Propagates kernel errors.
+pub(crate) fn execute_node(
+    seed: u64,
+    node: &Node,
+    args: &[Tensor],
+    override_input: Option<&Tensor>,
+    arena: &Arena,
+) -> Result<Tensor, TensorError> {
+    let arg = |i: usize| -> Result<&Tensor, TensorError> {
+        args.get(i).ok_or_else(|| missing_input(node, i))
+    };
+    let mut rng = rng_for(seed, node.id);
+    match &node.op {
+        OpKind::Input | OpKind::InputIds { .. } => Ok(override_input
+            .cloned()
+            .unwrap_or_else(|| make_input(seed, node))),
+
+        OpKind::Linear { in_f, out_f, bias } => {
+            let w = rng.kaiming_into(arena.take(out_f * in_f), &[*out_f, *in_f], *in_f);
+            let b = bias.then(|| rng.normal(&[*out_f]));
+            let out = ngb_ops::gemm::linear(arg(0)?, &w, b.as_ref());
+            arena.reclaim(w);
+            out
+        }
+        OpKind::Conv1dGpt2 { in_f, out_f } => {
+            let w = rng.kaiming_into(arena.take(in_f * out_f), &[*in_f, *out_f], *in_f);
+            let b = rng.normal(&[*out_f]);
+            let out = ngb_ops::gemm::conv1d_gpt2(arg(0)?, &w, Some(&b));
+            arena.reclaim(w);
+            out
+        }
+        OpKind::Conv2d {
+            in_c,
+            out_c,
+            kernel,
+            stride,
+            padding,
+            groups,
+            bias,
+        } => {
+            let fan_in = (in_c / groups) * kernel * kernel;
+            let shape = [*out_c, in_c / groups, *kernel, *kernel];
+            let numel = shape.iter().product();
+            let w = rng.kaiming_into(arena.take(numel), &shape, fan_in.max(1));
+            let b = bias.then(|| rng.normal(&[*out_c]));
+            let out = ngb_ops::gemm::conv2d(arg(0)?, &w, b.as_ref(), *stride, *padding, *groups);
+            arena.reclaim(w);
+            out
+        }
+        OpKind::Matmul => ngb_ops::gemm::matmul(arg(0)?, arg(1)?),
+        OpKind::Bmm => ngb_ops::gemm::bmm(arg(0)?, arg(1)?),
+
+        OpKind::Relu => ngb_ops::activation::relu(arg(0)?),
+        OpKind::Relu6 => ngb_ops::activation::relu6(arg(0)?),
+        OpKind::Gelu => ngb_ops::activation::gelu(arg(0)?),
+        OpKind::GeluTanh => ngb_ops::activation::gelu_tanh(arg(0)?),
+        OpKind::NewGelu => ngb_ops::activation::new_gelu(arg(0)?),
+        OpKind::Silu => ngb_ops::activation::silu(arg(0)?),
+        OpKind::Sigmoid => ngb_ops::activation::sigmoid(arg(0)?),
+        OpKind::Hardswish => ngb_ops::activation::hardswish(arg(0)?),
+
+        OpKind::LayerNorm { dim } => {
+            let g = rng.uniform(&[*dim], 0.9, 1.1);
+            let b = rng.uniform(&[*dim], -0.1, 0.1);
+            ngb_ops::normalization::layer_norm(arg(0)?, &g, &b, 1e-5)
+        }
+        OpKind::RmsNorm { dim } => {
+            let g = rng.uniform(&[*dim], 0.9, 1.1);
+            ngb_ops::normalization::rms_norm(arg(0)?, &g, 1e-6)
+        }
+        OpKind::LlamaRmsNorm { dim } => {
+            let g = rng.uniform(&[*dim], 0.9, 1.1);
+            ngb_ops::normalization::llama_rms_norm(arg(0)?, &g, 1e-6)
+        }
+        OpKind::BatchNorm2d { c } => {
+            let (g, b) = (rng.uniform(&[*c], 0.9, 1.1), rng.uniform(&[*c], -0.1, 0.1));
+            let (m, v) = (rng.uniform(&[*c], -0.1, 0.1), rng.uniform(&[*c], 0.8, 1.2));
+            ngb_ops::normalization::batch_norm2d(arg(0)?, &g, &b, &m, &v, 1e-5)
+        }
+        OpKind::FrozenBatchNorm2d { c } => {
+            let (g, b) = (rng.uniform(&[*c], 0.9, 1.1), rng.uniform(&[*c], -0.1, 0.1));
+            let (m, v) = (rng.uniform(&[*c], -0.1, 0.1), rng.uniform(&[*c], 0.8, 1.2));
+            ngb_ops::normalization::frozen_batch_norm2d(arg(0)?, &g, &b, &m, &v, 1e-5)
+        }
+        OpKind::GroupNorm { groups, c } => {
+            let (g, b) = (rng.uniform(&[*c], 0.9, 1.1), rng.uniform(&[*c], -0.1, 0.1));
+            ngb_ops::normalization::group_norm(arg(0)?, *groups, &g, &b, 1e-5)
+        }
+
+        OpKind::Reshape { shape } => arg(0)?.reshape(&resolve(shape, arg(0)?.numel())),
+        OpKind::View { shape } => {
+            // views on non-contiguous values fall back to reshape; real
+            // models insert `.contiguous()` where PyTorch requires it,
+            // and the runtime cost model charges that there.
+            arg(0)?.reshape(&resolve(shape, arg(0)?.numel()))
+        }
+        OpKind::Permute { perm } => arg(0)?.permute(perm),
+        OpKind::Transpose { d0, d1 } => arg(0)?.transpose(*d0 as isize, *d1 as isize),
+        OpKind::Contiguous => Ok(arg(0)?.contiguous()),
+        OpKind::Expand { shape } => arg(0)?.expand(shape),
+        OpKind::Squeeze { dim } => arg(0)?.squeeze(*dim as isize),
+        OpKind::Unsqueeze { dim } => arg(0)?.unsqueeze(*dim),
+        OpKind::Slice { dim, start, len } => arg(0)?.narrow(*dim, *start, *len),
+        OpKind::Roll { shift, dim } => ngb_ops::memory::roll(arg(0)?, *shift, *dim),
+        OpKind::Cat { dim } => {
+            let tensors: Vec<Tensor> = (0..node.inputs.len())
+                .map(|i| arg(i).cloned())
+                .collect::<Result<_, _>>()?;
+            Tensor::cat(&tensors, *dim)
+        }
+
+        OpKind::Add => ngb_ops::arithmetic::add(arg(0)?, arg(1)?),
+        OpKind::Sub => ngb_ops::arithmetic::sub(arg(0)?, arg(1)?),
+        OpKind::Mul => ngb_ops::arithmetic::mul(arg(0)?, arg(1)?),
+        OpKind::Div => ngb_ops::arithmetic::div(arg(0)?, arg(1)?),
+        OpKind::Neg => ngb_ops::arithmetic::neg(arg(0)?),
+        OpKind::AddScalar(s) => ngb_ops::arithmetic::add_scalar(arg(0)?, *s),
+        OpKind::MulScalar(s) => ngb_ops::arithmetic::mul_scalar(arg(0)?, *s),
+        OpKind::DivScalar(s) => ngb_ops::arithmetic::div_scalar(arg(0)?, *s),
+        OpKind::PowScalar(e) => ngb_ops::arithmetic::pow_scalar(arg(0)?, *e),
+        OpKind::Sqrt => ngb_ops::arithmetic::sqrt(arg(0)?),
+        OpKind::MeanDim { dim, keepdim } => ngb_ops::arithmetic::mean_dim(arg(0)?, *dim, *keepdim),
+        OpKind::CausalMask => causal_mask(arg(0)?),
+
+        OpKind::Softmax { dim } => ngb_ops::logit::softmax(arg(0)?, *dim),
+        OpKind::LogSoftmax { dim } => ngb_ops::logit::log_softmax(arg(0)?, *dim),
+
+        OpKind::MaxPool2d {
+            kernel,
+            stride,
+            padding,
+        } => ngb_ops::pooling::max_pool2d(arg(0)?, *kernel, *stride, *padding),
+        OpKind::AvgPool2d {
+            kernel,
+            stride,
+            padding,
+        } => ngb_ops::pooling::avg_pool2d(arg(0)?, *kernel, *stride, *padding),
+        OpKind::AdaptiveAvgPool2d { oh, ow } => {
+            ngb_ops::pooling::adaptive_avg_pool2d(arg(0)?, *oh, *ow)
+        }
+
+        OpKind::Nms { iou_threshold, .. } => {
+            let boxes = arg(0)?;
+            let scores = if node.inputs.len() > 1 {
+                arg(1)?.clone()
+            } else {
+                rng.uniform(&[boxes.shape()[0]], 0.0, 1.0)
+            };
+            ngb_ops::roi::nms(boxes, &scores, *iou_threshold)
+        }
+        OpKind::RoiAlign { out, spatial_scale } => {
+            ngb_ops::roi::roi_align(arg(0)?, arg(1)?, *out, *spatial_scale)
+        }
+        OpKind::BoxConvert => ngb_ops::roi::box_cxcywh_to_xyxy(arg(0)?),
+
+        OpKind::InterpolateNearest { oh, ow } => {
+            ngb_ops::interpolate::interpolate_nearest(arg(0)?, *oh, *ow)
+        }
+        OpKind::InterpolateBilinear { oh, ow } => {
+            ngb_ops::interpolate::interpolate_bilinear(arg(0)?, *oh, *ow)
+        }
+
+        OpKind::Embedding { vocab, dim } => {
+            let table = rng.normal_into(arena.take(vocab * dim), &[*vocab, *dim]);
+            let out = ngb_ops::embedding::embedding(&table, arg(0)?);
+            arena.reclaim(table);
+            out
+        }
+
+        OpKind::Argmax { dim } => ngb_ops::reduction::argmax(arg(0)?, *dim),
+        OpKind::TopK { k } => ngb_ops::reduction::topk(arg(0)?, *k).map(|(v, _)| v),
+    }
+}
+
+fn resolve(shape: &[usize], numel: usize) -> Vec<usize> {
+    if shape.contains(&usize::MAX) {
+        let known: usize = shape.iter().filter(|&&d| d != usize::MAX).product();
+        shape
+            .iter()
+            .map(|&d| {
+                if d == usize::MAX {
+                    numel / known.max(1)
+                } else {
+                    d
+                }
+            })
+            .collect()
+    } else {
+        shape.to_vec()
+    }
+}
+
+/// Fills the strict upper triangle of the trailing `[T, T]` dims with a
+/// large negative value (causal attention masking).
+fn causal_mask(x: &Tensor) -> Result<Tensor, TensorError> {
+    let rank = x.rank();
+    if rank < 2 {
+        return Err(TensorError::InvalidArgument(
+            "causal mask requires rank >= 2".into(),
+        ));
+    }
+    let (tq, tk) = (x.shape()[rank - 2], x.shape()[rank - 1]);
+    let v = x.to_vec_f32()?;
+    let rows = x.numel() / (tq * tk);
+    let mut out = v;
+    for r in 0..rows {
+        for q in 0..tq {
+            for k in 0..tk {
+                // allow attending to positions <= q (aligned to the right
+                // for tk >= tq, matching decoder caches)
+                let limit = k as isize - (tk as isize - tq as isize);
+                if limit > q as isize {
+                    out[r * tq * tk + q * tk + k] = -1e9;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, x.shape())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ngb_graph::GraphBuilder;
+
+    fn mlp_graph() -> Graph {
+        let mut b = GraphBuilder::new("mlp");
+        let x = b.input(&[2, 16]);
+        let h = b
+            .push(
+                OpKind::Linear {
+                    in_f: 16,
+                    out_f: 32,
+                    bias: true,
+                },
+                &[x],
+                "fc1",
+            )
+            .unwrap();
+        let a = b.push(OpKind::Gelu, &[h], "act").unwrap();
+        let o = b
+            .push(
+                OpKind::Linear {
+                    in_f: 32,
+                    out_f: 4,
+                    bias: true,
+                },
+                &[a],
+                "fc2",
+            )
+            .unwrap();
+        b.push(OpKind::Softmax { dim: 1 }, &[o], "probs").unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn runs_and_times_every_node() {
+        let g = mlp_graph();
+        let trace = Interpreter::default().run(&g).unwrap();
+        assert_eq!(trace.timings.len(), g.len());
+        assert_eq!(trace.outputs.len(), 1);
+        let (_, probs) = &trace.outputs[0];
+        assert_eq!(probs.shape(), &[2, 4]);
+        let sums = probs.reduce_dim(1, false, 0.0, |a, v| a + v).unwrap();
+        for s in sums.to_vec_f32().unwrap() {
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+        assert!(trace.total_time() > Duration::ZERO);
+        assert!(trace.span() >= trace.timings.last().unwrap().elapsed);
+    }
+
+    #[test]
+    fn execution_is_deterministic_per_seed() {
+        let g = mlp_graph();
+        let a = Interpreter::new(7).run(&g).unwrap();
+        let b = Interpreter::new(7).run(&g).unwrap();
+        let c = Interpreter::new(8).run(&g).unwrap();
+        assert_eq!(a.outputs[0].1, b.outputs[0].1);
+        assert_ne!(a.outputs[0].1, c.outputs[0].1);
+    }
+
+    #[test]
+    fn engine_knob_dispatches_to_the_parallel_executor() {
+        let g = mlp_graph();
+        let seq = Interpreter::new(7).run(&g).unwrap();
+        let par = Interpreter::new(7)
+            .engine(Engine::Parallel(2))
+            .run(&g)
+            .unwrap();
+        assert_eq!(seq.outputs[0].1, par.outputs[0].1);
+        assert_eq!(Engine::Sequential.threads(), 1);
+        assert_eq!(Engine::Parallel(4).threads(), 4);
+        assert!(Engine::auto().threads() >= 1);
+    }
+
+    #[test]
+    fn input_override_is_used() {
+        let g = mlp_graph();
+        let x = Tensor::zeros(&[2, 16]);
+        let mut inputs = HashMap::new();
+        inputs.insert(NodeId(0), x);
+        let t = Interpreter::default().run_with_inputs(&g, &inputs).unwrap();
+        // zero input -> both rows identical
+        let p = t.outputs[0].1.to_vec_f32().unwrap();
+        assert_eq!(&p[0..4], &p[4..8]);
+    }
+
+    #[test]
+    fn static_shapes_match_actual_for_static_ops() {
+        let g = mlp_graph();
+        let t = Interpreter::default().run(&g).unwrap();
+        for (node, timing) in g.iter().zip(&t.timings) {
+            assert_eq!(node.out_shape, timing.out_shape, "node {}", node.name);
+        }
+    }
+
+    #[test]
+    fn intermediates_are_dropped_at_last_use() {
+        // a long unary chain: live set is never more than two values, so
+        // the measured peak must track the planner, not the sum of all
+        // intermediates
+        let mut b = GraphBuilder::new("chain");
+        let mut cur = b.input(&[64, 64]);
+        for i in 0..16 {
+            cur = b.push(OpKind::Gelu, &[cur], &format!("g{i}")).unwrap();
+        }
+        let g = b.finish();
+        let t = Interpreter::default().run(&g).unwrap();
+        assert!(t.peak_live_bytes > 0);
+        assert!(
+            t.peak_live_bytes <= g.peak_activation_bytes(),
+            "measured {} > planned {}",
+            t.peak_live_bytes,
+            g.peak_activation_bytes()
+        );
+        // the planner says two live values; the naive sum is 17
+        assert_eq!(g.peak_activation_bytes(), 2 * 64 * 64 * 4);
+        // dead activations were recycled through the arena
+        assert!(t.arena.reclaimed > 0, "{:?}", t.arena);
+    }
+
+    #[test]
+    fn weight_buffers_recycle_through_the_arena() {
+        // two same-shaped linears: the second one's weight buffer should be
+        // an arena hit from the first one's reclaim
+        let mut b = GraphBuilder::new("two_fc");
+        let x = b.input(&[2, 32]);
+        let h = b
+            .push(
+                OpKind::Linear {
+                    in_f: 32,
+                    out_f: 32,
+                    bias: false,
+                },
+                &[x],
+                "fc1",
+            )
+            .unwrap();
+        b.push(
+            OpKind::Linear {
+                in_f: 32,
+                out_f: 32,
+                bias: false,
+            },
+            &[h],
+            "fc2",
+        )
+        .unwrap();
+        let t = Interpreter::default().run(&b.finish()).unwrap();
+        assert!(t.arena.hits >= 1, "{:?}", t.arena);
+    }
+
+    #[test]
+    fn dynamic_nms_subgraph_executes() {
+        let mut b = GraphBuilder::new("det");
+        let boxes = b.input(&[64, 4]);
+        let scores = b.input(&[64]);
+        let keep = b
+            .push(
+                OpKind::Nms {
+                    iou_threshold: 0.5,
+                    nominal_keep: 32,
+                },
+                &[boxes, scores],
+                "nms",
+            )
+            .unwrap();
+        let g = b.finish();
+        let t = Interpreter::default().run(&g).unwrap();
+        let kept = &t.outputs.iter().find(|(id, _)| *id == keep).unwrap().1;
+        assert!(kept.numel() <= 64);
+    }
+
+    #[test]
+    fn causal_mask_blocks_future() {
+        let mut b = GraphBuilder::new("mask");
+        let x = b.input(&[1, 2, 3, 3]);
+        b.push(OpKind::CausalMask, &[x], "mask").unwrap();
+        let g = b.finish();
+        let mut inputs = HashMap::new();
+        inputs.insert(NodeId(0), Tensor::ones(&[1, 2, 3, 3]));
+        let t = Interpreter::default().run_with_inputs(&g, &inputs).unwrap();
+        let m = &t.outputs[0].1;
+        assert_eq!(m.at(&[0, 0, 0, 0]).unwrap(), 1.0);
+        assert!(m.at(&[0, 0, 0, 1]).unwrap() < -1e8);
+        assert!(m.at(&[0, 0, 1, 2]).unwrap() < -1e8);
+        assert_eq!(m.at(&[0, 0, 2, 2]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn corrupted_graph_errors_instead_of_panicking() {
+        // dangling input id: typed error, not an index panic
+        let mut g = mlp_graph();
+        g.nodes[2].inputs = vec![NodeId(99)];
+        let err = Interpreter::default().run(&g).unwrap_err();
+        assert!(err.to_string().contains("nonexistent node %99"), "{err}");
+
+        // id out of step with position: typed error, not a slot mix-up
+        let mut g2 = mlp_graph();
+        g2.nodes[1].id = NodeId(3);
+        let err2 = Interpreter::default().run(&g2).unwrap_err();
+        assert!(err2.to_string().contains("position 1 has id %3"), "{err2}");
+    }
+
+    #[test]
+    fn preflight_rejects_wrong_stored_shape_before_execution() {
+        let mut g = mlp_graph();
+        g.nodes[2].out_shape = vec![2, 33]; // gelu output lies about its shape
+                                            // without preflight this silently executes (the kernel recomputes)
+        assert!(Interpreter::default().run(&g).is_ok());
+        let err = Interpreter::default().preflight(true).run(&g).unwrap_err();
+        assert!(err.to_string().contains("preflight"), "{err}");
+        assert!(err.to_string().contains("[2, 33]"), "{err}");
+        // a clean graph passes preflight
+        assert!(Interpreter::default()
+            .preflight(true)
+            .run(&mlp_graph())
+            .is_ok());
+    }
+
+    #[test]
+    fn embedding_pipeline_executes() {
+        let mut b = GraphBuilder::new("emb");
+        let ids = b.input_ids(&[1, 6], 100);
+        let e = b
+            .push(OpKind::Embedding { vocab: 100, dim: 8 }, &[ids], "wte")
+            .unwrap();
+        b.push(OpKind::LayerNorm { dim: 8 }, &[e], "ln").unwrap();
+        let g = b.finish();
+        let t = Interpreter::default().run(&g).unwrap();
+        assert_eq!(t.outputs[0].1.shape(), &[1, 6, 8]);
+    }
+}

@@ -1,0 +1,79 @@
+//! # ngb-exec
+//!
+//! Graph execution engines for NonGEMM Bench. The crate owns everything
+//! between an [`ngb_graph::Graph`] and an [`ExecutionTrace`]:
+//!
+//! * [`Interpreter`] — the sequential reference engine: runs nodes in
+//!   topological order with reproducible synthetic weights, drops each
+//!   activation at its last use, and recycles weight storage through a
+//!   size-bucketed [`Arena`].
+//! * [`ParallelExecutor`] — the parallel engine: a [`Schedule`] (Kahn
+//!   wavefronts + critical-path priorities) feeds a dependency-counted
+//!   ready queue drained by a std-only [`ThreadPool`]. Outputs are
+//!   **bit-identical** to the sequential engine because weights and inputs
+//!   derive from per-node RNG seeds, never from execution order.
+//! * [`BufferPlan`] — the static liveness pass both engines share.
+//!
+//! The thread count comes from the `NGB_THREADS` environment variable (see
+//! [`env_threads`]) or explicit [`Engine::Parallel`] selection.
+//!
+//! # Examples
+//!
+//! ```
+//! use ngb_exec::{Engine, Interpreter};
+//! use ngb_graph::{GraphBuilder, OpKind};
+//!
+//! # fn main() -> Result<(), ngb_tensor::TensorError> {
+//! let mut b = GraphBuilder::new("tiny");
+//! let x = b.input(&[1, 4]);
+//! let h = b.push(OpKind::Linear { in_f: 4, out_f: 4, bias: true }, &[x], "fc")?;
+//! b.push(OpKind::Relu, &[h], "act")?;
+//! let graph = b.finish();
+//!
+//! let seq = Interpreter::default().run(&graph)?;
+//! let par = Interpreter::default().engine(Engine::Parallel(2)).run(&graph)?;
+//! assert_eq!(seq.outputs[0].1, par.outputs[0].1); // bit-identical
+//! # Ok(())
+//! # }
+//! ```
+
+mod bufplan;
+mod interp;
+mod parallel;
+mod pool;
+mod schedule;
+
+pub use bufplan::{Arena, ArenaStats, BufferPlan};
+pub use interp::{preflight_check, Engine, ExecutionTrace, Interpreter, NodeTiming};
+pub use parallel::ParallelExecutor;
+pub use pool::ThreadPool;
+pub use schedule::Schedule;
+
+/// Reads the worker-thread count from `NGB_THREADS`, falling back to
+/// `fallback` when the variable is unset, unparsable, or zero.
+pub fn env_threads(fallback: usize) -> usize {
+    std::env::var("NGB_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(fallback)
+}
+
+/// Default worker count: `NGB_THREADS` if set, else the host's available
+/// parallelism (1 when that cannot be determined).
+pub fn default_threads() -> usize {
+    env_threads(
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(super::default_threads() >= 1);
+        assert!(super::env_threads(3) >= 1);
+    }
+}

@@ -1,0 +1,439 @@
+//! Dependency-scheduled parallel graph execution.
+//!
+//! [`ParallelExecutor`] runs a graph on a [`ThreadPool`], dispatching nodes
+//! as their producers complete, highest critical-path priority first. It
+//! produces the same [`ExecutionTrace`] as the sequential interpreter with
+//! **bit-identical outputs**: every node's weights and synthetic inputs
+//! come from an RNG keyed on the node id (never on execution order), and
+//! kernels are pure functions of their input tensors.
+//!
+//! A kernel error (or panic) aborts the run cleanly: the first failure is
+//! recorded, remaining ready work is abandoned, in-flight kernels finish
+//! and discard their results, and the pool stays reusable.
+
+use std::collections::{BinaryHeap, HashMap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use ngb_graph::{Graph, NodeId};
+use ngb_tensor::{Tensor, TensorError};
+
+use crate::bufplan::{Arena, BufferPlan};
+use crate::interp::{
+    collect_outputs, execute_node, gather_args, planner_bytes, ExecutionTrace, NodeTiming,
+};
+use crate::pool::ThreadPool;
+use crate::schedule::Schedule;
+
+/// Parallel engine: owns a worker pool, reusable across runs and graphs.
+#[derive(Debug)]
+pub struct ParallelExecutor {
+    seed: u64,
+    preflight: bool,
+    pool: ThreadPool,
+}
+
+impl ParallelExecutor {
+    /// Creates an executor with `threads.max(1)` workers deriving weights
+    /// from `seed`.
+    pub fn new(seed: u64, threads: usize) -> ParallelExecutor {
+        ParallelExecutor {
+            seed,
+            preflight: false,
+            pool: ThreadPool::new(threads),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Enables the same preflight check as the sequential interpreter.
+    #[must_use]
+    pub fn preflight(mut self, enabled: bool) -> ParallelExecutor {
+        self.preflight = enabled;
+        self
+    }
+
+    /// Runs the graph with synthetic inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first kernel error; the run aborts without deadlocking
+    /// and the executor remains usable.
+    pub fn run(&self, graph: &Graph) -> Result<ExecutionTrace, TensorError> {
+        self.run_with_inputs(graph, &HashMap::new())
+    }
+
+    /// Runs the graph with caller-provided input overrides.
+    ///
+    /// # Errors
+    ///
+    /// Returns structural errors (same contract as the sequential engine)
+    /// or the first kernel error.
+    pub fn run_with_inputs(
+        &self,
+        graph: &Graph,
+        inputs: &HashMap<NodeId, Tensor>,
+    ) -> Result<ExecutionTrace, TensorError> {
+        if self.preflight {
+            crate::interp::preflight_check(graph)?;
+        }
+        let len = graph.len();
+        // same structural contract (and messages) as the sequential engine
+        for node in graph.iter() {
+            for &i in &node.inputs {
+                if i.0 >= len {
+                    return Err(TensorError::InvalidArgument(format!(
+                        "node {} consumes nonexistent node {i}",
+                        node.id
+                    )));
+                }
+            }
+        }
+        for (pos, node) in graph.iter().enumerate() {
+            if node.id.0 != pos {
+                return Err(TensorError::InvalidArgument(format!(
+                    "node at position {pos} has id {}",
+                    node.id
+                )));
+            }
+        }
+        let sched = Schedule::new(graph);
+        if !sched.is_complete() {
+            return Err(TensorError::InvalidArgument(format!(
+                "graph has a dependency cycle: only {} of {} nodes schedulable",
+                sched.wavefronts.iter().map(Vec::len).sum::<usize>(),
+                len
+            )));
+        }
+        let plan = BufferPlan::new(graph);
+
+        let mut ready = BinaryHeap::new();
+        for (pos, &deg) in sched.indegree.iter().enumerate() {
+            if deg == 0 {
+                ready.push(ReadyItem {
+                    priority: sched.priority[pos],
+                    pos,
+                });
+            }
+        }
+        let workers = self.pool.threads();
+        let indegree = sched.indegree.clone();
+        let shared = Arc::new(RunState {
+            graph: Arc::new(graph.clone()),
+            overrides: inputs.clone(),
+            seed: self.seed,
+            sched,
+            is_output: (0..len).map(|i| plan.is_output(i)).collect(),
+            arena: Arena::default(),
+            started_at: Instant::now(),
+            inner: Mutex::new(Inner {
+                ready,
+                indegree,
+                uses: plan.uses,
+                values: vec![None; len],
+                timings: (0..len).map(|_| None).collect(),
+                completed: 0,
+                active_workers: workers,
+                live_bytes: 0,
+                peak_live_bytes: 0,
+                error: None,
+            }),
+            progress: Condvar::new(),
+        });
+
+        for _ in 0..workers {
+            let state = Arc::clone(&shared);
+            self.pool.spawn(move |worker| state.run_worker(worker));
+        }
+
+        let mut inner = shared.inner.lock().expect("run lock");
+        while !(inner.completed == len || (inner.error.is_some() && inner.active_workers == 0)) {
+            inner = shared.progress.wait(inner).expect("run lock");
+        }
+        if let Some(err) = inner.error.take() {
+            return Err(err);
+        }
+        let timings = inner
+            .timings
+            .iter_mut()
+            .map(|t| t.take().expect("every node timed on success"))
+            .collect();
+        let mut values = std::mem::take(&mut inner.values);
+        let peak_live_bytes = inner.peak_live_bytes;
+        drop(inner);
+        let outputs = collect_outputs(graph, &shared.is_output, &mut values)?;
+        Ok(ExecutionTrace {
+            outputs,
+            timings,
+            peak_live_bytes,
+            arena: shared.arena.stats(),
+        })
+    }
+}
+
+/// Everything a worker needs, shared behind one `Arc`.
+struct RunState {
+    graph: Arc<Graph>,
+    overrides: HashMap<NodeId, Tensor>,
+    seed: u64,
+    sched: Schedule,
+    is_output: Vec<bool>,
+    arena: Arena,
+    started_at: Instant,
+    inner: Mutex<Inner>,
+    progress: Condvar,
+}
+
+/// Mutable run state, guarded by `RunState::inner`.
+struct Inner {
+    ready: BinaryHeap<ReadyItem>,
+    indegree: Vec<usize>,
+    uses: Vec<usize>,
+    values: Vec<Option<Tensor>>,
+    timings: Vec<Option<NodeTiming>>,
+    completed: usize,
+    active_workers: usize,
+    live_bytes: usize,
+    peak_live_bytes: usize,
+    error: Option<TensorError>,
+}
+
+/// Ready-queue entry: max-heap on priority, ties broken toward the lower
+/// node id so pop order is deterministic.
+#[derive(Debug, PartialEq)]
+struct ReadyItem {
+    priority: f64,
+    pos: usize,
+}
+
+impl Eq for ReadyItem {}
+
+impl Ord for ReadyItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.priority
+            .total_cmp(&other.priority)
+            .then_with(|| other.pos.cmp(&self.pos))
+    }
+}
+
+impl PartialOrd for ReadyItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl RunState {
+    fn run_worker(self: &Arc<Self>, worker: usize) {
+        let total = self.graph.len();
+        let mut inner = self.inner.lock().expect("run lock");
+        loop {
+            if inner.error.is_some() || inner.completed == total {
+                break;
+            }
+            let Some(item) = inner.ready.pop() else {
+                inner = self.progress.wait(inner).expect("run lock");
+                continue;
+            };
+            let node = &self.graph.nodes[item.pos];
+            let gathered = gather_args(node, &inner.values);
+            drop(inner);
+
+            let outcome = gathered.and_then(|args| {
+                let kernel_start = Instant::now();
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    execute_node(
+                        self.seed,
+                        node,
+                        &args,
+                        self.overrides.get(&node.id),
+                        &self.arena,
+                    )
+                }));
+                let elapsed = kernel_start.elapsed();
+                let start = kernel_start.duration_since(self.started_at);
+                match result {
+                    Ok(Ok(out)) => Ok((out, start, elapsed)),
+                    Ok(Err(e)) => Err(e),
+                    Err(panic) => Err(TensorError::InvalidArgument(format!(
+                        "node {} ({}) kernel panicked: {}",
+                        node.id,
+                        node.name,
+                        panic_message(&panic)
+                    ))),
+                }
+            });
+
+            inner = self.inner.lock().expect("run lock");
+            match outcome {
+                Err(e) => {
+                    if inner.error.is_none() {
+                        inner.error = Some(e);
+                    }
+                    self.progress.notify_all();
+                    break;
+                }
+                Ok(_) if inner.error.is_some() => break, // stale result of an aborted run
+                Ok((out, start, elapsed)) => {
+                    self.finish_node(&mut inner, item.pos, out, start, elapsed, worker);
+                    self.progress.notify_all();
+                }
+            }
+        }
+        inner.active_workers -= 1;
+        self.progress.notify_all();
+    }
+
+    /// Records a completed node and releases newly ready/dead state.
+    /// Caller holds the run lock.
+    fn finish_node(
+        &self,
+        inner: &mut Inner,
+        pos: usize,
+        out: Tensor,
+        start: Duration,
+        elapsed: Duration,
+        worker: usize,
+    ) {
+        let node = &self.graph.nodes[pos];
+        inner.live_bytes += planner_bytes(out.shape());
+        inner.peak_live_bytes = inner.peak_live_bytes.max(inner.live_bytes);
+        inner.timings[pos] = Some(NodeTiming {
+            id: node.id,
+            elapsed,
+            start,
+            worker,
+            out_shape: out.shape().to_vec(),
+        });
+        inner.values[pos] = Some(out);
+        for &succ in &self.sched.successors[pos] {
+            inner.indegree[succ] -= 1;
+            if inner.indegree[succ] == 0 {
+                inner.ready.push(ReadyItem {
+                    priority: self.sched.priority[succ],
+                    pos: succ,
+                });
+            }
+        }
+        for &input in &node.inputs {
+            let i = input.0;
+            inner.uses[i] -= 1;
+            if inner.uses[i] == 0 && !self.is_output[i] {
+                if let Some(dead) = inner.values[i].take() {
+                    inner.live_bytes -= planner_bytes(dead.shape());
+                    self.arena.reclaim(dead);
+                }
+            }
+        }
+        inner.completed += 1;
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ngb_graph::{GraphBuilder, OpKind};
+
+    fn branchy_graph() -> Graph {
+        // input fans out to 4 linear branches that are summed pairwise
+        let mut b = GraphBuilder::new("branchy");
+        let x = b.input(&[4, 32]);
+        let branches: Vec<NodeId> = (0..4)
+            .map(|i| {
+                b.push(
+                    OpKind::Linear {
+                        in_f: 32,
+                        out_f: 32,
+                        bias: true,
+                    },
+                    &[x],
+                    &format!("fc{i}"),
+                )
+                .unwrap()
+            })
+            .collect();
+        let a = b
+            .push(OpKind::Add, &[branches[0], branches[1]], "a")
+            .unwrap();
+        let c = b
+            .push(OpKind::Add, &[branches[2], branches[3]], "c")
+            .unwrap();
+        b.push(OpKind::Add, &[a, c], "sum").unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn matches_sequential_bit_for_bit() {
+        let g = branchy_graph();
+        let seq = crate::Interpreter::new(42).run(&g).unwrap();
+        for threads in [1, 2, 4] {
+            let par = ParallelExecutor::new(42, threads).run(&g).unwrap();
+            assert_eq!(seq.outputs.len(), par.outputs.len());
+            for ((id_s, t_s), (id_p, t_p)) in seq.outputs.iter().zip(&par.outputs) {
+                assert_eq!(id_s, id_p);
+                assert_eq!(t_s, t_p, "threads={threads}");
+            }
+            assert_eq!(par.timings.len(), g.len());
+            for (node, timing) in g.iter().zip(&par.timings) {
+                assert_eq!(node.id, timing.id);
+                assert!(timing.worker < threads.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn executor_is_reusable_across_graphs_and_runs() {
+        let exec = ParallelExecutor::new(7, 2);
+        let g = branchy_graph();
+        let a = exec.run(&g).unwrap();
+        let b = exec.run(&g).unwrap();
+        assert_eq!(a.outputs[0].1, b.outputs[0].1);
+        // and across a different graph
+        let mut gb = GraphBuilder::new("other");
+        let x = gb.input(&[2, 2]);
+        gb.push(OpKind::Relu, &[x], "r").unwrap();
+        assert!(exec.run(&gb.finish()).is_ok());
+    }
+
+    #[test]
+    fn structural_errors_match_sequential_contract() {
+        let mut g = branchy_graph();
+        g.nodes[2].inputs = vec![NodeId(99)];
+        let err = ParallelExecutor::new(0, 2).run(&g).unwrap_err();
+        assert!(err.to_string().contains("nonexistent node %99"), "{err}");
+
+        let mut g2 = branchy_graph();
+        g2.nodes[1].id = NodeId(3);
+        let err2 = ParallelExecutor::new(0, 2).run(&g2).unwrap_err();
+        assert!(err2.to_string().contains("position 1 has id %3"), "{err2}");
+    }
+
+    #[test]
+    fn cycle_is_rejected_not_deadlocked() {
+        let mut g = branchy_graph();
+        let last = g.len() - 1;
+        g.nodes[last].inputs = vec![NodeId(last)]; // self-loop
+        let err = ParallelExecutor::new(0, 2).run(&g).unwrap_err();
+        assert!(err.to_string().contains("dependency cycle"), "{err}");
+    }
+
+    #[test]
+    fn peak_live_bytes_is_tracked() {
+        let g = branchy_graph();
+        let t = ParallelExecutor::new(0, 2).run(&g).unwrap();
+        assert!(t.peak_live_bytes >= 4 * 32 * 4); // at least one activation
+    }
+}

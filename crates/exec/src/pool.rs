@@ -1,0 +1,190 @@
+//! A reusable std-only worker thread pool.
+//!
+//! Plain `std::thread` workers draining a `Mutex<VecDeque>` job queue under
+//! a `Condvar`. Jobs receive their worker's index (useful for trace
+//! attribution) and run under `catch_unwind`, so a panicking job poisons
+//! neither the queue nor its worker — the pool stays usable.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce(usize) + Send + 'static>;
+
+struct Shared {
+    state: Mutex<State>,
+    work_available: Condvar,
+}
+
+struct State {
+    queue: VecDeque<Job>,
+    shutdown: bool,
+}
+
+/// A fixed-size pool of named worker threads.
+///
+/// Dropping the pool drains the remaining queue, then joins every worker.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.workers.len())
+            .finish()
+    }
+}
+
+impl ThreadPool {
+    /// Spawns a pool of `threads.max(1)` workers named `ngb-worker-N`.
+    pub fn new(threads: usize) -> ThreadPool {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            work_available: Condvar::new(),
+        });
+        let workers = (0..threads.max(1))
+            .map(|idx| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ngb-worker-{idx}"))
+                    .spawn(move || worker_loop(&shared, idx))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        ThreadPool { shared, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues a job; some worker will run it with its worker index.
+    /// A panic inside the job is swallowed (the worker survives) — jobs
+    /// that need failure reporting should communicate through channels or
+    /// shared state.
+    pub fn spawn(&self, job: impl FnOnce(usize) + Send + 'static) {
+        {
+            let mut state = self.shared.state.lock().expect("pool lock");
+            state.queue.push_back(Box::new(job));
+        }
+        self.shared.work_available.notify_one();
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.state.lock().expect("pool lock").shutdown = true;
+        self.shared.work_available.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, idx: usize) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("pool lock");
+            loop {
+                if let Some(job) = state.queue.pop_front() {
+                    break job;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = shared.work_available.wait(state).expect("pool lock");
+            }
+        };
+        // isolate panics: the job's own coordination layer reports failure
+        let _ = catch_unwind(AssertUnwindSafe(|| job(idx)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    #[test]
+    fn runs_jobs_on_all_workers() {
+        let pool = ThreadPool::new(4);
+        assert_eq!(pool.threads(), 4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..64 {
+            let counter = Arc::clone(&counter);
+            let tx = tx.clone();
+            pool.spawn(move |worker| {
+                assert!(worker < 4);
+                counter.fetch_add(1, Ordering::SeqCst);
+                tx.send(worker).unwrap();
+            });
+        }
+        let workers: Vec<usize> = rx.iter().take(64).collect();
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+        assert_eq!(workers.len(), 64);
+    }
+
+    #[test]
+    fn workers_run_jobs_concurrently() {
+        // all four jobs rendezvous at one barrier: this completes only if
+        // four workers are genuinely in flight at the same time (a pool
+        // that serialized jobs would deadlock here)
+        let pool = ThreadPool::new(4);
+        let barrier = Arc::new(std::sync::Barrier::new(4));
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..4 {
+            let barrier = Arc::clone(&barrier);
+            let tx = tx.clone();
+            pool.spawn(move |worker| {
+                barrier.wait();
+                tx.send(worker).unwrap();
+            });
+        }
+        let mut workers: Vec<usize> = rx.iter().take(4).collect();
+        workers.sort_unstable();
+        assert_eq!(workers, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn zero_thread_request_still_gets_one_worker() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        let (tx, rx) = mpsc::channel();
+        pool.spawn(move |w| tx.send(w).unwrap());
+        assert_eq!(rx.recv().unwrap(), 0);
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_worker() {
+        let pool = ThreadPool::new(1);
+        pool.spawn(|_| panic!("job blew up"));
+        // the same single worker must still process later jobs
+        let (tx, rx) = mpsc::channel();
+        pool.spawn(move |w| tx.send(w).unwrap());
+        assert_eq!(rx.recv().unwrap(), 0);
+    }
+
+    #[test]
+    fn drop_drains_pending_jobs() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = ThreadPool::new(2);
+            for _ in 0..32 {
+                let counter = Arc::clone(&counter);
+                pool.spawn(move |_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        } // drop joins after the queue drains
+        assert_eq!(counter.load(Ordering::SeqCst), 32);
+    }
+}

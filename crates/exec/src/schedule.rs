@@ -1,0 +1,242 @@
+//! Deterministic dependency scheduling for operator graphs.
+//!
+//! [`Schedule`] converts a [`Graph`] into the data a parallel executor
+//! needs: per-node dependency counts, successor lists, a critical-path
+//! priority (so the longest chain of expensive work starts first), and the
+//! Kahn wavefront decomposition that bounds the graph's exploitable
+//! inter-operator parallelism.
+
+use ngb_graph::{Graph, NodeId};
+
+/// Static schedule of one graph: dependency structure plus wavefronts.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// Number of distinct in-graph producers each node waits on
+    /// (duplicate uses of the same producer count once).
+    pub indegree: Vec<usize>,
+    /// For each node, the nodes that consume it (one entry per consuming
+    /// node, deduplicated per consumer).
+    pub successors: Vec<Vec<usize>>,
+    /// Critical-path-to-sink weight of each node under the device-independent
+    /// cost model: a node's own cost plus the costliest downstream chain.
+    /// Higher means "on the longer critical path" and should run first.
+    pub priority: Vec<f64>,
+    /// Kahn levels: wavefront `k` holds every node whose longest dependency
+    /// chain has `k` predecessors. All nodes of one wavefront could run
+    /// concurrently with unlimited workers.
+    pub wavefronts: Vec<Vec<NodeId>>,
+    scheduled: usize,
+    len: usize,
+}
+
+impl Schedule {
+    /// Builds the schedule. Robust to corrupt graphs: out-of-range edges
+    /// are ignored and cycles leave nodes unscheduled — check
+    /// [`Schedule::is_complete`] before executing.
+    pub fn new(graph: &Graph) -> Schedule {
+        let len = graph.len();
+        let mut indegree = vec![0usize; len];
+        let mut successors: Vec<Vec<usize>> = vec![Vec::new(); len];
+        for (pos, node) in graph.iter().enumerate() {
+            // self-edges stay in: they give the node an indegree that can
+            // never drain, so the cycle shows up as an incomplete schedule
+            let mut deps: Vec<usize> = node
+                .inputs
+                .iter()
+                .map(|i| i.0)
+                .filter(|&i| i < len)
+                .collect();
+            deps.sort_unstable();
+            deps.dedup();
+            indegree[pos] = deps.len();
+            for dep in deps {
+                successors[dep].push(pos);
+            }
+        }
+
+        // critical path to sink; ids are topological for well-formed
+        // graphs, so a reverse sweep sees every successor first (corrupt
+        // graphs get an approximation, which is all a heuristic needs)
+        let mut priority = vec![0.0f64; len];
+        for pos in (0..len).rev() {
+            let downstream = successors[pos]
+                .iter()
+                .map(|&s| priority[s])
+                .fold(0.0f64, f64::max);
+            priority[pos] = node_weight(graph, pos) + downstream;
+        }
+
+        // Kahn wavefronts
+        let mut remaining = indegree.clone();
+        let mut current: Vec<usize> = (0..len).filter(|&i| remaining[i] == 0).collect();
+        let mut wavefronts = Vec::new();
+        let mut scheduled = 0;
+        while !current.is_empty() {
+            scheduled += current.len();
+            let mut next = Vec::new();
+            for &u in &current {
+                for &s in &successors[u] {
+                    remaining[s] -= 1;
+                    if remaining[s] == 0 {
+                        next.push(s);
+                    }
+                }
+            }
+            next.sort_unstable();
+            wavefronts.push(current.iter().map(|&i| NodeId(i)).collect());
+            current = next;
+        }
+
+        Schedule {
+            indegree,
+            successors,
+            priority,
+            wavefronts,
+            scheduled,
+            len,
+        }
+    }
+
+    /// Whether every node was scheduled (false means a cycle or self-loop).
+    pub fn is_complete(&self) -> bool {
+        self.scheduled == self.len
+    }
+
+    /// Number of wavefronts == length of the longest dependency chain.
+    pub fn depth(&self) -> usize {
+        self.wavefronts.len()
+    }
+
+    /// Widest wavefront: the graph's peak inter-operator parallelism.
+    pub fn max_width(&self) -> usize {
+        self.wavefronts.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Mean wavefront width: average exploitable parallelism over the
+    /// whole graph (1.0 for a pure chain).
+    pub fn mean_width(&self) -> f64 {
+        if self.wavefronts.is_empty() {
+            0.0
+        } else {
+            self.scheduled as f64 / self.wavefronts.len() as f64
+        }
+    }
+}
+
+/// Scheduling weight of one node: FLOPs plus logical memory traffic, with
+/// a floor of 1 so metadata ops still contribute chain length. Nodes with
+/// out-of-range inputs (corrupt graphs) get the floor weight instead of
+/// panicking inside the cost model.
+fn node_weight(graph: &Graph, pos: usize) -> f64 {
+    let node = &graph.nodes[pos];
+    let mut input_shapes = Vec::with_capacity(node.inputs.len());
+    for &i in &node.inputs {
+        match graph.nodes.get(i.0) {
+            Some(producer) => input_shapes.push(producer.out_shape.clone()),
+            None => return 1.0,
+        }
+    }
+    let c = ngb_graph::op_cost(&node.op, &input_shapes, &node.out_shape);
+    (c.flops + c.bytes_read + c.bytes_written).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ngb_graph::{GraphBuilder, OpKind};
+
+    /// A diamond: input feeds two parallel gelu branches that re-join.
+    fn diamond() -> Graph {
+        let mut b = GraphBuilder::new("diamond");
+        let x = b.input(&[4, 4]);
+        let l = b.push(OpKind::Gelu, &[x], "left").unwrap();
+        let r = b.push(OpKind::Relu, &[x], "right").unwrap();
+        b.push(OpKind::Add, &[l, r], "join").unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn wavefronts_of_a_diamond() {
+        let s = Schedule::new(&diamond());
+        assert!(s.is_complete());
+        assert_eq!(s.depth(), 3);
+        assert_eq!(s.max_width(), 2);
+        assert_eq!(s.wavefronts[0], vec![NodeId(0)]);
+        assert_eq!(s.wavefronts[1], vec![NodeId(1), NodeId(2)]);
+        assert_eq!(s.wavefronts[2], vec![NodeId(3)]);
+        assert!((s.mean_width() - 4.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn indegree_counts_distinct_producers() {
+        let mut b = GraphBuilder::new("square");
+        let x = b.input(&[4]);
+        b.push(OpKind::Mul, &[x, x], "sq").unwrap(); // same producer twice
+        let s = Schedule::new(&b.finish());
+        assert_eq!(s.indegree, vec![0, 1]);
+        assert_eq!(s.successors[0], vec![1]);
+        assert!(s.is_complete());
+    }
+
+    #[test]
+    fn priority_decreases_along_the_chain() {
+        let mut b = GraphBuilder::new("chain");
+        let x = b.input(&[8, 8]);
+        let a = b.push(OpKind::Gelu, &[x], "a").unwrap();
+        b.push(OpKind::Gelu, &[a], "b").unwrap();
+        let s = Schedule::new(&b.finish());
+        assert!(s.priority[0] > s.priority[1]);
+        assert!(s.priority[1] > s.priority[2]);
+        assert!(s.priority[2] >= 1.0);
+    }
+
+    #[test]
+    fn costlier_branch_gets_higher_priority() {
+        let mut b = GraphBuilder::new("branchy");
+        let x = b.input(&[4, 64]);
+        // cheap branch: one activation; costly branch: a big linear
+        let cheap = b.push(OpKind::Relu, &[x], "cheap").unwrap();
+        let costly = b
+            .push(
+                OpKind::Linear {
+                    in_f: 64,
+                    out_f: 64,
+                    bias: false,
+                },
+                &[x],
+                "costly",
+            )
+            .unwrap();
+        let j = b.push(OpKind::Add, &[cheap, costly], "join").unwrap();
+        let _ = j;
+        let s = Schedule::new(&b.finish());
+        assert!(
+            s.priority[costly.0] > s.priority[cheap.0],
+            "linear branch should outrank relu branch"
+        );
+    }
+
+    #[test]
+    fn corrupt_graphs_are_detected_not_panicked_on() {
+        // out-of-range edge: ignored, rest schedules
+        let mut g = diamond();
+        g.nodes[3].inputs = vec![NodeId(1), NodeId(99)];
+        let s = Schedule::new(&g);
+        assert!(s.is_complete());
+
+        // self-loop: node never becomes ready
+        let mut g2 = diamond();
+        g2.nodes[3].inputs = vec![NodeId(3)];
+        let s2 = Schedule::new(&g2);
+        assert!(!s2.is_complete());
+    }
+
+    #[test]
+    fn empty_graph_schedules_trivially() {
+        let s = Schedule::new(&Graph::default());
+        assert!(s.is_complete());
+        assert_eq!(s.depth(), 0);
+        assert_eq!(s.max_width(), 0);
+        assert_eq!(s.mean_width(), 0.0);
+    }
+}

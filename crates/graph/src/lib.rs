@@ -10,14 +10,14 @@
 //! * **costed** — [`Graph::node_cost`] returns the device-independent
 //!   FLOPs/traffic/kernel-count descriptor used by the analytic platform
 //!   models, and
-//! * **executed** — [`Interpreter`] runs the graph on real tensors with
-//!   reproducible synthetic weights, timing every node (the host-measured
-//!   profiling mode).
+//! * **executed** — the `ngb-exec` crate runs the graph on real tensors
+//!   with reproducible synthetic weights, sequentially or on a worker
+//!   pool, timing every node (the host-measured profiling mode).
 //!
 //! # Examples
 //!
 //! ```
-//! use ngb_graph::{GraphBuilder, Interpreter, OpKind};
+//! use ngb_graph::{GraphBuilder, OpKind};
 //!
 //! # fn main() -> Result<(), ngb_tensor::TensorError> {
 //! let mut b = GraphBuilder::new("tiny");
@@ -26,18 +26,17 @@
 //! b.push(OpKind::Relu, &[h], "act")?;
 //! let graph = b.finish();
 //!
-//! let trace = Interpreter::default().run(&graph)?;
-//! assert_eq!(trace.outputs[0].1.shape(), &[1, 4]);
+//! assert_eq!(graph.len(), 3);
+//! assert_eq!(graph.node(h).out_shape, vec![1, 4]);
+//! graph.validate().expect("builder graphs are well-formed");
 //! # Ok(())
 //! # }
 //! ```
 
 mod graph;
 mod infer;
-mod interp;
 mod op;
 
 pub use graph::{Graph, GraphBuilder, Node, NodeId, StructuralIssue};
 pub use infer::{infer_shape, op_cost};
-pub use interp::{ExecutionTrace, Interpreter, NodeTiming};
 pub use op::{NonGemmGroup, OpClass, OpKind};

@@ -27,7 +27,8 @@
 use std::collections::BTreeMap;
 use std::time::Instant;
 
-use ngb_graph::{Graph, GraphBuilder, Interpreter, OpClass, OpKind};
+use ngb_exec::Interpreter;
+use ngb_graph::{Graph, GraphBuilder, OpClass, OpKind};
 use ngb_platform::DeviceModel;
 use serde::{Deserialize, Serialize};
 

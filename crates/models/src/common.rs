@@ -610,7 +610,7 @@ pub(crate) fn pre_ln_block(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ngb_graph::Interpreter;
+    use ngb_exec::Interpreter;
 
     #[test]
     fn attention_block_shapes_and_execution() {

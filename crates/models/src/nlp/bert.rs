@@ -148,7 +148,8 @@ impl BertConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ngb_graph::{Interpreter, NonGemmGroup};
+    use ngb_exec::Interpreter;
+    use ngb_graph::NonGemmGroup;
 
     #[test]
     fn published_parameter_count() {

@@ -333,7 +333,8 @@ impl Gpt2Config {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ngb_graph::{Interpreter, NonGemmGroup};
+    use ngb_exec::Interpreter;
+    use ngb_graph::NonGemmGroup;
 
     #[test]
     fn published_parameter_counts() {
@@ -395,7 +396,7 @@ mod tests {
         g.validate().unwrap();
         // one Cat per cached tensor per layer
         assert_eq!(g.op_histogram()["cat"], 2 * cfg.layers);
-        let t = ngb_graph::Interpreter::default().run(&g).unwrap();
+        let t = ngb_exec::Interpreter::default().run(&g).unwrap();
         let probs = t
             .outputs
             .iter()

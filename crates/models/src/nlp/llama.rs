@@ -151,7 +151,7 @@ impl LlamaConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ngb_graph::Interpreter;
+    use ngb_exec::Interpreter;
 
     #[test]
     fn seven_billion_parameters() {

@@ -189,7 +189,7 @@ fn inverted_residual(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ngb_graph::Interpreter;
+    use ngb_exec::Interpreter;
 
     #[test]
     fn full_param_count_near_reference() {

@@ -194,7 +194,8 @@ pub(crate) fn backbone_pyramid(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ngb_graph::{Interpreter, NonGemmGroup};
+    use ngb_exec::Interpreter;
+    use ngb_graph::NonGemmGroup;
 
     #[test]
     fn full_graph_has_expected_structure() {

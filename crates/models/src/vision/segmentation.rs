@@ -670,7 +670,8 @@ impl MaskformerConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ngb_graph::{Interpreter, NonGemmGroup};
+    use ngb_exec::Interpreter;
+    use ngb_graph::NonGemmGroup;
 
     #[test]
     fn segformer_b0_params_near_reference() {

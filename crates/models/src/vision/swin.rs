@@ -394,7 +394,8 @@ fn patch_merging(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ngb_graph::{Interpreter, NonGemmGroup};
+    use ngb_exec::Interpreter;
+    use ngb_graph::NonGemmGroup;
 
     #[test]
     fn published_param_counts() {

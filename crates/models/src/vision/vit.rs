@@ -187,7 +187,8 @@ impl VitConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ngb_graph::{Interpreter, NonGemmGroup};
+    use ngb_exec::Interpreter;
+    use ngb_graph::NonGemmGroup;
 
     #[test]
     fn parameter_counts_track_published_sizes() {

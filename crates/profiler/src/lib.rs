@@ -12,7 +12,9 @@
 //!   analytic device models (the substitution for the paper's physical
 //!   GPUs; see DESIGN.md), and
 //! * [`profile_measured`] — actually executes the graph on the host CPU
-//!   through [`ngb_graph::Interpreter`] and uses wall-clock timings.
+//!   through [`ngb_exec::Interpreter`] and uses wall-clock timings.
+//!   [`profile_measured_with_engine`] does the same on the parallel
+//!   executor, attributing each node to its worker thread.
 //!
 //! The three report types of §3.2.4 (performance/cost, workload,
 //! non-GEMM) live in [`report`].
@@ -22,6 +24,6 @@ pub mod report;
 pub mod trace;
 
 pub use profile::{
-    profile_analytic, profile_analytic_with_options, profile_measured, Breakdown, ModelProfile,
-    NodeProfile,
+    profile_analytic, profile_analytic_with_options, profile_measured,
+    profile_measured_with_engine, Breakdown, ModelProfile, NodeProfile,
 };

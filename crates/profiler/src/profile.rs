@@ -2,7 +2,8 @@
 
 use std::collections::BTreeMap;
 
-use ngb_graph::{Graph, Interpreter, NodeId, NonGemmGroup, OpClass};
+use ngb_exec::{Engine, Interpreter};
+use ngb_graph::{Graph, NodeId, NonGemmGroup, OpClass};
 use ngb_platform::Platform;
 use ngb_runtime::{Flow, Placement};
 use serde::Serialize;
@@ -26,6 +27,13 @@ pub struct NodeProfile {
     pub energy_j: f64,
     /// Where the flow placed the op.
     pub placement: &'static str,
+    /// Start offset of the kernel from the beginning of the run, seconds.
+    /// Analytic profiles lay nodes out end-to-start; measured profiles use
+    /// the recorded wall-clock start (which exposes concurrency).
+    pub start_s: f64,
+    /// Execution lane: the worker thread for measured runs, or a
+    /// per-placement lane (cpu=0, gpu=1) for analytic ones.
+    pub tid: usize,
     /// Output tensor shape.
     pub out_shape: Vec<usize>,
 }
@@ -180,6 +188,7 @@ pub fn profile_analytic_with_options(
     let gpu_active = use_gpu && platform.has_gpu();
     let exec_plan = ngb_runtime::plan_with_options(graph, flow, gpu_active, options);
     let mut nodes = Vec::with_capacity(graph.len());
+    let mut cursor_s = 0.0f64;
     for (node, planned) in graph.iter().zip(&exec_plan.nodes) {
         let device = match planned.placement {
             Placement::Gpu => platform.gpu.as_ref().expect("gpu placement requires gpu"),
@@ -198,6 +207,8 @@ pub fn profile_analytic_with_options(
         // bandwidth-bound ops much less
         let util = if planned.is_gemm { 0.9 } else { 0.35 };
         let energy_j = device.energy(latency_s + transfer_s, util);
+        let start_s = cursor_s;
+        cursor_s += latency_s + transfer_s;
         nodes.push(NodeProfile {
             id: node.id,
             name: node.name.clone(),
@@ -209,6 +220,11 @@ pub fn profile_analytic_with_options(
             placement: match planned.placement {
                 Placement::Gpu => "gpu",
                 Placement::Cpu => "cpu",
+            },
+            start_s,
+            tid: match planned.placement {
+                Placement::Cpu => 0,
+                Placement::Gpu => 1,
             },
             out_shape: node.out_shape.clone(),
         });
@@ -239,15 +255,36 @@ pub fn profile_measured(
     iterations: usize,
     seed: u64,
 ) -> Result<ModelProfile, ngb_tensor::TensorError> {
-    let interp = Interpreter::new(seed);
+    profile_measured_with_engine(graph, iterations, seed, Engine::Sequential)
+}
+
+/// [`profile_measured`] on an explicit execution engine. With
+/// [`Engine::Parallel`], per-node latencies are still minima over
+/// iterations, while start offsets and worker attribution come from the
+/// final iteration (so the trace shows one coherent concurrent timeline).
+///
+/// # Errors
+///
+/// Propagates interpreter errors.
+pub fn profile_measured_with_engine(
+    graph: &Graph,
+    iterations: usize,
+    seed: u64,
+    engine: Engine,
+) -> Result<ModelProfile, ngb_tensor::TensorError> {
+    let interp = Interpreter::new(seed).engine(engine);
     let iterations = iterations.max(1);
     let mut best: Vec<f64> = vec![f64::INFINITY; graph.len()];
     let mut shapes: Vec<Vec<usize>> = vec![Vec::new(); graph.len()];
+    let mut starts: Vec<f64> = vec![0.0; graph.len()];
+    let mut workers: Vec<usize> = vec![0; graph.len()];
     for _ in 0..iterations {
         let trace = interp.run(graph)?;
         for t in &trace.timings {
             best[t.id.0] = best[t.id.0].min(t.elapsed.as_secs_f64());
             shapes[t.id.0] = t.out_shape.clone();
+            starts[t.id.0] = t.start.as_secs_f64();
+            workers[t.id.0] = t.worker;
         }
     }
     let nodes = graph
@@ -261,6 +298,8 @@ pub fn profile_measured(
             transfer_s: 0.0,
             energy_j: 0.0, // no power telemetry on the host
             placement: "host",
+            start_s: starts[n.id.0],
+            tid: workers[n.id.0],
             out_shape: shapes[n.id.0].clone(),
         })
         .collect();
@@ -272,7 +311,10 @@ pub fn profile_measured(
     Ok(ModelProfile {
         model: graph.name.clone(),
         platform: "Host (measured)".to_string(),
-        flow: "interpreter".to_string(),
+        flow: match engine {
+            Engine::Sequential => "interpreter".to_string(),
+            Engine::Parallel(n) => format!("interpreter-parallel-{}", n.max(1)),
+        },
         batch,
         nodes,
         peak_memory_bytes: graph.peak_activation_bytes(),
@@ -426,6 +468,30 @@ mod tests {
         let q = p.nodes.iter().find(|n| n.name == "q").unwrap();
         let v = p.nodes.iter().find(|n| n.name == "view").unwrap();
         assert!(q.latency_s > v.latency_s);
+    }
+
+    #[test]
+    fn measured_parallel_profile_attributes_workers() {
+        let g = transformer_ish();
+        let p = profile_measured_with_engine(&g, 2, 42, Engine::Parallel(2)).unwrap();
+        assert_eq!(p.nodes.len(), g.len());
+        assert!(p.nodes.iter().all(|n| n.tid < 2));
+        assert!(p.flow.contains("parallel"));
+        // start offsets are real wall-clock offsets, so some node after the
+        // input must start later than the input
+        let input_start = p.nodes[0].start_s;
+        assert!(p.nodes.iter().any(|n| n.start_s >= input_start));
+    }
+
+    #[test]
+    fn analytic_profile_lays_nodes_end_to_start() {
+        let g = transformer_ish();
+        let p = profile_analytic(&g, &Platform::data_center(), Flow::Eager, true, 1);
+        let mut cursor = 0.0;
+        for n in &p.nodes {
+            assert!((n.start_s - cursor).abs() < 1e-12, "node {}", n.name);
+            cursor += n.latency_s + n.transfer_s;
+        }
     }
 
     #[test]

@@ -179,6 +179,28 @@ impl Tensor {
         true
     }
 
+    /// Attempts to reclaim this tensor's f32 heap buffer for reuse.
+    ///
+    /// Succeeds only when the tensor is a contiguous, zero-offset, full view
+    /// of uniquely owned f32 storage — i.e. dropping it would free the
+    /// buffer anyway. Execution engines use this to recycle dead activation
+    /// and weight storage through an arena instead of round-tripping every
+    /// buffer through the global allocator.
+    ///
+    /// Returns `None` (dropping the tensor normally) when the storage is
+    /// shared, non-f32, or viewed through a nontrivial layout.
+    pub fn try_reclaim_f32(self) -> Option<Vec<f32>> {
+        if self.offset != 0 || !self.is_contiguous() {
+            return None;
+        }
+        match self.storage {
+            Storage::F32(arc) if arc.len() == num_elements(&self.shape) => {
+                Arc::try_unwrap(arc).ok()
+            }
+            _ => None,
+        }
+    }
+
     /// Whether this view aliases the same storage as `other`.
     ///
     /// Used in tests to verify which memory operators copy and which do not.
@@ -622,5 +644,30 @@ mod tests {
         assert!(!format!("{t}").is_empty());
         let big = Tensor::zeros(&[100]);
         assert!(format!("{big}").contains("[100]"));
+    }
+
+    #[test]
+    fn reclaim_succeeds_only_on_unique_full_views() {
+        // uniquely owned contiguous tensor: buffer comes back
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let v = t.try_reclaim_f32().expect("unique owner reclaims");
+        assert_eq!(v, vec![1.0, 2.0, 3.0, 4.0]);
+
+        // shared storage: reclaim refuses while a clone is alive
+        let t = Tensor::zeros(&[4]);
+        let alias = t.clone();
+        assert!(t.try_reclaim_f32().is_none());
+        assert!(alias.try_reclaim_f32().is_some()); // last owner wins
+
+        // nontrivial view: transposed 2x3 is not reclaimable
+        let t = Tensor::from_vec(vec![0.0; 6], &[2, 3])
+            .unwrap()
+            .permute(&[1, 0])
+            .unwrap();
+        assert!(t.try_reclaim_f32().is_none());
+
+        // i64 storage is not an f32 buffer
+        let ids = Tensor::from_i64(vec![1, 2], &[2]).unwrap();
+        assert!(ids.try_reclaim_f32().is_none());
     }
 }

@@ -13,4 +13,7 @@ cargo clippy --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> NGB_THREADS=4 cargo test -q (parallel execution engine)"
+NGB_THREADS=4 cargo test -q
+
 echo "==> ok"

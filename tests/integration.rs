@@ -143,7 +143,8 @@ fn reports_serialize_to_json() {
 #[test]
 fn dataset_pipeline_feeds_models() {
     use nongemm::data::{ImageNetSynthetic, Preprocessor, Tokenizer, WikitextSynthetic};
-    use nongemm::graph::{Interpreter, NodeId};
+    use nongemm::exec::Interpreter;
+    use nongemm::graph::NodeId;
     use std::collections::HashMap;
 
     // vision path: synthetic image -> preprocess -> tiny ResNet
