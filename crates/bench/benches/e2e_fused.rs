@@ -1,0 +1,38 @@
+//! Criterion benches: the same graph executed unoptimized and through the
+//! `ngb-opt` rewriter. Models are chosen to exercise each rewrite family —
+//! conv+bn folding (ResNet), GEMM epilogues (ViT/GPT-2), and attention
+//! prologues (GPT-2/BERT).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nongemm::exec::Interpreter;
+use nongemm::opt::{optimize, OptLevel};
+use nongemm::{ModelId, Scale};
+
+fn bench_fused_execution(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2e_fused_execute");
+    g.sample_size(10);
+    for model in [
+        ModelId::ResNet50,
+        ModelId::VitBase16,
+        ModelId::Gpt2,
+        ModelId::Bert,
+    ] {
+        let graph = model.build(4, Scale::Tiny).expect("suite models build");
+        let alias = model.spec().alias;
+        let interp = Interpreter::default();
+        for (label, level) in [
+            ("o0", OptLevel::O0),
+            ("o1", OptLevel::O1),
+            ("o2", OptLevel::O2),
+        ] {
+            let (opt_graph, _) = optimize(&graph, level);
+            g.bench_function(format!("{alias}/{label}"), |b| {
+                b.iter(|| interp.run(&opt_graph).expect("tiny models execute"))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fused_execution);
+criterion_main!(benches);

@@ -11,6 +11,7 @@
 //!   --measured            execute on the host instead of the analytic models
 //!   --microbench          run the microbench flow instead of end-to-end
 //!   --threads <n>         worker threads for --measured (default: $NGB_THREADS or 1)
+//!   --opt-level <0|1|2>   graph-rewrite level (default: $NGB_OPT or 0)
 //!   --format <fmt>        text | csv | json (default: text)
 //!   --trace <path>        also write a Chrome trace JSON per model
 //!
@@ -19,9 +20,15 @@
 //!   --batch <n>           batch size (default: 1)
 //!   --tiny                use the executable tiny presets
 //!   --threads <n>         analyze models concurrently (default: $NGB_THREADS or 1)
+//!   --opt-level <0|1|2>   analyze the rewritten graphs (default: $NGB_OPT or 0)
 //!   --format <fmt>        text | json (default: text)
 //!   --all                 include allow-level findings in text output
 //! ```
+//!
+//! `--opt-level` (or the `NGB_OPT` environment variable) runs the
+//! `ngb-opt` graph rewriter over every built graph before profiling or
+//! verification: `1` applies the bit-identical fusions, `2` adds
+//! Conv+BN folding (tolerance-equivalent; see DESIGN.md §12).
 //!
 //! `verify` runs the `ngb-analyze` static analyzer over the selected
 //! model graphs and exits 0 when every report is clean, 1 when any
@@ -31,7 +38,7 @@ use std::process::ExitCode;
 
 use nongemm::profiler::report::{csv_header, PerformanceReport};
 use nongemm::profiler::trace::to_chrome_trace;
-use nongemm::{BenchConfig, Flow, NonGemmBench, Platform, Scale};
+use nongemm::{BenchConfig, Flow, NonGemmBench, OptLevel, Platform, Scale};
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Format {
@@ -51,6 +58,7 @@ struct Args {
     measured: bool,
     microbench: bool,
     threads: usize,
+    opt_level: Option<OptLevel>,
     format: Format,
     trace: Option<String>,
 }
@@ -61,6 +69,7 @@ struct VerifyArgs {
     batch: usize,
     tiny: bool,
     threads: usize,
+    opt_level: Option<OptLevel>,
     format: Format,
     all: bool,
 }
@@ -69,10 +78,10 @@ fn usage() -> ! {
     eprintln!(
         "usage: nongemm-cli [run] [--model <alias>]... [--platform mobile|workstation|datacenter]\n\
          \x20      [--flow eager|torchscript|dynamo|ort] [--batch N] [--cpu-only] [--tiny]\n\
-         \x20      [--measured] [--microbench] [--threads N] [--format text|csv|json]\n\
-         \x20      [--trace <path>]\n\
+         \x20      [--measured] [--microbench] [--threads N] [--opt-level 0|1|2]\n\
+         \x20      [--format text|csv|json] [--trace <path>]\n\
          \x20  nongemm-cli verify [--model <alias>]... [--batch N] [--tiny] [--threads N]\n\
-         \x20      [--format text|json] [--all]"
+         \x20      [--opt-level 0|1|2] [--format text|json] [--all]"
     );
     std::process::exit(2);
 }
@@ -95,6 +104,13 @@ fn parse_threads(v: &str) -> usize {
     }
 }
 
+fn parse_opt_level(v: &str) -> OptLevel {
+    OptLevel::parse(v).unwrap_or_else(|| {
+        eprintln!("--opt-level requires 0, 1, or 2");
+        usage()
+    })
+}
+
 fn parse_run_args(argv: &[String]) -> Args {
     let mut args = Args {
         models: Vec::new(),
@@ -106,6 +122,7 @@ fn parse_run_args(argv: &[String]) -> Args {
         measured: false,
         microbench: false,
         threads: 0,
+        opt_level: None,
         format: Format::Text,
         trace: None,
     };
@@ -150,6 +167,9 @@ fn parse_run_args(argv: &[String]) -> Args {
             "--measured" => args.measured = true,
             "--microbench" => args.microbench = true,
             "--threads" => args.threads = parse_threads(&take_value(&mut it, "--threads")),
+            "--opt-level" => {
+                args.opt_level = Some(parse_opt_level(&take_value(&mut it, "--opt-level")))
+            }
             "--format" => {
                 args.format = match take_value(&mut it, "--format").as_str() {
                     "text" => Format::Text,
@@ -181,6 +201,7 @@ fn parse_verify_args(argv: &[String]) -> VerifyArgs {
         batch: 1,
         tiny: false,
         threads: 0,
+        opt_level: None,
         format: Format::Text,
         all: false,
     };
@@ -200,6 +221,9 @@ fn parse_verify_args(argv: &[String]) -> VerifyArgs {
             "--tiny" => args.tiny = true,
             "--all" => args.all = true,
             "--threads" => args.threads = parse_threads(&take_value(&mut it, "--threads")),
+            "--opt-level" => {
+                args.opt_level = Some(parse_opt_level(&take_value(&mut it, "--opt-level")))
+            }
             "--format" => {
                 args.format = match take_value(&mut it, "--format").as_str() {
                     "text" => Format::Text,
@@ -240,6 +264,7 @@ fn run_verify(argv: &[String]) -> ExitCode {
         batch: args.batch,
         scale: if args.tiny { Scale::Tiny } else { Scale::Full },
         threads: args.threads,
+        opt_level: args.opt_level,
         ..BenchConfig::default()
     });
     let reports = match bench.verify() {
@@ -288,6 +313,7 @@ fn run_bench(argv: &[String]) -> ExitCode {
         scale: if args.tiny { Scale::Tiny } else { Scale::Full },
         iterations: 3,
         threads: args.threads,
+        opt_level: args.opt_level,
     });
 
     if args.microbench {

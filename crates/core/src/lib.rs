@@ -52,6 +52,7 @@ pub use ngb_graph as graph;
 pub use ngb_microbench as microbench;
 pub use ngb_models as models;
 pub use ngb_ops as ops;
+pub use ngb_opt as opt;
 pub use ngb_platform as platform;
 pub use ngb_profiler as profiler;
 pub use ngb_runtime as runtime;
@@ -62,6 +63,7 @@ pub use ngb_exec::{Engine, ExecutionTrace, Interpreter, ParallelExecutor, Schedu
 pub use ngb_graph::{Graph, NonGemmGroup, OpClass, OpKind};
 pub use ngb_microbench::{MicroResult, OperatorRegistry};
 pub use ngb_models::{ModelId, ModelRegistry, Scale, Task};
+pub use ngb_opt::{optimize, OptLevel, OptReport};
 pub use ngb_platform::{DeviceModel, HardwareClass, Platform};
 pub use ngb_profiler::report::{NonGemmReport, PerformanceReport, WorkloadReport};
 pub use ngb_profiler::{Breakdown, ModelProfile};
@@ -94,6 +96,9 @@ pub struct BenchConfig {
     /// Worker threads for measured execution and verification.
     /// `0` means auto: honor `NGB_THREADS` when set, else run sequentially.
     pub threads: usize,
+    /// Graph-rewrite optimization level applied to every built graph.
+    /// `None` means auto: honor `NGB_OPT` when set, else `O0`.
+    pub opt_level: Option<OptLevel>,
 }
 
 impl Default for BenchConfig {
@@ -107,6 +112,7 @@ impl Default for BenchConfig {
             scale: Scale::Full,
             iterations: 3,
             threads: 0,
+            opt_level: None,
         }
     }
 }
@@ -142,15 +148,41 @@ impl NonGemmBench {
         }
     }
 
-    /// Builds the operator graphs for the selected models.
+    /// Effective optimization level: the explicit `opt_level` setting, or
+    /// `NGB_OPT` (falling back to [`OptLevel::O0`]) when unset.
+    pub fn effective_opt_level(&self) -> OptLevel {
+        self.config.opt_level.unwrap_or_else(OptLevel::from_env)
+    }
+
+    /// Builds the operator graphs for the selected models, rewritten at
+    /// [`NonGemmBench::effective_opt_level`]. Every flow — end-to-end,
+    /// measured, microbench, verify — therefore sees the optimized graphs.
     ///
     /// # Errors
     ///
     /// Propagates graph-construction errors.
     pub fn build_graphs(&self) -> Result<Vec<Graph>, TensorError> {
+        Ok(self
+            .build_graphs_with_reports()?
+            .into_iter()
+            .map(|(g, _)| g)
+            .collect())
+    }
+
+    /// Like [`NonGemmBench::build_graphs`], but also returns what the
+    /// optimizer did to each graph.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph-construction errors.
+    pub fn build_graphs_with_reports(&self) -> Result<Vec<(Graph, OptReport)>, TensorError> {
+        let level = self.effective_opt_level();
         self.selected_models()
             .into_iter()
-            .map(|m| m.build(self.config.batch, self.config.scale))
+            .map(|m| {
+                let g = m.build(self.config.batch, self.config.scale)?;
+                Ok(ngb_opt::optimize(&g, level))
+            })
             .collect()
     }
 
@@ -413,6 +445,28 @@ mod tests {
         let p = b.run_measured().unwrap();
         assert_eq!(p.len(), 1);
         assert!(p[0].total_latency_s() > 0.0);
+    }
+
+    #[test]
+    fn opt_level_rewrites_built_graphs() {
+        let mk = |opt_level| {
+            NonGemmBench::new(BenchConfig {
+                models: vec!["resnet50".into()],
+                scale: Scale::Tiny,
+                opt_level,
+                ..BenchConfig::default()
+            })
+        };
+        let unopt = mk(Some(OptLevel::O0)).build_graphs().unwrap();
+        let built = mk(Some(OptLevel::O2)).build_graphs_with_reports().unwrap();
+        let (g2, report) = &built[0];
+        assert!(report.fusions() > 0, "resnet50 has conv+bn+relu chains");
+        assert!(g2.len() < unopt[0].len());
+        assert_eq!(
+            mk(Some(OptLevel::O2)).effective_opt_level(),
+            OptLevel::O2,
+            "explicit setting wins over the environment"
+        );
     }
 
     #[test]

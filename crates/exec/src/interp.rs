@@ -344,7 +344,7 @@ pub(crate) fn rng_for(seed: u64, node: NodeId) -> TensorRng {
 
 /// Generates a synthetic input tensor for an input node.
 fn make_input(seed: u64, node: &Node) -> Tensor {
-    let mut rng = rng_for(seed, node.id);
+    let mut rng = rng_for(seed, node.seed_hint.unwrap_or(node.id));
     match &node.op {
         OpKind::InputIds { vocab } => rng.uniform_i64(&node.out_shape, 0, (*vocab).max(1) as i64),
         _ => rng.uniform(&node.out_shape, -1.0, 1.0),
@@ -371,7 +371,9 @@ pub(crate) fn execute_node(
     let arg = |i: usize| -> Result<&Tensor, TensorError> {
         args.get(i).ok_or_else(|| missing_input(node, i))
     };
-    let mut rng = rng_for(seed, node.id);
+    // Rewritten graphs renumber nodes; the seed hint preserves the
+    // original id so weights stay bit-identical across optimization levels.
+    let mut rng = rng_for(seed, node.seed_hint.unwrap_or(node.id));
     match &node.op {
         OpKind::Input | OpKind::InputIds { .. } => Ok(override_input
             .cloned()
@@ -531,6 +533,8 @@ pub(crate) fn execute_node(
 
         OpKind::Argmax { dim } => ngb_ops::reduction::argmax(arg(0)?, *dim),
         OpKind::TopK { k } => ngb_ops::reduction::topk(arg(0)?, *k).map(|(v, _)| v),
+
+        OpKind::Fused(f) => crate::fused::execute_fused(seed, f, args, arena),
     }
 }
 

@@ -38,6 +38,7 @@
 //! ```
 
 mod bufplan;
+mod fused;
 mod interp;
 mod parallel;
 mod pool;

@@ -79,6 +79,7 @@ fn panicking_kernel_is_reported_as_an_error_not_a_crash() {
         inputs: vec![g.nodes[0].id],
         out_shape: vec![4, 4],
         name: "poison".into(),
+        seed_hint: None,
     };
     let exec = ParallelExecutor::new(0x5eed, 2);
     let err = exec.run(&g).expect_err("panicking kernel must surface");

@@ -89,6 +89,13 @@ pub struct Node {
     pub out_shape: Vec<usize>,
     /// Dotted scope name (e.g. `"encoder.3.attn.softmax"`).
     pub name: String,
+    /// Identity used to seed this node's weight/input RNG streams when it
+    /// differs from `id`. Graph rewrites renumber surviving nodes; carrying
+    /// the original id here keeps every materialized parameter bit-identical
+    /// to the unoptimized graph. `None` (the default; absent fields
+    /// deserialize as `None`, so pre-rewrite serialized graphs still load)
+    /// means `id`.
+    pub seed_hint: Option<NodeId>,
 }
 
 impl Node {
@@ -320,6 +327,7 @@ impl GraphBuilder {
             inputs: Vec::new(),
             out_shape: shape.to_vec(),
             name: self.scoped("input"),
+            seed_hint: None,
         });
         id
     }
@@ -333,6 +341,7 @@ impl GraphBuilder {
             inputs: Vec::new(),
             out_shape: shape.to_vec(),
             name: self.scoped("input_ids"),
+            seed_hint: None,
         });
         id
     }
@@ -369,6 +378,7 @@ impl GraphBuilder {
             inputs: inputs.to_vec(),
             out_shape,
             name: self.scoped(name),
+            seed_hint: None,
         });
         Ok(id)
     }

@@ -3,9 +3,87 @@
 use ngb_ops::OpCost;
 use ngb_tensor::{broadcast_shapes, num_elements, TensorError};
 
-use crate::op::OpKind;
+use crate::op::{FusedOp, FusedStage, OpClass, OpKind};
 
 type Result<T> = std::result::Result<T, TensorError>;
+
+/// Walks a fused op's stages in order, re-inferring each stage's output
+/// shape from the chained value plus its share of the fused node's inputs,
+/// and calling `visit` with every (stage, stage inputs, stage output).
+/// Returns the final stage's output shape — the fused node's shape.
+///
+/// This is how consumers recover the *primitive* operator instances a
+/// fused node packs (the microbench extractor harvests stages through it,
+/// so the operator registry is opt-level-independent).
+///
+/// # Errors
+///
+/// Returns a [`TensorError`] when the fused node's inputs don't cover its
+/// stages' operand counts or a stage shape fails to re-infer.
+pub fn walk_fused(
+    f: &FusedOp,
+    inputs: &[Vec<usize>],
+    mut visit: impl FnMut(&FusedStage, &[Vec<usize>], &[usize]),
+) -> Result<Vec<usize>> {
+    let mut cursor = 0usize;
+    let mut chain: Option<Vec<usize>> = None;
+    for stage in &f.stages {
+        let mut stage_inputs: Vec<Vec<usize>> = Vec::with_capacity(stage.extra_inputs + 1);
+        if let Some(c) = chain.take() {
+            stage_inputs.push(c);
+        }
+        let extra = inputs
+            .get(cursor..cursor + stage.extra_inputs)
+            .ok_or_else(|| {
+                TensorError::InvalidArgument(format!(
+                    "fused node supplies {} inputs but its stages consume more",
+                    inputs.len()
+                ))
+            })?;
+        stage_inputs.extend(extra.iter().cloned());
+        cursor += stage.extra_inputs;
+        let out = infer_shape(&stage.op, &stage_inputs)?;
+        visit(stage, &stage_inputs, &out);
+        chain = Some(out);
+    }
+    if cursor != inputs.len() {
+        return Err(TensorError::InvalidArgument(format!(
+            "fused node has {} inputs but its stages consume {cursor}",
+            inputs.len()
+        )));
+    }
+    chain.ok_or_else(|| TensorError::InvalidArgument("fused node has no stages".into()))
+}
+
+/// Pro-rates a fused node's work across the GEMM / non-GEMM classes of its
+/// constituent stages, weighted by each stage's analytic cost
+/// (FLOPs + memory traffic). Fractions sum to 1. The profiler uses this to
+/// keep Figure-6-style group breakdowns comparable between `-O0` and
+/// `-O2` runs. Returns an empty vector when the stage shapes don't
+/// re-infer (malformed fused node).
+pub fn fused_attribution(f: &FusedOp, inputs: &[Vec<usize>]) -> Vec<(OpClass, f64)> {
+    let mut weights: Vec<(OpClass, f64)> = Vec::new();
+    let walked = walk_fused(f, inputs, |stage, s_in, s_out| {
+        let c = op_cost(&stage.op, s_in, s_out);
+        let w = (c.flops + c.memory_bytes()).max(1.0);
+        let class = stage.op.class();
+        match weights.iter_mut().find(|(cl, _)| *cl == class) {
+            Some(e) => e.1 += w,
+            None => weights.push((class, w)),
+        }
+    });
+    if walked.is_err() {
+        return Vec::new();
+    }
+    let total: f64 = weights.iter().map(|(_, w)| w).sum();
+    if total <= 0.0 {
+        return Vec::new();
+    }
+    for e in &mut weights {
+        e.1 /= total;
+    }
+    weights
+}
 
 fn one(inputs: &[Vec<usize>], op: &'static str) -> Result<Vec<usize>> {
     inputs
@@ -390,6 +468,8 @@ pub fn infer_shape(op: &OpKind, inputs: &[Vec<usize>]) -> Result<Vec<usize>> {
             *s.last_mut().expect("checked") = *k;
             Ok(s)
         }
+
+        OpKind::Fused(f) => walk_fused(f, inputs, |_, _, _| {}),
     }
 }
 
@@ -507,6 +587,23 @@ pub fn op_cost(op: &OpKind, inputs: &[Vec<usize>], output: &[usize]) -> OpCost {
 
         OpKind::Argmax { dim } => ngb_ops::reduction::argmax_cost(in0, *dim),
         OpKind::TopK { k } => ngb_ops::reduction::topk_cost(in0, *k),
+
+        OpKind::Fused(f) => {
+            let mut stage_costs = Vec::with_capacity(f.stages.len());
+            let mut interiors = Vec::with_capacity(f.stages.len());
+            if walk_fused(f, inputs, |stage, s_in, s_out| {
+                stage_costs.push(op_cost(&stage.op, s_in, s_out));
+                interiors.push(num_elements(s_out));
+            })
+            .is_err()
+            {
+                return OpCost::metadata();
+            }
+            // The final stage's output is materialized; everything before it
+            // stays in registers, saving one write and one read per element.
+            interiors.pop();
+            OpCost::fused(&stage_costs, &interiors)
+        }
     }
 }
 

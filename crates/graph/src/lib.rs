@@ -38,5 +38,5 @@ mod infer;
 mod op;
 
 pub use graph::{Graph, GraphBuilder, Node, NodeId, StructuralIssue};
-pub use infer::{infer_shape, op_cost};
-pub use op::{NonGemmGroup, OpClass, OpKind};
+pub use infer::{fused_attribution, infer_shape, op_cost, walk_fused};
+pub use op::{FusedKind, FusedOp, FusedStage, NonGemmGroup, OpClass, OpKind};

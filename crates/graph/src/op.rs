@@ -387,6 +387,78 @@ pub enum OpKind {
         /// Number of entries kept.
         k: usize,
     },
+
+    // ----------------------------------------------------------------- fused
+    /// A composite node produced by the `ngb-opt` graph rewriter: several
+    /// primitive stages executed as one kernel, with interior activations
+    /// kept in registers/cache instead of being materialized through the
+    /// arena.
+    Fused(FusedOp),
+}
+
+/// The fusion family a [`OpKind::Fused`] node was built by. Determines the
+/// fused kernel strategy at execution time (e.g. BN folding for
+/// [`FusedKind::ConvBnAct`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FusedKind {
+    /// `Conv2d → BatchNorm2d/FrozenBatchNorm2d [→ ReLU/ReLU6]`, executed as
+    /// one convolution with the BN folded into the weights (reorders FP
+    /// arithmetic; equivalence is tolerance-based).
+    ConvBnAct,
+    /// A GEMM producer (`Linear`/`Conv1dGpt2`/`Matmul`/`Bmm`) with a chain
+    /// of single-consumer pointwise epilogues applied in the output loop.
+    GemmEpilogue,
+    /// A chain of single-consumer unary element-wise ops collapsed into one
+    /// pass over the data.
+    ElementwiseChain,
+    /// `Matmul/Bmm → scale [→ mask/add] → Softmax`: the attention-score
+    /// prologue flagged by `ngb-analyze`'s `FuseAttention` lint.
+    AttentionPrologue,
+}
+
+impl FusedKind {
+    /// Stable report name for a fused node of this kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            FusedKind::ConvBnAct => "fused_conv_bn_act",
+            FusedKind::GemmEpilogue => "fused_gemm_epilogue",
+            FusedKind::ElementwiseChain => "fused_elementwise",
+            FusedKind::AttentionPrologue => "fused_attention",
+        }
+    }
+}
+
+/// One primitive stage of a [`FusedOp`], in execution order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FusedStage {
+    /// The primitive operator this stage executes.
+    pub op: OpKind,
+    /// Seed identity of the original node, so weight/parameter RNG streams
+    /// are unchanged by the rewrite (see `rng_for` in `ngb-exec`).
+    pub seed_id: usize,
+    /// How many of the fused node's inputs this stage consumes, in order.
+    /// Stage 0 has no chained value, so all of its operands are "extra";
+    /// later stages receive the previous stage's output as operand 0 plus
+    /// `extra_inputs` more from the fused node's input list.
+    pub extra_inputs: usize,
+}
+
+/// The payload of [`OpKind::Fused`]: an ordered pipeline of primitive
+/// stages. The fused node's inputs are the concatenation of every stage's
+/// extra inputs; its output is the last stage's output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FusedOp {
+    /// Which fusion family built this node.
+    pub kind: FusedKind,
+    /// The constituent stages, in execution order.
+    pub stages: Vec<FusedStage>,
+}
+
+impl FusedOp {
+    /// Total number of graph inputs the fused node consumes.
+    pub fn total_inputs(&self) -> usize {
+        self.stages.iter().map(|s| s.extra_inputs).sum()
+    }
 }
 
 impl OpKind {
@@ -450,6 +522,7 @@ impl OpKind {
             OpKind::Embedding { .. } => "embedding",
             OpKind::Argmax { .. } => "argmax",
             OpKind::TopK { .. } => "topk",
+            OpKind::Fused(f) => f.kind.name(),
         }
     }
 
@@ -526,6 +599,19 @@ impl OpKind {
             | OpKind::TopK { .. }
             | OpKind::Input
             | OpKind::InputIds { .. } => OpClass::NonGemm(G::Other),
+
+            // A fused node is classified by its dominant stage: the GEMM
+            // head for conv/linear/attention fusions, the first stage for a
+            // pure element-wise chain. The profiler re-attributes latency
+            // to constituent groups separately (see `fused_attribution`).
+            OpKind::Fused(f) => match f.kind {
+                FusedKind::ElementwiseChain => f
+                    .stages
+                    .first()
+                    .map(|s| s.op.class())
+                    .unwrap_or(OpClass::NonGemm(G::Arithmetic)),
+                _ => OpClass::Gemm,
+            },
         }
     }
 
@@ -548,6 +634,7 @@ impl OpKind {
             OpKind::BatchNorm2d { c } | OpKind::FrozenBatchNorm2d { c } => 4 * c,
             OpKind::GroupNorm { c, .. } => 2 * c,
             OpKind::Embedding { vocab, dim } => vocab * dim,
+            OpKind::Fused(f) => f.stages.iter().map(|s| s.op.param_count()).sum(),
             _ => 0,
         }
     }
@@ -555,12 +642,18 @@ impl OpKind {
     /// Whether the op's output depends on input *data* (Table 2
     /// "Dynamicity").
     pub fn is_dynamic(&self) -> bool {
+        if let OpKind::Fused(f) = self {
+            return f.stages.iter().any(|s| s.op.is_dynamic());
+        }
         matches!(self, OpKind::Nms { .. } | OpKind::RoiAlign { .. })
     }
 
     /// Whether the op applies a non-linear function (Table 2
     /// "Non Linearity").
     pub fn is_nonlinear(&self) -> bool {
+        if let OpKind::Fused(f) = self {
+            return f.stages.iter().any(|s| s.op.is_nonlinear());
+        }
         matches!(
             self,
             OpKind::Gelu
@@ -584,6 +677,9 @@ impl OpKind {
 
     /// Whether the op reduces along a dimension (Table 2 "Reduction").
     pub fn is_reduction(&self) -> bool {
+        if let OpKind::Fused(f) = self {
+            return f.stages.iter().any(|s| s.op.is_reduction());
+        }
         matches!(
             self,
             OpKind::LayerNorm { .. }
@@ -606,6 +702,10 @@ impl OpKind {
     /// Whether the op is a single primitive device operation rather than a
     /// decomposed chain (Table 2 "Single Operation").
     pub fn is_single_operation(&self) -> bool {
+        // Fusion is the point: the composite runs as one kernel.
+        if matches!(self, OpKind::Fused(_)) {
+            return true;
+        }
         !matches!(
             self,
             OpKind::NewGelu
@@ -617,9 +717,39 @@ impl OpKind {
             || matches!(self, OpKind::Relu | OpKind::Relu6)
     }
 
+    /// The fusible unary element-wise kernel this op computes, if any.
+    ///
+    /// This is the contract between the `ngb-opt` rewriter (which fuses
+    /// exactly these ops into chains and GEMM epilogues) and the `ngb-exec`
+    /// fused kernels (which replay them per element, bit-identically to the
+    /// standalone kernels).
+    pub fn pointwise(&self) -> Option<ngb_ops::fused::Pointwise> {
+        use ngb_ops::fused::Pointwise as P;
+        match self {
+            OpKind::Relu => Some(P::Relu),
+            OpKind::Relu6 => Some(P::Relu6),
+            OpKind::Gelu => Some(P::Gelu),
+            OpKind::GeluTanh => Some(P::GeluTanh),
+            OpKind::NewGelu => Some(P::NewGelu),
+            OpKind::Silu => Some(P::Silu),
+            OpKind::Sigmoid => Some(P::Sigmoid),
+            OpKind::Hardswish => Some(P::Hardswish),
+            OpKind::Neg => Some(P::Neg),
+            OpKind::AddScalar(s) => Some(P::AddScalar(*s)),
+            OpKind::MulScalar(s) => Some(P::MulScalar(*s)),
+            OpKind::DivScalar(s) => Some(P::DivScalar(*s)),
+            OpKind::PowScalar(e) => Some(P::PowScalar(*e)),
+            OpKind::Sqrt => Some(P::Sqrt),
+            _ => None,
+        }
+    }
+
     /// Whether the op consumes exactly one tensor operand (Table 2
     /// "Single Operand").
     pub fn is_single_operand(&self) -> bool {
+        if let OpKind::Fused(f) = self {
+            return f.total_inputs() <= 1;
+        }
         !matches!(
             self,
             OpKind::Add
@@ -749,6 +879,60 @@ mod tests {
     fn names_are_stable() {
         assert_eq!(OpKind::NewGelu.name(), "new_gelu");
         assert_eq!(OpKind::Cat { dim: 0 }.name(), "cat");
+    }
+
+    #[test]
+    fn fused_metadata_follows_stages() {
+        let gemm_epilogue = OpKind::Fused(FusedOp {
+            kind: FusedKind::GemmEpilogue,
+            stages: vec![
+                FusedStage {
+                    op: OpKind::Linear {
+                        in_f: 4,
+                        out_f: 8,
+                        bias: true,
+                    },
+                    seed_id: 3,
+                    extra_inputs: 1,
+                },
+                FusedStage {
+                    op: OpKind::Gelu,
+                    seed_id: 4,
+                    extra_inputs: 0,
+                },
+            ],
+        });
+        assert_eq!(gemm_epilogue.name(), "fused_gemm_epilogue");
+        assert!(gemm_epilogue.class().is_gemm());
+        assert_eq!(gemm_epilogue.param_count(), 40);
+        assert!(gemm_epilogue.is_nonlinear());
+        assert!(!gemm_epilogue.is_dynamic());
+        assert!(gemm_epilogue.is_single_operation());
+        assert!(gemm_epilogue.is_single_operand());
+        if let OpKind::Fused(f) = &gemm_epilogue {
+            assert_eq!(f.total_inputs(), 1);
+        }
+
+        let chain = OpKind::Fused(FusedOp {
+            kind: FusedKind::ElementwiseChain,
+            stages: vec![
+                FusedStage {
+                    op: OpKind::MulScalar(0.5),
+                    seed_id: 0,
+                    extra_inputs: 1,
+                },
+                FusedStage {
+                    op: OpKind::Sqrt,
+                    seed_id: 1,
+                    extra_inputs: 0,
+                },
+            ],
+        });
+        assert_eq!(
+            chain.class().group(),
+            Some(NonGemmGroup::Arithmetic),
+            "element-wise chains keep their head's class"
+        );
     }
 
     #[test]

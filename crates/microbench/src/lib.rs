@@ -137,29 +137,55 @@ impl OperatorRegistry {
     pub fn harvest(&mut self, graph: &Graph) -> usize {
         let mut added = 0;
         for node in graph.iter() {
-            if node.class().is_gemm() || matches!(node.op, OpKind::Input | OpKind::InputIds { .. })
-            {
+            if matches!(node.op, OpKind::Input | OpKind::InputIds { .. }) {
                 continue;
             }
-            let record = OpRecord {
+            let input_shapes: Vec<Vec<usize>> = node
+                .inputs
+                .iter()
+                .map(|&i| graph.node(i).out_shape.clone())
+                .collect();
+            if input_shapes.is_empty() {
+                continue;
+            }
+            // Optimized graphs pack primitives into fused nodes; harvest the
+            // stages so the registry is the same at every opt level.
+            if let OpKind::Fused(f) = &node.op {
+                let _ = ngb_graph::walk_fused(f, &input_shapes, |stage, stage_in, _| {
+                    if stage.op.class().is_gemm() {
+                        return;
+                    }
+                    added += self.record(OpRecord {
+                        op: stage.op.clone(),
+                        input_shapes: stage_in.to_vec(),
+                        model: graph.name.clone(),
+                        node_name: node.name.clone(),
+                    });
+                });
+                continue;
+            }
+            if node.class().is_gemm() {
+                continue;
+            }
+            added += self.record(OpRecord {
                 op: node.op.clone(),
-                input_shapes: node
-                    .inputs
-                    .iter()
-                    .map(|&i| graph.node(i).out_shape.clone())
-                    .collect(),
+                input_shapes,
                 model: graph.name.clone(),
                 node_name: node.name.clone(),
-            };
-            if record.input_shapes.is_empty() {
-                continue;
-            }
-            if self.seen.insert(record.key()) {
-                self.records.push(record);
-                added += 1;
-            }
+            });
         }
         added
+    }
+
+    /// Inserts one record if its dedup key is new; returns how many were
+    /// added (0 or 1).
+    fn record(&mut self, record: OpRecord) -> usize {
+        if self.seen.insert(record.key()) {
+            self.records.push(record);
+            1
+        } else {
+            0
+        }
     }
 
     /// Harvests a whole model suite (e.g. all 18 Table 1 graphs).
@@ -355,6 +381,31 @@ mod tests {
         // this tiny layer_norm is launch-bound on the GPU, so the CPU wins —
         // exactly the small-kernel effect the paper studies
         assert!(res2.analytic_s < res.analytic_s);
+    }
+
+    #[test]
+    fn fused_graphs_harvest_their_primitive_stages() {
+        let g = ModelId::ResNet50.build(1, Scale::Tiny).unwrap();
+        let (opt, report) = ngb_opt::optimize(&g, ngb_opt::OptLevel::O2);
+        assert!(report.fusions() > 0);
+
+        let mut base = OperatorRegistry::new();
+        base.harvest(&g);
+        let mut fused = OperatorRegistry::new();
+        fused.harvest(&opt);
+
+        // no fused umbrella op leaks into the registry — only primitives
+        assert!(fused.iter().all(|r| !r.op.name().starts_with("fused")));
+        // the activation epilogues folded into conv/linear nodes still
+        // surface as standalone records, so the registry stays comparable
+        // across opt levels
+        let base_stats = base.group_stats();
+        let fused_stats = fused.group_stats();
+        assert!(fused_stats.get("Activation").copied().unwrap_or(0) > 0);
+        assert_eq!(
+            base_stats.get("Normalization").copied().unwrap_or(0) > 0,
+            fused_stats.get("Normalization").copied().unwrap_or(0) > 0
+        );
     }
 
     #[test]

@@ -142,8 +142,9 @@ pub fn relu6_cost(shape: &[usize]) -> OpCost {
 }
 
 /// Abramowitz–Stegun rational approximation of `erf`, accurate to ~1.5e-7 —
-/// ample for f32 activation math.
-fn erf(x: f32) -> f32 {
+/// ample for f32 activation math. Shared with the fused epilogue kernels so
+/// fused GELU stays bit-identical to the standalone kernel.
+pub(crate) fn erf(x: f32) -> f32 {
     let sign = if x < 0.0 { -1.0 } else { 1.0 };
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);

@@ -121,6 +121,25 @@ impl OpCost {
         self
     }
 
+    /// Cost of running `stages` as one fused kernel: the sum of the parts
+    /// minus the traffic of the interior activations that never reach
+    /// memory. `interior_elems` holds the element count of each fused-away
+    /// boundary; every one saves a 4-byte write (producer side) and a
+    /// 4-byte read (consumer side). FLOPs are unchanged — fusion saves
+    /// traffic and launches, not arithmetic — and the result is a single
+    /// kernel.
+    pub fn fused(stages: &[OpCost], interior_elems: &[usize]) -> OpCost {
+        let total: OpCost = stages.iter().copied().sum();
+        let saved: f64 = interior_elems.iter().map(|&n| n as f64 * 4.0).sum();
+        OpCost {
+            flops: total.flops,
+            bytes_read: (total.bytes_read - saved).max(0.0),
+            bytes_written: (total.bytes_written - saved).max(0.0),
+            kernels: 1,
+            dynamic: total.dynamic,
+        }
+    }
+
     /// Sums two costs — used when an operator decomposes into sub-kernels.
     pub fn and_then(self, other: OpCost) -> OpCost {
         OpCost {
@@ -182,6 +201,35 @@ mod tests {
         let c = OpCost::copy(1).dynamic().with_kernels(5);
         assert!(c.dynamic);
         assert_eq!(c.kernels, 5);
+    }
+
+    #[test]
+    fn fused_subtracts_interior_traffic() {
+        // linear-ish producer feeding an element-wise epilogue of 10 elems
+        let gemm = OpCost {
+            flops: 1000.0,
+            bytes_read: 400.0,
+            bytes_written: 40.0,
+            kernels: 1,
+            dynamic: false,
+        };
+        let act = OpCost::elementwise(10, 1.0);
+        let f = OpCost::fused(&[gemm, act], &[10]);
+        assert_eq!(f.flops, 1010.0);
+        assert_eq!(f.bytes_read, 400.0); // epilogue's read came from registers
+        assert_eq!(f.bytes_written, 40.0); // producer's write never hit memory
+        assert_eq!(f.kernels, 1);
+        // still covers the true operands + output (no underflow)
+        assert!(f.memory_bytes() >= 400.0 + 40.0);
+    }
+
+    #[test]
+    fn fused_clamps_and_propagates_dynamic() {
+        let tiny = OpCost::copy(1).dynamic();
+        let f = OpCost::fused(&[tiny], &[1000]);
+        assert_eq!(f.bytes_read, 0.0);
+        assert_eq!(f.bytes_written, 0.0);
+        assert!(f.dynamic);
     }
 
     #[test]

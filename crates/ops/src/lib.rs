@@ -47,6 +47,7 @@ pub mod activation;
 pub mod arithmetic;
 mod cost;
 pub mod embedding;
+pub mod fused;
 pub mod gemm;
 pub mod interpolate;
 pub mod logit;

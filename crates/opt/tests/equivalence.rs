@@ -1,0 +1,124 @@
+//! Registry-wide equivalence sweep: every model in the registry must
+//! validate after optimization, produce the same outputs as the
+//! unoptimized graph (bit-identical unless Conv+BN folding reordered
+//! arithmetic, then within the documented tolerance), and carry zero
+//! fusion lints at `-O2`.
+
+use ngb_analyze::{Analyzer, Lint};
+use ngb_exec::{Engine, Interpreter};
+use ngb_models::{ModelId, Scale};
+use ngb_opt::{optimize, OptLevel};
+use ngb_tensor::{bit_equal, Tolerance};
+
+const FUSION_LINTS: [Lint; 3] = [
+    Lint::FuseLinearActivation,
+    Lint::FuseAttention,
+    Lint::FuseConvBnRelu,
+];
+
+/// Outputs of the optimized graph match the unoptimized reference, on
+/// the sequential engine and an 8-thread parallel engine.
+#[test]
+fn optimized_models_match_reference_outputs() {
+    for &m in ModelId::all() {
+        let alias = m.spec().alias;
+        let g = m.build(1, Scale::Tiny).unwrap();
+        let (og, report) = optimize(&g, OptLevel::O2);
+        og.validate()
+            .unwrap_or_else(|e| panic!("{alias}: optimized graph invalid: {e}"));
+        assert!(
+            report.nodes_after <= report.nodes_before,
+            "{alias}: optimization grew the graph"
+        );
+        if report.rewrites() > 0 {
+            assert!(
+                report.nodes_after < report.nodes_before,
+                "{alias}: rewrites applied but node count did not drop"
+            );
+        }
+
+        let base = Interpreter::default().run(&g).unwrap();
+        for engine in [Engine::Sequential, Engine::Parallel(8)] {
+            let opt = Interpreter::default().engine(engine).run(&og).unwrap();
+            assert_eq!(
+                base.outputs.len(),
+                opt.outputs.len(),
+                "{alias}: output count changed under {engine:?}"
+            );
+            for (i, ((_, a), (_, b))) in base.outputs.iter().zip(&opt.outputs).enumerate() {
+                if report.conv_bn_act == 0 {
+                    // No arithmetic was reordered: bit-identical.
+                    assert!(
+                        bit_equal(a, b).unwrap(),
+                        "{alias}: output {i} not bit-identical under {engine:?}"
+                    );
+                } else {
+                    Tolerance::bn_folding().check(a, b).unwrap_or_else(|e| {
+                        panic!("{alias}: output {i} out of tolerance under {engine:?}: {e}")
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// `-O2` executes every fusion the analyzer can flag: the optimized
+/// graph re-analyzes with zero fusion findings and no new deny-level
+/// findings.
+#[test]
+fn optimized_models_clear_fusion_lints() {
+    let analyzer = Analyzer::new();
+    for &m in ModelId::all() {
+        let alias = m.spec().alias;
+        let g = m.build(1, Scale::Tiny).unwrap();
+        let unopt = analyzer.analyze(&g);
+        let candidates: usize = FUSION_LINTS.iter().map(|&l| unopt.findings(l).len()).sum();
+
+        let (og, report) = optimize(&g, OptLevel::O2);
+        let opt = analyzer.analyze(&og);
+        for lint in FUSION_LINTS {
+            let left = opt.findings(lint);
+            assert!(
+                left.is_empty(),
+                "{alias}: {} finding(s) of {} survive -O2: {:?}",
+                left.len(),
+                lint.name(),
+                left.first().map(|d| d.to_string())
+            );
+        }
+        assert_eq!(
+            opt.deny_count(),
+            0,
+            "{alias}: optimization introduced deny findings:\n{}",
+            opt.to_text(false)
+        );
+        if candidates > 0 {
+            assert!(
+                report.fusions() > 0,
+                "{alias}: {candidates} fusion candidate(s) flagged but none executed"
+            );
+            assert!(
+                report.intermediate_bytes_saved > 0,
+                "{alias}: fusions applied but no intermediate traffic saved"
+            );
+        }
+    }
+}
+
+/// At least a meaningful share of the registry actually has fusion
+/// work — the sweep is not vacuous.
+#[test]
+fn registry_has_fusion_candidates() {
+    let fused_models = ModelId::all()
+        .iter()
+        .filter(|m| {
+            let g = m.build(1, Scale::Tiny).unwrap();
+            optimize(&g, OptLevel::O2).1.fusions() > 0
+        })
+        .count();
+    assert!(
+        fused_models >= 6,
+        "only {fused_models} of {} models had any fusion",
+        ModelId::all().len()
+    );
+}

@@ -36,12 +36,33 @@ pub struct NodeProfile {
     pub tid: usize,
     /// Output tensor shape.
     pub out_shape: Vec<usize>,
+    /// For [`OpKind::Fused`](ngb_graph::OpKind::Fused) nodes: `(class,
+    /// fraction)` pairs splitting this node's time back across the
+    /// taxonomy classes of its constituent stages, pro-rated by the
+    /// analytic cost model. Empty for primitive nodes (the node's own
+    /// `class` owns all of its time).
+    pub attribution: Vec<(OpClass, f64)>,
 }
 
 impl NodeProfile {
     /// Total wall time attributed to this node.
     pub fn total_s(&self) -> f64 {
         self.latency_s + self.transfer_s
+    }
+}
+
+/// Cost-model attribution of a fused node's time back to its stages'
+/// classes; empty for primitive nodes.
+fn node_attribution(graph: &Graph, node: &ngb_graph::Node) -> Vec<(OpClass, f64)> {
+    if let ngb_graph::OpKind::Fused(f) = &node.op {
+        let inputs: Vec<Vec<usize>> = node
+            .inputs
+            .iter()
+            .map(|&i| graph.nodes[i.0].out_shape.clone())
+            .collect();
+        ngb_graph::fused_attribution(f, &inputs)
+    } else {
+        Vec::new()
     }
 }
 
@@ -138,15 +159,25 @@ impl ModelProfile {
 
     /// Aggregates node latencies into the paper's breakdown. Transfer time
     /// is charged to the node that caused it (so ORT's fallen-back memory
-    /// ops carry their PCIe cost, as in §4.2).
+    /// ops carry their PCIe cost, as in §4.2). Fused nodes split their
+    /// time across their constituent classes by the recorded
+    /// [`NodeProfile::attribution`] fractions, so a fused `linear → gelu`
+    /// still contributes to both the GEMM bucket and the Activation group.
     pub fn breakdown(&self) -> Breakdown {
         let mut b = Breakdown::default();
+        let charge = |class: OpClass, t: f64, b: &mut Breakdown| match class {
+            OpClass::Gemm => b.gemm_s += t,
+            OpClass::NonGemm(g) => *b.groups.entry(g).or_insert(0.0) += t,
+        };
         for n in &self.nodes {
             let t = n.total_s();
             b.total_s += t;
-            match n.class {
-                OpClass::Gemm => b.gemm_s += t,
-                OpClass::NonGemm(g) => *b.groups.entry(g).or_insert(0.0) += t,
+            if n.attribution.is_empty() {
+                charge(n.class, t, &mut b);
+            } else {
+                for &(class, frac) in &n.attribution {
+                    charge(class, t * frac, &mut b);
+                }
             }
         }
         b
@@ -227,6 +258,7 @@ pub fn profile_analytic_with_options(
                 Placement::Gpu => 1,
             },
             out_shape: node.out_shape.clone(),
+            attribution: node_attribution(graph, node),
         });
     }
     ModelProfile {
@@ -301,6 +333,7 @@ pub fn profile_measured_with_engine(
             start_s: starts[n.id.0],
             tid: workers[n.id.0],
             out_shape: shapes[n.id.0].clone(),
+            attribution: node_attribution(graph, n),
         })
         .collect();
     let batch = graph
@@ -492,6 +525,49 @@ mod tests {
             assert!((n.start_s - cursor).abs() < 1e-12, "node {}", n.name);
             cursor += n.latency_s + n.transfer_s;
         }
+    }
+
+    #[test]
+    fn fused_nodes_attribute_time_across_classes() {
+        use ngb_graph::{FusedKind, FusedOp, FusedStage};
+        let mut b = GraphBuilder::new("fused");
+        let x = b.input(&[8, 64]);
+        b.push(
+            OpKind::Fused(FusedOp {
+                kind: FusedKind::GemmEpilogue,
+                stages: vec![
+                    FusedStage {
+                        op: OpKind::Linear {
+                            in_f: 64,
+                            out_f: 64,
+                            bias: true,
+                        },
+                        seed_id: 1,
+                        extra_inputs: 1,
+                    },
+                    FusedStage {
+                        op: OpKind::Gelu,
+                        seed_id: 2,
+                        extra_inputs: 0,
+                    },
+                ],
+            }),
+            &[x],
+            "fc_act",
+        )
+        .unwrap();
+        let g = b.finish();
+        let p = profile_analytic(&g, &Platform::data_center(), Flow::Eager, true, 1);
+        let fused = &p.nodes[1];
+        assert!(!fused.attribution.is_empty());
+        let sum: f64 = fused.attribution.iter().map(|(_, f)| f).sum();
+        assert!((sum - 1.0).abs() < 1e-9, "fractions sum to {sum}");
+        // the fused node is GEMM-classified, yet the breakdown still
+        // charges its gelu stage to the Activation group
+        let bd = p.breakdown();
+        assert!(bd.gemm_s > 0.0);
+        assert!(bd.group_frac(NonGemmGroup::Activation) > 0.0);
+        assert!((bd.gemm_frac() + bd.non_gemm_frac() - 1.0).abs() < 1e-9);
     }
 
     #[test]

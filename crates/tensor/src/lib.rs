@@ -31,6 +31,7 @@
 //! # }
 //! ```
 
+mod compare;
 mod error;
 mod index;
 mod shape;
@@ -40,6 +41,7 @@ mod view;
 
 pub mod random;
 
+pub use compare::{bit_equal, max_abs_err, max_rel_err, Tolerance};
 pub use error::TensorError;
 pub use index::IndexIter;
 pub use shape::{broadcast_shapes, contiguous_strides, num_elements};

@@ -393,6 +393,56 @@ impl Tensor {
         Tensor::from_vec(data.into_iter().map(f).collect(), &self.shape)
     }
 
+    /// Applies `f` element-wise, mutating the storage in place when this
+    /// tensor is the unique owner of a dense buffer — the zero-allocation
+    /// path fused kernels take for their epilogue loops. Falls back to
+    /// [`Tensor::map`] semantics (one new buffer) when the storage is
+    /// shared or viewed through a nontrivial layout.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the tensor is not f32.
+    pub fn map_into(self, f: impl Fn(f32) -> f32) -> Result<Tensor> {
+        if self.offset != 0 || !self.is_contiguous() {
+            return self.map(f);
+        }
+        let Tensor {
+            storage,
+            shape,
+            strides,
+            offset,
+        } = self;
+        match storage {
+            Storage::F32(arc) if arc.len() == num_elements(&shape) => match Arc::try_unwrap(arc) {
+                Ok(mut data) => {
+                    for v in &mut data {
+                        *v = f(*v);
+                    }
+                    Ok(Tensor {
+                        storage: Storage::F32(Arc::new(data)),
+                        shape,
+                        strides,
+                        offset,
+                    })
+                }
+                Err(arc) => Tensor {
+                    storage: Storage::F32(arc),
+                    shape,
+                    strides,
+                    offset,
+                }
+                .map(f),
+            },
+            other => Tensor {
+                storage: other,
+                shape,
+                strides,
+                offset,
+            }
+            .map(f),
+        }
+    }
+
     /// Applies `f` pairwise with NumPy-style broadcasting, returning a new
     /// contiguous f32 tensor of the broadcast shape.
     ///

@@ -16,4 +16,7 @@ cargo test -q
 echo "==> NGB_THREADS=4 cargo test -q (parallel execution engine)"
 NGB_THREADS=4 cargo test -q
 
+echo "==> NGB_OPT=2 NGB_THREADS=4 cargo test -q (graph rewriter + parallel engine)"
+NGB_OPT=2 NGB_THREADS=4 cargo test -q
+
 echo "==> ok"
