@@ -85,6 +85,16 @@ impl AnalysisReport {
         self.deny_count() == 0
     }
 
+    /// `(deny, warn, allow)` finding counts in one call — the stable
+    /// lint-census extractor the `ngb-regress` baseline snapshots use.
+    pub fn severity_counts(&self) -> (usize, usize, usize) {
+        (
+            self.deny_count(),
+            self.warn_count(),
+            self.count(Severity::Allow),
+        )
+    }
+
     /// All findings raised by `lint`.
     pub fn findings(&self, lint: Lint) -> Vec<&Diagnostic> {
         self.diagnostics.iter().filter(|d| d.lint == lint).collect()

@@ -1,44 +1,29 @@
 //! `nongemm-cli` — command-line front end of the benchmark harness.
 //!
-//! ```text
-//! nongemm-cli [run] [OPTIONS]
-//!   --model <alias>       model alias (repeatable; default: all 18)
-//!   --platform <p>        mobile | workstation | datacenter  (default: datacenter)
-//!   --flow <f>            eager | torchscript | dynamo | ort (default: eager)
-//!   --batch <n>           batch size (default: 1)
-//!   --cpu-only            drop the GPU from the platform
-//!   --tiny                use the executable tiny presets
-//!   --measured            execute on the host instead of the analytic models
-//!   --microbench          run the microbench flow instead of end-to-end
-//!   --threads <n>         worker threads for --measured (default: $NGB_THREADS or 1)
-//!   --opt-level <0|1|2>   graph-rewrite level (default: $NGB_OPT or 0)
-//!   --format <fmt>        text | csv | json (default: text)
-//!   --trace <path>        also write a Chrome trace JSON per model
+//! Three subcommands (run `nongemm-cli --help` for the full flag list):
 //!
-//! nongemm-cli verify [OPTIONS]
-//!   --model <alias>       model alias (repeatable; default: all 18)
-//!   --batch <n>           batch size (default: 1)
-//!   --tiny                use the executable tiny presets
-//!   --threads <n>         analyze models concurrently (default: $NGB_THREADS or 1)
-//!   --opt-level <0|1|2>   analyze the rewritten graphs (default: $NGB_OPT or 0)
-//!   --format <fmt>        text | json (default: text)
-//!   --all                 include allow-level findings in text output
-//! ```
+//! * `run` (default) — profile the selected models end-to-end, measured,
+//!   or through the microbench flow;
+//! * `verify` — run the `ngb-analyze` static analyzer; exits 0 when
+//!   every report is clean, 1 when any deny-level diagnostic fires;
+//! * `ci` — the perf-regression gate: `--check` diffs the current tree
+//!   against the committed golden baselines under `baselines/` and exits
+//!   non-zero on any divergence, `--update` regenerates them (plus the
+//!   repo-root `BENCH_BASELINE.json` seed) and summarizes what moved.
 //!
-//! `--opt-level` (or the `NGB_OPT` environment variable) runs the
-//! `ngb-opt` graph rewriter over every built graph before profiling or
-//! verification: `1` applies the bit-identical fusions, `2` adds
-//! Conv+BN folding (tolerance-equivalent; see DESIGN.md §12).
-//!
-//! `verify` runs the `ngb-analyze` static analyzer over the selected
-//! model graphs and exits 0 when every report is clean, 1 when any
-//! deny-level diagnostic fires, and 2 on usage errors.
+//! Shared conventions: `--opt-level` / `NGB_OPT` select the `ngb-opt`
+//! graph-rewrite level, `--threads` / `NGB_THREADS` the execution
+//! parallelism; usage errors exit 2 with a one-line usage string on
+//! stderr; `--help` prints the full help on stdout and exits 0. The
+//! regression gate additionally honors `NGB_NO_WALLCLOCK` (skip the
+//! measured smoke channel) and `NGB_WALLCLOCK_FACTOR` (noise headroom).
 
 use std::process::ExitCode;
 
 use nongemm::profiler::report::{csv_header, PerformanceReport};
 use nongemm::profiler::trace::to_chrome_trace;
-use nongemm::{BenchConfig, Flow, NonGemmBench, OptLevel, Platform, Scale};
+use nongemm::regress;
+use nongemm::{BenchConfig, Flow, ModelId, NonGemmBench, OptLevel, Platform, Scale};
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Format {
@@ -74,14 +59,74 @@ struct VerifyArgs {
     all: bool,
 }
 
+#[derive(Debug)]
+struct CiArgs {
+    models: Vec<String>,
+    dir: String,
+    update: bool,
+    bench: String,
+    report: Option<String>,
+    wallclock_iters: usize,
+    no_wallclock: bool,
+    format: Format,
+}
+
+const HELP: &str = "\
+nongemm-cli — NonGEMM Bench profiling harness
+
+USAGE:
+  nongemm-cli [run] [OPTIONS]     profile models (default subcommand)
+  nongemm-cli verify [OPTIONS]    static graph analysis + lints
+  nongemm-cli ci [OPTIONS]        perf-regression gate over golden baselines
+  nongemm-cli help | --help | -h  print this help
+
+RUN OPTIONS:
+  --model <alias>       model alias (repeatable; default: all 18)
+  --platform <p>        mobile | workstation | datacenter (default: datacenter)
+  --flow <f>            eager | torchscript | dynamo | ort (default: eager)
+  --batch <n>           batch size (default: 1)
+  --cpu-only            drop the GPU from the platform
+  --tiny                use the executable tiny presets
+  --measured            execute on the host instead of the analytic models
+  --microbench          run the microbench flow instead of end-to-end
+  --threads <n>         worker threads for --measured (default: $NGB_THREADS or 1)
+  --opt-level <0|1|2>   graph-rewrite level (default: $NGB_OPT or 0)
+  --format <fmt>        text | csv | json (default: text)
+  --trace <path>        also write a Chrome trace JSON per model
+
+VERIFY OPTIONS:
+  --model <alias>       model alias (repeatable; default: all 18)
+  --batch <n>           batch size (default: 1)
+  --tiny                use the executable tiny presets
+  --threads <n>         analyze models concurrently (default: $NGB_THREADS or 1)
+  --opt-level <0|1|2>   analyze the rewritten graphs (default: $NGB_OPT or 0)
+  --format <fmt>        text | json (default: text)
+  --all                 include allow-level findings in text output
+
+CI OPTIONS:
+  --check               diff current state against baselines (default)
+  --update              regenerate baselines + BENCH_BASELINE.json
+  --model <alias>       gate only these models (repeatable; default: all 18)
+  --dir <path>          baseline directory (default: baselines)
+  --bench <path>        bench seed path (default: BENCH_BASELINE.json)
+  --report <path>       also write the JSON diff report here
+  --wallclock-iters <n> wall-clock samples per model (default: 5)
+  --no-wallclock        skip the measured smoke channel (or NGB_NO_WALLCLOCK=1)
+  --format <fmt>        text | json (default: text)
+
+EXIT CODES:
+  0  success / clean    1  failure or regression    2  usage error
+";
+
+fn print_help() -> ExitCode {
+    print!("{HELP}");
+    ExitCode::SUCCESS
+}
+
 fn usage() -> ! {
     eprintln!(
-        "usage: nongemm-cli [run] [--model <alias>]... [--platform mobile|workstation|datacenter]\n\
-         \x20      [--flow eager|torchscript|dynamo|ort] [--batch N] [--cpu-only] [--tiny]\n\
-         \x20      [--measured] [--microbench] [--threads N] [--opt-level 0|1|2]\n\
-         \x20      [--format text|csv|json] [--trace <path>]\n\
-         \x20  nongemm-cli verify [--model <alias>]... [--batch N] [--tiny] [--threads N]\n\
-         \x20      [--opt-level 0|1|2] [--format text|json] [--all]"
+        "usage: nongemm-cli [run|verify|ci] [OPTIONS]\n\
+         \x20      (see `nongemm-cli --help` for the full option list)"
     );
     std::process::exit(2);
 }
@@ -94,11 +139,11 @@ fn take_value(it: &mut std::slice::Iter<'_, String>, name: &str) -> String {
     })
 }
 
-fn parse_threads(v: &str) -> usize {
+fn parse_positive(v: &str, name: &str) -> usize {
     match v.parse() {
         Ok(n) if n >= 1 => n,
         _ => {
-            eprintln!("--threads requires a positive integer");
+            eprintln!("{name} requires a positive integer");
             usage()
         }
     }
@@ -156,17 +201,14 @@ fn parse_run_args(argv: &[String]) -> Args {
                     }
                 }
             }
-            "--batch" => {
-                args.batch = take_value(&mut it, "--batch").parse().unwrap_or_else(|_| {
-                    eprintln!("--batch requires a positive integer");
-                    usage()
-                })
-            }
+            "--batch" => args.batch = parse_positive(&take_value(&mut it, "--batch"), "--batch"),
             "--cpu-only" => args.cpu_only = true,
             "--tiny" => args.tiny = true,
             "--measured" => args.measured = true,
             "--microbench" => args.microbench = true,
-            "--threads" => args.threads = parse_threads(&take_value(&mut it, "--threads")),
+            "--threads" => {
+                args.threads = parse_positive(&take_value(&mut it, "--threads"), "--threads")
+            }
             "--opt-level" => {
                 args.opt_level = Some(parse_opt_level(&take_value(&mut it, "--opt-level")))
             }
@@ -185,7 +227,10 @@ fn parse_run_args(argv: &[String]) -> Args {
                 let v = take_value(&mut it, "--trace");
                 args.trace = Some(v);
             }
-            "--help" | "-h" => usage(),
+            "--help" | "-h" => {
+                print!("{HELP}");
+                std::process::exit(0);
+            }
             other => {
                 eprintln!("unknown argument '{other}'");
                 usage()
@@ -212,15 +257,12 @@ fn parse_verify_args(argv: &[String]) -> VerifyArgs {
                 let v = take_value(&mut it, "--model");
                 args.models.push(v);
             }
-            "--batch" => {
-                args.batch = take_value(&mut it, "--batch").parse().unwrap_or_else(|_| {
-                    eprintln!("--batch requires a positive integer");
-                    usage()
-                })
-            }
+            "--batch" => args.batch = parse_positive(&take_value(&mut it, "--batch"), "--batch"),
             "--tiny" => args.tiny = true,
             "--all" => args.all = true,
-            "--threads" => args.threads = parse_threads(&take_value(&mut it, "--threads")),
+            "--threads" => {
+                args.threads = parse_positive(&take_value(&mut it, "--threads"), "--threads")
+            }
             "--opt-level" => {
                 args.opt_level = Some(parse_opt_level(&take_value(&mut it, "--opt-level")))
             }
@@ -234,7 +276,10 @@ fn parse_verify_args(argv: &[String]) -> VerifyArgs {
                     }
                 }
             }
-            "--help" | "-h" => usage(),
+            "--help" | "-h" => {
+                print!("{HELP}");
+                std::process::exit(0);
+            }
             other => {
                 eprintln!("unknown argument '{other}'");
                 usage()
@@ -244,11 +289,74 @@ fn parse_verify_args(argv: &[String]) -> VerifyArgs {
     args
 }
 
+fn parse_ci_args(argv: &[String]) -> CiArgs {
+    let mut args = CiArgs {
+        models: Vec::new(),
+        dir: "baselines".to_string(),
+        update: false,
+        bench: "BENCH_BASELINE.json".to_string(),
+        report: None,
+        wallclock_iters: regress::DEFAULT_WALLCLOCK_ITERS,
+        no_wallclock: false,
+        format: Format::Text,
+    };
+    let mut explicit_check = false;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--model" => {
+                let v = take_value(&mut it, "--model");
+                args.models.push(v);
+            }
+            "--dir" => args.dir = take_value(&mut it, "--dir"),
+            "--check" => explicit_check = true,
+            "--update" => args.update = true,
+            "--bench" => args.bench = take_value(&mut it, "--bench"),
+            "--report" => {
+                let v = take_value(&mut it, "--report");
+                args.report = Some(v);
+            }
+            "--wallclock-iters" => {
+                args.wallclock_iters = parse_positive(
+                    &take_value(&mut it, "--wallclock-iters"),
+                    "--wallclock-iters",
+                )
+            }
+            "--no-wallclock" => args.no_wallclock = true,
+            "--format" => {
+                args.format = match take_value(&mut it, "--format").as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => {
+                        eprintln!("ci supports --format text|json, not '{other}'");
+                        usage()
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                print!("{HELP}");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                usage()
+            }
+        }
+    }
+    if args.update && explicit_check {
+        eprintln!("--check and --update are mutually exclusive");
+        usage()
+    }
+    args
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match argv.first().map(String::as_str) {
         Some("verify") => run_verify(&argv[1..]),
         Some("run") => run_bench(&argv[1..]),
+        Some("ci") => run_ci(&argv[1..]),
+        Some("help") => print_help(),
         Some(cmd) if !cmd.starts_with('-') => {
             eprintln!("unknown subcommand '{cmd}'");
             usage()
@@ -294,6 +402,96 @@ fn run_verify(argv: &[String]) -> ExitCode {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+/// Resolves `--model` selections against the registry, exiting like the
+/// other subcommands when nothing matches.
+fn select_models(names: &[String]) -> Vec<ModelId> {
+    let selected: Vec<ModelId> = if names.is_empty() {
+        ModelId::all().to_vec()
+    } else {
+        ModelId::all()
+            .iter()
+            .copied()
+            .filter(|m| names.iter().any(|n| n == m.spec().alias))
+            .collect()
+    };
+    if selected.is_empty() {
+        eprintln!("no models matched the selection");
+        std::process::exit(1);
+    }
+    selected
+}
+
+fn run_ci(argv: &[String]) -> ExitCode {
+    let args = parse_ci_args(argv);
+    let wallclock_enabled = !args.no_wallclock && !regress::wallclock_disabled_by_env();
+    let cfg = regress::GateConfig {
+        dir: std::path::PathBuf::from(&args.dir),
+        models: select_models(&args.models),
+        wallclock_iters: wallclock_enabled.then_some(args.wallclock_iters),
+        tolerance: regress::Tolerance::from_env(),
+    };
+
+    if args.update {
+        let outcome = match regress::update(&cfg) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("ci --update failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match args.format {
+            Format::Text => print!("{}", outcome.to_text()),
+            _ => println!(
+                "{}",
+                serde_json::to_string_pretty(&outcome).expect("outcomes serialize")
+            ),
+        }
+        let bench_path = std::path::Path::new(&args.bench);
+        match regress::refresh_bench_seed(&cfg, bench_path) {
+            Ok(n) => eprintln!("refreshed {} entry(ies) in {}", n, bench_path.display()),
+            Err(e) => {
+                eprintln!("refreshing {} failed: {e}", bench_path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let outcome = match regress::check(&cfg) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("ci --check failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match args.format {
+        Format::Text => print!("{}", outcome.to_text()),
+        _ => println!("{}", outcome.to_json()),
+    }
+    if let Some(path) = &args.report {
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            if !parent.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(parent) {
+                    eprintln!("failed to create {}: {e}", parent.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        let mut json = outcome.to_json();
+        json.push('\n');
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    if outcome.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 

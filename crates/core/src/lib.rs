@@ -24,6 +24,7 @@
 //! | [`platform`] | `ngb-platform` | Table 3 device roofline models |
 //! | [`runtime`] | `ngb-runtime` | deployment flows (eager/TS/Dynamo/ORT) |
 //! | [`profiler`] | `ngb-profiler` | end-to-end profiling + reports |
+//! | [`regress`] | `ngb-regress` | perf-regression gate + golden baselines |
 //! | [`microbench`] | `ngb-microbench` | harvested non-GEMM op registry |
 //! | [`data`] | `ngb-data` | synthetic ImageNet/COCO/wikitext |
 //!
@@ -55,6 +56,7 @@ pub use ngb_ops as ops;
 pub use ngb_opt as opt;
 pub use ngb_platform as platform;
 pub use ngb_profiler as profiler;
+pub use ngb_regress as regress;
 pub use ngb_runtime as runtime;
 pub use ngb_tensor as tensor;
 
@@ -67,6 +69,7 @@ pub use ngb_opt::{optimize, OptLevel, OptReport};
 pub use ngb_platform::{DeviceModel, HardwareClass, Platform};
 pub use ngb_profiler::report::{NonGemmReport, PerformanceReport, WorkloadReport};
 pub use ngb_profiler::{Breakdown, ModelProfile};
+pub use ngb_regress::{CheckOutcome, GateConfig, ModelBaseline, Tolerance, UpdateOutcome};
 pub use ngb_runtime::Flow;
 
 mod compare;

@@ -48,7 +48,7 @@ pub use bufplan::{Arena, ArenaStats, BufferPlan};
 pub use interp::{preflight_check, Engine, ExecutionTrace, Interpreter, NodeTiming};
 pub use parallel::ParallelExecutor;
 pub use pool::ThreadPool;
-pub use schedule::Schedule;
+pub use schedule::{Schedule, ScheduleStats};
 
 /// Reads the worker-thread count from `NGB_THREADS`, falling back to
 /// `fallback` when the variable is unset, unparsable, or zero.

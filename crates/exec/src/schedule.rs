@@ -121,6 +121,30 @@ impl Schedule {
             self.scheduled as f64 / self.wavefronts.len() as f64
         }
     }
+
+    /// All wavefront statistics in one value — the stable extractor the
+    /// `ngb-regress` baseline snapshots record.
+    pub fn stats(&self) -> ScheduleStats {
+        ScheduleStats {
+            depth: self.depth(),
+            max_width: self.max_width(),
+            mean_width: self.mean_width(),
+            complete: self.is_complete(),
+        }
+    }
+}
+
+/// Summary of a [`Schedule`]'s wavefront decomposition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduleStats {
+    /// Number of wavefronts (longest dependency chain).
+    pub depth: usize,
+    /// Widest wavefront.
+    pub max_width: usize,
+    /// Mean wavefront width.
+    pub mean_width: f64,
+    /// Whether every node was scheduled (no cycles).
+    pub complete: bool,
 }
 
 /// Scheduling weight of one node: FLOPs plus logical memory traffic, with
@@ -165,6 +189,16 @@ mod tests {
         assert_eq!(s.wavefronts[1], vec![NodeId(1), NodeId(2)]);
         assert_eq!(s.wavefronts[2], vec![NodeId(3)]);
         assert!((s.mean_width() - 4.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_mirror_the_accessors() {
+        let s = Schedule::new(&diamond());
+        let st = s.stats();
+        assert_eq!(st.depth, s.depth());
+        assert_eq!(st.max_width, s.max_width());
+        assert!((st.mean_width - s.mean_width()).abs() < 1e-12);
+        assert!(st.complete);
     }
 
     #[test]

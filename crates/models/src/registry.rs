@@ -55,6 +55,33 @@ pub enum Scale {
     Tiny,
 }
 
+impl Scale {
+    /// Stable lowercase name (`"full"` / `"tiny"`), used as a baseline
+    /// key by `ngb-regress` — changing these strings invalidates every
+    /// committed baseline file.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Full => "full",
+            Scale::Tiny => "tiny",
+        }
+    }
+
+    /// Inverse of [`Scale::name`].
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "full" => Some(Scale::Full),
+            "tiny" => Some(Scale::Tiny),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Scale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// The 18 models of Table 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[allow(missing_docs)]

@@ -136,6 +136,20 @@ impl OptReport {
     pub fn rewrites(&self) -> usize {
         self.fusions() + self.layout
     }
+
+    /// Per-rewrite counters as stable `(label, count)` pairs — the
+    /// extractor the `ngb-regress` baseline snapshots record. The labels
+    /// are part of the baseline schema; renaming one invalidates every
+    /// committed baseline file.
+    pub fn counters(&self) -> [(&'static str, usize); 5] {
+        [
+            ("conv_bn_act", self.conv_bn_act),
+            ("gemm_epilogue", self.gemm_epilogue),
+            ("elementwise_chain", self.elementwise_chain),
+            ("attention", self.attention),
+            ("layout", self.layout),
+        ]
+    }
 }
 
 /// Rewrites `graph` at `level`, returning the optimized graph and a

@@ -110,6 +110,13 @@ impl Breakdown {
         }
     }
 
+    /// Per-group seconds as stable `(label, seconds)` pairs in group
+    /// order — the extractor the `ngb-regress` baseline snapshots record.
+    /// Only groups that were actually charged appear.
+    pub fn group_pairs(&self) -> Vec<(&'static str, f64)> {
+        self.groups.iter().map(|(&g, &s)| (g.label(), s)).collect()
+    }
+
     /// The most expensive non-GEMM group, with its share of total time
     /// (the paper's Table 4 metric).
     pub fn dominant_group(&self) -> Option<(NonGemmGroup, f64)> {

@@ -1,0 +1,71 @@
+//! # ngb-regress
+//!
+//! The perf-regression gate behind `nongemm-cli ci`: committed golden
+//! baselines that pin down every number the reproduction exists to
+//! produce, so a rewrite pass or scheduler change can never silently
+//! skew a figure again.
+//!
+//! For each of the 18 Table 1 models the gate snapshots the full
+//! **scale × opt-level matrix** (tiny + full, O0/O1/O2) of
+//! *deterministic* invariants:
+//!
+//! * **graph** — node counts, GEMM/non-GEMM taxonomy census, dynamic-op
+//!   count, parameter count, peak activation bytes;
+//! * **cost** — analytic GEMM / non-GEMM / per-group latency totals and
+//!   the non-GEMM share on the reference platform (data-center, eager,
+//!   GPU, batch 1) — pure f64 arithmetic, bit-stable across runs;
+//! * **schedule** — Kahn wavefront depth and widths;
+//! * **lints** — deny/warn/allow counts from the `ngb-analyze` passes;
+//! * **opt** — the rewriter's node-reduction delta and per-rewrite
+//!   counters.
+//!
+//! On top of that rides one *measured* channel: a median-of-k wall-clock
+//! smoke sample of the tiny preset, compared against a generous relative
+//! threshold ([`Tolerance::wallclock_factor`], `NGB_WALLCLOCK_FACTOR`)
+//! and skippable outright with `NGB_NO_WALLCLOCK=1` — single-core CI
+//! containers are too noisy for anything stricter, as the edge-latency
+//! prediction literature repeatedly observes.
+//!
+//! Baselines live as one versioned JSON file per model under
+//! `baselines/` ([`SCHEMA_VERSION`]); a version mismatch is a clear
+//! "regenerate with `nongemm-cli ci --update`" failure, never a parse
+//! panic. [`check`] produces a [`CheckOutcome`] whose text and JSON
+//! renderings name the exact model and metric that moved; [`update`]
+//! rewrites the files and summarizes what changed, turning every
+//! perf/optimizer PR into a reviewable baseline diff.
+//!
+//! # Examples
+//!
+//! ```
+//! use ngb_regress::{snapshot, SCHEMA_VERSION};
+//! use ngb_models::{ModelId, Scale};
+//! use ngb_opt::OptLevel;
+//!
+//! let a = snapshot(ModelId::Gpt2, Scale::Tiny, OptLevel::O1).unwrap();
+//! let b = snapshot(ModelId::Gpt2, Scale::Tiny, OptLevel::O1).unwrap();
+//! assert_eq!(a, b); // snapshots are deterministic
+//! assert!(a.cost.total_us > 0.0);
+//! assert_eq!(SCHEMA_VERSION, 1);
+//! ```
+
+mod baseline;
+mod diff;
+mod gate;
+mod report;
+mod snapshot;
+
+pub use baseline::{
+    baseline_path, bench_entry, load_baseline, update_bench_seed, write_baseline, BenchEntry,
+    BenchSeed, RegressError,
+};
+pub use diff::{compare_model, MetricDiff, Tolerance};
+pub use gate::{
+    check, measure_wallclock, refresh_bench_seed, update, wallclock_disabled_by_env, GateConfig,
+    DEFAULT_WALLCLOCK_ITERS,
+};
+pub use report::{CheckOutcome, ModelUpdate, UpdateOutcome};
+pub use snapshot::{
+    model_baseline, snapshot, wallclock_median_us, CostMetrics, GraphMetrics, LintMetrics,
+    ModelBaseline, OptMetrics, ScheduleMetrics, Snapshot, WallClock, OPT_LEVELS, SCALES,
+    SCHEMA_VERSION,
+};

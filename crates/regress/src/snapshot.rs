@@ -1,0 +1,340 @@
+//! Deterministic metric snapshots: everything `ngb-regress` pins down
+//! about one (model × scale × opt-level) configuration.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use ngb_analyze::Analyzer;
+use ngb_exec::{Interpreter, Schedule};
+use ngb_models::{ModelId, Scale};
+use ngb_opt::{optimize, OptLevel, OptReport};
+use ngb_platform::Platform;
+use ngb_profiler::profile_analytic;
+use ngb_runtime::Flow;
+use ngb_tensor::TensorError;
+use serde::{Deserialize, Serialize};
+
+/// Version of the on-disk baseline layout. Bump whenever a metric is
+/// added, removed, or renamed; readers refuse mismatched files with a
+/// "regenerate with `--update`" error instead of mis-diffing them.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// The snapshot matrix: every committed baseline covers both scales at
+/// all three optimization levels.
+pub const SCALES: [Scale; 2] = [Scale::Tiny, Scale::Full];
+
+/// Optimization levels covered by each baseline (see [`SCALES`]).
+pub const OPT_LEVELS: [OptLevel; 3] = [OptLevel::O0, OptLevel::O1, OptLevel::O2];
+
+/// Graph-structure invariants (the taxonomy census of the paper's §2.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphMetrics {
+    /// Total node count, including inputs.
+    pub nodes: usize,
+    /// GEMM-classified nodes.
+    pub gemm: usize,
+    /// Non-GEMM nodes.
+    pub non_gemm: usize,
+    /// Nodes with data-dependent output shapes.
+    pub dynamic: usize,
+    /// Synthetic parameter count.
+    pub params: usize,
+    /// Peak activation memory under sequential execution, bytes.
+    pub peak_activation_bytes: usize,
+    /// Non-GEMM census per taxonomy group (zero-count groups omitted).
+    pub groups: BTreeMap<String, usize>,
+}
+
+/// Analytic cost-model invariants on the reference configuration
+/// (data-center platform, eager flow, GPU on, batch 1). These are pure
+/// f64 arithmetic — bit-stable across runs, hosts, and thread counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostMetrics {
+    /// End-to-end latency, microseconds.
+    pub total_us: f64,
+    /// Latency in GEMM-classified operators, microseconds.
+    pub gemm_us: f64,
+    /// Latency in non-GEMM operators, microseconds.
+    pub non_gemm_us: f64,
+    /// Non-GEMM share of end-to-end latency, in `[0, 1]` (the paper's
+    /// headline metric).
+    pub non_gemm_frac: f64,
+    /// End-to-end energy, millijoules.
+    pub energy_mj: f64,
+    /// Latency per non-GEMM taxonomy group, microseconds.
+    pub groups_us: BTreeMap<String, f64>,
+}
+
+/// Wavefront-schedule invariants (what the parallel executor sees).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleMetrics {
+    /// Number of Kahn wavefronts (DAG depth).
+    pub wavefronts: usize,
+    /// Widest wavefront.
+    pub max_width: usize,
+    /// Mean wavefront width.
+    pub mean_width: f64,
+    /// Whether every node scheduled (always true for preset models).
+    pub complete: bool,
+}
+
+/// Lint census from the `ngb-analyze` passes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LintMetrics {
+    /// Deny-level findings (0 for every committed preset).
+    pub deny: usize,
+    /// Warn-level findings.
+    pub warn: usize,
+    /// Allow-level findings (fusion opportunities etc.).
+    pub allow: usize,
+}
+
+/// What the graph rewriter did at this snapshot's level.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptMetrics {
+    /// Node count before rewriting.
+    pub nodes_before: usize,
+    /// Node count after rewriting.
+    pub nodes_after: usize,
+    /// Intermediate bytes no longer materialized.
+    pub intermediate_bytes_saved: usize,
+    /// Per-rewrite counters keyed by [`OptReport::counters`] labels.
+    pub rewrites: BTreeMap<String, usize>,
+}
+
+impl From<&OptReport> for OptMetrics {
+    fn from(r: &OptReport) -> OptMetrics {
+        OptMetrics {
+            nodes_before: r.nodes_before,
+            nodes_after: r.nodes_after,
+            intermediate_bytes_saved: r.intermediate_bytes_saved,
+            rewrites: r
+                .counters()
+                .iter()
+                .map(|&(k, v)| (k.to_string(), v))
+                .collect(),
+        }
+    }
+}
+
+/// One cell of the snapshot matrix: all deterministic invariants of a
+/// (model × scale × opt-level) configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Model scale ([`Scale::name`]).
+    pub scale: String,
+    /// Graph-rewrite level.
+    pub opt_level: OptLevel,
+    /// Graph-structure census.
+    pub graph: GraphMetrics,
+    /// Analytic cost-model totals.
+    pub cost: CostMetrics,
+    /// Wavefront schedule shape.
+    pub schedule: ScheduleMetrics,
+    /// Lint counts.
+    pub lints: LintMetrics,
+    /// Optimizer deltas.
+    pub opt: OptMetrics,
+}
+
+impl Snapshot {
+    /// `"tiny/O1"`-style key used in diff reports.
+    pub fn key(&self) -> String {
+        format!("{}/{}", self.scale, self.opt_level)
+    }
+}
+
+/// The noise-tolerant wall-clock smoke channel: median-of-k host
+/// execution of the tiny preset. Unlike every other metric this is
+/// *measured*, so it is compared against a generous relative threshold
+/// (see `Tolerance::wallclock_factor`) and can be skipped entirely with
+/// `NGB_NO_WALLCLOCK=1`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WallClock {
+    /// Samples taken (the median is over these).
+    pub iterations: usize,
+    /// Median end-to-end host latency, microseconds.
+    pub median_us: f64,
+}
+
+/// Everything `ngb-regress` pins down about one model: the full
+/// scale × opt-level snapshot matrix plus the optional wall-clock
+/// channel. This is the unit of storage — one JSON file per model under
+/// `baselines/`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelBaseline {
+    /// On-disk layout version ([`SCHEMA_VERSION`]).
+    pub schema: u64,
+    /// Model alias (Table 4 naming, also the file stem).
+    pub model: String,
+    /// The snapshot matrix, in [`SCALES`] × [`OPT_LEVELS`] order.
+    pub snapshots: Vec<Snapshot>,
+    /// Wall-clock smoke sample; `None` when captured under
+    /// `NGB_NO_WALLCLOCK`.
+    pub wallclock: Option<WallClock>,
+}
+
+impl ModelBaseline {
+    /// The snapshot for `(scale, opt_level)`, if present.
+    pub fn snapshot(&self, scale: &str, opt_level: OptLevel) -> Option<&Snapshot> {
+        self.snapshots
+            .iter()
+            .find(|s| s.scale == scale && s.opt_level == opt_level)
+    }
+}
+
+/// Takes the deterministic snapshot of one (model × scale × opt-level)
+/// cell on the reference platform.
+///
+/// # Errors
+///
+/// Propagates graph-construction errors.
+pub fn snapshot(id: ModelId, scale: Scale, level: OptLevel) -> Result<Snapshot, TensorError> {
+    let built = id.build(1, scale)?;
+    let (graph, opt_report) = optimize(&built, level);
+    let analysis = Analyzer::new().analyze(&graph);
+    let (deny, warn, allow) = analysis.severity_counts();
+    let profile = profile_analytic(&graph, &Platform::data_center(), Flow::Eager, true, 1);
+    let breakdown = profile.breakdown();
+    let sched = Schedule::new(&graph).stats();
+
+    let census = &analysis.census;
+    Ok(Snapshot {
+        scale: scale.name().to_string(),
+        opt_level: level,
+        graph: GraphMetrics {
+            nodes: census.nodes,
+            gemm: census.gemm,
+            non_gemm: census.non_gemm(),
+            dynamic: census.dynamic,
+            params: graph.param_count(),
+            peak_activation_bytes: graph.peak_activation_bytes(),
+            groups: census
+                .groups
+                .iter()
+                .filter(|&&(_, n)| n > 0)
+                .map(|&(label, n)| (label.to_string(), n))
+                .collect(),
+        },
+        cost: CostMetrics {
+            total_us: breakdown.total_s * 1e6,
+            gemm_us: breakdown.gemm_s * 1e6,
+            non_gemm_us: breakdown.non_gemm_s() * 1e6,
+            non_gemm_frac: breakdown.non_gemm_frac(),
+            energy_mj: profile.total_energy_j() * 1e3,
+            groups_us: breakdown
+                .group_pairs()
+                .into_iter()
+                .map(|(label, s)| (label.to_string(), s * 1e6))
+                .collect(),
+        },
+        schedule: ScheduleMetrics {
+            wavefronts: sched.depth,
+            max_width: sched.max_width,
+            mean_width: sched.mean_width,
+            complete: sched.complete,
+        },
+        lints: LintMetrics { deny, warn, allow },
+        opt: OptMetrics::from(&opt_report),
+    })
+}
+
+/// Measures the wall-clock smoke channel: median over `iterations` real
+/// host executions of the tiny preset (plus one warm-up run), in
+/// microseconds.
+///
+/// # Errors
+///
+/// Propagates graph-construction or kernel errors.
+pub fn wallclock_median_us(id: ModelId, iterations: usize) -> Result<WallClock, TensorError> {
+    let graph = id.build(1, Scale::Tiny)?;
+    let interp = Interpreter::new(0x5eed);
+    interp.run(&graph)?; // warm-up: first run pays weight synthesis
+    let iterations = iterations.max(1);
+    let mut samples = Vec::with_capacity(iterations);
+    for _ in 0..iterations {
+        let t0 = Instant::now();
+        interp.run(&graph)?;
+        samples.push(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    Ok(WallClock {
+        iterations,
+        median_us: samples[samples.len() / 2],
+    })
+}
+
+/// Builds the full baseline for one model: the [`SCALES`] × [`OPT_LEVELS`]
+/// snapshot matrix plus, when `wallclock_iters` is `Some`, the measured
+/// wall-clock channel.
+///
+/// # Errors
+///
+/// Propagates graph-construction or kernel errors.
+pub fn model_baseline(
+    id: ModelId,
+    wallclock_iters: Option<usize>,
+) -> Result<ModelBaseline, TensorError> {
+    let mut snapshots = Vec::with_capacity(SCALES.len() * OPT_LEVELS.len());
+    for scale in SCALES {
+        for level in OPT_LEVELS {
+            snapshots.push(snapshot(id, scale, level)?);
+        }
+    }
+    let wallclock = match wallclock_iters {
+        Some(k) => Some(wallclock_median_us(id, k)?),
+        None => None,
+    };
+    Ok(ModelBaseline {
+        schema: SCHEMA_VERSION,
+        model: id.spec().alias.to_string(),
+        snapshots,
+        wallclock,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_is_deterministic() {
+        let a = snapshot(ModelId::Gpt2, Scale::Tiny, OptLevel::O1).unwrap();
+        let b = snapshot(ModelId::Gpt2, Scale::Tiny, OptLevel::O1).unwrap();
+        assert_eq!(a, b, "two snapshots of the same cell must be identical");
+        assert!(a.graph.nodes > 0);
+        assert!(a.cost.total_us > 0.0);
+        assert!(a.schedule.complete);
+        assert_eq!(a.lints.deny, 0, "presets are deny-clean");
+        assert_eq!(a.key(), "tiny/O1");
+    }
+
+    #[test]
+    fn opt_levels_shrink_the_graph_in_snapshots() {
+        let o0 = snapshot(ModelId::ResNet50, Scale::Tiny, OptLevel::O0).unwrap();
+        let o2 = snapshot(ModelId::ResNet50, Scale::Tiny, OptLevel::O2).unwrap();
+        assert_eq!(o0.opt.nodes_before, o0.opt.nodes_after);
+        assert!(o2.opt.nodes_after < o2.opt.nodes_before);
+        assert!(o2.graph.nodes < o0.graph.nodes);
+        assert!(o2.opt.rewrites.values().sum::<usize>() > 0);
+    }
+
+    #[test]
+    fn model_baseline_covers_the_matrix() {
+        let b = model_baseline(ModelId::Bert, None).unwrap();
+        assert_eq!(b.schema, SCHEMA_VERSION);
+        assert_eq!(b.model, "bert");
+        assert_eq!(b.snapshots.len(), 6);
+        assert!(b.wallclock.is_none());
+        assert!(b.snapshot("tiny", OptLevel::O2).is_some());
+        assert!(b.snapshot("full", OptLevel::O0).is_some());
+        assert!(b.snapshot("huge", OptLevel::O0).is_none());
+    }
+
+    #[test]
+    fn wallclock_channel_measures_something() {
+        let w = wallclock_median_us(ModelId::Gpt2, 3).unwrap();
+        assert_eq!(w.iterations, 3);
+        assert!(w.median_us.is_finite() && w.median_us > 0.0);
+    }
+}

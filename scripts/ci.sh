@@ -1,22 +1,48 @@
 #!/usr/bin/env bash
-# Repository CI gate: formatting, lints, and the full test suite.
-# Run from anywhere; operates on the workspace root.
+# Repository CI gate, split into named stages with per-stage timing.
+#
+#   scripts/ci.sh                  # run every stage
+#   CI_STAGES=clippy scripts/ci.sh # rerun a single stage
+#   CI_STAGES=test-opt,regress scripts/ci.sh
+#
+# Stages: fmt, clippy, test, test-parallel, test-opt, regress.
+# The regress stage writes target/ci/regress-report.{json,txt} so CI can
+# upload the diff report as an artifact; tune it with NGB_NO_WALLCLOCK=1
+# (skip the measured smoke channel) or NGB_WALLCLOCK_FACTOR=<f> (extra
+# noise headroom on slow runners).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo fmt --check"
-cargo fmt --all -- --check
+ALL_STAGES="fmt,clippy,test,test-parallel,test-opt,regress"
+STAGES="${CI_STAGES:-$ALL_STAGES}"
 
-echo "==> cargo clippy --all-targets -- -D warnings"
-cargo clippy --all-targets -- -D warnings
+want() { [[ ",$STAGES," == *",$1,"* ]]; }
 
-echo "==> cargo test -q"
-cargo test -q
+run_stage() {
+  local name="$1"
+  shift
+  if ! want "$name"; then
+    echo "==> [$name] skipped (CI_STAGES=$STAGES)"
+    return 0
+  fi
+  echo "==> [$name] $*"
+  local start=$SECONDS
+  "$@"
+  echo "==> [$name] ok (+$((SECONDS - start))s)"
+}
 
-echo "==> NGB_THREADS=4 cargo test -q (parallel execution engine)"
-NGB_THREADS=4 cargo test -q
+regress_gate() {
+  mkdir -p target/ci
+  cargo build --release -q --bin nongemm-cli
+  ./target/release/nongemm-cli ci --check \
+    --report target/ci/regress-report.json | tee target/ci/regress-report.txt
+}
 
-echo "==> NGB_OPT=2 NGB_THREADS=4 cargo test -q (graph rewriter + parallel engine)"
-NGB_OPT=2 NGB_THREADS=4 cargo test -q
+run_stage fmt           cargo fmt --all -- --check
+run_stage clippy        cargo clippy --all-targets -- -D warnings
+run_stage test          cargo test -q
+run_stage test-parallel env NGB_THREADS=4 cargo test -q
+run_stage test-opt      env NGB_OPT=2 NGB_THREADS=4 cargo test -q
+run_stage regress       regress_gate
 
-echo "==> ok"
+echo "==> ok (stages: $STAGES, total ${SECONDS}s)"

@@ -1,0 +1,186 @@
+//! CLI smoke tests: help coverage, exit-code conventions, and the
+//! `ci` gate driven through the real binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_nongemm-cli"))
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("clock after epoch")
+        .subsec_nanos();
+    let dir = std::env::temp_dir().join(format!("ngb-cli-{tag}-{}-{nanos}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create tmpdir");
+    dir
+}
+
+#[test]
+fn help_exits_zero_and_documents_every_flag() {
+    for args in [&["--help"][..], &["-h"], &["help"], &["run", "--help"]] {
+        let out = cli().args(args).output().expect("spawn cli");
+        assert!(
+            out.status.success(),
+            "{args:?} must exit 0, got {:?}",
+            out.status.code()
+        );
+        let text = String::from_utf8(out.stdout).unwrap();
+        // every subcommand and every flag added since PR 1 must be listed
+        for needle in [
+            "run",
+            "verify",
+            "ci",
+            "--model",
+            "--platform",
+            "--flow",
+            "--batch",
+            "--cpu-only",
+            "--tiny",
+            "--measured",
+            "--microbench",
+            "--threads",
+            "--opt-level",
+            "--format",
+            "--trace",
+            "--all",
+            "--check",
+            "--update",
+            "--dir",
+            "--bench",
+            "--report",
+            "--wallclock-iters",
+            "--no-wallclock",
+            "NGB_THREADS",
+            "NGB_OPT",
+            "NGB_NO_WALLCLOCK",
+        ] {
+            assert!(text.contains(needle), "{args:?} help lacks '{needle}'");
+        }
+    }
+}
+
+#[test]
+fn unknown_flags_and_subcommands_exit_two_with_usage() {
+    let cases: &[&[&str]] = &[
+        &["--bogus"],
+        &["run", "--bogus"],
+        &["verify", "--bogus"],
+        &["ci", "--bogus"],
+        &["frobnicate"],
+        &["run", "--threads", "0"],
+        &["run", "--opt-level", "9"],
+        &["verify", "--format", "csv"],
+        &["ci", "--format", "csv"],
+        &["ci", "--check", "--update"],
+        &["run", "--model"], // missing value
+    ];
+    for args in cases {
+        let out = cli().args(*args).output().expect("spawn cli");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{args:?} must exit 2, got {:?}",
+            out.status.code()
+        );
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(
+            err.contains("usage: nongemm-cli"),
+            "{args:?} stderr lacks the usage string: {err}"
+        );
+    }
+}
+
+#[test]
+fn ci_update_then_check_round_trips_through_the_binary() {
+    let dir = tmpdir("gate");
+    let baselines = dir.join("baselines");
+    let bench = dir.join("BENCH_BASELINE.json");
+    let common = [
+        "ci",
+        "--model",
+        "gpt2",
+        "--no-wallclock",
+        "--dir",
+        baselines.to_str().unwrap(),
+        "--bench",
+        bench.to_str().unwrap(),
+    ];
+
+    // a check before any baselines exist must fail and point at --update
+    let out = cli().args(common).output().expect("spawn cli");
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("--update"), "{text}");
+
+    let out = cli()
+        .args(common)
+        .arg("--update")
+        .output()
+        .expect("spawn cli");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("new  gpt2"), "{text}");
+    assert!(baselines.join("gpt2.json").is_file());
+    assert!(bench.is_file(), "--update seeds BENCH_BASELINE.json");
+
+    let report = dir.join("report.json");
+    let out = cli()
+        .args(common)
+        .args(["--check", "--report", report.to_str().unwrap()])
+        .output()
+        .expect("spawn cli");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("ok   gpt2"), "{text}");
+    assert!(text.contains("result: PASS"), "{text}");
+    let v: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&report).unwrap()).unwrap();
+    assert_eq!(v["clean"], true);
+    assert_eq!(v["models_checked"], 1.0);
+
+    // perturb the committed baseline; the check must name model + metric
+    let path = baselines.join("gpt2.json");
+    let mangled = std::fs::read_to_string(&path)
+        .unwrap()
+        .replacen("\"gemm\": ", "\"gemm\": 1", 1); // prepends a digit: count changes
+    std::fs::write(&path, mangled).unwrap();
+    let out = cli()
+        .args(common)
+        .args(["--format", "json"])
+        .output()
+        .expect("spawn cli");
+    assert_eq!(out.status.code(), Some(1));
+    let v: serde_json::Value =
+        serde_json::from_str(&String::from_utf8(out.stdout).unwrap()).unwrap();
+    assert_eq!(v["clean"], false);
+    assert_eq!(v["models_failed"][0], "gpt2");
+    assert_eq!(v["diffs"][0]["metric"], "graph.gemm");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn verify_still_passes_for_a_tiny_model() {
+    let out = cli()
+        .args(["verify", "--model", "gpt2", "--tiny"])
+        .output()
+        .expect("spawn cli");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("PASS"), "{text}");
+}

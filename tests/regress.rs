@@ -1,0 +1,163 @@
+//! End-to-end tests of the `ngb-regress` gate: baseline round-trips,
+//! perturbation detection, schema versioning, and the bench seed.
+
+use std::path::PathBuf;
+
+use nongemm::regress::{
+    baseline_path, check, compare_model, load_baseline, model_baseline, refresh_bench_seed, update,
+    write_baseline, GateConfig, RegressError, Tolerance, SCHEMA_VERSION,
+};
+use nongemm::ModelId;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("clock after epoch")
+        .subsec_nanos();
+    let dir = std::env::temp_dir().join(format!(
+        "ngb-regress-it-{tag}-{}-{nanos}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).expect("create tmpdir");
+    dir
+}
+
+fn cfg(dir: PathBuf, models: Vec<ModelId>) -> GateConfig {
+    GateConfig {
+        dir,
+        models,
+        wallclock_iters: None,
+        tolerance: Tolerance::default(),
+    }
+}
+
+#[test]
+fn write_read_compare_round_trip_is_clean() {
+    let dir = tmpdir("roundtrip");
+    let baseline = model_baseline(ModelId::VitBase16, None).unwrap();
+    let path = baseline_path(&dir, &baseline.model);
+    write_baseline(&path, &baseline).unwrap();
+    let reread = load_baseline(&path).unwrap();
+    assert_eq!(baseline, reread);
+    assert!(compare_model(&baseline, &reread, &Tolerance::default()).is_empty());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn perturbed_baseline_file_fails_check_naming_model_and_metric() {
+    let dir = tmpdir("perturb");
+    let gate = cfg(dir.clone(), vec![ModelId::Gpt2]);
+    update(&gate).unwrap();
+
+    // sabotage one committed cost-model entry on disk, as a bad PR would
+    let path = baseline_path(&dir, "gpt2");
+    let mut baseline = load_baseline(&path).unwrap();
+    let cell = baseline.snapshots[2].key();
+    baseline.snapshots[2].cost.non_gemm_us *= 2.0;
+    write_baseline(&path, &baseline).unwrap();
+
+    let outcome = check(&gate).unwrap();
+    assert!(!outcome.is_clean());
+    assert_eq!(outcome.failed_models(), vec!["gpt2"]);
+    let diff = &outcome.diffs[0];
+    assert_eq!(diff.metric, "cost.non_gemm_us");
+    assert_eq!(diff.context, cell);
+    let text = outcome.to_text();
+    assert!(text.contains("FAIL gpt2"), "{text}");
+    assert!(text.contains("cost.non_gemm_us"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn perturbed_optimizer_counter_fails_check() {
+    let dir = tmpdir("opt");
+    let gate = cfg(dir.clone(), vec![ModelId::ResNet50]);
+    update(&gate).unwrap();
+
+    let path = baseline_path(&dir, "resnet50");
+    let mut baseline = load_baseline(&path).unwrap();
+    // the O2 snapshot records conv+bn folds; pretend one more happened
+    let o2 = baseline
+        .snapshots
+        .iter_mut()
+        .find(|s| s.key() == "tiny/O2")
+        .expect("tiny/O2 cell exists");
+    *o2.opt.rewrites.get_mut("conv_bn_act").unwrap() += 1;
+    write_baseline(&path, &baseline).unwrap();
+
+    let outcome = check(&gate).unwrap();
+    assert!(!outcome.is_clean());
+    assert_eq!(outcome.diffs.len(), 1);
+    assert_eq!(outcome.diffs[0].metric, "opt.rewrites.conv_bn_act");
+    assert_eq!(outcome.diffs[0].context, "tiny/O2");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn old_schema_baseline_is_an_update_hint_not_a_panic() {
+    let dir = tmpdir("schema");
+    let path = baseline_path(&dir, "bert");
+    // a v0 file from some ancient PR: parses as JSON, wrong schema
+    std::fs::write(
+        &path,
+        "{\"schema\": 0, \"model\": \"bert\", \"snapshots\": [], \"wallclock\": null}",
+    )
+    .unwrap();
+    let err = load_baseline(&path).unwrap_err();
+    assert!(matches!(err, RegressError::Schema { found: 0, .. }));
+    assert!(err.to_string().contains("--update"));
+
+    // through the gate the same file fails the check instead of aborting
+    let gate = cfg(dir.clone(), vec![ModelId::Bert]);
+    let outcome = check(&gate).unwrap();
+    assert!(!outcome.is_clean());
+    assert_eq!(outcome.diffs[0].context, "baseline");
+    assert!(outcome.diffs[0].baseline.contains("schema v0"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bench_seed_has_cost_totals_for_selected_models() {
+    let dir = tmpdir("bench");
+    let gate = cfg(dir.clone(), vec![ModelId::Gpt2, ModelId::MobileNetV2]);
+    update(&gate).unwrap();
+    let bench = dir.join("BENCH_BASELINE.json");
+    let n = refresh_bench_seed(&gate, &bench).unwrap();
+    assert_eq!(n, 2);
+    let v: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&bench).unwrap()).unwrap();
+    assert_eq!(v["schema"].as_u64().unwrap(), SCHEMA_VERSION);
+    for alias in ["gpt2", "mobilenet_v2"] {
+        let entry = &v["models"][alias];
+        let total = entry["total_us"].as_f64().unwrap();
+        let gemm = entry["gemm_us"].as_f64().unwrap();
+        let non_gemm = entry["non_gemm_us"].as_f64().unwrap();
+        assert!(total > 0.0, "{alias}");
+        assert!(
+            (gemm + non_gemm - total).abs() <= 1e-6 * total,
+            "{alias}: {gemm} + {non_gemm} != {total}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn committed_baselines_match_head() {
+    // The acceptance gate itself: the baselines committed in this repo
+    // must describe the current tree. Skips cleanly when the test runs
+    // outside the repo checkout (e.g. a published crate).
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../baselines");
+    if !dir.is_dir() {
+        eprintln!("skipping: no committed baselines at {}", dir.display());
+        return;
+    }
+    let gate = GateConfig {
+        dir,
+        models: ModelId::all().to_vec(),
+        wallclock_iters: None, // wall-clock is the CLI's job, not the test suite's
+        tolerance: Tolerance::default(),
+    };
+    let outcome = check(&gate).unwrap();
+    assert!(outcome.is_clean(), "{}", outcome.to_text());
+    assert_eq!(outcome.models.len(), 18);
+}
