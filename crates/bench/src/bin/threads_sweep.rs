@@ -90,10 +90,24 @@ fn main() {
     let cores = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
+    let intra_op = nongemm::exec::env_intraop(true);
     println!(
-        "Thread sweep: tiny presets, batch {}, best of {} runs, {cores} host core(s)\n",
+        "Thread sweep: tiny presets, batch {}, best of {} runs, {cores} host core(s)",
         args.batch, args.iters
     );
+    println!(
+        "intra-op: {} (NGB_INTRAOP; min chunk elems {})\n",
+        if intra_op { "on" } else { "off" },
+        nongemm::ops::parallel::min_intraop_elems()
+    );
+    if cores < 2 {
+        println!(
+            "warning: this host exposes a single core — every configuration\n\
+             below will report ~1x regardless of threads or intra-op mode;\n\
+             the sweep only measures scheduling overhead here. Rerun on a\n\
+             multi-core machine for meaningful scaling numbers.\n"
+        );
+    }
     print!("{:<14}{:>6}{:>10}", "model", "width", "seq ms");
     for t in THREADS {
         print!("{:>8}", format!("x{t}"));

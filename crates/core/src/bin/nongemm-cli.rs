@@ -44,6 +44,7 @@ struct Args {
     microbench: bool,
     threads: usize,
     opt_level: Option<OptLevel>,
+    intra_op: Option<bool>,
     format: Format,
     trace: Option<String>,
 }
@@ -55,6 +56,7 @@ struct VerifyArgs {
     tiny: bool,
     threads: usize,
     opt_level: Option<OptLevel>,
+    intra_op: Option<bool>,
     format: Format,
     all: bool,
 }
@@ -91,6 +93,8 @@ RUN OPTIONS:
   --microbench          run the microbench flow instead of end-to-end
   --threads <n>         worker threads for --measured (default: $NGB_THREADS or 1)
   --opt-level <0|1|2>   graph-rewrite level (default: $NGB_OPT or 0)
+  --intra-op <on|off>   intra-op data parallelism for --measured
+                        (default: $NGB_INTRAOP or on)
   --format <fmt>        text | csv | json (default: text)
   --trace <path>        also write a Chrome trace JSON per model
 
@@ -100,6 +104,7 @@ VERIFY OPTIONS:
   --tiny                use the executable tiny presets
   --threads <n>         analyze models concurrently (default: $NGB_THREADS or 1)
   --opt-level <0|1|2>   analyze the rewritten graphs (default: $NGB_OPT or 0)
+  --intra-op <on|off>   accepted for parity with run (analysis is static)
   --format <fmt>        text | json (default: text)
   --all                 include allow-level findings in text output
 
@@ -113,6 +118,12 @@ CI OPTIONS:
   --wallclock-iters <n> wall-clock samples per model (default: 5)
   --no-wallclock        skip the measured smoke channel (or NGB_NO_WALLCLOCK=1)
   --format <fmt>        text | json (default: text)
+
+ENVIRONMENT:
+  NGB_THREADS / NGB_OPT      defaults for --threads / --opt-level
+  NGB_INTRAOP                default for --intra-op (0/off/false disable)
+  NGB_INTRAOP_MIN_ELEMS      min elements before a kernel splits into
+                             intra-op chunks (work-budget heuristic)
 
 EXIT CODES:
   0  success / clean    1  failure or regression    2  usage error
@@ -156,6 +167,17 @@ fn parse_opt_level(v: &str) -> OptLevel {
     })
 }
 
+fn parse_intra_op(v: &str) -> bool {
+    match v {
+        "on" => true,
+        "off" => false,
+        other => {
+            eprintln!("--intra-op requires on or off, not '{other}'");
+            usage()
+        }
+    }
+}
+
 fn parse_run_args(argv: &[String]) -> Args {
     let mut args = Args {
         models: Vec::new(),
@@ -168,6 +190,7 @@ fn parse_run_args(argv: &[String]) -> Args {
         microbench: false,
         threads: 0,
         opt_level: None,
+        intra_op: None,
         format: Format::Text,
         trace: None,
     };
@@ -212,6 +235,9 @@ fn parse_run_args(argv: &[String]) -> Args {
             "--opt-level" => {
                 args.opt_level = Some(parse_opt_level(&take_value(&mut it, "--opt-level")))
             }
+            "--intra-op" => {
+                args.intra_op = Some(parse_intra_op(&take_value(&mut it, "--intra-op")))
+            }
             "--format" => {
                 args.format = match take_value(&mut it, "--format").as_str() {
                     "text" => Format::Text,
@@ -247,6 +273,7 @@ fn parse_verify_args(argv: &[String]) -> VerifyArgs {
         tiny: false,
         threads: 0,
         opt_level: None,
+        intra_op: None,
         format: Format::Text,
         all: false,
     };
@@ -265,6 +292,9 @@ fn parse_verify_args(argv: &[String]) -> VerifyArgs {
             }
             "--opt-level" => {
                 args.opt_level = Some(parse_opt_level(&take_value(&mut it, "--opt-level")))
+            }
+            "--intra-op" => {
+                args.intra_op = Some(parse_intra_op(&take_value(&mut it, "--intra-op")))
             }
             "--format" => {
                 args.format = match take_value(&mut it, "--format").as_str() {
@@ -373,6 +403,7 @@ fn run_verify(argv: &[String]) -> ExitCode {
         scale: if args.tiny { Scale::Tiny } else { Scale::Full },
         threads: args.threads,
         opt_level: args.opt_level,
+        intra_op: args.intra_op,
         ..BenchConfig::default()
     });
     let reports = match bench.verify() {
@@ -512,6 +543,7 @@ fn run_bench(argv: &[String]) -> ExitCode {
         iterations: 3,
         threads: args.threads,
         opt_level: args.opt_level,
+        intra_op: args.intra_op,
     });
 
     if args.microbench {

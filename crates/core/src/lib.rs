@@ -102,6 +102,9 @@ pub struct BenchConfig {
     /// Graph-rewrite optimization level applied to every built graph.
     /// `None` means auto: honor `NGB_OPT` when set, else `O0`.
     pub opt_level: Option<OptLevel>,
+    /// Intra-op data parallelism for measured execution.
+    /// `None` means auto: honor `NGB_INTRAOP` when set, else on.
+    pub intra_op: Option<bool>,
 }
 
 impl Default for BenchConfig {
@@ -116,6 +119,7 @@ impl Default for BenchConfig {
             iterations: 3,
             threads: 0,
             opt_level: None,
+            intra_op: None,
         }
     }
 }
@@ -221,6 +225,14 @@ impl NonGemmBench {
         }
     }
 
+    /// Effective intra-op parallelism switch: the explicit `intra_op`
+    /// setting, or `NGB_INTRAOP` (falling back to on) when unset.
+    pub fn effective_intra_op(&self) -> bool {
+        self.config
+            .intra_op
+            .unwrap_or_else(|| ngb_exec::env_intraop(true))
+    }
+
     /// The execution engine measured runs use, derived from
     /// [`NonGemmBench::effective_threads`].
     pub fn engine(&self) -> Engine {
@@ -238,14 +250,16 @@ impl NonGemmBench {
     /// Propagates graph-construction or kernel errors.
     pub fn run_measured(&self) -> Result<Vec<ModelProfile>, TensorError> {
         let engine = self.engine();
+        let intra_op = self.effective_intra_op();
         self.build_graphs()?
             .iter()
             .map(|g| {
-                ngb_profiler::profile_measured_with_engine(
+                ngb_profiler::profile_measured_configured(
                     g,
                     self.config.iterations,
                     0x5eed,
                     engine,
+                    Some(intra_op),
                 )
             })
             .collect()
@@ -434,6 +448,39 @@ mod tests {
         assert_eq!(mk(1).engine(), Engine::Sequential);
         assert_eq!(mk(4).engine(), Engine::Parallel(4));
         assert_eq!(mk(4).effective_threads(), 4);
+    }
+
+    #[test]
+    fn intra_op_setting_resolves() {
+        let mk = |intra_op| {
+            NonGemmBench::new(BenchConfig {
+                intra_op,
+                ..BenchConfig::default()
+            })
+        };
+        assert!(mk(Some(true)).effective_intra_op());
+        assert!(!mk(Some(false)).effective_intra_op());
+    }
+
+    #[test]
+    fn measured_flow_is_identical_with_intra_op_on_and_off() {
+        let mk = |intra_op| {
+            NonGemmBench::new(BenchConfig {
+                models: vec!["gpt2".into()],
+                scale: Scale::Tiny,
+                iterations: 1,
+                threads: 2,
+                intra_op: Some(intra_op),
+                ..BenchConfig::default()
+            })
+        };
+        let on = mk(true).run_measured().unwrap();
+        let off = mk(false).run_measured().unwrap();
+        assert_eq!(on[0].nodes.len(), off[0].nodes.len());
+        for (a, b) in on[0].nodes.iter().zip(&off[0].nodes) {
+            // chunk partitioning is shape-pure: same count either way
+            assert_eq!(a.intra_chunks, b.intra_chunks, "node {}", a.name);
+        }
     }
 
     #[test]

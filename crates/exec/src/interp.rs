@@ -63,6 +63,12 @@ pub struct NodeTiming {
     /// Actual output shape (may differ from the static shape after dynamic
     /// ops like NMS).
     pub out_shape: Vec<usize>,
+    /// Intra-op chunks the node's kernels dispatched (1 per serial kernel
+    /// call; a pure function of shape, never of thread count).
+    pub intra_chunks: usize,
+    /// Maximum number of threads that cooperated on one of the node's
+    /// intra-op dispatches (1 when everything ran serially).
+    pub intra_participants: usize,
 }
 
 /// Result of executing a graph.
@@ -105,6 +111,7 @@ pub struct Interpreter {
     seed: u64,
     preflight: bool,
     engine: Engine,
+    intra_op: Option<bool>,
 }
 
 impl Default for Interpreter {
@@ -120,6 +127,7 @@ impl Interpreter {
             seed,
             preflight: false,
             engine: Engine::Sequential,
+            intra_op: None,
         }
     }
 
@@ -128,6 +136,21 @@ impl Interpreter {
     pub fn engine(mut self, engine: Engine) -> Interpreter {
         self.engine = engine;
         self
+    }
+
+    /// Forces intra-op parallelism on or off for the parallel engine.
+    /// The default (`None`) honors `NGB_INTRAOP` (on when unset). The
+    /// switch never changes results — chunk partitioning is a pure
+    /// function of shape — only where chunks execute.
+    #[must_use]
+    pub fn intra_op(mut self, enabled: bool) -> Interpreter {
+        self.intra_op = Some(enabled);
+        self
+    }
+
+    /// The effective intra-op setting (explicit override or `NGB_INTRAOP`).
+    pub fn intra_op_enabled(&self) -> bool {
+        self.intra_op.unwrap_or_else(|| crate::env_intraop(true))
     }
 
     /// Enables (or disables) the opt-in preflight check: before executing,
@@ -176,9 +199,9 @@ impl Interpreter {
         }
         match self.engine {
             Engine::Sequential => self.run_sequential(graph, inputs),
-            Engine::Parallel(n) => {
-                crate::ParallelExecutor::new(self.seed, n.max(1)).run_with_inputs(graph, inputs)
-            }
+            Engine::Parallel(n) => crate::ParallelExecutor::new(self.seed, n.max(1))
+                .intra_op(self.intra_op_enabled())
+                .run_with_inputs(graph, inputs),
         }
     }
 
@@ -220,7 +243,11 @@ impl Interpreter {
             }
             let args = gather_args(node, &values)?;
             let started = Instant::now();
+            // no intra-op runner here: the same shape-pure chunks run
+            // serially, so outputs match the parallel engine bit for bit
+            ngb_ops::parallel::reset_stats();
             let out = execute_node(self.seed, node, &args, inputs.get(&node.id), &arena)?;
+            let stats = ngb_ops::parallel::take_stats();
             let elapsed = started.elapsed();
             drop(args); // release input clones so last-use reclaim sees unique storage
             live_bytes += planner_bytes(out.shape());
@@ -231,6 +258,8 @@ impl Interpreter {
                 start: started.duration_since(t0),
                 worker: 0,
                 out_shape: out.shape().to_vec(),
+                intra_chunks: stats.chunks,
+                intra_participants: stats.max_participants.max(1),
             });
             values[pos] = Some(out);
             for &i in &node.inputs {

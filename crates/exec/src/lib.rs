@@ -13,9 +13,13 @@
 //!   **bit-identical** to the sequential engine because weights and inputs
 //!   derive from per-node RNG seeds, never from execution order.
 //! * [`BufferPlan`] — the static liveness pass both engines share.
+//! * [`PoolRunner`] — scoped intra-op dispatch: kernels partition work
+//!   into shape-pure chunks (`ngb_ops::parallel`) that fan out across
+//!   idle pool workers, sharing one pool with node-level scheduling.
 //!
 //! The thread count comes from the `NGB_THREADS` environment variable (see
-//! [`env_threads`]) or explicit [`Engine::Parallel`] selection.
+//! [`env_threads`]) or explicit [`Engine::Parallel`] selection; the
+//! intra-op switch from `NGB_INTRAOP` (see [`env_intraop`], default on).
 //!
 //! # Examples
 //!
@@ -40,12 +44,14 @@
 mod bufplan;
 mod fused;
 mod interp;
+mod intraop;
 mod parallel;
 mod pool;
 mod schedule;
 
 pub use bufplan::{Arena, ArenaStats, BufferPlan};
 pub use interp::{preflight_check, Engine, ExecutionTrace, Interpreter, NodeTiming};
+pub use intraop::PoolRunner;
 pub use parallel::ParallelExecutor;
 pub use pool::ThreadPool;
 pub use schedule::{Schedule, ScheduleStats};
@@ -58,6 +64,16 @@ pub fn env_threads(fallback: usize) -> usize {
         .and_then(|v| v.trim().parse::<usize>().ok())
         .filter(|&n| n > 0)
         .unwrap_or(fallback)
+}
+
+/// Reads the intra-op parallelism switch from `NGB_INTRAOP`: `0`, `off`,
+/// or `false` disable it, anything else enables it, and `fallback` applies
+/// when the variable is unset.
+pub fn env_intraop(fallback: bool) -> bool {
+    match std::env::var("NGB_INTRAOP") {
+        Ok(v) => !matches!(v.trim(), "0" | "off" | "false"),
+        Err(_) => fallback,
+    }
 }
 
 /// Default worker count: `NGB_THREADS` if set, else the host's available

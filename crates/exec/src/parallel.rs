@@ -7,22 +7,31 @@
 //! come from an RNG keyed on the node id (never on execution order), and
 //! kernels are pure functions of their input tensors.
 //!
+//! Scheduling is *ticket-based*: each ready node enqueues one short pool
+//! job (a ticket) that pops the highest-priority ready node, executes it,
+//! and enqueues tickets for newly-ready successors. Workers are free
+//! between tickets, which is what lets intra-op helper chunks (spawned by
+//! kernels through [`crate::PoolRunner`] when `intra_op` is on) interleave
+//! on the same pool instead of starving behind long-lived node loops.
+//!
 //! A kernel error (or panic) aborts the run cleanly: the first failure is
-//! recorded, remaining ready work is abandoned, in-flight kernels finish
-//! and discard their results, and the pool stays reusable.
+//! recorded, remaining tickets drain without executing, in-flight kernels
+//! finish and discard their results, and the pool stays reusable.
 
 use std::collections::{BinaryHeap, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::time::{Duration, Instant};
 
 use ngb_graph::{Graph, NodeId};
+use ngb_ops::parallel::{self as intra, IntraOpRunner, IntraOpStats};
 use ngb_tensor::{Tensor, TensorError};
 
 use crate::bufplan::{Arena, BufferPlan};
 use crate::interp::{
     collect_outputs, execute_node, gather_args, planner_bytes, ExecutionTrace, NodeTiming,
 };
+use crate::intraop::PoolRunner;
 use crate::pool::ThreadPool;
 use crate::schedule::Schedule;
 
@@ -31,17 +40,20 @@ use crate::schedule::Schedule;
 pub struct ParallelExecutor {
     seed: u64,
     preflight: bool,
-    pool: ThreadPool,
+    intra_op: bool,
+    pool: Arc<ThreadPool>,
 }
 
 impl ParallelExecutor {
     /// Creates an executor with `threads.max(1)` workers deriving weights
-    /// from `seed`.
+    /// from `seed`. Intra-op parallelism defaults to the `NGB_INTRAOP`
+    /// environment setting (on when unset).
     pub fn new(seed: u64, threads: usize) -> ParallelExecutor {
         ParallelExecutor {
             seed,
             preflight: false,
-            pool: ThreadPool::new(threads),
+            intra_op: crate::env_intraop(true),
+            pool: Arc::new(ThreadPool::new(threads)),
         }
     }
 
@@ -55,6 +67,20 @@ impl ParallelExecutor {
     pub fn preflight(mut self, enabled: bool) -> ParallelExecutor {
         self.preflight = enabled;
         self
+    }
+
+    /// Enables or disables intra-op parallelism (kernels fanning chunks
+    /// out across idle pool workers). Partitioning is a pure function of
+    /// shape, so this switch never changes results — only where chunks run.
+    #[must_use]
+    pub fn intra_op(mut self, enabled: bool) -> ParallelExecutor {
+        self.intra_op = enabled;
+        self
+    }
+
+    /// Whether kernels dispatch intra-op chunks onto the pool.
+    pub fn intra_op_enabled(&self) -> bool {
+        self.intra_op
     }
 
     /// Runs the graph with synthetic inputs.
@@ -120,8 +146,10 @@ impl ParallelExecutor {
                 });
             }
         }
-        let workers = self.pool.threads();
+        let initial = ready.len();
         let indegree = sched.indegree.clone();
+        let runner = (self.intra_op && self.pool.threads() > 1)
+            .then(|| Arc::new(PoolRunner::new(&self.pool)));
         let shared = Arc::new(RunState {
             graph: Arc::new(graph.clone()),
             overrides: inputs.clone(),
@@ -130,6 +158,8 @@ impl ParallelExecutor {
             is_output: (0..len).map(|i| plan.is_output(i)).collect(),
             arena: Arena::default(),
             started_at: Instant::now(),
+            pool: Arc::downgrade(&self.pool),
+            runner,
             inner: Mutex::new(Inner {
                 ready,
                 indegree,
@@ -137,7 +167,7 @@ impl ParallelExecutor {
                 values: vec![None; len],
                 timings: (0..len).map(|_| None).collect(),
                 completed: 0,
-                active_workers: workers,
+                inflight: initial,
                 live_bytes: 0,
                 peak_live_bytes: 0,
                 error: None,
@@ -145,13 +175,17 @@ impl ParallelExecutor {
             progress: Condvar::new(),
         });
 
-        for _ in 0..workers {
+        for _ in 0..initial {
             let state = Arc::clone(&shared);
-            self.pool.spawn(move |worker| state.run_worker(worker));
+            self.pool.spawn(move |worker| state.run_ticket(worker));
         }
 
+        // Wait for every ticket to fully retire (not just for the last
+        // node to complete): a ticket briefly upgrades the pool Weak to
+        // spawn successors, and returning while one is still in flight
+        // would let that worker drop — and self-join — the pool.
         let mut inner = shared.inner.lock().expect("run lock");
-        while !(inner.completed == len || (inner.error.is_some() && inner.active_workers == 0)) {
+        while !(inner.inflight == 0 && (inner.completed == len || inner.error.is_some())) {
             inner = shared.progress.wait(inner).expect("run lock");
         }
         if let Some(err) = inner.error.take() {
@@ -175,7 +209,7 @@ impl ParallelExecutor {
     }
 }
 
-/// Everything a worker needs, shared behind one `Arc`.
+/// Everything a ticket needs, shared behind one `Arc`.
 struct RunState {
     graph: Arc<Graph>,
     overrides: HashMap<NodeId, Tensor>,
@@ -184,6 +218,11 @@ struct RunState {
     is_output: Vec<bool>,
     arena: Arena,
     started_at: Instant,
+    /// Weak so a ticket finishing after the waiter returned can never be
+    /// the one to drop (and join) the pool from a worker thread.
+    pool: Weak<ThreadPool>,
+    /// Installed around every kernel when intra-op parallelism is on.
+    runner: Option<Arc<PoolRunner>>,
     inner: Mutex<Inner>,
     progress: Condvar,
 }
@@ -196,7 +235,9 @@ struct Inner {
     values: Vec<Option<Tensor>>,
     timings: Vec<Option<NodeTiming>>,
     completed: usize,
-    active_workers: usize,
+    /// Tickets spawned but not yet finished — the abort path waits for
+    /// this to reach zero so in-flight kernels drain before returning.
+    inflight: usize,
     live_bytes: usize,
     peak_live_bytes: usize,
     error: Option<TensorError>,
@@ -227,68 +268,102 @@ impl PartialOrd for ReadyItem {
 }
 
 impl RunState {
-    fn run_worker(self: &Arc<Self>, worker: usize) {
-        let total = self.graph.len();
+    /// One ticket: pop the best ready node, execute it, release
+    /// successors, and enqueue their tickets. Every ticket decrements
+    /// `inflight` exactly once.
+    fn run_ticket(self: &Arc<Self>, worker: usize) {
         let mut inner = self.inner.lock().expect("run lock");
-        loop {
-            if inner.error.is_some() || inner.completed == total {
-                break;
-            }
-            let Some(item) = inner.ready.pop() else {
-                inner = self.progress.wait(inner).expect("run lock");
-                continue;
+        if inner.error.is_some() {
+            inner.inflight -= 1;
+            self.progress.notify_all();
+            return;
+        }
+        let Some(item) = inner.ready.pop() else {
+            // defensive: tickets are 1:1 with ready pushes, so this only
+            // happens if a sibling over-drained — never leak the ticket
+            inner.inflight -= 1;
+            self.progress.notify_all();
+            return;
+        };
+        let node = &self.graph.nodes[item.pos];
+        let gathered = gather_args(node, &inner.values);
+        drop(inner);
+
+        let outcome = gathered.and_then(|args| {
+            let kernel_start = Instant::now();
+            intra::reset_stats();
+            let exec_once = || {
+                execute_node(
+                    self.seed,
+                    node,
+                    &args,
+                    self.overrides.get(&node.id),
+                    &self.arena,
+                )
             };
-            let node = &self.graph.nodes[item.pos];
-            let gathered = gather_args(node, &inner.values);
-            drop(inner);
+            let result = catch_unwind(AssertUnwindSafe(|| match &self.runner {
+                Some(r) => intra::with_runner(Arc::clone(r) as Arc<dyn IntraOpRunner>, exec_once),
+                None => exec_once(),
+            }));
+            let stats = intra::take_stats();
+            let elapsed = kernel_start.elapsed();
+            let start = kernel_start.duration_since(self.started_at);
+            match result {
+                Ok(Ok(out)) => Ok((out, start, elapsed, stats)),
+                Ok(Err(e)) => Err(e),
+                Err(panic) => Err(TensorError::InvalidArgument(format!(
+                    "node {} ({}) kernel panicked: {}",
+                    node.id,
+                    node.name,
+                    panic_message(&*panic)
+                ))),
+            }
+        });
 
-            let outcome = gathered.and_then(|args| {
-                let kernel_start = Instant::now();
-                let result = catch_unwind(AssertUnwindSafe(|| {
-                    execute_node(
-                        self.seed,
-                        node,
-                        &args,
-                        self.overrides.get(&node.id),
-                        &self.arena,
-                    )
-                }));
-                let elapsed = kernel_start.elapsed();
-                let start = kernel_start.duration_since(self.started_at);
-                match result {
-                    Ok(Ok(out)) => Ok((out, start, elapsed)),
-                    Ok(Err(e)) => Err(e),
-                    Err(panic) => Err(TensorError::InvalidArgument(format!(
-                        "node {} ({}) kernel panicked: {}",
-                        node.id,
-                        node.name,
-                        panic_message(&panic)
-                    ))),
+        let mut newly_ready = 0usize;
+        let mut inner = self.inner.lock().expect("run lock");
+        match outcome {
+            Err(e) => {
+                if inner.error.is_none() {
+                    inner.error = Some(e);
                 }
-            });
-
-            inner = self.inner.lock().expect("run lock");
-            match outcome {
-                Err(e) => {
-                    if inner.error.is_none() {
-                        inner.error = Some(e);
-                    }
-                    self.progress.notify_all();
-                    break;
-                }
-                Ok(_) if inner.error.is_some() => break, // stale result of an aborted run
-                Ok((out, start, elapsed)) => {
-                    self.finish_node(&mut inner, item.pos, out, start, elapsed, worker);
-                    self.progress.notify_all();
-                }
+            }
+            Ok(_) if inner.error.is_some() => {} // stale result of an aborted run
+            Ok((out, start, elapsed, stats)) => {
+                newly_ready =
+                    self.finish_node(&mut inner, item.pos, out, start, elapsed, worker, stats);
             }
         }
-        inner.active_workers -= 1;
+        // account successor tickets before releasing the lock so the
+        // waiter can never observe inflight == 0 with work outstanding
+        inner.inflight += newly_ready;
+        drop(inner);
+
+        // Spawn successors while this ticket is still counted in
+        // `inflight`: the waiter cannot return yet, so the executor (and
+        // its pool) are still alive and the Arc upgraded here can never
+        // be the last one — otherwise a completed run could race this
+        // block, leaving a worker to drop (and self-join) the pool.
+        if newly_ready > 0 {
+            let pool = self
+                .pool
+                .upgrade()
+                .expect("executor (and its pool) outlive the run");
+            for _ in 0..newly_ready {
+                let state = Arc::clone(self);
+                pool.spawn(move |w| state.run_ticket(w));
+            }
+        }
+
+        let mut inner = self.inner.lock().expect("run lock");
+        inner.inflight -= 1;
         self.progress.notify_all();
     }
 
-    /// Records a completed node and releases newly ready/dead state.
-    /// Caller holds the run lock.
+    /// Records a completed node and releases newly ready/dead state,
+    /// returning how many successors became ready. Caller holds the run
+    /// lock and spawns one ticket per newly-ready successor.
+    #[allow(clippy::too_many_arguments)]
     fn finish_node(
         &self,
         inner: &mut Inner,
@@ -297,7 +372,8 @@ impl RunState {
         start: Duration,
         elapsed: Duration,
         worker: usize,
-    ) {
+        stats: IntraOpStats,
+    ) -> usize {
         let node = &self.graph.nodes[pos];
         inner.live_bytes += planner_bytes(out.shape());
         inner.peak_live_bytes = inner.peak_live_bytes.max(inner.live_bytes);
@@ -307,8 +383,11 @@ impl RunState {
             start,
             worker,
             out_shape: out.shape().to_vec(),
+            intra_chunks: stats.chunks,
+            intra_participants: stats.max_participants.max(1),
         });
         inner.values[pos] = Some(out);
+        let mut newly_ready = 0;
         for &succ in &self.sched.successors[pos] {
             inner.indegree[succ] -= 1;
             if inner.indegree[succ] == 0 {
@@ -316,6 +395,7 @@ impl RunState {
                     priority: self.sched.priority[succ],
                     pos: succ,
                 });
+                newly_ready += 1;
             }
         }
         for &input in &node.inputs {
@@ -329,10 +409,11 @@ impl RunState {
             }
         }
         inner.completed += 1;
+        newly_ready
     }
 }
 
-fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = panic.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = panic.downcast_ref::<String>() {
@@ -395,6 +476,24 @@ mod tests {
     }
 
     #[test]
+    fn intra_op_switch_never_changes_results() {
+        let g = branchy_graph();
+        let seq = crate::Interpreter::new(42).run(&g).unwrap();
+        for threads in [1, 4] {
+            for on in [false, true] {
+                let par = ParallelExecutor::new(42, threads)
+                    .intra_op(on)
+                    .run(&g)
+                    .unwrap();
+                for ((id_s, t_s), (id_p, t_p)) in seq.outputs.iter().zip(&par.outputs) {
+                    assert_eq!(id_s, id_p);
+                    assert_eq!(t_s, t_p, "threads={threads} intra_op={on}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn executor_is_reusable_across_graphs_and_runs() {
         let exec = ParallelExecutor::new(7, 2);
         let g = branchy_graph();
@@ -428,6 +527,31 @@ mod tests {
         g.nodes[last].inputs = vec![NodeId(last)]; // self-loop
         let err = ParallelExecutor::new(0, 2).run(&g).unwrap_err();
         assert!(err.to_string().contains("dependency cycle"), "{err}");
+    }
+
+    #[test]
+    fn create_run_drop_cycle_never_joins_pool_from_a_worker() {
+        // Regression: a ticket that spawned successors used to hold its
+        // upgraded Arc<ThreadPool> past the point where the waiter could
+        // return; dropping the executor right after run() then let a
+        // worker drop — and self-join — the pool ("Resource deadlock
+        // avoided"). Worker panics are caught by the pool, so detect via
+        // a counting panic hook instead of the run result.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static JOIN_PANICS: AtomicUsize = AtomicUsize::new(0);
+        std::panic::set_hook(Box::new(|info| {
+            if info.to_string().contains("failed to join thread") {
+                JOIN_PANICS.fetch_add(1, Ordering::SeqCst);
+            }
+        }));
+        let g = branchy_graph();
+        for _ in 0..100 {
+            // executor (and pool) dropped immediately after the run
+            ParallelExecutor::new(1, 4).run(&g).unwrap();
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        let _ = std::panic::take_hook(); // restore the default hook
+        assert_eq!(JOIN_PANICS.load(Ordering::SeqCst), 0);
     }
 
     #[test]

@@ -76,6 +76,18 @@ impl ThreadPool {
         }
         self.shared.work_available.notify_one();
     }
+
+    /// Enqueues a job at the *front* of the queue, ahead of pending work.
+    /// Intra-op helper chunks use this so they start before queued node
+    /// tickets: the node that spawned them is already executing, and its
+    /// successors cannot run until it finishes anyway.
+    pub fn spawn_front(&self, job: impl FnOnce(usize) + Send + 'static) {
+        {
+            let mut state = self.shared.state.lock().expect("pool lock");
+            state.queue.push_front(Box::new(job));
+        }
+        self.shared.work_available.notify_one();
+    }
 }
 
 impl Drop for ThreadPool {
@@ -171,6 +183,22 @@ mod tests {
         let (tx, rx) = mpsc::channel();
         pool.spawn(move |w| tx.send(w).unwrap());
         assert_eq!(rx.recv().unwrap(), 0);
+    }
+
+    #[test]
+    fn spawn_front_jumps_the_queue() {
+        let pool = ThreadPool::new(1);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let (tx, rx) = mpsc::channel();
+        // occupy the single worker until both jobs are queued
+        pool.spawn(move |_| gate_rx.recv().unwrap());
+        let tx_a = tx.clone();
+        pool.spawn(move |_| tx_a.send("back").unwrap());
+        let tx_b = tx;
+        pool.spawn_front(move |_| tx_b.send("front").unwrap());
+        gate_tx.send(()).unwrap();
+        assert_eq!(rx.recv().unwrap(), "front");
+        assert_eq!(rx.recv().unwrap(), "back");
     }
 
     #[test]

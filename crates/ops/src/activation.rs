@@ -8,6 +8,7 @@
 
 use ngb_tensor::Tensor;
 
+use crate::parallel;
 use crate::{OpCost, Result};
 
 /// Rectified Linear Unit: `max(0, x)` element-wise.
@@ -16,7 +17,7 @@ use crate::{OpCost, Result};
 ///
 /// Fails when `x` is not f32.
 pub fn relu(x: &Tensor) -> Result<Tensor> {
-    x.map(|v| v.max(0.0))
+    parallel::unary(x, |v| v.max(0.0))
 }
 
 /// Cost of [`relu`] on `shape`.
@@ -30,7 +31,7 @@ pub fn relu_cost(shape: &[usize]) -> OpCost {
 ///
 /// Fails when `x` is not f32.
 pub fn gelu(x: &Tensor) -> Result<Tensor> {
-    x.map(|v| 0.5 * v * (1.0 + erf(v / std::f32::consts::SQRT_2)))
+    parallel::unary(x, |v| 0.5 * v * (1.0 + erf(v / std::f32::consts::SQRT_2)))
 }
 
 /// Cost of the fused [`gelu`] kernel on `shape`.
@@ -45,7 +46,9 @@ pub fn gelu_cost(shape: &[usize]) -> OpCost {
 /// Fails when `x` is not f32.
 pub fn gelu_tanh(x: &Tensor) -> Result<Tensor> {
     const C: f32 = 0.797_884_6; // sqrt(2/pi)
-    x.map(|v| 0.5 * v * (1.0 + (C * (v + 0.044_715 * v * v * v)).tanh()))
+    parallel::unary(x, |v| {
+        0.5 * v * (1.0 + (C * (v + 0.044_715 * v * v * v)).tanh())
+    })
 }
 
 /// Cost of the fused [`gelu_tanh`] kernel on `shape`.
@@ -91,7 +94,7 @@ pub fn new_gelu_cost(shape: &[usize]) -> OpCost {
 ///
 /// Fails when `x` is not f32.
 pub fn silu(x: &Tensor) -> Result<Tensor> {
-    x.map(|v| v / (1.0 + (-v).exp()))
+    parallel::unary(x, |v| v / (1.0 + (-v).exp()))
 }
 
 /// Cost of the fused [`silu`] kernel on `shape`.
@@ -105,7 +108,7 @@ pub fn silu_cost(shape: &[usize]) -> OpCost {
 ///
 /// Fails when `x` is not f32.
 pub fn sigmoid(x: &Tensor) -> Result<Tensor> {
-    x.map(|v| 1.0 / (1.0 + (-v).exp()))
+    parallel::unary(x, |v| 1.0 / (1.0 + (-v).exp()))
 }
 
 /// Cost of [`sigmoid`] on `shape`.
@@ -119,7 +122,7 @@ pub fn sigmoid_cost(shape: &[usize]) -> OpCost {
 ///
 /// Fails when `x` is not f32.
 pub fn hardswish(x: &Tensor) -> Result<Tensor> {
-    x.map(|v| v * ((v + 3.0).clamp(0.0, 6.0)) / 6.0)
+    parallel::unary(x, |v| v * ((v + 3.0).clamp(0.0, 6.0)) / 6.0)
 }
 
 /// Cost of [`hardswish`] on `shape`.
@@ -133,7 +136,7 @@ pub fn hardswish_cost(shape: &[usize]) -> OpCost {
 ///
 /// Fails when `x` is not f32.
 pub fn relu6(x: &Tensor) -> Result<Tensor> {
-    x.map(|v| v.clamp(0.0, 6.0))
+    parallel::unary(x, |v| v.clamp(0.0, 6.0))
 }
 
 /// Cost of [`relu6`] on `shape`.

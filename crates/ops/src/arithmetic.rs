@@ -6,6 +6,7 @@
 
 use ngb_tensor::Tensor;
 
+use crate::parallel;
 use crate::{OpCost, Result};
 
 /// Broadcasting element-wise addition.
@@ -14,7 +15,7 @@ use crate::{OpCost, Result};
 ///
 /// Fails when shapes cannot broadcast or inputs are not f32.
 pub fn add(a: &Tensor, b: &Tensor) -> Result<Tensor> {
-    a.zip_map(b, |x, y| x + y)
+    parallel::binary(a, b, |x, y| x + y)
 }
 
 /// Broadcasting element-wise subtraction.
@@ -23,7 +24,7 @@ pub fn add(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 ///
 /// Fails when shapes cannot broadcast or inputs are not f32.
 pub fn sub(a: &Tensor, b: &Tensor) -> Result<Tensor> {
-    a.zip_map(b, |x, y| x - y)
+    parallel::binary(a, b, |x, y| x - y)
 }
 
 /// Broadcasting element-wise multiplication.
@@ -32,7 +33,7 @@ pub fn sub(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 ///
 /// Fails when shapes cannot broadcast or inputs are not f32.
 pub fn mul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
-    a.zip_map(b, |x, y| x * y)
+    parallel::binary(a, b, |x, y| x * y)
 }
 
 /// Broadcasting element-wise ("true") division.
@@ -41,7 +42,7 @@ pub fn mul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 ///
 /// Fails when shapes cannot broadcast or inputs are not f32.
 pub fn div(a: &Tensor, b: &Tensor) -> Result<Tensor> {
-    a.zip_map(b, |x, y| x / y)
+    parallel::binary(a, b, |x, y| x / y)
 }
 
 /// Element-wise negation.
@@ -50,7 +51,7 @@ pub fn div(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 ///
 /// Fails when input is not f32.
 pub fn neg(a: &Tensor) -> Result<Tensor> {
-    a.map(|x| -x)
+    parallel::unary(a, |x| -x)
 }
 
 /// Adds a scalar to every element.
@@ -59,7 +60,7 @@ pub fn neg(a: &Tensor) -> Result<Tensor> {
 ///
 /// Fails when input is not f32.
 pub fn add_scalar(a: &Tensor, s: f32) -> Result<Tensor> {
-    a.map(|x| x + s)
+    parallel::unary(a, |x| x + s)
 }
 
 /// Multiplies every element by a scalar (attention's `1/sqrt(d)` scale).
@@ -68,7 +69,7 @@ pub fn add_scalar(a: &Tensor, s: f32) -> Result<Tensor> {
 ///
 /// Fails when input is not f32.
 pub fn mul_scalar(a: &Tensor, s: f32) -> Result<Tensor> {
-    a.map(|x| x * s)
+    parallel::unary(a, |x| x * s)
 }
 
 /// Divides every element by a scalar.
@@ -82,7 +83,7 @@ pub fn div_scalar(a: &Tensor, s: f32) -> Result<Tensor> {
             "div_scalar by zero".into(),
         ));
     }
-    a.map(|x| x / s)
+    parallel::unary(a, |x| x / s)
 }
 
 /// Element-wise power with scalar exponent.
@@ -91,7 +92,7 @@ pub fn div_scalar(a: &Tensor, s: f32) -> Result<Tensor> {
 ///
 /// Fails when input is not f32.
 pub fn pow_scalar(a: &Tensor, e: f32) -> Result<Tensor> {
-    a.map(|x| x.powf(e))
+    parallel::unary(a, |x| x.powf(e))
 }
 
 /// Element-wise square root.
@@ -100,7 +101,7 @@ pub fn pow_scalar(a: &Tensor, e: f32) -> Result<Tensor> {
 ///
 /// Fails when input is not f32.
 pub fn sqrt(a: &Tensor) -> Result<Tensor> {
-    a.map(f32::sqrt)
+    parallel::unary(a, f32::sqrt)
 }
 
 /// Element-wise reciprocal square root.
@@ -109,7 +110,7 @@ pub fn sqrt(a: &Tensor) -> Result<Tensor> {
 ///
 /// Fails when input is not f32.
 pub fn rsqrt(a: &Tensor) -> Result<Tensor> {
-    a.map(|x| 1.0 / x.sqrt())
+    parallel::unary(a, |x| 1.0 / x.sqrt())
 }
 
 /// Clamps every element into `[lo, hi]`.
@@ -118,7 +119,7 @@ pub fn rsqrt(a: &Tensor) -> Result<Tensor> {
 ///
 /// Fails when input is not f32.
 pub fn clamp(a: &Tensor, lo: f32, hi: f32) -> Result<Tensor> {
-    a.map(move |x| x.clamp(lo, hi))
+    parallel::unary(a, move |x| x.clamp(lo, hi))
 }
 
 /// Mean over dimension `dim` (keepdim optional).

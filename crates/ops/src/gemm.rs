@@ -8,7 +8,194 @@
 
 use ngb_tensor::{Tensor, TensorError};
 
+use crate::parallel::{self, SendPtr};
 use crate::{OpCost, Result, F32_BYTES};
+
+/// Register-block height: rows of C computed together by the micro-kernel.
+const MR: usize = 4;
+/// Register-block width: one packed B panel is `NR` output columns.
+const NR: usize = 8;
+
+/// Length of the packed-panel buffer for a `[k, n]` B operand.
+fn packed_len(k: usize, n: usize) -> usize {
+    n.div_ceil(NR) * k * NR
+}
+
+/// Packs row-major `B[k, n]` into `[panel][k][NR]` panels so the
+/// micro-kernel's inner loop reads B with unit stride. Tail-panel lanes
+/// beyond `n` are written as zeros (the buffer is reusable across calls).
+fn pack_b_into(bv: &[f32], k: usize, n: usize, packed: &mut [f32]) {
+    debug_assert_eq!(packed.len(), packed_len(k, n));
+    let panels = n.div_ceil(NR);
+    for p in 0..panels {
+        let j0 = p * NR;
+        let w = NR.min(n - j0);
+        let dst = &mut packed[p * k * NR..(p + 1) * k * NR];
+        for kk in 0..k {
+            let lane = &mut dst[kk * NR..(kk + 1) * NR];
+            lane[..w].copy_from_slice(&bv[kk * n + j0..kk * n + j0 + w]);
+            lane[w..].fill(0.0);
+        }
+    }
+}
+
+/// Packs `B = w^T` directly from row-major `w[n, k]` (a Linear weight in
+/// `[out, in]` layout), skipping the materialized transpose entirely.
+fn pack_bt_into(wv: &[f32], k: usize, n: usize, packed: &mut [f32]) {
+    debug_assert_eq!(packed.len(), packed_len(k, n));
+    let panels = n.div_ceil(NR);
+    for p in 0..panels {
+        let j0 = p * NR;
+        let w = NR.min(n - j0);
+        let dst = &mut packed[p * k * NR..(p + 1) * k * NR];
+        if w < NR {
+            dst.fill(0.0);
+        }
+        for (jj, wrow) in wv[j0 * k..(j0 + w) * k].chunks_exact(k).enumerate() {
+            for (kk, &v) in wrow.iter().enumerate() {
+                dst[kk * NR + jj] = v;
+            }
+        }
+    }
+}
+
+/// Whether the AVX2+FMA micro-kernel can run on this host. Detection is
+/// a cached CPUID probe — a pure function of the hardware, never of
+/// thread count or intra-op mode, so kernel selection cannot break the
+/// bit-identity guarantee on a given machine.
+fn fma_tile_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Full `MR x NR` tile against one packed panel: each of the `MR` rows
+/// accumulates in one YMM register via fused multiply-add over ascending
+/// `kk`. FMA rounds once per multiply-add (vs twice in the portable
+/// loop), so absolute values differ across hosts — but every element is
+/// computed by exactly one deterministic path, keeping results
+/// bit-stable across runs, thread counts, and intra-op modes.
+///
+/// # Safety
+///
+/// Caller must check [`fma_tile_available`]; `arows` must hold the `MR`
+/// full rows starting at `arows[0]`, `panel` must be `k * NR` long.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn tile_fma(arows: &[f32], k: usize, panel: &[f32], acc: &mut [[f32; NR]; MR]) {
+    use std::arch::x86_64::*;
+    debug_assert!(arows.len() >= MR * k && panel.len() == k * NR);
+    let mut c = [_mm256_setzero_ps(); MR];
+    for kk in 0..k {
+        let b = _mm256_loadu_ps(panel.as_ptr().add(kk * NR));
+        for (ii, cr) in c.iter_mut().enumerate() {
+            let a = _mm256_set1_ps(*arows.get_unchecked(ii * k + kk));
+            *cr = _mm256_fmadd_ps(a, b, *cr);
+        }
+    }
+    for (dst, cr) in acc.iter_mut().zip(c) {
+        _mm256_storeu_ps(dst.as_mut_ptr(), cr);
+    }
+}
+
+/// Portable tile: per-element private accumulators summed over ascending
+/// `kk`; handles partial row blocks (`mr < MR`).
+fn tile_portable(
+    av: &[f32],
+    i0: usize,
+    mr: usize,
+    k: usize,
+    panel: &[f32],
+    acc: &mut [[f32; NR]; MR],
+) {
+    for kk in 0..k {
+        let bp = &panel[kk * NR..(kk + 1) * NR];
+        for (ii, accr) in acc.iter_mut().enumerate().take(mr) {
+            let aik = av[(i0 + ii) * k + kk];
+            for (a, &b) in accr.iter_mut().zip(bp) {
+                *a += aik * b;
+            }
+        }
+    }
+}
+
+/// `C[m, n] = A[m, k] @ packed_B (+ bias)` with `MR x NR` register
+/// blocking; row blocks fan out across intra-op chunks.
+///
+/// Every output element is one private accumulator summed over `kk` in
+/// ascending order, so results are bit-identical regardless of how row
+/// blocks are chunked across threads (kernel selection depends only on
+/// host CPU features, never on the chunking).
+///
+/// The previous i-k-j loop skipped `aik == 0.0` terms. That branch only
+/// pays off on sparse inputs; every workload in this suite is dense,
+/// where it costs a compare+branch per multiply-add and blocks
+/// vectorization of the inner loop, so the micro-kernel is branch-free.
+fn gemm_into(
+    av: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    packed: &[f32],
+    bias: Option<&[f32]>,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(out.len(), m * n);
+    if k == 0 {
+        // empty reduction: zeros (+ bias), as the naive loop produced
+        for row in out.chunks_exact_mut(n.max(1)) {
+            match bias {
+                Some(bs) => row.copy_from_slice(&bs[..row.len()]),
+                None => row.fill(0.0),
+            }
+        }
+        return;
+    }
+    let blocks = m.div_ceil(MR);
+    let fma = fma_tile_available();
+    let ptr = SendPtr(out.as_mut_ptr());
+    parallel::par_rows(blocks, MR * n, |block_range| {
+        for ib in block_range {
+            let i0 = ib * MR;
+            let mr = MR.min(m - i0);
+            // SAFETY: row blocks are disjoint; the scoped join keeps
+            // `out` borrowed until every chunk returns.
+            let crows = unsafe { ptr.slice(i0 * n..(i0 + mr) * n) };
+            for (p, panel) in packed.chunks_exact(k * NR).enumerate() {
+                let j0 = p * NR;
+                let w = NR.min(n - j0);
+                let mut acc = [[0.0f32; NR]; MR];
+                match () {
+                    // SAFETY: feature bits checked by fma_tile_available;
+                    // a full block has MR complete A rows from i0.
+                    #[cfg(target_arch = "x86_64")]
+                    () if fma && mr == MR => unsafe {
+                        tile_fma(&av[i0 * k..(i0 + MR) * k], k, panel, &mut acc)
+                    },
+                    _ => tile_portable(av, i0, mr, k, panel, &mut acc),
+                }
+                for (ii, accr) in acc.iter().enumerate().take(mr) {
+                    let dst = &mut crows[ii * n + j0..ii * n + j0 + w];
+                    match bias {
+                        Some(bs) => {
+                            for (d, (&a, &b)) in
+                                dst.iter_mut().zip(accr.iter().zip(&bs[j0..j0 + w]))
+                            {
+                                *d = a + b;
+                            }
+                        }
+                        None => dst.copy_from_slice(&accr[..w]),
+                    }
+                }
+            }
+        }
+    });
+}
 
 /// `C[M,N] = A[M,K] @ B[K,N]` on contiguous row-major buffers.
 ///
@@ -48,21 +235,10 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let bc = b.contiguous();
     let av = ac.as_slice_f32().expect("contiguous f32");
     let bv = bc.as_slice_f32().expect("contiguous f32");
+    let mut packed = vec![0.0f32; packed_len(k, n)];
+    pack_b_into(bv, k, n, &mut packed);
     let mut out = vec![0.0f32; m * n];
-    // i-k-j loop order: unit-stride inner loop over both B and C rows.
-    for i in 0..m {
-        for kk in 0..k {
-            let aik = av[i * k + kk];
-            if aik == 0.0 {
-                continue;
-            }
-            let brow = &bv[kk * n..(kk + 1) * n];
-            let crow = &mut out[i * n..(i + 1) * n];
-            for j in 0..n {
-                crow[j] += aik * brow[j];
-            }
-        }
-    }
+    gemm_into(av, m, k, n, &packed, None, &mut out);
     Tensor::from_vec(out, &[m, n])
 }
 
@@ -90,14 +266,36 @@ pub fn bmm(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             op: "bmm",
         });
     }
-    let batch = a.shape()[0];
-    let mut outs = Vec::with_capacity(batch);
-    for i in 0..batch {
-        let ai = a.select(0, i)?;
-        let bi = b.select(0, i)?;
-        outs.push(matmul(&ai, &bi)?.unsqueeze(0)?);
+    let (batch, m, k) = (a.shape()[0], a.shape()[1], a.shape()[2]);
+    let (k2, n) = (b.shape()[1], b.shape()[2]);
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![m, k],
+            actual: vec![k2, n],
+            op: "matmul",
+        });
     }
-    Tensor::cat(&outs, 0)
+    let ac = a.contiguous();
+    let bc = b.contiguous();
+    let av = ac.as_slice_f32().expect("contiguous f32");
+    let bv = bc.as_slice_f32().expect("contiguous f32");
+    // one packed-panel buffer reused across the batch, one flat output:
+    // no per-batch select/unsqueeze/cat traffic
+    let mut packed = vec![0.0f32; packed_len(k, n)];
+    let mut out = vec![0.0f32; batch * m * n];
+    for i in 0..batch {
+        pack_b_into(&bv[i * k * n..(i + 1) * k * n], k, n, &mut packed);
+        gemm_into(
+            &av[i * m * k..(i + 1) * m * k],
+            m,
+            k,
+            n,
+            &packed,
+            None,
+            &mut out[i * m * n..(i + 1) * m * n],
+        );
+    }
+    Tensor::from_vec(out, &[batch, m, n])
 }
 
 /// Analytic cost of `[b,m,k] @ [b,k,n]`.
@@ -120,12 +318,24 @@ pub fn bmm_cost(b: usize, m: usize, k: usize, n: usize) -> OpCost {
 /// Fails when the trailing dim of `x` differs from `w`'s `in` dim or the
 /// bias length differs from `out`.
 pub fn linear(x: &Tensor, w: &Tensor, bias: Option<&Tensor>) -> Result<Tensor> {
+    linear_impl(x, w, bias, false)
+}
+
+/// Shared Linear/Conv1D body. `w_in_out` selects the weight layout:
+/// `false` packs `B = w^T` from `[out, in]`, `true` packs `w` directly
+/// from GPT-2's `[in, out]` layout — either way without materializing a
+/// transposed copy.
+fn linear_impl(x: &Tensor, w: &Tensor, bias: Option<&Tensor>, w_in_out: bool) -> Result<Tensor> {
     if w.rank() != 2 {
         return Err(TensorError::InvalidArgument(
             "linear weight must be rank 2".into(),
         ));
     }
-    let (out_f, in_f) = (w.shape()[0], w.shape()[1]);
+    let (out_f, in_f) = if w_in_out {
+        (w.shape()[1], w.shape()[0])
+    } else {
+        (w.shape()[0], w.shape()[1])
+    };
     let x_in = *x.shape().last().ok_or_else(|| {
         TensorError::InvalidArgument("linear input must have at least one dim".into())
     })?;
@@ -136,10 +346,6 @@ pub fn linear(x: &Tensor, w: &Tensor, bias: Option<&Tensor>) -> Result<Tensor> {
             op: "linear",
         });
     }
-    let rows = x.numel() / x_in;
-    let x2 = x.reshape(&[rows, x_in])?;
-    let wt = w.transpose(0, 1)?.contiguous();
-    let mut y = matmul(&x2, &wt)?;
     if let Some(b) = bias {
         if b.shape() != [out_f] {
             return Err(TensorError::ShapeMismatch {
@@ -148,11 +354,31 @@ pub fn linear(x: &Tensor, w: &Tensor, bias: Option<&Tensor>) -> Result<Tensor> {
                 op: "linear",
             });
         }
-        y = y.zip_map(b, |a, c| a + c)?;
     }
+    let rows = x.numel() / x_in;
+    let xc = x.contiguous();
+    let xv = xc.as_slice_f32().expect("contiguous f32");
+    let wc = w.contiguous();
+    let wv = wc.as_slice_f32().expect("contiguous f32");
+    let mut packed = vec![0.0f32; packed_len(in_f, out_f)];
+    if w_in_out {
+        pack_b_into(wv, in_f, out_f, &mut packed);
+    } else {
+        pack_bt_into(wv, in_f, out_f, &mut packed);
+    }
+    let bc;
+    let bs = match bias {
+        Some(b) => {
+            bc = b.contiguous();
+            Some(bc.as_slice_f32().expect("contiguous f32"))
+        }
+        None => None,
+    };
+    let mut out = vec![0.0f32; rows * out_f];
+    gemm_into(xv, rows, in_f, out_f, &packed, bs, &mut out);
     let mut out_shape = x.shape().to_vec();
     *out_shape.last_mut().expect("nonempty") = out_f;
-    y.reshape(&out_shape)
+    Tensor::from_vec(out, &out_shape)
 }
 
 /// Analytic cost of a linear layer over `rows` rows.
@@ -173,8 +399,7 @@ pub fn linear_cost(rows: usize, in_f: usize, out_f: usize, bias: bool) -> OpCost
 ///
 /// Same conditions as [`linear`].
 pub fn conv1d_gpt2(x: &Tensor, w: &Tensor, bias: Option<&Tensor>) -> Result<Tensor> {
-    let wt = w.transpose(0, 1)?.contiguous();
-    linear(x, &wt, bias)
+    linear_impl(x, w, bias, true)
 }
 
 /// 2-D convolution on NCHW input via im2col + GEMM.
@@ -230,51 +455,59 @@ pub fn conv2d(
     let xc = x.contiguous();
     let xs = xc.as_slice_f32().expect("contiguous f32");
     let wc = w.contiguous();
+    let wv = wc.as_slice_f32().expect("contiguous f32");
     let fg = f / groups;
+    let cols_rows = cg * kh * kw;
+    let cols_cols = n * oh * ow;
     let mut out = vec![0.0f32; n * f * oh * ow];
 
+    // im2col, packed-panel, and GEMM-output buffers are allocated once
+    // and reused across groups; the im2col pass writes every element
+    // (padding positions included), so no re-zeroing is needed.
+    let mut cols = vec![0.0f32; cols_rows * cols_cols];
+    let mut packed = vec![0.0f32; packed_len(cols_rows, cols_cols)];
+    let mut y = vec![0.0f32; fg * cols_cols];
     for g in 0..groups {
-        // im2col for this group: [cg*kh*kw, N*oh*ow]
-        let cols_rows = cg * kh * kw;
-        let cols_cols = n * oh * ow;
-        let mut cols = vec![0.0f32; cols_rows * cols_cols];
-        for b in 0..n {
-            for cc in 0..cg {
+        // im2col for this group: [cg*kh*kw, N*oh*ow], chunk-parallel by
+        // row (each row is one (channel, ky, kx) tap — disjoint writes)
+        parallel::par_rows_out(&mut cols, cols_rows, cols_cols, |first_row, win| {
+            for (r, rowbuf) in win.chunks_exact_mut(cols_cols.max(1)).enumerate() {
+                let row = first_row + r;
+                let kx = row % kw;
+                let ky = (row / kw) % kh;
+                let cc = row / (kh * kw);
                 let ch = g * cg + cc;
-                for ky in 0..kh {
-                    for kx in 0..kw {
-                        let row = (cc * kh + ky) * kw + kx;
-                        for oy in 0..oh {
-                            let iy = oy * stride + ky;
-                            if iy < padding || iy >= h + padding {
-                                continue;
-                            }
-                            let iy = iy - padding;
-                            for ox in 0..ow {
-                                let ix = ox * stride + kx;
-                                if ix < padding || ix >= wd + padding {
-                                    continue;
-                                }
-                                let ix = ix - padding;
-                                let col = (b * oh + oy) * ow + ox;
-                                cols[row * cols_cols + col] = xs[((b * c + ch) * h + iy) * wd + ix];
-                            }
+                for b in 0..n {
+                    for oy in 0..oh {
+                        let dst = &mut rowbuf[(b * oh + oy) * ow..(b * oh + oy + 1) * ow];
+                        let iy = oy * stride + ky;
+                        if iy < padding || iy >= h + padding {
+                            dst.fill(0.0);
+                            continue;
+                        }
+                        let iy = iy - padding;
+                        let src =
+                            &xs[((b * c + ch) * h + iy) * wd..((b * c + ch) * h + iy + 1) * wd];
+                        for (ox, d) in dst.iter_mut().enumerate() {
+                            let ix = ox * stride + kx;
+                            *d = if ix < padding || ix >= wd + padding {
+                                0.0
+                            } else {
+                                src[ix - padding]
+                            };
                         }
                     }
                 }
             }
-        }
-        // weights for this group: [fg, cg*kh*kw]
-        let wg = wc.narrow(0, g * fg, fg)?.reshape(&[fg, cols_rows])?;
-        let cols_t = Tensor::from_vec(cols, &[cols_rows, cols_cols])?;
-        let y = matmul(&wg, &cols_t)?; // [fg, N*oh*ow]
-        let yv = y.as_slice_f32().expect("matmul output contiguous");
+        });
+        // weights for this group are a contiguous [fg, cg*kh*kw] slice
+        let wg = &wv[g * fg * cols_rows..(g + 1) * fg * cols_rows];
+        pack_b_into(&cols, cols_rows, cols_cols, &mut packed);
+        gemm_into(wg, fg, cols_rows, cols_cols, &packed, None, &mut y); // [fg, N*oh*ow]
         for ff in 0..fg {
             for b in 0..n {
-                for p in 0..oh * ow {
-                    out[((b * f + g * fg + ff) * oh * ow) + p] =
-                        yv[ff * cols_cols + b * oh * ow + p];
-                }
+                let src = &y[ff * cols_cols + b * oh * ow..ff * cols_cols + (b + 1) * oh * ow];
+                out[((b * f + g * fg + ff) * oh * ow)..][..oh * ow].copy_from_slice(src);
             }
         }
     }

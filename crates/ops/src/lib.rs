@@ -17,7 +17,9 @@
 //! * [`roi`] — RoI selection (NMS, RoIAlign, box utilities),
 //! * [`interpolate`] — nearest/bilinear resampling,
 //! * [`embedding`] — table lookup and gather,
-//! * [`reduction`] — argmax/top-k/sum/max.
+//! * [`reduction`] — argmax/top-k/sum/max,
+//! * [`parallel`] — deterministic intra-op chunk partitioning and the
+//!   pluggable scoped runner the execution engines install.
 //!
 //! Every kernel has two faces:
 //!
@@ -53,6 +55,7 @@ pub mod interpolate;
 pub mod logit;
 pub mod memory;
 pub mod normalization;
+pub mod parallel;
 pub mod pooling;
 pub mod reduction;
 pub mod roi;

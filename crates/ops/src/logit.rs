@@ -1,9 +1,63 @@
 //! Logit-computation operators (Table 2 "Logit Computation" group):
 //! numerically-stable softmax and log-softmax over an arbitrary dimension.
+//!
+//! Both kernels are fused over reduction lanes (one max pass, one
+//! exp-and-sum pass, one normalize pass per lane) and lane-parallel
+//! across intra-op chunks. Every lane reduction folds in ascending
+//! dim-index order — the same order [`Tensor::reduce_dim`] uses — so the
+//! fused kernels are bit-identical to the decomposed
+//! reduce/zip_map/map chain they replaced.
 
 use ngb_tensor::Tensor;
 
+use crate::parallel;
 use crate::{OpCost, Result, F32_BYTES};
+
+/// Shared fused body: processes each `(outer, inner)` lane serially,
+/// chunk-parallel across outer blocks.
+fn fused_lane_softmax(
+    xs: &[f32],
+    outer: usize,
+    d: usize,
+    inner: usize,
+    out: &mut [f32],
+    log: bool,
+) {
+    let blk = d * inner;
+    parallel::par_rows_out(out, outer, blk, |first_outer, win| {
+        for (o, oblk) in win.chunks_exact_mut(blk.max(1)).enumerate() {
+            let base = (first_outer + o) * blk;
+            for l in 0..inner {
+                let mut mx = f32::NEG_INFINITY;
+                for t in 0..d {
+                    mx = mx.max(xs[base + t * inner + l]);
+                }
+                if log {
+                    let mut sum = 0.0f32;
+                    for t in 0..d {
+                        let shifted = xs[base + t * inner + l] - mx;
+                        oblk[t * inner + l] = shifted;
+                        sum += shifted.exp();
+                    }
+                    let log_sum = sum.ln();
+                    for t in 0..d {
+                        oblk[t * inner + l] -= log_sum;
+                    }
+                } else {
+                    let mut sum = 0.0f32;
+                    for t in 0..d {
+                        let e = (xs[base + t * inner + l] - mx).exp();
+                        oblk[t * inner + l] = e;
+                        sum += e;
+                    }
+                    for t in 0..d {
+                        oblk[t * inner + l] /= sum;
+                    }
+                }
+            }
+        }
+    });
+}
 
 /// Numerically stable softmax over dimension `dim`.
 ///
@@ -24,6 +78,18 @@ use crate::{OpCost, Result, F32_BYTES};
 /// # }
 /// ```
 pub fn softmax(x: &Tensor, dim: usize) -> Result<Tensor> {
+    let (outer, d, inner) = x.lane_dims(dim)?;
+    let xc = x.contiguous();
+    let Some(xs) = xc.as_slice_f32() else {
+        return softmax_chain(x, dim); // non-f32: chain reports the dtype error
+    };
+    let mut out = vec![0.0f32; x.numel()];
+    fused_lane_softmax(xs, outer, d, inner, &mut out, false);
+    Tensor::from_vec(out, x.shape())
+}
+
+/// The decomposed reduce/zip_map chain, kept as the non-f32 fallback.
+fn softmax_chain(x: &Tensor, dim: usize) -> Result<Tensor> {
     let max = x.reduce_dim(dim, true, f32::NEG_INFINITY, f32::max)?;
     let shifted = x.zip_map(&max, |a, m| a - m)?;
     let exp = shifted.map(f32::exp)?;
@@ -37,6 +103,18 @@ pub fn softmax(x: &Tensor, dim: usize) -> Result<Tensor> {
 ///
 /// Fails when `dim` is out of range or input is not f32.
 pub fn log_softmax(x: &Tensor, dim: usize) -> Result<Tensor> {
+    let (outer, d, inner) = x.lane_dims(dim)?;
+    let xc = x.contiguous();
+    let Some(xs) = xc.as_slice_f32() else {
+        return log_softmax_chain(x, dim); // non-f32: chain reports the dtype error
+    };
+    let mut out = vec![0.0f32; x.numel()];
+    fused_lane_softmax(xs, outer, d, inner, &mut out, true);
+    Tensor::from_vec(out, x.shape())
+}
+
+/// The decomposed reduce/zip_map chain, kept as the non-f32 fallback.
+fn log_softmax_chain(x: &Tensor, dim: usize) -> Result<Tensor> {
     let max = x.reduce_dim(dim, true, f32::NEG_INFINITY, f32::max)?;
     let shifted = x.zip_map(&max, |a, m| a - m)?;
     let exp = shifted.map(f32::exp)?;
@@ -114,6 +192,32 @@ mod tests {
     fn invalid_dim_rejected() {
         let x = Tensor::zeros(&[2, 2]);
         assert!(softmax(&x, 2).is_err());
+    }
+
+    #[test]
+    fn fused_lane_kernel_matches_decomposed_chain_bitwise() {
+        // inner == 1 (last dim) and inner > 1 (middle dim), both dims
+        for (shape, dim) in [(vec![6, 33], 1), (vec![2, 7, 5], 1), (vec![3, 4, 9], 0)] {
+            let x = TensorRng::seed(11).normal(&shape);
+            let fused = softmax(&x, dim).unwrap().to_vec_f32().unwrap();
+            let chain = softmax_chain(&x, dim).unwrap().to_vec_f32().unwrap();
+            assert!(
+                fused
+                    .iter()
+                    .zip(&chain)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "softmax {shape:?} dim {dim} diverged from the chain"
+            );
+            let fused = log_softmax(&x, dim).unwrap().to_vec_f32().unwrap();
+            let chain = log_softmax_chain(&x, dim).unwrap().to_vec_f32().unwrap();
+            assert!(
+                fused
+                    .iter()
+                    .zip(&chain)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "log_softmax {shape:?} dim {dim} diverged from the chain"
+            );
+        }
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use ngb_tensor::{Tensor, TensorError};
 
+use crate::parallel;
 use crate::{OpCost, Result, F32_BYTES};
 
 /// Layer normalization over the last dimension:
@@ -38,15 +39,19 @@ pub fn layer_norm(x: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> Result
     let bs = beta.contiguous();
     let bs = bs.as_slice_f32().expect("contiguous f32");
     let mut out = vec![0.0f32; rows * d];
-    for r in 0..rows {
-        let row = &xs[r * d..(r + 1) * d];
-        let mean: f32 = row.iter().sum::<f32>() / d as f32;
-        let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
-        let inv = 1.0 / (var + eps).sqrt();
-        for i in 0..d {
-            out[r * d + i] = (row[i] - mean) * inv * gs[i] + bs[i];
+    // row-parallel: each row's statistics and normalize stay serial
+    // within the row, so chunking never changes the reduction order
+    parallel::par_rows_out(&mut out, rows, d, |first_row, win| {
+        for (r, orow) in win.chunks_exact_mut(d.max(1)).enumerate() {
+            let row = &xs[(first_row + r) * d..(first_row + r + 1) * d];
+            let mean: f32 = row.iter().sum::<f32>() / d as f32;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let inv = 1.0 / (var + eps).sqrt();
+            for i in 0..d {
+                orow[i] = (row[i] - mean) * inv * gs[i] + bs[i];
+            }
         }
-    }
+    });
     Tensor::from_vec(out, x.shape())
 }
 
@@ -86,14 +91,16 @@ pub fn rms_norm(x: &Tensor, gamma: &Tensor, eps: f32) -> Result<Tensor> {
     let gc = gamma.contiguous();
     let gs = gc.as_slice_f32().expect("contiguous f32");
     let mut out = vec![0.0f32; rows * d];
-    for r in 0..rows {
-        let row = &xs[r * d..(r + 1) * d];
-        let ms: f32 = row.iter().map(|v| v * v).sum::<f32>() / d as f32;
-        let inv = 1.0 / (ms + eps).sqrt();
-        for i in 0..d {
-            out[r * d + i] = row[i] * inv * gs[i];
+    parallel::par_rows_out(&mut out, rows, d, |first_row, win| {
+        for (r, orow) in win.chunks_exact_mut(d.max(1)).enumerate() {
+            let row = &xs[(first_row + r) * d..(first_row + r + 1) * d];
+            let ms: f32 = row.iter().map(|v| v * v).sum::<f32>() / d as f32;
+            let inv = 1.0 / (ms + eps).sqrt();
+            for i in 0..d {
+                orow[i] = row[i] * inv * gs[i];
+            }
         }
-    }
+    });
     Tensor::from_vec(out, x.shape())
 }
 
@@ -174,15 +181,29 @@ pub fn batch_norm2d(
             )));
         }
     }
-    let g4 = gamma.reshape(&[1, c, 1, 1])?;
-    let b4 = beta.reshape(&[1, c, 1, 1])?;
-    let m4 = running_mean.reshape(&[1, c, 1, 1])?;
-    let v4 = running_var.reshape(&[1, c, 1, 1])?;
-    let centered = x.zip_map(&m4, |a, m| a - m)?;
-    let scaled = centered.zip_map(&v4, move |a, v| a / (v + eps).sqrt())?;
-    scaled
-        .zip_map(&g4, |a, g| a * g)?
-        .zip_map(&b4, |a, b| a + b)
+    let xc = x.contiguous();
+    let xs = xc.as_slice_f32().expect("contiguous f32");
+    let gc = gamma.contiguous();
+    let gs = gc.as_slice_f32().expect("contiguous f32");
+    let bc = beta.contiguous();
+    let bs = bc.as_slice_f32().expect("contiguous f32");
+    let mc = running_mean.contiguous();
+    let ms = mc.as_slice_f32().expect("contiguous f32");
+    let vc = running_var.contiguous();
+    let vs = vc.as_slice_f32().expect("contiguous f32");
+    let plane = x.shape()[2] * x.shape()[3];
+    let mut out = vec![0.0f32; x.numel()];
+    // single chunk-parallel pass; the per-element operation order matches
+    // the broadcast chain (sub, div-sqrt, mul, add) bit for bit
+    parallel::par_for_out(&mut out, |start, win| {
+        for (j, o) in win.iter_mut().enumerate() {
+            let i = start + j;
+            let ch = (i / plane.max(1)) % c;
+            let a = xs[i];
+            *o = (a - ms[ch]) / (vs[ch] + eps).sqrt() * gs[ch] + bs[ch];
+        }
+    });
+    Tensor::from_vec(out, x.shape())
 }
 
 /// Cost of a fused inference [`batch_norm2d`] kernel on `shape`.
@@ -217,9 +238,24 @@ pub fn frozen_batch_norm2d(
     // scale = gamma * rsqrt(var + eps); shift = beta - mean * scale
     let scale = gamma.zip_map(running_var, move |g, v| g / (v + eps).sqrt())?;
     let shift = beta.zip_map(&running_mean.zip_map(&scale, |m, s| m * s)?, |b, ms| b - ms)?;
-    let s4 = scale.reshape(&[1, c, 1, 1])?;
-    let sh4 = shift.reshape(&[1, c, 1, 1])?;
-    x.zip_map(&s4, |a, s| a * s)?.zip_map(&sh4, |a, s| a + s)
+    let xc = x.contiguous();
+    let xs = xc.as_slice_f32().expect("contiguous f32");
+    let sc = scale.contiguous();
+    let ss = sc.as_slice_f32().expect("contiguous f32");
+    let shc = shift.contiguous();
+    let shs = shc.as_slice_f32().expect("contiguous f32");
+    let plane = x.shape()[2] * x.shape()[3];
+    let mut out = vec![0.0f32; x.numel()];
+    // the scale-then-shift broadcasts collapse into one chunk-parallel
+    // pass; per element this is exactly `x * s` then `+ shift`
+    parallel::par_for_out(&mut out, |start, win| {
+        for (j, o) in win.iter_mut().enumerate() {
+            let i = start + j;
+            let ch = (i / plane.max(1)) % c;
+            *o = xs[i] * ss[ch] + shs[ch];
+        }
+    });
+    Tensor::from_vec(out, x.shape())
 }
 
 /// Cost of the decomposed [`frozen_batch_norm2d`]: four kernels (scale
@@ -274,23 +310,28 @@ pub fn group_norm(
     let bs = bc.as_slice_f32().expect("contiguous f32");
     let mut out = vec![0.0f32; x.numel()];
     let plane = h * w;
-    for b in 0..n {
-        for g in 0..groups {
-            let start = (b * c + g * cg) * plane;
-            let len = cg * plane;
-            let seg = &xs[start..start + len];
-            let mean: f32 = seg.iter().sum::<f32>() / len as f32;
-            let var: f32 = seg.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / len as f32;
+    let seg_len = cg * plane;
+    // segment-parallel: one (batch, group) segment per work unit, its
+    // statistics and normalize serial within the segment
+    parallel::par_rows_out(&mut out, n * groups, seg_len, |first_seg, win| {
+        for (s, oseg) in win.chunks_exact_mut(seg_len.max(1)).enumerate() {
+            let seg_idx = first_seg + s;
+            let g = seg_idx % groups;
+            let start = seg_idx * seg_len;
+            let seg = &xs[start..start + seg_len];
+            let mean: f32 = seg.iter().sum::<f32>() / seg_len as f32;
+            let var: f32 =
+                seg.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / seg_len as f32;
             let inv = 1.0 / (var + eps).sqrt();
             for cc in 0..cg {
                 let ch = g * cg + cc;
                 for p in 0..plane {
-                    let i = start + cc * plane + p;
-                    out[i] = (xs[i] - mean) * inv * gs[ch] + bs[ch];
+                    let i = cc * plane + p;
+                    oseg[i] = (seg[i] - mean) * inv * gs[ch] + bs[ch];
                 }
             }
         }
-    }
+    });
     Tensor::from_vec(out, x.shape())
 }
 

@@ -24,6 +24,6 @@ pub mod report;
 pub mod trace;
 
 pub use profile::{
-    profile_analytic, profile_analytic_with_options, profile_measured,
+    profile_analytic, profile_analytic_with_options, profile_measured, profile_measured_configured,
     profile_measured_with_engine, Breakdown, ModelProfile, NodeProfile,
 };

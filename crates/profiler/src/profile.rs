@@ -36,6 +36,13 @@ pub struct NodeProfile {
     pub tid: usize,
     /// Output tensor shape.
     pub out_shape: Vec<usize>,
+    /// Intra-op chunks this node's kernels dispatched in the measured run
+    /// (a pure function of the tensor shapes; 1 per small serial kernel).
+    /// 0 for analytic profiles, which execute nothing.
+    pub intra_chunks: usize,
+    /// Maximum number of threads that cooperated on one of this node's
+    /// intra-op dispatches (1 when serial; 0 for analytic profiles).
+    pub intra_parallelism: usize,
     /// For [`OpKind::Fused`](ngb_graph::OpKind::Fused) nodes: `(class,
     /// fraction)` pairs splitting this node's time back across the
     /// taxonomy classes of its constituent stages, pro-rated by the
@@ -265,6 +272,8 @@ pub fn profile_analytic_with_options(
                 Placement::Gpu => 1,
             },
             out_shape: node.out_shape.clone(),
+            intra_chunks: 0,
+            intra_parallelism: 0,
             attribution: node_attribution(graph, node),
         });
     }
@@ -311,12 +320,35 @@ pub fn profile_measured_with_engine(
     seed: u64,
     engine: Engine,
 ) -> Result<ModelProfile, ngb_tensor::TensorError> {
-    let interp = Interpreter::new(seed).engine(engine);
+    profile_measured_configured(graph, iterations, seed, engine, None)
+}
+
+/// [`profile_measured_with_engine`] with an explicit intra-op parallelism
+/// override: `Some(on)` forces the switch, `None` defers to `NGB_INTRAOP`
+/// (default on). Per-node profiles record the chunk count and the maximum
+/// effective intra-op parallelism observed.
+///
+/// # Errors
+///
+/// Propagates interpreter errors.
+pub fn profile_measured_configured(
+    graph: &Graph,
+    iterations: usize,
+    seed: u64,
+    engine: Engine,
+    intra_op: Option<bool>,
+) -> Result<ModelProfile, ngb_tensor::TensorError> {
+    let mut interp = Interpreter::new(seed).engine(engine);
+    if let Some(on) = intra_op {
+        interp = interp.intra_op(on);
+    }
     let iterations = iterations.max(1);
     let mut best: Vec<f64> = vec![f64::INFINITY; graph.len()];
     let mut shapes: Vec<Vec<usize>> = vec![Vec::new(); graph.len()];
     let mut starts: Vec<f64> = vec![0.0; graph.len()];
     let mut workers: Vec<usize> = vec![0; graph.len()];
+    let mut chunks: Vec<usize> = vec![1; graph.len()];
+    let mut intra: Vec<usize> = vec![1; graph.len()];
     for _ in 0..iterations {
         let trace = interp.run(graph)?;
         for t in &trace.timings {
@@ -324,6 +356,8 @@ pub fn profile_measured_with_engine(
             shapes[t.id.0] = t.out_shape.clone();
             starts[t.id.0] = t.start.as_secs_f64();
             workers[t.id.0] = t.worker;
+            chunks[t.id.0] = t.intra_chunks.max(1);
+            intra[t.id.0] = intra[t.id.0].max(t.intra_participants);
         }
     }
     let nodes = graph
@@ -340,6 +374,8 @@ pub fn profile_measured_with_engine(
             start_s: starts[n.id.0],
             tid: workers[n.id.0],
             out_shape: shapes[n.id.0].clone(),
+            intra_chunks: chunks[n.id.0],
+            intra_parallelism: intra[n.id.0],
             attribution: node_attribution(graph, n),
         })
         .collect();
@@ -521,6 +557,24 @@ mod tests {
         // input must start later than the input
         let input_start = p.nodes[0].start_s;
         assert!(p.nodes.iter().any(|n| n.start_s >= input_start));
+    }
+
+    #[test]
+    fn measured_profile_records_intra_op_stats() {
+        let mut b = GraphBuilder::new("wide");
+        let x = b.input(&[1, 64, 2048]); // 128 Ki elems: above the chunk grain
+        b.push(OpKind::Gelu, &[x], "act").unwrap();
+        let g = b.finish();
+        let p = profile_measured_configured(&g, 1, 42, Engine::Sequential, Some(true)).unwrap();
+        let act = p.nodes.iter().find(|n| n.name == "act").unwrap();
+        // chunk count is a pure function of shape: 128Ki / 32Ki = 4 chunks
+        assert_eq!(act.intra_chunks, 4);
+        assert!(act.intra_parallelism >= 1);
+        // sequential engine installs no runner, so chunks run serially
+        assert_eq!(act.intra_parallelism, 1);
+        // and the analytic path reports zeros (nothing executed)
+        let a = profile_analytic(&g, &Platform::data_center(), Flow::Eager, true, 1);
+        assert!(a.nodes.iter().all(|n| n.intra_chunks == 0));
     }
 
     #[test]

@@ -530,6 +530,28 @@ impl Tensor {
         Tensor::from_vec(data, &out_shape)
     }
 
+    /// Splits the shape around `dim` into `(outer, d, inner)`: the product
+    /// of the dims before `dim`, the size of `dim` itself, and the product
+    /// of the dims after it. In a contiguous row-major buffer, reduction
+    /// lane `(o, l)` then occupies elements `o * d * inner + t * inner + l`
+    /// for `t in 0..d` — the decomposition fused lane kernels (softmax and
+    /// friends) iterate over.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `dim` is out of range.
+    pub fn lane_dims(&self, dim: usize) -> Result<(usize, usize, usize)> {
+        if dim >= self.rank() {
+            return Err(TensorError::InvalidDim {
+                dim,
+                rank: self.rank(),
+            });
+        }
+        let outer: usize = self.shape[..dim].iter().product();
+        let inner: usize = self.shape[dim + 1..].iter().product();
+        Ok((outer, self.shape[dim], inner))
+    }
+
     /// Reduces dimension `dim` with `fold`, starting from `init` for every
     /// output lane. When `keepdim` is true the reduced dim is kept as size 1.
     ///
@@ -694,6 +716,16 @@ mod tests {
         assert!(!format!("{t}").is_empty());
         let big = Tensor::zeros(&[100]);
         assert!(format!("{big}").contains("[100]"));
+    }
+
+    #[test]
+    fn lane_dims_decomposes_around_the_dim() {
+        let t = Tensor::zeros(&[2, 5, 3]);
+        assert_eq!(t.lane_dims(0).unwrap(), (1, 2, 15));
+        assert_eq!(t.lane_dims(1).unwrap(), (2, 5, 3));
+        assert_eq!(t.lane_dims(2).unwrap(), (10, 3, 1));
+        assert!(t.lane_dims(3).is_err());
+        assert!(Tensor::scalar(1.0).lane_dims(0).is_err());
     }
 
     #[test]

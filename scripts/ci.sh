@@ -5,7 +5,8 @@
 #   CI_STAGES=clippy scripts/ci.sh # rerun a single stage
 #   CI_STAGES=test-opt,regress scripts/ci.sh
 #
-# Stages: fmt, clippy, test, test-parallel, test-opt, regress.
+# Stages: fmt, clippy, test, test-parallel, test-opt, test-intraop,
+# regress.
 # The regress stage writes target/ci/regress-report.{json,txt} so CI can
 # upload the diff report as an artifact; tune it with NGB_NO_WALLCLOCK=1
 # (skip the measured smoke channel) or NGB_WALLCLOCK_FACTOR=<f> (extra
@@ -13,7 +14,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-ALL_STAGES="fmt,clippy,test,test-parallel,test-opt,regress"
+ALL_STAGES="fmt,clippy,test,test-parallel,test-opt,test-intraop,regress"
 STAGES="${CI_STAGES:-$ALL_STAGES}"
 
 want() { [[ ",$STAGES," == *",$1,"* ]]; }
@@ -43,6 +44,7 @@ run_stage clippy        cargo clippy --all-targets -- -D warnings
 run_stage test          cargo test -q
 run_stage test-parallel env NGB_THREADS=4 cargo test -q
 run_stage test-opt      env NGB_OPT=2 NGB_THREADS=4 cargo test -q
+run_stage test-intraop  env NGB_INTRAOP=1 NGB_THREADS=4 cargo test -q
 run_stage regress       regress_gate
 
 echo "==> ok (stages: $STAGES, total ${SECONDS}s)"

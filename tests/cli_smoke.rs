@@ -53,9 +53,12 @@ fn help_exits_zero_and_documents_every_flag() {
             "--report",
             "--wallclock-iters",
             "--no-wallclock",
+            "--intra-op",
             "NGB_THREADS",
             "NGB_OPT",
             "NGB_NO_WALLCLOCK",
+            "NGB_INTRAOP",
+            "NGB_INTRAOP_MIN_ELEMS",
         ] {
             assert!(text.contains(needle), "{args:?} help lacks '{needle}'");
         }
@@ -76,6 +79,8 @@ fn unknown_flags_and_subcommands_exit_two_with_usage() {
         &["ci", "--format", "csv"],
         &["ci", "--check", "--update"],
         &["run", "--model"], // missing value
+        &["run", "--intra-op", "maybe"],
+        &["verify", "--intra-op", "2"],
     ];
     for args in cases {
         let out = cli().args(*args).output().expect("spawn cli");

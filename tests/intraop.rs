@@ -1,0 +1,76 @@
+//! Determinism contract of intra-op data parallelism: chunk partitioning
+//! is a pure function of shape (never of thread count), and disabling the
+//! runner only serializes the same chunks. Consequently every registry
+//! model must produce bit-identical outputs across {intra-op off, on} ×
+//! {1, 2, 8} worker threads × {O0, O2} rewrite levels.
+
+use nongemm::exec::{Engine, Interpreter};
+use nongemm::{optimize, ModelId, OptLevel, Scale};
+
+/// Output bit patterns: NaN-safe equality (`NaN != NaN` under `f32` eq).
+/// Integer/bool outputs (token ids, NMS keeps) widen into the same space.
+fn bits(trace: &nongemm::exec::ExecutionTrace) -> Vec<(usize, Vec<usize>, Vec<u64>)> {
+    trace
+        .outputs
+        .iter()
+        .map(|(id, t)| {
+            let b = if let Ok(v) = t.to_vec_f32() {
+                v.iter().map(|x| u64::from(x.to_bits())).collect()
+            } else if let Ok(v) = t.to_vec_i64() {
+                v.iter().map(|&x| x as u64).collect()
+            } else {
+                t.to_vec_bool()
+                    .expect("f32, i64, or bool outputs")
+                    .iter()
+                    .map(|&x| u64::from(x))
+                    .collect()
+            };
+            (id.0, t.shape().to_vec(), b)
+        })
+        .collect()
+}
+
+#[test]
+fn every_model_is_bit_identical_across_intra_op_modes() {
+    for &model in ModelId::all() {
+        let base = model
+            .build(1, Scale::Tiny)
+            .unwrap_or_else(|e| panic!("{model}: {e}"));
+        for level in [OptLevel::O0, OptLevel::O2] {
+            let (g, _) = optimize(&base, level);
+            let want = bits(
+                &Interpreter::default()
+                    .intra_op(false)
+                    .run(&g)
+                    .unwrap_or_else(|e| panic!("{model} {level:?} (sequential): {e}")),
+            );
+            assert!(!want.is_empty(), "{model} {level:?}: no outputs");
+            for intra_op in [false, true] {
+                for threads in [1usize, 2, 8] {
+                    let trace = Interpreter::default()
+                        .engine(Engine::Parallel(threads))
+                        .intra_op(intra_op)
+                        .run(&g)
+                        .unwrap_or_else(|e| {
+                            panic!("{model} {level:?} (intra {intra_op}, {threads}t): {e}")
+                        });
+                    assert_eq!(
+                        want,
+                        bits(&trace),
+                        "{model} {level:?}: intra-op {intra_op} on {threads} threads diverged"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn sequential_interpreter_ignores_intra_op_runner_absence() {
+    // intra-op on the sequential engine still partitions (chunk counts are
+    // shape-pure) but runs chunks in place; outputs cannot move.
+    let g = ModelId::Gpt2.build(1, Scale::Tiny).unwrap();
+    let off = bits(&Interpreter::default().intra_op(false).run(&g).unwrap());
+    let on = bits(&Interpreter::default().intra_op(true).run(&g).unwrap());
+    assert_eq!(off, on);
+}
