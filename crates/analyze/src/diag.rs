@@ -50,6 +50,10 @@ pub enum Pass {
     Fusion,
     /// Inter-operator parallelism: wavefront widths of the dependency DAG.
     Parallelism,
+    /// Schedule/memory hazard verification via `ngb-sanitize`:
+    /// happens-before coverage, storage interference, partition
+    /// disjointness.
+    Hazard,
 }
 
 impl Pass {
@@ -62,6 +66,7 @@ impl Pass {
             Pass::Cost,
             Pass::Fusion,
             Pass::Parallelism,
+            Pass::Hazard,
         ]
     }
 
@@ -74,6 +79,7 @@ impl Pass {
             Pass::Cost => "cost",
             Pass::Fusion => "fusion",
             Pass::Parallelism => "parallelism",
+            Pass::Hazard => "hazard",
         }
     }
 }
@@ -128,6 +134,18 @@ pub enum Lint {
     /// A multi-node graph whose every wavefront has width 1, so a parallel
     /// executor can never overlap two operators.
     SerialGraph,
+    /// The schedule or buffer plan silently dropped out-of-range input
+    /// references, so its ordering/lifetimes cover only part of the graph.
+    PlanDroppedEdges,
+    /// A data edge is missing from, or left unordered by, the schedule's
+    /// happens-before relation — a statically detected race.
+    UnorderedDataEdge,
+    /// The buffer plan's lifetimes diverge from the graph (truncated or
+    /// extended), or a slot-sharing pair of values can interfere.
+    StorageInterference,
+    /// An intra-op chunk decomposition is not a pairwise-disjoint exact
+    /// cover of its operator's output.
+    PartitionHazard,
 }
 
 impl Lint {
@@ -151,6 +169,10 @@ impl Lint {
             Lint::FuseAttention,
             Lint::FuseConvBnRelu,
             Lint::SerialGraph,
+            Lint::PlanDroppedEdges,
+            Lint::UnorderedDataEdge,
+            Lint::StorageInterference,
+            Lint::PartitionHazard,
         ]
     }
 
@@ -174,6 +196,10 @@ impl Lint {
             Lint::FuseAttention => "fuse-attention",
             Lint::FuseConvBnRelu => "fuse-conv-bn-relu",
             Lint::SerialGraph => "serial-graph",
+            Lint::PlanDroppedEdges => "plan-dropped-edges",
+            Lint::UnorderedDataEdge => "unordered-data-edge",
+            Lint::StorageInterference => "storage-interference",
+            Lint::PartitionHazard => "partition-hazard",
         }
     }
 
@@ -198,6 +224,10 @@ impl Lint {
             | Lint::TrafficUnderflow => Pass::Cost,
             Lint::FuseLinearActivation | Lint::FuseAttention | Lint::FuseConvBnRelu => Pass::Fusion,
             Lint::SerialGraph => Pass::Parallelism,
+            Lint::PlanDroppedEdges
+            | Lint::UnorderedDataEdge
+            | Lint::StorageInterference
+            | Lint::PartitionHazard => Pass::Hazard,
         }
     }
 
@@ -213,7 +243,11 @@ impl Lint {
             | Lint::CensusMismatch
             | Lint::GemmZeroFlops
             | Lint::KernellessWork
-            | Lint::ZeroCostNode => Severity::Deny,
+            | Lint::ZeroCostNode
+            | Lint::PlanDroppedEdges
+            | Lint::UnorderedDataEdge
+            | Lint::StorageInterference
+            | Lint::PartitionHazard => Severity::Deny,
             Lint::DeadNode | Lint::DuplicateSubgraph | Lint::TrafficUnderflow => Severity::Warn,
             Lint::FuseLinearActivation
             | Lint::FuseAttention
@@ -242,6 +276,10 @@ impl Lint {
             Lint::FuseAttention => "MatMul -> scale -> (mask) -> Softmax attention prologue",
             Lint::FuseConvBnRelu => "Conv2d -> BatchNorm -> ReLU triple",
             Lint::SerialGraph => "no inter-operator parallelism (every wavefront has width 1)",
+            Lint::PlanDroppedEdges => "schedule or buffer plan silently dropped input references",
+            Lint::UnorderedDataEdge => "data edge unordered by the schedule's happens-before",
+            Lint::StorageInterference => "plan lifetimes diverge from the graph or slots interfere",
+            Lint::PartitionHazard => "intra-op chunk decomposition is not a disjoint exact cover",
         }
     }
 }

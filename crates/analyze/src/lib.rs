@@ -1,7 +1,7 @@
 //! # ngb-analyze
 //!
 //! Static graph analysis and lints over the NonGEMM Bench operator IR — a
-//! `clippy` for [`ngb_graph::Graph`]s. The [`Analyzer`] runs six passes:
+//! `clippy` for [`ngb_graph::Graph`]s. The [`Analyzer`] runs seven passes:
 //!
 //! 1. **structural** — NodeId/topological-order consistency, dangling
 //!    inputs, dead-node detection, duplicate-subgraph (CSE) candidates;
@@ -17,7 +17,11 @@
 //! 6. **parallelism** — builds the executor's wavefront schedule
 //!    ([`ngb_exec::Schedule`]) and reports the graph's depth and max/mean
 //!    wavefront width — how much inter-operator parallelism a multi-threaded
-//!    runner can exploit.
+//!    runner can exploit;
+//! 7. **hazard** — runs the `ngb-sanitize` static verifier
+//!    ([`ngb_sanitize::verify_graph`]): happens-before coverage of every
+//!    data edge, storage-interference soundness of the buffer plan, and
+//!    partition disjointness of intra-op chunk decompositions.
 //!
 //! Findings are [`Diagnostic`]s with a configurable severity
 //! (allow / warn / deny, per lint via [`LintConfig`]) and render both
@@ -48,6 +52,8 @@
 //! # Ok(())
 //! # }
 //! ```
+
+#![forbid(unsafe_code)]
 
 mod diag;
 mod passes;

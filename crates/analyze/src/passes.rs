@@ -1,7 +1,8 @@
-//! The [`Analyzer`] and its five passes.
+//! The [`Analyzer`] and its seven passes.
 //!
 //! Passes run in a fixed order — structural, shape, taxonomy, cost,
-//! fusion — and each appends [`Diagnostic`]s to the report. Later passes
+//! fusion, parallelism, hazard — and each appends [`Diagnostic`]s to the
+//! report. Later passes
 //! guard against structurally broken nodes (out-of-range inputs) instead of
 //! assuming the structural pass came back clean, so a single corrupted node
 //! produces one precise finding rather than a cascade of panics.
@@ -109,7 +110,7 @@ impl Analyzer {
         Analyzer { config }
     }
 
-    /// Runs all six passes over `graph`.
+    /// Runs all seven passes over `graph`.
     pub fn analyze(&self, graph: &Graph) -> AnalysisReport {
         let mut ctx = Ctx::new(graph, &self.config);
         structural_pass(&mut ctx);
@@ -118,6 +119,7 @@ impl Analyzer {
         cost_pass(&mut ctx);
         fusion_pass(&mut ctx);
         let parallelism = parallelism_pass(&mut ctx);
+        hazard_pass(&mut ctx);
         AnalysisReport {
             graph_name: graph.name.clone(),
             diagnostics: ctx.diagnostics,
@@ -469,6 +471,43 @@ fn parallelism_pass(ctx: &mut Ctx) -> ParallelismStats {
         );
     }
     stats
+}
+
+/// Pass 7: schedule/memory hazard verification, delegated to
+/// [`ngb_sanitize::verify_graph`]. Each hazard maps onto one of four
+/// lints by class; a clean graph emits nothing, so this pass never
+/// perturbs finding counts (or the perf-regression baselines built on
+/// them) for healthy models. Structurally broken graphs are skipped —
+/// the structural pass already owns those findings, and the verifier
+/// would only re-report the same corruption.
+fn hazard_pass(ctx: &mut Ctx) {
+    if ctx.graph.is_empty() || !ctx.graph.structural_issues().is_empty() {
+        return;
+    }
+    let report = ngb_sanitize::verify_graph(ctx.graph);
+    for hazard in report.hazards {
+        let lint = match hazard.kind {
+            ngb_sanitize::HazardKind::DroppedEdge
+            | ngb_sanitize::HazardKind::IncompleteSchedule => Lint::PlanDroppedEdges,
+            ngb_sanitize::HazardKind::MissingEdge
+            | ngb_sanitize::HazardKind::UnorderedPair
+            | ngb_sanitize::HazardKind::IndegreeMismatch => Lint::UnorderedDataEdge,
+            ngb_sanitize::HazardKind::UsesMismatch
+            | ngb_sanitize::HazardKind::LifetimeTruncated
+            | ngb_sanitize::HazardKind::LifetimeExtended
+            | ngb_sanitize::HazardKind::PeakMismatch
+            | ngb_sanitize::HazardKind::UnorderedReuse
+            | ngb_sanitize::HazardKind::SlotConflict
+            | ngb_sanitize::HazardKind::Runtime => Lint::StorageInterference,
+            ngb_sanitize::HazardKind::PartitionOverlap
+            | ngb_sanitize::HazardKind::PartitionGap
+            | ngb_sanitize::HazardKind::PartitionOutOfBounds => Lint::PartitionHazard,
+        };
+        match hazard.nodes.first() {
+            Some(&node) => ctx.emit(lint, node, hazard.message),
+            None => ctx.emit_graph(lint, hazard.message),
+        }
+    }
 }
 
 /// Matches the attention prologue backwards from a softmax node:

@@ -14,6 +14,8 @@
 //! * `summary` — the §4.3 headline averages
 //! * `microbench` — the standalone operator registry replay
 
+#![forbid(unsafe_code)]
+
 use nongemm::{Breakdown, ModelProfile, NonGemmGroup};
 
 /// Formats a breakdown as a fixed-width percentage row over the given

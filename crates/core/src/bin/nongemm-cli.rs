@@ -6,6 +6,9 @@
 //!   or through the microbench flow;
 //! * `verify` — run the `ngb-analyze` static analyzer; exits 0 when
 //!   every report is clean, 1 when any deny-level diagnostic fires;
+//! * `sanitize` — run the `ngb-sanitize` schedule/memory hazard verifier
+//!   and (unless `--static-only`) execute each clean graph under the
+//!   shadow-memory sanitizer; exits 0 when every report is hazard-free;
 //! * `ci` — the perf-regression gate: `--check` diffs the current tree
 //!   against the committed golden baselines under `baselines/` and exits
 //!   non-zero on any divergence, `--update` regenerates them (plus the
@@ -45,6 +48,7 @@ struct Args {
     threads: usize,
     opt_level: Option<OptLevel>,
     intra_op: Option<bool>,
+    sanitize: Option<bool>,
     format: Format,
     trace: Option<String>,
 }
@@ -59,6 +63,18 @@ struct VerifyArgs {
     intra_op: Option<bool>,
     format: Format,
     all: bool,
+}
+
+#[derive(Debug)]
+struct SanitizeArgs {
+    models: Vec<String>,
+    batch: usize,
+    tiny: bool,
+    threads: usize,
+    opt_level: Option<OptLevel>,
+    intra_op: Option<bool>,
+    static_only: bool,
+    format: Format,
 }
 
 #[derive(Debug)]
@@ -79,6 +95,7 @@ nongemm-cli — NonGEMM Bench profiling harness
 USAGE:
   nongemm-cli [run] [OPTIONS]     profile models (default subcommand)
   nongemm-cli verify [OPTIONS]    static graph analysis + lints
+  nongemm-cli sanitize [OPTIONS]  schedule/memory hazard verifier + sanitizer
   nongemm-cli ci [OPTIONS]        perf-regression gate over golden baselines
   nongemm-cli help | --help | -h  print this help
 
@@ -95,6 +112,8 @@ RUN OPTIONS:
   --opt-level <0|1|2>   graph-rewrite level (default: $NGB_OPT or 0)
   --intra-op <on|off>   intra-op data parallelism for --measured
                         (default: $NGB_INTRAOP or on)
+  --sanitize            run --measured under the shadow-memory sanitizer
+                        (default: $NGB_SANITIZE or off)
   --format <fmt>        text | csv | json (default: text)
   --trace <path>        also write a Chrome trace JSON per model
 
@@ -107,6 +126,17 @@ VERIFY OPTIONS:
   --intra-op <on|off>   accepted for parity with run (analysis is static)
   --format <fmt>        text | json (default: text)
   --all                 include allow-level findings in text output
+
+SANITIZE OPTIONS:
+  --model <alias>       model alias (repeatable; default: all 18)
+  --batch <n>           batch size (default: 1)
+  --tiny                use the executable tiny presets
+  --threads <n>         engine for the sanitized execution pass
+                        (default: $NGB_THREADS or 1)
+  --opt-level <0|1|2>   sanitize the rewritten graphs (default: $NGB_OPT or 0)
+  --intra-op <on|off>   intra-op parallelism for the execution pass
+  --static-only         skip the shadow-memory execution pass
+  --format <fmt>        text | json (default: text)
 
 CI OPTIONS:
   --check               diff current state against baselines (default)
@@ -122,6 +152,7 @@ CI OPTIONS:
 ENVIRONMENT:
   NGB_THREADS / NGB_OPT      defaults for --threads / --opt-level
   NGB_INTRAOP                default for --intra-op (0/off/false disable)
+  NGB_SANITIZE               default for --sanitize (0/off/false disable)
   NGB_INTRAOP_MIN_ELEMS      min elements before a kernel splits into
                              intra-op chunks (work-budget heuristic)
 
@@ -191,6 +222,7 @@ fn parse_run_args(argv: &[String]) -> Args {
         threads: 0,
         opt_level: None,
         intra_op: None,
+        sanitize: None,
         format: Format::Text,
         trace: None,
     };
@@ -238,6 +270,7 @@ fn parse_run_args(argv: &[String]) -> Args {
             "--intra-op" => {
                 args.intra_op = Some(parse_intra_op(&take_value(&mut it, "--intra-op")))
             }
+            "--sanitize" => args.sanitize = Some(true),
             "--format" => {
                 args.format = match take_value(&mut it, "--format").as_str() {
                     "text" => Format::Text,
@@ -302,6 +335,59 @@ fn parse_verify_args(argv: &[String]) -> VerifyArgs {
                     "json" => Format::Json,
                     other => {
                         eprintln!("verify supports --format text|json, not '{other}'");
+                        usage()
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                print!("{HELP}");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn parse_sanitize_args(argv: &[String]) -> SanitizeArgs {
+    let mut args = SanitizeArgs {
+        models: Vec::new(),
+        batch: 1,
+        tiny: false,
+        threads: 0,
+        opt_level: None,
+        intra_op: None,
+        static_only: false,
+        format: Format::Text,
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--model" => {
+                let v = take_value(&mut it, "--model");
+                args.models.push(v);
+            }
+            "--batch" => args.batch = parse_positive(&take_value(&mut it, "--batch"), "--batch"),
+            "--tiny" => args.tiny = true,
+            "--static-only" => args.static_only = true,
+            "--threads" => {
+                args.threads = parse_positive(&take_value(&mut it, "--threads"), "--threads")
+            }
+            "--opt-level" => {
+                args.opt_level = Some(parse_opt_level(&take_value(&mut it, "--opt-level")))
+            }
+            "--intra-op" => {
+                args.intra_op = Some(parse_intra_op(&take_value(&mut it, "--intra-op")))
+            }
+            "--format" => {
+                args.format = match take_value(&mut it, "--format").as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => {
+                        eprintln!("sanitize supports --format text|json, not '{other}'");
                         usage()
                     }
                 }
@@ -384,6 +470,7 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match argv.first().map(String::as_str) {
         Some("verify") => run_verify(&argv[1..]),
+        Some("sanitize") => run_sanitize(&argv[1..]),
         Some("run") => run_bench(&argv[1..]),
         Some("ci") => run_ci(&argv[1..]),
         Some("help") => print_help(),
@@ -428,6 +515,47 @@ fn run_verify(argv: &[String]) -> ExitCode {
     if denied > 0 {
         eprintln!(
             "verify: {denied} deny-level finding(s) across {} model(s)",
+            reports.len()
+        );
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn run_sanitize(argv: &[String]) -> ExitCode {
+    let args = parse_sanitize_args(argv);
+    let bench = NonGemmBench::new(BenchConfig {
+        models: args.models.clone(),
+        batch: args.batch,
+        scale: if args.tiny { Scale::Tiny } else { Scale::Full },
+        threads: args.threads,
+        opt_level: args.opt_level,
+        intra_op: args.intra_op,
+        ..BenchConfig::default()
+    });
+    let reports = match bench.sanitize(!args.static_only) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sanitize failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if reports.is_empty() {
+        eprintln!("no models matched the selection");
+        return ExitCode::FAILURE;
+    }
+    let mut hazards = 0usize;
+    for report in &reports {
+        hazards += report.hazards.len();
+        match args.format {
+            Format::Json => println!("{}", report.to_json()),
+            _ => println!("{}", report.to_text()),
+        }
+    }
+    if hazards > 0 {
+        eprintln!(
+            "sanitize: {hazards} hazard(s) across {} model(s)",
             reports.len()
         );
         ExitCode::FAILURE
@@ -544,6 +672,7 @@ fn run_bench(argv: &[String]) -> ExitCode {
         threads: args.threads,
         opt_level: args.opt_level,
         intra_op: args.intra_op,
+        sanitize: args.sanitize,
     });
 
     if args.microbench {

@@ -20,6 +20,7 @@
 //! | [`graph`] | `ngb-graph` | operator-graph IR and classification |
 //! | [`exec`] | `ngb-exec` | sequential + parallel graph execution engine |
 //! | [`analyze`] | `ngb-analyze` | static graph analysis + lint diagnostics |
+//! | [`sanitize`] | `ngb-sanitize` | schedule/memory hazard verifier + fault injection |
 //! | [`models`] | `ngb-models` | the 18 Table 1 model builders |
 //! | [`platform`] | `ngb-platform` | Table 3 device roofline models |
 //! | [`runtime`] | `ngb-runtime` | deployment flows (eager/TS/Dynamo/ORT) |
@@ -46,6 +47,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use ngb_analyze as analyze;
 pub use ngb_data as data;
 pub use ngb_exec as exec;
@@ -58,6 +61,7 @@ pub use ngb_platform as platform;
 pub use ngb_profiler as profiler;
 pub use ngb_regress as regress;
 pub use ngb_runtime as runtime;
+pub use ngb_sanitize as sanitize;
 pub use ngb_tensor as tensor;
 
 pub use ngb_analyze::{AnalysisReport, Analyzer, Lint, LintConfig, Severity};
@@ -71,6 +75,7 @@ pub use ngb_profiler::report::{NonGemmReport, PerformanceReport, WorkloadReport}
 pub use ngb_profiler::{Breakdown, ModelProfile};
 pub use ngb_regress::{CheckOutcome, GateConfig, ModelBaseline, Tolerance, UpdateOutcome};
 pub use ngb_runtime::Flow;
+pub use ngb_sanitize::{Hazard, HazardKind, SanitizeReport};
 
 mod compare;
 pub use compare::{comparison_table, BenchmarkFeatures};
@@ -105,6 +110,9 @@ pub struct BenchConfig {
     /// Intra-op data parallelism for measured execution.
     /// `None` means auto: honor `NGB_INTRAOP` when set, else on.
     pub intra_op: Option<bool>,
+    /// Shadow-memory execution sanitizer for measured execution.
+    /// `None` means auto: honor `NGB_SANITIZE` when set, else off.
+    pub sanitize: Option<bool>,
 }
 
 impl Default for BenchConfig {
@@ -120,6 +128,7 @@ impl Default for BenchConfig {
             threads: 0,
             opt_level: None,
             intra_op: None,
+            sanitize: None,
         }
     }
 }
@@ -233,6 +242,14 @@ impl NonGemmBench {
             .unwrap_or_else(|| ngb_exec::env_intraop(true))
     }
 
+    /// Effective shadow-memory sanitizer switch: the explicit `sanitize`
+    /// setting, or `NGB_SANITIZE` (falling back to off) when unset.
+    pub fn effective_sanitize(&self) -> bool {
+        self.config
+            .sanitize
+            .unwrap_or_else(|| ngb_exec::env_sanitize(false))
+    }
+
     /// The execution engine measured runs use, derived from
     /// [`NonGemmBench::effective_threads`].
     pub fn engine(&self) -> Engine {
@@ -251,16 +268,56 @@ impl NonGemmBench {
     pub fn run_measured(&self) -> Result<Vec<ModelProfile>, TensorError> {
         let engine = self.engine();
         let intra_op = self.effective_intra_op();
+        let sanitize = self.effective_sanitize();
         self.build_graphs()?
             .iter()
             .map(|g| {
-                ngb_profiler::profile_measured_configured(
+                ngb_profiler::profile_measured_checked(
                     g,
                     self.config.iterations,
                     0x5eed,
                     engine,
                     Some(intra_op),
+                    Some(sanitize),
                 )
+            })
+            .collect()
+    }
+
+    /// Runs the `ngb-sanitize` static hazard verifier over every selected
+    /// model's graph — happens-before coverage, storage-interference
+    /// soundness, partition disjointness — one report per model. With
+    /// `execute` set, each statically clean graph is additionally executed
+    /// under the shadow-memory sanitizer on the configured engine; a
+    /// runtime violation is appended to that model's report as a
+    /// [`HazardKind::Runtime`] hazard instead of failing the sweep.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph-construction errors (sanitizer findings are
+    /// reported, not raised).
+    pub fn sanitize(&self, execute: bool) -> Result<Vec<SanitizeReport>, TensorError> {
+        let engine = self.engine();
+        let intra_op = self.effective_intra_op();
+        self.build_graphs()?
+            .iter()
+            .map(|g| {
+                let mut report = ngb_sanitize::verify_graph(g);
+                if execute && report.is_clean() {
+                    let run = Interpreter::new(0x5eed)
+                        .engine(engine)
+                        .intra_op(intra_op)
+                        .sanitize(true)
+                        .run(g);
+                    if let Err(e) = run {
+                        report.push(
+                            HazardKind::Runtime,
+                            Vec::new(),
+                            format!("sanitized execution failed: {e}"),
+                        );
+                    }
+                }
+                Ok(report)
             })
             .collect()
     }
@@ -434,6 +491,24 @@ mod tests {
             assert_eq!(x.graph_name, y.graph_name);
             assert_eq!(x.diagnostics.len(), y.diagnostics.len());
             assert_eq!(x.parallelism, y.parallelism);
+        }
+    }
+
+    #[test]
+    fn sanitize_flow_is_hazard_free_for_presets() {
+        let b = NonGemmBench::new(BenchConfig {
+            models: vec!["gpt2".into(), "mrcnn".into()],
+            scale: Scale::Tiny,
+            threads: 2,
+            sanitize: Some(true),
+            ..BenchConfig::default()
+        });
+        assert!(b.effective_sanitize());
+        let reports = b.sanitize(true).unwrap();
+        assert_eq!(reports.len(), 2);
+        for r in &reports {
+            assert!(r.is_clean(), "{}", r.to_text());
+            assert!(r.stats.ordered_pairs_proved > 0, "{}", r.graph_name);
         }
     }
 

@@ -9,6 +9,8 @@
 //! code path is exercised end to end. See DESIGN.md §2 for the
 //! substitution rationale.
 
+#![forbid(unsafe_code)]
+
 mod image;
 mod text;
 

@@ -26,6 +26,11 @@ pub struct BufferPlan {
     pub planned_peak_bytes: usize,
     /// Sum of all activation bytes — what a run that never frees holds.
     pub naive_bytes: usize,
+    /// Input references pointing outside the graph that the liveness pass
+    /// had to skip. Nonzero means the graph is corrupt and this plan's
+    /// counts/lifetimes describe only the in-range structure — check
+    /// [`BufferPlan::is_complete`] before trusting the plan.
+    pub dropped_edges: usize,
 }
 
 impl BufferPlan {
@@ -35,11 +40,14 @@ impl BufferPlan {
         let len = graph.len();
         let mut uses = vec![0usize; len];
         let mut last_use: Vec<Option<usize>> = vec![None; len];
+        let mut dropped_edges = 0usize;
         for (pos, node) in graph.iter().enumerate() {
             for &i in &node.inputs {
                 if i.0 < len {
                     uses[i.0] += 1;
                     last_use[i.0] = Some(pos);
+                } else {
+                    dropped_edges += 1;
                 }
             }
         }
@@ -73,7 +81,14 @@ impl BufferPlan {
             last_use,
             planned_peak_bytes,
             naive_bytes,
+            dropped_edges,
         }
+    }
+
+    /// Whether the liveness pass covered every input edge (false means the
+    /// graph referenced nodes outside itself and the plan is partial).
+    pub fn is_complete(&self) -> bool {
+        self.dropped_edges == 0
     }
 
     /// Whether node `i` is a graph output (no consumers).
@@ -230,6 +245,22 @@ mod tests {
         );
         assert!(plan.is_output(4));
         assert!(!plan.is_output(0));
+    }
+
+    #[test]
+    fn out_of_range_edges_are_counted_not_silently_dropped() {
+        let mut b = GraphBuilder::new("chain");
+        let x = b.input(&[4]);
+        b.push(OpKind::Gelu, &[x], "g").unwrap();
+        let mut g = b.finish();
+        assert!(BufferPlan::new(&g).is_complete());
+
+        g.nodes[1].inputs = vec![ngb_graph::NodeId(0), ngb_graph::NodeId(9)];
+        let plan = BufferPlan::new(&g);
+        assert!(!plan.is_complete());
+        assert_eq!(plan.dropped_edges, 1);
+        // the in-range edge still counts
+        assert_eq!(plan.uses[0], 1);
     }
 
     #[test]

@@ -112,6 +112,7 @@ pub struct Interpreter {
     preflight: bool,
     engine: Engine,
     intra_op: Option<bool>,
+    sanitize: Option<bool>,
 }
 
 impl Default for Interpreter {
@@ -128,6 +129,7 @@ impl Interpreter {
             preflight: false,
             engine: Engine::Sequential,
             intra_op: None,
+            sanitize: None,
         }
     }
 
@@ -151,6 +153,22 @@ impl Interpreter {
     /// The effective intra-op setting (explicit override or `NGB_INTRAOP`).
     pub fn intra_op_enabled(&self) -> bool {
         self.intra_op.unwrap_or_else(|| crate::env_intraop(true))
+    }
+
+    /// Forces the shadow-memory execution sanitizer on or off. The default
+    /// (`None`) honors `NGB_SANITIZE` (off when unset). When enabled, every
+    /// value-table access is checked against a [`crate::ShadowMemory`] and
+    /// hazards fail the run with the offending node ids and an access
+    /// trace; results are unchanged (the sanitizer only observes).
+    #[must_use]
+    pub fn sanitize(mut self, enabled: bool) -> Interpreter {
+        self.sanitize = Some(enabled);
+        self
+    }
+
+    /// The effective sanitizer setting (explicit override or `NGB_SANITIZE`).
+    pub fn sanitize_enabled(&self) -> bool {
+        self.sanitize.unwrap_or_else(|| crate::env_sanitize(false))
     }
 
     /// Enables (or disables) the opt-in preflight check: before executing,
@@ -201,6 +219,7 @@ impl Interpreter {
             Engine::Sequential => self.run_sequential(graph, inputs),
             Engine::Parallel(n) => crate::ParallelExecutor::new(self.seed, n.max(1))
                 .intra_op(self.intra_op_enabled())
+                .sanitize(self.sanitize_enabled())
                 .run_with_inputs(graph, inputs),
         }
     }
@@ -231,6 +250,9 @@ impl Interpreter {
         }
         let is_output: Vec<bool> = uses.iter().map(|&u| u == 0).collect();
         let arena = Arena::default();
+        let shadow = self
+            .sanitize_enabled()
+            .then(|| crate::ShadowMemory::new(len));
         let mut live_bytes = 0usize;
         let mut peak_live_bytes = 0usize;
         let t0 = Instant::now();
@@ -241,6 +263,11 @@ impl Interpreter {
                     node.id
                 )));
             }
+            if let Some(s) = &shadow {
+                for &i in &node.inputs {
+                    s.begin_read(i.0, pos)?;
+                }
+            }
             let args = gather_args(node, &values)?;
             let started = Instant::now();
             // no intra-op runner here: the same shape-pure chunks run
@@ -250,6 +277,12 @@ impl Interpreter {
             let stats = ngb_ops::parallel::take_stats();
             let elapsed = started.elapsed();
             drop(args); // release input clones so last-use reclaim sees unique storage
+            if let Some(s) = &shadow {
+                s.write(pos, pos)?;
+                for &i in &node.inputs {
+                    s.end_read(i.0, pos);
+                }
+            }
             live_bytes += planner_bytes(out.shape());
             peak_live_bytes = peak_live_bytes.max(live_bytes);
             timings.push(NodeTiming {
@@ -266,6 +299,9 @@ impl Interpreter {
                 uses[i.0] -= 1;
                 if uses[i.0] == 0 {
                     if let Some(dead) = values[i.0].take() {
+                        if let Some(s) = &shadow {
+                            s.free(i.0, pos)?;
+                        }
                         live_bytes -= planner_bytes(dead.shape());
                         arena.reclaim(dead);
                     }

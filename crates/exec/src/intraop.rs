@@ -206,6 +206,59 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_scoped_dispatches_share_the_pool() {
+        // four caller threads each run many scoped dispatches against one
+        // pool; helpers of different scopes interleave through the shared
+        // front-of-queue, and every scope must still claim exactly its own
+        // chunks (no cross-scope leaks, no lost chunks, no cyclic wait)
+        let pool = Arc::new(ThreadPool::new(4));
+        let mut callers = Vec::new();
+        for _ in 0..4 {
+            let pool = Arc::clone(&pool);
+            callers.push(std::thread::spawn(move || {
+                let runner = PoolRunner::new(&pool);
+                for _ in 0..50 {
+                    let hits = AtomicUsize::new(0);
+                    let participants = runner.run(16, &|_c| {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    });
+                    assert_eq!(hits.load(Ordering::Relaxed), 16);
+                    assert!(participants >= 1);
+                }
+            }));
+        }
+        for c in callers {
+            c.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn pool_drop_races_scoped_join() {
+        // the pool's last strong handle drops while a caller thread is
+        // mid-dispatch: in-flight scopes hold their own upgraded handle
+        // until the join completes, later dispatches degrade to serial,
+        // and every chunk of every scope still runs exactly once
+        for round in 0..16 {
+            let pool = Arc::new(ThreadPool::new(3));
+            let runner = PoolRunner::new(&pool);
+            let caller = std::thread::spawn(move || {
+                let mut total = 0usize;
+                for _ in 0..32 {
+                    let hits = AtomicUsize::new(0);
+                    runner.run(8, &|_c| {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    });
+                    assert_eq!(hits.load(Ordering::Relaxed), 8);
+                    total += 8;
+                }
+                total
+            });
+            drop(pool); // races the scoped joins above
+            assert_eq!(caller.join().unwrap(), 32 * 8, "round {round}");
+        }
+    }
+
+    #[test]
     fn dropped_pool_degrades_to_serial() {
         let pool = Arc::new(ThreadPool::new(4));
         let runner = PoolRunner::new(&pool);

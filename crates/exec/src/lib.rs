@@ -47,6 +47,7 @@ mod interp;
 mod intraop;
 mod parallel;
 mod pool;
+mod sanitizer;
 mod schedule;
 
 pub use bufplan::{Arena, ArenaStats, BufferPlan};
@@ -54,6 +55,7 @@ pub use interp::{preflight_check, Engine, ExecutionTrace, Interpreter, NodeTimin
 pub use intraop::PoolRunner;
 pub use parallel::ParallelExecutor;
 pub use pool::ThreadPool;
+pub use sanitizer::ShadowMemory;
 pub use schedule::{Schedule, ScheduleStats};
 
 /// Reads the worker-thread count from `NGB_THREADS`, falling back to
@@ -71,6 +73,16 @@ pub fn env_threads(fallback: usize) -> usize {
 /// when the variable is unset.
 pub fn env_intraop(fallback: bool) -> bool {
     match std::env::var("NGB_INTRAOP") {
+        Ok(v) => !matches!(v.trim(), "0" | "off" | "false"),
+        Err(_) => fallback,
+    }
+}
+
+/// Reads the execution-sanitizer switch from `NGB_SANITIZE`: `0`, `off`,
+/// or `false` disable it, anything else enables it, and `fallback` applies
+/// when the variable is unset (the sanitizer defaults to off).
+pub fn env_sanitize(fallback: bool) -> bool {
+    match std::env::var("NGB_SANITIZE") {
         Ok(v) => !matches!(v.trim(), "0" | "off" | "false"),
         Err(_) => fallback,
     }

@@ -41,18 +41,21 @@ pub struct ParallelExecutor {
     seed: u64,
     preflight: bool,
     intra_op: bool,
+    sanitize: bool,
     pool: Arc<ThreadPool>,
 }
 
 impl ParallelExecutor {
     /// Creates an executor with `threads.max(1)` workers deriving weights
     /// from `seed`. Intra-op parallelism defaults to the `NGB_INTRAOP`
-    /// environment setting (on when unset).
+    /// environment setting (on when unset); the execution sanitizer to
+    /// `NGB_SANITIZE` (off when unset).
     pub fn new(seed: u64, threads: usize) -> ParallelExecutor {
         ParallelExecutor {
             seed,
             preflight: false,
             intra_op: crate::env_intraop(true),
+            sanitize: crate::env_sanitize(false),
             pool: Arc::new(ThreadPool::new(threads)),
         }
     }
@@ -81,6 +84,22 @@ impl ParallelExecutor {
     /// Whether kernels dispatch intra-op chunks onto the pool.
     pub fn intra_op_enabled(&self) -> bool {
         self.intra_op
+    }
+
+    /// Enables or disables the shadow-memory execution sanitizer (see
+    /// [`crate::ShadowMemory`]): every value-table access is tagged and
+    /// checked, and hazards abort the run with the offending node ids and
+    /// an access trace. Results are unchanged; when off, no shadow state
+    /// exists at all.
+    #[must_use]
+    pub fn sanitize(mut self, enabled: bool) -> ParallelExecutor {
+        self.sanitize = enabled;
+        self
+    }
+
+    /// Whether value-table accesses are checked against a shadow memory.
+    pub fn sanitize_enabled(&self) -> bool {
+        self.sanitize
     }
 
     /// Runs the graph with synthetic inputs.
@@ -136,7 +155,39 @@ impl ParallelExecutor {
             )));
         }
         let plan = BufferPlan::new(graph);
+        self.run_prepared(graph, inputs, sched, plan)
+    }
 
+    /// Runs the graph under a caller-supplied [`Schedule`] and
+    /// [`BufferPlan`] instead of recomputing them — the fault-injection
+    /// hook the sanitizer's seeded-fault tests use to execute
+    /// deliberately corrupted parts and assert the shadow memory catches
+    /// the resulting hazard.
+    ///
+    /// The caller is responsible for parts whose dependency counts drain
+    /// (every node must eventually become ready); the normal entry points
+    /// guarantee this via [`Schedule::is_complete`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first kernel or sanitizer error.
+    pub fn run_with_parts(
+        &self,
+        graph: &Graph,
+        sched: Schedule,
+        plan: BufferPlan,
+    ) -> Result<ExecutionTrace, TensorError> {
+        self.run_prepared(graph, &HashMap::new(), sched, plan)
+    }
+
+    fn run_prepared(
+        &self,
+        graph: &Graph,
+        inputs: &HashMap<NodeId, Tensor>,
+        sched: Schedule,
+        plan: BufferPlan,
+    ) -> Result<ExecutionTrace, TensorError> {
+        let len = graph.len();
         let mut ready = BinaryHeap::new();
         for (pos, &deg) in sched.indegree.iter().enumerate() {
             if deg == 0 {
@@ -157,6 +208,7 @@ impl ParallelExecutor {
             sched,
             is_output: (0..len).map(|i| plan.is_output(i)).collect(),
             arena: Arena::default(),
+            shadow: self.sanitize.then(|| crate::ShadowMemory::new(len)),
             started_at: Instant::now(),
             pool: Arc::downgrade(&self.pool),
             runner,
@@ -217,6 +269,8 @@ struct RunState {
     sched: Schedule,
     is_output: Vec<bool>,
     arena: Arena,
+    /// Present only in sanitize mode: the shadow of `Inner::values`.
+    shadow: Option<crate::ShadowMemory>,
     started_at: Instant,
     /// Weak so a ticket finishing after the waiter returned can never be
     /// the one to drop (and join) the pool from a worker thread.
@@ -286,7 +340,16 @@ impl RunState {
             return;
         };
         let node = &self.graph.nodes[item.pos];
-        let gathered = gather_args(node, &inner.values);
+        // shadow reads are tagged under the same lock the gather holds, so
+        // the shadow observes exactly the executor's interleaving of
+        // gathers against frees; read-before-write outranks the gather's
+        // own missing-input error
+        let read_check = self.shadow.as_ref().map_or(Ok(()), |s| {
+            node.inputs
+                .iter()
+                .try_for_each(|&i| s.begin_read(i.0, item.pos))
+        });
+        let gathered = read_check.and_then(|()| gather_args(node, &inner.values));
         drop(inner);
 
         let outcome = gathered.and_then(|args| {
@@ -330,8 +393,14 @@ impl RunState {
             }
             Ok(_) if inner.error.is_some() => {} // stale result of an aborted run
             Ok((out, start, elapsed, stats)) => {
-                newly_ready =
-                    self.finish_node(&mut inner, item.pos, out, start, elapsed, worker, stats);
+                match self.finish_node(&mut inner, item.pos, out, start, elapsed, worker, stats) {
+                    Ok(n) => newly_ready = n,
+                    Err(e) => {
+                        if inner.error.is_none() {
+                            inner.error = Some(e);
+                        }
+                    }
+                }
             }
         }
         // account successor tickets before releasing the lock so the
@@ -363,6 +432,10 @@ impl RunState {
     /// Records a completed node and releases newly ready/dead state,
     /// returning how many successors became ready. Caller holds the run
     /// lock and spawns one ticket per newly-ready successor.
+    ///
+    /// # Errors
+    ///
+    /// In sanitize mode, a shadow-memory violation (the run aborts).
     #[allow(clippy::too_many_arguments)]
     fn finish_node(
         &self,
@@ -373,8 +446,14 @@ impl RunState {
         elapsed: Duration,
         worker: usize,
         stats: IntraOpStats,
-    ) -> usize {
+    ) -> Result<usize, TensorError> {
         let node = &self.graph.nodes[pos];
+        if let Some(s) = &self.shadow {
+            s.write(pos, pos)?;
+            for &i in &node.inputs {
+                s.end_read(i.0, pos);
+            }
+        }
         inner.live_bytes += planner_bytes(out.shape());
         inner.peak_live_bytes = inner.peak_live_bytes.max(inner.live_bytes);
         inner.timings[pos] = Some(NodeTiming {
@@ -403,13 +482,16 @@ impl RunState {
             inner.uses[i] -= 1;
             if inner.uses[i] == 0 && !self.is_output[i] {
                 if let Some(dead) = inner.values[i].take() {
+                    if let Some(s) = &self.shadow {
+                        s.free(i, pos)?;
+                    }
                     inner.live_bytes -= planner_bytes(dead.shape());
                     self.arena.reclaim(dead);
                 }
             }
         }
         inner.completed += 1;
-        newly_ready
+        Ok(newly_ready)
     }
 }
 

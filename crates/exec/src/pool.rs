@@ -215,4 +215,36 @@ mod tests {
         } // drop joins after the queue drains
         assert_eq!(counter.load(Ordering::SeqCst), 32);
     }
+
+    #[test]
+    fn shutdown_races_concurrent_spawns() {
+        // four spawner threads hammer the pool while the Arc handles drop
+        // at staggered times; whichever thread drops last runs the
+        // shutdown-join mid-traffic. Every spawned job must still execute
+        // (drop drains the queue) with no deadlock or lost job.
+        for round in 0..8usize {
+            let pool = Arc::new(ThreadPool::new(2));
+            let counter = Arc::new(AtomicUsize::new(0));
+            let mut spawners = Vec::new();
+            for t in 0..4usize {
+                let pool = Arc::clone(&pool);
+                let counter = Arc::clone(&counter);
+                spawners.push(std::thread::spawn(move || {
+                    for _ in 0..(8 * (t + 1) + round) {
+                        let counter = Arc::clone(&counter);
+                        pool.spawn(move |_| {
+                            counter.fetch_add(1, Ordering::SeqCst);
+                        });
+                    }
+                    // the thread's pool handle drops here
+                }));
+            }
+            drop(pool); // main's handle is gone before the spawners finish
+            for s in spawners {
+                s.join().unwrap();
+            }
+            let total: usize = (0..4).map(|t| 8 * (t + 1) + round).sum();
+            assert_eq!(counter.load(Ordering::SeqCst), total, "round {round}");
+        }
+    }
 }

@@ -25,6 +25,11 @@ pub struct Schedule {
     /// chain has `k` predecessors. All nodes of one wavefront could run
     /// concurrently with unlimited workers.
     pub wavefronts: Vec<Vec<NodeId>>,
+    /// Input references pointing outside the graph that the constructor
+    /// had to drop. Nonzero means the graph is corrupt and this schedule
+    /// covers only the in-range dependency structure — the `ngb-analyze`
+    /// hazard pass and `ngb-sanitize` refuse to certify such a schedule.
+    pub dropped_edges: usize,
     scheduled: usize,
     len: usize,
 }
@@ -37,7 +42,9 @@ impl Schedule {
         let len = graph.len();
         let mut indegree = vec![0usize; len];
         let mut successors: Vec<Vec<usize>> = vec![Vec::new(); len];
+        let mut dropped_edges = 0usize;
         for (pos, node) in graph.iter().enumerate() {
+            dropped_edges += node.inputs.iter().filter(|i| i.0 >= len).count();
             // self-edges stay in: they give the node an indegree that can
             // never drain, so the cycle shows up as an incomplete schedule
             let mut deps: Vec<usize> = node
@@ -92,6 +99,7 @@ impl Schedule {
             successors,
             priority,
             wavefronts,
+            dropped_edges,
             scheduled,
             len,
         }
@@ -263,6 +271,19 @@ mod tests {
         g2.nodes[3].inputs = vec![NodeId(3)];
         let s2 = Schedule::new(&g2);
         assert!(!s2.is_complete());
+    }
+
+    #[test]
+    fn out_of_range_edges_are_counted_not_silently_dropped() {
+        assert_eq!(Schedule::new(&diamond()).dropped_edges, 0);
+
+        let mut g = diamond();
+        g.nodes[3].inputs = vec![NodeId(1), NodeId(99), NodeId(77)];
+        let s = Schedule::new(&g);
+        // the in-range structure still schedules, but the corruption is
+        // surfaced instead of masked
+        assert!(s.is_complete());
+        assert_eq!(s.dropped_edges, 2);
     }
 
     #[test]

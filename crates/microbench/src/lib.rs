@@ -24,6 +24,8 @@
 //! # Ok::<(), ngb_tensor::TensorError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::collections::BTreeMap;
 use std::time::Instant;
 

@@ -28,6 +28,8 @@
 //! # Ok::<(), ngb_tensor::TensorError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod common;
 mod nlp;
 mod registry;

@@ -124,6 +124,24 @@ fn tile_portable(
     }
 }
 
+/// The row blocks `gemm_into` assigns to the micro-kernel for an
+/// `m`-row output: block `ib` covers rows `ib*MR .. min(ib*MR+MR, m)`.
+/// Exposed so `ngb-sanitize` can certify the blocks are a pairwise-
+/// disjoint exact cover of `0..m` for every suite shape.
+pub fn tile_row_blocks(m: usize) -> Vec<std::ops::Range<usize>> {
+    (0..m.div_ceil(MR))
+        .map(|ib| ib * MR..(ib * MR + MR).min(m))
+        .collect()
+}
+
+/// The `(rows, row_len)` pair `gemm_into` hands to `par_rows` for an
+/// `[m, n]` output: row blocks as work units, each `MR * n` elements
+/// heavy. Chunk-level disjointness over these units composes with
+/// [`tile_row_blocks`] to cover the whole output.
+pub fn tile_chunk_grain(m: usize, n: usize) -> (usize, usize) {
+    (m.div_ceil(MR), MR * n)
+}
+
 /// `C[m, n] = A[m, k] @ packed_B (+ bias)` with `MR x NR` register
 /// blocking; row blocks fan out across intra-op chunks.
 ///

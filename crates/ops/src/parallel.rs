@@ -85,6 +85,27 @@ pub fn row_range(rows: usize, row_len: usize, chunks: usize, chunk: usize) -> Ra
     start..(start + per).min(rows)
 }
 
+/// The complete element decomposition `par_elems` dispatches for `total`
+/// elements: every chunk's range, in chunk order. This is the metadata the
+/// `ngb-sanitize` disjointness check certifies — it must stay an exact,
+/// pairwise-disjoint cover of `0..total` and a pure function of shape.
+pub fn element_partition(total: usize, min_elems: usize) -> Vec<Range<usize>> {
+    let chunks = element_chunks(total, min_elems);
+    (0..chunks)
+        .map(|c| element_range(total, chunks, c))
+        .collect()
+}
+
+/// The complete row decomposition `par_rows` dispatches for `rows` rows of
+/// `row_len` elements; same exact-cover contract as [`element_partition`]
+/// over `0..rows`.
+pub fn row_partition(rows: usize, row_len: usize, min_elems: usize) -> Vec<Range<usize>> {
+    let chunks = row_chunks(rows, row_len, min_elems);
+    (0..chunks)
+        .map(|c| row_range(rows, row_len, chunks, c))
+        .collect()
+}
+
 // ----------------------------------------------------------------------
 // Runner plumbing
 // ----------------------------------------------------------------------

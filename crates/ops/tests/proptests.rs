@@ -1,6 +1,6 @@
 //! Property-based tests for kernel invariants.
 
-use ngb_ops::{activation, arithmetic, gemm, logit, normalization, roi};
+use ngb_ops::{activation, arithmetic, gemm, logit, normalization, parallel, roi};
 use ngb_tensor::Tensor;
 use proptest::prelude::*;
 
@@ -241,5 +241,105 @@ proptest! {
         let twice = ngb_ops::memory::roll(&ngb_ops::memory::roll(&x, a, 1).unwrap(), b2, 1).unwrap();
         let once = ngb_ops::memory::roll(&x, a + b2, 1).unwrap();
         prop_assert_eq!(twice.to_vec_f32().unwrap(), once.to_vec_f32().unwrap());
+    }
+}
+
+/// Asserts `ranges` is a sorted, pairwise-disjoint, exact cover of
+/// `0..total` with no empty chunks (the intra-op safety contract: chunk
+/// jobs write disjoint slices that together fill the output).
+fn assert_exact_cover(
+    ranges: &[std::ops::Range<usize>],
+    total: usize,
+) -> Result<(), proptest::TestCaseError> {
+    if total == 0 {
+        // a zero-length decomposition is a single empty range
+        prop_assert_eq!(ranges.len(), 1);
+        prop_assert_eq!(ranges[0].clone(), 0..0);
+        return Ok(());
+    }
+    let mut next = 0usize;
+    for r in ranges {
+        prop_assert_eq!(r.start, next, "gap or overlap at {}", r.start);
+        prop_assert!(r.end > r.start, "empty chunk {r:?}");
+        next = r.end;
+    }
+    prop_assert_eq!(next, total, "cover stops short of {total}");
+    Ok(())
+}
+
+proptest! {
+    /// Element chunking is a pairwise-disjoint exact cover of the flat
+    /// output for arbitrary sizes and grain thresholds.
+    #[test]
+    fn element_partition_is_exact_cover(total in 0usize..300_000, min in 1usize..100_000) {
+        assert_exact_cover(&parallel::element_partition(total, min), total)?;
+    }
+
+    /// Row chunking is a pairwise-disjoint exact cover of the row space
+    /// for arbitrary row counts and widths.
+    #[test]
+    fn row_partition_is_exact_cover(
+        rows in 0usize..5_000, row_len in 0usize..3_000, min in 1usize..100_000,
+    ) {
+        assert_exact_cover(&parallel::row_partition(rows, row_len, min), rows)?;
+    }
+
+    /// Shape purity: the decomposition is a function of (shape, grain)
+    /// only — installing intra-op runners with different thread counts
+    /// must not change it (thread count only changes who runs a chunk).
+    #[test]
+    fn partition_is_independent_of_thread_count(
+        total in 1usize..200_000, row_len in 1usize..2_000, min in 1usize..100_000,
+    ) {
+        let elems_base = parallel::element_partition(total, min);
+        let rows_base = parallel::row_partition(total.min(4_000), row_len, min);
+        for threads in [1usize, 2, 8] {
+            let runner = std::sync::Arc::new(CountingRunner { threads });
+            let (elems, rows) = parallel::with_runner(runner, || {
+                (
+                    parallel::element_partition(total, min),
+                    parallel::row_partition(total.min(4_000), row_len, min),
+                )
+            });
+            prop_assert_eq!(&elems, &elems_base, "{threads} threads changed element chunks");
+            prop_assert_eq!(&rows, &rows_base, "{threads} threads changed row chunks");
+        }
+    }
+
+    /// GEMM register-tile row blocks exactly cover the output rows, and
+    /// the chunk-level grain composes with the blocks to cover every row.
+    #[test]
+    fn gemm_tile_blocks_are_exact_cover(m in 1usize..2_000, n in 1usize..300) {
+        let blocks = gemm::tile_row_blocks(m);
+        assert_exact_cover(&blocks, m)?;
+
+        let (units, unit_len) = gemm::tile_chunk_grain(m, n);
+        prop_assert_eq!(units, blocks.len());
+        prop_assert!(unit_len >= n);
+        // chunk-of-blocks → rows: expanding each chunk's blocks must
+        // re-cover 0..m exactly
+        let mut rows_covered = 0usize;
+        for chunk in parallel::row_partition(units, unit_len, parallel::min_intraop_elems()) {
+            for ib in chunk {
+                prop_assert_eq!(blocks[ib].start, rows_covered);
+                rows_covered = blocks[ib].end;
+            }
+        }
+        prop_assert_eq!(rows_covered, m);
+    }
+}
+
+/// Dummy runner: runs chunks serially but advertises a thread count, so
+/// the purity test exercises the runner-installed code path.
+struct CountingRunner {
+    threads: usize,
+}
+
+impl parallel::IntraOpRunner for CountingRunner {
+    fn run(&self, chunks: usize, job: &(dyn Fn(usize) + Sync)) -> usize {
+        for c in 0..chunks {
+            job(c);
+        }
+        self.threads.min(chunks).max(1)
     }
 }

@@ -48,6 +48,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 use ngb_graph::{FusedKind, FusedOp, FusedStage, Graph, Node, NodeId, OpKind};
 use ngb_tensor::num_elements;
 use serde::{Deserialize, Serialize};

@@ -23,6 +23,8 @@
 //!
 //! Energy integrates a TDP-based power model over the same latency.
 
+#![forbid(unsafe_code)]
+
 use ngb_ops::OpCost;
 use serde::{Deserialize, Serialize};
 

@@ -19,11 +19,14 @@
 //! The three report types of §3.2.4 (performance/cost, workload,
 //! non-GEMM) live in [`report`].
 
+#![forbid(unsafe_code)]
+
 mod profile;
 pub mod report;
 pub mod trace;
 
 pub use profile::{
-    profile_analytic, profile_analytic_with_options, profile_measured, profile_measured_configured,
-    profile_measured_with_engine, Breakdown, ModelProfile, NodeProfile,
+    profile_analytic, profile_analytic_with_options, profile_measured, profile_measured_checked,
+    profile_measured_configured, profile_measured_with_engine, Breakdown, ModelProfile,
+    NodeProfile,
 };

@@ -338,9 +338,34 @@ pub fn profile_measured_configured(
     engine: Engine,
     intra_op: Option<bool>,
 ) -> Result<ModelProfile, ngb_tensor::TensorError> {
+    profile_measured_checked(graph, iterations, seed, engine, intra_op, None)
+}
+
+/// [`profile_measured_configured`] with an explicit shadow-memory
+/// sanitizer override: `Some(on)` forces the switch, `None` defers to
+/// `NGB_SANITIZE` (default off). A sanitized run executes the same graph
+/// with every buffer read, write, and free checked against the shadow
+/// state; a detected hazard aborts profiling with the sanitizer's
+/// diagnosis (offending nodes plus a replayable event trace) as the
+/// error.
+///
+/// # Errors
+///
+/// Propagates interpreter errors, including sanitizer violations.
+pub fn profile_measured_checked(
+    graph: &Graph,
+    iterations: usize,
+    seed: u64,
+    engine: Engine,
+    intra_op: Option<bool>,
+    sanitize: Option<bool>,
+) -> Result<ModelProfile, ngb_tensor::TensorError> {
     let mut interp = Interpreter::new(seed).engine(engine);
     if let Some(on) = intra_op {
         interp = interp.intra_op(on);
+    }
+    if let Some(on) = sanitize {
+        interp = interp.sanitize(on);
     }
     let iterations = iterations.max(1);
     let mut best: Vec<f64> = vec![f64::INFINITY; graph.len()];

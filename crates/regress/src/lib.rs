@@ -48,6 +48,8 @@
 //! assert_eq!(SCHEMA_VERSION, 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod baseline;
 mod diff;
 mod gate;

@@ -22,6 +22,8 @@
 //!   paying PCIe transfers both ways — the mechanism §4.2 identifies as
 //!   making Memory ops dominate every ORT profile.
 
+#![forbid(unsafe_code)]
+
 use ngb_graph::{Graph, NodeId, NonGemmGroup, OpClass, OpKind};
 use ngb_ops::OpCost;
 

@@ -1,0 +1,273 @@
+//! Hazard taxonomy and the verifier's report type.
+
+use ngb_graph::NodeId;
+
+/// Class of a statically detected (or runtime-observed) hazard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HazardKind {
+    /// The schedule left nodes unscheduled (cycle or self-loop).
+    IncompleteSchedule,
+    /// The schedule or plan dropped out-of-range input references — the
+    /// graph is corrupt and the coverage proofs do not apply.
+    DroppedEdge,
+    /// A data edge of the graph is absent from the schedule's successor
+    /// lists: nothing orders the consumer after its producer.
+    MissingEdge,
+    /// A data edge (or wavefront placement) is not ordered by
+    /// happens-before: producer and consumer could run concurrently.
+    UnorderedPair,
+    /// A node's dependency count disagrees with its distinct producers,
+    /// so it becomes ready too early or never.
+    IndegreeMismatch,
+    /// The plan's consumer count for a value disagrees with the graph:
+    /// the value is freed after the wrong number of reads.
+    UsesMismatch,
+    /// The plan ends a value's lifetime before its true last consumer
+    /// (a use-after-free once executed).
+    LifetimeTruncated,
+    /// The plan extends a value's lifetime past its true last consumer
+    /// (memory-safety-preserving, but the peak accounting is wrong).
+    LifetimeExtended,
+    /// The plan's simulated peak disagrees with a recomputation from the
+    /// graph.
+    PeakMismatch,
+    /// Two values share a storage slot without a happens-before edge
+    /// between the first's last read and the second's definition.
+    UnorderedReuse,
+    /// Two provably simultaneously-live values share a storage slot.
+    SlotConflict,
+    /// Two intra-op chunks of one decomposition cover the same indices.
+    PartitionOverlap,
+    /// An intra-op decomposition leaves part of the output uncovered.
+    PartitionGap,
+    /// An intra-op chunk extends past the output it partitions.
+    PartitionOutOfBounds,
+    /// Reported by the shadow-memory sanitizer during execution.
+    Runtime,
+}
+
+impl HazardKind {
+    /// Stable kebab-case name (report and JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            HazardKind::IncompleteSchedule => "incomplete-schedule",
+            HazardKind::DroppedEdge => "dropped-edge",
+            HazardKind::MissingEdge => "missing-edge",
+            HazardKind::UnorderedPair => "unordered-pair",
+            HazardKind::IndegreeMismatch => "indegree-mismatch",
+            HazardKind::UsesMismatch => "uses-mismatch",
+            HazardKind::LifetimeTruncated => "lifetime-truncated",
+            HazardKind::LifetimeExtended => "lifetime-extended",
+            HazardKind::PeakMismatch => "peak-mismatch",
+            HazardKind::UnorderedReuse => "unordered-reuse",
+            HazardKind::SlotConflict => "slot-conflict",
+            HazardKind::PartitionOverlap => "partition-overlap",
+            HazardKind::PartitionGap => "partition-gap",
+            HazardKind::PartitionOutOfBounds => "partition-out-of-bounds",
+            HazardKind::Runtime => "runtime",
+        }
+    }
+}
+
+/// One detected hazard: its class, the nodes involved, and a message
+/// precise enough to locate the defect.
+#[derive(Debug, Clone)]
+pub struct Hazard {
+    /// Hazard class.
+    pub kind: HazardKind,
+    /// Nodes involved (producer/consumer pair, partitioned node, ...).
+    pub nodes: Vec<NodeId>,
+    /// Human-readable description with the offending positions.
+    pub message: String,
+}
+
+/// What the verifier proved, so a clean report is evidence of coverage
+/// rather than of skipped work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VerifyStats {
+    /// Nodes in the verified graph.
+    pub nodes: usize,
+    /// Data edges checked for schedule coverage and ordering.
+    pub edges_checked: usize,
+    /// Producer→consumer pairs proved ordered by happens-before.
+    pub ordered_pairs_proved: usize,
+    /// Storage-reuse pairs proved ordered and lifetime-disjoint.
+    pub reuse_pairs_proved: usize,
+    /// Distinct storage slots of the interference-based assignment.
+    pub slots_assigned: usize,
+    /// Chunk decompositions checked for disjoint exact cover.
+    pub partitions_checked: usize,
+    /// Total chunks across all checked decompositions.
+    pub chunks_checked: usize,
+}
+
+/// Result of verifying one graph.
+#[derive(Debug, Clone)]
+pub struct SanitizeReport {
+    /// Name of the verified graph.
+    pub graph_name: String,
+    /// Detected hazards, in detection order.
+    pub hazards: Vec<Hazard>,
+    /// Proof-coverage counters.
+    pub stats: VerifyStats,
+}
+
+impl SanitizeReport {
+    /// An empty report for `graph_name`.
+    pub fn new(graph_name: &str) -> SanitizeReport {
+        SanitizeReport {
+            graph_name: graph_name.to_string(),
+            hazards: Vec::new(),
+            stats: VerifyStats::default(),
+        }
+    }
+
+    /// Records one hazard.
+    pub fn push(&mut self, kind: HazardKind, nodes: Vec<NodeId>, message: String) {
+        self.hazards.push(Hazard {
+            kind,
+            nodes,
+            message,
+        });
+    }
+
+    /// Whether no hazard of any class was detected.
+    pub fn is_clean(&self) -> bool {
+        self.hazards.is_empty()
+    }
+
+    /// Count of hazards of one class.
+    pub fn count(&self, kind: HazardKind) -> usize {
+        self.hazards.iter().filter(|h| h.kind == kind).count()
+    }
+
+    /// Plain-text rendering: one summary line, then one line per hazard.
+    pub fn to_text(&self) -> String {
+        let s = &self.stats;
+        let mut out = format!(
+            "{}: {} [{} nodes, {} edges, {} ordered pairs, {} reuse pairs, \
+             {} slots, {} partitions / {} chunks]\n",
+            self.graph_name,
+            if self.is_clean() {
+                "clean".to_string()
+            } else {
+                format!("{} hazard(s)", self.hazards.len())
+            },
+            s.nodes,
+            s.edges_checked,
+            s.ordered_pairs_proved,
+            s.reuse_pairs_proved,
+            s.slots_assigned,
+            s.partitions_checked,
+            s.chunks_checked,
+        );
+        for h in &self.hazards {
+            out.push_str(&format!("  [{}] {}\n", h.kind.name(), h.message));
+        }
+        out
+    }
+
+    /// Minimal JSON rendering (stable keys; no external dependencies).
+    pub fn to_json(&self) -> String {
+        let s = &self.stats;
+        let hazards: Vec<String> = self
+            .hazards
+            .iter()
+            .map(|h| {
+                let nodes: Vec<String> = h.nodes.iter().map(|n| n.0.to_string()).collect();
+                format!(
+                    "{{\"kind\":\"{}\",\"nodes\":[{}],\"message\":{}}}",
+                    h.kind.name(),
+                    nodes.join(","),
+                    json_string(&h.message)
+                )
+            })
+            .collect();
+        format!(
+            "{{\"graph\":{},\"clean\":{},\"stats\":{{\"nodes\":{},\"edges_checked\":{},\
+             \"ordered_pairs_proved\":{},\"reuse_pairs_proved\":{},\"slots_assigned\":{},\
+             \"partitions_checked\":{},\"chunks_checked\":{}}},\"hazards\":[{}]}}",
+            json_string(&self.graph_name),
+            self.is_clean(),
+            s.nodes,
+            s.edges_checked,
+            s.ordered_pairs_proved,
+            s.reuse_pairs_proved,
+            s.slots_assigned,
+            s.partitions_checked,
+            s.chunks_checked,
+            hazards.join(",")
+        )
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_are_unique_and_kebab() {
+        let kinds = [
+            HazardKind::IncompleteSchedule,
+            HazardKind::DroppedEdge,
+            HazardKind::MissingEdge,
+            HazardKind::UnorderedPair,
+            HazardKind::IndegreeMismatch,
+            HazardKind::UsesMismatch,
+            HazardKind::LifetimeTruncated,
+            HazardKind::LifetimeExtended,
+            HazardKind::PeakMismatch,
+            HazardKind::UnorderedReuse,
+            HazardKind::SlotConflict,
+            HazardKind::PartitionOverlap,
+            HazardKind::PartitionGap,
+            HazardKind::PartitionOutOfBounds,
+            HazardKind::Runtime,
+        ];
+        let mut names: Vec<&str> = kinds.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), kinds.len());
+        for n in names {
+            assert!(n.chars().all(|c| c.is_ascii_lowercase() || c == '-'), "{n}");
+        }
+    }
+
+    #[test]
+    fn report_renders_text_and_json() {
+        let mut r = SanitizeReport::new("g");
+        assert!(r.is_clean());
+        r.push(
+            HazardKind::MissingEdge,
+            vec![NodeId(1), NodeId(2)],
+            "edge %1 -> %2 missing \"here\"".to_string(),
+        );
+        assert!(!r.is_clean());
+        assert_eq!(r.count(HazardKind::MissingEdge), 1);
+        assert_eq!(r.count(HazardKind::Runtime), 0);
+        let text = r.to_text();
+        assert!(text.contains("1 hazard(s)"), "{text}");
+        assert!(text.contains("[missing-edge]"), "{text}");
+        let json = r.to_json();
+        assert!(json.contains("\"kind\":\"missing-edge\""), "{json}");
+        assert!(json.contains("\"nodes\":[1,2]"), "{json}");
+        assert!(json.contains("\\\"here\\\""), "{json}");
+    }
+}

@@ -1,0 +1,238 @@
+//! Happens-before reconstruction and data-edge coverage.
+//!
+//! The ordering relation of a run is exactly what [`Schedule`] encodes:
+//! node `v` starts only after every producer in `successors[·] → v` has
+//! completed (the executor's dependency counts enforce it). This module
+//! rebuilds that relation as a reachability bitset plus the wavefront
+//! level of each node, then proves every data edge of the graph is
+//! covered and ordered by it — anything unordered is a statically
+//! detected race.
+
+use ngb_exec::Schedule;
+use ngb_graph::{Graph, NodeId};
+
+use crate::hazard::{HazardKind, SanitizeReport};
+
+/// The happens-before relation of one schedule.
+///
+/// `ordered(u, v)` is true iff `v` is reachable from `u` through the
+/// schedule's successor lists — i.e. the executor cannot start `v`
+/// before `u` completed. The relation is irreflexive (`ordered(u, u)` is
+/// false) and, for well-formed schedules, a strict partial order.
+#[derive(Debug)]
+pub struct HappensBefore {
+    /// Wavefront level per node (`usize::MAX` for unscheduled nodes).
+    pub level: Vec<usize>,
+    /// Reachability bitset: `reach[u]` has bit `v` iff `u` happens
+    /// before `v`.
+    reach: Vec<Vec<u64>>,
+    len: usize,
+}
+
+impl HappensBefore {
+    /// Builds the relation from a schedule's successors and wavefronts.
+    ///
+    /// Node ids are topological for well-formed graphs, so one reverse
+    /// sweep closes the relation; corrupt back-edges (`successor <= u`)
+    /// are skipped here and reported by the edge checks instead.
+    pub fn new(sched: &Schedule) -> HappensBefore {
+        let len = sched.indegree.len();
+        let words = len.div_ceil(64);
+        let mut level = vec![usize::MAX; len];
+        for (l, wave) in sched.wavefronts.iter().enumerate() {
+            for id in wave {
+                if id.0 < len {
+                    level[id.0] = l;
+                }
+            }
+        }
+        let mut reach = vec![vec![0u64; words]; len];
+        for u in (0..len).rev() {
+            for &s in &sched.successors[u] {
+                if s <= u || s >= len {
+                    continue;
+                }
+                // reach[u] |= reach[s] | bit(s), without aliasing borrows
+                let (head, tail) = reach.split_at_mut(s);
+                let src = &tail[0];
+                let dst = &mut head[u];
+                for (d, &w) in dst.iter_mut().zip(src.iter()) {
+                    *d |= w;
+                }
+                dst[s / 64] |= 1u64 << (s % 64);
+            }
+        }
+        HappensBefore { level, reach, len }
+    }
+
+    /// Whether `before` is ordered strictly before `after`.
+    pub fn ordered(&self, before: usize, after: usize) -> bool {
+        before < self.len
+            && after < self.len
+            && self.reach[before][after / 64] & (1u64 << (after % 64)) != 0
+    }
+}
+
+/// Proves happens-before coverage of every data edge; hazards are
+/// appended to `report`.
+///
+/// An incomplete schedule (cycle) or dropped edges short-circuit the
+/// per-edge checks — those defects already invalidate the relation, and
+/// re-reporting every downstream edge would bury the root cause.
+pub fn verify_happens_before(graph: &Graph, sched: &Schedule, report: &mut SanitizeReport) {
+    let len = graph.len();
+    if sched.dropped_edges > 0 {
+        report.push(
+            HazardKind::DroppedEdge,
+            Vec::new(),
+            format!(
+                "schedule dropped {} out-of-range input reference(s); \
+                 the graph is corrupt and coverage cannot be certified",
+                sched.dropped_edges
+            ),
+        );
+    }
+    if !sched.is_complete() {
+        report.push(
+            HazardKind::IncompleteSchedule,
+            Vec::new(),
+            format!(
+                "schedule covers only {} of {len} nodes (dependency cycle)",
+                sched.wavefronts.iter().map(Vec::len).sum::<usize>()
+            ),
+        );
+        return;
+    }
+    if sched.dropped_edges > 0 {
+        return;
+    }
+
+    let hb = HappensBefore::new(sched);
+    for (pos, node) in graph.iter().enumerate() {
+        // distinct in-range producers must match the schedule's count
+        let mut deps: Vec<usize> = node
+            .inputs
+            .iter()
+            .map(|i| i.0)
+            .filter(|&i| i < len)
+            .collect();
+        deps.sort_unstable();
+        deps.dedup();
+        if sched.indegree[pos] != deps.len() {
+            report.push(
+                HazardKind::IndegreeMismatch,
+                vec![NodeId(pos)],
+                format!(
+                    "node %{pos} waits on {} producer(s) but has {} distinct \
+                     data dependencies — it becomes ready {}",
+                    sched.indegree[pos],
+                    deps.len(),
+                    if sched.indegree[pos] < deps.len() {
+                        "too early"
+                    } else {
+                        "never (or late)"
+                    }
+                ),
+            );
+        }
+        for &u in &deps {
+            report.stats.edges_checked += 1;
+            if !sched.successors[u].contains(&pos) {
+                report.push(
+                    HazardKind::MissingEdge,
+                    vec![NodeId(u), NodeId(pos)],
+                    format!(
+                        "data edge %{u} -> %{pos} is not in the schedule: \
+                         nothing orders the consumer after its producer"
+                    ),
+                );
+                continue;
+            }
+            if !hb.ordered(u, pos) || hb.level[u] >= hb.level[pos] {
+                report.push(
+                    HazardKind::UnorderedPair,
+                    vec![NodeId(u), NodeId(pos)],
+                    format!(
+                        "data edge %{u} -> %{pos} is not ordered by happens-before \
+                         (levels {} and {}): the pair could run concurrently",
+                        hb.level[u], hb.level[pos]
+                    ),
+                );
+                continue;
+            }
+            report.stats.ordered_pairs_proved += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ngb_graph::{GraphBuilder, OpKind};
+
+    fn diamond() -> Graph {
+        let mut b = GraphBuilder::new("diamond");
+        let x = b.input(&[4, 4]);
+        let l = b.push(OpKind::Gelu, &[x], "l").unwrap();
+        let r = b.push(OpKind::Relu, &[x], "r").unwrap();
+        b.push(OpKind::Add, &[l, r], "j").unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn happens_before_matches_the_diamond() {
+        let g = diamond();
+        let hb = HappensBefore::new(&Schedule::new(&g));
+        assert!(hb.ordered(0, 1) && hb.ordered(0, 2) && hb.ordered(0, 3));
+        assert!(hb.ordered(1, 3) && hb.ordered(2, 3));
+        // the parallel branches are NOT ordered against each other
+        assert!(!hb.ordered(1, 2) && !hb.ordered(2, 1));
+        // irreflexive, never inverted
+        for u in 0..4 {
+            assert!(!hb.ordered(u, u));
+        }
+        assert!(!hb.ordered(3, 0));
+        assert_eq!(hb.level, vec![0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn clean_graph_proves_every_edge() {
+        let g = diamond();
+        let mut report = SanitizeReport::new(&g.name);
+        verify_happens_before(&g, &Schedule::new(&g), &mut report);
+        assert!(report.is_clean(), "{}", report.to_text());
+        assert_eq!(report.stats.edges_checked, 4);
+        assert_eq!(report.stats.ordered_pairs_proved, 4);
+    }
+
+    #[test]
+    fn removed_successor_is_a_missing_edge() {
+        let g = diamond();
+        let mut sched = Schedule::new(&g);
+        sched.successors[1].retain(|&s| s != 3);
+        sched.indegree[3] -= 1;
+        let mut report = SanitizeReport::new(&g.name);
+        verify_happens_before(&g, &sched, &mut report);
+        assert_eq!(report.count(HazardKind::MissingEdge), 1);
+        assert_eq!(report.count(HazardKind::IndegreeMismatch), 1);
+    }
+
+    #[test]
+    fn cycle_reports_incomplete_without_cascading() {
+        let mut g = diamond();
+        g.nodes[3].inputs = vec![NodeId(3)];
+        let mut report = SanitizeReport::new(&g.name);
+        verify_happens_before(&g, &Schedule::new(&g), &mut report);
+        assert_eq!(report.hazards.len(), 1);
+        assert_eq!(report.hazards[0].kind, HazardKind::IncompleteSchedule);
+    }
+
+    #[test]
+    fn dropped_edges_are_reported() {
+        let mut g = diamond();
+        g.nodes[3].inputs = vec![NodeId(1), NodeId(99)];
+        let mut report = SanitizeReport::new(&g.name);
+        verify_happens_before(&g, &Schedule::new(&g), &mut report);
+        assert_eq!(report.count(HazardKind::DroppedEdge), 1);
+    }
+}

@@ -31,6 +31,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod compare;
 mod error;
 mod index;

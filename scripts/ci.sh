@@ -6,7 +6,11 @@
 #   CI_STAGES=test-opt,regress scripts/ci.sh
 #
 # Stages: fmt, clippy, test, test-parallel, test-opt, test-intraop,
-# regress.
+# sanitize, regress.
+# The sanitize stage audits that unsafe code stays confined to ngb-ops
+# and ngb-exec, lints the verifier crate at -D warnings, and runs the
+# 18-model hazard sweep (static verifier + shadow-memory execution) on a
+# multi-threaded engine with intra-op parallelism on.
 # The regress stage writes target/ci/regress-report.{json,txt} so CI can
 # upload the diff report as an artifact; tune it with NGB_NO_WALLCLOCK=1
 # (skip the measured smoke channel) or NGB_WALLCLOCK_FACTOR=<f> (extra
@@ -14,7 +18,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-ALL_STAGES="fmt,clippy,test,test-parallel,test-opt,test-intraop,regress"
+ALL_STAGES="fmt,clippy,test,test-parallel,test-opt,test-intraop,sanitize,regress"
 STAGES="${CI_STAGES:-$ALL_STAGES}"
 
 want() { [[ ",$STAGES," == *",$1,"* ]]; }
@@ -39,12 +43,36 @@ regress_gate() {
     --report target/ci/regress-report.json | tee target/ci/regress-report.txt
 }
 
+sanitize_gate() {
+  # unsafe code is allowed only in the two crates whose kernels need it;
+  # every other crate root must carry #![forbid(unsafe_code)]
+  local crate root
+  for root in crates/*/src/lib.rs; do
+    crate=$(basename "$(dirname "$(dirname "$root")")")
+    case "$crate" in
+      ops|exec) continue ;;
+    esac
+    grep -q '#!\[forbid(unsafe_code)\]' "$root" \
+      || { echo "error: $root is missing #![forbid(unsafe_code)]"; return 1; }
+  done
+  if grep -rln 'unsafe ' crates/*/src --include='*.rs' \
+      | grep -v -e '^crates/ops/' -e '^crates/exec/'; then
+    echo "error: unsafe code outside ngb-ops/ngb-exec (see files above)"
+    return 1
+  fi
+  cargo clippy -q -p ngb-sanitize --all-targets -- -D warnings
+  cargo build --release -q --bin nongemm-cli
+  env NGB_THREADS=4 NGB_INTRAOP=1 \
+    ./target/release/nongemm-cli sanitize --tiny
+}
+
 run_stage fmt           cargo fmt --all -- --check
 run_stage clippy        cargo clippy --all-targets -- -D warnings
 run_stage test          cargo test -q
 run_stage test-parallel env NGB_THREADS=4 cargo test -q
 run_stage test-opt      env NGB_OPT=2 NGB_THREADS=4 cargo test -q
 run_stage test-intraop  env NGB_INTRAOP=1 NGB_THREADS=4 cargo test -q
+run_stage sanitize      sanitize_gate
 run_stage regress       regress_gate
 
 echo "==> ok (stages: $STAGES, total ${SECONDS}s)"
