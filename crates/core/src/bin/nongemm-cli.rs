@@ -1,6 +1,6 @@
 //! `nongemm-cli` — command-line front end of the benchmark harness.
 //!
-//! Three subcommands (run `nongemm-cli --help` for the full flag list):
+//! Five subcommands (run `nongemm-cli --help` for the full flag list):
 //!
 //! * `run` (default) — profile the selected models end-to-end, measured,
 //!   or through the microbench flow;
@@ -9,6 +9,10 @@
 //! * `sanitize` — run the `ngb-sanitize` schedule/memory hazard verifier
 //!   and (unless `--static-only`) execute each clean graph under the
 //!   shadow-memory sanitizer; exits 0 when every report is hazard-free;
+//! * `serve` — run the `ngb-serve` inference service: line-delimited
+//!   JSON over TCP, dynamic batching with admission control; blocks
+//!   until a client sends the `shutdown` wire op, then drains and
+//!   prints the final counters (pair with the `loadgen` binary);
 //! * `ci` — the perf-regression gate: `--check` diffs the current tree
 //!   against the committed golden baselines under `baselines/` and exits
 //!   non-zero on any divergence, `--update` regenerates them (plus the
@@ -96,6 +100,7 @@ USAGE:
   nongemm-cli [run] [OPTIONS]     profile models (default subcommand)
   nongemm-cli verify [OPTIONS]    static graph analysis + lints
   nongemm-cli sanitize [OPTIONS]  schedule/memory hazard verifier + sanitizer
+  nongemm-cli serve [OPTIONS]     inference service with dynamic batching
   nongemm-cli ci [OPTIONS]        perf-regression gate over golden baselines
   nongemm-cli help | --help | -h  print this help
 
@@ -138,6 +143,22 @@ SANITIZE OPTIONS:
   --static-only         skip the shadow-memory execution pass
   --format <fmt>        text | json (default: text)
 
+SERVE OPTIONS:
+  --addr <host:port>    listen address (default: $NGB_SERVE_ADDR or
+                        127.0.0.1:0 — port 0 picks an ephemeral port,
+                        printed on startup)
+  --max-batch <n>       largest dynamic batch (default: $NGB_SERVE_MAX_BATCH
+                        or 8; batch-opaque models always execute at 1)
+  --batch-wait-us <n>   how long a pending request waits for batch
+                        companions (default: $NGB_SERVE_BATCH_WAIT_US or 2000)
+  --queue-cap <n>       per-model admission queue bound; 0 rejects all
+                        (default: $NGB_SERVE_QUEUE_CAP or 64)
+  --threads <n>         executor worker threads (default: $NGB_THREADS or 1)
+  --opt-level <0|1|2>   graph-rewrite level for served graphs
+                        (default: $NGB_OPT or 0)
+  --intra-op <on|off>   intra-op data parallelism (default: $NGB_INTRAOP or on)
+  --tiny                serve the executable tiny presets
+
 CI OPTIONS:
   --check               diff current state against baselines (default)
   --update              regenerate baselines + BENCH_BASELINE.json
@@ -155,6 +176,10 @@ ENVIRONMENT:
   NGB_SANITIZE               default for --sanitize (0/off/false disable)
   NGB_INTRAOP_MIN_ELEMS      min elements before a kernel splits into
                              intra-op chunks (work-budget heuristic)
+  NGB_SERVE_ADDR             default for serve --addr
+  NGB_SERVE_MAX_BATCH        default for serve --max-batch
+  NGB_SERVE_BATCH_WAIT_US    default for serve --batch-wait-us
+  NGB_SERVE_QUEUE_CAP        default for serve --queue-cap
 
 EXIT CODES:
   0  success / clean    1  failure or regression    2  usage error
@@ -167,7 +192,7 @@ fn print_help() -> ExitCode {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: nongemm-cli [run|verify|ci] [OPTIONS]\n\
+        "usage: nongemm-cli [run|verify|sanitize|serve|ci] [OPTIONS]\n\
          \x20      (see `nongemm-cli --help` for the full option list)"
     );
     std::process::exit(2);
@@ -405,6 +430,63 @@ fn parse_sanitize_args(argv: &[String]) -> SanitizeArgs {
     args
 }
 
+/// Builds a [`nongemm::serve::ServeConfig`] from the command line on top
+/// of the `NGB_SERVE_*` environment defaults.
+fn parse_serve_args(argv: &[String]) -> nongemm::serve::ServeConfig {
+    let mut config = nongemm::serve::ServeConfig::default();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => config.addr = take_value(&mut it, "--addr"),
+            "--max-batch" => {
+                config.max_batch =
+                    parse_positive(&take_value(&mut it, "--max-batch"), "--max-batch")
+            }
+            "--batch-wait-us" => {
+                let v = take_value(&mut it, "--batch-wait-us");
+                config.batch_wait = match v.parse::<u64>() {
+                    Ok(us) => std::time::Duration::from_micros(us),
+                    Err(_) => {
+                        eprintln!("--batch-wait-us requires a non-negative integer");
+                        usage()
+                    }
+                }
+            }
+            // 0 is a legal cap (reject everything) — unlike the other
+            // numeric flags this one is a bound, not a count
+            "--queue-cap" => {
+                let v = take_value(&mut it, "--queue-cap");
+                config.queue_cap = match v.parse::<usize>() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        eprintln!("--queue-cap requires a non-negative integer");
+                        usage()
+                    }
+                }
+            }
+            "--threads" => {
+                config.threads = parse_positive(&take_value(&mut it, "--threads"), "--threads")
+            }
+            "--opt-level" => {
+                config.opt_level = parse_opt_level(&take_value(&mut it, "--opt-level"))
+            }
+            "--intra-op" => {
+                config.intra_op = Some(parse_intra_op(&take_value(&mut it, "--intra-op")))
+            }
+            "--tiny" => config.scale = Scale::Tiny,
+            "--help" | "-h" => {
+                print!("{HELP}");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                usage()
+            }
+        }
+    }
+    config
+}
+
 fn parse_ci_args(argv: &[String]) -> CiArgs {
     let mut args = CiArgs {
         models: Vec::new(),
@@ -471,6 +553,7 @@ fn main() -> ExitCode {
     match argv.first().map(String::as_str) {
         Some("verify") => run_verify(&argv[1..]),
         Some("sanitize") => run_sanitize(&argv[1..]),
+        Some("serve") => run_serve(&argv[1..]),
         Some("run") => run_bench(&argv[1..]),
         Some("ci") => run_ci(&argv[1..]),
         Some("help") => print_help(),
@@ -651,6 +734,38 @@ fn run_ci(argv: &[String]) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+fn run_serve(argv: &[String]) -> ExitCode {
+    let config = parse_serve_args(argv);
+    let handle = match nongemm::serve::Server::start(config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("serve failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // stdout so scripts can scrape the ephemeral port; flushed eagerly
+    // because the interesting consumers are pipes
+    println!("ngb-serve listening on {}", handle.addr());
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    let stats = handle.join();
+    println!(
+        "ngb-serve drained: accepted {} completed {} rejected {} errors {} \
+         batches {} max-batch {}",
+        stats.accepted,
+        stats.completed,
+        stats.rejected,
+        stats.errors,
+        stats.batches,
+        stats.max_batch
+    );
+    if stats.errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 

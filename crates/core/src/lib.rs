@@ -62,6 +62,7 @@ pub use ngb_profiler as profiler;
 pub use ngb_regress as regress;
 pub use ngb_runtime as runtime;
 pub use ngb_sanitize as sanitize;
+pub use ngb_serve as serve;
 pub use ngb_tensor as tensor;
 
 pub use ngb_analyze::{AnalysisReport, Analyzer, Lint, LintConfig, Severity};

@@ -407,8 +407,11 @@ pub(crate) fn rng_for(seed: u64, node: NodeId) -> TensorRng {
     TensorRng::seed(seed ^ ((node.0 as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)))
 }
 
-/// Generates a synthetic input tensor for an input node.
-fn make_input(seed: u64, node: &Node) -> Tensor {
+/// Generates the synthetic input tensor an input node would receive when no
+/// override is supplied — public so callers (e.g. a serving layer that
+/// batches per-request inputs) can reproduce exactly what
+/// `Interpreter::run` with seed `seed` would feed the node.
+pub fn synth_input(seed: u64, node: &Node) -> Tensor {
     let mut rng = rng_for(seed, node.seed_hint.unwrap_or(node.id));
     match &node.op {
         OpKind::InputIds { vocab } => rng.uniform_i64(&node.out_shape, 0, (*vocab).max(1) as i64),
@@ -442,7 +445,7 @@ pub(crate) fn execute_node(
     match &node.op {
         OpKind::Input | OpKind::InputIds { .. } => Ok(override_input
             .cloned()
-            .unwrap_or_else(|| make_input(seed, node))),
+            .unwrap_or_else(|| synth_input(seed, node))),
 
         OpKind::Linear { in_f, out_f, bias } => {
             let w = rng.kaiming_into(arena.take(out_f * in_f), &[*out_f, *in_f], *in_f);

@@ -51,7 +51,7 @@ mod sanitizer;
 mod schedule;
 
 pub use bufplan::{Arena, ArenaStats, BufferPlan};
-pub use interp::{preflight_check, Engine, ExecutionTrace, Interpreter, NodeTiming};
+pub use interp::{preflight_check, synth_input, Engine, ExecutionTrace, Interpreter, NodeTiming};
 pub use intraop::PoolRunner;
 pub use parallel::ParallelExecutor;
 pub use pool::ThreadPool;

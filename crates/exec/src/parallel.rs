@@ -60,9 +60,28 @@ impl ParallelExecutor {
         }
     }
 
+    /// Creates an executor running on a caller-owned pool. Lets several
+    /// executors (or a server's scheduler) share one set of workers instead
+    /// of each spinning up their own.
+    pub fn with_pool(seed: u64, pool: Arc<ThreadPool>) -> ParallelExecutor {
+        ParallelExecutor {
+            seed,
+            preflight: false,
+            intra_op: crate::env_intraop(true),
+            sanitize: crate::env_sanitize(false),
+            pool,
+        }
+    }
+
     /// Number of worker threads.
     pub fn threads(&self) -> usize {
         self.pool.threads()
+    }
+
+    /// A shared handle to the executor's worker pool (for backpressure
+    /// counters or graceful shutdown coordination).
+    pub fn pool(&self) -> Arc<ThreadPool> {
+        Arc::clone(&self.pool)
     }
 
     /// Enables the same preflight check as the sequential interpreter.

@@ -15,11 +15,13 @@ type Job = Box<dyn FnOnce(usize) + Send + 'static>;
 struct Shared {
     state: Mutex<State>,
     work_available: Condvar,
+    idle: Condvar,
 }
 
 struct State {
     queue: VecDeque<Job>,
     shutdown: bool,
+    running: usize,
 }
 
 /// A fixed-size pool of named worker threads.
@@ -45,8 +47,10 @@ impl ThreadPool {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
                 shutdown: false,
+                running: 0,
             }),
             work_available: Condvar::new(),
+            idle: Condvar::new(),
         });
         let workers = (0..threads.max(1))
             .map(|idx| {
@@ -88,6 +92,39 @@ impl ThreadPool {
         }
         self.shared.work_available.notify_one();
     }
+
+    /// Number of jobs queued but not yet picked up by a worker. A
+    /// point-in-time backpressure signal for callers reporting load.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.state.lock().expect("pool lock").queue.len()
+    }
+
+    /// Number of jobs currently executing on workers.
+    pub fn in_flight(&self) -> usize {
+        self.shared.state.lock().expect("pool lock").running
+    }
+
+    /// Blocks until every queued and running job has finished. Workers stay
+    /// alive afterwards (unlike `Drop`), so the pool remains usable — this
+    /// is the graceful-drain half of shutdown, letting a server quiesce
+    /// in-flight work before releasing its last pool handle.
+    pub fn drain(&self) {
+        let mut state = self.shared.state.lock().expect("pool lock");
+        while !state.queue.is_empty() || state.running > 0 {
+            state = self.shared.idle.wait(state).expect("pool lock");
+        }
+    }
+
+    /// Graceful shutdown: drains all pending and in-flight work, then wakes
+    /// workers so they exit instead of sleeping on the empty queue. Callers
+    /// must stop spawning first — a job enqueued after workers have exited
+    /// only runs if a live worker is still draining. `Drop` joins the
+    /// (already finished) workers cheaply afterwards.
+    pub fn shutdown(&self) {
+        self.drain();
+        self.shared.state.lock().expect("pool lock").shutdown = true;
+        self.shared.work_available.notify_all();
+    }
 }
 
 impl Drop for ThreadPool {
@@ -106,6 +143,7 @@ fn worker_loop(shared: &Shared, idx: usize) {
             let mut state = shared.state.lock().expect("pool lock");
             loop {
                 if let Some(job) = state.queue.pop_front() {
+                    state.running += 1;
                     break job;
                 }
                 if state.shutdown {
@@ -116,6 +154,11 @@ fn worker_loop(shared: &Shared, idx: usize) {
         };
         // isolate panics: the job's own coordination layer reports failure
         let _ = catch_unwind(AssertUnwindSafe(|| job(idx)));
+        let mut state = shared.state.lock().expect("pool lock");
+        state.running -= 1;
+        if state.queue.is_empty() && state.running == 0 {
+            shared.idle.notify_all();
+        }
     }
 }
 
@@ -214,6 +257,62 @@ mod tests {
             }
         } // drop joins after the queue drains
         assert_eq!(counter.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn counters_track_queue_and_in_flight() {
+        let pool = ThreadPool::new(1);
+        assert_eq!(pool.queue_depth(), 0);
+        assert_eq!(pool.in_flight(), 0);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        pool.spawn(move |_| {
+            started_tx.send(()).unwrap();
+            gate_rx.recv().unwrap();
+        });
+        started_rx.recv().unwrap();
+        // the single worker is now occupied; queue two more behind it
+        pool.spawn(|_| {});
+        pool.spawn(|_| {});
+        assert_eq!(pool.in_flight(), 1);
+        assert_eq!(pool.queue_depth(), 2);
+        gate_tx.send(()).unwrap();
+        pool.drain();
+        assert_eq!(pool.queue_depth(), 0);
+        assert_eq!(pool.in_flight(), 0);
+    }
+
+    #[test]
+    fn drain_keeps_pool_usable() {
+        let pool = ThreadPool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..16 {
+            let counter = Arc::clone(&counter);
+            pool.spawn(move |_| {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.drain();
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+        // drain (unlike shutdown) leaves workers alive for more jobs
+        let (tx, rx) = mpsc::channel();
+        pool.spawn(move |w| tx.send(w).unwrap());
+        assert!(rx.recv().unwrap() < 2);
+    }
+
+    #[test]
+    fn shutdown_runs_every_queued_job_before_returning() {
+        let pool = ThreadPool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..32 {
+            let counter = Arc::clone(&counter);
+            pool.spawn(move |_| {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 32);
+        drop(pool); // join is instant: workers already exited
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod report;
 pub mod trace;
 
 pub use profile::{
-    profile_analytic, profile_analytic_with_options, profile_measured, profile_measured_checked,
-    profile_measured_configured, profile_measured_with_engine, Breakdown, ModelProfile,
-    NodeProfile,
+    breakdown_from_trace, profile_analytic, profile_analytic_with_options, profile_measured,
+    profile_measured_checked, profile_measured_configured, profile_measured_with_engine, Breakdown,
+    ModelProfile, NodeProfile,
 };

@@ -422,6 +422,34 @@ pub fn profile_measured_checked(
     })
 }
 
+/// Aggregates one execution trace's per-node timings straight into the
+/// paper's taxonomy [`Breakdown`] — the lightweight path for per-request
+/// profiling (e.g. a serving layer attaching a breakdown to every response)
+/// where building a full [`ModelProfile`] per request would be wasteful.
+/// Fused nodes split their time across constituent classes exactly as
+/// [`ModelProfile::breakdown`] does.
+pub fn breakdown_from_trace(graph: &Graph, timings: &[ngb_exec::NodeTiming]) -> Breakdown {
+    let mut b = Breakdown::default();
+    let charge = |class: OpClass, t: f64, b: &mut Breakdown| match class {
+        OpClass::Gemm => b.gemm_s += t,
+        OpClass::NonGemm(g) => *b.groups.entry(g).or_insert(0.0) += t,
+    };
+    for timing in timings {
+        let node = graph.node(timing.id);
+        let t = timing.elapsed.as_secs_f64();
+        b.total_s += t;
+        let attribution = node_attribution(graph, node);
+        if attribution.is_empty() {
+            charge(node.class(), t, &mut b);
+        } else {
+            for (class, frac) in attribution {
+                charge(class, t * frac, &mut b);
+            }
+        }
+    }
+    b
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

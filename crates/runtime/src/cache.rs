@@ -1,0 +1,165 @@
+//! Built-graph cache for steady-state serving.
+//!
+//! Building and optimizing a model graph is pure — the same (model, scale,
+//! opt-level, batch) tuple always yields the same graph — so a server can
+//! build once and share the result across every request that needs it.
+//! [`GraphCache`] is that memoization: a mutex-guarded map from [`GraphKey`]
+//! to `Arc<Graph>` with hit/miss counters, safe to call from many
+//! connection threads at once.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use ngb_graph::Graph;
+
+/// Identity of a built-and-optimized graph. String fields (rather than the
+/// model/scale/opt enums) keep this crate's dependency set unchanged and
+/// make the key printable for logs as-is.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct GraphKey {
+    /// Model alias, e.g. `"bert"`.
+    pub model: String,
+    /// Scale name, e.g. `"tiny"`.
+    pub scale: String,
+    /// Optimization level name, e.g. `"O2"`.
+    pub opt_level: String,
+    /// Batch size the graph was built for.
+    pub batch: usize,
+}
+
+impl std::fmt::Display for GraphKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{}/{}/b{}",
+            self.model, self.scale, self.opt_level, self.batch
+        )
+    }
+}
+
+/// Point-in-time cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GraphCacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to build.
+    pub misses: u64,
+    /// Graphs currently cached.
+    pub entries: usize,
+}
+
+/// Thread-safe memoization of built graphs (see module docs).
+#[derive(Debug, Default)]
+pub struct GraphCache {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    graphs: HashMap<GraphKey, Arc<Graph>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl GraphCache {
+    /// Creates an empty cache.
+    pub fn new() -> GraphCache {
+        GraphCache::default()
+    }
+
+    /// Returns the cached graph for `key`, building it with `build` on the
+    /// first lookup. The lock is *not* held across `build`, so a slow build
+    /// never blocks lookups of other keys; if two threads race to build the
+    /// same key, the first insert wins and the loser's graph is dropped
+    /// (builds are pure, so both are identical).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `build`'s error; nothing is cached on failure.
+    pub fn get_or_build<E>(
+        &self,
+        key: &GraphKey,
+        build: impl FnOnce() -> Result<Graph, E>,
+    ) -> Result<Arc<Graph>, E> {
+        {
+            let mut inner = self.inner.lock().expect("graph cache lock");
+            if let Some(g) = inner.graphs.get(key) {
+                let g = Arc::clone(g);
+                inner.hits += 1;
+                return Ok(g);
+            }
+        }
+        let built = Arc::new(build()?);
+        let mut inner = self.inner.lock().expect("graph cache lock");
+        inner.misses += 1;
+        let g = Arc::clone(inner.graphs.entry(key.clone()).or_insert(built));
+        Ok(g)
+    }
+
+    /// Current hit/miss/entry counters.
+    pub fn stats(&self) -> GraphCacheStats {
+        let inner = self.inner.lock().expect("graph cache lock");
+        GraphCacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            entries: inner.graphs.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ngb_graph::GraphBuilder;
+
+    fn key(batch: usize) -> GraphKey {
+        GraphKey {
+            model: "toy".into(),
+            scale: "tiny".into(),
+            opt_level: "O1".into(),
+            batch,
+        }
+    }
+
+    fn toy(batch: usize) -> Graph {
+        let mut b = GraphBuilder::new("toy");
+        b.input(&[batch, 4]);
+        b.finish()
+    }
+
+    #[test]
+    fn second_lookup_hits_and_shares_the_graph() {
+        let cache = GraphCache::new();
+        let a = cache.get_or_build::<()>(&key(1), || Ok(toy(1))).unwrap();
+        let b = cache
+            .get_or_build::<()>(&key(1), || panic!("must not rebuild"))
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn distinct_batches_are_distinct_entries() {
+        let cache = GraphCache::new();
+        cache.get_or_build::<()>(&key(1), || Ok(toy(1))).unwrap();
+        cache.get_or_build::<()>(&key(4), || Ok(toy(4))).unwrap();
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn build_failure_caches_nothing() {
+        let cache = GraphCache::new();
+        assert!(cache.get_or_build(&key(1), || Err("boom")).is_err());
+        assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.stats().misses, 0);
+        // a later successful build still works
+        cache.get_or_build::<()>(&key(1), || Ok(toy(1))).unwrap();
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn key_displays_compactly() {
+        assert_eq!(key(8).to_string(), "toy/tiny/O1/b8");
+    }
+}

@@ -24,6 +24,10 @@
 
 #![forbid(unsafe_code)]
 
+mod cache;
+
+pub use cache::{GraphCache, GraphCacheStats, GraphKey};
+
 use ngb_graph::{Graph, NodeId, NonGemmGroup, OpClass, OpKind};
 use ngb_ops::OpCost;
 

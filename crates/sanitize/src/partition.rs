@@ -217,7 +217,13 @@ mod tests {
         assert_eq!(r.count(HazardKind::PartitionOutOfBounds), 1);
 
         let mut r = SanitizeReport::new("t");
-        assert!(!verify_ranges("t", std::slice::from_ref(&(0..4)), 9, node, &mut r));
+        assert!(!verify_ranges(
+            "t",
+            std::slice::from_ref(&(0..4)),
+            9,
+            node,
+            &mut r
+        ));
         assert_eq!(r.count(HazardKind::PartitionGap), 1);
     }
 

@@ -1,0 +1,444 @@
+//! `loadgen` — open-loop load generator for `ngb-serve`.
+//!
+//! Arrivals are Poisson-ish: exponential inter-arrival times drawn from a
+//! deterministic LCG, so a given `--seed`/`--rate` always replays the
+//! same schedule. Each arrival runs on its own thread (open loop — a slow
+//! server does not slow the arrival process, it builds queue), connects,
+//! sends one `infer`, and records the end-to-end latency plus the
+//! server's per-request profile record (batch size, queue wait).
+//!
+//! Each `--rate` is one sweep point; the report prints throughput and
+//! p50/p95/p99 latency per point and `--summary` writes the same as JSON.
+
+use std::io::Write as _;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use ngb_serve::protocol::Request;
+use ngb_serve::Client;
+use serde_json::Value;
+
+const HELP: &str = "\
+loadgen — open-loop load generator for ngb-serve
+
+USAGE:
+  loadgen --addr <host:port> [OPTIONS]
+
+OPTIONS:
+  --addr <host:port>  server address (required)
+  --rate <n>          arrivals per second; repeatable, one sweep point each
+                      (default: 20)
+  --duration-ms <n>   length of each sweep point (default: 1000)
+  --model <mix>       model mix, e.g. \"bert\" or \"bert=3,sw-t=1\" (default: bert)
+  --seed <n>          seed for the arrival schedule and input seeds (default: 1)
+  --summary <path>    write the sweep summary as JSON
+  --shutdown          send a graceful shutdown to the server after the sweep
+  --fail-on-error     exit 1 when any request fails (admission rejections are
+                      reported separately and do not count as failures)
+  --help, -h          print this help
+
+EXIT CODES:
+  0  success    1  failure (connect error, zero completions, or
+                   --fail-on-error with failures)    2  usage error
+";
+
+#[derive(Debug)]
+struct Args {
+    addr: String,
+    rates: Vec<f64>,
+    duration_ms: u64,
+    mix: Vec<(String, u64)>,
+    seed: u64,
+    summary: Option<String>,
+    shutdown: bool,
+    fail_on_error: bool,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: loadgen --addr <host:port> [--rate <n>]... (see --help)");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = Args {
+        addr: String::new(),
+        rates: Vec::new(),
+        duration_ms: 1000,
+        mix: Vec::new(),
+        seed: 1,
+        summary: None,
+        shutdown: false,
+        fail_on_error: false,
+    };
+    let mut it = argv.iter();
+    let take = |it: &mut std::slice::Iter<'_, String>, name: &str| -> String {
+        it.next().cloned().unwrap_or_else(|| {
+            eprintln!("{name} requires a value");
+            usage()
+        })
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => args.addr = take(&mut it, "--addr"),
+            "--rate" => {
+                let v = take(&mut it, "--rate");
+                match v.parse::<f64>() {
+                    Ok(r) if r > 0.0 => args.rates.push(r),
+                    _ => {
+                        eprintln!("--rate requires a positive number");
+                        usage()
+                    }
+                }
+            }
+            "--duration-ms" => {
+                let v = take(&mut it, "--duration-ms");
+                match v.parse::<u64>() {
+                    Ok(n) if n >= 1 => args.duration_ms = n,
+                    _ => {
+                        eprintln!("--duration-ms requires a positive integer");
+                        usage()
+                    }
+                }
+            }
+            "--model" => {
+                let v = take(&mut it, "--model");
+                for part in v.split(',') {
+                    let (name, weight) = match part.split_once('=') {
+                        Some((n, w)) => (
+                            n.to_string(),
+                            w.parse().unwrap_or_else(|_| {
+                                eprintln!("bad model weight in '{part}'");
+                                usage()
+                            }),
+                        ),
+                        None => (part.to_string(), 1),
+                    };
+                    if name.is_empty() || weight == 0 {
+                        eprintln!("bad model mix entry '{part}'");
+                        usage()
+                    }
+                    args.mix.push((name, weight));
+                }
+            }
+            "--seed" => {
+                let v = take(&mut it, "--seed");
+                args.seed = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--seed requires an integer");
+                    usage()
+                });
+            }
+            "--summary" => args.summary = Some(take(&mut it, "--summary")),
+            "--shutdown" => args.shutdown = true,
+            "--fail-on-error" => args.fail_on_error = true,
+            "--help" | "-h" => {
+                print!("{HELP}");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                usage()
+            }
+        }
+    }
+    if args.addr.is_empty() {
+        eprintln!("--addr is required");
+        usage()
+    }
+    if args.rates.is_empty() {
+        args.rates.push(20.0);
+    }
+    if args.mix.is_empty() {
+        args.mix.push(("bert".to_string(), 1));
+    }
+    args
+}
+
+/// Deterministic 64-bit LCG (Knuth constants) — the arrival schedule must
+/// replay exactly for a given seed.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+
+    /// Uniform in (0, 1].
+    fn next_unit(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64 + 1.0) / (u64::MAX >> 11) as f64
+    }
+
+    /// Exponential with rate `lambda` (mean 1/lambda seconds).
+    fn next_exp(&mut self, lambda: f64) -> f64 {
+        -self.next_unit().ln() / lambda
+    }
+}
+
+#[derive(Debug)]
+enum Outcome {
+    /// Latency in seconds + batch size the server formed.
+    Completed { latency_s: f64, batch: u64 },
+    /// Admission-control rejection (429/503) — reported, not dropped.
+    Rejected,
+    /// Transport or execution failure.
+    Failed(String),
+}
+
+fn one_request(addr: &str, model: &str, id: u64, seed: u64) -> Outcome {
+    let start = Instant::now();
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => return Outcome::Failed(format!("connect: {e}")),
+    };
+    let resp = match client.infer(model, &format!("lg-{id}"), seed) {
+        Ok(v) => v,
+        Err(e) => return Outcome::Failed(format!("request: {e}")),
+    };
+    if resp["ok"] == true {
+        Outcome::Completed {
+            latency_s: start.elapsed().as_secs_f64(),
+            batch: resp["result"]["batch_size"].as_u64().unwrap_or(1),
+        }
+    } else {
+        let code = resp["error"]["code"].as_u64().unwrap_or(0);
+        if code == 429 || code == 503 {
+            Outcome::Rejected
+        } else {
+            Outcome::Failed(format!(
+                "server error {code}: {}",
+                resp["error"]["message"].as_str().unwrap_or("?")
+            ))
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct SweepPoint {
+    rate: f64,
+    sent: u64,
+    completed: u64,
+    rejected: u64,
+    failed: u64,
+    throughput_rps: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    max_batch: u64,
+    batched: u64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+fn run_sweep_point(args: &Args, rate: f64, point_idx: usize) -> SweepPoint {
+    let duration = Duration::from_millis(args.duration_ms);
+    let mut lcg = Lcg(args.seed ^ (point_idx as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15));
+    let total_weight: u64 = args.mix.iter().map(|(_, w)| w).sum();
+
+    // draw the full arrival schedule up front
+    let mut arrivals: Vec<(f64, String, u64)> = Vec::new();
+    let mut t = 0.0f64;
+    loop {
+        t += lcg.next_exp(rate);
+        if t >= duration.as_secs_f64() {
+            break;
+        }
+        let mut pick = lcg.next_u64() % total_weight;
+        let model = args
+            .mix
+            .iter()
+            .find(|(_, w)| {
+                if pick < *w {
+                    true
+                } else {
+                    pick -= w;
+                    false
+                }
+            })
+            .map(|(m, _)| m.clone())
+            .expect("weights cover the draw");
+        let input_seed = lcg.next_u64() >> 12; // keep it in f64-exact JSON range
+        arrivals.push((t, model, input_seed));
+    }
+
+    let (tx, rx) = mpsc::channel::<Outcome>();
+    let start = Instant::now();
+    let mut workers = Vec::new();
+    for (i, (at, model, input_seed)) in arrivals.iter().enumerate() {
+        let wait = Duration::from_secs_f64(*at).saturating_sub(start.elapsed());
+        std::thread::sleep(wait);
+        let tx = tx.clone();
+        let addr = args.addr.clone();
+        let model = model.clone();
+        let input_seed = *input_seed;
+        workers.push(std::thread::spawn(move || {
+            let _ = tx.send(one_request(&addr, &model, i as u64, input_seed));
+        }));
+    }
+    drop(tx);
+
+    let mut point = SweepPoint {
+        rate,
+        sent: arrivals.len() as u64,
+        ..SweepPoint::default()
+    };
+    let mut latencies = Vec::new();
+    for outcome in rx {
+        match outcome {
+            Outcome::Completed { latency_s, batch } => {
+                point.completed += 1;
+                point.max_batch = point.max_batch.max(batch);
+                if batch > 1 {
+                    point.batched += 1;
+                }
+                latencies.push(latency_s);
+            }
+            Outcome::Rejected => point.rejected += 1,
+            Outcome::Failed(msg) => {
+                point.failed += 1;
+                eprintln!("request failed: {msg}");
+            }
+        }
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    point.throughput_rps = if elapsed > 0.0 {
+        point.completed as f64 / elapsed
+    } else {
+        0.0
+    };
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    point.p50_ms = percentile(&latencies, 0.50) * 1e3;
+    point.p95_ms = percentile(&latencies, 0.95) * 1e3;
+    point.p99_ms = percentile(&latencies, 0.99) * 1e3;
+    point
+}
+
+fn point_value(p: &SweepPoint, duration_ms: u64) -> Value {
+    let f = |x: f64| Value::Number(x);
+    Value::Object(vec![
+        ("rate".into(), f(p.rate)),
+        ("duration_ms".into(), f(duration_ms as f64)),
+        ("sent".into(), f(p.sent as f64)),
+        ("completed".into(), f(p.completed as f64)),
+        ("rejected".into(), f(p.rejected as f64)),
+        ("failed".into(), f(p.failed as f64)),
+        ("throughput_rps".into(), f(p.throughput_rps)),
+        ("p50_ms".into(), f(p.p50_ms)),
+        ("p95_ms".into(), f(p.p95_ms)),
+        ("p99_ms".into(), f(p.p99_ms)),
+        ("max_batch".into(), f(p.max_batch as f64)),
+        ("batched".into(), f(p.batched as f64)),
+    ])
+}
+
+fn main() {
+    let args = parse_args();
+    let mix: Vec<String> = args.mix.iter().map(|(m, w)| format!("{m}={w}")).collect();
+    eprintln!(
+        "loadgen: {} · mix [{}] · {} sweep point(s) × {} ms",
+        args.addr,
+        mix.join(","),
+        args.rates.len(),
+        args.duration_ms
+    );
+
+    let mut points = Vec::new();
+    println!(
+        "{:>8} {:>6} {:>9} {:>8} {:>6} {:>10} {:>8} {:>8} {:>8} {:>9}",
+        "rate",
+        "sent",
+        "completed",
+        "rejected",
+        "failed",
+        "thru(rps)",
+        "p50(ms)",
+        "p95(ms)",
+        "p99(ms)",
+        "max_batch"
+    );
+    for (i, &rate) in args.rates.iter().enumerate() {
+        let p = run_sweep_point(&args, rate, i);
+        println!(
+            "{:>8.1} {:>6} {:>9} {:>8} {:>6} {:>10.1} {:>8.2} {:>8.2} {:>8.2} {:>9}",
+            p.rate,
+            p.sent,
+            p.completed,
+            p.rejected,
+            p.failed,
+            p.throughput_rps,
+            p.p50_ms,
+            p.p95_ms,
+            p.p99_ms,
+            p.max_batch
+        );
+        points.push(p);
+    }
+
+    if args.shutdown {
+        match Client::connect(&args.addr) {
+            Ok(mut c) => {
+                let _ = c.request(&Request::Shutdown);
+            }
+            Err(e) => eprintln!("shutdown request failed: {e}"),
+        }
+    }
+
+    let failed: u64 = points.iter().map(|p| p.failed).sum();
+    let completed: u64 = points.iter().map(|p| p.completed).sum();
+
+    if let Some(path) = &args.summary {
+        let summary = Value::Object(vec![
+            (
+                "sweep".into(),
+                Value::Array(
+                    points
+                        .iter()
+                        .map(|p| point_value(p, args.duration_ms))
+                        .collect(),
+                ),
+            ),
+            ("completed".into(), Value::Number(completed as f64)),
+            ("failed".into(), Value::Number(failed as f64)),
+        ]);
+        let write = std::path::Path::new(path)
+            .parent()
+            .filter(|d| !d.as_os_str().is_empty())
+            .map_or(Ok(()), std::fs::create_dir_all)
+            .and_then(|()| {
+                let mut f = std::fs::File::create(path)?;
+                writeln!(
+                    f,
+                    "{}",
+                    serde_json::to_string_pretty(&summary).expect("summaries serialize")
+                )
+            });
+        match write {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if completed == 0 {
+        eprintln!("no requests completed");
+        std::process::exit(1);
+    }
+    if args.fail_on_error && failed > 0 {
+        eprintln!("{failed} request(s) failed");
+        std::process::exit(1);
+    }
+}

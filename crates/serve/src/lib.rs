@@ -1,0 +1,129 @@
+//! # ngb-serve
+//!
+//! A long-running inference service over the benchmark's executable
+//! graphs — the serving layer that turns the paper's per-model profiles
+//! into *observable* latency under queueing, batching, and concurrency.
+//!
+//! Requests travel as line-delimited JSON over plain TCP (std only, no
+//! async runtime): each line in is one request object, each line out one
+//! response object (see [`protocol`]). The server keeps one bounded FIFO
+//! per model, forms dynamic batches up to `max_batch` or until the oldest
+//! request's `batch_wait` deadline fires, schedules models fair
+//! round-robin, and executes batches on one shared [`ngb_exec`] worker
+//! pool. Built-and-optimized graphs are memoized per (model, scale,
+//! opt-level, batch) in an [`ngb_runtime::GraphCache`], so steady state
+//! pays no graph construction.
+//!
+//! Admission control is explicit: a full queue *rejects* with a
+//! 429-style error carrying `retry_after_ms` (never silently drops), and
+//! a draining server rejects with 503 while every already-admitted
+//! request still completes. Each successful response carries a
+//! per-request profile record — queue wait, batch size, execution time,
+//! and the paper's taxonomy breakdown — so batching efficacy is
+//! observable per request, not just in aggregate.
+//!
+//! Determinism: inputs are synthesized from the request's `seed` through
+//! the interpreter's own per-node RNG ([`ngb_exec::synth_input`]), and
+//! for batch-transparent models (see [`batching`]) a batched row is
+//! bit-identical to a solo batch-1 run of the same seed. The wire digest
+//! of every output tensor makes that checkable end to end.
+
+#![forbid(unsafe_code)]
+
+pub mod batching;
+pub mod client;
+pub mod protocol;
+mod server;
+
+pub use client::Client;
+pub use server::{ServeStats, Server, ServerHandle};
+
+use std::time::Duration;
+
+use ngb_models::Scale;
+use ngb_opt::OptLevel;
+
+/// Default TCP listen address (port 0 = ephemeral, printed at startup).
+pub const DEFAULT_ADDR: &str = "127.0.0.1:0";
+/// Default cap on dynamically formed batches.
+pub const DEFAULT_MAX_BATCH: usize = 8;
+/// Default batching deadline: how long the oldest queued request may wait
+/// for companions before its batch is dispatched anyway.
+pub const DEFAULT_BATCH_WAIT_US: u64 = 2_000;
+/// Default per-model queue capacity (admission control bound).
+pub const DEFAULT_QUEUE_CAP: usize = 64;
+
+/// Server configuration. `Default` reads the `NGB_SERVE_*` environment
+/// overrides, falling back to the crate's `DEFAULT_*` constants.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// TCP listen address, e.g. `"127.0.0.1:7077"`.
+    pub addr: String,
+    /// Model scale served by this process.
+    pub scale: Scale,
+    /// Graph-rewrite level applied at build time.
+    pub opt_level: OptLevel,
+    /// Maximum dynamic batch size (≥ 1).
+    pub max_batch: usize,
+    /// Batching deadline for the oldest request in a queue.
+    pub batch_wait: Duration,
+    /// Per-model queue capacity; 0 rejects every request (useful as an
+    /// admission-control drill).
+    pub queue_cap: usize,
+    /// Worker threads of the shared execution pool (0 = `NGB_THREADS`
+    /// or 1).
+    pub threads: usize,
+    /// Intra-op parallelism override (`None` = `NGB_INTRAOP` default).
+    pub intra_op: Option<bool>,
+    /// Weight seed of the served graphs (requests carry their own input
+    /// seeds; this one fixes the model parameters).
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: env_string("NGB_SERVE_ADDR", DEFAULT_ADDR),
+            scale: Scale::Full,
+            opt_level: OptLevel::from_env(),
+            max_batch: env_usize("NGB_SERVE_MAX_BATCH", DEFAULT_MAX_BATCH).max(1),
+            batch_wait: Duration::from_micros(env_u64(
+                "NGB_SERVE_BATCH_WAIT_US",
+                DEFAULT_BATCH_WAIT_US,
+            )),
+            queue_cap: env_usize("NGB_SERVE_QUEUE_CAP", DEFAULT_QUEUE_CAP),
+            threads: 0,
+            intra_op: None,
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Worker threads after applying the `NGB_THREADS` fallback.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            ngb_exec::env_threads(1)
+        } else {
+            self.threads
+        }
+    }
+}
+
+fn env_string(key: &str, default: &str) -> String {
+    std::env::var(key).unwrap_or_else(|_| default.to_string())
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}

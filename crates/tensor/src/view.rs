@@ -315,13 +315,13 @@ impl Tensor {
     }
 
     /// Concatenates tensors along `dim`, allocating new storage
-    /// (like `torch.cat`). All inputs must be f32 and agree on every other
-    /// dimension.
+    /// (like `torch.cat`). All inputs must share one dtype (f32, i64, or
+    /// bool) and agree on every other dimension.
     ///
     /// # Errors
     ///
-    /// Fails on an empty input list, rank/shape disagreement, or non-f32
-    /// inputs.
+    /// Fails on an empty input list, rank/shape disagreement, or mixed
+    /// dtypes.
     pub fn cat(tensors: &[Tensor], dim: usize) -> Result<Tensor> {
         let first = tensors.first().ok_or_else(|| {
             TensorError::InvalidArgument("cat requires at least one tensor".into())
@@ -345,25 +345,35 @@ impl Tensor {
                     op: "cat",
                 });
             }
+            if t.dtype() != first.dtype() {
+                return Err(TensorError::DTypeMismatch {
+                    expected: first.dtype().name(),
+                    actual: t.dtype().name(),
+                    op: "cat",
+                });
+            }
             out_shape[dim] += t.shape()[dim];
         }
-        let mut data = vec![0.0f32; num_elements(&out_shape)];
-        let out_strides = contiguous_strides(&out_shape);
-        let mut base = 0usize;
-        for t in tensors {
-            let src = t.storage.as_f32().ok_or(TensorError::DTypeMismatch {
-                expected: "f32",
-                actual: t.dtype().name(),
-                op: "cat",
-            })?;
-            for ix in IndexIter::new(t.shape()) {
-                let mut oix = ix.clone();
-                oix[dim] += base;
-                data[offset_of(&oix, &out_strides, 0)] = src[offset_of(&ix, t.strides(), t.offset)];
+        match first.dtype() {
+            DType::F32 => {
+                let data = cat_copy(tensors, dim, &out_shape, 0.0f32, |t| {
+                    t.storage.as_f32().expect("dtype checked")
+                });
+                Tensor::from_vec(data, &out_shape)
             }
-            base += t.shape()[dim];
+            DType::I64 => {
+                let data = cat_copy(tensors, dim, &out_shape, 0i64, |t| {
+                    t.storage.as_i64().expect("dtype checked")
+                });
+                Tensor::from_i64(data, &out_shape)
+            }
+            DType::Bool => {
+                let data = cat_copy(tensors, dim, &out_shape, false, |t| {
+                    t.storage.as_bool().expect("dtype checked")
+                });
+                Tensor::from_bool(data, &out_shape)
+            }
         }
-        Tensor::from_vec(data, &out_shape)
     }
 
     /// Stacks tensors along a new leading `dim` (like `torch.stack`).
@@ -375,6 +385,31 @@ impl Tensor {
         let unsqueezed: Result<Vec<Tensor>> = tensors.iter().map(|t| t.unsqueeze(dim)).collect();
         Tensor::cat(&unsqueezed?, dim)
     }
+}
+
+/// Dtype-generic copy loop behind [`Tensor::cat`]: gathers every input's
+/// elements into a dense row-major buffer shaped `out_shape`, offsetting
+/// indices along `dim`. Callers guarantee all inputs share one dtype.
+fn cat_copy<T: Copy>(
+    tensors: &[Tensor],
+    dim: usize,
+    out_shape: &[usize],
+    fill: T,
+    slice_of: impl Fn(&Tensor) -> &[T],
+) -> Vec<T> {
+    let mut data = vec![fill; num_elements(out_shape)];
+    let out_strides = contiguous_strides(out_shape);
+    let mut base = 0usize;
+    for t in tensors {
+        let src = slice_of(t);
+        for ix in IndexIter::new(t.shape()) {
+            let mut oix = ix.clone();
+            oix[dim] += base;
+            data[offset_of(&oix, &out_strides, 0)] = src[offset_of(&ix, t.strides(), t.offset)];
+        }
+        base += t.shape()[dim];
+    }
+    data
 }
 
 #[cfg(test)]
@@ -511,6 +546,31 @@ mod tests {
         let b = Tensor::zeros(&[2, 3]);
         assert!(Tensor::cat(&[a.clone(), b], 0).is_err());
         assert!(Tensor::cat(&[a], 5).is_err());
+    }
+
+    #[test]
+    fn cat_i64_and_bool() {
+        let a = Tensor::from_i64(vec![1, 2, 3], &[1, 3]).unwrap();
+        let b = Tensor::from_i64(vec![4, 5, 6], &[1, 3]).unwrap();
+        let c = Tensor::cat(&[a, b], 0).unwrap();
+        assert_eq!(c.shape(), &[2, 3]);
+        assert_eq!(c.to_vec_i64().unwrap(), vec![1, 2, 3, 4, 5, 6]);
+
+        let t = Tensor::from_bool(vec![true, false], &[2, 1]).unwrap();
+        let u = Tensor::from_bool(vec![false, true], &[2, 1]).unwrap();
+        let v = Tensor::cat(&[t, u], 1).unwrap();
+        assert_eq!(v.shape(), &[2, 2]);
+        assert_eq!(v.to_vec_bool().unwrap(), vec![true, false, false, true]);
+    }
+
+    #[test]
+    fn cat_rejects_mixed_dtypes() {
+        let a = Tensor::ones(&[2]);
+        let b = Tensor::from_i64(vec![1, 2], &[2]).unwrap();
+        assert!(matches!(
+            Tensor::cat(&[a, b], 0),
+            Err(TensorError::DTypeMismatch { op: "cat", .. })
+        ));
     }
 
     #[test]

@@ -6,11 +6,15 @@
 #   CI_STAGES=test-opt,regress scripts/ci.sh
 #
 # Stages: fmt, clippy, test, test-parallel, test-opt, test-intraop,
-# sanitize, regress.
+# sanitize, serve, regress.
 # The sanitize stage audits that unsafe code stays confined to ngb-ops
 # and ngb-exec, lints the verifier crate at -D warnings, and runs the
 # 18-model hazard sweep (static verifier + shadow-memory execution) on a
 # multi-threaded engine with intra-op parallelism on.
+# The serve stage boots the inference service on a tiny model, fires a
+# short open-loop loadgen burst, and asserts completions > 0 with zero
+# failures and a clean drain; the sweep summary lands in
+# target/ci/BENCH_SERVE.json for artifact upload.
 # The regress stage writes target/ci/regress-report.{json,txt} so CI can
 # upload the diff report as an artifact; tune it with NGB_NO_WALLCLOCK=1
 # (skip the measured smoke channel) or NGB_WALLCLOCK_FACTOR=<f> (extra
@@ -18,7 +22,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-ALL_STAGES="fmt,clippy,test,test-parallel,test-opt,test-intraop,sanitize,regress"
+ALL_STAGES="fmt,clippy,test,test-parallel,test-opt,test-intraop,sanitize,serve,regress"
 STAGES="${CI_STAGES:-$ALL_STAGES}"
 
 want() { [[ ",$STAGES," == *",$1,"* ]]; }
@@ -66,6 +70,36 @@ sanitize_gate() {
     ./target/release/nongemm-cli sanitize --tiny
 }
 
+serve_gate() {
+  mkdir -p target/ci
+  cargo build --release -q --bin nongemm-cli --bin loadgen
+  local log=target/ci/serve.log rc=0
+  # ephemeral port: the server prints "ngb-serve listening on host:port"
+  # on stdout, scraped below so parallel CI jobs never collide
+  ./target/release/nongemm-cli serve --tiny --max-batch 8 \
+    --batch-wait-us 4000 >"$log" 2>&1 &
+  local server_pid=$!
+  local addr=""
+  for _ in $(seq 50); do
+    addr=$(sed -n 's/^ngb-serve listening on //p' "$log" | head -n1)
+    [[ -n "$addr" ]] && break
+    kill -0 "$server_pid" 2>/dev/null \
+      || { echo "error: server died at startup"; cat "$log"; return 1; }
+    sleep 0.1
+  done
+  [[ -n "$addr" ]] || { echo "error: server never reported an address"; cat "$log"; return 1; }
+  ./target/release/loadgen --addr "$addr" --rate 50 --rate 200 \
+    --duration-ms 600 --model bert --seed 7 \
+    --summary target/ci/BENCH_SERVE.json --shutdown --fail-on-error || rc=$?
+  # the server must drain and exit 0 once loadgen sends shutdown
+  wait "$server_pid" || { echo "error: server exited non-zero"; cat "$log"; return 1; }
+  cat "$log"
+  [[ $rc -eq 0 ]] || { echo "error: loadgen failed (rc=$rc)"; return 1; }
+  # batching must actually engage: some sweep point formed a batch > 1
+  grep -q '"max_batch": *\([2-9]\|[0-9][0-9]\)' target/ci/BENCH_SERVE.json \
+    || { echo "error: no dynamic batch larger than 1 was formed"; return 1; }
+}
+
 run_stage fmt           cargo fmt --all -- --check
 run_stage clippy        cargo clippy --all-targets -- -D warnings
 run_stage test          cargo test -q
@@ -73,6 +107,7 @@ run_stage test-parallel env NGB_THREADS=4 cargo test -q
 run_stage test-opt      env NGB_OPT=2 NGB_THREADS=4 cargo test -q
 run_stage test-intraop  env NGB_INTRAOP=1 NGB_THREADS=4 cargo test -q
 run_stage sanitize      sanitize_gate
+run_stage serve         serve_gate
 run_stage regress       regress_gate
 
 echo "==> ok (stages: $STAGES, total ${SECONDS}s)"

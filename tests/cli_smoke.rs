@@ -20,7 +20,13 @@ fn tmpdir(tag: &str) -> PathBuf {
 
 #[test]
 fn help_exits_zero_and_documents_every_flag() {
-    for args in [&["--help"][..], &["-h"], &["help"], &["run", "--help"]] {
+    for args in [
+        &["--help"][..],
+        &["-h"],
+        &["help"],
+        &["run", "--help"],
+        &["serve", "--help"],
+    ] {
         let out = cli().args(args).output().expect("spawn cli");
         assert!(
             out.status.success(),
@@ -32,6 +38,8 @@ fn help_exits_zero_and_documents_every_flag() {
         for needle in [
             "run",
             "verify",
+            "sanitize",
+            "serve",
             "ci",
             "--model",
             "--platform",
@@ -54,11 +62,19 @@ fn help_exits_zero_and_documents_every_flag() {
             "--wallclock-iters",
             "--no-wallclock",
             "--intra-op",
+            "--addr",
+            "--max-batch",
+            "--batch-wait-us",
+            "--queue-cap",
             "NGB_THREADS",
             "NGB_OPT",
             "NGB_NO_WALLCLOCK",
             "NGB_INTRAOP",
             "NGB_INTRAOP_MIN_ELEMS",
+            "NGB_SERVE_ADDR",
+            "NGB_SERVE_MAX_BATCH",
+            "NGB_SERVE_BATCH_WAIT_US",
+            "NGB_SERVE_QUEUE_CAP",
         ] {
             assert!(text.contains(needle), "{args:?} help lacks '{needle}'");
         }
@@ -81,6 +97,11 @@ fn unknown_flags_and_subcommands_exit_two_with_usage() {
         &["run", "--model"], // missing value
         &["run", "--intra-op", "maybe"],
         &["verify", "--intra-op", "2"],
+        &["serve", "--bogus"],
+        &["serve", "--max-batch", "0"],
+        &["serve", "--batch-wait-us", "soon"],
+        &["serve", "--queue-cap", "-1"],
+        &["serve", "--addr"], // missing value
     ];
     for args in cases {
         let out = cli().args(*args).output().expect("spawn cli");
