@@ -70,7 +70,7 @@ pub use ngb_exec::{Engine, ExecutionTrace, Interpreter, ParallelExecutor, Schedu
 pub use ngb_graph::{Graph, NonGemmGroup, OpClass, OpKind};
 pub use ngb_microbench::{MicroResult, OperatorRegistry};
 pub use ngb_models::{ModelId, ModelRegistry, Scale, Task};
-pub use ngb_opt::{optimize, OptLevel, OptReport};
+pub use ngb_opt::{optimize, optimize_with, OptLevel, OptReport};
 pub use ngb_platform::{DeviceModel, HardwareClass, Platform};
 pub use ngb_profiler::report::{NonGemmReport, PerformanceReport, WorkloadReport};
 pub use ngb_profiler::{Breakdown, ModelProfile};

@@ -69,6 +69,11 @@ pub struct NodeTiming {
     /// Maximum number of threads that cooperated on one of the node's
     /// intra-op dispatches (1 when everything ran serially).
     pub intra_participants: usize,
+    /// Bytes of dense copies the node's kernels materialized from strided
+    /// views (`Tensor::contiguous` copy path, sampled from the executing
+    /// thread's counter). Zero for every layout chain the strided kernels
+    /// consume in place.
+    pub bytes_materialized: u64,
 }
 
 /// Result of executing a graph.
@@ -102,6 +107,12 @@ impl ExecutionTrace {
             .map(|t| t.start + t.elapsed)
             .max()
             .unwrap_or(Duration::ZERO)
+    }
+
+    /// Total bytes of dense copies materialized from strided views across
+    /// the run (sum of per-node counters).
+    pub fn bytes_materialized(&self) -> u64 {
+        self.timings.iter().map(|t| t.bytes_materialized).sum()
     }
 }
 
@@ -273,8 +284,10 @@ impl Interpreter {
             // no intra-op runner here: the same shape-pure chunks run
             // serially, so outputs match the parallel engine bit for bit
             ngb_ops::parallel::reset_stats();
+            ngb_tensor::telemetry::reset_bytes_materialized();
             let out = execute_node(self.seed, node, &args, inputs.get(&node.id), &arena)?;
             let stats = ngb_ops::parallel::take_stats();
+            let bytes_materialized = ngb_tensor::telemetry::take_bytes_materialized();
             let elapsed = started.elapsed();
             drop(args); // release input clones so last-use reclaim sees unique storage
             if let Some(s) = &shadow {
@@ -293,6 +306,7 @@ impl Interpreter {
                 out_shape: out.shape().to_vec(),
                 intra_chunks: stats.chunks,
                 intra_participants: stats.max_participants.max(1),
+                bytes_materialized,
             });
             values[pos] = Some(out);
             for &i in &node.inputs {

@@ -374,6 +374,10 @@ impl RunState {
         let outcome = gathered.and_then(|args| {
             let kernel_start = Instant::now();
             intra::reset_stats();
+            // contiguous-copy telemetry is thread-local; the node's copies
+            // all happen on this worker thread (intra-op chunk jobs never
+            // materialize), so reset/take brackets exactly this node
+            ngb_tensor::telemetry::reset_bytes_materialized();
             let exec_once = || {
                 execute_node(
                     self.seed,
@@ -388,10 +392,11 @@ impl RunState {
                 None => exec_once(),
             }));
             let stats = intra::take_stats();
+            let bytes_materialized = ngb_tensor::telemetry::take_bytes_materialized();
             let elapsed = kernel_start.elapsed();
             let start = kernel_start.duration_since(self.started_at);
             match result {
-                Ok(Ok(out)) => Ok((out, start, elapsed, stats)),
+                Ok(Ok(out)) => Ok((out, start, elapsed, stats, bytes_materialized)),
                 Ok(Err(e)) => Err(e),
                 Err(panic) => Err(TensorError::InvalidArgument(format!(
                     "node {} ({}) kernel panicked: {}",
@@ -411,8 +416,17 @@ impl RunState {
                 }
             }
             Ok(_) if inner.error.is_some() => {} // stale result of an aborted run
-            Ok((out, start, elapsed, stats)) => {
-                match self.finish_node(&mut inner, item.pos, out, start, elapsed, worker, stats) {
+            Ok((out, start, elapsed, stats, bytes_materialized)) => {
+                match self.finish_node(
+                    &mut inner,
+                    item.pos,
+                    out,
+                    start,
+                    elapsed,
+                    worker,
+                    stats,
+                    bytes_materialized,
+                ) {
                     Ok(n) => newly_ready = n,
                     Err(e) => {
                         if inner.error.is_none() {
@@ -465,6 +479,7 @@ impl RunState {
         elapsed: Duration,
         worker: usize,
         stats: IntraOpStats,
+        bytes_materialized: u64,
     ) -> Result<usize, TensorError> {
         let node = &self.graph.nodes[pos];
         if let Some(s) = &self.shadow {
@@ -483,6 +498,7 @@ impl RunState {
             out_shape: out.shape().to_vec(),
             intra_chunks: stats.chunks,
             intra_participants: stats.max_participants.max(1),
+            bytes_materialized,
         });
         inner.values[pos] = Some(out);
         let mut newly_ready = 0;

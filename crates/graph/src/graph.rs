@@ -251,6 +251,19 @@ impl Graph {
         }
         peak
     }
+
+    /// Static upper bound on bytes the graph's `Contiguous` nodes copy
+    /// into fresh dense buffers (each is a full-output copy when its input
+    /// is non-dense). Optimization passes that elide `Contiguous` nodes
+    /// drive this toward zero; runtime kernels may beat the bound when the
+    /// input is already dense and the copy degenerates to a clone.
+    pub fn contiguous_copy_bytes(&self) -> u64 {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.op, crate::OpKind::Contiguous))
+            .map(|n| ngb_tensor::num_elements(&n.out_shape) as u64 * 4)
+            .sum()
+    }
 }
 
 impl<'a> IntoIterator for &'a Graph {
@@ -519,6 +532,19 @@ mod tests {
             .map(|n| ngb_tensor::num_elements(&n.out_shape) * 4)
             .sum();
         assert!(peak > 0 && peak <= total);
+    }
+
+    #[test]
+    fn contiguous_copy_bytes_counts_contiguous_nodes() {
+        assert_eq!(toy().contiguous_copy_bytes(), 0);
+        let mut b = GraphBuilder::new("c");
+        let x = b.input(&[2, 3, 4]);
+        let t = b
+            .push(OpKind::Transpose { d0: 1, d1: 2 }, &[x], "t")
+            .unwrap();
+        b.push(OpKind::Contiguous, &[t], "c").unwrap();
+        let g = b.finish();
+        assert_eq!(g.contiguous_copy_bytes(), 2 * 3 * 4 * 4);
     }
 
     #[test]

@@ -744,6 +744,104 @@ impl OpKind {
         }
     }
 
+    /// Whether this op's executor consumes **arbitrary strided views**
+    /// bit-identically to a materialized copy — the contract the `ngb-opt`
+    /// contiguous-elision pass relies on when it removes a `Contiguous`
+    /// node feeding this op.
+    ///
+    /// The list is conservative: an op is declared capable only when its
+    /// `ngb-ops` kernel (or the `ngb_tensor` combinator it delegates to)
+    /// walks strides directly. Ops whose kernels still materialize a dense
+    /// copy internally (embedding, interpolation, RoI, reduction heads)
+    /// stay `false` so eliding a producer never silently relocates the
+    /// copy into the consumer.
+    pub fn stride_capable(&self) -> bool {
+        match self {
+            // GEMM family: panels are packed straight from strided
+            // operands (gather pack loops in `ngb_ops::gemm`).
+            OpKind::Linear { .. }
+            | OpKind::Conv1dGpt2 { .. }
+            | OpKind::Conv2d { .. }
+            | OpKind::Matmul
+            | OpKind::Bmm => true,
+
+            // Element-wise: `parallel::unary`/`Tensor::map`/`zip_map`
+            // walk logical order over any layout.
+            OpKind::Relu
+            | OpKind::Relu6
+            | OpKind::Gelu
+            | OpKind::GeluTanh
+            | OpKind::NewGelu
+            | OpKind::Silu
+            | OpKind::Sigmoid
+            | OpKind::Hardswish
+            | OpKind::Add
+            | OpKind::Sub
+            | OpKind::Mul
+            | OpKind::Div
+            | OpKind::Neg
+            | OpKind::AddScalar(_)
+            | OpKind::MulScalar(_)
+            | OpKind::DivScalar(_)
+            | OpKind::PowScalar(_)
+            | OpKind::Sqrt
+            | OpKind::CausalMask => true,
+
+            // Reductions over lanes via `reduce_dim`/`LaneMap`.
+            OpKind::MeanDim { .. } | OpKind::Softmax { .. } | OpKind::LogSoftmax { .. } => true,
+
+            // Normalization: strided-lane kernels (scratch-buffer gather).
+            OpKind::LayerNorm { .. }
+            | OpKind::RmsNorm { .. }
+            | OpKind::LlamaRmsNorm { .. }
+            | OpKind::BatchNorm2d { .. }
+            | OpKind::FrozenBatchNorm2d { .. }
+            | OpKind::GroupNorm { .. } => true,
+
+            // Pooling: direct NCHW stride arithmetic.
+            OpKind::MaxPool2d { .. }
+            | OpKind::AvgPool2d { .. }
+            | OpKind::AdaptiveAvgPool2d { .. } => true,
+
+            // Layout ops are metadata rewrites or stride-aware copies
+            // (`cat`/`roll` read through strides while writing dense
+            // output). `Reshape`/`View` are capable only when the incoming
+            // strides merge zero-copy — the elision pass checks that
+            // statically with `reshape_strides` before trusting this bit.
+            OpKind::Reshape { .. }
+            | OpKind::View { .. }
+            | OpKind::Permute { .. }
+            | OpKind::Transpose { .. }
+            | OpKind::Contiguous
+            | OpKind::Expand { .. }
+            | OpKind::Squeeze { .. }
+            | OpKind::Unsqueeze { .. }
+            | OpKind::Slice { .. }
+            | OpKind::Cat { .. }
+            | OpKind::Roll { .. } => true,
+
+            // Kernels that still materialize internally or gather through
+            // integer indices: keep the copy explicit in the graph.
+            OpKind::Input
+            | OpKind::InputIds { .. }
+            | OpKind::Embedding { .. }
+            | OpKind::InterpolateNearest { .. }
+            | OpKind::InterpolateBilinear { .. }
+            | OpKind::Nms { .. }
+            | OpKind::RoiAlign { .. }
+            | OpKind::BoxConvert
+            | OpKind::Argmax { .. }
+            | OpKind::TopK { .. } => false,
+
+            // A fused pipeline consumes its inputs through its head stage.
+            OpKind::Fused(f) => f
+                .stages
+                .first()
+                .map(|s| s.op.stride_capable())
+                .unwrap_or(false),
+        }
+    }
+
     /// Whether the op consumes exactly one tensor operand (Table 2
     /// "Single Operand").
     pub fn is_single_operand(&self) -> bool {
@@ -933,6 +1031,29 @@ mod tests {
             Some(NonGemmGroup::Arithmetic),
             "element-wise chains keep their head's class"
         );
+    }
+
+    #[test]
+    fn stride_capability_is_conservative() {
+        assert!(OpKind::Bmm.stride_capable());
+        assert!(OpKind::Gelu.stride_capable());
+        assert!(OpKind::Softmax { dim: 3 }.stride_capable());
+        assert!(OpKind::LayerNorm { dim: 8 }.stride_capable());
+        assert!(OpKind::MaxPool2d {
+            kernel: 2,
+            stride: 2,
+            padding: 0
+        }
+        .stride_capable());
+        // internal materializers keep their explicit Contiguous producers
+        assert!(!OpKind::Embedding { vocab: 8, dim: 4 }.stride_capable());
+        assert!(!OpKind::InterpolateBilinear { oh: 4, ow: 4 }.stride_capable());
+        assert!(!OpKind::RoiAlign {
+            out: 7,
+            spatial_scale: 1.0
+        }
+        .stride_capable());
+        assert!(!OpKind::TopK { k: 5 }.stride_capable());
     }
 
     #[test]

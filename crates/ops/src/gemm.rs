@@ -21,39 +21,70 @@ fn packed_len(k: usize, n: usize) -> usize {
     n.div_ceil(NR) * k * NR
 }
 
-/// Packs row-major `B[k, n]` into `[panel][k][NR]` panels so the
-/// micro-kernel's inner loop reads B with unit stride. Tail-panel lanes
-/// beyond `n` are written as zeros (the buffer is reusable across calls).
-fn pack_b_into(bv: &[f32], k: usize, n: usize, packed: &mut [f32]) {
-    debug_assert_eq!(packed.len(), packed_len(k, n));
-    let panels = n.div_ceil(NR);
-    for p in 0..panels {
-        let j0 = p * NR;
-        let w = NR.min(n - j0);
-        let dst = &mut packed[p * k * NR..(p + 1) * k * NR];
-        for kk in 0..k {
-            let lane = &mut dst[kk * NR..(kk + 1) * NR];
-            lane[..w].copy_from_slice(&bv[kk * n + j0..kk * n + j0 + w]);
-            lane[w..].fill(0.0);
+/// A rank-2 operand as (full storage, base offset, row stride, col stride):
+/// the packing and micro-kernel layer consumes views in this form directly,
+/// so transposed/permuted/narrowed operands never materialize — the stride
+/// walk is folded into the pack loop that copies anyway.
+#[derive(Clone, Copy)]
+struct Mat<'a> {
+    data: &'a [f32],
+    base: usize,
+    rs: isize,
+    cs: isize,
+}
+
+impl<'a> Mat<'a> {
+    /// Views a rank-2 f32 tensor. Panics on non-f32 storage (the same
+    /// contract the dense path had).
+    fn of(t: &'a Tensor) -> Mat<'a> {
+        debug_assert_eq!(t.rank(), 2);
+        Mat {
+            data: t.storage_f32().expect("f32 gemm operand"),
+            base: t.storage_offset(),
+            rs: t.strides()[0],
+            cs: t.strides()[1],
         }
+    }
+
+    /// Storage offset of element `(i, j)`.
+    #[inline]
+    fn at(&self, i: usize, j: usize) -> usize {
+        (self.base as isize + i as isize * self.rs + j as isize * self.cs) as usize
     }
 }
 
-/// Packs `B = w^T` directly from row-major `w[n, k]` (a Linear weight in
-/// `[out, in]` layout), skipping the materialized transpose entirely.
-fn pack_bt_into(wv: &[f32], k: usize, n: usize, packed: &mut [f32]) {
+/// Packs `B[k, n]` (any strides) into `[panel][k][NR]` panels so the
+/// micro-kernel's inner loop reads B with unit stride. Tail-panel lanes
+/// beyond `n` are written as zeros (the buffer is reusable across calls).
+///
+/// Row-contiguous operands (`cs == 1`, which includes dense row-major B)
+/// take a memcpy lane path; anything else — a transposed Linear weight, a
+/// permuted bmm operand — is gathered element-wise in a cache-friendly
+/// order without ever materializing the view.
+fn pack_b_mat(b: Mat<'_>, k: usize, n: usize, packed: &mut [f32]) {
     debug_assert_eq!(packed.len(), packed_len(k, n));
     let panels = n.div_ceil(NR);
     for p in 0..panels {
         let j0 = p * NR;
         let w = NR.min(n - j0);
         let dst = &mut packed[p * k * NR..(p + 1) * k * NR];
-        if w < NR {
-            dst.fill(0.0);
-        }
-        for (jj, wrow) in wv[j0 * k..(j0 + w) * k].chunks_exact(k).enumerate() {
-            for (kk, &v) in wrow.iter().enumerate() {
-                dst[kk * NR + jj] = v;
+        if b.cs == 1 && b.rs >= 0 {
+            for kk in 0..k {
+                let row = b.at(kk, j0);
+                let lane = &mut dst[kk * NR..(kk + 1) * NR];
+                lane[..w].copy_from_slice(&b.data[row..row + w]);
+                lane[w..].fill(0.0);
+            }
+        } else {
+            if w < NR {
+                dst.fill(0.0);
+            }
+            // column-outer order: for B = w^T this walks each weight row
+            // sequentially, matching the old dedicated transpose packer
+            for jj in 0..w {
+                for kk in 0..k {
+                    dst[kk * NR + jj] = b.data[b.at(kk, j0 + jj)];
+                }
             }
         }
     }
@@ -83,18 +114,26 @@ fn fma_tile_available() -> bool {
 ///
 /// # Safety
 ///
-/// Caller must check [`fma_tile_available`]; `arows` must hold the `MR`
-/// full rows starting at `arows[0]`, `panel` must be `k * NR` long.
+/// Caller must check [`fma_tile_available`]; `arows` must hold `MR` full
+/// k-contiguous rows spaced `stride` elements apart starting at
+/// `arows[0]` (i.e. `arows.len() >= (MR - 1) * stride + k`), `panel` must
+/// be `k * NR` long.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2", enable = "fma")]
-unsafe fn tile_fma(arows: &[f32], k: usize, panel: &[f32], acc: &mut [[f32; NR]; MR]) {
+unsafe fn tile_fma(
+    arows: &[f32],
+    stride: usize,
+    k: usize,
+    panel: &[f32],
+    acc: &mut [[f32; NR]; MR],
+) {
     use std::arch::x86_64::*;
-    debug_assert!(arows.len() >= MR * k && panel.len() == k * NR);
+    debug_assert!(arows.len() >= (MR - 1) * stride + k && panel.len() == k * NR);
     let mut c = [_mm256_setzero_ps(); MR];
     for kk in 0..k {
         let b = _mm256_loadu_ps(panel.as_ptr().add(kk * NR));
         for (ii, cr) in c.iter_mut().enumerate() {
-            let a = _mm256_set1_ps(*arows.get_unchecked(ii * k + kk));
+            let a = _mm256_set1_ps(*arows.get_unchecked(ii * stride + kk));
             *cr = _mm256_fmadd_ps(a, b, *cr);
         }
     }
@@ -104,10 +143,12 @@ unsafe fn tile_fma(arows: &[f32], k: usize, panel: &[f32], acc: &mut [[f32; NR];
 }
 
 /// Portable tile: per-element private accumulators summed over ascending
-/// `kk`; handles partial row blocks (`mr < MR`).
+/// `kk`; handles partial row blocks (`mr < MR`). Rows start at
+/// `av[abase]` and are k-contiguous, spaced `stride` apart.
 fn tile_portable(
     av: &[f32],
-    i0: usize,
+    abase: usize,
+    stride: usize,
     mr: usize,
     k: usize,
     panel: &[f32],
@@ -116,7 +157,7 @@ fn tile_portable(
     for kk in 0..k {
         let bp = &panel[kk * NR..(kk + 1) * NR];
         for (ii, accr) in acc.iter_mut().enumerate().take(mr) {
-            let aik = av[(i0 + ii) * k + kk];
+            let aik = av[abase + ii * stride + kk];
             for (a, &b) in accr.iter_mut().zip(bp) {
                 *a += aik * b;
             }
@@ -155,7 +196,7 @@ pub fn tile_chunk_grain(m: usize, n: usize) -> (usize, usize) {
 /// where it costs a compare+branch per multiply-add and blocks
 /// vectorization of the inner loop, so the micro-kernel is branch-free.
 fn gemm_into(
-    av: &[f32],
+    a: Mat<'_>,
     m: usize,
     k: usize,
     n: usize,
@@ -176,26 +217,45 @@ fn gemm_into(
     }
     let blocks = m.div_ceil(MR);
     let fma = fma_tile_available();
+    // Rows already k-contiguous (dense, or a row-major view with padded
+    // row stride) feed the tiles in place; otherwise each block's rows
+    // are gathered into a small pack buffer — either way the tile (and
+    // its FMA selection) sees identical values in identical order, so
+    // results stay bit-identical across layouts.
+    let a_direct = a.cs == 1 && a.rs >= 0;
     let ptr = SendPtr(out.as_mut_ptr());
     parallel::par_rows(blocks, MR * n, |block_range| {
+        let mut abuf: Vec<f32> = Vec::new();
         for ib in block_range {
             let i0 = ib * MR;
             let mr = MR.min(m - i0);
             // SAFETY: row blocks are disjoint; the scoped join keeps
             // `out` borrowed until every chunk returns.
             let crows = unsafe { ptr.slice(i0 * n..(i0 + mr) * n) };
+            let (av, abase, astride) = if a_direct {
+                (a.data, a.at(i0, 0), a.rs as usize)
+            } else {
+                abuf.resize(mr * k, 0.0);
+                for ii in 0..mr {
+                    for (kk, dst) in abuf[ii * k..(ii + 1) * k].iter_mut().enumerate() {
+                        *dst = a.data[a.at(i0 + ii, kk)];
+                    }
+                }
+                (abuf.as_slice(), 0, k)
+            };
             for (p, panel) in packed.chunks_exact(k * NR).enumerate() {
                 let j0 = p * NR;
                 let w = NR.min(n - j0);
                 let mut acc = [[0.0f32; NR]; MR];
                 match () {
                     // SAFETY: feature bits checked by fma_tile_available;
-                    // a full block has MR complete A rows from i0.
+                    // a full block has MR complete k-contiguous A rows
+                    // spaced astride apart starting at av[abase].
                     #[cfg(target_arch = "x86_64")]
                     () if fma && mr == MR => unsafe {
-                        tile_fma(&av[i0 * k..(i0 + MR) * k], k, panel, &mut acc)
+                        tile_fma(&av[abase..], astride, k, panel, &mut acc)
                     },
-                    _ => tile_portable(av, i0, mr, k, panel, &mut acc),
+                    _ => tile_portable(av, abase, astride, mr, k, panel, &mut acc),
                 }
                 for (ii, accr) in acc.iter().enumerate().take(mr) {
                     let dst = &mut crows[ii * n + j0..ii * n + j0 + w];
@@ -249,14 +309,10 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             op: "matmul",
         });
     }
-    let ac = a.contiguous();
-    let bc = b.contiguous();
-    let av = ac.as_slice_f32().expect("contiguous f32");
-    let bv = bc.as_slice_f32().expect("contiguous f32");
     let mut packed = vec![0.0f32; packed_len(k, n)];
-    pack_b_into(bv, k, n, &mut packed);
+    pack_b_mat(Mat::of(b), k, n, &mut packed);
     let mut out = vec![0.0f32; m * n];
-    gemm_into(av, m, k, n, &packed, None, &mut out);
+    gemm_into(Mat::of(a), m, k, n, &packed, None, &mut out);
     Tensor::from_vec(out, &[m, n])
 }
 
@@ -293,18 +349,30 @@ pub fn bmm(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             op: "matmul",
         });
     }
-    let ac = a.contiguous();
-    let bc = b.contiguous();
-    let av = ac.as_slice_f32().expect("contiguous f32");
-    let bv = bc.as_slice_f32().expect("contiguous f32");
+    let av = a.storage_f32().expect("f32 gemm operand");
+    let bv = b.storage_f32().expect("f32 gemm operand");
     // one packed-panel buffer reused across the batch, one flat output:
-    // no per-batch select/unsqueeze/cat traffic
+    // no per-batch select/unsqueeze/cat traffic. Batch slices are plain
+    // stride walks, so attention's `bmm(q, k^T)` on permuted views packs
+    // straight from the views without materializing either operand.
     let mut packed = vec![0.0f32; packed_len(k, n)];
     let mut out = vec![0.0f32; batch * m * n];
     for i in 0..batch {
-        pack_b_into(&bv[i * k * n..(i + 1) * k * n], k, n, &mut packed);
+        let bi = Mat {
+            data: bv,
+            base: (b.storage_offset() as isize + i as isize * b.strides()[0]) as usize,
+            rs: b.strides()[1],
+            cs: b.strides()[2],
+        };
+        let ai = Mat {
+            data: av,
+            base: (a.storage_offset() as isize + i as isize * a.strides()[0]) as usize,
+            rs: a.strides()[1],
+            cs: a.strides()[2],
+        };
+        pack_b_mat(bi, k, n, &mut packed);
         gemm_into(
-            &av[i * m * k..(i + 1) * m * k],
+            ai,
             m,
             k,
             n,
@@ -374,26 +442,38 @@ fn linear_impl(x: &Tensor, w: &Tensor, bias: Option<&Tensor>, w_in_out: bool) ->
         }
     }
     let rows = x.numel() / x_in;
-    let xc = x.contiguous();
-    let xv = xc.as_slice_f32().expect("contiguous f32");
-    let wc = w.contiguous();
-    let wv = wc.as_slice_f32().expect("contiguous f32");
-    let mut packed = vec![0.0f32; packed_len(in_f, out_f)];
-    if w_in_out {
-        pack_b_into(wv, in_f, out_f, &mut packed);
+    // Flatten leading dims into a rank-2 view: stride-compatible layouts
+    // (including the contiguous case and attention's permuted prologues at
+    // batch 1) stay zero-copy; only genuinely incompatible layouts fall
+    // back to one counted materialization inside `reshape`.
+    let x2 = x.reshape(&[rows, x_in])?;
+    // B is `w` (GPT-2's [in, out]) or `w^T` ([out, in]); either is just a
+    // stride assignment over the same storage — no transpose copy, and a
+    // permuted weight view packs directly too.
+    let wv = w.storage_f32().expect("f32 linear weight");
+    let (brs, bcs) = if w_in_out {
+        (w.strides()[0], w.strides()[1])
     } else {
-        pack_bt_into(wv, in_f, out_f, &mut packed);
-    }
+        (w.strides()[1], w.strides()[0])
+    };
+    let wb = Mat {
+        data: wv,
+        base: w.storage_offset(),
+        rs: brs,
+        cs: bcs,
+    };
+    let mut packed = vec![0.0f32; packed_len(in_f, out_f)];
+    pack_b_mat(wb, in_f, out_f, &mut packed);
     let bc;
     let bs = match bias {
         Some(b) => {
-            bc = b.contiguous();
-            Some(bc.as_slice_f32().expect("contiguous f32"))
+            bc = crate::param_f32(b);
+            Some(&*bc)
         }
         None => None,
     };
     let mut out = vec![0.0f32; rows * out_f];
-    gemm_into(xv, rows, in_f, out_f, &packed, bs, &mut out);
+    gemm_into(Mat::of(&x2), rows, in_f, out_f, &packed, bs, &mut out);
     let mut out_shape = x.shape().to_vec();
     *out_shape.last_mut().expect("nonempty") = out_f;
     Tensor::from_vec(out, &out_shape)
@@ -470,8 +550,18 @@ pub fn conv2d(
             TensorError::InvalidArgument("conv2d kernel larger than padded input".into())
         })?;
 
-    let xc = x.contiguous();
-    let xs = xc.as_slice_f32().expect("contiguous f32");
+    // im2col gathers element-wise anyway, so it reads the input through
+    // its strides directly — a sliced/permuted NCHW view never
+    // materializes. (Weights keep a declared contiguous() fallback: they
+    // are dense in every flow, making it a free clone.)
+    let xs = x.storage_f32().expect("f32 conv2d input");
+    let xbase = x.storage_offset() as isize;
+    let (xs0, xs1, xs2, xs3) = (
+        x.strides()[0],
+        x.strides()[1],
+        x.strides()[2],
+        x.strides()[3],
+    );
     let wc = w.contiguous();
     let wv = wc.as_slice_f32().expect("contiguous f32");
     let fg = f / groups;
@@ -504,23 +594,45 @@ pub fn conv2d(
                             continue;
                         }
                         let iy = iy - padding;
-                        let src =
-                            &xs[((b * c + ch) * h + iy) * wd..((b * c + ch) * h + iy + 1) * wd];
-                        for (ox, d) in dst.iter_mut().enumerate() {
-                            let ix = ox * stride + kx;
-                            *d = if ix < padding || ix >= wd + padding {
-                                0.0
-                            } else {
-                                src[ix - padding]
-                            };
+                        let row = xbase + b as isize * xs0 + ch as isize * xs1 + iy as isize * xs2;
+                        if xs3 == 1 {
+                            let src = &xs[row as usize..row as usize + wd];
+                            for (ox, d) in dst.iter_mut().enumerate() {
+                                let ix = ox * stride + kx;
+                                *d = if ix < padding || ix >= wd + padding {
+                                    0.0
+                                } else {
+                                    src[ix - padding]
+                                };
+                            }
+                        } else {
+                            for (ox, d) in dst.iter_mut().enumerate() {
+                                let ix = ox * stride + kx;
+                                *d = if ix < padding || ix >= wd + padding {
+                                    0.0
+                                } else {
+                                    xs[(row + (ix - padding) as isize * xs3) as usize]
+                                };
+                            }
                         }
                     }
                 }
             }
         });
         // weights for this group are a contiguous [fg, cg*kh*kw] slice
-        let wg = &wv[g * fg * cols_rows..(g + 1) * fg * cols_rows];
-        pack_b_into(&cols, cols_rows, cols_cols, &mut packed);
+        let wg = Mat {
+            data: wv,
+            base: g * fg * cols_rows,
+            rs: cols_rows as isize,
+            cs: 1,
+        };
+        let colm = Mat {
+            data: &cols,
+            base: 0,
+            rs: cols_cols as isize,
+            cs: 1,
+        };
+        pack_b_mat(colm, cols_rows, cols_cols, &mut packed);
         gemm_into(wg, fg, cols_rows, cols_cols, &packed, None, &mut y); // [fg, N*oh*ow]
         for ff in 0..fg {
             for b in 0..n {

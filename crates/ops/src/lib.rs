@@ -66,3 +66,18 @@ pub use cost::OpCost;
 pub type Result<T> = std::result::Result<T, ngb_tensor::TensorError>;
 
 pub(crate) const F32_BYTES: f64 = 4.0;
+
+/// Borrows a parameter tensor (gamma/beta/bias/running stats) as a dense
+/// f32 slice, copying only when the view is non-contiguous. Parameters are
+/// contiguous in every model flow, so the hot path is a plain borrow — no
+/// per-invocation `contiguous()` clone.
+///
+/// # Panics
+///
+/// Panics on non-f32 storage, matching the dense kernels' contract.
+pub(crate) fn param_f32(t: &ngb_tensor::Tensor) -> std::borrow::Cow<'_, [f32]> {
+    match t.as_slice_f32() {
+        Some(s) => std::borrow::Cow::Borrowed(s),
+        None => std::borrow::Cow::Owned(t.to_vec_f32().expect("f32 parameter")),
+    }
+}

@@ -8,10 +8,65 @@
 //! fused kernels are bit-identical to the decomposed
 //! reduce/zip_map/map chain they replaced.
 
-use ngb_tensor::Tensor;
+use ngb_tensor::{DType, LaneMap, Tensor};
 
 use crate::parallel;
 use crate::{OpCost, Result, F32_BYTES};
+
+/// Strided-lane body: gathers each reduction lane through a [`LaneMap`]
+/// into a per-chunk scratch buffer, then runs the identical per-lane
+/// arithmetic as the contiguous kernel — same values, same fold order,
+/// bit-identical results, no whole-tensor materialization. Chunking stays
+/// `(outer, d * inner)`, so intra-op chunk counts are layout-independent.
+fn fused_lane_softmax_strided(
+    xs: &[f32],
+    map: &LaneMap,
+    outer: usize,
+    d: usize,
+    inner: usize,
+    out: &mut [f32],
+    log: bool,
+) {
+    let blk = d * inner;
+    let step = map.step();
+    parallel::par_rows_out(out, outer, blk, |first_outer, win| {
+        let mut lane = vec![0.0f32; d];
+        for (o, oblk) in win.chunks_exact_mut(blk.max(1)).enumerate() {
+            for l in 0..inner {
+                let base = map.lane_base(first_outer + o, l) as isize;
+                for (t, v) in lane.iter_mut().enumerate() {
+                    *v = xs[(base + t as isize * step) as usize];
+                }
+                let mut mx = f32::NEG_INFINITY;
+                for &v in &lane {
+                    mx = mx.max(v);
+                }
+                if log {
+                    let mut sum = 0.0f32;
+                    for t in 0..d {
+                        let shifted = lane[t] - mx;
+                        oblk[t * inner + l] = shifted;
+                        sum += shifted.exp();
+                    }
+                    let log_sum = sum.ln();
+                    for t in 0..d {
+                        oblk[t * inner + l] -= log_sum;
+                    }
+                } else {
+                    let mut sum = 0.0f32;
+                    for t in 0..d {
+                        let e = (lane[t] - mx).exp();
+                        oblk[t * inner + l] = e;
+                        sum += e;
+                    }
+                    for t in 0..d {
+                        oblk[t * inner + l] /= sum;
+                    }
+                }
+            }
+        }
+    });
+}
 
 /// Shared fused body: processes each `(outer, inner)` lane serially,
 /// chunk-parallel across outer blocks.
@@ -78,13 +133,29 @@ fn fused_lane_softmax(
 /// # }
 /// ```
 pub fn softmax(x: &Tensor, dim: usize) -> Result<Tensor> {
+    fused_softmax_entry(x, dim, false)
+}
+
+/// Dispatch shared by [`softmax`]/[`log_softmax`]: contiguous fast path,
+/// strided-lane path for any other f32 view, decomposed chain for non-f32
+/// (which reports the dtype error).
+fn fused_softmax_entry(x: &Tensor, dim: usize, log: bool) -> Result<Tensor> {
     let (outer, d, inner) = x.lane_dims(dim)?;
-    let xc = x.contiguous();
-    let Some(xs) = xc.as_slice_f32() else {
-        return softmax_chain(x, dim); // non-f32: chain reports the dtype error
-    };
+    if x.dtype() != DType::F32 {
+        return if log {
+            log_softmax_chain(x, dim)
+        } else {
+            softmax_chain(x, dim)
+        };
+    }
     let mut out = vec![0.0f32; x.numel()];
-    fused_lane_softmax(xs, outer, d, inner, &mut out, false);
+    if let Some(xs) = x.as_slice_f32() {
+        fused_lane_softmax(xs, outer, d, inner, &mut out, log);
+    } else {
+        let xs = x.storage_f32().expect("dtype checked");
+        let map = LaneMap::new(x.shape(), x.strides(), x.storage_offset(), dim);
+        fused_lane_softmax_strided(xs, &map, outer, d, inner, &mut out, log);
+    }
     Tensor::from_vec(out, x.shape())
 }
 
@@ -103,14 +174,7 @@ fn softmax_chain(x: &Tensor, dim: usize) -> Result<Tensor> {
 ///
 /// Fails when `dim` is out of range or input is not f32.
 pub fn log_softmax(x: &Tensor, dim: usize) -> Result<Tensor> {
-    let (outer, d, inner) = x.lane_dims(dim)?;
-    let xc = x.contiguous();
-    let Some(xs) = xc.as_slice_f32() else {
-        return log_softmax_chain(x, dim); // non-f32: chain reports the dtype error
-    };
-    let mut out = vec![0.0f32; x.numel()];
-    fused_lane_softmax(xs, outer, d, inner, &mut out, true);
-    Tensor::from_vec(out, x.shape())
+    fused_softmax_entry(x, dim, true)
 }
 
 /// The decomposed reduce/zip_map chain, kept as the non-f32 fallback.

@@ -7,10 +7,20 @@
 //! Llama's `RMSNorm`, whose eager-mode execution decomposes into several
 //! kernels (§4.1.4).
 
-use ngb_tensor::{Tensor, TensorError};
+use ngb_tensor::{LaneMap, Tensor, TensorError};
 
 use crate::parallel;
 use crate::{OpCost, Result, F32_BYTES};
+
+/// Storage offset of logical row-major element `i` of a strided view, via a
+/// [`LaneMap`] built over the **last** dim (`last` = that dim's size). The
+/// strided branches of the map-wide kernels use this to walk any layout in
+/// logical order — same element order as the contiguous fast path, so
+/// results stay bit-identical.
+#[inline]
+fn elem_offset(map: &LaneMap, last: usize, i: usize) -> usize {
+    (map.lane_base(i / last, 0) as isize + (i % last) as isize * map.step()) as usize
+}
 
 /// Layer normalization over the last dimension:
 /// `y = (x - mean) / sqrt(var + eps) * gamma + beta`.
@@ -32,26 +42,48 @@ pub fn layer_norm(x: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> Result
         });
     }
     let rows = x.numel() / d;
-    let xv = x.contiguous();
-    let xs = xv.as_slice_f32().expect("contiguous f32");
-    let gs = gamma.contiguous();
-    let gs = gs.as_slice_f32().expect("contiguous f32");
-    let bs = beta.contiguous();
-    let bs = bs.as_slice_f32().expect("contiguous f32");
+    let gp = crate::param_f32(gamma);
+    let bp = crate::param_f32(beta);
+    let (gs, bs) = (&*gp, &*bp);
+    let ln_row = |row: &[f32], orow: &mut [f32]| {
+        let mean: f32 = row.iter().sum::<f32>() / d as f32;
+        let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+        let inv = 1.0 / (var + eps).sqrt();
+        for i in 0..d {
+            orow[i] = (row[i] - mean) * inv * gs[i] + bs[i];
+        }
+    };
     let mut out = vec![0.0f32; rows * d];
     // row-parallel: each row's statistics and normalize stay serial
     // within the row, so chunking never changes the reduction order
-    parallel::par_rows_out(&mut out, rows, d, |first_row, win| {
-        for (r, orow) in win.chunks_exact_mut(d.max(1)).enumerate() {
-            let row = &xs[(first_row + r) * d..(first_row + r + 1) * d];
-            let mean: f32 = row.iter().sum::<f32>() / d as f32;
-            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
-            let inv = 1.0 / (var + eps).sqrt();
-            for i in 0..d {
-                orow[i] = (row[i] - mean) * inv * gs[i] + bs[i];
+    if let Some(xs) = x.as_slice_f32() {
+        parallel::par_rows_out(&mut out, rows, d, |first_row, win| {
+            for (r, orow) in win.chunks_exact_mut(d.max(1)).enumerate() {
+                ln_row(&xs[(first_row + r) * d..(first_row + r + 1) * d], orow);
             }
-        }
-    });
+        });
+    } else {
+        // strided-lane path: rows with unit innermost stride are borrowed
+        // in place; anything else gathers one row at a time into a
+        // per-chunk scratch buffer (never the whole tensor)
+        let xs = x.storage_f32().expect("f32 layer_norm input");
+        let map = LaneMap::new(x.shape(), x.strides(), x.storage_offset(), x.rank() - 1);
+        let step = map.step();
+        parallel::par_rows_out(&mut out, rows, d, |first_row, win| {
+            let mut buf = vec![0.0f32; d];
+            for (r, orow) in win.chunks_exact_mut(d.max(1)).enumerate() {
+                let base = map.lane_base(first_row + r, 0) as isize;
+                if step == 1 {
+                    ln_row(&xs[base as usize..base as usize + d], orow);
+                } else {
+                    for (t, v) in buf.iter_mut().enumerate() {
+                        *v = xs[(base + t as isize * step) as usize];
+                    }
+                    ln_row(&buf, orow);
+                }
+            }
+        });
+    }
     Tensor::from_vec(out, x.shape())
 }
 
@@ -86,21 +118,41 @@ pub fn rms_norm(x: &Tensor, gamma: &Tensor, eps: f32) -> Result<Tensor> {
         });
     }
     let rows = x.numel() / d;
-    let xc = x.contiguous();
-    let xs = xc.as_slice_f32().expect("contiguous f32");
-    let gc = gamma.contiguous();
-    let gs = gc.as_slice_f32().expect("contiguous f32");
-    let mut out = vec![0.0f32; rows * d];
-    parallel::par_rows_out(&mut out, rows, d, |first_row, win| {
-        for (r, orow) in win.chunks_exact_mut(d.max(1)).enumerate() {
-            let row = &xs[(first_row + r) * d..(first_row + r + 1) * d];
-            let ms: f32 = row.iter().map(|v| v * v).sum::<f32>() / d as f32;
-            let inv = 1.0 / (ms + eps).sqrt();
-            for i in 0..d {
-                orow[i] = row[i] * inv * gs[i];
-            }
+    let gp = crate::param_f32(gamma);
+    let gs = &*gp;
+    let rms_row = |row: &[f32], orow: &mut [f32]| {
+        let ms: f32 = row.iter().map(|v| v * v).sum::<f32>() / d as f32;
+        let inv = 1.0 / (ms + eps).sqrt();
+        for i in 0..d {
+            orow[i] = row[i] * inv * gs[i];
         }
-    });
+    };
+    let mut out = vec![0.0f32; rows * d];
+    if let Some(xs) = x.as_slice_f32() {
+        parallel::par_rows_out(&mut out, rows, d, |first_row, win| {
+            for (r, orow) in win.chunks_exact_mut(d.max(1)).enumerate() {
+                rms_row(&xs[(first_row + r) * d..(first_row + r + 1) * d], orow);
+            }
+        });
+    } else {
+        let xs = x.storage_f32().expect("f32 rms_norm input");
+        let map = LaneMap::new(x.shape(), x.strides(), x.storage_offset(), x.rank() - 1);
+        let step = map.step();
+        parallel::par_rows_out(&mut out, rows, d, |first_row, win| {
+            let mut buf = vec![0.0f32; d];
+            for (r, orow) in win.chunks_exact_mut(d.max(1)).enumerate() {
+                let base = map.lane_base(first_row + r, 0) as isize;
+                if step == 1 {
+                    rms_row(&xs[base as usize..base as usize + d], orow);
+                } else {
+                    for (t, v) in buf.iter_mut().enumerate() {
+                        *v = xs[(base + t as isize * step) as usize];
+                    }
+                    rms_row(&buf, orow);
+                }
+            }
+        });
+    }
     Tensor::from_vec(out, x.shape())
 }
 
@@ -181,28 +233,37 @@ pub fn batch_norm2d(
             )));
         }
     }
-    let xc = x.contiguous();
-    let xs = xc.as_slice_f32().expect("contiguous f32");
-    let gc = gamma.contiguous();
-    let gs = gc.as_slice_f32().expect("contiguous f32");
-    let bc = beta.contiguous();
-    let bs = bc.as_slice_f32().expect("contiguous f32");
-    let mc = running_mean.contiguous();
-    let ms = mc.as_slice_f32().expect("contiguous f32");
-    let vc = running_var.contiguous();
-    let vs = vc.as_slice_f32().expect("contiguous f32");
+    let gp = crate::param_f32(gamma);
+    let bp = crate::param_f32(beta);
+    let mp = crate::param_f32(running_mean);
+    let vp = crate::param_f32(running_var);
+    let (gs, bs, ms, vs) = (&*gp, &*bp, &*mp, &*vp);
     let plane = x.shape()[2] * x.shape()[3];
     let mut out = vec![0.0f32; x.numel()];
     // single chunk-parallel pass; the per-element operation order matches
     // the broadcast chain (sub, div-sqrt, mul, add) bit for bit
-    parallel::par_for_out(&mut out, |start, win| {
-        for (j, o) in win.iter_mut().enumerate() {
-            let i = start + j;
-            let ch = (i / plane.max(1)) % c;
-            let a = xs[i];
-            *o = (a - ms[ch]) / (vs[ch] + eps).sqrt() * gs[ch] + bs[ch];
-        }
-    });
+    if let Some(xs) = x.as_slice_f32() {
+        parallel::par_for_out(&mut out, |start, win| {
+            for (j, o) in win.iter_mut().enumerate() {
+                let i = start + j;
+                let ch = (i / plane.max(1)) % c;
+                let a = xs[i];
+                *o = (a - ms[ch]) / (vs[ch] + eps).sqrt() * gs[ch] + bs[ch];
+            }
+        });
+    } else {
+        let xs = x.storage_f32().expect("f32 batch_norm2d input");
+        let last = x.shape()[3].max(1);
+        let map = LaneMap::new(x.shape(), x.strides(), x.storage_offset(), 3);
+        parallel::par_for_out(&mut out, |start, win| {
+            for (j, o) in win.iter_mut().enumerate() {
+                let i = start + j;
+                let ch = (i / plane.max(1)) % c;
+                let a = xs[elem_offset(&map, last, i)];
+                *o = (a - ms[ch]) / (vs[ch] + eps).sqrt() * gs[ch] + bs[ch];
+            }
+        });
+    }
     Tensor::from_vec(out, x.shape())
 }
 
@@ -238,23 +299,33 @@ pub fn frozen_batch_norm2d(
     // scale = gamma * rsqrt(var + eps); shift = beta - mean * scale
     let scale = gamma.zip_map(running_var, move |g, v| g / (v + eps).sqrt())?;
     let shift = beta.zip_map(&running_mean.zip_map(&scale, |m, s| m * s)?, |b, ms| b - ms)?;
-    let xc = x.contiguous();
-    let xs = xc.as_slice_f32().expect("contiguous f32");
-    let sc = scale.contiguous();
-    let ss = sc.as_slice_f32().expect("contiguous f32");
-    let shc = shift.contiguous();
-    let shs = shc.as_slice_f32().expect("contiguous f32");
+    // zip_map outputs are freshly contiguous, so these are plain borrows
+    let ss = scale.as_slice_f32().expect("scale is contiguous f32");
+    let shs = shift.as_slice_f32().expect("shift is contiguous f32");
     let plane = x.shape()[2] * x.shape()[3];
     let mut out = vec![0.0f32; x.numel()];
     // the scale-then-shift broadcasts collapse into one chunk-parallel
     // pass; per element this is exactly `x * s` then `+ shift`
-    parallel::par_for_out(&mut out, |start, win| {
-        for (j, o) in win.iter_mut().enumerate() {
-            let i = start + j;
-            let ch = (i / plane.max(1)) % c;
-            *o = xs[i] * ss[ch] + shs[ch];
-        }
-    });
+    if let Some(xs) = x.as_slice_f32() {
+        parallel::par_for_out(&mut out, |start, win| {
+            for (j, o) in win.iter_mut().enumerate() {
+                let i = start + j;
+                let ch = (i / plane.max(1)) % c;
+                *o = xs[i] * ss[ch] + shs[ch];
+            }
+        });
+    } else {
+        let xs = x.storage_f32().expect("f32 frozen_batch_norm2d input");
+        let last = x.shape()[3].max(1);
+        let map = LaneMap::new(x.shape(), x.strides(), x.storage_offset(), 3);
+        parallel::par_for_out(&mut out, |start, win| {
+            for (j, o) in win.iter_mut().enumerate() {
+                let i = start + j;
+                let ch = (i / plane.max(1)) % c;
+                *o = xs[elem_offset(&map, last, i)] * ss[ch] + shs[ch];
+            }
+        });
+    }
     Tensor::from_vec(out, x.shape())
 }
 
@@ -302,36 +373,54 @@ pub fn group_norm(
         ));
     }
     let cg = c / groups;
-    let xc = x.contiguous();
-    let xs = xc.as_slice_f32().expect("contiguous f32");
-    let gc = gamma.contiguous();
-    let gs = gc.as_slice_f32().expect("contiguous f32");
-    let bc = beta.contiguous();
-    let bs = bc.as_slice_f32().expect("contiguous f32");
+    let gp = crate::param_f32(gamma);
+    let bp = crate::param_f32(beta);
+    let (gs, bs) = (&*gp, &*bp);
     let mut out = vec![0.0f32; x.numel()];
     let plane = h * w;
     let seg_len = cg * plane;
-    // segment-parallel: one (batch, group) segment per work unit, its
-    // statistics and normalize serial within the segment
-    parallel::par_rows_out(&mut out, n * groups, seg_len, |first_seg, win| {
-        for (s, oseg) in win.chunks_exact_mut(seg_len.max(1)).enumerate() {
-            let seg_idx = first_seg + s;
-            let g = seg_idx % groups;
-            let start = seg_idx * seg_len;
-            let seg = &xs[start..start + seg_len];
-            let mean: f32 = seg.iter().sum::<f32>() / seg_len as f32;
-            let var: f32 =
-                seg.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / seg_len as f32;
-            let inv = 1.0 / (var + eps).sqrt();
-            for cc in 0..cg {
-                let ch = g * cg + cc;
-                for p in 0..plane {
-                    let i = cc * plane + p;
-                    oseg[i] = (seg[i] - mean) * inv * gs[ch] + bs[ch];
-                }
+    let gn_seg = |g: usize, seg: &[f32], oseg: &mut [f32]| {
+        let mean: f32 = seg.iter().sum::<f32>() / seg_len as f32;
+        let var: f32 = seg.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / seg_len as f32;
+        let inv = 1.0 / (var + eps).sqrt();
+        for cc in 0..cg {
+            let ch = g * cg + cc;
+            for p in 0..plane {
+                let i = cc * plane + p;
+                oseg[i] = (seg[i] - mean) * inv * gs[ch] + bs[ch];
             }
         }
-    });
+    };
+    // segment-parallel: one (batch, group) segment per work unit, its
+    // statistics and normalize serial within the segment
+    if let Some(xs) = x.as_slice_f32() {
+        parallel::par_rows_out(&mut out, n * groups, seg_len, |first_seg, win| {
+            for (s, oseg) in win.chunks_exact_mut(seg_len.max(1)).enumerate() {
+                let seg_idx = first_seg + s;
+                let start = seg_idx * seg_len;
+                gn_seg(seg_idx % groups, &xs[start..start + seg_len], oseg);
+            }
+        });
+    } else {
+        // strided path: gather each segment (a row-major-contiguous run of
+        // the logical NCHW order) into a per-chunk scratch buffer, then
+        // run the identical stats/normalize — bit-identical, and never
+        // materializes more than one segment per worker
+        let xs = x.storage_f32().expect("f32 group_norm input");
+        let last = w.max(1);
+        let map = LaneMap::new(x.shape(), x.strides(), x.storage_offset(), 3);
+        parallel::par_rows_out(&mut out, n * groups, seg_len, |first_seg, win| {
+            let mut buf = vec![0.0f32; seg_len];
+            for (s, oseg) in win.chunks_exact_mut(seg_len.max(1)).enumerate() {
+                let seg_idx = first_seg + s;
+                let start = seg_idx * seg_len;
+                for (t, v) in buf.iter_mut().enumerate() {
+                    *v = xs[elem_offset(&map, last, start + t)];
+                }
+                gn_seg(seg_idx % groups, &buf, oseg);
+            }
+        });
+    }
     Tensor::from_vec(out, x.shape())
 }
 

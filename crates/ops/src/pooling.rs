@@ -16,6 +16,14 @@ fn check_nchw(x: &Tensor, op: &'static str) -> Result<(usize, usize, usize, usiz
     Ok((x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]))
 }
 
+/// Storage offset of element `(b, ch, 0, 0)` plus the per-axis spatial
+/// strides, so the pooling loops walk any NCHW view directly — same
+/// element values in the same window order as a materialized copy.
+#[inline]
+fn chan_base(x: &Tensor, b: usize, ch: usize) -> isize {
+    x.storage_offset() as isize + b as isize * x.strides()[0] + ch as isize * x.strides()[1]
+}
+
 /// 2-D max pooling with square kernel/stride and zero padding
 /// (padding contributes `-inf`, like PyTorch).
 ///
@@ -31,16 +39,16 @@ pub fn max_pool2d(x: &Tensor, kernel: usize, stride: usize, padding: usize) -> R
     }
     let oh = conv_out_dim(h, kernel, stride, padding);
     let ow = conv_out_dim(w, kernel, stride, padding);
-    let xc = x.contiguous();
-    let xs = xc.as_slice_f32().ok_or(TensorError::DTypeMismatch {
+    let xs = x.storage_f32().ok_or(TensorError::DTypeMismatch {
         expected: "f32",
         actual: x.dtype().name(),
         op: "max_pool2d",
     })?;
+    let (sh, sw) = (x.strides()[2], x.strides()[3]);
     let mut out = vec![f32::NEG_INFINITY; n * c * oh * ow];
     for b in 0..n {
         for ch in 0..c {
-            let base = (b * c + ch) * h * w;
+            let base = chan_base(x, b, ch);
             for oy in 0..oh {
                 for ox in 0..ow {
                     let mut best = f32::NEG_INFINITY;
@@ -55,7 +63,8 @@ pub fn max_pool2d(x: &Tensor, kernel: usize, stride: usize, padding: usize) -> R
                             if iy >= h || ix >= w {
                                 continue;
                             }
-                            best = best.max(xs[base + iy * w + ix]);
+                            best =
+                                best.max(xs[(base + iy as isize * sh + ix as isize * sw) as usize]);
                         }
                     }
                     out[((b * c + ch) * oh + oy) * ow + ox] = best;
@@ -81,12 +90,12 @@ pub fn avg_pool2d(x: &Tensor, kernel: usize, stride: usize, padding: usize) -> R
     }
     let oh = conv_out_dim(h, kernel, stride, padding);
     let ow = conv_out_dim(w, kernel, stride, padding);
-    let xc = x.contiguous();
-    let xs = xc.as_slice_f32().expect("contiguous f32 checked");
+    let xs = x.storage_f32().expect("f32 avg_pool2d input");
+    let (sh, sw) = (x.strides()[2], x.strides()[3]);
     let mut out = vec![0.0f32; n * c * oh * ow];
     for b in 0..n {
         for ch in 0..c {
-            let base = (b * c + ch) * h * w;
+            let base = chan_base(x, b, ch);
             for oy in 0..oh {
                 for ox in 0..ow {
                     let mut acc = 0.0;
@@ -102,7 +111,7 @@ pub fn avg_pool2d(x: &Tensor, kernel: usize, stride: usize, padding: usize) -> R
                             if iy >= h || ix >= w {
                                 continue;
                             }
-                            acc += xs[base + iy * w + ix];
+                            acc += xs[(base + iy as isize * sh + ix as isize * sw) as usize];
                             cnt += 1;
                         }
                     }
@@ -127,12 +136,12 @@ pub fn adaptive_avg_pool2d(x: &Tensor, out_h: usize, out_w: usize) -> Result<Ten
             "adaptive_avg_pool2d output dims must be nonzero".into(),
         ));
     }
-    let xc = x.contiguous();
-    let xs = xc.as_slice_f32().expect("contiguous f32 checked");
+    let xs = x.storage_f32().expect("f32 adaptive_avg_pool2d input");
+    let (sh, sw) = (x.strides()[2], x.strides()[3]);
     let mut out = vec![0.0f32; n * c * out_h * out_w];
     for b in 0..n {
         for ch in 0..c {
-            let base = (b * c + ch) * h * w;
+            let base = chan_base(x, b, ch);
             for oy in 0..out_h {
                 let y0 = oy * h / out_h;
                 let y1 = ((oy + 1) * h).div_ceil(out_h);
@@ -142,7 +151,7 @@ pub fn adaptive_avg_pool2d(x: &Tensor, out_h: usize, out_w: usize) -> Result<Ten
                     let mut acc = 0.0;
                     for iy in y0..y1 {
                         for ix in x0..x1 {
-                            acc += xs[base + iy * w + ix];
+                            acc += xs[(base + iy as isize * sh + ix as isize * sw) as usize];
                         }
                     }
                     out[((b * c + ch) * out_h + oy) * out_w + ox] =

@@ -329,6 +329,126 @@ proptest! {
     }
 }
 
+/// Builds a non-contiguous view of a fresh random NCHW tensor plus its
+/// materialized copy: `(view, dense)`. The pair is bit-identical
+/// element-for-element, so every stride-capable kernel must produce
+/// bit-identical outputs on both.
+fn strided_pair(seed: u64, shape: [usize; 4], kind: u8) -> (Tensor, Tensor) {
+    let mut rng = ngb_tensor::random::TensorRng::seed(seed);
+    let view = match kind % 3 {
+        // inner transpose: classic attention / sw layout
+        0 => {
+            let base = rng.normal(&[shape[0], shape[1], shape[3], shape[2]]);
+            base.transpose(-1, -2).unwrap()
+        }
+        // NHWC-permuted storage read as NCHW
+        1 => {
+            let base = rng.normal(&[shape[0], shape[2], shape[3], shape[1]]);
+            base.permute(&[0, 3, 1, 2]).unwrap()
+        }
+        // interior window of a larger buffer (offset + wide row stride)
+        _ => {
+            let base = rng.normal(&[shape[0], shape[1], shape[2] + 2, shape[3] + 3]);
+            base.narrow(2, 1, shape[2])
+                .unwrap()
+                .narrow(3, 2, shape[3])
+                .unwrap()
+        }
+    };
+    assert!(!view.is_contiguous() || view.numel() <= 1);
+    let dense = view.contiguous();
+    (view, dense)
+}
+
+proptest! {
+    /// Stride-capable kernels are bit-identical on a strided view and on
+    /// its materialized copy — the contract the contiguous-elision pass
+    /// and the strided GEMM/norm/softmax/pool paths rest on.
+    #[test]
+    fn strided_kernels_match_materialized(seed in 0u64..300, kind in 0u8..3) {
+        let (v, d) = strided_pair(seed, [2, 3, 4, 5], kind);
+
+        // GEMM family: bmm over the trailing 2-D panels of a merged view
+        let vm = v.reshape(&[6, 4, 5]).unwrap();
+        let dm = d.reshape(&[6, 4, 5]).unwrap();
+        let rhs = ngb_tensor::random::TensorRng::seed(seed ^ 0xb33f).normal(&[6, 5, 4]);
+        prop_assert_eq!(
+            gemm::bmm(&vm, &rhs).unwrap().to_vec_f32().unwrap(),
+            gemm::bmm(&dm, &rhs).unwrap().to_vec_f32().unwrap()
+        );
+
+        // softmax over the last dim (fused strided-lane path)
+        prop_assert_eq!(
+            logit::softmax(&v, 3).unwrap().to_vec_f32().unwrap(),
+            logit::softmax(&d, 3).unwrap().to_vec_f32().unwrap()
+        );
+
+        // row-parallel norms
+        let (gamma, beta) = (Tensor::ones(&[5]), Tensor::zeros(&[5]));
+        prop_assert_eq!(
+            normalization::layer_norm(&v, &gamma, &beta, 1e-5).unwrap().to_vec_f32().unwrap(),
+            normalization::layer_norm(&d, &gamma, &beta, 1e-5).unwrap().to_vec_f32().unwrap()
+        );
+        prop_assert_eq!(
+            normalization::rms_norm(&v, &gamma, 1e-5).unwrap().to_vec_f32().unwrap(),
+            normalization::rms_norm(&d, &gamma, 1e-5).unwrap().to_vec_f32().unwrap()
+        );
+        let (g3, b3) = (Tensor::ones(&[3]), Tensor::zeros(&[3]));
+        prop_assert_eq!(
+            normalization::batch_norm2d(&v, &g3, &b3, &Tensor::zeros(&[3]), &Tensor::ones(&[3]), 1e-5)
+                .unwrap().to_vec_f32().unwrap(),
+            normalization::batch_norm2d(&d, &g3, &b3, &Tensor::zeros(&[3]), &Tensor::ones(&[3]), 1e-5)
+                .unwrap().to_vec_f32().unwrap()
+        );
+        prop_assert_eq!(
+            normalization::group_norm(&v, 3, &g3, &b3, 1e-5).unwrap().to_vec_f32().unwrap(),
+            normalization::group_norm(&d, 3, &g3, &b3, 1e-5).unwrap().to_vec_f32().unwrap()
+        );
+
+        // pooling walks NCHW strides directly
+        prop_assert_eq!(
+            ngb_ops::pooling::max_pool2d(&v, 2, 2, 1).unwrap().to_vec_f32().unwrap(),
+            ngb_ops::pooling::max_pool2d(&d, 2, 2, 1).unwrap().to_vec_f32().unwrap()
+        );
+        prop_assert_eq!(
+            ngb_ops::pooling::adaptive_avg_pool2d(&v, 2, 3).unwrap().to_vec_f32().unwrap(),
+            ngb_ops::pooling::adaptive_avg_pool2d(&d, 2, 3).unwrap().to_vec_f32().unwrap()
+        );
+
+        // element-wise unary (map fallback) and binary (zip_map fallback)
+        prop_assert_eq!(
+            activation::gelu(&v).unwrap().to_vec_f32().unwrap(),
+            activation::gelu(&d).unwrap().to_vec_f32().unwrap()
+        );
+        prop_assert_eq!(
+            arithmetic::add(&v, &d).unwrap().to_vec_f32().unwrap(),
+            arithmetic::add(&d, &d).unwrap().to_vec_f32().unwrap()
+        );
+    }
+
+    /// Linear on a transposed weight view matches the materialized
+    /// weight — the permuted-weight fast path never changes results.
+    #[test]
+    fn linear_on_permuted_weight_matches(seed in 0u64..300) {
+        let mut rng = ngb_tensor::random::TensorRng::seed(seed);
+        let x = rng.normal(&[4, 8]);
+        let wt = rng.normal(&[8, 6]); // stored [in, out], viewed as [out, in]
+        let w_view = wt.transpose(0, 1).unwrap();
+        let w_dense = w_view.contiguous();
+        let bias = rng.normal(&[6]);
+        prop_assert_eq!(
+            gemm::linear(&x, &w_view, Some(&bias)).unwrap().to_vec_f32().unwrap(),
+            gemm::linear(&x, &w_dense, Some(&bias)).unwrap().to_vec_f32().unwrap()
+        );
+        // and a strided activation against both weights
+        let xs = rng.normal(&[8, 4]).transpose(0, 1).unwrap();
+        prop_assert_eq!(
+            gemm::linear(&xs, &w_view, Some(&bias)).unwrap().to_vec_f32().unwrap(),
+            gemm::linear(&xs.contiguous(), &w_dense, Some(&bias)).unwrap().to_vec_f32().unwrap()
+        );
+    }
+}
+
 /// Dummy runner: runs chunks serially but advertises a thread count, so
 /// the purity test exercises the runner-installed code path.
 struct CountingRunner {

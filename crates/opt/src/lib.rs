@@ -20,6 +20,13 @@
 //!   analyzer's `fuse-attention` matcher exactly. Bit-identical.
 //! * **Layout coalescing** — adjacent `Transpose`/`Permute`/`Reshape`/
 //!   `View`/`Contiguous` pairs cancel or compose. Bit-identical.
+//! * **Contiguous elision** — a `Contiguous` node is dropped when static
+//!   stride propagation proves its input is already dense, or when every
+//!   (transitive) consumer declares [`OpKind::stride_capable`] and any
+//!   `Reshape`/`View` on the path stays zero-copy under the incoming
+//!   strides (checked with [`ngb_tensor::reshape_strides`]). The strided
+//!   kernels are bit-identical to their contiguous fast paths, so elision
+//!   never changes results. Disable with `NGB_ELIDE=0`.
 //!
 //! Passes run to a fixpoint; every rewrite strictly shrinks the graph, so
 //! the loop terminates. Rewritten nodes carry `seed_hint` (and fused
@@ -51,7 +58,7 @@
 #![forbid(unsafe_code)]
 
 use ngb_graph::{FusedKind, FusedOp, FusedStage, Graph, Node, NodeId, OpKind};
-use ngb_tensor::num_elements;
+use ngb_tensor::{contiguous_strides, num_elements, reshape_strides};
 use serde::{Deserialize, Serialize};
 
 /// How aggressively [`optimize`] rewrites a graph.
@@ -126,6 +133,12 @@ pub struct OptReport {
     pub attention: usize,
     /// Layout pairs cancelled or composed.
     pub layout: usize,
+    /// `Contiguous` nodes elided because their consumers accept strided
+    /// views (or the input was provably dense already).
+    pub contiguous_elided: usize,
+    /// Bytes of dense copies the elided `Contiguous` nodes would have
+    /// materialized (counted only when the incoming layout was strided).
+    pub elision_bytes_saved: usize,
 }
 
 impl OptReport {
@@ -136,28 +149,44 @@ impl OptReport {
 
     /// Total rewrites of any kind.
     pub fn rewrites(&self) -> usize {
-        self.fusions() + self.layout
+        self.fusions() + self.layout + self.contiguous_elided
     }
 
     /// Per-rewrite counters as stable `(label, count)` pairs — the
     /// extractor the `ngb-regress` baseline snapshots record. The labels
     /// are part of the baseline schema; renaming one invalidates every
     /// committed baseline file.
-    pub fn counters(&self) -> [(&'static str, usize); 5] {
+    pub fn counters(&self) -> [(&'static str, usize); 6] {
         [
             ("conv_bn_act", self.conv_bn_act),
             ("gemm_epilogue", self.gemm_epilogue),
             ("elementwise_chain", self.elementwise_chain),
             ("attention", self.attention),
             ("layout", self.layout),
+            ("contiguous_elided", self.contiguous_elided),
         ]
     }
 }
 
+/// Whether contiguous elision is enabled: `NGB_ELIDE` unset or anything
+/// other than `"0"` means on.
+pub fn elide_enabled() -> bool {
+    std::env::var("NGB_ELIDE").map(|v| v != "0").unwrap_or(true)
+}
+
 /// Rewrites `graph` at `level`, returning the optimized graph and a
 /// report of what changed. At [`OptLevel::O0`] the graph is returned
-/// unchanged (a plain clone).
+/// unchanged (a plain clone). Contiguous elision is controlled by the
+/// `NGB_ELIDE` environment variable (default on at `O1+`); use
+/// [`optimize_with`] to pin it explicitly.
 pub fn optimize(graph: &Graph, level: OptLevel) -> (Graph, OptReport) {
+    optimize_with(graph, level, elide_enabled())
+}
+
+/// [`optimize`] with contiguous elision pinned on or off, independent of
+/// the `NGB_ELIDE` environment variable (tests and sweeps use this to
+/// avoid process-global env races).
+pub fn optimize_with(graph: &Graph, level: OptLevel, elide: bool) -> (Graph, OptReport) {
     let mut report = OptReport {
         nodes_before: graph.len(),
         nodes_after: graph.len(),
@@ -189,6 +218,12 @@ pub fn optimize(graph: &Graph, level: OptLevel) -> (Graph, OptReport) {
         if let Some(ng) = layout_pass(&g, &mut report) {
             g = ng;
             changed = true;
+        }
+        if elide {
+            if let Some(ng) = elide_pass(&g, &mut report) {
+                g = ng;
+                changed = true;
+            }
         }
         if !changed {
             break;
@@ -595,6 +630,189 @@ fn layout_pass(g: &Graph, report: &mut OptReport) -> Option<Graph> {
     sw.finish(g)
 }
 
+// ------------------------------------------------------- contiguous elision
+
+/// `strides` describe a dense row-major layout of `shape` (size-1 dims'
+/// strides are irrelevant, mirroring `Tensor::is_contiguous`).
+fn is_contig(shape: &[usize], strides: &[isize]) -> bool {
+    let mut acc = 1isize;
+    for (&dim, &stride) in shape.iter().zip(strides).rev() {
+        if dim == 1 {
+            continue;
+        }
+        if stride != acc {
+            return false;
+        }
+        acc *= dim as isize;
+    }
+    true
+}
+
+/// Output strides of `Expand` from (`in_shape`, `in_strides`) to
+/// `out_shape`, mirroring `Tensor::expand`: broadcast dims get stride 0.
+fn expand_strides(in_shape: &[usize], in_strides: &[isize], out_shape: &[usize]) -> Vec<isize> {
+    let pad = out_shape.len().saturating_sub(in_shape.len());
+    let mut strides = vec![0isize; out_shape.len()];
+    for i in 0..in_shape.len() {
+        if in_shape[i] == out_shape[pad + i] {
+            strides[pad + i] = in_strides[i];
+        }
+    }
+    strides
+}
+
+/// Statically-propagated output strides per node: compute ops and copying
+/// layout ops produce dense outputs; metadata ops transform their
+/// producer's layout by the same rules the `ngb_tensor` view methods use
+/// at runtime. A `Reshape`/`View` that cannot stay zero-copy falls back to
+/// dense (that is exactly what `Tensor::reshape` materializes).
+fn static_strides(g: &Graph) -> Vec<Vec<isize>> {
+    let mut out: Vec<Vec<isize>> = Vec::with_capacity(g.len());
+    for n in g.iter() {
+        let dense = || contiguous_strides(&n.out_shape);
+        let s = match (&n.op, n.inputs.first()) {
+            (OpKind::Permute { perm }, Some(pid)) if perm.len() == out[pid.0].len() => {
+                perm.iter().map(|&i| out[pid.0][i]).collect()
+            }
+            (OpKind::Transpose { d0, d1 }, Some(pid))
+                if *d0 < out[pid.0].len() && *d1 < out[pid.0].len() =>
+            {
+                let mut p = out[pid.0].clone();
+                p.swap(*d0, *d1);
+                p
+            }
+            (OpKind::Squeeze { dim }, Some(pid)) if *dim < out[pid.0].len() => {
+                let mut p = out[pid.0].clone();
+                p.remove(*dim);
+                p
+            }
+            (OpKind::Unsqueeze { dim }, Some(pid)) => {
+                let mut p = out[pid.0].clone();
+                p.insert((*dim).min(p.len()), 0);
+                p
+            }
+            (OpKind::Slice { .. }, Some(pid)) => out[pid.0].clone(),
+            (OpKind::Expand { .. }, Some(pid)) => {
+                expand_strides(&g.nodes[pid.0].out_shape, &out[pid.0], &n.out_shape)
+            }
+            (OpKind::Reshape { .. } | OpKind::View { .. }, Some(pid)) => {
+                reshape_strides(&g.nodes[pid.0].out_shape, &out[pid.0], &n.out_shape)
+                    .unwrap_or_else(dense)
+            }
+            _ => dense(),
+        };
+        out.push(s);
+    }
+    out
+}
+
+/// Whether consumer `c` can take a view with `strides` over `shape` in
+/// place of a dense copy, recursing through metadata ops (which forward
+/// the layout to *their* consumers with the strides transformed the way
+/// the runtime view methods transform them).
+fn accepts(
+    g: &Graph,
+    consumers_of: &[Vec<NodeId>],
+    c: &Node,
+    shape: &[usize],
+    strides: &[isize],
+) -> bool {
+    if is_contig(shape, strides) {
+        return true;
+    }
+    let forward = |ns: Vec<isize>| {
+        consumers_of[c.id.0]
+            .iter()
+            .all(|&x| accepts(g, consumers_of, &g.nodes[x.0], &c.out_shape, &ns))
+    };
+    match &c.op {
+        // An explicit copy downstream absorbs any layout.
+        OpKind::Contiguous => true,
+        // Zero-copy only when the strides merge; a copying reshape would
+        // just relocate the materialization, so refuse and keep the
+        // explicit `Contiguous` node honest.
+        OpKind::Reshape { .. } | OpKind::View { .. } => {
+            match reshape_strides(shape, strides, &c.out_shape) {
+                Some(ns) => forward(ns),
+                None => false,
+            }
+        }
+        OpKind::Permute { perm } if perm.len() == strides.len() => {
+            forward(perm.iter().map(|&i| strides[i]).collect())
+        }
+        OpKind::Transpose { d0, d1 } if *d0 < strides.len() && *d1 < strides.len() => {
+            let mut ns = strides.to_vec();
+            ns.swap(*d0, *d1);
+            forward(ns)
+        }
+        OpKind::Squeeze { dim } if *dim < strides.len() => {
+            let mut ns = strides.to_vec();
+            ns.remove(*dim);
+            forward(ns)
+        }
+        OpKind::Unsqueeze { dim } => {
+            let mut ns = strides.to_vec();
+            ns.insert((*dim).min(ns.len()), 0);
+            forward(ns)
+        }
+        OpKind::Slice { .. } => forward(strides.to_vec()),
+        OpKind::Expand { .. } => forward(expand_strides(shape, strides, &c.out_shape)),
+        // Guarded arms above fell through on malformed attributes: refuse
+        // rather than trusting the blanket capability bit.
+        OpKind::Permute { .. } | OpKind::Transpose { .. } | OpKind::Squeeze { .. } => false,
+        op => op.stride_capable(),
+    }
+}
+
+/// One NodeId list of consumers per node.
+fn consumer_lists(g: &Graph) -> Vec<Vec<NodeId>> {
+    let mut lists = vec![Vec::new(); g.len()];
+    for n in g.iter() {
+        for &i in &n.inputs {
+            lists[i.0].push(n.id);
+        }
+    }
+    lists
+}
+
+/// Drops `Contiguous` nodes whose copy is provably unnecessary: the input
+/// is already dense, or every transitive consumer handles the strided
+/// layout bit-identically (see [`OpKind::stride_capable`]). Graph outputs
+/// are never dropped.
+fn elide_pass(g: &Graph, report: &mut OptReport) -> Option<Graph> {
+    let strides = static_strides(g);
+    let consumers_of = consumer_lists(g);
+    let mut sw = Sweep::new(g.len());
+    for n in g.iter() {
+        if !matches!(n.op, OpKind::Contiguous) || consumers_of[n.id.0].is_empty() {
+            continue;
+        }
+        let [pid] = n.inputs.as_slice() else { continue };
+        if !sw.free(&[n.id]) {
+            continue;
+        }
+        let pshape = &g.nodes[pid.0].out_shape;
+        let pstrides = &strides[pid.0];
+        let dense_already = is_contig(pshape, pstrides);
+        if !dense_already
+            && !consumers_of[n.id.0]
+                .iter()
+                .all(|&c| accepts(g, &consumers_of, &g.nodes[c.0], pshape, pstrides))
+        {
+            continue;
+        }
+        sw.claim(&[n.id]);
+        sw.drop_node(n.id, *pid);
+        report.contiguous_elided += 1;
+        if !dense_already {
+            let bytes = 4 * num_elements(&n.out_shape);
+            report.elision_bytes_saved += bytes;
+            report.intermediate_bytes_saved += bytes;
+        }
+    }
+    sw.finish(g)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -845,6 +1063,138 @@ mod tests {
         };
         assert_eq!(f.stages[0].seed_id, 3);
         assert_eq!(twice.nodes[0].seed_hint, Some(NodeId(0)));
+    }
+
+    #[test]
+    fn contiguous_before_stride_capable_consumer_is_elided() {
+        // transpose -> contiguous -> softmax: the softmax kernel walks
+        // strided lanes, so the copy goes away.
+        let mut b = GraphBuilder::new("g");
+        let x = b.input(&[2, 3, 4]);
+        let t = b
+            .push(OpKind::Transpose { d0: 1, d1: 2 }, &[x], "t")
+            .unwrap();
+        let c = b.push(OpKind::Contiguous, &[t], "c").unwrap();
+        b.push(OpKind::Softmax { dim: 2 }, &[c], "sm").unwrap();
+        let (og, report) = optimize_with(&b.finish(), OptLevel::O1, true);
+        assert_eq!(report.contiguous_elided, 1);
+        assert_eq!(report.elision_bytes_saved, 4 * 24);
+        assert_eq!(og.len(), 3);
+        assert!(!og.iter().any(|n| matches!(n.op, OpKind::Contiguous)));
+        og.validate().unwrap();
+
+        // with elision pinned off the copy stays
+        let mut b = GraphBuilder::new("g");
+        let x = b.input(&[2, 3, 4]);
+        let t = b
+            .push(OpKind::Transpose { d0: 1, d1: 2 }, &[x], "t")
+            .unwrap();
+        let c = b.push(OpKind::Contiguous, &[t], "c").unwrap();
+        b.push(OpKind::Softmax { dim: 2 }, &[c], "sm").unwrap();
+        let (og, report) = optimize_with(&b.finish(), OptLevel::O1, false);
+        assert_eq!(report.contiguous_elided, 0);
+        assert!(og.iter().any(|n| matches!(n.op, OpKind::Contiguous)));
+    }
+
+    #[test]
+    fn contiguous_before_incapable_consumer_stays() {
+        // transpose -> contiguous -> interpolate: the resampler still
+        // materializes internally, so the explicit copy must survive.
+        let mut b = GraphBuilder::new("g");
+        let x = b.input(&[1, 3, 4, 4]);
+        let t = b
+            .push(OpKind::Transpose { d0: 2, d1: 3 }, &[x], "t")
+            .unwrap();
+        let c = b.push(OpKind::Contiguous, &[t], "c").unwrap();
+        b.push(OpKind::InterpolateBilinear { oh: 8, ow: 8 }, &[c], "up")
+            .unwrap();
+        let (og, report) = optimize_with(&b.finish(), OptLevel::O1, true);
+        assert_eq!(report.contiguous_elided, 0);
+        assert_eq!(og.len(), 4);
+    }
+
+    #[test]
+    fn copying_reshape_consumer_blocks_elision() {
+        // transpose -> contiguous -> reshape that merges the transposed
+        // dims: dropping the copy would only move it into the reshape, so
+        // the pass refuses.
+        let mut b = GraphBuilder::new("g");
+        let x = b.input(&[2, 3, 4]);
+        let t = b
+            .push(OpKind::Transpose { d0: 1, d1: 2 }, &[x], "t")
+            .unwrap();
+        let c = b.push(OpKind::Contiguous, &[t], "c").unwrap();
+        let r = b
+            .push(OpKind::Reshape { shape: vec![8, 3] }, &[c], "r")
+            .unwrap();
+        b.push(OpKind::Relu, &[r], "act").unwrap();
+        let (_, report) = optimize_with(&b.finish(), OptLevel::O1, true);
+        assert_eq!(report.contiguous_elided, 0);
+    }
+
+    #[test]
+    fn zero_copy_reshape_consumer_allows_elision() {
+        // batch-1 attention prologue: [1,H,T,hd] permuted view reshaped to
+        // [H,T,hd] merges only the size-1 batch dim -> zero-copy, and the
+        // consuming bmm packs straight from strides.
+        let mut b = GraphBuilder::new("g");
+        let q = b.input(&[1, 4, 6, 8]); // [B,T,H,hd] pre-permute
+        let k = b.input(&[6, 8, 4]); // side operand for bmm
+        let p = b
+            .push(
+                OpKind::Permute {
+                    perm: vec![0, 2, 1, 3],
+                },
+                &[q],
+                "p",
+            )
+            .unwrap();
+        let c = b.push(OpKind::Contiguous, &[p], "c").unwrap();
+        let r = b
+            .push(
+                OpKind::Reshape {
+                    shape: vec![6, 4, 8],
+                },
+                &[c],
+                "r",
+            )
+            .unwrap();
+        b.push(OpKind::Bmm, &[r, k], "scores").unwrap();
+        let (og, report) = optimize_with(&b.finish(), OptLevel::O1, true);
+        assert_eq!(
+            report.contiguous_elided, 1,
+            "size-1 batch merge is stride-compatible"
+        );
+        og.validate().unwrap();
+    }
+
+    #[test]
+    fn output_contiguous_is_preserved() {
+        let mut b = GraphBuilder::new("g");
+        let x = b.input(&[2, 3]);
+        let t = b
+            .push(OpKind::Transpose { d0: 0, d1: 1 }, &[x], "t")
+            .unwrap();
+        b.push(OpKind::Contiguous, &[t], "c").unwrap();
+        let (og, report) = optimize_with(&b.finish(), OptLevel::O1, true);
+        assert_eq!(report.contiguous_elided, 0);
+        assert_eq!(og.len(), 3);
+    }
+
+    #[test]
+    fn dense_input_contiguous_is_always_elided() {
+        // relu output is dense, so the copy is a no-op regardless of the
+        // consumer's capability.
+        let mut b = GraphBuilder::new("g");
+        let x = b.input(&[1, 3, 4, 4]);
+        let a = b.push(OpKind::Relu, &[x], "act").unwrap();
+        let c = b.push(OpKind::Contiguous, &[a], "c").unwrap();
+        b.push(OpKind::InterpolateBilinear { oh: 8, ow: 8 }, &[c], "up")
+            .unwrap();
+        let (og, report) = optimize_with(&b.finish(), OptLevel::O1, true);
+        assert_eq!(report.contiguous_elided, 1);
+        assert_eq!(report.elision_bytes_saved, 0, "no copy was happening");
+        assert!(!og.iter().any(|n| matches!(n.op, OpKind::Contiguous)));
     }
 
     #[test]

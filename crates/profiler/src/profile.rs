@@ -43,6 +43,12 @@ pub struct NodeProfile {
     /// Maximum number of threads that cooperated on one of this node's
     /// intra-op dispatches (1 when serial; 0 for analytic profiles).
     pub intra_parallelism: usize,
+    /// Bytes this node's kernels copied into fresh dense buffers to
+    /// satisfy a layout requirement (`contiguous()` materializations),
+    /// from the final measured iteration. 0 when every kernel consumed
+    /// its operands in place — the target state for strided view chains —
+    /// and 0 for analytic profiles, which execute nothing.
+    pub bytes_materialized: u64,
     /// For [`OpKind::Fused`](ngb_graph::OpKind::Fused) nodes: `(class,
     /// fraction)` pairs splitting this node's time back across the
     /// taxonomy classes of its constituent stages, pro-rated by the
@@ -171,6 +177,13 @@ impl ModelProfile {
         self.nodes.iter().map(|n| n.energy_j).sum()
     }
 
+    /// Total bytes copied into fresh dense buffers across the run
+    /// (kernel-internal `contiguous()` materializations). 0 when every
+    /// kernel consumed its operands in place, and for analytic profiles.
+    pub fn total_bytes_materialized(&self) -> u64 {
+        self.nodes.iter().map(|n| n.bytes_materialized).sum()
+    }
+
     /// Aggregates node latencies into the paper's breakdown. Transfer time
     /// is charged to the node that caused it (so ORT's fallen-back memory
     /// ops carry their PCIe cost, as in §4.2). Fused nodes split their
@@ -274,6 +287,7 @@ pub fn profile_analytic_with_options(
             out_shape: node.out_shape.clone(),
             intra_chunks: 0,
             intra_parallelism: 0,
+            bytes_materialized: 0,
             attribution: node_attribution(graph, node),
         });
     }
@@ -374,6 +388,7 @@ pub fn profile_measured_checked(
     let mut workers: Vec<usize> = vec![0; graph.len()];
     let mut chunks: Vec<usize> = vec![1; graph.len()];
     let mut intra: Vec<usize> = vec![1; graph.len()];
+    let mut bytes_mat: Vec<u64> = vec![0; graph.len()];
     for _ in 0..iterations {
         let trace = interp.run(graph)?;
         for t in &trace.timings {
@@ -383,6 +398,7 @@ pub fn profile_measured_checked(
             workers[t.id.0] = t.worker;
             chunks[t.id.0] = t.intra_chunks.max(1);
             intra[t.id.0] = intra[t.id.0].max(t.intra_participants);
+            bytes_mat[t.id.0] = t.bytes_materialized;
         }
     }
     let nodes = graph
@@ -401,6 +417,7 @@ pub fn profile_measured_checked(
             out_shape: shapes[n.id.0].clone(),
             intra_chunks: chunks[n.id.0],
             intra_parallelism: intra[n.id.0],
+            bytes_materialized: bytes_mat[n.id.0],
             attribution: node_attribution(graph, n),
         })
         .collect();
@@ -628,6 +645,31 @@ mod tests {
         // and the analytic path reports zeros (nothing executed)
         let a = profile_analytic(&g, &Platform::data_center(), Flow::Eager, true, 1);
         assert!(a.nodes.iter().all(|n| n.intra_chunks == 0));
+    }
+
+    #[test]
+    fn measured_profile_records_bytes_materialized() {
+        let mut b = GraphBuilder::new("mat");
+        let x = b.input(&[1, 8, 16]);
+        let t = b
+            .push(OpKind::Transpose { d0: 1, d1: 2 }, &[x], "t")
+            .unwrap();
+        b.push(OpKind::Contiguous, &[t], "contig").unwrap();
+        let g = b.finish();
+        let p = profile_measured(&g, 1, 42).unwrap();
+        let contig = p.nodes.iter().find(|n| n.name == "contig").unwrap();
+        // the transposed view is non-dense, so Contiguous copies 8*16 f32s
+        assert_eq!(contig.bytes_materialized, 8 * 16 * 4);
+        assert_eq!(p.total_bytes_materialized(), 8 * 16 * 4);
+        // every other kernel consumes its operand in place
+        assert!(p
+            .nodes
+            .iter()
+            .filter(|n| n.name != "contig")
+            .all(|n| n.bytes_materialized == 0));
+        // analytic profiles execute nothing
+        let a = profile_analytic(&g, &Platform::data_center(), Flow::Eager, true, 1);
+        assert_eq!(a.total_bytes_materialized(), 0);
     }
 
     #[test]

@@ -177,6 +177,11 @@ fn compare_snapshot(
         b.peak_activation_bytes,
         c.peak_activation_bytes,
     );
+    sink.count(
+        "graph.bytes_materialized",
+        b.bytes_materialized,
+        c.bytes_materialized,
+    );
     sink.count_map("graph.groups", &b.groups, &c.groups);
 
     let (b, c) = (&baseline.cost, &current.cost);

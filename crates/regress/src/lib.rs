@@ -10,7 +10,8 @@
 //! *deterministic* invariants:
 //!
 //! * **graph** — node counts, GEMM/non-GEMM taxonomy census, dynamic-op
-//!   count, parameter count, peak activation bytes;
+//!   count, parameter count, peak activation bytes, and the static bytes
+//!   still materialized by `Contiguous` nodes after elision;
 //! * **cost** — analytic GEMM / non-GEMM / per-group latency totals and
 //!   the non-GEMM share on the reference platform (data-center, eager,
 //!   GPU, batch 1) — pure f64 arithmetic, bit-stable across runs;
@@ -45,7 +46,7 @@
 //! let b = snapshot(ModelId::Gpt2, Scale::Tiny, OptLevel::O1).unwrap();
 //! assert_eq!(a, b); // snapshots are deterministic
 //! assert!(a.cost.total_us > 0.0);
-//! assert_eq!(SCHEMA_VERSION, 1);
+//! assert_eq!(SCHEMA_VERSION, 2);
 //! ```
 
 #![forbid(unsafe_code)]

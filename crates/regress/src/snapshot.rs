@@ -7,7 +7,7 @@ use std::time::Instant;
 use ngb_analyze::Analyzer;
 use ngb_exec::{Interpreter, Schedule};
 use ngb_models::{ModelId, Scale};
-use ngb_opt::{optimize, OptLevel, OptReport};
+use ngb_opt::{optimize_with, OptLevel, OptReport};
 use ngb_platform::Platform;
 use ngb_profiler::profile_analytic;
 use ngb_runtime::Flow;
@@ -17,7 +17,10 @@ use serde::{Deserialize, Serialize};
 /// Version of the on-disk baseline layout. Bump whenever a metric is
 /// added, removed, or renamed; readers refuse mismatched files with a
 /// "regenerate with `--update`" error instead of mis-diffing them.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2: added `graph.bytes_materialized` and the `contiguous_elided`
+/// rewrite counter.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// The snapshot matrix: every committed baseline covers both scales at
 /// all three optimization levels.
@@ -41,6 +44,12 @@ pub struct GraphMetrics {
     pub params: usize,
     /// Peak activation memory under sequential execution, bytes.
     pub peak_activation_bytes: usize,
+    /// Static upper bound on bytes the optimized graph's remaining
+    /// `Contiguous` nodes copy ([`Graph::contiguous_copy_bytes`]
+    /// (ngb_graph::Graph::contiguous_copy_bytes)). Contiguous elision
+    /// drives this to zero for transpose→matmul / attention-prologue
+    /// chains; a silent rise here means a kernel regained an eager copy.
+    pub bytes_materialized: usize,
     /// Non-GEMM census per taxonomy group (zero-count groups omitted).
     pub groups: BTreeMap<String, usize>,
 }
@@ -191,7 +200,9 @@ impl ModelBaseline {
 /// Propagates graph-construction errors.
 pub fn snapshot(id: ModelId, scale: Scale, level: OptLevel) -> Result<Snapshot, TensorError> {
     let built = id.build(1, scale)?;
-    let (graph, opt_report) = optimize(&built, level);
+    // Elision pinned on (the default) so baselines never depend on the
+    // ambient NGB_ELIDE environment.
+    let (graph, opt_report) = optimize_with(&built, level, true);
     let analysis = Analyzer::new().analyze(&graph);
     let (deny, warn, allow) = analysis.severity_counts();
     let profile = profile_analytic(&graph, &Platform::data_center(), Flow::Eager, true, 1);
@@ -209,6 +220,7 @@ pub fn snapshot(id: ModelId, scale: Scale, level: OptLevel) -> Result<Snapshot, 
             dynamic: census.dynamic,
             params: graph.param_count(),
             peak_activation_bytes: graph.peak_activation_bytes(),
+            bytes_materialized: graph.contiguous_copy_bytes() as usize,
             groups: census
                 .groups
                 .iter()

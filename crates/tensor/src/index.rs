@@ -60,10 +60,79 @@ impl Iterator for IndexIter {
 
 impl ExactSizeIterator for IndexIter {}
 
+/// Maps the `(outer, lane)` coordinates of a lane decomposition onto storage
+/// offsets of an arbitrarily-strided view.
+///
+/// A lane decomposition splits a tensor around one dimension `dim` into
+/// `(outer, d, inner)` — see `Tensor::lane_dims` — so every reduction/softmax
+/// lane is `d` elements at a fixed `(outer, inner)` coordinate. For a
+/// contiguous tensor the lane at `(o, l)` starts at `o * d * inner + l` and
+/// steps by `inner`; this type generalizes that walk to any strides, letting
+/// kernels consume permuted/narrowed/expanded views without materializing
+/// them first.
+///
+/// Kernels should keep their contiguous fast path and use `LaneMap` only on
+/// the strided branch: `lane_base` costs one multiply-add per dimension.
+#[derive(Debug, Clone)]
+pub struct LaneMap {
+    base: usize,
+    outer_shape: Vec<usize>,
+    outer_strides: Vec<isize>,
+    inner_shape: Vec<usize>,
+    inner_strides: Vec<isize>,
+    step: isize,
+}
+
+impl LaneMap {
+    /// Builds the map for a view described by `shape`/`strides`/`offset`,
+    /// with lanes running along `dim`.
+    pub fn new(shape: &[usize], strides: &[isize], offset: usize, dim: usize) -> LaneMap {
+        assert!(dim < shape.len(), "lane dim out of range");
+        LaneMap {
+            base: offset,
+            outer_shape: shape[..dim].to_vec(),
+            outer_strides: strides[..dim].to_vec(),
+            inner_shape: shape[dim + 1..].to_vec(),
+            inner_strides: strides[dim + 1..].to_vec(),
+            step: strides[dim],
+        }
+    }
+
+    /// Storage stride between consecutive elements of a lane.
+    #[inline]
+    pub fn step(&self) -> isize {
+        self.step
+    }
+
+    /// Storage offset of element 0 of the lane at `(outer, lane)`, where
+    /// `outer` enumerates the dims before `dim` and `lane` the dims after it,
+    /// both row-major.
+    #[inline]
+    pub fn lane_base(&self, outer: usize, lane: usize) -> usize {
+        let off = self.base as isize
+            + unravel_offset(outer, &self.outer_shape, &self.outer_strides)
+            + unravel_offset(lane, &self.inner_shape, &self.inner_strides);
+        debug_assert!(off >= 0, "negative storage offset");
+        off as usize
+    }
+}
+
+/// Storage offset of row-major linear index `i` within `shape`/`strides`.
+#[inline]
+fn unravel_offset(mut i: usize, shape: &[usize], strides: &[isize]) -> isize {
+    let mut off = 0isize;
+    for d in (0..shape.len()).rev() {
+        let s = shape[d];
+        off += (i % s) as isize * strides[d];
+        i /= s;
+    }
+    off
+}
+
 /// Converts a multi-index into a linear storage offset given strides and a
 /// base offset.
 #[inline]
-pub(crate) fn offset_of(index: &[usize], strides: &[isize], base: usize) -> usize {
+pub fn offset_of(index: &[usize], strides: &[isize], base: usize) -> usize {
     let mut off = base as isize;
     for (&i, &s) in index.iter().zip(strides) {
         off += i as isize * s;
@@ -98,5 +167,33 @@ mod tests {
     fn offsets_follow_strides() {
         // shape [2,3], transposed strides [1,2], base 5
         assert_eq!(offset_of(&[1, 2], &[1, 2], 5), 5 + 1 + 4);
+    }
+
+    #[test]
+    fn lane_map_matches_contiguous_walk() {
+        // contiguous [2,3,4], lanes along dim 1: base = o*12 + l, step 4
+        let shape = [2usize, 3, 4];
+        let strides = [12isize, 4, 1];
+        let m = LaneMap::new(&shape, &strides, 0, 1);
+        assert_eq!(m.step(), 4);
+        for o in 0..2 {
+            for l in 0..4 {
+                assert_eq!(m.lane_base(o, l), o * 12 + l);
+            }
+        }
+    }
+
+    #[test]
+    fn lane_map_strided_view() {
+        // transposed [3,2] view of contiguous [2,3] (strides [1,3]), lanes
+        // along dim 0: lane l starts at column l's base, steps by 1.
+        let m = LaneMap::new(&[3, 2], &[1, 3], 5, 0);
+        assert_eq!(m.step(), 1);
+        assert_eq!(m.lane_base(0, 0), 5);
+        assert_eq!(m.lane_base(0, 1), 8);
+        // multi-dim outer: shape [2,2,3], strides [1,6,2], dim 2
+        let m = LaneMap::new(&[2, 2, 3], &[1, 6, 2], 0, 2);
+        assert_eq!(m.lane_base(3, 0), 1 + 6); // outer index 3 = (1,1)
+        assert_eq!(m.step(), 2);
     }
 }

@@ -42,11 +42,12 @@ mod tensor;
 mod view;
 
 pub mod random;
+pub mod telemetry;
 
 pub use compare::{bit_equal, max_abs_err, max_rel_err, Tolerance};
 pub use error::TensorError;
-pub use index::IndexIter;
-pub use shape::{broadcast_shapes, contiguous_strides, num_elements};
+pub use index::{offset_of, IndexIter, LaneMap};
+pub use shape::{broadcast_shapes, contiguous_strides, num_elements, reshape_strides};
 pub use storage::{DType, Storage};
 pub use tensor::Tensor;
 

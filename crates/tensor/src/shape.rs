@@ -140,6 +140,65 @@ pub(crate) fn resolve_reshape(numel: usize, target: &[usize]) -> Result<Vec<usiz
     Ok(out)
 }
 
+/// Computes strides that let a view of `target` alias the same storage as a
+/// tensor of `shape`/`strides`, or `None` when no such aliasing exists and a
+/// reshape must copy.
+///
+/// This is PyTorch's `computeStride` check: the input is scanned back-to-front
+/// in maximal chunks of dimensions that are laid out contiguously relative to
+/// each other; each chunk may be merged/split freely into target dims, but a
+/// target dim can never span two chunks.
+///
+/// `shape` and `target` must describe the same element count.
+///
+/// # Examples
+///
+/// ```
+/// use ngb_tensor::reshape_strides;
+/// // contiguous [2,3,4] -> [6,4] merges cleanly
+/// assert_eq!(reshape_strides(&[2, 3, 4], &[12, 4, 1], &[6, 4]), Some(vec![4, 1]));
+/// // a full transpose cannot be viewed
+/// assert_eq!(reshape_strides(&[2, 3], &[1, 2], &[6]), None);
+/// ```
+pub fn reshape_strides(shape: &[usize], strides: &[isize], target: &[usize]) -> Option<Vec<isize>> {
+    debug_assert_eq!(num_elements(shape), num_elements(target));
+    if shape.is_empty() || num_elements(shape) == 0 {
+        // Scalars and empty tensors view freely; strides are arbitrary.
+        return Some(contiguous_strides(target));
+    }
+    let mut out = vec![0isize; target.len()];
+    let mut view_d = target.len() as isize - 1;
+    let mut chunk_base_stride = *strides.last().expect("non-empty shape");
+    let mut tensor_numel: usize = 1;
+    let mut view_numel: usize = 1;
+    for d in (0..shape.len()).rev() {
+        tensor_numel *= shape[d];
+        // A chunk ends where the next-outer dim is not contiguous with it
+        // (size-1 dims never break a chunk: their stride is irrelevant).
+        let chunk_end = d == 0
+            || (shape[d - 1] != 1 && strides[d - 1] != tensor_numel as isize * chunk_base_stride);
+        if chunk_end {
+            while view_d >= 0 && (view_numel < tensor_numel || target[view_d as usize] == 1) {
+                out[view_d as usize] = view_numel as isize * chunk_base_stride;
+                view_numel *= target[view_d as usize];
+                view_d -= 1;
+            }
+            if view_numel != tensor_numel {
+                return None;
+            }
+            if d > 0 {
+                chunk_base_stride = strides[d - 1];
+                tensor_numel = 1;
+                view_numel = 1;
+            }
+        }
+    }
+    if view_d != -1 {
+        return None;
+    }
+    Some(out)
+}
+
 /// Normalizes a possibly-negative dimension index (`-1` = last) into `0..rank`.
 ///
 /// # Errors
@@ -201,6 +260,64 @@ mod tests {
         assert!(resolve_reshape(12, &[5, usize::MAX]).is_err());
         assert!(resolve_reshape(12, &[usize::MAX, usize::MAX]).is_err());
         assert!(resolve_reshape(12, &[3, 5]).is_err());
+    }
+
+    #[test]
+    fn reshape_strides_contiguous_merge_split() {
+        // merge middle dims of a contiguous tensor
+        assert_eq!(
+            reshape_strides(&[2, 3, 4], &[12, 4, 1], &[2, 12]),
+            Some(vec![12, 1])
+        );
+        // split a dim of a contiguous tensor
+        assert_eq!(
+            reshape_strides(&[6, 4], &[4, 1], &[2, 3, 4]),
+            Some(vec![12, 4, 1])
+        );
+    }
+
+    #[test]
+    fn reshape_strides_permuted_batch_merge() {
+        // [1, H, T, hd] permuted view with strides of [1, T, H, hd] source:
+        // merging the size-1 batch into H stays a view.
+        let (h, t, hd) = (2usize, 3usize, 4usize);
+        let strides = [
+            (t * h * hd) as isize, // batch (size 1)
+            hd as isize,           // H after permute
+            (h * hd) as isize,     // T after permute
+            1,
+        ];
+        assert_eq!(
+            reshape_strides(&[1, h, t, hd], &strides, &[h, t, hd]),
+            Some(vec![hd as isize, (h * hd) as isize, 1])
+        );
+    }
+
+    #[test]
+    fn reshape_strides_rejects_chunk_spanning_merge() {
+        // transpose of [2,3]: merging both dims would span two chunks
+        assert_eq!(reshape_strides(&[2, 3], &[1, 2], &[6]), None);
+        // merging H and T of a permuted [H, T, hd] view is incompatible
+        assert_eq!(reshape_strides(&[2, 3, 4], &[4, 8, 1], &[6, 4]), None);
+    }
+
+    #[test]
+    fn reshape_strides_size_one_dims_are_free() {
+        // inserting/removing size-1 dims never copies
+        assert_eq!(
+            reshape_strides(&[2, 3], &[3, 1], &[2, 1, 3, 1]),
+            Some(vec![3, 3, 1, 1])
+        );
+        assert_eq!(
+            reshape_strides(&[2, 1, 3], &[3, 99, 1], &[2, 3]),
+            Some(vec![3, 1])
+        );
+    }
+
+    #[test]
+    fn reshape_strides_scalar_and_empty() {
+        assert_eq!(reshape_strides(&[], &[], &[1, 1]), Some(vec![1, 1]));
+        assert_eq!(reshape_strides(&[2, 0], &[0, 1], &[0, 2]), Some(vec![2, 1]));
     }
 
     #[test]

@@ -328,6 +328,21 @@ impl Tensor {
         }
     }
 
+    /// Borrows the **entire** backing f32 storage, regardless of layout.
+    ///
+    /// Unlike [`Tensor::as_slice_f32`] this does not require contiguity: it
+    /// is the raw buffer strided kernels index into via
+    /// [`Tensor::storage_offset`] and [`Tensor::strides`] (or a
+    /// [`LaneMap`](crate::LaneMap)). Returns `None` for non-f32 storage.
+    pub fn storage_f32(&self) -> Option<&[f32]> {
+        self.storage.as_f32()
+    }
+
+    /// This view's base offset into its backing storage, in elements.
+    pub fn storage_offset(&self) -> usize {
+        self.offset
+    }
+
     /// Copies the logical contents (row-major) into a `Vec<f32>`.
     ///
     /// # Errors

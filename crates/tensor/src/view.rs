@@ -6,7 +6,9 @@
 //! `Tensor` header over shared storage; copying operators allocate.
 
 use crate::index::{offset_of, IndexIter};
-use crate::shape::{contiguous_strides, normalize_dim, num_elements, resolve_reshape};
+use crate::shape::{
+    contiguous_strides, normalize_dim, num_elements, reshape_strides, resolve_reshape,
+};
 use crate::storage::{DType, Storage};
 use crate::tensor::Tensor;
 use crate::{Result, TensorError};
@@ -18,6 +20,7 @@ impl Tensor {
         if self.is_contiguous() && self.offset == 0 && self.storage.len() == self.numel() {
             return self.clone();
         }
+        crate::telemetry::note_materialized(self.numel() * self.dtype().size_bytes());
         let storage: Storage = match self.dtype() {
             DType::F32 => self.to_vec_f32().expect("dtype checked").into(),
             DType::I64 => self.to_vec_i64().expect("dtype checked").into(),
@@ -60,15 +63,34 @@ impl Tensor {
     /// Reshape that views when possible and copies otherwise, mirroring
     /// `torch.reshape`.
     ///
+    /// Unlike [`Tensor::view`], non-contiguous inputs stay zero-copy whenever
+    /// the target shape only merges/splits dims whose strides are compatible
+    /// (PyTorch's `computeStride` check, see
+    /// [`reshape_strides`](crate::reshape_strides)); only stride-incompatible
+    /// reshapes materialize a dense copy.
+    ///
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] when element counts differ.
     pub fn reshape(&self, shape: &[usize]) -> Result<Tensor> {
-        match self.view(shape) {
-            Ok(t) => Ok(t),
-            Err(TensorError::NonContiguousView { .. }) => self.contiguous().view(shape),
-            Err(e) => Err(e),
+        let resolved = resolve_reshape(self.numel(), shape)?;
+        if self.is_contiguous() {
+            return Ok(Tensor {
+                storage: self.storage.clone(),
+                strides: contiguous_strides(&resolved),
+                shape: resolved,
+                offset: self.offset,
+            });
         }
+        if let Some(strides) = reshape_strides(&self.shape, &self.strides, &resolved) {
+            return Ok(Tensor {
+                storage: self.storage.clone(),
+                strides,
+                shape: resolved,
+                offset: self.offset,
+            });
+        }
+        self.contiguous().view(&resolved)
     }
 
     /// Flattens dims `start..=end` into one (like `torch.flatten`).
@@ -445,6 +467,44 @@ mod tests {
         let r = a.reshape(&[6]).unwrap();
         assert_eq!(r.to_vec_f32().unwrap(), vec![0.0, 3.0, 1.0, 4.0, 2.0, 5.0]);
         assert!(!r.shares_storage(&a));
+    }
+
+    #[test]
+    fn reshape_stays_zero_copy_on_compatible_strides() {
+        // splitting the last dim of a transposed view never copies
+        let a = Tensor::arange(0.0, 24.0, 1.0)
+            .reshape(&[2, 3, 4])
+            .unwrap()
+            .transpose(0, 1)
+            .unwrap(); // [3, 2, 4], strides [4, 12, 1]
+        let r = a.reshape(&[3, 2, 2, 2]).unwrap();
+        assert!(r.shares_storage(&a));
+        assert_eq!(
+            r.to_vec_f32().unwrap(),
+            a.contiguous().to_vec_f32().unwrap()
+        );
+
+        // the attention-prologue merge: [1, H, T, hd] permuted view flattens
+        // its size-1 batch into the heads dim without materializing
+        let q = Tensor::arange(0.0, 24.0, 1.0)
+            .reshape(&[1, 3, 2, 4])
+            .unwrap()
+            .permute(&[0, 2, 1, 3])
+            .unwrap(); // [1, 2, 3, 4]
+        let heads = q.reshape(&[2, 3, 4]).unwrap();
+        assert!(heads.shares_storage(&q));
+        assert_eq!(
+            heads.to_vec_f32().unwrap(),
+            q.contiguous().to_vec_f32().unwrap()
+        );
+    }
+
+    #[test]
+    fn reshape_of_narrowed_view_keeps_offset() {
+        let a = t2x3().narrow(0, 1, 1).unwrap(); // [1,3] at offset 3, contiguous
+        let r = a.reshape(&[3]).unwrap();
+        assert!(r.shares_storage(&a));
+        assert_eq!(r.to_vec_f32().unwrap(), vec![3.0, 4.0, 5.0]);
     }
 
     #[test]

@@ -6,7 +6,11 @@
 #   CI_STAGES=test-opt,regress scripts/ci.sh
 #
 # Stages: fmt, clippy, test, test-parallel, test-opt, test-intraop,
-# sanitize, serve, regress.
+# sanitize, serve, contiguous-ratchet, regress.
+# The contiguous-ratchet stage pins the declared list of eager
+# .contiguous() call sites in ngb-ops kernels: strided consumption is the
+# default, and a new materialization site fails CI until it is justified
+# and added to the fallback list here.
 # The sanitize stage audits that unsafe code stays confined to ngb-ops
 # and ngb-exec, lints the verifier crate at -D warnings, and runs the
 # 18-model hazard sweep (static verifier + shadow-memory execution) on a
@@ -22,7 +26,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-ALL_STAGES="fmt,clippy,test,test-parallel,test-opt,test-intraop,sanitize,serve,regress"
+ALL_STAGES="fmt,clippy,test,test-parallel,test-opt,test-intraop,sanitize,serve,contiguous-ratchet,regress"
 STAGES="${CI_STAGES:-$ALL_STAGES}"
 
 want() { [[ ",$STAGES," == *",$1,"* ]]; }
@@ -100,6 +104,46 @@ serve_gate() {
     || { echo "error: no dynamic batch larger than 1 was formed"; return 1; }
 }
 
+# Declared eager-materialization fallbacks in ngb-ops kernel code
+# (file:reason). Everything else must consume strided operands in place;
+# shrinking this list is progress, growing it needs a review.
+CONTIGUOUS_ALLOWLIST=(
+  "src/roi.rs:roi_align gathers scattered bilinear taps"
+  "src/embedding.rs:row gather needs a dense table"
+  "src/gemm.rs:conv2d weight repack fallback"
+  "src/memory.rs:the contiguous/roll ops are defined as copies"
+  "src/interpolate.rs:resamplers index dense NCHW"
+)
+
+contiguous_ratchet() {
+  local hits violations=0 allowed f
+  # test modules may materialize freely (they build reference copies)
+  hits=$(grep -rn '\.contiguous()' crates/ops/src --include='*.rs' \
+    | grep -v -e '#\[cfg(test)\]' -e 'mod tests' || true)
+  while IFS= read -r line; do
+    [[ -z "$line" ]] && continue
+    f=${line#crates/ops/}; f=${f%%:*}:${line#*:}; f=${f%%:*}  # src/<file>.rs
+    # call sites inside #[cfg(test)] blocks: approximate by line number
+    # being past the file's "mod tests" marker, if it has one
+    local test_start
+    test_start=$(grep -n 'mod tests' "crates/ops/$f" | head -n1 | cut -d: -f1)
+    local lineno; lineno=$(echo "$line" | cut -d: -f2)
+    if [[ -n "$test_start" && "$lineno" -gt "$test_start" ]]; then
+      continue
+    fi
+    allowed=""
+    for entry in "${CONTIGUOUS_ALLOWLIST[@]}"; do
+      [[ "$f" == "${entry%%:*}" ]] && allowed=1 && break
+    done
+    if [[ -z "$allowed" ]]; then
+      echo "error: new eager .contiguous() outside the fallback list: $line"
+      violations=1
+    fi
+  done <<<"$hits"
+  [[ $violations -eq 0 ]] || return 1
+  echo "contiguous ratchet: all eager call sites are declared fallbacks"
+}
+
 run_stage fmt           cargo fmt --all -- --check
 run_stage clippy        cargo clippy --all-targets -- -D warnings
 run_stage test          cargo test -q
@@ -108,6 +152,7 @@ run_stage test-opt      env NGB_OPT=2 NGB_THREADS=4 cargo test -q
 run_stage test-intraop  env NGB_INTRAOP=1 NGB_THREADS=4 cargo test -q
 run_stage sanitize      sanitize_gate
 run_stage serve         serve_gate
+run_stage contiguous-ratchet contiguous_ratchet
 run_stage regress       regress_gate
 
 echo "==> ok (stages: $STAGES, total ${SECONDS}s)"
