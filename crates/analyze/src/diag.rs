@@ -54,6 +54,8 @@ pub enum Pass {
     /// happens-before coverage, storage interference, partition
     /// disjointness.
     Hazard,
+    /// KV-cache conventions of autoregressive decode-step graphs.
+    Decode,
 }
 
 impl Pass {
@@ -67,6 +69,7 @@ impl Pass {
             Pass::Fusion,
             Pass::Parallelism,
             Pass::Hazard,
+            Pass::Decode,
         ]
     }
 
@@ -80,6 +83,7 @@ impl Pass {
             Pass::Fusion => "fusion",
             Pass::Parallelism => "parallelism",
             Pass::Hazard => "hazard",
+            Pass::Decode => "decode",
         }
     }
 }
@@ -146,6 +150,16 @@ pub enum Lint {
     /// An intra-op chunk decomposition is not a pairwise-disjoint exact
     /// cover of its operator's output.
     PartitionHazard,
+    /// A decode-step graph re-exports a concatenation grown from a cache
+    /// input: the cache gains a slot every step, so a driver feeding the
+    /// output back in needs unbounded storage. Well-formed decode graphs
+    /// keep the cache input's capacity fixed and expose only the fresh
+    /// K/V rows.
+    UnboundedCacheGrowth,
+    /// KV-cache inputs across layers disagree on capacity (the slot
+    /// dimension), so some layers attend over a different window than
+    /// others and serve stale or truncated history.
+    StaleCacheShape,
 }
 
 impl Lint {
@@ -173,6 +187,8 @@ impl Lint {
             Lint::UnorderedDataEdge,
             Lint::StorageInterference,
             Lint::PartitionHazard,
+            Lint::UnboundedCacheGrowth,
+            Lint::StaleCacheShape,
         ]
     }
 
@@ -200,6 +216,8 @@ impl Lint {
             Lint::UnorderedDataEdge => "unordered-data-edge",
             Lint::StorageInterference => "storage-interference",
             Lint::PartitionHazard => "partition-hazard",
+            Lint::UnboundedCacheGrowth => "unbounded-cache-growth",
+            Lint::StaleCacheShape => "stale-cache-shape",
         }
     }
 
@@ -228,6 +246,7 @@ impl Lint {
             | Lint::UnorderedDataEdge
             | Lint::StorageInterference
             | Lint::PartitionHazard => Pass::Hazard,
+            Lint::UnboundedCacheGrowth | Lint::StaleCacheShape => Pass::Decode,
         }
     }
 
@@ -247,7 +266,9 @@ impl Lint {
             | Lint::PlanDroppedEdges
             | Lint::UnorderedDataEdge
             | Lint::StorageInterference
-            | Lint::PartitionHazard => Severity::Deny,
+            | Lint::PartitionHazard
+            | Lint::UnboundedCacheGrowth
+            | Lint::StaleCacheShape => Severity::Deny,
             Lint::DeadNode | Lint::DuplicateSubgraph | Lint::TrafficUnderflow => Severity::Warn,
             Lint::FuseLinearActivation
             | Lint::FuseAttention
@@ -280,6 +301,10 @@ impl Lint {
             Lint::UnorderedDataEdge => "data edge unordered by the schedule's happens-before",
             Lint::StorageInterference => "plan lifetimes diverge from the graph or slots interfere",
             Lint::PartitionHazard => "intra-op chunk decomposition is not a disjoint exact cover",
+            Lint::UnboundedCacheGrowth => {
+                "a grown KV-cache concatenation is re-exported, so cache storage is unbounded"
+            }
+            Lint::StaleCacheShape => "KV-cache inputs disagree on capacity across layers",
         }
     }
 }

@@ -1,7 +1,7 @@
 //! # ngb-analyze
 //!
 //! Static graph analysis and lints over the NonGEMM Bench operator IR — a
-//! `clippy` for [`ngb_graph::Graph`]s. The [`Analyzer`] runs seven passes:
+//! `clippy` for [`ngb_graph::Graph`]s. The [`Analyzer`] runs eight passes:
 //!
 //! 1. **structural** — NodeId/topological-order consistency, dangling
 //!    inputs, dead-node detection, duplicate-subgraph (CSE) candidates;
@@ -21,7 +21,11 @@
 //! 7. **hazard** — runs the `ngb-sanitize` static verifier
 //!    ([`ngb_sanitize::verify_graph`]): happens-before coverage of every
 //!    data edge, storage-interference soundness of the buffer plan, and
-//!    partition disjointness of intra-op chunk decompositions.
+//!    partition disjointness of intra-op chunk decompositions;
+//! 8. **decode** — KV-cache conventions of autoregressive decode-step
+//!    graphs: a grown cache concatenation re-exported as an output
+//!    (unbounded cache growth) and per-layer cache inputs that disagree
+//!    on capacity (stale cache shape).
 //!
 //! Findings are [`Diagnostic`]s with a configurable severity
 //! (allow / warn / deny, per lint via [`LintConfig`]) and render both

@@ -1,8 +1,8 @@
-//! The [`Analyzer`] and its seven passes.
+//! The [`Analyzer`] and its eight passes.
 //!
 //! Passes run in a fixed order — structural, shape, taxonomy, cost,
-//! fusion, parallelism, hazard — and each appends [`Diagnostic`]s to the
-//! report. Later passes
+//! fusion, parallelism, hazard, decode — and each appends
+//! [`Diagnostic`]s to the report. Later passes
 //! guard against structurally broken nodes (out-of-range inputs) instead of
 //! assuming the structural pass came back clean, so a single corrupted node
 //! produces one precise finding rather than a cascade of panics.
@@ -110,7 +110,7 @@ impl Analyzer {
         Analyzer { config }
     }
 
-    /// Runs all seven passes over `graph`.
+    /// Runs all eight passes over `graph`.
     pub fn analyze(&self, graph: &Graph) -> AnalysisReport {
         let mut ctx = Ctx::new(graph, &self.config);
         structural_pass(&mut ctx);
@@ -120,6 +120,7 @@ impl Analyzer {
         fusion_pass(&mut ctx);
         let parallelism = parallelism_pass(&mut ctx);
         hazard_pass(&mut ctx);
+        decode_pass(&mut ctx);
         AnalysisReport {
             graph_name: graph.name.clone(),
             diagnostics: ctx.diagnostics,
@@ -506,6 +507,78 @@ fn hazard_pass(ctx: &mut Ctx) {
         match hazard.nodes.first() {
             Some(&node) => ctx.emit(lint, node, hazard.message),
             None => ctx.emit_graph(lint, hazard.message),
+        }
+    }
+}
+
+/// Pass 8: KV-cache conventions of autoregressive decode-step graphs.
+///
+/// * **Unbounded cache growth** — a `Cat` along the slot dimension that
+///   appends computed rows onto an `Input` buffer and re-exports the
+///   grown result as a graph output. A driver feeding that output back
+///   as the next step's cache input needs one more slot every step.
+///   Well-formed decode graphs keep the cache input's capacity fixed,
+///   consume the concatenation internally, and expose only the fresh
+///   K/V rows.
+/// * **Stale cache shape** — `*.kv.*_cache` inputs whose slot dimension
+///   (dim 1) disagrees across layers, so layers attend over different
+///   windows of history.
+///
+/// Graphs without cache-shaped inputs (every non-decode model) trigger
+/// neither lint.
+fn decode_pass(ctx: &mut Ctx) {
+    let g = ctx.graph;
+    // unbounded growth: Cat{dim:1}(..., Input, ..., computed, ...) whose
+    // result is a graph output (zero consumers)
+    for (i, node) in g.iter().enumerate() {
+        if !matches!(node.op, OpKind::Cat { dim: 1 }) || !ctx.sound[i] || ctx.consumers[i] != 0 {
+            continue;
+        }
+        let buffer = node
+            .inputs
+            .iter()
+            .find(|&&inp| matches!(g.node(inp).op, OpKind::Input));
+        let computed = node
+            .inputs
+            .iter()
+            .any(|&inp| !matches!(g.node(inp).op, OpKind::Input | OpKind::InputIds { .. }));
+        if let (Some(&buffer), true) = (buffer, computed) {
+            ctx.emit(
+                Lint::UnboundedCacheGrowth,
+                node.id,
+                format!(
+                    "'{}' appends computed rows onto input '{}' and re-exports the grown \
+                     result; a cache fed from this output needs one more slot every step",
+                    node.name,
+                    g.node(buffer).name
+                ),
+            );
+        }
+    }
+
+    // stale shape: cache-convention inputs with differing slot capacity
+    let caches: Vec<&Node> = g
+        .iter()
+        .filter(|n| {
+            matches!(n.op, OpKind::Input)
+                && n.out_shape.len() == 3
+                && (n.name.ends_with(".kv.k_cache") || n.name.ends_with(".kv.v_cache"))
+        })
+        .collect();
+    if let Some(first) = caches.first() {
+        let cap = first.out_shape[1];
+        for c in &caches[1..] {
+            if c.out_shape[1] != cap {
+                ctx.emit(
+                    Lint::StaleCacheShape,
+                    c.id,
+                    format!(
+                        "'{}' holds {} slots but '{}' holds {}; layers would attend over \
+                         different windows of history",
+                        c.name, c.out_shape[1], first.name, cap
+                    ),
+                );
+            }
         }
     }
 }

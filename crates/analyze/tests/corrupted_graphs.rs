@@ -187,3 +187,55 @@ fn trailing_multi_output_frontier_is_not_dead() {
     let report = Analyzer::new().analyze(&b.finish());
     assert!(report.findings(Lint::DeadNode).is_empty());
 }
+
+#[test]
+fn grown_cache_reexported_fires_unbounded_growth() {
+    // a decode step that cats fresh rows onto the cache input and exposes
+    // the grown tensor as an output (for feeding back next step)
+    let mut b = GraphBuilder::new("bad-decode");
+    let cache = b.input_named(&[4, 8, 16], "h.0.kv.k_cache");
+    let x = b.input(&[4, 1, 16]);
+    let fresh = b.push(OpKind::Relu, &[x], "fresh").unwrap();
+    let cat = b
+        .push(OpKind::Cat { dim: 1 }, &[cache, fresh], "h.0.kv.k_grown")
+        .unwrap();
+    let g = b.finish();
+    let report = Analyzer::new().analyze(&g);
+    let hits = report.findings(Lint::UnboundedCacheGrowth);
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].node, Some(cat));
+    assert_eq!(hits[0].severity, Severity::Deny);
+}
+
+#[test]
+fn interior_cache_cat_is_well_formed() {
+    // the healthy pattern: the concatenation is consumed internally and
+    // only the fixed-size fresh row surfaces
+    let mut b = GraphBuilder::new("good-decode");
+    let cache = b.input_named(&[4, 8, 16], "h.0.kv.k_cache");
+    let x = b.input(&[4, 1, 16]);
+    let fresh = b.push(OpKind::Relu, &[x], "fresh").unwrap();
+    let cat = b
+        .push(OpKind::Cat { dim: 1 }, &[cache, fresh], "h.0.kv.k_cat")
+        .unwrap();
+    b.push(OpKind::Relu, &[cat], "use").unwrap();
+    let report = Analyzer::new().analyze(&b.finish());
+    assert!(report.findings(Lint::UnboundedCacheGrowth).is_empty());
+    assert!(report.findings(Lint::StaleCacheShape).is_empty());
+}
+
+#[test]
+fn mismatched_cache_capacities_fire_stale_shape() {
+    let mut b = GraphBuilder::new("stale-decode");
+    let c0 = b.input_named(&[4, 8, 16], "h.0.kv.k_cache");
+    let c1 = b.input_named(&[4, 6, 16], "h.1.kv.k_cache"); // 6 != 8
+    let r0 = b.push(OpKind::Relu, &[c0], "r0").unwrap();
+    let r1 = b.push(OpKind::Relu, &[c1], "r1").unwrap();
+    b.push(OpKind::Cat { dim: 1 }, &[r0, r1], "join").unwrap();
+    let g = b.finish();
+    let report = Analyzer::new().analyze(&g);
+    let hits = report.findings(Lint::StaleCacheShape);
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].node, Some(c1));
+    assert_eq!(hits[0].severity, Severity::Deny);
+}

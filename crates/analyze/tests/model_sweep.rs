@@ -140,3 +140,22 @@ fn census_fractions_match_the_papers_nongemm_story() {
         );
     }
 }
+#[test]
+fn decode_graphs_pass_decode_lints() {
+    for id in [ngb_models::ModelId::Gpt2, ngb_models::ModelId::Llama2_7b] {
+        let b = ngb_models::decode_bundle(id, ngb_models::Scale::Tiny, 1, 8)
+            .unwrap()
+            .unwrap();
+        let r = ngb_analyze::Analyzer::new().analyze(&b.decode);
+        assert!(r
+            .findings(ngb_analyze::Lint::UnboundedCacheGrowth)
+            .is_empty());
+        assert!(r.findings(ngb_analyze::Lint::StaleCacheShape).is_empty());
+        let denials: Vec<_> = r
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == ngb_analyze::Severity::Deny)
+            .collect();
+        assert!(denials.is_empty(), "{id:?}: {denials:?}");
+    }
+}

@@ -1,0 +1,289 @@
+//! Decode throughput sweep + the CI decode gate.
+//!
+//! For each autoregressive LM at tiny scale this binary (1) asserts the
+//! cached decode path is **bit-identical** to the uncached full-sequence
+//! recompute over a greedy generation, (2) asserts the int8
+//! weight-quantized path stays within the documented probability
+//! tolerance of fp32 on the same token stream, and (3) sweeps batch size
+//! 1–64 reporting cached tokens/sec and KV-cache hit rates.
+//!
+//! ```text
+//! decode_sweep [--model <alias>]... [--tokens N] [--prompt N]
+//!              [--max-batch N] [--out PATH]
+//! ```
+//!
+//! Writes the sweep to `--out` (default `BENCH_DECODE.json`) and prints
+//! it; exits non-zero when any gate fails. Run in release mode.
+
+use std::time::Instant;
+
+use nongemm::models::decode_bundle;
+use nongemm::ops::Quant;
+use nongemm::runtime::{greedy_decode, greedy_reference, synth_prompt, DecodeSession};
+use nongemm::tensor::{bit_equal, max_abs_err};
+use nongemm::{Interpreter, ModelId, Scale};
+use serde::Serialize;
+
+/// Documented end-to-end int8 tolerance: maximum absolute deviation of
+/// any next-token probability from the fp32 run on the same token
+/// stream. Per-GEMM error is bounded analytically by
+/// `ngb_ops::quant::int8_error_bound`; after layer norms and a softmax
+/// the tiny-scale models stay well inside this envelope.
+const INT8_PROB_TOL: f32 = 5e-2;
+
+const SEED: u64 = 0x5eed;
+
+struct Args {
+    models: Vec<String>,
+    tokens: usize,
+    prompt: usize,
+    max_batch: usize,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        models: Vec::new(),
+        tokens: 32,
+        prompt: 4,
+        max_batch: 64,
+        out: "BENCH_DECODE.json".to_string(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{arg} requires a value");
+                std::process::exit(2);
+            })
+        };
+        let positive = |flag: &str, v: String| -> usize {
+            v.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+                eprintln!("{flag} requires a positive integer");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--model" => {
+                let v = value();
+                args.models.push(v);
+            }
+            "--tokens" => args.tokens = positive("--tokens", value()),
+            "--prompt" => args.prompt = positive("--prompt", value()),
+            "--max-batch" => args.max_batch = positive("--max-batch", value()),
+            "--out" => args.out = value(),
+            other => {
+                eprintln!("unknown argument '{other}'");
+                eprintln!(
+                    "usage: decode_sweep [--model <alias>]... [--tokens N] \
+                     [--prompt N] [--max-batch N] [--out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if args.models.is_empty() {
+        args.models = vec!["gpt2".to_string(), "llama2".to_string()];
+    }
+    args
+}
+
+#[derive(Serialize)]
+struct BatchPoint {
+    batch: usize,
+    tokens_generated: usize,
+    wall_s: f64,
+    tokens_per_sec: f64,
+    cache_hit_rate: f64,
+    appended_rows: u64,
+    reused_rows: u64,
+}
+
+#[derive(Serialize)]
+struct ModelSweep {
+    model: String,
+    prompt_len: usize,
+    new_tokens: usize,
+    bit_identical: bool,
+    int8_max_abs_err: f32,
+    int8_tolerance: f32,
+    points: Vec<BatchPoint>,
+}
+
+#[derive(Serialize)]
+struct Doc {
+    schema: u64,
+    scale: String,
+    sweeps: Vec<ModelSweep>,
+}
+
+/// Re-runs a session on a fixed token stream (the fp32 run's choices)
+/// and returns the per-step probability tensors, so quantized and fp32
+/// paths are compared on identical inputs.
+fn forced_probs(
+    session: &mut DecodeSession,
+    prompt: &[Vec<i64>],
+    driven: &[Vec<Vec<i64>>],
+) -> Result<Vec<nongemm::tensor::Tensor>, nongemm::tensor::TensorError> {
+    let prompt_len = prompt.first().map(Vec::len).unwrap_or(0);
+    let mut last = session.step(&prompt.iter().map(|p| p[0]).collect::<Vec<_>>())?;
+    for t in 1..prompt_len {
+        last = session.step(&prompt.iter().map(|p| p[t]).collect::<Vec<_>>())?;
+    }
+    let mut probs = vec![last];
+    for ids in driven {
+        let flat: Vec<i64> = ids.iter().map(|row| row[0]).collect();
+        probs.push(session.step(&flat)?);
+    }
+    Ok(probs)
+}
+
+fn run_model(alias: &str, args: &Args) -> Result<ModelSweep, String> {
+    let id = ModelId::all()
+        .iter()
+        .copied()
+        .find(|m| m.spec().alias == alias)
+        .ok_or_else(|| format!("unknown model '{alias}'"))?;
+    let total = args.prompt + args.tokens;
+    let make_bundle = |batch: usize| {
+        decode_bundle(id, Scale::Tiny, batch, total)
+            .ok_or_else(|| format!("{alias} is not an autoregressive LM"))?
+            .map_err(|e| format!("{alias}: {e}"))
+    };
+
+    // gate 1: cached decode is bit-identical to the uncached recompute
+    let bundle = make_bundle(1)?;
+    let prompt = synth_prompt(SEED, &bundle.reference, args.prompt).map_err(|e| e.to_string())?;
+    let interp = Interpreter::new(SEED).quantize(Quant::None);
+    let mut session = DecodeSession::new(bundle.decode.clone(), &bundle.reference, interp.clone())
+        .map_err(|e| e.to_string())?;
+    let cached = greedy_decode(&mut session, &prompt, args.tokens).map_err(|e| e.to_string())?;
+    let uncached = greedy_reference(&bundle.reference, &interp, &prompt, args.tokens)
+        .map_err(|e| e.to_string())?;
+    let bit_identical = cached.tokens == uncached.tokens
+        && cached.step_probs.len() == uncached.step_probs.len()
+        && cached
+            .step_probs
+            .iter()
+            .zip(&uncached.step_probs)
+            .all(|(a, b)| bit_equal(a, b).unwrap_or(false));
+    if !bit_identical {
+        return Err(format!(
+            "{alias}: cached decode diverged from the uncached reference"
+        ));
+    }
+
+    // gate 2: int8 weight-quantized decode tracks fp32 on the same stream
+    let driven: Vec<Vec<Vec<i64>>> = (0..args.tokens.saturating_sub(1))
+        .map(|t| cached.tokens.iter().map(|row| vec![row[t]]).collect())
+        .collect();
+    let mut fp32 = DecodeSession::new(bundle.decode.clone(), &bundle.reference, interp.clone())
+        .map_err(|e| e.to_string())?;
+    let fp32_probs = forced_probs(&mut fp32, &prompt, &driven).map_err(|e| e.to_string())?;
+    let mut int8 = DecodeSession::new(
+        bundle.decode.clone(),
+        &bundle.reference,
+        interp.clone().quantize(Quant::Int8),
+    )
+    .map_err(|e| e.to_string())?;
+    let int8_probs = forced_probs(&mut int8, &prompt, &driven).map_err(|e| e.to_string())?;
+    let int8_max_abs_err = fp32_probs
+        .iter()
+        .zip(&int8_probs)
+        .map(|(a, b)| max_abs_err(a, b).unwrap_or(f32::INFINITY))
+        .fold(0.0f32, f32::max);
+    if int8_max_abs_err > INT8_PROB_TOL {
+        return Err(format!(
+            "{alias}: int8 probability error {int8_max_abs_err:.3e} exceeds {INT8_PROB_TOL:.0e}"
+        ));
+    }
+
+    // sweep: cached greedy throughput at batch 1..=max_batch
+    let mut points = Vec::new();
+    let mut batch = 1usize;
+    while batch <= args.max_batch {
+        let bundle = make_bundle(batch)?;
+        let prompt =
+            synth_prompt(SEED, &bundle.reference, args.prompt).map_err(|e| e.to_string())?;
+        let mut session = DecodeSession::new(bundle.decode, &bundle.reference, interp.clone())
+            .map_err(|e| e.to_string())?;
+        let start = Instant::now();
+        let report =
+            greedy_decode(&mut session, &prompt, args.tokens).map_err(|e| e.to_string())?;
+        let wall_s = start.elapsed().as_secs_f64();
+        let generated = batch * args.tokens;
+        let tokens_per_sec = if wall_s > 0.0 {
+            generated as f64 / wall_s
+        } else {
+            0.0
+        };
+        if tokens_per_sec <= 0.0 {
+            return Err(format!("{alias}: non-positive decode throughput"));
+        }
+        points.push(BatchPoint {
+            batch,
+            tokens_generated: generated,
+            wall_s,
+            tokens_per_sec,
+            cache_hit_rate: report.cache.hit_rate(),
+            appended_rows: report.cache.appended_rows,
+            reused_rows: report.cache.reused_rows,
+        });
+        batch *= 2;
+    }
+
+    Ok(ModelSweep {
+        model: alias.to_string(),
+        prompt_len: args.prompt,
+        new_tokens: args.tokens,
+        bit_identical,
+        int8_max_abs_err,
+        int8_tolerance: INT8_PROB_TOL,
+        points,
+    })
+}
+
+fn main() {
+    let args = parse_args();
+    let mut sweeps = Vec::new();
+    for alias in &args.models {
+        match run_model(alias, &args) {
+            Ok(sweep) => {
+                println!(
+                    "{}: bit-identical over {} tokens, int8 err {:.2e} (tol {:.0e})",
+                    alias, args.tokens, sweep.int8_max_abs_err, sweep.int8_tolerance
+                );
+                for p in &sweep.points {
+                    println!(
+                        "  batch {:>3}: {:>10.0} tok/s  cache hit {:>5.1}%",
+                        p.batch,
+                        p.tokens_per_sec,
+                        p.cache_hit_rate * 100.0
+                    );
+                }
+                sweeps.push(sweep);
+            }
+            Err(e) => {
+                eprintln!("decode gate FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let doc = Doc {
+        schema: 1,
+        scale: "tiny".to_string(),
+        sweeps,
+    };
+    if let Some(dir) = std::path::Path::new(&args.out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("output directory");
+        }
+    }
+    std::fs::write(
+        &args.out,
+        serde_json::to_string_pretty(&doc).expect("serializable") + "\n",
+    )
+    .expect("write output");
+    println!("wrote {}", args.out);
+}

@@ -1,9 +1,13 @@
 //! `nongemm-cli` — command-line front end of the benchmark harness.
 //!
-//! Five subcommands (run `nongemm-cli --help` for the full flag list):
+//! Six subcommands (run `nongemm-cli --help` for the full flag list):
 //!
 //! * `run` (default) — profile the selected models end-to-end, measured,
 //!   or through the microbench flow;
+//! * `generate` — greedy autoregressive decode with the KV cache:
+//!   prefill a synthetic prompt, then generate `--max-new-tokens`
+//!   tokens one step at a time, optionally with `--quantize int8`
+//!   weight-quantized GEMMs; prints tokens/sec and cache hit rate;
 //! * `verify` — run the `ngb-analyze` static analyzer; exits 0 when
 //!   every report is clean, 1 when any deny-level diagnostic fires;
 //! * `sanitize` — run the `ngb-sanitize` schedule/memory hazard verifier
@@ -82,6 +86,16 @@ struct SanitizeArgs {
 }
 
 #[derive(Debug)]
+struct GenerateArgs {
+    models: Vec<String>,
+    tiny: bool,
+    prompt_len: usize,
+    max_new: usize,
+    quantize: Option<nongemm::ops::Quant>,
+    threads: usize,
+}
+
+#[derive(Debug)]
 struct CiArgs {
     models: Vec<String>,
     dir: String,
@@ -98,6 +112,7 @@ nongemm-cli — NonGEMM Bench profiling harness
 
 USAGE:
   nongemm-cli [run] [OPTIONS]     profile models (default subcommand)
+  nongemm-cli generate [OPTIONS]  greedy autoregressive decode (KV cache)
   nongemm-cli verify [OPTIONS]    static graph analysis + lints
   nongemm-cli sanitize [OPTIONS]  schedule/memory hazard verifier + sanitizer
   nongemm-cli serve [OPTIONS]     inference service with dynamic batching
@@ -121,6 +136,16 @@ RUN OPTIONS:
                         (default: $NGB_SANITIZE or off)
   --format <fmt>        text | csv | json (default: text)
   --trace <path>        also write a Chrome trace JSON per model
+
+GENERATE OPTIONS:
+  --model <alias>       autoregressive LM alias (repeatable; default:
+                        gpt2 and llama2 — other aliases are rejected)
+  --tiny                use the executable tiny presets
+  --prompt-len <n>      synthetic prompt length (default: 4)
+  --max-new-tokens <n>  tokens to generate greedily (default: 16)
+  --quantize <q>        none | int8 weight-quantized GEMMs
+                        (default: $NGB_QUANT or none)
+  --threads <n>         worker threads (default: $NGB_THREADS or 1)
 
 VERIFY OPTIONS:
   --model <alias>       model alias (repeatable; default: all 18)
@@ -174,6 +199,7 @@ ENVIRONMENT:
   NGB_THREADS / NGB_OPT      defaults for --threads / --opt-level
   NGB_INTRAOP                default for --intra-op (0/off/false disable)
   NGB_SANITIZE               default for --sanitize (0/off/false disable)
+  NGB_QUANT                  default for generate --quantize (none | int8)
   NGB_INTRAOP_MIN_ELEMS      min elements before a kernel splits into
                              intra-op chunks (work-budget heuristic)
   NGB_SERVE_ADDR             default for serve --addr
@@ -192,7 +218,7 @@ fn print_help() -> ExitCode {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: nongemm-cli [run|verify|sanitize|serve|ci] [OPTIONS]\n\
+        "usage: nongemm-cli [run|generate|verify|sanitize|serve|ci] [OPTIONS]\n\
          \x20      (see `nongemm-cli --help` for the full option list)"
     );
     std::process::exit(2);
@@ -548,9 +574,139 @@ fn parse_ci_args(argv: &[String]) -> CiArgs {
     args
 }
 
+fn parse_generate_args(argv: &[String]) -> GenerateArgs {
+    let mut args = GenerateArgs {
+        models: Vec::new(),
+        tiny: false,
+        prompt_len: 4,
+        max_new: 16,
+        quantize: None,
+        threads: 0,
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--model" => {
+                let v = take_value(&mut it, "--model");
+                args.models.push(v);
+            }
+            "--tiny" => args.tiny = true,
+            "--prompt-len" => {
+                args.prompt_len =
+                    parse_positive(&take_value(&mut it, "--prompt-len"), "--prompt-len")
+            }
+            "--max-new-tokens" => {
+                args.max_new =
+                    parse_positive(&take_value(&mut it, "--max-new-tokens"), "--max-new-tokens")
+            }
+            "--quantize" => {
+                let v = take_value(&mut it, "--quantize");
+                args.quantize = match nongemm::ops::Quant::parse(&v) {
+                    Some(q) => Some(q),
+                    None => {
+                        eprintln!("--quantize requires none or int8, not '{v}'");
+                        usage()
+                    }
+                }
+            }
+            "--threads" => {
+                args.threads = parse_positive(&take_value(&mut it, "--threads"), "--threads")
+            }
+            "--help" | "-h" => {
+                print!("{HELP}");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                usage()
+            }
+        }
+    }
+    if args.models.is_empty() {
+        args.models = vec!["gpt2".to_string(), "llama2".to_string()];
+    }
+    args
+}
+
+fn run_generate(argv: &[String]) -> ExitCode {
+    use nongemm::exec::Engine;
+    use nongemm::runtime::{greedy_decode, synth_prompt, DecodeSession};
+    use nongemm::Interpreter;
+
+    let args = parse_generate_args(argv);
+    let scale = if args.tiny { Scale::Tiny } else { Scale::Full };
+    let threads = if args.threads == 0 {
+        nongemm::exec::env_threads(1)
+    } else {
+        args.threads
+    };
+    let mut interp = Interpreter::default();
+    if threads > 1 {
+        interp = interp.engine(Engine::Parallel(threads));
+    }
+    if let Some(q) = args.quantize {
+        interp = interp.quantize(q);
+    }
+    let total = args.prompt_len + args.max_new;
+
+    for alias in &args.models {
+        let Some(id) = ModelId::all()
+            .iter()
+            .copied()
+            .find(|m| m.spec().alias == *alias)
+        else {
+            eprintln!("unknown model '{alias}'");
+            return ExitCode::FAILURE;
+        };
+        let Some(bundle) = nongemm::models::decode_bundle(id, scale, 1, total) else {
+            eprintln!("{alias} is not an autoregressive LM; generate supports the GPT-2 family and llama2");
+            return ExitCode::FAILURE;
+        };
+        let result = bundle.map_err(|e| e.to_string()).and_then(|bundle| {
+            let prompt = synth_prompt(interp.seed(), &bundle.reference, args.prompt_len)
+                .map_err(|e| e.to_string())?;
+            let mut session = DecodeSession::new(bundle.decode, &bundle.reference, interp.clone())
+                .map_err(|e| e.to_string())?;
+            let start = std::time::Instant::now();
+            let report =
+                greedy_decode(&mut session, &prompt, args.max_new).map_err(|e| e.to_string())?;
+            Ok((report, start.elapsed().as_secs_f64(), prompt))
+        });
+        match result {
+            Ok((report, wall_s, prompt)) => {
+                let tok_s = if wall_s > 0.0 {
+                    args.max_new as f64 / wall_s
+                } else {
+                    0.0
+                };
+                println!(
+                    "{alias} ({}, quant {}): prompt {:?} -> {:?}",
+                    scale.name(),
+                    interp.quant().label(),
+                    prompt[0],
+                    report.tokens[0]
+                );
+                println!(
+                    "  {} tokens in {:.3}s ({:.0} tok/s), cache hit rate {:.1}%",
+                    args.max_new,
+                    wall_s,
+                    tok_s,
+                    report.cache.hit_rate() * 100.0
+                );
+            }
+            Err(e) => {
+                eprintln!("generate failed for {alias}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match argv.first().map(String::as_str) {
+        Some("generate") => run_generate(&argv[1..]),
         Some("verify") => run_verify(&argv[1..]),
         Some("sanitize") => run_sanitize(&argv[1..]),
         Some("serve") => run_serve(&argv[1..]),

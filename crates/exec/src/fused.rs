@@ -30,11 +30,12 @@ pub(crate) fn execute_fused(
     f: &FusedOp,
     args: &[Tensor],
     arena: &Arena,
+    quant: ngb_ops::Quant,
 ) -> Result<Tensor> {
     match f.kind {
         FusedKind::ConvBnAct => conv_bn_act(seed, f, args, arena),
         FusedKind::GemmEpilogue | FusedKind::ElementwiseChain | FusedKind::AttentionPrologue => {
-            pipeline(seed, f, args, arena)
+            pipeline(seed, f, args, arena, quant)
         }
     }
 }
@@ -141,7 +142,13 @@ fn synthetic_node(stage: &FusedStage) -> Node {
 
 /// Generic stage pipeline: pointwise runs collapse into single fused
 /// loops; every other stage runs through the shared kernel dispatch.
-fn pipeline(seed: u64, f: &FusedOp, args: &[Tensor], arena: &Arena) -> Result<Tensor> {
+fn pipeline(
+    seed: u64,
+    f: &FusedOp,
+    args: &[Tensor],
+    arena: &Arena,
+    quant: ngb_ops::Quant,
+) -> Result<Tensor> {
     let mut cursor = 0usize;
     let mut chain: Option<Tensor> = None;
     let mut pending: Vec<Pointwise> = Vec::new();
@@ -166,7 +173,7 @@ fn pipeline(seed: u64, f: &FusedOp, args: &[Tensor], arena: &Arena) -> Result<Te
                 }
                 cursor += stage.extra_inputs;
                 let synth = synthetic_node(stage);
-                chain = Some(execute_node(seed, &synth, &stage_args, None, arena)?);
+                chain = Some(execute_node(seed, &synth, &stage_args, None, arena, quant)?);
             }
         }
     }

@@ -18,6 +18,7 @@ use ngb_tensor::random::TensorRng;
 use ngb_tensor::{Tensor, TensorError};
 
 use ngb_graph::{Graph, Node, NodeId, OpKind};
+use ngb_ops::Quant;
 
 use crate::bufplan::{Arena, ArenaStats};
 
@@ -117,13 +118,14 @@ impl ExecutionTrace {
 }
 
 /// Executes graphs with reproducible synthetic weights.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Interpreter {
     seed: u64,
     preflight: bool,
     engine: Engine,
     intra_op: Option<bool>,
     sanitize: Option<bool>,
+    quant: Quant,
 }
 
 impl Default for Interpreter {
@@ -141,6 +143,7 @@ impl Interpreter {
             engine: Engine::Sequential,
             intra_op: None,
             sanitize: None,
+            quant: crate::env_quant(Quant::None),
         }
     }
 
@@ -180,6 +183,27 @@ impl Interpreter {
     /// The effective sanitizer setting (explicit override or `NGB_SANITIZE`).
     pub fn sanitize_enabled(&self) -> bool {
         self.sanitize.unwrap_or_else(|| crate::env_sanitize(false))
+    }
+
+    /// Selects the weight-quantization mode for GEMM-family layers. The
+    /// default honors `NGB_QUANT` (`none` when unset). `Quant::Int8`
+    /// quantizes Linear / GPT-2 Conv1D weights per output channel at
+    /// execution time; all other operators are unaffected.
+    #[must_use]
+    pub fn quantize(mut self, quant: Quant) -> Interpreter {
+        self.quant = quant;
+        self
+    }
+
+    /// The effective weight-quantization mode.
+    pub fn quant(&self) -> Quant {
+        self.quant
+    }
+
+    /// The RNG seed this interpreter derives synthetic weights and
+    /// inputs from (what [`synth_input`] needs to reproduce them).
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// Enables (or disables) the opt-in preflight check: before executing,
@@ -231,6 +255,7 @@ impl Interpreter {
             Engine::Parallel(n) => crate::ParallelExecutor::new(self.seed, n.max(1))
                 .intra_op(self.intra_op_enabled())
                 .sanitize(self.sanitize_enabled())
+                .quantize(self.quant)
                 .run_with_inputs(graph, inputs),
         }
     }
@@ -285,7 +310,14 @@ impl Interpreter {
             // serially, so outputs match the parallel engine bit for bit
             ngb_ops::parallel::reset_stats();
             ngb_tensor::telemetry::reset_bytes_materialized();
-            let out = execute_node(self.seed, node, &args, inputs.get(&node.id), &arena)?;
+            let out = execute_node(
+                self.seed,
+                node,
+                &args,
+                inputs.get(&node.id),
+                &arena,
+                self.quant,
+            )?;
             let stats = ngb_ops::parallel::take_stats();
             let bytes_materialized = ngb_tensor::telemetry::take_bytes_materialized();
             let elapsed = started.elapsed();
@@ -449,6 +481,7 @@ pub(crate) fn execute_node(
     args: &[Tensor],
     override_input: Option<&Tensor>,
     arena: &Arena,
+    quant: Quant,
 ) -> Result<Tensor, TensorError> {
     let arg = |i: usize| -> Result<&Tensor, TensorError> {
         args.get(i).ok_or_else(|| missing_input(node, i))
@@ -464,14 +497,20 @@ pub(crate) fn execute_node(
         OpKind::Linear { in_f, out_f, bias } => {
             let w = rng.kaiming_into(arena.take(out_f * in_f), &[*out_f, *in_f], *in_f);
             let b = bias.then(|| rng.normal(&[*out_f]));
-            let out = ngb_ops::gemm::linear(arg(0)?, &w, b.as_ref());
+            let out = match quant {
+                Quant::None => ngb_ops::gemm::linear(arg(0)?, &w, b.as_ref()),
+                Quant::Int8 => ngb_ops::quant::linear_int8(arg(0)?, &w, b.as_ref()),
+            };
             arena.reclaim(w);
             out
         }
         OpKind::Conv1dGpt2 { in_f, out_f } => {
             let w = rng.kaiming_into(arena.take(in_f * out_f), &[*in_f, *out_f], *in_f);
             let b = rng.normal(&[*out_f]);
-            let out = ngb_ops::gemm::conv1d_gpt2(arg(0)?, &w, Some(&b));
+            let out = match quant {
+                Quant::None => ngb_ops::gemm::conv1d_gpt2(arg(0)?, &w, Some(&b)),
+                Quant::Int8 => ngb_ops::quant::conv1d_gpt2_int8(arg(0)?, &w, Some(&b)),
+            };
             arena.reclaim(w);
             out
         }
@@ -616,7 +655,7 @@ pub(crate) fn execute_node(
         OpKind::Argmax { dim } => ngb_ops::reduction::argmax(arg(0)?, *dim),
         OpKind::TopK { k } => ngb_ops::reduction::topk(arg(0)?, *k).map(|(v, _)| v),
 
-        OpKind::Fused(f) => crate::fused::execute_fused(seed, f, args, arena),
+        OpKind::Fused(f) => crate::fused::execute_fused(seed, f, args, arena, quant),
     }
 }
 

@@ -53,6 +53,7 @@ mod schedule;
 pub use bufplan::{Arena, ArenaStats, BufferPlan};
 pub use interp::{preflight_check, synth_input, Engine, ExecutionTrace, Interpreter, NodeTiming};
 pub use intraop::PoolRunner;
+pub use ngb_ops::Quant;
 pub use parallel::ParallelExecutor;
 pub use pool::ThreadPool;
 pub use sanitizer::ShadowMemory;
@@ -86,6 +87,16 @@ pub fn env_sanitize(fallback: bool) -> bool {
         Ok(v) => !matches!(v.trim(), "0" | "off" | "false"),
         Err(_) => fallback,
     }
+}
+
+/// Reads the weight-quantization mode from `NGB_QUANT` (`int8`/`i8`
+/// select int8; `none`/`off`/`fp32` select full precision); `fallback`
+/// applies when the variable is unset or unparsable.
+pub fn env_quant(fallback: Quant) -> Quant {
+    std::env::var("NGB_QUANT")
+        .ok()
+        .and_then(|v| Quant::parse(&v))
+        .unwrap_or(fallback)
 }
 
 /// Default worker count: `NGB_THREADS` if set, else the host's available

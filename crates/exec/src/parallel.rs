@@ -42,6 +42,7 @@ pub struct ParallelExecutor {
     preflight: bool,
     intra_op: bool,
     sanitize: bool,
+    quant: ngb_ops::Quant,
     pool: Arc<ThreadPool>,
 }
 
@@ -56,6 +57,7 @@ impl ParallelExecutor {
             preflight: false,
             intra_op: crate::env_intraop(true),
             sanitize: crate::env_sanitize(false),
+            quant: crate::env_quant(ngb_ops::Quant::None),
             pool: Arc::new(ThreadPool::new(threads)),
         }
     }
@@ -69,6 +71,7 @@ impl ParallelExecutor {
             preflight: false,
             intra_op: crate::env_intraop(true),
             sanitize: crate::env_sanitize(false),
+            quant: crate::env_quant(ngb_ops::Quant::None),
             pool,
         }
     }
@@ -114,6 +117,19 @@ impl ParallelExecutor {
     pub fn sanitize(mut self, enabled: bool) -> ParallelExecutor {
         self.sanitize = enabled;
         self
+    }
+
+    /// Selects the weight-quantization mode for GEMM-family layers
+    /// (same contract as [`crate::Interpreter::quantize`]).
+    #[must_use]
+    pub fn quantize(mut self, quant: ngb_ops::Quant) -> ParallelExecutor {
+        self.quant = quant;
+        self
+    }
+
+    /// The effective weight-quantization mode.
+    pub fn quant(&self) -> ngb_ops::Quant {
+        self.quant
     }
 
     /// Whether value-table accesses are checked against a shadow memory.
@@ -224,6 +240,7 @@ impl ParallelExecutor {
             graph: Arc::new(graph.clone()),
             overrides: inputs.clone(),
             seed: self.seed,
+            quant: self.quant,
             sched,
             is_output: (0..len).map(|i| plan.is_output(i)).collect(),
             arena: Arena::default(),
@@ -285,6 +302,7 @@ struct RunState {
     graph: Arc<Graph>,
     overrides: HashMap<NodeId, Tensor>,
     seed: u64,
+    quant: ngb_ops::Quant,
     sched: Schedule,
     is_output: Vec<bool>,
     arena: Arena,
@@ -385,6 +403,7 @@ impl RunState {
                     &args,
                     self.overrides.get(&node.id),
                     &self.arena,
+                    self.quant,
                 )
             };
             let result = catch_unwind(AssertUnwindSafe(|| match &self.runner {

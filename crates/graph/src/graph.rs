@@ -345,6 +345,23 @@ impl GraphBuilder {
         id
     }
 
+    /// Adds an f32 activation input of `shape` with an explicit scoped
+    /// name instead of the generic `"input"`. Decode-step graphs use this
+    /// to give KV-cache slots, position rows, and attention masks stable
+    /// names a runtime driver can discover without a models dependency.
+    pub fn input_named(&mut self, shape: &[usize], name: &str) -> NodeId {
+        let id = NodeId(self.graph.nodes.len());
+        self.graph.nodes.push(Node {
+            id,
+            op: OpKind::Input,
+            inputs: Vec::new(),
+            out_shape: shape.to_vec(),
+            name: self.scoped(name),
+            seed_hint: None,
+        });
+        id
+    }
+
     /// Adds an i64 token-id input of `shape` over a vocabulary of `vocab`.
     pub fn input_ids(&mut self, shape: &[usize], vocab: usize) -> NodeId {
         let id = NodeId(self.graph.nodes.len());

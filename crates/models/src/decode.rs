@@ -1,0 +1,153 @@
+//! Decode-session graph bundles: pairs a full-sequence (prefill /
+//! reference) graph with the matching single-token decode-step graph and
+//! aligns their weight RNG streams so both materialize **bit-identical
+//! parameters**.
+//!
+//! The decode-step graph is built once per session and re-executed per
+//! token; a runtime driver discovers its cache slots, mask, and position
+//! inputs purely by node-name convention (`*.kv.k_cache`, `*.kv.v_cache`,
+//! `mask`, `pos`), so `ngb-runtime` never needs a dependency on this
+//! crate's builders.
+
+use ngb_graph::Graph;
+use ngb_tensor::TensorError;
+
+use crate::registry::{ModelId, Scale};
+use crate::{gpt2::Gpt2Config, llama::LlamaConfig};
+
+type Result<T> = std::result::Result<T, TensorError>;
+
+/// A reference graph + decode-step graph pair with aligned weight seeds.
+#[derive(Debug, Clone)]
+pub struct DecodeBundle {
+    /// Full-sequence graph at `seq == total_len` — the uncached
+    /// recompute reference (also the prefill workload).
+    pub reference: Graph,
+    /// Single-token decode-step graph with cache capacity
+    /// `total_len - 1`.
+    pub decode: Graph,
+    /// Total positions the session can produce (prompt + generated).
+    pub total_len: usize,
+}
+
+/// Copies weight/input RNG identities from `reference` into `decode` by
+/// exact node-name match: every decode node that materializes parameters
+/// (or is an `Input`/`InputIds`) whose name also appears in `reference`
+/// gets `seed_hint = Some(reference id)`. Returns how many nodes were
+/// aligned. Cache, mask, and other decode-only inputs have no reference
+/// counterpart and keep their own identity (the driver overrides them
+/// every step anyway).
+pub fn align_decode_seeds(decode: &mut Graph, reference: &Graph) -> usize {
+    use std::collections::HashMap;
+    let by_name: HashMap<&str, ngb_graph::NodeId> =
+        reference.iter().map(|n| (n.name.as_str(), n.id)).collect();
+    let mut aligned = 0;
+    for node in &mut decode.nodes {
+        let wants_seed = node.op.param_count() > 0
+            || matches!(
+                node.op,
+                ngb_graph::OpKind::Input | ngb_graph::OpKind::InputIds { .. }
+            );
+        if !wants_seed {
+            continue;
+        }
+        if let Some(&rid) = by_name.get(node.name.as_str()) {
+            node.seed_hint = Some(rid);
+            aligned += 1;
+        }
+    }
+    aligned
+}
+
+/// Builds the reference/decode graph pair for a decode-capable LM at
+/// `total_len` total positions (prompt + generated tokens). Returns
+/// `None` for models without an autoregressive decode path.
+///
+/// # Errors
+///
+/// Propagates graph-construction failures from the model builders.
+pub fn decode_bundle(
+    id: ModelId,
+    scale: Scale,
+    batch: usize,
+    total_len: usize,
+) -> Option<Result<DecodeBundle>> {
+    if total_len == 0 {
+        return Some(Err(TensorError::InvalidArgument(
+            "decode_bundle requires total_len >= 1".into(),
+        )));
+    }
+    let build = |reference: Result<Graph>, decode: Result<Graph>| -> Result<DecodeBundle> {
+        let reference = reference?;
+        let mut decode = decode?;
+        align_decode_seeds(&mut decode, &reference);
+        Ok(DecodeBundle {
+            reference,
+            decode,
+            total_len,
+        })
+    };
+    match id {
+        ModelId::Gpt2 | ModelId::Gpt2Large | ModelId::Gpt2Xl => {
+            let mut cfg = match (id, scale) {
+                (_, Scale::Tiny) => Gpt2Config::toy(),
+                (ModelId::Gpt2, _) => Gpt2Config::base(),
+                (ModelId::Gpt2Large, _) => Gpt2Config::large(),
+                _ => Gpt2Config::xl(),
+            };
+            cfg.seq = total_len;
+            Some(build(
+                cfg.build(batch),
+                cfg.build_decode(batch, total_len - 1),
+            ))
+        }
+        ModelId::Llama2_7b => {
+            let mut cfg = match scale {
+                Scale::Tiny => LlamaConfig::toy(),
+                Scale::Full => LlamaConfig::llama2_7b(),
+            };
+            cfg.seq = total_len;
+            Some(build(
+                cfg.build(batch),
+                cfg.build_decode(batch, total_len - 1),
+            ))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bundle_aligns_every_parameter_node() {
+        let bundle = decode_bundle(ModelId::Gpt2, Scale::Tiny, 1, 8)
+            .unwrap()
+            .unwrap();
+        for node in bundle.decode.iter() {
+            if node.op.param_count() > 0 {
+                let hint = node.seed_hint.expect("weight node aligned");
+                assert_eq!(bundle.reference.node(hint).name, node.name);
+            }
+        }
+    }
+
+    #[test]
+    fn cache_inputs_keep_their_own_identity() {
+        let bundle = decode_bundle(ModelId::Llama2_7b, Scale::Tiny, 1, 6)
+            .unwrap()
+            .unwrap();
+        for node in bundle.decode.iter() {
+            if node.name.ends_with(".kv.k_cache") || node.name == "mask" {
+                assert!(node.seed_hint.is_none(), "{} should not alias", node.name);
+            }
+        }
+    }
+
+    #[test]
+    fn non_lm_models_have_no_bundle() {
+        assert!(decode_bundle(ModelId::ResNet50, Scale::Tiny, 1, 8).is_none());
+        assert!(decode_bundle(ModelId::Bert, Scale::Tiny, 1, 8).is_none());
+    }
+}

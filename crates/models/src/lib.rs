@@ -31,10 +31,12 @@
 #![forbid(unsafe_code)]
 
 mod common;
+pub mod decode;
 mod nlp;
 mod registry;
 mod vision;
 
+pub use decode::{align_decode_seeds, decode_bundle, DecodeBundle};
 pub use registry::{ModelId, ModelRegistry, ModelSpec, Scale, Task};
 
 pub use nlp::{bert, gpt2, llama};

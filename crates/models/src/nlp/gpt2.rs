@@ -94,7 +94,7 @@ impl Gpt2Config {
             &[ids],
             "wte",
         )?;
-        let pos = b.input(&[1, self.seq, self.d]);
+        let pos = b.input_named(&[1, self.seq, self.d], "pos");
         let mut h = b.push(OpKind::Add, &[wte, pos], "wpe.add")?;
 
         for l in 0..self.layers {
@@ -152,13 +152,24 @@ impl Gpt2Config {
 }
 
 impl Gpt2Config {
-    /// Builds a **single decode step** with a KV cache of `past` tokens —
-    /// the autoregressive-generation workload. Each layer projects one new
-    /// token, concatenates it onto the cached keys/values (`Cat`, a real
-    /// memory copy), and attends over `past + 1` positions. At sequence
-    /// length 1 every GEMM degenerates to a matrix–vector product, so the
-    /// non-GEMM overheads the paper measures dominate even harder than in
-    /// the prefill graphs.
+    /// Builds a **single decode step** against a KV cache of capacity
+    /// `past` tokens — the autoregressive-generation workload. Each layer
+    /// projects one new token, concatenates it onto the cached
+    /// keys/values (`Cat`, a real memory copy), and attends over
+    /// `past + 1` slots. At sequence length 1 every GEMM degenerates to a
+    /// matrix–vector product, so the non-GEMM overheads the paper
+    /// measures dominate even harder than in the prefill graphs.
+    ///
+    /// The graph is **built once and re-executed per token**: the cache
+    /// tensors are fixed-capacity inputs (`h.{l}.kv.k_cache` /
+    /// `h.{l}.kv.v_cache`, `[B*H, past, hd]`), an additive `mask` input
+    /// (`[1, 1, past + 1]`, `0.0` on live slots / `-1e9` on empty ones)
+    /// selects how much of the capacity is live at the current position,
+    /// and each layer's fresh K/V row is exposed as a `h.{l}.kv.k_out` /
+    /// `v_out` output for the driver to append. The current token always
+    /// occupies the **last** attention slot (`Cat` places it after the
+    /// cache), which is what makes a step's softmax lane fold
+    /// bit-identical to row `t` of the full-sequence graph.
     ///
     /// # Errors
     ///
@@ -178,7 +189,8 @@ impl Gpt2Config {
             &[ids],
             "wte",
         )?;
-        let pos = b.input(&[1, 1, d]);
+        let pos = b.input_named(&[1, 1, d], "pos");
+        let mask = b.input_named(&[1, 1, past + 1], "mask");
         let mut h = b.push(OpKind::Add, &[wte, pos], "wpe.add")?;
 
         for l in 0..self.layers {
@@ -232,9 +244,13 @@ impl Gpt2Config {
             let qh = to_heads(&mut b, q, "q")?;
             let kh = to_heads(&mut b, k_new, "k")?;
             let vh = to_heads(&mut b, v_new, "v")?;
+            // fresh K/V rows surface as outputs so the decode driver can
+            // append them to the cache without re-running anything
+            b.push(OpKind::Contiguous, &[kh], &format!("h.{l}.kv.k_out"))?;
+            b.push(OpKind::Contiguous, &[vh], &format!("h.{l}.kv.v_out"))?;
             // KV cache concat: [B*H, past, hd] ++ [B*H, 1, hd]
-            let k_cache = b.input(&[batch * heads, past, hd]);
-            let v_cache = b.input(&[batch * heads, past, hd]);
+            let k_cache = b.input_named(&[batch * heads, past, hd], &format!("h.{l}.kv.k_cache"));
+            let v_cache = b.input_named(&[batch * heads, past, hd], &format!("h.{l}.kv.v_cache"));
             let k_all = b.push(
                 OpKind::Cat { dim: 1 },
                 &[k_cache, kh],
@@ -256,10 +272,12 @@ impl Gpt2Config {
                 &[scores],
                 &format!("h.{l}.attn.scale"),
             )?;
-            // single query token attends to the whole cache: no mask needed
+            // the additive mask hides the cache slots that are not yet
+            // live (and leaves the final self slot open)
+            let masked = b.push(OpKind::Add, &[scaled, mask], &format!("h.{l}.attn.mask"))?;
             let probs = b.push(
                 OpKind::Softmax { dim: 2 },
-                &[scaled],
+                &[masked],
                 &format!("h.{l}.attn.softmax"),
             )?;
             let ctx = b.push(OpKind::Bmm, &[probs, v_all], &format!("h.{l}.attn.context"))?;

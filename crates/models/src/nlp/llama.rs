@@ -146,6 +146,249 @@ impl LlamaConfig {
         b.push(OpKind::Softmax { dim: 2 }, &[logits], "probs")?;
         Ok(b.finish())
     }
+
+    /// Builds a **single decode step** against a KV cache of capacity
+    /// `past` tokens. Mirrors [`LlamaConfig::build`]'s per-layer operator
+    /// stream — separate bias-free q/k/v projections, rotary embedding on
+    /// q and the fresh k (the cache stores post-rotary keys, so rotation
+    /// happens once per token), SwiGLU MLP — with the same fixed-capacity
+    /// cache inputs (`layers.{l}.kv.k_cache` / `v_cache`), additive
+    /// `mask` input, and `layers.{l}.kv.k_out` / `v_out` append outputs
+    /// as the GPT-2 decode graph. Node names match `build` so weight RNG
+    /// streams can be aligned across the two graphs.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on internally inconsistent configurations.
+    pub fn build_decode(&self, batch: usize, past: usize) -> Result<Graph> {
+        use ngb_graph::NodeId;
+        let d = self.d;
+        let heads = self.heads;
+        let hd = d / heads;
+        let mut b = GraphBuilder::new(format!("{}_decode", self.name));
+        let ids = b.input_ids(&[batch, 1], self.vocab);
+        let mut h = b.push(
+            OpKind::Embedding {
+                vocab: self.vocab,
+                dim: d,
+            },
+            &[ids],
+            "embed_tokens",
+        )?;
+        let mask = b.input_named(&[1, 1, past + 1], "mask");
+
+        for l in 0..self.layers {
+            let name = format!("layers.{l}.self_attn");
+            let n1 = b.push(
+                OpKind::LlamaRmsNorm { dim: d },
+                &[h],
+                &format!("layers.{l}.input_layernorm"),
+            )?;
+            let proj = |b: &mut GraphBuilder, tag: &str| {
+                b.push(
+                    OpKind::Linear {
+                        in_f: d,
+                        out_f: d,
+                        bias: false,
+                    },
+                    &[n1],
+                    &format!("{name}.{tag}"),
+                )
+            };
+            let q = proj(&mut b, "q")?;
+            let k = proj(&mut b, "k")?;
+            let v = proj(&mut b, "v")?;
+            // [B, 1, D] -> [B*H, 1, hd]
+            let to_heads = |b: &mut GraphBuilder, x: NodeId, tag: &str| -> Result<NodeId> {
+                let v4 = b.push(
+                    OpKind::View {
+                        shape: vec![batch, 1, heads, hd],
+                    },
+                    &[x],
+                    &format!("{name}.{tag}.view"),
+                )?;
+                let p = b.push(
+                    OpKind::Permute {
+                        perm: vec![0, 2, 1, 3],
+                    },
+                    &[v4],
+                    &format!("{name}.{tag}.permute"),
+                )?;
+                b.push(
+                    OpKind::Reshape {
+                        shape: vec![batch * heads, 1, hd],
+                    },
+                    &[p],
+                    &format!("{name}.{tag}.merge"),
+                )
+            };
+            let mut qh = to_heads(&mut b, q, "q")?;
+            let mut kh = to_heads(&mut b, k, "k")?;
+            let vh = to_heads(&mut b, v, "v")?;
+            // rotary embedding (position-independent stand-in, matching
+            // `common::self_attention`): rotate_half + two muls + add
+            let rotate = |b: &mut GraphBuilder, x: NodeId, tag: &str| -> Result<NodeId> {
+                let lo = b.push(
+                    OpKind::Slice {
+                        dim: 2,
+                        start: 0,
+                        len: hd / 2,
+                    },
+                    &[x],
+                    &format!("{name}.rot.{tag}.lo"),
+                )?;
+                let hi = b.push(
+                    OpKind::Slice {
+                        dim: 2,
+                        start: hd / 2,
+                        len: hd - hd / 2,
+                    },
+                    &[x],
+                    &format!("{name}.rot.{tag}.hi"),
+                )?;
+                let neg = b.push(OpKind::Neg, &[hi], &format!("{name}.rot.{tag}.neg"))?;
+                let rotated = b.push(
+                    OpKind::Cat { dim: 2 },
+                    &[neg, lo],
+                    &format!("{name}.rot.{tag}.cat"),
+                )?;
+                let cos_part = b.push(
+                    OpKind::MulScalar(0.7),
+                    &[x],
+                    &format!("{name}.rot.{tag}.cos"),
+                )?;
+                let sin_part = b.push(
+                    OpKind::MulScalar(0.7),
+                    &[rotated],
+                    &format!("{name}.rot.{tag}.sin"),
+                )?;
+                b.push(
+                    OpKind::Add,
+                    &[cos_part, sin_part],
+                    &format!("{name}.rot.{tag}.add"),
+                )
+            };
+            qh = rotate(&mut b, qh, "q")?;
+            kh = rotate(&mut b, kh, "k")?;
+            b.push(OpKind::Contiguous, &[kh], &format!("layers.{l}.kv.k_out"))?;
+            b.push(OpKind::Contiguous, &[vh], &format!("layers.{l}.kv.v_out"))?;
+            let k_cache = b.input_named(
+                &[batch * heads, past, hd],
+                &format!("layers.{l}.kv.k_cache"),
+            );
+            let v_cache = b.input_named(
+                &[batch * heads, past, hd],
+                &format!("layers.{l}.kv.v_cache"),
+            );
+            let k_all = b.push(
+                OpKind::Cat { dim: 1 },
+                &[k_cache, kh],
+                &format!("layers.{l}.kv.k_cat"),
+            )?;
+            let v_all = b.push(
+                OpKind::Cat { dim: 1 },
+                &[v_cache, vh],
+                &format!("layers.{l}.kv.v_cat"),
+            )?;
+            let kt = b.push(
+                OpKind::Transpose { d0: 1, d1: 2 },
+                &[k_all],
+                &format!("{name}.k_t"),
+            )?;
+            let scores = b.push(OpKind::Bmm, &[qh, kt], &format!("{name}.scores"))?;
+            let scaled = b.push(
+                OpKind::DivScalar((hd as f32).sqrt()),
+                &[scores],
+                &format!("{name}.scale"),
+            )?;
+            let masked = b.push(OpKind::Add, &[scaled, mask], &format!("{name}.mask"))?;
+            let probs = b.push(
+                OpKind::Softmax { dim: 2 },
+                &[masked],
+                &format!("{name}.softmax"),
+            )?;
+            let ctx = b.push(OpKind::Bmm, &[probs, v_all], &format!("{name}.context"))?;
+            let c4 = b.push(
+                OpKind::View {
+                    shape: vec![batch, heads, 1, hd],
+                },
+                &[ctx],
+                &format!("{name}.ctx.view"),
+            )?;
+            let cp = b.push(
+                OpKind::Permute {
+                    perm: vec![0, 2, 1, 3],
+                },
+                &[c4],
+                &format!("{name}.ctx.permute"),
+            )?;
+            let cc = b.push(OpKind::Contiguous, &[cp], &format!("{name}.ctx.contiguous"))?;
+            let merged = b.push(
+                OpKind::View {
+                    shape: vec![batch, 1, d],
+                },
+                &[cc],
+                &format!("{name}.ctx.merge"),
+            )?;
+            let att = b.push(
+                OpKind::Linear {
+                    in_f: d,
+                    out_f: d,
+                    bias: false,
+                },
+                &[merged],
+                &format!("{name}.proj"),
+            )?;
+            let x1 = b.push(OpKind::Add, &[h, att], &format!("layers.{l}.add_attn"))?;
+            let n2 = b.push(
+                OpKind::LlamaRmsNorm { dim: d },
+                &[x1],
+                &format!("layers.{l}.post_attention_layernorm"),
+            )?;
+            let gate = b.push(
+                OpKind::Linear {
+                    in_f: d,
+                    out_f: self.intermediate,
+                    bias: false,
+                },
+                &[n2],
+                &format!("layers.{l}.mlp.gate_proj"),
+            )?;
+            let act = b.push(OpKind::Silu, &[gate], &format!("layers.{l}.mlp.act"))?;
+            let up = b.push(
+                OpKind::Linear {
+                    in_f: d,
+                    out_f: self.intermediate,
+                    bias: false,
+                },
+                &[n2],
+                &format!("layers.{l}.mlp.up_proj"),
+            )?;
+            let gated = b.push(OpKind::Mul, &[act, up], &format!("layers.{l}.mlp.mul"))?;
+            let down = b.push(
+                OpKind::Linear {
+                    in_f: self.intermediate,
+                    out_f: d,
+                    bias: false,
+                },
+                &[gated],
+                &format!("layers.{l}.mlp.down_proj"),
+            )?;
+            h = b.push(OpKind::Add, &[x1, down], &format!("layers.{l}.add_mlp"))?;
+        }
+        let norm = b.push(OpKind::LlamaRmsNorm { dim: d }, &[h], "norm")?;
+        let logits = b.push(
+            OpKind::Linear {
+                in_f: d,
+                out_f: self.vocab,
+                bias: false,
+            },
+            &[norm],
+            "lm_head",
+        )?;
+        b.push(OpKind::Softmax { dim: 2 }, &[logits], "probs")?;
+        Ok(b.finish())
+    }
 }
 
 #[cfg(test)]

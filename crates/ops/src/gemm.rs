@@ -226,13 +226,14 @@ fn gemm_into(
     let ptr = SendPtr(out.as_mut_ptr());
     parallel::par_rows(blocks, MR * n, |block_range| {
         let mut abuf: Vec<f32> = Vec::new();
+        let mut padbuf: Vec<f32> = Vec::new();
         for ib in block_range {
             let i0 = ib * MR;
             let mr = MR.min(m - i0);
             // SAFETY: row blocks are disjoint; the scoped join keeps
             // `out` borrowed until every chunk returns.
             let crows = unsafe { ptr.slice(i0 * n..(i0 + mr) * n) };
-            let (av, abase, astride) = if a_direct {
+            let (mut av, mut abase, mut astride) = if a_direct {
                 (a.data, a.at(i0, 0), a.rs as usize)
             } else {
                 abuf.resize(mr * k, 0.0);
@@ -243,16 +244,36 @@ fn gemm_into(
                 }
                 (abuf.as_slice(), 0, k)
             };
+            // Partial tail blocks (mr < MR) are zero-padded up to MR rows
+            // so the FMA tile handles them too. Without this, a row's
+            // rounding path would depend on whether it lands in a full or
+            // partial block — i.e. on the total row count m — and the same
+            // logical row would produce different bits at different batch
+            // or sequence lengths. Padding keeps every row on the
+            // single-rounding FMA path, making per-row results
+            // M-independent; the padded rows' accumulators are discarded
+            // by the `take(mr)` write-back below.
+            let padded = fma && mr < MR;
+            if padded {
+                padbuf.clear();
+                padbuf.resize(MR * k, 0.0);
+                for ii in 0..mr {
+                    padbuf[ii * k..(ii + 1) * k]
+                        .copy_from_slice(&av[abase + ii * astride..abase + ii * astride + k]);
+                }
+                (av, abase, astride) = (padbuf.as_slice(), 0, k);
+            }
             for (p, panel) in packed.chunks_exact(k * NR).enumerate() {
                 let j0 = p * NR;
                 let w = NR.min(n - j0);
                 let mut acc = [[0.0f32; NR]; MR];
                 match () {
                     // SAFETY: feature bits checked by fma_tile_available;
-                    // a full block has MR complete k-contiguous A rows
-                    // spaced astride apart starting at av[abase].
+                    // a full (or zero-padded) block has MR complete
+                    // k-contiguous A rows spaced astride apart starting
+                    // at av[abase].
                     #[cfg(target_arch = "x86_64")]
-                    () if fma && mr == MR => unsafe {
+                    () if fma && (mr == MR || padded) => unsafe {
                         tile_fma(&av[abase..], astride, k, panel, &mut acc)
                     },
                     _ => tile_portable(av, abase, astride, mr, k, panel, &mut acc),
@@ -410,8 +431,14 @@ pub fn linear(x: &Tensor, w: &Tensor, bias: Option<&Tensor>) -> Result<Tensor> {
 /// Shared Linear/Conv1D body. `w_in_out` selects the weight layout:
 /// `false` packs `B = w^T` from `[out, in]`, `true` packs `w` directly
 /// from GPT-2's `[in, out]` layout — either way without materializing a
-/// transposed copy.
-fn linear_impl(x: &Tensor, w: &Tensor, bias: Option<&Tensor>, w_in_out: bool) -> Result<Tensor> {
+/// transposed copy. Crate-visible so the int8 path in [`crate::quant`]
+/// can ride the same packed micro-kernel with a quantized weight tensor.
+pub(crate) fn linear_impl(
+    x: &Tensor,
+    w: &Tensor,
+    bias: Option<&Tensor>,
+    w_in_out: bool,
+) -> Result<Tensor> {
     if w.rank() != 2 {
         return Err(TensorError::InvalidArgument(
             "linear weight must be rank 2".into(),

@@ -57,10 +57,12 @@ pub mod memory;
 pub mod normalization;
 pub mod parallel;
 pub mod pooling;
+pub mod quant;
 pub mod reduction;
 pub mod roi;
 
 pub use cost::OpCost;
+pub use quant::Quant;
 
 /// Result alias shared by all kernels.
 pub type Result<T> = std::result::Result<T, ngb_tensor::TensorError>;

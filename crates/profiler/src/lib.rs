@@ -28,5 +28,5 @@ pub mod trace;
 pub use profile::{
     breakdown_from_trace, profile_analytic, profile_analytic_with_options, profile_measured,
     profile_measured_checked, profile_measured_configured, profile_measured_with_engine, Breakdown,
-    ModelProfile, NodeProfile,
+    ModelProfile, NodeProfile, StagePhase,
 };

@@ -8,6 +8,36 @@ use ngb_platform::Platform;
 use ngb_runtime::{Flow, Placement};
 use serde::Serialize;
 
+/// Which autoregressive stage a profiled node belongs to.
+///
+/// Profiles of full-sequence graphs default to [`StagePhase::Prefill`]
+/// (for non-LM models the whole run is "prefill" in the trivial sense:
+/// every input position is processed at once). A decode-step profile is
+/// tagged [`StagePhase::Decode`] via [`ModelProfile::with_stage`], and
+/// [`ModelProfile::stage_breakdown`] reports the paper's non-GEMM
+/// fraction per stage — generation sits even deeper in the non-GEMM
+/// regime than prefill because every GEMM shrinks to a matrix-vector
+/// product while the normalization/memory chains keep their per-token
+/// cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize)]
+pub enum StagePhase {
+    /// Full-sequence prompt processing (the default).
+    #[default]
+    Prefill,
+    /// Single-token cached generation.
+    Decode,
+}
+
+impl StagePhase {
+    /// Report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            StagePhase::Prefill => "prefill",
+            StagePhase::Decode => "decode",
+        }
+    }
+}
+
 /// Profile of one executed operator.
 #[derive(Debug, Clone, Serialize)]
 pub struct NodeProfile {
@@ -55,6 +85,9 @@ pub struct NodeProfile {
     /// analytic cost model. Empty for primitive nodes (the node's own
     /// `class` owns all of its time).
     pub attribution: Vec<(OpClass, f64)>,
+    /// Autoregressive stage this node's time belongs to (prefill unless
+    /// the profile was retagged with [`ModelProfile::with_stage`]).
+    pub stage: StagePhase,
 }
 
 impl NodeProfile {
@@ -210,6 +243,42 @@ impl ModelProfile {
         b
     }
 
+    /// Retags every node with `stage` (builder style) — used when a
+    /// profile of a decode-step graph should report under
+    /// [`StagePhase::Decode`].
+    #[must_use]
+    pub fn with_stage(mut self, stage: StagePhase) -> ModelProfile {
+        for n in &mut self.nodes {
+            n.stage = stage;
+        }
+        self
+    }
+
+    /// [`ModelProfile::breakdown`] restricted to nodes tagged `stage`.
+    /// An empty stage yields a zeroed breakdown (`non_gemm_frac() == 0`).
+    pub fn stage_breakdown(&self, stage: StagePhase) -> Breakdown {
+        let filtered = ModelProfile {
+            nodes: self
+                .nodes
+                .iter()
+                .filter(|n| n.stage == stage)
+                .cloned()
+                .collect(),
+            ..self.clone()
+        };
+        filtered.breakdown()
+    }
+
+    /// Merges another profile's nodes into this one (e.g. a decode-step
+    /// profile appended to its prefill profile), keeping each node's
+    /// stage tag so [`ModelProfile::stage_breakdown`] can split them
+    /// back apart.
+    #[must_use]
+    pub fn merged_with(mut self, other: ModelProfile) -> ModelProfile {
+        self.nodes.extend(other.nodes);
+        self
+    }
+
     /// The `k` slowest nodes (for hot-spot reports).
     pub fn hottest(&self, k: usize) -> Vec<&NodeProfile> {
         let mut v: Vec<&NodeProfile> = self.nodes.iter().collect();
@@ -289,6 +358,7 @@ pub fn profile_analytic_with_options(
             intra_parallelism: 0,
             bytes_materialized: 0,
             attribution: node_attribution(graph, node),
+            stage: StagePhase::Prefill,
         });
     }
     ModelProfile {
@@ -419,6 +489,7 @@ pub fn profile_measured_checked(
             intra_parallelism: intra[n.id.0],
             bytes_materialized: bytes_mat[n.id.0],
             attribution: node_attribution(graph, n),
+            stage: StagePhase::Prefill,
         })
         .collect();
     let batch = graph
@@ -724,6 +795,25 @@ mod tests {
         assert!(bd.gemm_s > 0.0);
         assert!(bd.group_frac(NonGemmGroup::Activation) > 0.0);
         assert!((bd.gemm_frac() + bd.non_gemm_frac() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stage_breakdown_splits_prefill_from_decode() {
+        let g = transformer_ish();
+        let prefill = profile_analytic(&g, &Platform::data_center(), Flow::Eager, true, 1);
+        let decode = profile_analytic(&g, &Platform::data_center(), Flow::Eager, true, 1)
+            .with_stage(StagePhase::Decode);
+        assert!(prefill.nodes.iter().all(|n| n.stage == StagePhase::Prefill));
+        assert!(decode.nodes.iter().all(|n| n.stage == StagePhase::Decode));
+        let merged = prefill.merged_with(decode);
+        let p = merged.stage_breakdown(StagePhase::Prefill);
+        let d = merged.stage_breakdown(StagePhase::Decode);
+        assert!(p.total_s > 0.0);
+        assert!(d.total_s > 0.0);
+        assert!(
+            (p.total_s + d.total_s - merged.breakdown().total_s).abs() < 1e-12,
+            "stages partition the merged total"
+        );
     }
 
     #[test]

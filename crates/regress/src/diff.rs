@@ -212,6 +212,35 @@ fn compare_snapshot(
         c.intermediate_bytes_saved,
     );
     sink.count_map("opt.rewrites", &b.rewrites, &c.rewrites);
+
+    match (&baseline.decode, &current.decode) {
+        (Some(b), Some(c)) => {
+            sink.count("decode.nodes", b.nodes, c.nodes);
+            sink.count("decode.gemm", b.gemm, c.gemm);
+            sink.count("decode.non_gemm", b.non_gemm, c.non_gemm);
+            sink.float(
+                tol,
+                "decode.decode_total_us",
+                b.decode_total_us,
+                c.decode_total_us,
+            );
+            sink.float(
+                tol,
+                "decode.prefill_non_gemm_frac",
+                b.prefill_non_gemm_frac,
+                c.prefill_non_gemm_frac,
+            );
+            sink.float(
+                tol,
+                "decode.decode_non_gemm_frac",
+                b.decode_non_gemm_frac,
+                c.decode_non_gemm_frac,
+            );
+        }
+        (Some(_), None) => sink.push("decode", "present", "absent"),
+        (None, Some(_)) => sink.push("decode", "absent", "present"),
+        (None, None) => {}
+    }
 }
 
 /// Diffs `current` against `baseline` for one model. Snapshot cells are

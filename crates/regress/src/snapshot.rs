@@ -20,7 +20,18 @@ use serde::{Deserialize, Serialize};
 ///
 /// v2: added `graph.bytes_materialized` and the `contiguous_elided`
 /// rewrite counter.
-pub const SCHEMA_VERSION: u64 = 2;
+/// v3: added the `decode` channel (decode-step graph census and
+/// prefill-vs-decode stage cost split) for autoregressive LM models.
+pub const SCHEMA_VERSION: u64 = 3;
+
+/// Total positions (prompt + generated) the decode-channel graphs are
+/// built for, per scale. Fixed so the census is deterministic.
+fn decode_total_len(scale: Scale) -> usize {
+    match scale {
+        Scale::Tiny => 8,
+        Scale::Full => 128,
+    }
+}
 
 /// The snapshot matrix: every committed baseline covers both scales at
 /// all three optimization levels.
@@ -126,6 +137,29 @@ impl From<&OptReport> for OptMetrics {
     }
 }
 
+/// Decode-channel invariants for autoregressive LMs: the census of the
+/// single-token decode-step graph (KV-cache attention) and the analytic
+/// prefill-vs-decode stage split. `None` for models without a decode
+/// path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecodeMetrics {
+    /// Node count of the decode-step graph (after this cell's opt level).
+    pub nodes: usize,
+    /// GEMM-classified nodes in the decode-step graph.
+    pub gemm: usize,
+    /// Non-GEMM nodes in the decode-step graph.
+    pub non_gemm: usize,
+    /// Analytic end-to-end latency of one decode step, microseconds.
+    pub decode_total_us: f64,
+    /// Non-GEMM share of the prefill (full-sequence) stage, `[0, 1]`.
+    pub prefill_non_gemm_frac: f64,
+    /// Non-GEMM share of one decode step, `[0, 1]` — the paper's
+    /// generation-phase headline: at sequence length 1 every GEMM is a
+    /// matrix-vector product, so this sits at or above the prefill
+    /// fraction.
+    pub decode_non_gemm_frac: f64,
+}
+
 /// One cell of the snapshot matrix: all deterministic invariants of a
 /// (model × scale × opt-level) configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -144,6 +178,9 @@ pub struct Snapshot {
     pub lints: LintMetrics,
     /// Optimizer deltas.
     pub opt: OptMetrics,
+    /// Decode-step channel (autoregressive LMs only). Absent in the
+    /// serialized form for non-LM models and in pre-v3 baselines.
+    pub decode: Option<DecodeMetrics>,
 }
 
 impl Snapshot {
@@ -248,7 +285,38 @@ pub fn snapshot(id: ModelId, scale: Scale, level: OptLevel) -> Result<Snapshot, 
         },
         lints: LintMetrics { deny, warn, allow },
         opt: OptMetrics::from(&opt_report),
+        decode: decode_metrics(id, scale, level, &breakdown)?,
     })
+}
+
+/// Builds the decode channel for one snapshot cell: optimizes and
+/// profiles the decode-step graph at this cell's level and splits cost
+/// by [`ngb_profiler::StagePhase`]. Returns `None` for models without a
+/// decode path.
+fn decode_metrics(
+    id: ModelId,
+    scale: Scale,
+    level: OptLevel,
+    prefill: &ngb_profiler::Breakdown,
+) -> Result<Option<DecodeMetrics>, TensorError> {
+    use ngb_profiler::StagePhase;
+    let Some(bundle) = ngb_models::decode_bundle(id, scale, 1, decode_total_len(scale)) else {
+        return Ok(None);
+    };
+    let bundle = bundle?;
+    let (graph, _) = optimize_with(&bundle.decode, level, true);
+    let census = Analyzer::new().analyze(&graph).census;
+    let profile = profile_analytic(&graph, &Platform::data_center(), Flow::Eager, true, 1)
+        .with_stage(StagePhase::Decode);
+    let decode = profile.stage_breakdown(StagePhase::Decode);
+    Ok(Some(DecodeMetrics {
+        nodes: census.nodes,
+        gemm: census.gemm,
+        non_gemm: census.non_gemm(),
+        decode_total_us: decode.total_s * 1e6,
+        prefill_non_gemm_frac: prefill.non_gemm_frac(),
+        decode_non_gemm_frac: decode.non_gemm_frac(),
+    }))
 }
 
 /// Measures the wall-clock smoke channel: median over `iterations` real

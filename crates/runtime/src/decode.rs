@@ -1,0 +1,657 @@
+//! Autoregressive decode driver: KV cache + greedy generation.
+//!
+//! The decode-step graph (built by `ngb-models`' `build_decode`) is
+//! **built once and re-executed per token**. This module owns everything
+//! around it at runtime:
+//!
+//! * [`KvCache`] — per-layer K/V storage at fixed capacity, appended one
+//!   row per step, with reuse counters ([`KvCacheStats`]).
+//! * [`DecodeSession`] — discovers the graph's cache slots, mask, and
+//!   position inputs purely by node-name convention (`*.kv.k_cache`,
+//!   `*.kv.v_cache`, `mask`, `pos`), feeds them each step, and harvests
+//!   the fresh `*.kv.k_out` / `*.kv.v_out` rows back into the cache.
+//! * [`greedy_decode`] / [`greedy_reference`] — cached generation vs. the
+//!   uncached full-sequence recompute. With the same seed the two produce
+//!   **bit-identical** probability rows and tokens: empty cache slots hold
+//!   exact-zero rows, masked by the same `-1e9` the reference's
+//!   `CausalMask` writes, and the GEMM micro-kernel pads partial row
+//!   blocks so each output row's bits are independent of sequence length.
+//!
+//! Why the slots line up: the decode step's `Cat` places the self token
+//! *last*, after `capacity` cache slots, so step `t` sees
+//! `[rows 0..t, zeros, self]` while reference row `t` sees
+//! `[rows 0..t, self, future]`. Zero-probability slots contribute exact
+//! `+0.0` terms wherever they sit, so both fold orders sum identically.
+
+use std::collections::HashMap;
+
+use ngb_exec::{synth_input, Interpreter};
+use ngb_graph::{Graph, NodeId, OpKind};
+use ngb_tensor::{Tensor, TensorError};
+
+type Result<T> = std::result::Result<T, TensorError>;
+
+/// The additive mask value for not-yet-live cache slots — the same
+/// constant `CausalMask` writes, so cached and uncached paths agree
+/// bitwise.
+const MASK_NEG: f32 = -1e9;
+
+fn bad(msg: impl Into<String>) -> TensorError {
+    TensorError::InvalidArgument(msg.into())
+}
+
+/// Reuse counters for one decode session's KV cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KvCacheStats {
+    /// Rows appended across all layers (one per layer per step).
+    pub appended_rows: u64,
+    /// Cached rows read back instead of recomputed (per layer per step,
+    /// the number of live slots at that step).
+    pub reused_rows: u64,
+}
+
+impl KvCacheStats {
+    /// Fraction of K/V rows served from the cache:
+    /// `reused / (reused + appended)`. Zero before any step runs.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.reused_rows + self.appended_rows;
+        if total == 0 {
+            return 0.0;
+        }
+        self.reused_rows as f64 / total as f64
+    }
+}
+
+/// Fixed-capacity per-layer K/V storage for one decode session.
+///
+/// Each layer holds `rows × capacity × head_dim` f32 slots per tensor
+/// (`rows = batch × heads`). Slots beyond [`KvCache::len`] stay **exactly
+/// zero** — the decode graph's additive mask relies on that to keep
+/// not-yet-live slots' attention scores at exact `0.0` before masking.
+#[derive(Debug, Clone)]
+pub struct KvCache {
+    k: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+    rows: usize,
+    capacity: usize,
+    head_dim: usize,
+    len: usize,
+    stats: KvCacheStats,
+}
+
+impl KvCache {
+    /// Creates a zeroed cache for `layers` layers.
+    pub fn new(layers: usize, rows: usize, capacity: usize, head_dim: usize) -> KvCache {
+        let slot = vec![0.0; rows * capacity * head_dim];
+        KvCache {
+            k: vec![slot.clone(); layers],
+            v: vec![slot; layers],
+            rows,
+            capacity,
+            head_dim,
+            len: 0,
+            stats: KvCacheStats::default(),
+        }
+    }
+
+    /// Number of layers cached.
+    pub fn layers(&self) -> usize {
+        self.k.len()
+    }
+
+    /// Live (filled) slots per layer.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no slots are live yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Maximum slots per layer.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Reuse counters so far.
+    pub fn stats(&self) -> KvCacheStats {
+        self.stats
+    }
+
+    /// The K tensor for `layer` in the decode graph's cache-input shape
+    /// `[rows, capacity, head_dim]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an out-of-range layer.
+    pub fn k_tensor(&self, layer: usize) -> Result<Tensor> {
+        let data = self.k.get(layer).ok_or_else(|| bad("layer out of range"))?;
+        Tensor::from_vec(data.clone(), &[self.rows, self.capacity, self.head_dim])
+    }
+
+    /// The V tensor for `layer` (see [`KvCache::k_tensor`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an out-of-range layer.
+    pub fn v_tensor(&self, layer: usize) -> Result<Tensor> {
+        let data = self.v.get(layer).ok_or_else(|| bad("layer out of range"))?;
+        Tensor::from_vec(data.clone(), &[self.rows, self.capacity, self.head_dim])
+    }
+
+    /// Appends one step's fresh K/V rows (`[rows, 1, head_dim]` each) for
+    /// `layer` into the next free slot. Call once per layer per step, then
+    /// [`KvCache::commit`] to advance the live length.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the cache is full or the row tensors have the wrong
+    /// element count.
+    pub fn append(&mut self, layer: usize, k_row: &Tensor, v_row: &Tensor) -> Result<()> {
+        if self.len >= self.capacity {
+            return Err(bad(format!(
+                "KV cache full: capacity {} exhausted",
+                self.capacity
+            )));
+        }
+        let (rows, hd, cap, at) = (self.rows, self.head_dim, self.capacity, self.len);
+        let write = |store: &mut Vec<f32>, t: &Tensor| -> Result<()> {
+            let data = t.to_vec_f32()?;
+            if data.len() != rows * hd {
+                return Err(bad(format!(
+                    "cache row has {} elements, expected {}",
+                    data.len(),
+                    rows * hd
+                )));
+            }
+            for r in 0..rows {
+                let dst = r * cap * hd + at * hd;
+                store[dst..dst + hd].copy_from_slice(&data[r * hd..(r + 1) * hd]);
+            }
+            Ok(())
+        };
+        let (ks, vs) = (&mut self.k, &mut self.v);
+        write(
+            ks.get_mut(layer).ok_or_else(|| bad("layer out of range"))?,
+            k_row,
+        )?;
+        write(
+            vs.get_mut(layer).ok_or_else(|| bad("layer out of range"))?,
+            v_row,
+        )?;
+        Ok(())
+    }
+
+    /// Advances the live length after all layers appended this step, and
+    /// records reuse statistics.
+    pub fn commit(&mut self) {
+        let layers = self.layers() as u64;
+        self.stats.reused_rows += layers * self.len as u64;
+        self.stats.appended_rows += layers;
+        self.len += 1;
+    }
+
+    /// Records a full-cache step (every slot reused, nothing appended).
+    fn note_full_reuse(&mut self) {
+        self.stats.reused_rows += self.layers() as u64 * self.len as u64;
+    }
+}
+
+/// One transformer layer's cache plumbing in the decode graph.
+#[derive(Debug, Clone)]
+struct LayerSlots {
+    k_cache: NodeId,
+    v_cache: NodeId,
+    k_out: NodeId,
+    v_out: NodeId,
+}
+
+/// A reusable decode session: one decode-step graph, its discovered
+/// input/output plumbing, and the KV cache. Stepping the session executes
+/// the graph with the current cache and appends the fresh rows.
+#[derive(Debug)]
+pub struct DecodeSession {
+    decode: Graph,
+    interp: Interpreter,
+    cache: KvCache,
+    ids: NodeId,
+    pos: Option<NodeId>,
+    mask: NodeId,
+    layers: Vec<LayerSlots>,
+    probs: NodeId,
+    /// Full positional table `[1, seq, d]` synthesized from the reference
+    /// graph's `pos` input (empty when the model has none).
+    pos_table: Vec<f32>,
+    pos_dim: usize,
+    batch: usize,
+    /// Positions consumed so far (equals the cache length until the
+    /// final, cache-full step).
+    consumed: usize,
+}
+
+impl DecodeSession {
+    /// Builds a session around `decode` (a `build_decode` graph). The
+    /// `reference` full-sequence graph supplies the positional table for
+    /// models that have one; `interp` fixes seed, engine, and quantization
+    /// for every step.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the graph does not follow the decode-step naming
+    /// convention (`*.kv.{k,v}_cache`, `*.kv.{k,v}_out`, `mask`).
+    pub fn new(decode: Graph, reference: &Graph, interp: Interpreter) -> Result<DecodeSession> {
+        let ids = decode
+            .iter()
+            .find(|n| matches!(n.op, OpKind::InputIds { .. }))
+            .ok_or_else(|| bad("decode graph has no InputIds node"))?
+            .id;
+        let pos = decode.iter().find(|n| n.name == "pos").map(|n| n.id);
+        let mask = decode
+            .iter()
+            .find(|n| n.name == "mask")
+            .ok_or_else(|| bad("decode graph has no mask input"))?
+            .id;
+
+        let find = |suffix: &str, layer_prefix: &str| -> Option<NodeId> {
+            decode
+                .iter()
+                .find(|n| n.name == format!("{layer_prefix}{suffix}"))
+                .map(|n| n.id)
+        };
+        let mut layers = Vec::new();
+        for node in decode.iter() {
+            let Some(prefix) = node.name.strip_suffix("kv.k_cache") else {
+                continue;
+            };
+            let slots = LayerSlots {
+                k_cache: node.id,
+                v_cache: find("kv.v_cache", prefix)
+                    .ok_or_else(|| bad(format!("{prefix}kv.v_cache missing")))?,
+                k_out: find("kv.k_out", prefix)
+                    .ok_or_else(|| bad(format!("{prefix}kv.k_out missing")))?,
+                v_out: find("kv.v_out", prefix)
+                    .ok_or_else(|| bad(format!("{prefix}kv.v_out missing")))?,
+            };
+            layers.push(slots);
+        }
+        if layers.is_empty() {
+            return Err(bad("decode graph has no *.kv.k_cache inputs"));
+        }
+
+        let cache_shape = decode.node(layers[0].k_cache).out_shape.clone();
+        let [rows, capacity, head_dim] = cache_shape.as_slice() else {
+            return Err(bad("cache inputs must be rank-3 [rows, past, head_dim]"));
+        };
+        let batch = decode.node(ids).out_shape[0];
+
+        // the probability output is the terminal node that is not a
+        // K/V-row output
+        let kv_outs: Vec<NodeId> = layers.iter().flat_map(|l| [l.k_out, l.v_out]).collect();
+        let mut consumed = vec![false; decode.len()];
+        for n in decode.iter() {
+            for &i in &n.inputs {
+                consumed[i.0] = true;
+            }
+        }
+        let probs = decode
+            .iter()
+            .filter(|n| !consumed[n.id.0] && !kv_outs.contains(&n.id))
+            .map(|n| n.id)
+            .next_back()
+            .ok_or_else(|| bad("decode graph has no probability output"))?;
+
+        // positional table: reproduce exactly what the reference graph's
+        // executor would synthesize for its `pos` input
+        let (pos_table, pos_dim) = match reference.iter().find(|n| n.name == "pos") {
+            Some(n) => {
+                let t = synth_input(interp.seed(), n);
+                let d = *n.out_shape.last().unwrap_or(&0);
+                (t.to_vec_f32()?, d)
+            }
+            None => (Vec::new(), 0),
+        };
+
+        let cache = KvCache::new(layers.len(), *rows, *capacity, *head_dim);
+        Ok(DecodeSession {
+            decode,
+            interp,
+            cache,
+            ids,
+            pos,
+            mask,
+            layers,
+            probs,
+            pos_table,
+            pos_dim,
+            batch,
+            consumed: 0,
+        })
+    }
+
+    /// Batch rows per step.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Positions already consumed (prompt + generated so far).
+    pub fn position(&self) -> usize {
+        self.consumed
+    }
+
+    /// Total positions the session can consume.
+    pub fn max_positions(&self) -> usize {
+        self.cache.capacity() + 1
+    }
+
+    /// Cache reuse counters.
+    pub fn cache_stats(&self) -> KvCacheStats {
+        self.cache.stats()
+    }
+
+    /// Feeds one token per batch row at the current position, returns the
+    /// next-token probabilities `[batch, 1, vocab]`, and appends the
+    /// step's K/V rows to the cache.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the session is at capacity, `tokens.len() != batch`, or
+    /// execution fails.
+    pub fn step(&mut self, tokens: &[i64]) -> Result<Tensor> {
+        if self.consumed >= self.max_positions() {
+            return Err(bad("decode session is at capacity"));
+        }
+        if tokens.len() != self.batch {
+            return Err(bad(format!(
+                "step got {} tokens for batch {}",
+                tokens.len(),
+                self.batch
+            )));
+        }
+        let t = self.consumed;
+        let cap = self.cache.capacity();
+        let mut inputs: HashMap<NodeId, Tensor> = HashMap::new();
+        inputs.insert(
+            self.ids,
+            Tensor::from_i64(tokens.to_vec(), &[self.batch, 1])?,
+        );
+        if let Some(pos) = self.pos {
+            let row = self
+                .pos_table
+                .get(t * self.pos_dim..(t + 1) * self.pos_dim)
+                .ok_or_else(|| bad(format!("position {t} beyond the positional table")))?;
+            inputs.insert(pos, Tensor::from_vec(row.to_vec(), &[1, 1, self.pos_dim])?);
+        }
+        // live slots and the final self slot stay open; everything else
+        // is masked with the CausalMask constant
+        let mut mask = vec![MASK_NEG; cap + 1];
+        mask[..t].fill(0.0);
+        mask[cap] = 0.0;
+        inputs.insert(self.mask, Tensor::from_vec(mask, &[1, 1, cap + 1])?);
+        for layer in 0..self.layers.len() {
+            inputs.insert(self.layers[layer].k_cache, self.cache.k_tensor(layer)?);
+            inputs.insert(self.layers[layer].v_cache, self.cache.v_tensor(layer)?);
+        }
+
+        let trace = self.interp.run_with_inputs(&self.decode, &inputs)?;
+        let by_id: HashMap<NodeId, &Tensor> =
+            trace.outputs.iter().map(|(id, t)| (*id, t)).collect();
+        let fetch = |id: NodeId| -> Result<&Tensor> {
+            by_id
+                .get(&id)
+                .copied()
+                .ok_or_else(|| bad(format!("decode output {id} missing from trace")))
+        };
+        if self.cache.len() < cap {
+            for (layer, slots) in self.layers.iter().enumerate() {
+                let (k_row, v_row) = (fetch(slots.k_out)?, fetch(slots.v_out)?);
+                self.cache.append(layer, k_row, v_row)?;
+            }
+            self.cache.commit();
+        } else {
+            self.cache.note_full_reuse();
+        }
+        self.consumed += 1;
+        fetch(self.probs).cloned()
+    }
+}
+
+/// Per-step record of a greedy generation run.
+#[derive(Debug)]
+pub struct GenerateReport {
+    /// Generated tokens, one `Vec` per batch row, `max_new` long.
+    pub tokens: Vec<Vec<i64>>,
+    /// Next-token probability tensors `[batch, 1, vocab]`, one per
+    /// generated token, for bitwise comparison against the reference.
+    pub step_probs: Vec<Tensor>,
+    /// Cache reuse counters (all zero for the uncached reference).
+    pub cache: KvCacheStats,
+}
+
+/// Greedy argmax over one batch row's probability slice; ties resolve to
+/// the lowest index so cached/uncached agree even on exact ties.
+fn argmax(row: &[f32]) -> i64 {
+    let mut best = 0usize;
+    for (i, &p) in row.iter().enumerate() {
+        if p > row[best] {
+            best = i;
+        }
+    }
+    best as i64
+}
+
+fn next_tokens(probs: &Tensor, batch: usize) -> Result<Vec<i64>> {
+    let data = probs.to_vec_f32()?;
+    let vocab = data.len() / batch.max(1);
+    Ok((0..batch)
+        .map(|b| argmax(&data[b * vocab..(b + 1) * vocab]))
+        .collect())
+}
+
+/// Runs a cached greedy generation: prefill consumes the prompt one
+/// position at a time (building the cache), then `max_new` tokens are
+/// generated from the argmax of each step's probabilities.
+///
+/// # Errors
+///
+/// Fails when the prompt is empty, prompt + `max_new` exceeds the
+/// session's capacity, or a step fails.
+pub fn greedy_decode(
+    session: &mut DecodeSession,
+    prompt: &[Vec<i64>],
+    max_new: usize,
+) -> Result<GenerateReport> {
+    let prompt_len = prompt.first().map(Vec::len).unwrap_or(0);
+    if prompt_len == 0 {
+        return Err(bad("greedy_decode requires a non-empty prompt"));
+    }
+    if prompt.len() != session.batch() || prompt.iter().any(|p| p.len() != prompt_len) {
+        return Err(bad("prompt must be rectangular with one row per batch"));
+    }
+    if prompt_len + max_new > session.max_positions() {
+        return Err(bad(format!(
+            "prompt {} + max_new {} exceeds session capacity {}",
+            prompt_len,
+            max_new,
+            session.max_positions()
+        )));
+    }
+    let mut tokens: Vec<Vec<i64>> = vec![Vec::with_capacity(max_new); session.batch()];
+    let mut step_probs = Vec::with_capacity(max_new);
+    // prefill: feed the prompt one position at a time through the same
+    // decode step, so every prompt row lands in the cache
+    let mut last = Tensor::zeros(&[0]);
+    for t in 0..prompt_len {
+        let ids: Vec<i64> = prompt.iter().map(|p| p[t]).collect();
+        last = session.step(&ids)?;
+    }
+    while step_probs.len() < max_new {
+        let ids = next_tokens(&last, session.batch())?;
+        for (row, &tok) in tokens.iter_mut().zip(&ids) {
+            row.push(tok);
+        }
+        step_probs.push(last.clone());
+        if step_probs.len() == max_new {
+            break;
+        }
+        last = session.step(&ids)?;
+    }
+    Ok(GenerateReport {
+        tokens,
+        step_probs,
+        cache: session.cache_stats(),
+    })
+}
+
+/// Runs the uncached reference: for each generated token the **full
+/// sequence** is recomputed through `reference` (a fixed-`seq` graph) and
+/// the probability row at the last live position is read out. Future
+/// positions hold placeholder tokens; the causal mask keeps them from
+/// affecting live rows.
+///
+/// # Errors
+///
+/// Fails when the prompt is empty or longer than the graph's sequence.
+pub fn greedy_reference(
+    reference: &Graph,
+    interp: &Interpreter,
+    prompt: &[Vec<i64>],
+    max_new: usize,
+) -> Result<GenerateReport> {
+    let ids_node = reference
+        .iter()
+        .find(|n| matches!(n.op, OpKind::InputIds { .. }))
+        .ok_or_else(|| bad("reference graph has no InputIds node"))?;
+    let [batch, seq] = ids_node.out_shape.as_slice() else {
+        return Err(bad("reference ids must be rank-2 [batch, seq]"));
+    };
+    let (batch, seq) = (*batch, *seq);
+    let prompt_len = prompt.first().map(Vec::len).unwrap_or(0);
+    if prompt_len == 0 || prompt.len() != batch {
+        return Err(bad("prompt must be non-empty with one row per batch"));
+    }
+    if prompt_len + max_new > seq {
+        return Err(bad(format!(
+            "prompt {prompt_len} + max_new {max_new} exceeds reference seq {seq}"
+        )));
+    }
+    let probs_id = reference
+        .iter()
+        .last()
+        .map(|n| n.id)
+        .ok_or_else(|| bad("empty reference graph"))?;
+
+    let mut ids = vec![0i64; batch * seq];
+    for (b, row) in prompt.iter().enumerate() {
+        ids[b * seq..b * seq + prompt_len].copy_from_slice(row);
+    }
+    let mut tokens: Vec<Vec<i64>> = vec![Vec::with_capacity(max_new); batch];
+    let mut step_probs = Vec::with_capacity(max_new);
+    for step in 0..max_new {
+        let live = prompt_len + step; // tokens known so far
+        let inputs: HashMap<NodeId, Tensor> =
+            [(ids_node.id, Tensor::from_i64(ids.clone(), &[batch, seq])?)].into();
+        let trace = interp.run_with_inputs(reference, &inputs)?;
+        let probs = trace
+            .outputs
+            .iter()
+            .find(|(id, _)| *id == probs_id)
+            .map(|(_, t)| t)
+            .ok_or_else(|| bad("reference probabilities missing from trace"))?;
+        // row `live - 1`: the next-token distribution after the prefix
+        let data = probs.to_vec_f32()?;
+        let vocab = data.len() / (batch * seq);
+        let mut row = Vec::with_capacity(batch * vocab);
+        for b in 0..batch {
+            let at = (b * seq + (live - 1)) * vocab;
+            row.extend_from_slice(&data[at..at + vocab]);
+        }
+        let row = Tensor::from_vec(row, &[batch, 1, vocab])?;
+        let ids_next = next_tokens(&row, batch)?;
+        for (b, &tok) in ids_next.iter().enumerate() {
+            tokens[b].push(tok);
+            if live < seq {
+                ids[b * seq + live] = tok;
+            }
+        }
+        step_probs.push(row);
+    }
+    Ok(GenerateReport {
+        tokens,
+        step_probs,
+        cache: KvCacheStats::default(),
+    })
+}
+
+/// Reproduces the prompt a seeded run would draw for `reference`'s ids
+/// input: the first `prompt_len` columns of the synthetic token tensor.
+///
+/// # Errors
+///
+/// Fails when the graph has no ids input or the prompt is longer than its
+/// sequence.
+pub fn synth_prompt(seed: u64, reference: &Graph, prompt_len: usize) -> Result<Vec<Vec<i64>>> {
+    let ids_node = reference
+        .iter()
+        .find(|n| matches!(n.op, OpKind::InputIds { .. }))
+        .ok_or_else(|| bad("reference graph has no InputIds node"))?;
+    let [batch, seq] = ids_node.out_shape.as_slice() else {
+        return Err(bad("reference ids must be rank-2 [batch, seq]"));
+    };
+    if prompt_len == 0 || prompt_len > *seq {
+        return Err(bad(format!(
+            "prompt_len {prompt_len} out of range for seq {seq}"
+        )));
+    }
+    let all = synth_input(seed, ids_node).to_vec_i64()?;
+    Ok((0..*batch)
+        .map(|b| all[b * seq..b * seq + prompt_len].to_vec())
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_appends_and_masks_empty_slots() {
+        let mut c = KvCache::new(2, 3, 4, 2);
+        assert_eq!(c.len(), 0);
+        let row = Tensor::from_vec(vec![1.0; 6], &[3, 1, 2]).unwrap();
+        for layer in 0..2 {
+            c.append(layer, &row, &row).unwrap();
+        }
+        c.commit();
+        assert_eq!(c.len(), 1);
+        let k = c.k_tensor(0).unwrap().to_vec_f32().unwrap();
+        // slot 0 filled, slots 1..4 exactly zero
+        assert_eq!(&k[0..2], &[1.0, 1.0]);
+        assert!(k[2..8].iter().all(|&x| x == 0.0));
+        assert_eq!(c.stats().appended_rows, 2);
+        assert_eq!(c.stats().reused_rows, 0);
+    }
+
+    #[test]
+    fn cache_rejects_overflow() {
+        let mut c = KvCache::new(1, 1, 1, 2);
+        let row = Tensor::from_vec(vec![1.0, 2.0], &[1, 1, 2]).unwrap();
+        c.append(0, &row, &row).unwrap();
+        c.commit();
+        assert!(c.append(0, &row, &row).is_err());
+    }
+
+    #[test]
+    fn hit_rate_grows_with_steps() {
+        let mut s = KvCacheStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        s.appended_rows = 4;
+        s.reused_rows = 12;
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn argmax_breaks_ties_low() {
+        assert_eq!(argmax(&[0.5, 0.5, 0.1]), 0);
+        assert_eq!(argmax(&[0.1, 0.9, 0.9]), 1);
+    }
+}

@@ -25,8 +25,13 @@
 #![forbid(unsafe_code)]
 
 mod cache;
+pub mod decode;
 
 pub use cache::{GraphCache, GraphCacheStats, GraphKey};
+pub use decode::{
+    greedy_decode, greedy_reference, synth_prompt, DecodeSession, GenerateReport, KvCache,
+    KvCacheStats,
+};
 
 use ngb_graph::{Graph, NodeId, NonGemmGroup, OpClass, OpKind};
 use ngb_ops::OpCost;

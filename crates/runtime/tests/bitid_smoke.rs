@@ -1,0 +1,48 @@
+use ngb_exec::Interpreter;
+use ngb_models::{decode_bundle, ModelId, Scale};
+use ngb_runtime::decode::{greedy_decode, greedy_reference, synth_prompt, DecodeSession};
+use ngb_tensor::bit_equal;
+
+#[test]
+fn smoke_gpt2_bit_identity() {
+    let total = 12usize;
+    let bundle = decode_bundle(ModelId::Gpt2, Scale::Tiny, 1, total)
+        .unwrap()
+        .unwrap();
+    let prompt = synth_prompt(0x5eed, &bundle.reference, 4).unwrap();
+    let interp = Interpreter::default();
+    let mut session = DecodeSession::new(
+        bundle.decode.clone(),
+        &bundle.reference,
+        Interpreter::default(),
+    )
+    .unwrap();
+    let cached = greedy_decode(&mut session, &prompt, 8).unwrap();
+    let refr = greedy_reference(&bundle.reference, &interp, &prompt, 8).unwrap();
+    assert_eq!(cached.tokens, refr.tokens, "tokens diverge");
+    for (i, (a, b)) in cached.step_probs.iter().zip(&refr.step_probs).enumerate() {
+        assert!(bit_equal(a, b).unwrap(), "step {i} probs not bit-identical");
+    }
+}
+
+#[test]
+fn smoke_llama_bit_identity() {
+    let total = 10usize;
+    let bundle = decode_bundle(ModelId::Llama2_7b, Scale::Tiny, 1, total)
+        .unwrap()
+        .unwrap();
+    let prompt = synth_prompt(0x5eed, &bundle.reference, 3).unwrap();
+    let interp = Interpreter::default();
+    let mut session = DecodeSession::new(
+        bundle.decode.clone(),
+        &bundle.reference,
+        Interpreter::default(),
+    )
+    .unwrap();
+    let cached = greedy_decode(&mut session, &prompt, 7).unwrap();
+    let refr = greedy_reference(&bundle.reference, &interp, &prompt, 7).unwrap();
+    assert_eq!(cached.tokens, refr.tokens, "tokens diverge");
+    for (i, (a, b)) in cached.step_probs.iter().zip(&refr.step_probs).enumerate() {
+        assert!(bit_equal(a, b).unwrap(), "step {i} probs not bit-identical");
+    }
+}

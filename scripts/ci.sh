@@ -6,7 +6,9 @@
 #   CI_STAGES=test-opt,regress scripts/ci.sh
 #
 # Stages: fmt, clippy, test, test-parallel, test-opt, test-intraop,
-# sanitize, serve, contiguous-ratchet, regress.
+# sanitize, serve, decode, contiguous-ratchet, regress.
+# Unknown stage names in CI_STAGES exit 2 with the valid list, so a typo
+# never silently skips every gate.
 # The contiguous-ratchet stage pins the declared list of eager
 # .contiguous() call sites in ngb-ops kernels: strided consumption is the
 # default, and a new materialization site fails CI until it is justified
@@ -19,29 +21,76 @@
 # short open-loop loadgen burst, and asserts completions > 0 with zero
 # failures and a clean drain; the sweep summary lands in
 # target/ci/BENCH_SERVE.json for artifact upload.
+# The decode stage greedy-decodes 32 tokens on tiny gpt2 and llama2 and
+# asserts the cached KV path is bit-identical to the uncached recompute,
+# the int8 weight-quantized path stays within its documented tolerance,
+# and throughput is positive; the batch sweep lands in
+# target/ci/BENCH_DECODE.json for artifact upload.
 # The regress stage writes target/ci/regress-report.{json,txt} so CI can
 # upload the diff report as an artifact; tune it with NGB_NO_WALLCLOCK=1
 # (skip the measured smoke channel) or NGB_WALLCLOCK_FACTOR=<f> (extra
 # noise headroom on slow runners).
+# Each run ends with a per-stage timing table, also appended to
+# $GITHUB_STEP_SUMMARY when set (the workflow's job summary).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-ALL_STAGES="fmt,clippy,test,test-parallel,test-opt,test-intraop,sanitize,serve,contiguous-ratchet,regress"
+ALL_STAGES="fmt,clippy,test,test-parallel,test-opt,test-intraop,sanitize,serve,decode,contiguous-ratchet,regress"
 STAGES="${CI_STAGES:-$ALL_STAGES}"
 
+# reject unknown stage names up front: a typo in CI_STAGES must fail
+# loudly, not skip every stage and report success
+IFS=',' read -ra _requested <<<"$STAGES"
+for _stage in "${_requested[@]}"; do
+  [[ -z "$_stage" ]] && continue
+  if [[ ",$ALL_STAGES," != *",$_stage,"* ]]; then
+    echo "error: unknown stage '$_stage' (valid stages: $ALL_STAGES)" >&2
+    exit 2
+  fi
+done
+
 want() { [[ ",$STAGES," == *",$1,"* ]]; }
+
+# per-stage timing collected for the summary table: "name<TAB>status<TAB>secs"
+STAGE_TIMINGS=()
 
 run_stage() {
   local name="$1"
   shift
   if ! want "$name"; then
     echo "==> [$name] skipped (CI_STAGES=$STAGES)"
+    STAGE_TIMINGS+=("$name	skipped	0")
     return 0
   fi
   echo "==> [$name] $*"
   local start=$SECONDS
   "$@"
-  echo "==> [$name] ok (+$((SECONDS - start))s)"
+  local took=$((SECONDS - start))
+  echo "==> [$name] ok (+${took}s)"
+  STAGE_TIMINGS+=("$name	ok	$took")
+}
+
+print_summary() {
+  local row name status secs
+  echo
+  echo "stage timing summary:"
+  printf '  %-20s %-8s %s\n' "stage" "status" "seconds"
+  for row in "${STAGE_TIMINGS[@]}"; do
+    IFS=$'\t' read -r name status secs <<<"$row"
+    printf '  %-20s %-8s %s\n' "$name" "$status" "$secs"
+  done
+  if [[ -n "${GITHUB_STEP_SUMMARY:-}" ]]; then
+    {
+      echo "### CI stage timings"
+      echo
+      echo "| stage | status | seconds |"
+      echo "| --- | --- | --- |"
+      for row in "${STAGE_TIMINGS[@]}"; do
+        IFS=$'\t' read -r name status secs <<<"$row"
+        echo "| $name | $status | $secs |"
+      done
+    } >>"$GITHUB_STEP_SUMMARY"
+  fi
 }
 
 regress_gate() {
@@ -104,6 +153,22 @@ serve_gate() {
     || { echo "error: no dynamic batch larger than 1 was formed"; return 1; }
 }
 
+decode_gate() {
+  mkdir -p target/ci
+  cargo build --release -q --bin decode_sweep --bin nongemm-cli
+  # decode_sweep exits non-zero unless, for each model, the cached path
+  # is bit-identical to the uncached recompute, int8 stays within its
+  # documented tolerance, and every sweep point has positive throughput
+  ./target/release/decode_sweep --tokens 32 \
+    --out target/ci/BENCH_DECODE.json
+  grep -q '"bit_identical": true' target/ci/BENCH_DECODE.json \
+    || { echo "error: sweep summary does not record bit identity"; return 1; }
+  # the CLI front end must drive the same path end-to-end
+  ./target/release/nongemm-cli generate --tiny --max-new-tokens 8 >/dev/null
+  env NGB_QUANT=int8 \
+    ./target/release/nongemm-cli generate --tiny --model gpt2 --max-new-tokens 8 >/dev/null
+}
+
 # Declared eager-materialization fallbacks in ngb-ops kernel code
 # (file:reason). Everything else must consume strided operands in place;
 # shrinking this list is progress, growing it needs a review.
@@ -152,7 +217,9 @@ run_stage test-opt      env NGB_OPT=2 NGB_THREADS=4 cargo test -q
 run_stage test-intraop  env NGB_INTRAOP=1 NGB_THREADS=4 cargo test -q
 run_stage sanitize      sanitize_gate
 run_stage serve         serve_gate
+run_stage decode        decode_gate
 run_stage contiguous-ratchet contiguous_ratchet
 run_stage regress       regress_gate
 
+print_summary
 echo "==> ok (stages: $STAGES, total ${SECONDS}s)"

@@ -26,6 +26,7 @@ fn help_exits_zero_and_documents_every_flag() {
         &["help"],
         &["run", "--help"],
         &["serve", "--help"],
+        &["generate", "--help"],
     ] {
         let out = cli().args(args).output().expect("spawn cli");
         assert!(
@@ -37,6 +38,7 @@ fn help_exits_zero_and_documents_every_flag() {
         // every subcommand and every flag added since PR 1 must be listed
         for needle in [
             "run",
+            "generate",
             "verify",
             "sanitize",
             "serve",
@@ -66,6 +68,10 @@ fn help_exits_zero_and_documents_every_flag() {
             "--max-batch",
             "--batch-wait-us",
             "--queue-cap",
+            "--quantize",
+            "--max-new-tokens",
+            "--prompt-len",
+            "NGB_QUANT",
             "NGB_THREADS",
             "NGB_OPT",
             "NGB_NO_WALLCLOCK",
@@ -102,6 +108,10 @@ fn unknown_flags_and_subcommands_exit_two_with_usage() {
         &["serve", "--batch-wait-us", "soon"],
         &["serve", "--queue-cap", "-1"],
         &["serve", "--addr"], // missing value
+        &["generate", "--bogus"],
+        &["generate", "--quantize", "int4"],
+        &["generate", "--max-new-tokens", "0"],
+        &["generate", "--prompt-len"], // missing value
     ];
     for args in cases {
         let out = cli().args(*args).output().expect("spawn cli");
@@ -194,6 +204,45 @@ fn ci_update_then_check_round_trips_through_the_binary() {
     assert_eq!(v["diffs"][0]["metric"], "graph.gemm");
 
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn generate_decodes_a_tiny_model_with_and_without_int8() {
+    for quant in ["none", "int8"] {
+        let out = cli()
+            .args([
+                "generate",
+                "--model",
+                "gpt2",
+                "--tiny",
+                "--max-new-tokens",
+                "4",
+                "--quantize",
+                quant,
+            ])
+            .output()
+            .expect("spawn cli");
+        assert!(
+            out.status.success(),
+            "generate --quantize {quant}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8(out.stdout).unwrap();
+        assert!(text.contains("tok/s"), "{text}");
+        assert!(text.contains("cache hit rate"), "{text}");
+        assert!(text.contains(&format!("quant {quant}")), "{text}");
+    }
+}
+
+#[test]
+fn generate_rejects_non_lm_models() {
+    let out = cli()
+        .args(["generate", "--model", "resnet50", "--tiny"])
+        .output()
+        .expect("spawn cli");
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("not an autoregressive LM"), "{err}");
 }
 
 #[test]

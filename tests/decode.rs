@@ -1,0 +1,182 @@
+//! Autoregressive decode integration tests: the cached KV path must be
+//! **bit-identical** to the uncached full-sequence recompute across
+//! engines, thread counts, and optimization levels; the int8
+//! weight-quantized path must stay within the documented tolerance; and
+//! the decode lints must catch the malformed-cache counterexample.
+
+use nongemm::exec::Engine;
+use nongemm::graph::{GraphBuilder, OpKind};
+use nongemm::models::decode_bundle;
+use nongemm::ops::Quant;
+use nongemm::runtime::{greedy_decode, greedy_reference, synth_prompt, DecodeSession};
+use nongemm::tensor::{bit_equal, max_abs_err};
+use nongemm::{Analyzer, Interpreter, Lint, ModelId, OptLevel, Scale};
+
+const SEED: u64 = 0x5eed;
+const PROMPT: usize = 4;
+
+const LM_MODELS: [ModelId; 4] = [
+    ModelId::Gpt2,
+    ModelId::Gpt2Large,
+    ModelId::Gpt2Xl,
+    ModelId::Llama2_7b,
+];
+
+/// Tokens to generate per model: the CI-gate models get the full
+/// 32-token run, the larger GPT-2 variants a shorter one to keep the
+/// debug-mode suite fast.
+fn new_tokens(id: ModelId) -> usize {
+    match id {
+        ModelId::Gpt2 | ModelId::Llama2_7b => 32,
+        _ => 8,
+    }
+}
+
+/// Runs cached greedy decode and the uncached reference under `interp`
+/// (optionally with both graphs rewritten at `level` first) and asserts
+/// token-for-token and bit-for-bit agreement.
+fn assert_bit_identity(id: ModelId, interp: &Interpreter, level: Option<OptLevel>, max_new: usize) {
+    let total = PROMPT + max_new;
+    let bundle = decode_bundle(id, Scale::Tiny, 1, total)
+        .expect("LM model")
+        .expect("bundle builds");
+    let (reference, decode) = match level {
+        Some(level) => (
+            nongemm::optimize_with(&bundle.reference, level, true).0,
+            nongemm::optimize_with(&bundle.decode, level, true).0,
+        ),
+        None => (bundle.reference, bundle.decode),
+    };
+    let prompt = synth_prompt(SEED, &reference, PROMPT).expect("prompt");
+    let mut session =
+        DecodeSession::new(decode, &reference, interp.clone()).expect("session builds");
+    let cached = greedy_decode(&mut session, &prompt, max_new).expect("cached decode");
+    let uncached = greedy_reference(&reference, interp, &prompt, max_new).expect("reference");
+    let tag = format!("{:?} (opt {level:?})", id);
+    assert_eq!(cached.tokens, uncached.tokens, "{tag}: tokens diverged");
+    assert_eq!(cached.step_probs.len(), uncached.step_probs.len());
+    for (step, (a, b)) in cached
+        .step_probs
+        .iter()
+        .zip(&uncached.step_probs)
+        .enumerate()
+    {
+        assert!(
+            bit_equal(a, b).expect("comparable shapes"),
+            "{tag}: probabilities diverged bitwise at step {step}"
+        );
+    }
+    assert!(cached.cache.reused_rows > 0, "{tag}: cache never reused");
+}
+
+#[test]
+fn cached_decode_is_bit_identical_sequential() {
+    for id in LM_MODELS {
+        let interp = Interpreter::new(SEED).quantize(Quant::None);
+        assert_bit_identity(id, &interp, None, new_tokens(id));
+    }
+}
+
+#[test]
+fn cached_decode_is_bit_identical_parallel_8_threads() {
+    for id in LM_MODELS {
+        for intra in [false, true] {
+            let interp = Interpreter::new(SEED)
+                .engine(Engine::Parallel(8))
+                .intra_op(intra)
+                .quantize(Quant::None);
+            assert_bit_identity(id, &interp, None, new_tokens(id).min(8));
+        }
+    }
+}
+
+#[test]
+fn cached_decode_is_bit_identical_at_o2() {
+    for id in LM_MODELS {
+        for threads in [1usize, 8] {
+            let interp = if threads == 1 {
+                Interpreter::new(SEED).quantize(Quant::None)
+            } else {
+                Interpreter::new(SEED)
+                    .engine(Engine::Parallel(threads))
+                    .quantize(Quant::None)
+            };
+            let max_new = if threads == 1 { new_tokens(id) } else { 8 };
+            assert_bit_identity(id, &interp, Some(OptLevel::O2), max_new);
+        }
+    }
+}
+
+/// Documented end-to-end int8 envelope (same constant the `decode_sweep`
+/// CI gate enforces): max absolute next-token probability deviation from
+/// fp32 on an identical token stream.
+const INT8_PROB_TOL: f32 = 5e-2;
+
+#[test]
+fn int8_decode_stays_within_documented_tolerance() {
+    for id in [ModelId::Gpt2, ModelId::Llama2_7b] {
+        let max_new = 8;
+        let total = PROMPT + max_new;
+        let bundle = decode_bundle(id, Scale::Tiny, 1, total)
+            .expect("LM model")
+            .expect("bundle builds");
+        let prompt = synth_prompt(SEED, &bundle.reference, PROMPT).expect("prompt");
+
+        let run = |quant: Quant| {
+            let interp = Interpreter::new(SEED).quantize(quant);
+            let mut session = DecodeSession::new(bundle.decode.clone(), &bundle.reference, interp)
+                .expect("session builds");
+            greedy_decode(&mut session, &prompt, max_new).expect("decode")
+        };
+        let fp32 = run(Quant::None);
+        // teacher-force the fp32 token stream through the int8 session so
+        // probabilities are compared on identical inputs
+        let interp = Interpreter::new(SEED).quantize(Quant::Int8);
+        let mut session = DecodeSession::new(bundle.decode.clone(), &bundle.reference, interp)
+            .expect("session builds");
+        let mut last = nongemm::tensor::Tensor::zeros(&[0]);
+        for &tok in &prompt[0] {
+            last = session.step(&[tok]).expect("prefill step");
+        }
+        let mut worst = 0.0f32;
+        for (t, fp32_probs) in fp32.step_probs.iter().enumerate() {
+            let err = max_abs_err(&last, fp32_probs).expect("comparable");
+            worst = worst.max(err);
+            if t + 1 < fp32.step_probs.len() {
+                last = session.step(&[fp32.tokens[0][t]]).expect("decode step");
+            }
+        }
+        assert!(
+            worst <= INT8_PROB_TOL,
+            "{id:?}: int8 probability error {worst:.3e} exceeds {INT8_PROB_TOL:.0e}"
+        );
+        assert!(
+            worst > 0.0,
+            "{id:?}: int8 produced bit-equal output — quantization inert?"
+        );
+    }
+}
+
+#[test]
+fn unbounded_cache_growth_lint_fires_on_malformed_graph() {
+    // a decode step that re-exports the grown cache instead of a
+    // fixed-capacity append: the Cat output grows every step
+    let mut b = GraphBuilder::new("bad-decode");
+    let cache = b.input_named(&[4, 8, 16], "h.0.kv.k_cache");
+    let x = b.input(&[4, 1, 16]);
+    let fresh = b.push(OpKind::Relu, &[x], "fresh").expect("push");
+    b.push(OpKind::Cat { dim: 1 }, &[cache, fresh], "grown")
+        .expect("push");
+    let report = Analyzer::new().analyze(&b.finish());
+    let hits = report.findings(Lint::UnboundedCacheGrowth);
+    assert_eq!(hits.len(), 1, "lint must fire exactly once");
+    assert!(!report.is_clean(), "unbounded growth is deny-level");
+
+    // well-formed decode graphs stay clean of both decode lints
+    let bundle = decode_bundle(ModelId::Gpt2, Scale::Tiny, 1, 8)
+        .expect("LM model")
+        .expect("bundle builds");
+    let report = Analyzer::new().analyze(&bundle.decode);
+    assert!(report.findings(Lint::UnboundedCacheGrowth).is_empty());
+    assert!(report.findings(Lint::StaleCacheShape).is_empty());
+}
