@@ -56,6 +56,9 @@ pub enum Pass {
     Hazard,
     /// KV-cache conventions of autoregressive decode-step graphs.
     Decode,
+    /// Multi-device shard-plan health: stage balance and cut transfer
+    /// weight of graphs carrying collective/transfer nodes.
+    Shard,
 }
 
 impl Pass {
@@ -70,6 +73,7 @@ impl Pass {
             Pass::Parallelism,
             Pass::Hazard,
             Pass::Decode,
+            Pass::Shard,
         ]
     }
 
@@ -84,6 +88,7 @@ impl Pass {
             Pass::Parallelism => "parallelism",
             Pass::Hazard => "hazard",
             Pass::Decode => "decode",
+            Pass::Shard => "shard",
         }
     }
 }
@@ -160,6 +165,14 @@ pub enum Lint {
     /// dimension), so some layers attend over a different window than
     /// others and serve stale or truncated history.
     StaleCacheShape,
+    /// A shard plan's heaviest stage carries more than twice the modeled
+    /// work of its lightest, so the pipeline's bubble is paced by one
+    /// device while the others idle.
+    UnbalancedStage,
+    /// The activation bytes crossing a shard plan's device cuts exceed
+    /// the bytes the plan's compute nodes write: the partition moves more
+    /// data than it produces and the links dominate the schedule.
+    TransferDominatedCut,
 }
 
 impl Lint {
@@ -189,6 +202,8 @@ impl Lint {
             Lint::PartitionHazard,
             Lint::UnboundedCacheGrowth,
             Lint::StaleCacheShape,
+            Lint::UnbalancedStage,
+            Lint::TransferDominatedCut,
         ]
     }
 
@@ -218,6 +233,8 @@ impl Lint {
             Lint::PartitionHazard => "partition-hazard",
             Lint::UnboundedCacheGrowth => "unbounded-cache-growth",
             Lint::StaleCacheShape => "stale-cache-shape",
+            Lint::UnbalancedStage => "unbalanced-stage",
+            Lint::TransferDominatedCut => "transfer-dominated-cut",
         }
     }
 
@@ -247,6 +264,7 @@ impl Lint {
             | Lint::StorageInterference
             | Lint::PartitionHazard => Pass::Hazard,
             Lint::UnboundedCacheGrowth | Lint::StaleCacheShape => Pass::Decode,
+            Lint::UnbalancedStage | Lint::TransferDominatedCut => Pass::Shard,
         }
     }
 
@@ -269,7 +287,11 @@ impl Lint {
             | Lint::PartitionHazard
             | Lint::UnboundedCacheGrowth
             | Lint::StaleCacheShape => Severity::Deny,
-            Lint::DeadNode | Lint::DuplicateSubgraph | Lint::TrafficUnderflow => Severity::Warn,
+            Lint::DeadNode
+            | Lint::DuplicateSubgraph
+            | Lint::TrafficUnderflow
+            | Lint::UnbalancedStage
+            | Lint::TransferDominatedCut => Severity::Warn,
             Lint::FuseLinearActivation
             | Lint::FuseAttention
             | Lint::FuseConvBnRelu
@@ -305,6 +327,12 @@ impl Lint {
                 "a grown KV-cache concatenation is re-exported, so cache storage is unbounded"
             }
             Lint::StaleCacheShape => "KV-cache inputs disagree on capacity across layers",
+            Lint::UnbalancedStage => {
+                "a shard stage carries more than twice the modeled work of the lightest stage"
+            }
+            Lint::TransferDominatedCut => {
+                "activation bytes crossing device cuts exceed the bytes the plan computes"
+            }
         }
     }
 }

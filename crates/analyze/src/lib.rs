@@ -1,7 +1,7 @@
 //! # ngb-analyze
 //!
 //! Static graph analysis and lints over the NonGEMM Bench operator IR — a
-//! `clippy` for [`ngb_graph::Graph`]s. The [`Analyzer`] runs eight passes:
+//! `clippy` for [`ngb_graph::Graph`]s. The [`Analyzer`] runs nine passes:
 //!
 //! 1. **structural** — NodeId/topological-order consistency, dangling
 //!    inputs, dead-node detection, duplicate-subgraph (CSE) candidates;
@@ -25,7 +25,11 @@
 //! 8. **decode** — KV-cache conventions of autoregressive decode-step
 //!    graphs: a grown cache concatenation re-exported as an output
 //!    (unbounded cache growth) and per-layer cache inputs that disagree
-//!    on capacity (stale cache shape).
+//!    on capacity (stale cache shape);
+//! 9. **shard** — multi-device shard-plan health for graphs carrying
+//!    `ngb-shard` collective/transfer nodes: stage imbalance that paces
+//!    the pipeline on one device (unbalanced stage) and cuts that move
+//!    more bytes than the plan computes (transfer-dominated cut).
 //!
 //! Findings are [`Diagnostic`]s with a configurable severity
 //! (allow / warn / deny, per lint via [`LintConfig`]) and render both

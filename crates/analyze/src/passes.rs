@@ -1,7 +1,7 @@
-//! The [`Analyzer`] and its eight passes.
+//! The [`Analyzer`] and its nine passes.
 //!
 //! Passes run in a fixed order — structural, shape, taxonomy, cost,
-//! fusion, parallelism, hazard, decode — and each appends
+//! fusion, parallelism, hazard, decode, shard — and each appends
 //! [`Diagnostic`]s to the report. Later passes
 //! guard against structurally broken nodes (out-of-range inputs) instead of
 //! assuming the structural pass came back clean, so a single corrupted node
@@ -110,7 +110,7 @@ impl Analyzer {
         Analyzer { config }
     }
 
-    /// Runs all eight passes over `graph`.
+    /// Runs all nine passes over `graph`.
     pub fn analyze(&self, graph: &Graph) -> AnalysisReport {
         let mut ctx = Ctx::new(graph, &self.config);
         structural_pass(&mut ctx);
@@ -121,6 +121,7 @@ impl Analyzer {
         let parallelism = parallelism_pass(&mut ctx);
         hazard_pass(&mut ctx);
         decode_pass(&mut ctx);
+        shard_pass(&mut ctx);
         AnalysisReport {
             graph_name: graph.name.clone(),
             diagnostics: ctx.diagnostics,
@@ -580,6 +581,80 @@ fn decode_pass(ctx: &mut Ctx) {
                 );
             }
         }
+    }
+}
+
+/// Pass 9: shard-plan health of graphs carrying collective/transfer
+/// nodes (plain single-device graphs trigger neither lint).
+///
+/// * **Unbalanced stage** — stages are the maximal runs of compute nodes
+///   between [`OpKind::Transfer`] boundaries in id order; when the
+///   heaviest stage models more than twice the work of the lightest, the
+///   pipeline's bubble is paced by one device while the others idle.
+/// * **Transfer-dominated cut** — the activation bytes crossing the
+///   plan's cuts exceed the bytes its compute nodes write, so the links
+///   outweigh the compute they connect.
+fn shard_pass(ctx: &mut Ctx) {
+    let g = ctx.graph;
+    if !g.iter().any(|n| n.op.is_collective()) {
+        return;
+    }
+    // modeled work per node: flops + logical traffic (the partitioner's
+    // own balance weight)
+    let weight = |ctx: &Ctx, node: &Node| -> f64 {
+        match ctx.input_shapes(node) {
+            Some(shapes) => {
+                let c = ngb_graph::op_cost(&node.op, &shapes, &node.out_shape);
+                c.flops + c.memory_bytes()
+            }
+            None => 0.0,
+        }
+    };
+    let mut stages: Vec<f64> = vec![0.0];
+    let mut transfer_bytes = 0.0f64;
+    let mut compute_bytes = 0.0f64;
+    for (i, node) in g.iter().enumerate() {
+        if !ctx.sound[i] {
+            continue;
+        }
+        if matches!(node.op, OpKind::Transfer) {
+            transfer_bytes += num_elements(&node.out_shape) as f64 * 4.0;
+            if *stages.last().expect("nonempty") > 0.0 {
+                stages.push(0.0);
+            }
+            continue;
+        }
+        if !node.op.is_collective() && !matches!(node.op, OpKind::Input | OpKind::InputIds { .. }) {
+            compute_bytes += num_elements(&node.out_shape) as f64 * 4.0;
+        }
+        *stages.last_mut().expect("nonempty") += weight(ctx, node);
+    }
+    stages.retain(|&w| w > 0.0);
+    if stages.len() >= 2 {
+        let heaviest = stages.iter().cloned().fold(0.0f64, f64::max);
+        let lightest = stages.iter().cloned().fold(f64::INFINITY, f64::min);
+        if heaviest > 2.0 * lightest {
+            ctx.emit_graph(
+                Lint::UnbalancedStage,
+                format!(
+                    "heaviest stage models {:.0} work units against the lightest's {:.0} \
+                     ({}x); the slowest device paces every microbatch",
+                    heaviest,
+                    lightest,
+                    (heaviest / lightest.max(1.0)).round()
+                ),
+            );
+        }
+    }
+    if transfer_bytes > 0.0 && transfer_bytes >= compute_bytes.max(1.0) {
+        ctx.emit_graph(
+            Lint::TransferDominatedCut,
+            format!(
+                "{:.0} activation bytes cross device cuts against {:.0} bytes computed; \
+                 the links dominate the schedule",
+                transfer_bytes, compute_bytes
+            ),
+        );
     }
 }
 

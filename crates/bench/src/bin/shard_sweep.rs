@@ -1,0 +1,249 @@
+//! Multi-device sharding sweep + the CI shard gate.
+//!
+//! For every benchmark model at tiny scale this binary partitions the
+//! graph across each requested device roster with both the pipeline- and
+//! tensor-parallel strategies, **executes** the plan on per-device
+//! threads (real collective/transfer kernels), asserts the sharded
+//! outputs are bit-identical to single-device execution, and records
+//! modeled + executed stage times, bubble fractions, and transfer bytes.
+//!
+//! ```text
+//! shard_sweep [--model <alias>]... [--devices <spec>]...
+//!             [--microbatches N] [--out PATH]
+//! ```
+//!
+//! Writes the sweep to `--out` (default `BENCH_SHARD.json`) and prints a
+//! summary; exits non-zero when any plan fails to reproduce the
+//! single-device bits. Run in release mode.
+
+use std::time::Instant;
+
+use nongemm::shard::{execute, partition, DeviceSpec, ShardOptions, Strategy};
+use nongemm::tensor::bit_equal;
+use nongemm::{Interpreter, ModelId, Scale};
+use serde::Serialize;
+
+const SEED: u64 = 0x5eed;
+
+struct Args {
+    models: Vec<String>,
+    devices: Vec<String>,
+    microbatches: usize,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        models: Vec::new(),
+        devices: Vec::new(),
+        microbatches: 4,
+        out: "BENCH_SHARD.json".to_string(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{arg} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--model" => {
+                let v = value();
+                args.models.push(v);
+            }
+            "--devices" => {
+                let v = value();
+                args.devices.push(v);
+            }
+            "--microbatches" => {
+                args.microbatches = value().parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+                    eprintln!("--microbatches requires a positive integer");
+                    std::process::exit(2);
+                })
+            }
+            "--out" => args.out = value(),
+            other => {
+                eprintln!("unknown argument '{other}'");
+                eprintln!(
+                    "usage: shard_sweep [--model <alias>]... [--devices <spec>]... \
+                     [--microbatches N] [--out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if args.models.is_empty() {
+        args.models = ModelId::all()
+            .iter()
+            .map(|m| m.spec().alias.to_string())
+            .collect();
+    }
+    if args.devices.is_empty() {
+        args.devices = vec!["2xgpu".to_string(), "4xgpu".to_string()];
+    }
+    args
+}
+
+#[derive(Serialize)]
+struct StageReport {
+    device: usize,
+    nodes: usize,
+    modeled_s: f64,
+    executed_busy_s: f64,
+}
+
+#[derive(Serialize)]
+struct ConfigReport {
+    devices: String,
+    strategy: &'static str,
+    microbatches: usize,
+    splits: usize,
+    bit_identical: bool,
+    plan_nodes: usize,
+    collective_nodes: usize,
+    stages: Vec<StageReport>,
+    modeled_wall_s: f64,
+    modeled_speedup: f64,
+    modeled_bubble: f64,
+    modeled_transfer_s: f64,
+    executed_wall_s: f64,
+    executed_bubble: f64,
+    transfer_bytes_per_microbatch: u64,
+    executed_transfer_bytes: u64,
+}
+
+#[derive(Serialize)]
+struct ModelSweep {
+    model: String,
+    graph_nodes: usize,
+    configs: Vec<ConfigReport>,
+}
+
+#[derive(Serialize)]
+struct Doc {
+    schema: u64,
+    scale: String,
+    sweeps: Vec<ModelSweep>,
+}
+
+fn run_model(alias: &str, args: &Args) -> Result<ModelSweep, String> {
+    let id = ModelId::all()
+        .iter()
+        .copied()
+        .find(|m| m.spec().alias == alias)
+        .ok_or_else(|| format!("unknown model '{alias}'"))?;
+    let graph = id
+        .build(1, Scale::Tiny)
+        .map_err(|e| format!("{alias}: {e}"))?;
+    let reference = Interpreter::new(SEED)
+        .run(&graph)
+        .map_err(|e| format!("{alias}: reference run: {e}"))?;
+
+    let mut configs = Vec::new();
+    for spec_text in &args.devices {
+        let spec = DeviceSpec::parse(spec_text)
+            .ok_or_else(|| format!("invalid device spec '{spec_text}'"))?;
+        let devices = spec.roster();
+        for strategy in [Strategy::Pipeline, Strategy::Tensor] {
+            let plan = partition(&graph, &devices, strategy, &ShardOptions::default())
+                .map_err(|e| format!("{alias} {spec_text} {strategy}: partition: {e}"))?;
+            let est = plan.modeled(args.microbatches);
+            let start = Instant::now();
+            let run = execute(&plan, SEED, args.microbatches)
+                .map_err(|e| format!("{alias} {spec_text} {strategy}: execute: {e}"))?;
+            let executed_wall_s = start.elapsed().as_secs_f64();
+            let bit_identical = run.outputs.len() == reference.outputs.len()
+                && run
+                    .outputs
+                    .iter()
+                    .zip(&reference.outputs)
+                    .all(|((si, sv), (ri, rv))| si == ri && bit_equal(sv, rv).unwrap_or(false));
+            if !bit_identical {
+                return Err(format!(
+                    "{alias} {spec_text} {strategy}: sharded outputs diverge from \
+                     single-device execution"
+                ));
+            }
+            let stages = plan
+                .stages()
+                .into_iter()
+                .map(|s| StageReport {
+                    device: s.device,
+                    nodes: s.nodes,
+                    modeled_s: s.modeled_s,
+                    executed_busy_s: run.busy_s[s.device],
+                })
+                .collect();
+            configs.push(ConfigReport {
+                devices: spec.label(),
+                strategy: strategy.name(),
+                microbatches: run.microbatches,
+                splits: plan.splits,
+                bit_identical,
+                plan_nodes: plan.graph.len(),
+                collective_nodes: plan.graph.iter().filter(|n| n.op.is_collective()).count(),
+                stages,
+                modeled_wall_s: est.wall_s,
+                modeled_speedup: est.speedup,
+                modeled_bubble: est.bubble_fraction,
+                modeled_transfer_s: est.transfer_s,
+                executed_wall_s,
+                executed_bubble: run.bubble_fraction,
+                transfer_bytes_per_microbatch: est.transfer_bytes,
+                executed_transfer_bytes: run.transfer_bytes,
+            });
+        }
+    }
+    Ok(ModelSweep {
+        model: alias.to_string(),
+        graph_nodes: graph.len(),
+        configs,
+    })
+}
+
+fn main() {
+    let args = parse_args();
+    let mut sweeps = Vec::new();
+    for alias in &args.models {
+        match run_model(alias, &args) {
+            Ok(sweep) => {
+                for c in &sweep.configs {
+                    println!(
+                        "{:<14} {:<10} {:<8} bit-identical  modeled {:.2}x \
+                         (bubble {:>4.1}%)  executed bubble {:>4.1}%  moved {} B",
+                        sweep.model,
+                        c.devices,
+                        c.strategy,
+                        c.modeled_speedup,
+                        c.modeled_bubble * 100.0,
+                        c.executed_bubble * 100.0,
+                        c.executed_transfer_bytes,
+                    );
+                }
+                sweeps.push(sweep);
+            }
+            Err(e) => {
+                eprintln!("shard gate FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let doc = Doc {
+        schema: 1,
+        scale: "tiny".to_string(),
+        sweeps,
+    };
+    if let Some(dir) = std::path::Path::new(&args.out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("output directory");
+        }
+    }
+    std::fs::write(
+        &args.out,
+        serde_json::to_string_pretty(&doc).expect("serializable") + "\n",
+    )
+    .expect("write output");
+    println!("wrote {}", args.out);
+}

@@ -1,6 +1,6 @@
 //! `nongemm-cli` — command-line front end of the benchmark harness.
 //!
-//! Six subcommands (run `nongemm-cli --help` for the full flag list):
+//! Seven subcommands (run `nongemm-cli --help` for the full flag list):
 //!
 //! * `run` (default) — profile the selected models end-to-end, measured,
 //!   or through the microbench flow;
@@ -17,6 +17,12 @@
 //!   JSON over TCP, dynamic batching with admission control; blocks
 //!   until a client sends the `shutdown` wire op, then drains and
 //!   prints the final counters (pair with the `loadgen` binary);
+//! * `shard` — partition each model across a simulated multi-device
+//!   roster (`--devices 2xgpu`, `gpu+cpu`, …) with the pipeline- or
+//!   tensor-parallel strategy, execute the plan on per-device threads
+//!   with real collective/transfer kernels, verify bit-identity against
+//!   single-device execution, and report modeled vs executed speedup,
+//!   bubble fraction, and transfer bytes;
 //! * `ci` — the perf-regression gate: `--check` diffs the current tree
 //!   against the committed golden baselines under `baselines/` and exits
 //!   non-zero on any divergence, `--update` regenerates them (plus the
@@ -96,6 +102,18 @@ struct GenerateArgs {
 }
 
 #[derive(Debug)]
+struct ShardArgs {
+    models: Vec<String>,
+    devices: Option<String>,
+    strategy: nongemm::shard::Strategy,
+    microbatches: usize,
+    batch: usize,
+    tiny: bool,
+    opt_level: Option<OptLevel>,
+    format: Format,
+}
+
+#[derive(Debug)]
 struct CiArgs {
     models: Vec<String>,
     dir: String,
@@ -116,6 +134,7 @@ USAGE:
   nongemm-cli verify [OPTIONS]    static graph analysis + lints
   nongemm-cli sanitize [OPTIONS]  schedule/memory hazard verifier + sanitizer
   nongemm-cli serve [OPTIONS]     inference service with dynamic batching
+  nongemm-cli shard [OPTIONS]     multi-device sharding: partition, place, execute
   nongemm-cli ci [OPTIONS]        perf-regression gate over golden baselines
   nongemm-cli help | --help | -h  print this help
 
@@ -184,6 +203,20 @@ SERVE OPTIONS:
   --intra-op <on|off>   intra-op data parallelism (default: $NGB_INTRAOP or on)
   --tiny                serve the executable tiny presets
 
+SHARD OPTIONS:
+  --model <alias>       model alias (repeatable; default: all 18)
+  --devices <spec>      device roster: kind names cpu|gpu|npu joined by '+',
+                        with optional <n>x repeat — 2xgpu, gpu+cpu, 4xgpu,
+                        2xgpu+npu (default: $NGB_DEVICES or 2xgpu)
+  --strategy <s>        pipeline | tensor (default: pipeline)
+  --microbatches <n>    pipeline microbatches / replays (default: 4)
+  --batch <n>           batch size (default: 1)
+  --tiny                use the executable tiny presets (execution always
+                        runs the real kernels; full scale is slow)
+  --opt-level <0|1|2>   rewrite level before partitioning (default: $NGB_OPT
+                        or 0; tensor splits apply to primitive Linear nodes)
+  --format <fmt>        text | json (default: text)
+
 CI OPTIONS:
   --check               diff current state against baselines (default)
   --update              regenerate baselines + BENCH_BASELINE.json
@@ -206,6 +239,7 @@ ENVIRONMENT:
   NGB_SERVE_MAX_BATCH        default for serve --max-batch
   NGB_SERVE_BATCH_WAIT_US    default for serve --batch-wait-us
   NGB_SERVE_QUEUE_CAP        default for serve --queue-cap
+  NGB_DEVICES                default for shard --devices (e.g. 2xgpu, gpu+cpu)
 
 EXIT CODES:
   0  success / clean    1  failure or regression    2  usage error
@@ -218,7 +252,7 @@ fn print_help() -> ExitCode {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: nongemm-cli [run|generate|verify|sanitize|serve|ci] [OPTIONS]\n\
+        "usage: nongemm-cli [run|generate|verify|sanitize|serve|shard|ci] [OPTIONS]\n\
          \x20      (see `nongemm-cli --help` for the full option list)"
     );
     std::process::exit(2);
@@ -574,6 +608,170 @@ fn parse_ci_args(argv: &[String]) -> CiArgs {
     args
 }
 
+fn parse_shard_args(argv: &[String]) -> ShardArgs {
+    let mut args = ShardArgs {
+        models: Vec::new(),
+        devices: None,
+        strategy: nongemm::shard::Strategy::Pipeline,
+        microbatches: nongemm::shard::DEFAULT_MICROBATCHES,
+        batch: 1,
+        tiny: false,
+        opt_level: None,
+        format: Format::Text,
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--model" => {
+                let v = take_value(&mut it, "--model");
+                args.models.push(v);
+            }
+            "--devices" => args.devices = Some(take_value(&mut it, "--devices")),
+            "--strategy" => {
+                let v = take_value(&mut it, "--strategy");
+                args.strategy = nongemm::shard::Strategy::parse(&v).unwrap_or_else(|| {
+                    eprintln!("--strategy requires pipeline or tensor, not '{v}'");
+                    usage()
+                })
+            }
+            "--microbatches" => {
+                args.microbatches =
+                    parse_positive(&take_value(&mut it, "--microbatches"), "--microbatches")
+            }
+            "--batch" => args.batch = parse_positive(&take_value(&mut it, "--batch"), "--batch"),
+            "--tiny" => args.tiny = true,
+            "--opt-level" => {
+                args.opt_level = Some(parse_opt_level(&take_value(&mut it, "--opt-level")))
+            }
+            "--format" => {
+                args.format = match take_value(&mut it, "--format").as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => {
+                        eprintln!("shard supports --format text|json, not '{other}'");
+                        usage()
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                print!("{HELP}");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn run_shard(argv: &[String]) -> ExitCode {
+    use nongemm::shard::{self, DeviceSpec, ShardOptions};
+    let args = parse_shard_args(argv);
+    let spec = match &args.devices {
+        Some(s) => DeviceSpec::parse(s).unwrap_or_else(|| {
+            eprintln!("--devices '{s}' is not a valid roster (try 2xgpu or gpu+cpu)");
+            usage()
+        }),
+        None => shard::env_devices("2xgpu"),
+    };
+    let devices = spec.roster();
+    let bench = NonGemmBench::new(BenchConfig {
+        models: args.models.clone(),
+        batch: args.batch,
+        scale: if args.tiny { Scale::Tiny } else { Scale::Full },
+        opt_level: args.opt_level,
+        ..BenchConfig::default()
+    });
+    let graphs = match bench.build_graphs() {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("shard failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if graphs.is_empty() {
+        eprintln!("no models matched the selection");
+        return ExitCode::FAILURE;
+    }
+    let mut failures = 0usize;
+    for g in &graphs {
+        let outcome = (|| -> Result<String, String> {
+            let plan = shard::partition(g, &devices, args.strategy, &ShardOptions::default())
+                .map_err(|e| e.to_string())?;
+            let est = plan.modeled(args.microbatches);
+            let run =
+                shard::execute(&plan, 0x5eed, args.microbatches).map_err(|e| e.to_string())?;
+            let reference = nongemm::Interpreter::default()
+                .run(g)
+                .map_err(|e| e.to_string())?;
+            let identical = run.outputs.len() == reference.outputs.len()
+                && run
+                    .outputs
+                    .iter()
+                    .zip(&reference.outputs)
+                    .all(|((si, sv), (ri, rv))| {
+                        let a = sv.to_vec_f32().unwrap_or_default();
+                        let b = rv.to_vec_f32().unwrap_or_default();
+                        si == ri
+                            && a.len() == b.len()
+                            && a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits())
+                    });
+            if !identical {
+                return Err("sharded outputs diverge from single-device execution".into());
+            }
+            Ok(match args.format {
+                Format::Json => format!(
+                    "{{\"model\":\"{}\",\"devices\":\"{}\",\"strategy\":\"{}\",\
+                     \"microbatches\":{},\"splits\":{},\"bit_identical\":true,\
+                     \"modeled_speedup\":{:.3},\"modeled_bubble\":{:.4},\
+                     \"executed_wall_s\":{:.6},\"executed_bubble\":{:.4},\
+                     \"transfer_bytes\":{}}}",
+                    g.name,
+                    spec.label(),
+                    args.strategy,
+                    run.microbatches,
+                    plan.splits,
+                    est.speedup,
+                    est.bubble_fraction,
+                    run.wall_s,
+                    run.bubble_fraction,
+                    run.transfer_bytes,
+                ),
+                _ => format!(
+                    "{:<14} {}  {}  mb={}  splits={}  bit-identical  \
+                     modeled speedup {:.2}x (bubble {:.0}%)  executed wall {:.1} ms \
+                     (bubble {:.0}%)  moved {} B",
+                    g.name,
+                    spec.label(),
+                    args.strategy,
+                    run.microbatches,
+                    plan.splits,
+                    est.speedup,
+                    est.bubble_fraction * 100.0,
+                    run.wall_s * 1e3,
+                    run.bubble_fraction * 100.0,
+                    run.transfer_bytes,
+                ),
+            })
+        })();
+        match outcome {
+            Ok(line) => println!("{line}"),
+            Err(e) => {
+                eprintln!("{}: {e}", g.name);
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("shard: {failures} model(s) failed");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn parse_generate_args(argv: &[String]) -> GenerateArgs {
     let mut args = GenerateArgs {
         models: Vec::new(),
@@ -710,6 +908,7 @@ fn main() -> ExitCode {
         Some("verify") => run_verify(&argv[1..]),
         Some("sanitize") => run_sanitize(&argv[1..]),
         Some("serve") => run_serve(&argv[1..]),
+        Some("shard") => run_shard(&argv[1..]),
         Some("run") => run_bench(&argv[1..]),
         Some("ci") => run_ci(&argv[1..]),
         Some("help") => print_help(),

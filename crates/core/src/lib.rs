@@ -26,6 +26,7 @@
 //! | [`runtime`] | `ngb-runtime` | deployment flows (eager/TS/Dynamo/ORT) |
 //! | [`profiler`] | `ngb-profiler` | end-to-end profiling + reports |
 //! | [`regress`] | `ngb-regress` | perf-regression gate + golden baselines |
+//! | [`shard`] | `ngb-shard` | multi-device partitioner + executed collectives |
 //! | [`microbench`] | `ngb-microbench` | harvested non-GEMM op registry |
 //! | [`data`] | `ngb-data` | synthetic ImageNet/COCO/wikitext |
 //!
@@ -63,6 +64,7 @@ pub use ngb_regress as regress;
 pub use ngb_runtime as runtime;
 pub use ngb_sanitize as sanitize;
 pub use ngb_serve as serve;
+pub use ngb_shard as shard;
 pub use ngb_tensor as tensor;
 
 pub use ngb_analyze::{AnalysisReport, Analyzer, Lint, LintConfig, Severity};

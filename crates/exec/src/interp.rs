@@ -364,6 +364,26 @@ impl Interpreter {
     }
 }
 
+/// Executes one node outside the engines, with caller-gathered input
+/// tensors — the `ngb-shard` executor drives plan nodes on per-device
+/// threads through this entry point. Dispatch, RNG seeding (via
+/// `seed_hint`), and arena recycling are exactly the engines' own, so
+/// results are bit-identical to [`Interpreter::run`] node for node.
+///
+/// # Errors
+///
+/// Propagates kernel errors.
+pub fn run_node(
+    seed: u64,
+    node: &Node,
+    args: &[Tensor],
+    override_input: Option<&Tensor>,
+    arena: &Arena,
+    quant: Quant,
+) -> Result<Tensor, TensorError> {
+    execute_node(seed, node, args, override_input, arena, quant)
+}
+
 /// Structural + shape-conformance preflight shared by both engines.
 ///
 /// # Errors
@@ -649,6 +669,58 @@ pub(crate) fn execute_node(
             let table = rng.normal_into(arena.take(vocab * dim), &[*vocab, *dim]);
             let out = ngb_ops::embedding::embedding(&table, arg(0)?);
             arena.reclaim(table);
+            out
+        }
+
+        // Collectives run as ordinary kernels on whichever device owns
+        // them; the sharded executor charges interconnect latency around
+        // them, never by changing their math.
+        OpKind::AllReduce => {
+            // rank-order accumulation: deterministic for a fixed plan
+            let mut acc = arg(0)?.clone();
+            for i in 1..node.inputs.len() {
+                acc = ngb_ops::arithmetic::add(&acc, arg(i)?)?;
+            }
+            Ok(acc)
+        }
+        OpKind::AllGather { dim } => {
+            let shards: Vec<Tensor> = (0..node.inputs.len())
+                .map(|i| arg(i).cloned())
+                .collect::<Result<_, _>>()?;
+            Tensor::cat(&shards, *dim)
+        }
+        OpKind::Transfer => Ok(arg(0)?.contiguous()),
+        OpKind::LinearShard {
+            in_f,
+            out_f,
+            bias,
+            part,
+            parts,
+            row_split,
+        } => {
+            // Replay the *full* layer's parameter stream (weight, then
+            // bias — the same order as the Linear arm, keyed by the
+            // original node via seed_hint) and slice this shard's view,
+            // so shard weights are bitwise slices of the unsplit layer.
+            let w = rng.kaiming_into(arena.take(out_f * in_f), &[*out_f, *in_f], *in_f);
+            let b = bias.then(|| rng.normal(&[*out_f]));
+            let (start, len) =
+                ngb_graph::shard_span(if *row_split { *in_f } else { *out_f }, *part, *parts);
+            let (ws, bs) = if *row_split {
+                // row-parallel: slice input features; only part 0 adds
+                // the bias (the AllReduce sums partials exactly once).
+                (w.narrow(1, start, len)?, b.filter(|_| *part == 0))
+            } else {
+                let bs = match b {
+                    Some(full) => Some(full.narrow(0, start, len)?),
+                    None => None,
+                };
+                (w.narrow(0, start, len)?, bs)
+            };
+            let out = ngb_ops::gemm::linear(arg(0)?, &ws, bs.as_ref());
+            drop(ws);
+            drop(bs);
+            arena.reclaim(w);
             out
         }
 

@@ -51,7 +51,9 @@ mod sanitizer;
 mod schedule;
 
 pub use bufplan::{Arena, ArenaStats, BufferPlan};
-pub use interp::{preflight_check, synth_input, Engine, ExecutionTrace, Interpreter, NodeTiming};
+pub use interp::{
+    preflight_check, run_node, synth_input, Engine, ExecutionTrace, Interpreter, NodeTiming,
+};
 pub use intraop::PoolRunner;
 pub use ngb_ops::Quant;
 pub use parallel::ParallelExecutor;

@@ -448,6 +448,76 @@ pub fn infer_shape(op: &OpKind, inputs: &[Vec<usize>]) -> Result<Vec<usize>> {
             Ok(s)
         }
 
+        OpKind::AllReduce => {
+            let first = one(inputs, "all_reduce")?;
+            for s in inputs {
+                if *s != first {
+                    return Err(TensorError::ShapeMismatch {
+                        expected: first,
+                        actual: s.clone(),
+                        op: "all_reduce",
+                    });
+                }
+            }
+            Ok(first)
+        }
+        OpKind::AllGather { dim } => {
+            let first = one(inputs, "all_gather")?;
+            if *dim >= first.len() {
+                return Err(TensorError::InvalidDim {
+                    dim: *dim,
+                    rank: first.len(),
+                });
+            }
+            let mut out = first.clone();
+            out[*dim] = 0;
+            for s in inputs {
+                if s.len() != first.len()
+                    || s.iter()
+                        .enumerate()
+                        .any(|(i, &d)| i != *dim && d != first[i])
+                {
+                    return Err(TensorError::ShapeMismatch {
+                        expected: first,
+                        actual: s.clone(),
+                        op: "all_gather",
+                    });
+                }
+                out[*dim] += s[*dim];
+            }
+            Ok(out)
+        }
+        OpKind::Transfer => one(inputs, "transfer"),
+        OpKind::LinearShard {
+            in_f,
+            out_f,
+            part,
+            parts,
+            row_split,
+            ..
+        } => {
+            let mut s = one(inputs, "linear_shard")?;
+            let (_, len) =
+                crate::op::shard_span(if *row_split { *in_f } else { *out_f }, *part, *parts);
+            let (expect_in, give_out) = if *row_split {
+                (len, *out_f)
+            } else {
+                (*in_f, len)
+            };
+            match s.last() {
+                Some(&d) if d == expect_in => {}
+                _ => {
+                    return Err(TensorError::ShapeMismatch {
+                        expected: vec![expect_in],
+                        actual: s.clone(),
+                        op: "linear_shard",
+                    })
+                }
+            }
+            *s.last_mut().expect("checked") = give_out;
+            Ok(s)
+        }
+
         OpKind::Argmax { dim } => {
             let mut s = one(inputs, "argmax")?;
             if *dim >= s.len() {
@@ -583,6 +653,41 @@ pub fn op_cost(op: &OpKind, inputs: &[Vec<usize>], output: &[usize]) -> OpCost {
 
         OpKind::Embedding { dim, .. } => {
             ngb_ops::embedding::embedding_cost(num_elements(in0), *dim)
+        }
+
+        // Collectives: accumulate/concatenate/copy every input element
+        // once — pure memory-bound non-GEMM work, one kernel each.
+        OpKind::AllReduce => OpCost {
+            flops: (inputs.len().saturating_sub(1) * n_out) as f64,
+            bytes_read: (inputs.len() * n_out * 4) as f64,
+            bytes_written: (n_out * 4) as f64,
+            kernels: 1,
+            dynamic: false,
+        },
+        OpKind::AllGather { .. } | OpKind::Transfer => OpCost {
+            flops: 0.0,
+            bytes_read: (n_out * 4) as f64,
+            bytes_written: (n_out * 4) as f64,
+            kernels: 1,
+            dynamic: false,
+        },
+        OpKind::LinearShard {
+            in_f,
+            out_f,
+            bias,
+            part,
+            parts,
+            row_split,
+        } => {
+            let (_, len) =
+                crate::op::shard_span(if *row_split { *in_f } else { *out_f }, *part, *parts);
+            let (k, n) = if *row_split {
+                (len, *out_f)
+            } else {
+                (*in_f, len)
+            };
+            let rows = num_elements(in0) / k.max(1);
+            ngb_ops::gemm::linear_cost(rows, k, n, *bias && (!*row_split || *part == 0))
         }
 
         OpKind::Argmax { dim } => ngb_ops::reduction::argmax_cost(in0, *dim),

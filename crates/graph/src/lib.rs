@@ -41,4 +41,4 @@ mod op;
 
 pub use graph::{Graph, GraphBuilder, Node, NodeId, StructuralIssue};
 pub use infer::{fused_attribution, infer_shape, op_cost, walk_fused};
-pub use op::{FusedKind, FusedOp, FusedStage, NonGemmGroup, OpClass, OpKind};
+pub use op::{shard_span, FusedKind, FusedOp, FusedStage, NonGemmGroup, OpClass, OpKind};

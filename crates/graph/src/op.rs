@@ -24,6 +24,9 @@ pub enum NonGemmGroup {
     Pooling,
     /// Embedding table lookup and gather.
     Embedding,
+    /// Multi-device collectives and transfers (all-reduce, all-gather,
+    /// PCIe copies) inserted by the `ngb-shard` partitioner.
+    Collective,
     /// Everything else (argmax/top-k heads, masks, …).
     Other,
 }
@@ -41,6 +44,7 @@ impl NonGemmGroup {
             NonGemmGroup::Interpolation => "Interpolation",
             NonGemmGroup::Pooling => "Pooling",
             NonGemmGroup::Embedding => "Embedding",
+            NonGemmGroup::Collective => "Collective",
             NonGemmGroup::Other => "Other",
         }
     }
@@ -57,6 +61,7 @@ impl NonGemmGroup {
             NonGemmGroup::Interpolation,
             NonGemmGroup::Pooling,
             NonGemmGroup::Embedding,
+            NonGemmGroup::Collective,
             NonGemmGroup::Other,
         ]
     }
@@ -376,6 +381,45 @@ pub enum OpKind {
         dim: usize,
     },
 
+    // ------------------------------------------------------------ collective
+    /// Element-wise sum of all inputs (equal shapes) — the reduction half
+    /// of a tensor-parallel row split. Partial sums are accumulated in
+    /// input (rank) order, so results are deterministic but float-reorder
+    /// equivalent (not bitwise) to the unsplit GEMM.
+    AllReduce,
+    /// Copying concatenation of per-device shards along `dim` — the
+    /// gather half of a tensor-parallel column split. Bit-identical to
+    /// the unsplit result because every element is computed once.
+    AllGather {
+        /// Concatenated (shard) dim.
+        dim: usize,
+    },
+    /// A cross-device copy over the interconnect: executes as a dense
+    /// copy, and the sharded executor charges the modeled PCIe latency
+    /// for its bytes into the profile.
+    Transfer,
+    /// One tensor-parallel shard of a [`OpKind::Linear`] layer. The full
+    /// `[out_f, in_f]` weight (and bias) is materialized from the
+    /// *original* node's RNG stream (via `seed_hint`) and then sliced, so
+    /// shard weights are bitwise slices of the unsplit weight.
+    LinearShard {
+        /// Full-layer input features.
+        in_f: usize,
+        /// Full-layer output features.
+        out_f: usize,
+        /// Whether the full layer adds a bias.
+        bias: bool,
+        /// This shard's index in `0..parts`.
+        part: usize,
+        /// Total number of shards.
+        parts: usize,
+        /// `false`: column-parallel — slice output features; combine with
+        /// [`OpKind::AllGather`]. `true`: row-parallel — slice input
+        /// features (the operand arrives pre-sliced); combine with
+        /// [`OpKind::AllReduce`], bias applied by `part` 0 only.
+        row_split: bool,
+    },
+
     // ------------------------------------------------------------- reduction
     /// Argmax over `dim` (i64 output).
     Argmax {
@@ -520,6 +564,10 @@ impl OpKind {
             OpKind::InterpolateNearest { .. } => "interpolate_nearest",
             OpKind::InterpolateBilinear { .. } => "interpolate_bilinear",
             OpKind::Embedding { .. } => "embedding",
+            OpKind::AllReduce => "all_reduce",
+            OpKind::AllGather { .. } => "all_gather",
+            OpKind::Transfer => "transfer",
+            OpKind::LinearShard { .. } => "linear_shard",
             OpKind::Argmax { .. } => "argmax",
             OpKind::TopK { .. } => "topk",
             OpKind::Fused(f) => f.kind.name(),
@@ -534,7 +582,12 @@ impl OpKind {
             | OpKind::Conv1dGpt2 { .. }
             | OpKind::Conv2d { .. }
             | OpKind::Matmul
-            | OpKind::Bmm => OpClass::Gemm,
+            | OpKind::Bmm
+            | OpKind::LinearShard { .. } => OpClass::Gemm,
+
+            OpKind::AllReduce | OpKind::AllGather { .. } | OpKind::Transfer => {
+                OpClass::NonGemm(G::Collective)
+            }
 
             OpKind::Relu
             | OpKind::Relu6
@@ -634,6 +687,29 @@ impl OpKind {
             OpKind::BatchNorm2d { c } | OpKind::FrozenBatchNorm2d { c } => 4 * c,
             OpKind::GroupNorm { c, .. } => 2 * c,
             OpKind::Embedding { vocab, dim } => vocab * dim,
+            OpKind::LinearShard {
+                in_f,
+                out_f,
+                bias,
+                part,
+                parts,
+                row_split,
+            } => {
+                let (_, len) = shard_span(if *row_split { *in_f } else { *out_f }, *part, *parts);
+                let weight = len * if *row_split { *out_f } else { *in_f };
+                let bias_len = match (*bias, *row_split) {
+                    (false, _) => 0,
+                    (true, false) => len, // its slice of the bias
+                    (true, true) => {
+                        if *part == 0 {
+                            *out_f
+                        } else {
+                            0
+                        }
+                    } // part 0 owns the bias
+                };
+                weight + bias_len
+            }
             OpKind::Fused(f) => f.stages.iter().map(|s| s.op.param_count()).sum(),
             _ => 0,
         }
@@ -696,6 +772,19 @@ impl OpKind {
                 | OpKind::MaxPool2d { .. }
                 | OpKind::AvgPool2d { .. }
                 | OpKind::AdaptiveAvgPool2d { .. }
+                | OpKind::AllReduce
+        )
+    }
+
+    /// Whether the op is a multi-device collective or interconnect
+    /// transfer inserted by the `ngb-shard` partitioner. Rewrite passes
+    /// must never fuse through these nodes: they mark device cut points,
+    /// and absorbing work across one would move computation onto a
+    /// different device than the placement assigned.
+    pub fn is_collective(&self) -> bool {
+        matches!(
+            self,
+            OpKind::AllReduce | OpKind::AllGather { .. } | OpKind::Transfer
         )
     }
 
@@ -803,6 +892,14 @@ impl OpKind {
             | OpKind::AvgPool2d { .. }
             | OpKind::AdaptiveAvgPool2d { .. } => true,
 
+            // Collectives: `zip_map` accumulation, stride-aware `cat`,
+            // and the transfer copy all walk logical order over any
+            // layout; the shard GEMM packs panels like the full layer.
+            OpKind::AllReduce
+            | OpKind::AllGather { .. }
+            | OpKind::Transfer
+            | OpKind::LinearShard { .. } => true,
+
             // Layout ops are metadata rewrites or stride-aware copies
             // (`cat`/`roll` read through strides while writing dense
             // output). `Reshape`/`View` are capable only when the incoming
@@ -820,15 +917,20 @@ impl OpKind {
             | OpKind::Cat { .. }
             | OpKind::Roll { .. } => true,
 
+            // Resamplers and RoIAlign walk the spatial strides of their
+            // feature map directly (base + iy*sh + ix*sw taps, like the
+            // pooling kernels); box tensors go through `to_vec_f32`,
+            // which reads any layout.
+            OpKind::InterpolateNearest { .. }
+            | OpKind::InterpolateBilinear { .. }
+            | OpKind::RoiAlign { .. } => true,
+
             // Kernels that still materialize internally or gather through
             // integer indices: keep the copy explicit in the graph.
             OpKind::Input
             | OpKind::InputIds { .. }
             | OpKind::Embedding { .. }
-            | OpKind::InterpolateNearest { .. }
-            | OpKind::InterpolateBilinear { .. }
             | OpKind::Nms { .. }
-            | OpKind::RoiAlign { .. }
             | OpKind::BoxConvert
             | OpKind::Argmax { .. }
             | OpKind::TopK { .. } => false,
@@ -859,8 +961,23 @@ impl OpKind {
                 | OpKind::Cat { .. }
                 | OpKind::Nms { .. }
                 | OpKind::RoiAlign { .. }
+                | OpKind::AllReduce
+                | OpKind::AllGather { .. }
         )
     }
+}
+
+/// The `(start, len)` span of shard `part` of `parts` over `total`
+/// elements: the first `total % parts` shards take one extra element, so
+/// spans tile `0..total` exactly for any divisibility.
+pub fn shard_span(total: usize, part: usize, parts: usize) -> (usize, usize) {
+    let parts = parts.max(1);
+    let part = part.min(parts - 1);
+    let base = total / parts;
+    let extra = total % parts;
+    let start = part * base + part.min(extra);
+    let len = base + usize::from(part < extra);
+    (start, len)
 }
 
 #[cfg(test)]
@@ -1045,14 +1162,15 @@ mod tests {
             padding: 0
         }
         .stride_capable());
-        // internal materializers keep their explicit Contiguous producers
-        assert!(!OpKind::Embedding { vocab: 8, dim: 4 }.stride_capable());
-        assert!(!OpKind::InterpolateBilinear { oh: 4, ow: 4 }.stride_capable());
-        assert!(!OpKind::RoiAlign {
+        // detection kernels walk feature-map strides directly
+        assert!(OpKind::InterpolateBilinear { oh: 4, ow: 4 }.stride_capable());
+        assert!(OpKind::RoiAlign {
             out: 7,
             spatial_scale: 1.0
         }
         .stride_capable());
+        // internal materializers keep their explicit Contiguous producers
+        assert!(!OpKind::Embedding { vocab: 8, dim: 4 }.stride_capable());
         assert!(!OpKind::TopK { k: 5 }.stride_capable());
     }
 
@@ -1061,6 +1179,43 @@ mod tests {
         for g in NonGemmGroup::all() {
             assert!(!g.label().is_empty());
         }
-        assert_eq!(NonGemmGroup::all().len(), 10);
+        assert_eq!(NonGemmGroup::all().len(), 11);
+    }
+
+    #[test]
+    fn shard_span_tiles_total_exactly() {
+        for &(total, parts) in &[(7usize, 3usize), (8, 4), (1, 2), (5, 5), (0, 3), (16, 1)] {
+            let mut next = 0;
+            for part in 0..parts {
+                let (start, len) = shard_span(total, part, parts);
+                assert_eq!(start, next, "{total}/{parts} part {part}");
+                next = start + len;
+            }
+            assert_eq!(next, total, "spans must cover 0..{total}");
+        }
+    }
+
+    #[test]
+    fn collectives_are_classified_and_guarded() {
+        for op in [
+            OpKind::AllReduce,
+            OpKind::AllGather { dim: 1 },
+            OpKind::Transfer,
+        ] {
+            assert!(op.is_collective(), "{} is a collective", op.name());
+            assert_eq!(op.class(), OpClass::NonGemm(NonGemmGroup::Collective));
+        }
+        let shard = OpKind::LinearShard {
+            in_f: 8,
+            out_f: 6,
+            bias: true,
+            part: 0,
+            parts: 2,
+            row_split: false,
+        };
+        assert!(!shard.is_collective());
+        assert_eq!(shard.class(), OpClass::Gemm);
+        // column split: part 0 of 2 over out_f=6 owns 3 rows of [6,8] + 3 bias
+        assert_eq!(shard.param_count(), 3 * 8 + 3);
     }
 }

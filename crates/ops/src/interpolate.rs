@@ -18,21 +18,22 @@ pub fn interpolate_nearest(x: &Tensor, out_h: usize, out_w: usize) -> Result<Ten
             "interpolate output must be nonzero".into(),
         ));
     }
-    let xc = x.contiguous();
-    let xs = xc.as_slice_f32().ok_or(TensorError::DTypeMismatch {
+    let xs = x.storage_f32().ok_or(TensorError::DTypeMismatch {
         expected: "f32",
         actual: x.dtype().name(),
         op: "interpolate_nearest",
     })?;
+    let (sh, sw) = (x.strides()[2], x.strides()[3]);
     let mut out = vec![0.0f32; n * c * out_h * out_w];
     for b in 0..n {
         for ch in 0..c {
-            let base = (b * c + ch) * h * w;
+            let base = chan_base(x, b, ch);
             for oy in 0..out_h {
                 let iy = (oy * h) / out_h;
                 for ox in 0..out_w {
                     let ix = (ox * w) / out_w;
-                    out[((b * c + ch) * out_h + oy) * out_w + ox] = xs[base + iy * w + ix];
+                    out[((b * c + ch) * out_h + oy) * out_w + ox] =
+                        xs[(base + iy as isize * sh + ix as isize * sw) as usize];
                 }
             }
         }
@@ -53,18 +54,21 @@ pub fn interpolate_bilinear(x: &Tensor, out_h: usize, out_w: usize) -> Result<Te
             "interpolate output must be nonzero".into(),
         ));
     }
-    let xc = x.contiguous();
-    let xs = xc.as_slice_f32().ok_or(TensorError::DTypeMismatch {
+    let xs = x.storage_f32().ok_or(TensorError::DTypeMismatch {
         expected: "f32",
         actual: x.dtype().name(),
         op: "interpolate_bilinear",
     })?;
+    let (sh, sw) = (x.strides()[2], x.strides()[3]);
     let scale_y = h as f32 / out_h as f32;
     let scale_x = w as f32 / out_w as f32;
     let mut out = vec![0.0f32; n * c * out_h * out_w];
     for b in 0..n {
         for ch in 0..c {
-            let base = (b * c + ch) * h * w;
+            let base = chan_base(x, b, ch);
+            let at = |yy: usize, xx: usize| -> f32 {
+                xs[(base + yy as isize * sh + xx as isize * sw) as usize]
+            };
             for oy in 0..out_h {
                 let sy = ((oy as f32 + 0.5) * scale_y - 0.5).clamp(0.0, (h - 1) as f32);
                 let y0 = sy.floor() as usize;
@@ -75,16 +79,22 @@ pub fn interpolate_bilinear(x: &Tensor, out_h: usize, out_w: usize) -> Result<Te
                     let x0 = sx.floor() as usize;
                     let x1 = (x0 + 1).min(w - 1);
                     let dx = sx - x0 as f32;
-                    let v = xs[base + y0 * w + x0] * (1.0 - dy) * (1.0 - dx)
-                        + xs[base + y0 * w + x1] * (1.0 - dy) * dx
-                        + xs[base + y1 * w + x0] * dy * (1.0 - dx)
-                        + xs[base + y1 * w + x1] * dy * dx;
+                    let v = at(y0, x0) * (1.0 - dy) * (1.0 - dx)
+                        + at(y0, x1) * (1.0 - dy) * dx
+                        + at(y1, x0) * dy * (1.0 - dx)
+                        + at(y1, x1) * dy * dx;
                     out[((b * c + ch) * out_h + oy) * out_w + ox] = v;
                 }
             }
         }
     }
     Tensor::from_vec(out, &[n, c, out_h, out_w])
+}
+
+/// Storage offset of `x[b, ch, 0, 0]` — resamplers walk the input's own
+/// strides, so permuted or sliced feature maps read without a copy.
+fn chan_base(x: &Tensor, b: usize, ch: usize) -> isize {
+    x.storage_offset() as isize + b as isize * x.strides()[0] + ch as isize * x.strides()[1]
 }
 
 fn nchw(x: &Tensor, op: &'static str) -> Result<(usize, usize, usize, usize)> {

@@ -146,8 +146,19 @@ pub fn roi_align(
         features.shape()[2],
     );
     let r = rois.shape()[0];
-    let fv = features.contiguous();
-    let fs = fv.as_slice_f32().expect("contiguous f32");
+    // Walk the feature map's own strides (like the pooling kernels): the
+    // scattered bilinear taps read permuted or sliced views in place.
+    let fs = features.storage_f32().ok_or(TensorError::DTypeMismatch {
+        expected: "f32",
+        actual: features.dtype().name(),
+        op: "roi_align",
+    })?;
+    let fbase = features.storage_offset() as isize;
+    let (sc, sh, sw) = (
+        features.strides()[0],
+        features.strides()[1],
+        features.strides()[2],
+    );
     let rv = rois.to_vec_f32()?;
     let mut outv = vec![0.0f32; r * c * out * out];
     let bilinear = |ch: usize, y: f32, x: f32| -> f32 {
@@ -156,7 +167,9 @@ pub fn roi_align(
         let (y0, x0) = (y.floor() as usize, x.floor() as usize);
         let (y1, x1) = ((y0 + 1).min(h - 1), (x0 + 1).min(w - 1));
         let (dy, dx) = (y - y0 as f32, x - x0 as f32);
-        let at = |yy: usize, xx: usize| fs[(ch * h + yy) * w + xx];
+        let at = |yy: usize, xx: usize| {
+            fs[(fbase + ch as isize * sc + yy as isize * sh + xx as isize * sw) as usize]
+        };
         at(y0, x0) * (1.0 - dy) * (1.0 - dx)
             + at(y0, x1) * (1.0 - dy) * dx
             + at(y1, x0) * dy * (1.0 - dx)

@@ -514,6 +514,15 @@ fn epilogue_stages(n: &Node) -> Option<Vec<FusedStage>> {
     }
 }
 
+/// Shard-plan machinery is never rewritten: collective / transfer nodes
+/// mark `ngb-shard` device cut points, and `LinearShard` must replay the
+/// unsplit layer's RNG stream and slice it exactly — fusing into or
+/// across any of them would move work between devices or change the
+/// math. Every rewrite pass skips matches touching these ops.
+fn shard_frozen(op: &OpKind) -> bool {
+    op.is_collective() || matches!(op, OpKind::LinearShard { .. })
+}
+
 /// Merges a unary pointwise node (or element-wise chain) into its
 /// single-consumer producer. A GEMM-classified producer — primitive or
 /// already fused — yields a GEMM epilogue (this is what clears the
@@ -530,6 +539,9 @@ fn absorb_pass(g: &Graph, report: &mut OptReport) -> Option<Graph> {
         let [pid] = n.inputs.as_slice() else { continue };
         let p = &g.nodes[pid.0];
         if consumers[pid.0] != 1 || !sw.free(&[*pid, n.id]) {
+            continue;
+        }
+        if shard_frozen(&p.op) || shard_frozen(&n.op) {
             continue;
         }
         let (kind, head) = match &p.op {
@@ -1098,19 +1110,53 @@ mod tests {
 
     #[test]
     fn contiguous_before_incapable_consumer_stays() {
-        // transpose -> contiguous -> interpolate: the resampler still
+        // transpose -> contiguous -> topk: the selection kernel still
         // materializes internally, so the explicit copy must survive.
         let mut b = GraphBuilder::new("g");
-        let x = b.input(&[1, 3, 4, 4]);
+        let x = b.input(&[4, 4]);
         let t = b
-            .push(OpKind::Transpose { d0: 2, d1: 3 }, &[x], "t")
+            .push(OpKind::Transpose { d0: 0, d1: 1 }, &[x], "t")
             .unwrap();
         let c = b.push(OpKind::Contiguous, &[t], "c").unwrap();
-        b.push(OpKind::InterpolateBilinear { oh: 8, ow: 8 }, &[c], "up")
-            .unwrap();
+        b.push(OpKind::TopK { k: 2 }, &[c], "top").unwrap();
         let (og, report) = optimize_with(&b.finish(), OptLevel::O1, true);
         assert_eq!(report.contiguous_elided, 0);
         assert_eq!(og.len(), 4);
+    }
+
+    #[test]
+    fn shard_machinery_is_never_fused() {
+        // linear_shard -> gelu would normally absorb into a GEMM epilogue;
+        // shard plans must keep the shard's exact RNG/slice semantics, and
+        // the all_gather marks a device cut point no rewrite may cross.
+        let mut b = GraphBuilder::new("g");
+        let x = b.input(&[2, 8]);
+        let s = b
+            .push(
+                OpKind::LinearShard {
+                    in_f: 8,
+                    out_f: 8,
+                    bias: true,
+                    part: 0,
+                    parts: 2,
+                    row_split: false,
+                },
+                &[x],
+                "fc.shard0",
+            )
+            .unwrap();
+        let a = b.push(OpKind::Gelu, &[s], "act").unwrap();
+        let g1 = b
+            .push(OpKind::AllGather { dim: 1 }, &[a], "gather")
+            .unwrap();
+        b.push(OpKind::Relu, &[g1], "post").unwrap();
+        let (og, report) = optimize_with(&b.finish(), OptLevel::O2, true);
+        assert_eq!(report.gemm_epilogue, 0);
+        assert!(og
+            .iter()
+            .any(|n| matches!(n.op, OpKind::LinearShard { .. })));
+        assert!(og.iter().any(|n| matches!(n.op, OpKind::Gelu)));
+        assert!(og.iter().any(|n| matches!(n.op, OpKind::AllGather { .. })));
     }
 
     #[test]

@@ -35,6 +35,10 @@ pub enum DeviceKind {
     Cpu,
     /// A discrete GPU with a kernel-launch model and a PCIe link.
     Gpu,
+    /// An NPU-class accelerator: a systolic GEMM engine behind a thin
+    /// vector unit — strong matmul throughput, weak non-GEMM coverage
+    /// (the "When NPUs Are Not Always Faster" regime).
+    Npu,
 }
 
 /// Roofline parameters of one device.
@@ -157,6 +161,24 @@ impl DeviceModel {
             transfer_fixed_us: 0.0,
             tdp_watts: 115.0,
             idle_watts: 12.0,
+        }
+    }
+
+    /// Edge NPU (40 TOPS class): GEMM throughput near a mobile GPU's but
+    /// an order of magnitude less vector throughput, so non-GEMM
+    /// operators dominate even harder than on GPUs.
+    pub fn edge_npu() -> Self {
+        DeviceModel {
+            name: "Edge NPU 40T",
+            kind: DeviceKind::Npu,
+            gemm_tflops: 16.0,
+            vector_tflops: 0.4,
+            mem_bw_gbs: 120.0,
+            kernel_launch_us: 8.0,
+            pcie_gbs: 8.0,
+            transfer_fixed_us: 10.0,
+            tdp_watts: 30.0,
+            idle_watts: 3.0,
         }
     }
 

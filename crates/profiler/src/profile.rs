@@ -88,6 +88,10 @@ pub struct NodeProfile {
     /// Autoregressive stage this node's time belongs to (prefill unless
     /// the profile was retagged with [`ModelProfile::with_stage`]).
     pub stage: StagePhase,
+    /// Simulated device index the node ran on (0 for single-device
+    /// profiles; the `ngb-shard` executor numbers devices from its
+    /// `--devices` roster).
+    pub device: usize,
 }
 
 impl NodeProfile {
@@ -359,6 +363,7 @@ pub fn profile_analytic_with_options(
             bytes_materialized: 0,
             attribution: node_attribution(graph, node),
             stage: StagePhase::Prefill,
+            device: 0,
         });
     }
     ModelProfile {
@@ -490,6 +495,7 @@ pub fn profile_measured_checked(
             bytes_materialized: bytes_mat[n.id.0],
             attribution: node_attribution(graph, n),
             stage: StagePhase::Prefill,
+            device: 0,
         })
         .collect();
     let batch = graph

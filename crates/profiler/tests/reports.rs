@@ -58,6 +58,7 @@ fn csv_schema_is_stable() {
         "interpolation_frac",
         "pooling_frac",
         "embedding_frac",
+        "collective_frac",
         "other_frac",
     ];
     assert_eq!(header.split(',').collect::<Vec<_>>(), expected);

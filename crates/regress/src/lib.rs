@@ -46,7 +46,7 @@
 //! let b = snapshot(ModelId::Gpt2, Scale::Tiny, OptLevel::O1).unwrap();
 //! assert_eq!(a, b); // snapshots are deterministic
 //! assert!(a.cost.total_us > 0.0);
-//! assert_eq!(SCHEMA_VERSION, 3);
+//! assert_eq!(SCHEMA_VERSION, 4);
 //! ```
 
 #![forbid(unsafe_code)]

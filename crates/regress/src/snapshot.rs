@@ -22,7 +22,10 @@ use serde::{Deserialize, Serialize};
 /// rewrite counter.
 /// v3: added the `decode` channel (decode-step graph census and
 /// prefill-vs-decode stage cost split) for autoregressive LM models.
-pub const SCHEMA_VERSION: u64 = 3;
+/// v4: the taxonomy census gained the `Collective` group (all-reduce /
+/// all-gather / transfer nodes inserted by `ngb-shard` count there
+/// instead of `Other`), so every census vector grew one entry.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Total positions (prompt + generated) the decode-channel graphs are
 /// built for, per scale. Fixed so the census is deterministic.

@@ -6,7 +6,7 @@
 #   CI_STAGES=test-opt,regress scripts/ci.sh
 #
 # Stages: fmt, clippy, test, test-parallel, test-opt, test-intraop,
-# sanitize, serve, decode, contiguous-ratchet, regress.
+# sanitize, serve, decode, shard, contiguous-ratchet, regress.
 # Unknown stage names in CI_STAGES exit 2 with the valid list, so a typo
 # never silently skips every gate.
 # The contiguous-ratchet stage pins the declared list of eager
@@ -26,6 +26,11 @@
 # the int8 weight-quantized path stays within its documented tolerance,
 # and throughput is positive; the batch sweep lands in
 # target/ci/BENCH_DECODE.json for artifact upload.
+# The shard stage partitions all 18 tiny models across 2- and 4-device
+# rosters with both the pipeline and tensor strategies, executes every
+# plan on per-device threads, and fails unless each run is bit-identical
+# to single-device execution; modeled + executed stage times, bubbles,
+# and transfer bytes land in target/ci/BENCH_SHARD.json for upload.
 # The regress stage writes target/ci/regress-report.{json,txt} so CI can
 # upload the diff report as an artifact; tune it with NGB_NO_WALLCLOCK=1
 # (skip the measured smoke channel) or NGB_WALLCLOCK_FACTOR=<f> (extra
@@ -35,7 +40,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-ALL_STAGES="fmt,clippy,test,test-parallel,test-opt,test-intraop,sanitize,serve,decode,contiguous-ratchet,regress"
+ALL_STAGES="fmt,clippy,test,test-parallel,test-opt,test-intraop,sanitize,serve,decode,shard,contiguous-ratchet,regress"
 STAGES="${CI_STAGES:-$ALL_STAGES}"
 
 # reject unknown stage names up front: a typo in CI_STAGES must fail
@@ -169,15 +174,28 @@ decode_gate() {
     ./target/release/nongemm-cli generate --tiny --model gpt2 --max-new-tokens 8 >/dev/null
 }
 
+shard_gate() {
+  mkdir -p target/ci
+  cargo build --release -q --bin shard_sweep --bin nongemm-cli
+  # shard_sweep exits non-zero unless every model, on every roster and
+  # under both strategies, executes sharded bit-identically to the
+  # single-device interpreter
+  ./target/release/shard_sweep --out target/ci/BENCH_SHARD.json
+  grep -q '"bit_identical": true' target/ci/BENCH_SHARD.json \
+    || { echo "error: sweep summary does not record bit identity"; return 1; }
+  # the CLI front end must drive the same path, including a
+  # heterogeneous roster and the tensor strategy
+  ./target/release/nongemm-cli shard --model gpt2 --tiny \
+    --devices gpu+cpu --strategy tensor >/dev/null
+}
+
 # Declared eager-materialization fallbacks in ngb-ops kernel code
 # (file:reason). Everything else must consume strided operands in place;
 # shrinking this list is progress, growing it needs a review.
 CONTIGUOUS_ALLOWLIST=(
-  "src/roi.rs:roi_align gathers scattered bilinear taps"
   "src/embedding.rs:row gather needs a dense table"
   "src/gemm.rs:conv2d weight repack fallback"
   "src/memory.rs:the contiguous/roll ops are defined as copies"
-  "src/interpolate.rs:resamplers index dense NCHW"
 )
 
 contiguous_ratchet() {
@@ -218,6 +236,7 @@ run_stage test-intraop  env NGB_INTRAOP=1 NGB_THREADS=4 cargo test -q
 run_stage sanitize      sanitize_gate
 run_stage serve         serve_gate
 run_stage decode        decode_gate
+run_stage shard         shard_gate
 run_stage contiguous-ratchet contiguous_ratchet
 run_stage regress       regress_gate
 
